@@ -1,0 +1,176 @@
+//! Shared traits for the logical-ordering tree suite.
+//!
+//! Every concurrent ordered dictionary in this workspace — the paper's
+//! logical-ordering trees in [`lo-core`](../lo_core/index.html) and the
+//! comparator suite in [`lo-baselines`](../lo_baselines/index.html) —
+//! implements [`ConcurrentMap`], so the workload harness, the stress tester
+//! and the benchmarks can drive any of them interchangeably.
+//!
+//! The paper implements a *map* (§3 "our actual implementation and evaluation
+//! use a more general implementation of a map"), so the map interface is the
+//! primary one; [`ConcurrentSet`] is a thin adapter over `ConcurrentMap<K, ()>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+
+/// Marker bundle for key types accepted by every tree in the suite.
+///
+/// Keys are copied into routing nodes by the external trees (EFRB, chromatic,
+/// Natarajan-Mittal), so `Copy` is required; `Ord` drives the search; the
+/// `Send + Sync + 'static` bounds let nodes move across threads and outlive
+/// the inserting thread.
+pub trait Key: Ord + Copy + Send + Sync + Debug + 'static {}
+impl<T: Ord + Copy + Send + Sync + Debug + 'static> Key for T {}
+
+/// Marker bundle for value types.
+pub trait Value: Send + Sync + 'static {}
+impl<T: Send + Sync + 'static> Value for T {}
+
+/// A linearizable concurrent ordered map.
+///
+/// Semantics follow the paper's interface:
+/// * [`insert`](Self::insert) is a no-op returning `false` when the key is
+///   already present (it does **not** overwrite; use
+///   [`put_if_absent`](Self::insert) semantics for overwriting maps built on
+///   top of this trait),
+/// * [`remove`](Self::remove) returns whether the key was present,
+/// * [`contains`](Self::contains) must be safe to run concurrently with any
+///   mix of mutating operations.
+pub trait ConcurrentMap<K: Key, V: Value>: Send + Sync {
+    /// Inserts `key -> value` if `key` is absent. Returns `true` on a
+    /// successful (i.e. key-was-absent) insertion.
+    fn insert(&self, key: K, value: V) -> bool;
+
+    /// Removes `key`. Returns `true` if the key was present (successful
+    /// removal).
+    fn remove(&self, key: &K) -> bool;
+
+    /// Returns whether `key` is present.
+    fn contains(&self, key: &K) -> bool;
+
+    /// Returns a clone of the value mapped to `key`, if present.
+    fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone;
+
+    /// A short stable identifier used in benchmark tables (e.g. `"lo-avl"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Ordered-access extension (paper §4.7): O(1) min/max via the sentinel
+/// `succ`/`pred` pointers, plus in-order key snapshots for iteration tests.
+pub trait OrderedAccess<K: Key> {
+    /// Smallest key currently in the map, if any.
+    fn min_key(&self) -> Option<K>;
+    /// Largest key currently in the map, if any.
+    fn max_key(&self) -> Option<K>;
+    /// All keys in ascending order. Only meaningful at quiescence; used by
+    /// tests and examples. Concurrent-safe implementations may return a
+    /// point-in-time-ish snapshot.
+    fn keys_in_order(&self) -> Vec<K>;
+}
+
+/// Quiescent self-validation hook: verifies every structural invariant the
+/// implementation promises (BST order, balance bounds, ordering-layout
+/// consistency, ...). Panics with a diagnostic on violation.
+///
+/// Must only be called while no other thread is operating on the structure.
+pub trait CheckInvariants {
+    /// Run all internal invariant checks; panic on the first violation.
+    fn check_invariants(&self);
+}
+
+/// A concurrent set view over any `ConcurrentMap<K, ()>`.
+pub struct ConcurrentSet<K: Key, M: ConcurrentMap<K, ()>> {
+    map: M,
+    _k: std::marker::PhantomData<K>,
+}
+
+impl<K: Key, M: ConcurrentMap<K, ()>> ConcurrentSet<K, M> {
+    /// Wraps a unit-valued map as a set.
+    pub fn new(map: M) -> Self {
+        Self { map, _k: std::marker::PhantomData }
+    }
+
+    /// Adds `key`; `true` if it was absent.
+    pub fn add(&self, key: K) -> bool {
+        self.map.insert(key, ())
+    }
+
+    /// Removes `key`; `true` if it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        self.map.remove(key)
+    }
+
+    /// Membership test; lock-free whenever the underlying map's `contains` is.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains(key)
+    }
+
+    /// Borrows the underlying map.
+    pub fn as_map(&self) -> &M {
+        &self.map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// Tiny reference implementation so the trait itself is exercised.
+    struct MutexMap<K: Key, V: Value>(Mutex<BTreeMap<K, V>>);
+
+    impl<K: Key, V: Value> ConcurrentMap<K, V> for MutexMap<K, V> {
+        fn insert(&self, key: K, value: V) -> bool {
+            let mut g = self.0.lock().unwrap();
+            if let std::collections::btree_map::Entry::Vacant(e) = g.entry(key) {
+                e.insert(value);
+                true
+            } else {
+                false
+            }
+        }
+        fn remove(&self, key: &K) -> bool {
+            self.0.lock().unwrap().remove(key).is_some()
+        }
+        fn contains(&self, key: &K) -> bool {
+            self.0.lock().unwrap().contains_key(key)
+        }
+        fn get(&self, key: &K) -> Option<V>
+        where
+            V: Clone,
+        {
+            self.0.lock().unwrap().get(key).cloned()
+        }
+        fn name(&self) -> &'static str {
+            "mutex-btreemap"
+        }
+    }
+
+    #[test]
+    fn map_contract() {
+        let m = MutexMap(Mutex::new(BTreeMap::new()));
+        assert!(m.insert(1, 10));
+        assert!(!m.insert(1, 11), "duplicate insert must fail");
+        assert_eq!(m.get(&1), Some(10), "failed insert must not overwrite");
+        assert!(m.contains(&1));
+        assert!(m.remove(&1));
+        assert!(!m.remove(&1));
+        assert!(!m.contains(&1));
+    }
+
+    #[test]
+    fn set_adapter() {
+        let s = ConcurrentSet::new(MutexMap(Mutex::new(BTreeMap::new())));
+        assert!(s.add(7));
+        assert!(!s.add(7));
+        assert!(s.contains(&7));
+        assert!(s.remove(&7));
+        assert!(!s.contains(&7));
+        assert_eq!(s.as_map().name(), "mutex-btreemap");
+    }
+}

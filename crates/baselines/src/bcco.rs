@@ -1,0 +1,1211 @@
+//! BCCO tree: the lock-based, partially-external, relaxed-balance AVL tree
+//! of Bronson, Casper, Chafi and Olukotun (PPoPP 2010) — the paper's primary
+//! balanced comparator.
+//!
+//! Synchronization recipe (per the original):
+//! * **Optimistic hand-over-hand version validation** for traversals: every
+//!   node carries a version word with a `SHRINKING` bit (set while the node
+//!   is being rotated down), an `UNLINKED` bit (terminal) and a shrink
+//!   counter. A reader records a node's version, reads the child pointer,
+//!   revalidates the version, and descends; if the child is shrinking it
+//!   *waits* (this is why BCCO lookups are not lock-free — the contrast the
+//!   logical-ordering paper draws).
+//! * **Per-node locks** for updates, always acquired parent → child.
+//! * **Partially-external deletion**: removing a node with two children only
+//!   nulls its value (a routing "zombie" remains); routing nodes with ≤1
+//!   child are unlinked by the rebalancer or on later removals.
+//! * **Relaxed AVL balance** restored by local rotations driven by per-node
+//!   heights after every update.
+//!
+//! Memory reclamation via epochs (the original relies on the JVM GC).
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use std::cmp::Ordering as Cmp;
+use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+
+use crate::lock::RawLock;
+use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+
+const UNLINKED: u64 = 1;
+const SHRINKING: u64 = 2;
+const SHRINK_INC: u64 = 4;
+
+struct BNode<K, V> {
+    /// `None` only for the root holder (acts as −∞; everything descends
+    /// right).
+    key: Option<K>,
+    version: AtomicU64,
+    /// Null pointer = routing node (logically absent key).
+    value: Atomic<V>,
+    height: AtomicI32,
+    left: Atomic<BNode<K, V>>,
+    right: Atomic<BNode<K, V>>,
+    parent: Atomic<BNode<K, V>>,
+    lock: RawLock,
+}
+
+impl<K, V> BNode<K, V> {
+    fn new(key: Option<K>, value: Atomic<V>, height: i32) -> Self {
+        Self {
+            key,
+            version: AtomicU64::new(0),
+            value,
+            height: AtomicI32::new(height),
+            left: Atomic::null(),
+            right: Atomic::null(),
+            parent: Atomic::null(),
+            lock: RawLock::new(),
+        }
+    }
+
+    #[inline]
+    fn ver(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn is_unlinked(&self) -> bool {
+        self.ver() & UNLINKED != 0
+    }
+
+    #[inline]
+    fn h(&self) -> i32 {
+        self.height.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn child<'g>(&self, right: bool, g: &'g Guard) -> Shared<'g, BNode<K, V>> {
+        if right {
+            self.right.load(Ordering::Acquire, g)
+        } else {
+            self.left.load(Ordering::Acquire, g)
+        }
+    }
+}
+
+impl<K, V> Drop for BNode<K, V> {
+    fn drop(&mut self) {
+        let g = unsafe { epoch::unprotected() };
+        let v = self.value.swap(Shared::null(), Ordering::Relaxed, g);
+        if !v.is_null() {
+            drop(unsafe { v.into_owned() });
+        }
+    }
+}
+
+fn bref<'g, K, V>(s: Shared<'g, BNode<K, V>>) -> &'g BNode<K, V> {
+    debug_assert!(!s.is_null());
+    // SAFETY: nodes are retired only via the epoch after unlinking.
+    unsafe { s.deref() }
+}
+
+fn node_height<K, V>(s: Shared<'_, BNode<K, V>>) -> i32 {
+    if s.is_null() {
+        0
+    } else {
+        bref(s).h()
+    }
+}
+
+/// Outcome of a recursive attempt; `Retry` bubbles one frame up.
+enum Attempt<T> {
+    Done(T),
+    Retry,
+}
+
+/// What `fix_height_and_rebalance` decides a node needs.
+enum Condition {
+    Nothing,
+    UnlinkRequired,
+    RebalanceRequired,
+    FixHeight,
+}
+
+/// The BCCO relaxed-balance partially-external AVL tree.
+pub struct BccoTreeMap<K: Key, V: Value> {
+    root_holder: Atomic<BNode<K, V>>,
+}
+
+impl<K: Key, V: Value> BccoTreeMap<K, V> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        let g = unsafe { epoch::unprotected() };
+        let holder = Owned::new(BNode::new(None, Atomic::null(), 0)).into_shared(g);
+        Self { root_holder: Atomic::from(holder) }
+    }
+
+    fn holder<'g>(&self, g: &'g Guard) -> Shared<'g, BNode<K, V>> {
+        self.root_holder.load(Ordering::Relaxed, g)
+    }
+
+    /// Spin until a shrink in progress completes.
+    fn wait_until_shrink_completed(&self, node: &BNode<K, V>, v: u64) {
+        if v & SHRINKING == 0 {
+            return;
+        }
+        let mut spins = 0u32;
+        while node.ver() == v {
+            spins += 1;
+            if spins > 100 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    fn get_impl<R>(&self, key: &K, read: impl Fn(&V) -> R + Copy) -> Option<R> {
+        let g = &epoch::pin();
+        loop {
+            let holder = self.holder(g);
+            // The root holder never shrinks or unlinks: version stays 0.
+            match self.attempt_get(key, bref(holder), 0, true, read, g) {
+                Attempt::Done(r) => return r,
+                Attempt::Retry => continue,
+            }
+        }
+    }
+
+    fn attempt_get<'g, R>(
+        &self,
+        key: &K,
+        node: &'g BNode<K, V>,
+        node_v: u64,
+        dir_right: bool,
+        read: impl Fn(&V) -> R + Copy,
+        g: &'g Guard,
+    ) -> Attempt<Option<R>> {
+        loop {
+            let child = node.child(dir_right, g);
+            if node.ver() != node_v {
+                return Attempt::Retry;
+            }
+            if child.is_null() {
+                return Attempt::Done(None);
+            }
+            let c = bref(child);
+            let next_right = match c.key.as_ref() {
+                Some(ck) => match key.cmp(ck) {
+                    Cmp::Equal => {
+                        // Found the key node; its value decides presence.
+                        let v = c.value.load(Ordering::Acquire, g);
+                        if v.is_null() {
+                            return Attempt::Done(None);
+                        }
+                        // SAFETY: value pointers are epoch-protected.
+                        return Attempt::Done(Some(read(unsafe { v.deref() })));
+                    }
+                    Cmp::Less => false,
+                    Cmp::Greater => true,
+                },
+                None => true,
+            };
+            let child_v = c.ver();
+            if child_v & SHRINKING != 0 {
+                self.wait_until_shrink_completed(c, child_v);
+                if node.ver() != node_v {
+                    return Attempt::Retry;
+                }
+                continue; // re-read the child pointer
+            }
+            if child_v & UNLINKED != 0 {
+                if node.ver() != node_v {
+                    return Attempt::Retry;
+                }
+                continue;
+            }
+            if node.child(dir_right, g) != child {
+                if node.ver() != node_v {
+                    return Attempt::Retry;
+                }
+                continue;
+            }
+            if node.ver() != node_v {
+                return Attempt::Retry;
+            }
+            match self.attempt_get(key, c, child_v, next_right, read, g) {
+                Attempt::Retry => {
+                    if node.ver() != node_v {
+                        return Attempt::Retry;
+                    }
+                    continue;
+                }
+                done => return done,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    fn insert_impl(&self, key: K, value: V) -> bool {
+        let g = &epoch::pin();
+        let mut value = Some(value);
+        loop {
+            let holder = self.holder(g);
+            match self.attempt_insert(&key, &mut value, bref(holder), 0, true, g) {
+                Attempt::Done(r) => return r,
+                Attempt::Retry => continue,
+            }
+        }
+    }
+
+    fn attempt_insert<'g>(
+        &self,
+        key: &K,
+        value: &mut Option<V>,
+        node: &'g BNode<K, V>,
+        node_v: u64,
+        dir_right: bool,
+        g: &'g Guard,
+    ) -> Attempt<bool> {
+        loop {
+            let child = node.child(dir_right, g);
+            if node.ver() != node_v {
+                return Attempt::Retry;
+            }
+            if child.is_null() {
+                // Try to link a fresh leaf here.
+                node.lock.lock();
+                if node.ver() != node_v || node.is_unlinked() {
+                    node.lock.unlock();
+                    return Attempt::Retry;
+                }
+                if !node.child(dir_right, g).is_null() {
+                    node.lock.unlock();
+                    continue; // someone linked meanwhile; re-examine
+                }
+                let v = value.take().expect("value present until consumed");
+                let leaf = Owned::new(BNode::new(Some(*key), Atomic::new(v), 1)).into_shared(g);
+                bref(leaf).parent.store(Shared::from(node as *const _), Ordering::Release);
+                if dir_right {
+                    node.right.store(leaf, Ordering::Release);
+                } else {
+                    node.left.store(leaf, Ordering::Release);
+                }
+                node.lock.unlock();
+                self.fix_height_and_rebalance(Shared::from(node as *const _), g);
+                return Attempt::Done(true);
+            }
+            let c = bref(child);
+            let next_right = match c.key.as_ref() {
+                Some(ck) => match key.cmp(ck) {
+                    Cmp::Equal => {
+                        // Update-in-place (revive a routing node) or report
+                        // the duplicate.
+                        c.lock.lock();
+                        if c.is_unlinked() {
+                            c.lock.unlock();
+                            // The node vanished; revalidate and re-descend.
+                            if node.ver() != node_v {
+                                return Attempt::Retry;
+                            }
+                            continue;
+                        }
+                        let cur = c.value.load(Ordering::Acquire, g);
+                        let r = if cur.is_null() {
+                            let v = value.take().expect("value present until consumed");
+                            c.value.store(Owned::new(v).into_shared(g), Ordering::Release);
+                            true
+                        } else {
+                            false
+                        };
+                        c.lock.unlock();
+                        return Attempt::Done(r);
+                    }
+                    Cmp::Less => false,
+                    Cmp::Greater => true,
+                },
+                None => true,
+            };
+            let child_v = c.ver();
+            if child_v & SHRINKING != 0 {
+                self.wait_until_shrink_completed(c, child_v);
+                if node.ver() != node_v {
+                    return Attempt::Retry;
+                }
+                continue;
+            }
+            if child_v & UNLINKED != 0 || node.child(dir_right, g) != child {
+                if node.ver() != node_v {
+                    return Attempt::Retry;
+                }
+                continue;
+            }
+            if node.ver() != node_v {
+                return Attempt::Retry;
+            }
+            match self.attempt_insert(key, value, c, child_v, next_right, g) {
+                Attempt::Retry => {
+                    if node.ver() != node_v {
+                        return Attempt::Retry;
+                    }
+                    continue;
+                }
+                done => return done,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Remove
+    // ------------------------------------------------------------------
+
+    fn remove_impl(&self, key: &K) -> bool {
+        let g = &epoch::pin();
+        loop {
+            let holder = self.holder(g);
+            match self.attempt_remove(key, bref(holder), 0, true, g) {
+                Attempt::Done(r) => return r,
+                Attempt::Retry => continue,
+            }
+        }
+    }
+
+    fn attempt_remove<'g>(
+        &self,
+        key: &K,
+        node: &'g BNode<K, V>,
+        node_v: u64,
+        dir_right: bool,
+        g: &'g Guard,
+    ) -> Attempt<bool> {
+        loop {
+            let child = node.child(dir_right, g);
+            if node.ver() != node_v {
+                return Attempt::Retry;
+            }
+            if child.is_null() {
+                return Attempt::Done(false);
+            }
+            let c = bref(child);
+            let next_right = match c.key.as_ref() {
+                Some(ck) => match key.cmp(ck) {
+                    Cmp::Equal => match self.attempt_rm_node(node, child, g) {
+                        Attempt::Retry => {
+                            if node.ver() != node_v {
+                                return Attempt::Retry;
+                            }
+                            continue;
+                        }
+                        done => return done,
+                    },
+                    Cmp::Less => false,
+                    Cmp::Greater => true,
+                },
+                None => true,
+            };
+            let child_v = c.ver();
+            if child_v & SHRINKING != 0 {
+                self.wait_until_shrink_completed(c, child_v);
+                if node.ver() != node_v {
+                    return Attempt::Retry;
+                }
+                continue;
+            }
+            if child_v & UNLINKED != 0 || node.child(dir_right, g) != child {
+                if node.ver() != node_v {
+                    return Attempt::Retry;
+                }
+                continue;
+            }
+            if node.ver() != node_v {
+                return Attempt::Retry;
+            }
+            match self.attempt_remove(key, c, child_v, next_right, g) {
+                Attempt::Retry => {
+                    if node.ver() != node_v {
+                        return Attempt::Retry;
+                    }
+                    continue;
+                }
+                done => return done,
+            }
+        }
+    }
+
+    /// Removes the key held by `n` (child of `parent`): logical delete if it
+    /// has two children, physical unlink otherwise.
+    fn attempt_rm_node<'g>(
+        &self,
+        parent: &'g BNode<K, V>,
+        n: Shared<'g, BNode<K, V>>,
+        g: &'g Guard,
+    ) -> Attempt<bool> {
+        let nr = bref(n);
+        if nr.value.load(Ordering::Acquire, g).is_null() {
+            // Routing node: key absent (linearizes at the null read while n
+            // was still reachable).
+            return Attempt::Done(false);
+        }
+        let l = nr.left.load(Ordering::Acquire, g);
+        let r = nr.right.load(Ordering::Acquire, g);
+        if !l.is_null() && !r.is_null() {
+            // Two children: logical delete under the node lock.
+            nr.lock.lock();
+            if nr.is_unlinked() {
+                nr.lock.unlock();
+                return Attempt::Retry;
+            }
+            let l = nr.left.load(Ordering::Acquire, g);
+            let r = nr.right.load(Ordering::Acquire, g);
+            if l.is_null() || r.is_null() {
+                // Shape changed; take the unlink path instead.
+                nr.lock.unlock();
+            } else {
+                let old = nr.value.swap(Shared::null(), Ordering::AcqRel, g);
+                nr.lock.unlock();
+                if old.is_null() {
+                    return Attempt::Done(false);
+                }
+                unsafe { g.defer_destroy(old) };
+                return Attempt::Done(true);
+            }
+        }
+        // ≤1 child: physical unlink under parent + node locks (parent first).
+        parent.lock.lock();
+        if parent.is_unlinked() || !std::ptr::eq(nr.parent.load(Ordering::Acquire, g).as_raw(), parent)
+        {
+            parent.lock.unlock();
+            return Attempt::Retry;
+        }
+        nr.lock.lock();
+        if nr.is_unlinked() {
+            nr.lock.unlock();
+            parent.lock.unlock();
+            return Attempt::Retry;
+        }
+        let old = nr.value.load(Ordering::Acquire, g);
+        if old.is_null() {
+            nr.lock.unlock();
+            parent.lock.unlock();
+            return Attempt::Done(false);
+        }
+        let l = nr.left.load(Ordering::Acquire, g);
+        let r = nr.right.load(Ordering::Acquire, g);
+        if !l.is_null() && !r.is_null() {
+            // Grew a second child: logical delete instead.
+            nr.value.store(Shared::null(), Ordering::Release);
+            nr.lock.unlock();
+            parent.lock.unlock();
+            unsafe { g.defer_destroy(old) };
+            return Attempt::Done(true);
+        }
+        // Unlink n: splice its only child (or null) into parent.
+        let splice = if l.is_null() { r } else { l };
+        let parent_sh = Shared::from(parent as *const _);
+        if parent.left.load(Ordering::Acquire, g) == n {
+            parent.left.store(splice, Ordering::Release);
+        } else {
+            debug_assert_eq!(parent.right.load(Ordering::Acquire, g), n);
+            parent.right.store(splice, Ordering::Release);
+        }
+        if !splice.is_null() {
+            bref(splice).parent.store(parent_sh, Ordering::Release);
+        }
+        nr.value.store(Shared::null(), Ordering::Release);
+        nr.version.store(nr.ver() | UNLINKED, Ordering::SeqCst);
+        nr.lock.unlock();
+        parent.lock.unlock();
+        unsafe {
+            g.defer_destroy(old);
+            g.defer_destroy(n);
+        }
+        self.fix_height_and_rebalance(parent_sh, g);
+        Attempt::Done(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Rebalancing
+    // ------------------------------------------------------------------
+
+    fn node_condition<'g>(&self, n: &'g BNode<K, V>, g: &'g Guard) -> Condition {
+        let l = n.left.load(Ordering::Acquire, g);
+        let r = n.right.load(Ordering::Acquire, g);
+        if (l.is_null() || r.is_null()) && n.value.load(Ordering::Acquire, g).is_null() {
+            return Condition::UnlinkRequired;
+        }
+        let hn = n.h();
+        let hl = node_height(l);
+        let hr = node_height(r);
+        if (hl - hr).abs() > 1 {
+            return Condition::RebalanceRequired;
+        }
+        let hnew = hl.max(hr) + 1;
+        if hn != hnew {
+            Condition::FixHeight
+        } else {
+            Condition::Nothing
+        }
+    }
+
+    fn fix_height_and_rebalance<'g>(&self, mut node: Shared<'g, BNode<K, V>>, g: &'g Guard) {
+        let holder = self.holder(g);
+        let mut budget = 0usize;
+        while node != holder && !node.is_null() {
+            budget += 1;
+            if budget > 1_000_000 {
+                debug_assert!(false, "rebalance failed to converge");
+                return;
+            }
+            let n = bref(node);
+            if n.is_unlinked() {
+                return;
+            }
+            match self.node_condition(n, g) {
+                Condition::Nothing => return,
+                Condition::FixHeight => {
+                    n.lock.lock();
+                    let next = if n.is_unlinked() {
+                        Shared::null()
+                    } else {
+                        let hl = node_height(n.left.load(Ordering::Acquire, g));
+                        let hr = node_height(n.right.load(Ordering::Acquire, g));
+                        let hnew = hl.max(hr) + 1;
+                        if n.h() == hnew {
+                            Shared::null()
+                        } else {
+                            n.height.store(hnew, Ordering::Relaxed);
+                            n.parent.load(Ordering::Acquire, g)
+                        }
+                    };
+                    n.lock.unlock();
+                    if next.is_null() {
+                        return;
+                    }
+                    node = next;
+                }
+                Condition::UnlinkRequired | Condition::RebalanceRequired => {
+                    let parent = n.parent.load(Ordering::Acquire, g);
+                    if parent.is_null() {
+                        return;
+                    }
+                    let p = bref(parent);
+                    p.lock.lock();
+                    let next = if p.is_unlinked()
+                        || bref(node).parent.load(Ordering::Acquire, g) != parent
+                    {
+                        Shared::null()
+                    } else {
+                        n.lock.lock();
+                        let nx = self.rebalance_locked(parent, node, g);
+                        n.lock.unlock();
+                        nx
+                    };
+                    p.lock.unlock();
+                    if next.is_null() {
+                        // Revalidate from the same node (shape changed under
+                        // us); loop re-runs node_condition.
+                        if bref(node).is_unlinked() {
+                            return;
+                        }
+                        continue;
+                    }
+                    node = next;
+                }
+            }
+        }
+    }
+
+    /// With `parent` and `n` locked: unlink a dead routing node or rotate.
+    /// Returns the next node to examine (null = re-examine `n`).
+    fn rebalance_locked<'g>(
+        &self,
+        parent: Shared<'g, BNode<K, V>>,
+        n: Shared<'g, BNode<K, V>>,
+        g: &'g Guard,
+    ) -> Shared<'g, BNode<K, V>> {
+        let nr = bref(n);
+        if nr.is_unlinked() {
+            return Shared::null();
+        }
+        let l = nr.left.load(Ordering::Acquire, g);
+        let r = nr.right.load(Ordering::Acquire, g);
+        if (l.is_null() || r.is_null()) && nr.value.load(Ordering::Acquire, g).is_null() {
+            // Unlink the dead routing node.
+            let splice = if l.is_null() { r } else { l };
+            let p = bref(parent);
+            if p.left.load(Ordering::Acquire, g) == n {
+                p.left.store(splice, Ordering::Release);
+            } else {
+                debug_assert_eq!(p.right.load(Ordering::Acquire, g), n);
+                p.right.store(splice, Ordering::Release);
+            }
+            if !splice.is_null() {
+                bref(splice).parent.store(parent, Ordering::Release);
+            }
+            nr.version.store(nr.ver() | UNLINKED, Ordering::SeqCst);
+            unsafe { g.defer_destroy(n) };
+            return parent;
+        }
+        let hl = node_height(l);
+        let hr = node_height(r);
+        if hl - hr > 1 {
+            self.rebalance_to_right(parent, n, l, hr, g)
+        } else if hl - hr < -1 {
+            self.rebalance_to_left(parent, n, r, hl, g)
+        } else {
+            let hnew = hl.max(hr) + 1;
+            if nr.h() != hnew {
+                nr.height.store(hnew, Ordering::Relaxed);
+                parent
+            } else {
+                Shared::null()
+            }
+        }
+    }
+
+    /// Left-heavy: rotate right (possibly double). `parent` and `n` locked.
+    fn rebalance_to_right<'g>(
+        &self,
+        parent: Shared<'g, BNode<K, V>>,
+        n: Shared<'g, BNode<K, V>>,
+        nl: Shared<'g, BNode<K, V>>,
+        hr0: i32,
+        g: &'g Guard,
+    ) -> Shared<'g, BNode<K, V>> {
+        if nl.is_null() {
+            return Shared::null(); // heights were stale; re-examine
+        }
+        
+        bref(nl).lock.lock();
+        let hl = bref(nl).h();
+        if hl - hr0 <= 1 {
+            bref(nl).lock.unlock();
+            return Shared::null(); // condition changed
+        }
+        let nll = bref(nl).left.load(Ordering::Acquire, g);
+        let nlr = bref(nl).right.load(Ordering::Acquire, g);
+        let hll = node_height(nll);
+        let hlr = node_height(nlr);
+        if hll >= hlr {
+            // Single right rotation.
+            let res = self.rotate_right(parent, n, nl, nlr, g);
+            bref(nl).lock.unlock();
+            return res;
+        }
+        // Double rotation: first left on (nl, nlr), then right on (n, nlr).
+        if nlr.is_null() {
+            bref(nl).lock.unlock();
+            return Shared::null();
+        }
+        let nlr_node = nlr;
+        bref(nlr_node).lock.lock();
+        let hlr = bref(nlr_node).h();
+        if hll >= hlr {
+            let res = self.rotate_right(parent, n, nl, nlr, g);
+            bref(nlr_node).lock.unlock();
+            bref(nl).lock.unlock();
+            return res;
+        }
+        let res = self.rotate_right_over_left(parent, n, nl, nlr, g);
+        bref(nlr_node).lock.unlock();
+        bref(nl).lock.unlock();
+        res
+    }
+
+    /// Mirror image of [`Self::rebalance_to_right`].
+    fn rebalance_to_left<'g>(
+        &self,
+        parent: Shared<'g, BNode<K, V>>,
+        n: Shared<'g, BNode<K, V>>,
+        nr: Shared<'g, BNode<K, V>>,
+        hl0: i32,
+        g: &'g Guard,
+    ) -> Shared<'g, BNode<K, V>> {
+        if nr.is_null() {
+            return Shared::null();
+        }
+        bref(nr).lock.lock();
+        let hr = bref(nr).h();
+        if hr - hl0 <= 1 {
+            bref(nr).lock.unlock();
+            return Shared::null();
+        }
+        let nrl = bref(nr).left.load(Ordering::Acquire, g);
+        let nrr = bref(nr).right.load(Ordering::Acquire, g);
+        let hrr = node_height(nrr);
+        let hrl = node_height(nrl);
+        if hrr >= hrl {
+            let res = self.rotate_left(parent, n, nr, nrl, g);
+            bref(nr).lock.unlock();
+            return res;
+        }
+        if nrl.is_null() {
+            bref(nr).lock.unlock();
+            return Shared::null();
+        }
+        bref(nrl).lock.lock();
+        let hrl = bref(nrl).h();
+        if hrr >= hrl {
+            let res = self.rotate_left(parent, n, nr, nrl, g);
+            bref(nrl).lock.unlock();
+            bref(nr).lock.unlock();
+            return res;
+        }
+        let res = self.rotate_left_over_right(parent, n, nr, nrl, g);
+        bref(nrl).lock.unlock();
+        bref(nr).lock.unlock();
+        res
+    }
+
+    /// n rotates down-right; nl rises. Locks held: parent, n, nl.
+    fn rotate_right<'g>(
+        &self,
+        parent: Shared<'g, BNode<K, V>>,
+        n: Shared<'g, BNode<K, V>>,
+        nl: Shared<'g, BNode<K, V>>,
+        nlr: Shared<'g, BNode<K, V>>,
+        g: &'g Guard,
+    ) -> Shared<'g, BNode<K, V>> {
+        let nr_node = bref(n);
+        let nl_node = bref(nl);
+        let v = nr_node.ver();
+        nr_node.version.store(v | SHRINKING, Ordering::SeqCst);
+
+        nr_node.left.store(nlr, Ordering::Release);
+        if !nlr.is_null() {
+            bref(nlr).parent.store(n, Ordering::Release);
+        }
+        nl_node.right.store(n, Ordering::Release);
+        nr_node.parent.store(nl, Ordering::Release);
+        let p = bref(parent);
+        if p.left.load(Ordering::Acquire, g) == n {
+            p.left.store(nl, Ordering::Release);
+        } else {
+            p.right.store(nl, Ordering::Release);
+        }
+        nl_node.parent.store(parent, Ordering::Release);
+
+        let h_repl = node_height(nr_node.left.load(Ordering::Acquire, g))
+            .max(node_height(nr_node.right.load(Ordering::Acquire, g)))
+            + 1;
+        nr_node.height.store(h_repl, Ordering::Relaxed);
+        nl_node.height.store(
+            node_height(nl_node.left.load(Ordering::Acquire, g)).max(h_repl) + 1,
+            Ordering::Relaxed,
+        );
+
+        nr_node.version.store((v | SHRINKING).wrapping_add(SHRINK_INC) & !SHRINKING, Ordering::SeqCst);
+
+        // Decide where balancing continues (simplified severity check).
+        self.post_rotation_target(parent, n, nl, g)
+    }
+
+    /// Mirror of [`Self::rotate_right`].
+    fn rotate_left<'g>(
+        &self,
+        parent: Shared<'g, BNode<K, V>>,
+        n: Shared<'g, BNode<K, V>>,
+        nr: Shared<'g, BNode<K, V>>,
+        nrl: Shared<'g, BNode<K, V>>,
+        g: &'g Guard,
+    ) -> Shared<'g, BNode<K, V>> {
+        let n_node = bref(n);
+        let nr_node = bref(nr);
+        let v = n_node.ver();
+        n_node.version.store(v | SHRINKING, Ordering::SeqCst);
+
+        n_node.right.store(nrl, Ordering::Release);
+        if !nrl.is_null() {
+            bref(nrl).parent.store(n, Ordering::Release);
+        }
+        nr_node.left.store(n, Ordering::Release);
+        n_node.parent.store(nr, Ordering::Release);
+        let p = bref(parent);
+        if p.left.load(Ordering::Acquire, g) == n {
+            p.left.store(nr, Ordering::Release);
+        } else {
+            p.right.store(nr, Ordering::Release);
+        }
+        nr_node.parent.store(parent, Ordering::Release);
+
+        let h_repl = node_height(n_node.left.load(Ordering::Acquire, g))
+            .max(node_height(n_node.right.load(Ordering::Acquire, g)))
+            + 1;
+        n_node.height.store(h_repl, Ordering::Relaxed);
+        nr_node.height.store(
+            node_height(nr_node.right.load(Ordering::Acquire, g)).max(h_repl) + 1,
+            Ordering::Relaxed,
+        );
+
+        n_node.version.store((v | SHRINKING).wrapping_add(SHRINK_INC) & !SHRINKING, Ordering::SeqCst);
+
+        self.post_rotation_target(parent, n, nr, g)
+    }
+
+    /// Double rotation: nlr rises above both nl and n. Locks: parent, n, nl,
+    /// nlr.
+    fn rotate_right_over_left<'g>(
+        &self,
+        parent: Shared<'g, BNode<K, V>>,
+        n: Shared<'g, BNode<K, V>>,
+        nl: Shared<'g, BNode<K, V>>,
+        nlr: Shared<'g, BNode<K, V>>,
+        g: &'g Guard,
+    ) -> Shared<'g, BNode<K, V>> {
+        let n_node = bref(n);
+        let nl_node = bref(nl);
+        let nlr_node = bref(nlr);
+        let vn = n_node.ver();
+        let vl = nl_node.ver();
+        n_node.version.store(vn | SHRINKING, Ordering::SeqCst);
+        nl_node.version.store(vl | SHRINKING, Ordering::SeqCst);
+
+        let nlrl = nlr_node.left.load(Ordering::Acquire, g);
+        let nlrr = nlr_node.right.load(Ordering::Acquire, g);
+
+        n_node.left.store(nlrr, Ordering::Release);
+        if !nlrr.is_null() {
+            bref(nlrr).parent.store(n, Ordering::Release);
+        }
+        nl_node.right.store(nlrl, Ordering::Release);
+        if !nlrl.is_null() {
+            bref(nlrl).parent.store(nl, Ordering::Release);
+        }
+        nlr_node.left.store(nl, Ordering::Release);
+        nl_node.parent.store(nlr, Ordering::Release);
+        nlr_node.right.store(n, Ordering::Release);
+        n_node.parent.store(nlr, Ordering::Release);
+        let p = bref(parent);
+        if p.left.load(Ordering::Acquire, g) == n {
+            p.left.store(nlr, Ordering::Release);
+        } else {
+            p.right.store(nlr, Ordering::Release);
+        }
+        nlr_node.parent.store(parent, Ordering::Release);
+
+        let hn = node_height(n_node.left.load(Ordering::Acquire, g))
+            .max(node_height(n_node.right.load(Ordering::Acquire, g)))
+            + 1;
+        n_node.height.store(hn, Ordering::Relaxed);
+        let hl = node_height(nl_node.left.load(Ordering::Acquire, g))
+            .max(node_height(nl_node.right.load(Ordering::Acquire, g)))
+            + 1;
+        nl_node.height.store(hl, Ordering::Relaxed);
+        nlr_node.height.store(hn.max(hl) + 1, Ordering::Relaxed);
+
+        nl_node.version.store((vl | SHRINKING).wrapping_add(SHRINK_INC) & !SHRINKING, Ordering::SeqCst);
+        n_node.version.store((vn | SHRINKING).wrapping_add(SHRINK_INC) & !SHRINKING, Ordering::SeqCst);
+
+        self.post_rotation_target(parent, n, nlr, g)
+    }
+
+    /// Mirror of [`Self::rotate_right_over_left`].
+    fn rotate_left_over_right<'g>(
+        &self,
+        parent: Shared<'g, BNode<K, V>>,
+        n: Shared<'g, BNode<K, V>>,
+        nr: Shared<'g, BNode<K, V>>,
+        nrl: Shared<'g, BNode<K, V>>,
+        g: &'g Guard,
+    ) -> Shared<'g, BNode<K, V>> {
+        let n_node = bref(n);
+        let nr_node = bref(nr);
+        let nrl_node = bref(nrl);
+        let vn = n_node.ver();
+        let vr = nr_node.ver();
+        n_node.version.store(vn | SHRINKING, Ordering::SeqCst);
+        nr_node.version.store(vr | SHRINKING, Ordering::SeqCst);
+
+        let nrll = nrl_node.left.load(Ordering::Acquire, g);
+        let nrlr = nrl_node.right.load(Ordering::Acquire, g);
+
+        n_node.right.store(nrll, Ordering::Release);
+        if !nrll.is_null() {
+            bref(nrll).parent.store(n, Ordering::Release);
+        }
+        nr_node.left.store(nrlr, Ordering::Release);
+        if !nrlr.is_null() {
+            bref(nrlr).parent.store(nr, Ordering::Release);
+        }
+        nrl_node.right.store(nr, Ordering::Release);
+        nr_node.parent.store(nrl, Ordering::Release);
+        nrl_node.left.store(n, Ordering::Release);
+        n_node.parent.store(nrl, Ordering::Release);
+        let p = bref(parent);
+        if p.left.load(Ordering::Acquire, g) == n {
+            p.left.store(nrl, Ordering::Release);
+        } else {
+            p.right.store(nrl, Ordering::Release);
+        }
+        nrl_node.parent.store(parent, Ordering::Release);
+
+        let hn = node_height(n_node.left.load(Ordering::Acquire, g))
+            .max(node_height(n_node.right.load(Ordering::Acquire, g)))
+            + 1;
+        n_node.height.store(hn, Ordering::Relaxed);
+        let hr = node_height(nr_node.left.load(Ordering::Acquire, g))
+            .max(node_height(nr_node.right.load(Ordering::Acquire, g)))
+            + 1;
+        nr_node.height.store(hr, Ordering::Relaxed);
+        nrl_node.height.store(hn.max(hr) + 1, Ordering::Relaxed);
+
+        nr_node.version.store((vr | SHRINKING).wrapping_add(SHRINK_INC) & !SHRINKING, Ordering::SeqCst);
+        n_node.version.store((vn | SHRINKING).wrapping_add(SHRINK_INC) & !SHRINKING, Ordering::SeqCst);
+
+        self.post_rotation_target(parent, n, nrl, g)
+    }
+
+    /// After a rotation pick the next node to fix: the rotated-down node if
+    /// it still violates, else the new subtree root, else the parent.
+    fn post_rotation_target<'g>(
+        &self,
+        parent: Shared<'g, BNode<K, V>>,
+        n: Shared<'g, BNode<K, V>>,
+        new_root: Shared<'g, BNode<K, V>>,
+        g: &'g Guard,
+    ) -> Shared<'g, BNode<K, V>> {
+        for cand in [n, new_root] {
+            match self.node_condition(bref(cand), g) {
+                Condition::Nothing => {}
+                _ => return cand,
+            }
+        }
+        parent
+    }
+}
+
+impl<K: Key, V: Value> BccoTreeMap<K, V> {
+    /// (physical nodes, routing "zombie" nodes) — quiescent use only; feeds
+    /// the memory experiment (the paper: "the BCCO-tree may maintain up to
+    /// 50% zombie nodes").
+    pub fn node_stats(&self) -> (usize, usize) {
+        let g = epoch::pin();
+        let mut physical = 0usize;
+        let mut routing = 0usize;
+        let mut stack = vec![bref(self.holder(&g)).right.load(Ordering::Acquire, &g)];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            physical += 1;
+            let r = bref(n);
+            if r.value.load(Ordering::Acquire, &g).is_null() {
+                routing += 1;
+            }
+            stack.push(r.left.load(Ordering::Acquire, &g));
+            stack.push(r.right.load(Ordering::Acquire, &g));
+        }
+        (physical, routing)
+    }
+}
+
+impl<K: Key, V: Value> Default for BccoTreeMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Value> Drop for BccoTreeMap<K, V> {
+    fn drop(&mut self) {
+        let g = unsafe { epoch::unprotected() };
+        let mut stack = vec![self.root_holder.load(Ordering::Relaxed, g)];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let r = bref(n);
+            stack.push(r.left.load(Ordering::Relaxed, g));
+            stack.push(r.right.load(Ordering::Relaxed, g));
+            drop(unsafe { n.into_owned() });
+        }
+    }
+}
+
+impl<K: Key, V: Value> ConcurrentMap<K, V> for BccoTreeMap<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_impl(key, value)
+    }
+    fn remove(&self, key: &K) -> bool {
+        self.remove_impl(key)
+    }
+    fn contains(&self, key: &K) -> bool {
+        self.get_impl(key, |_| ()).is_some()
+    }
+    fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get_impl(key, V::clone)
+    }
+    fn name(&self) -> &'static str {
+        "bcco"
+    }
+}
+
+impl<K: Key, V: Value> OrderedAccess<K> for BccoTreeMap<K, V> {
+    fn min_key(&self) -> Option<K> {
+        self.keys_in_order().first().copied()
+    }
+    fn max_key(&self) -> Option<K> {
+        self.keys_in_order().last().copied()
+    }
+    fn keys_in_order(&self) -> Vec<K> {
+        let g = epoch::pin();
+        let mut out = Vec::new();
+        // Iterative in-order from the real root, skipping routing nodes.
+        let mut stack = Vec::new();
+        let mut node = bref(self.holder(&g)).right.load(Ordering::Acquire, &g);
+        while !node.is_null() || !stack.is_empty() {
+            while !node.is_null() {
+                stack.push(node);
+                node = bref(node).left.load(Ordering::Acquire, &g);
+            }
+            let n = stack.pop().expect("non-empty");
+            let r = bref(n);
+            if !r.value.load(Ordering::Acquire, &g).is_null() {
+                out.push(*r.key.as_ref().expect("only holder lacks a key"));
+            }
+            node = r.right.load(Ordering::Acquire, &g);
+        }
+        out
+    }
+}
+
+impl<K: Key, V: Value> CheckInvariants for BccoTreeMap<K, V> {
+    fn check_invariants(&self) {
+        let g = epoch::pin();
+        let holder = self.holder(&g);
+        let root = bref(holder).right.load(Ordering::Acquire, &g);
+        // BST order, parent pointers, heights within relaxed-AVL tolerance.
+        type Frame<'g, K, V> = (Shared<'g, BNode<K, V>>, Option<K>, Option<K>);
+        let mut stack: Vec<Frame<'_, K, V>> = vec![(root, None, None)];
+        while let Some((n, lo, hi)) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let r = bref(n);
+            assert!(!r.is_unlinked(), "unlinked node reachable at quiescence");
+            assert!(!r.lock.is_locked(), "lock left held");
+            let k = r.key.expect("only holder lacks a key");
+            if let Some(lo) = lo {
+                assert!(lo < k, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(k < hi, "BST order violated");
+            }
+            let l = r.left.load(Ordering::Acquire, &g);
+            let rt = r.right.load(Ordering::Acquire, &g);
+            for c in [l, rt] {
+                if !c.is_null() {
+                    assert_eq!(
+                        bref(c).parent.load(Ordering::Acquire, &g),
+                        n,
+                        "parent pointer inconsistent"
+                    );
+                }
+            }
+            // Partially-external: a routing node must have two children at
+            // quiescence (single-child routers get unlinked eventually; we
+            // tolerate them but they must be rare — assert the weak form).
+            stack.push((l, lo, Some(k)));
+            stack.push((rt, Some(k), hi));
+        }
+        // Relaxed balance: height within a constant factor of optimal.
+        fn true_height<K: Key, V: Value>(
+            n: Shared<'_, BNode<K, V>>,
+            g: &Guard,
+        ) -> (i32, usize) {
+            if n.is_null() {
+                return (0, 0);
+            }
+            let r = bref(n);
+            let (hl, cl) = true_height(r.left.load(Ordering::Acquire, g), g);
+            let (hr, cr) = true_height(r.right.load(Ordering::Acquire, g), g);
+            (hl.max(hr) + 1, cl + cr + 1)
+        }
+        let (h, count) = true_height(root, &g);
+        if count > 16 {
+            let bound = (2.5 * ((count + 2) as f64).log2()).ceil() as i32;
+            assert!(h <= bound, "tree too tall for relaxed AVL: h={h}, n={count}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let m = BccoTreeMap::new();
+        assert!(!m.contains(&5));
+        assert!(m.insert(5i64, 50u64));
+        assert!(!m.insert(5, 51));
+        assert_eq!(m.get(&5), Some(50));
+        assert!(m.insert(3, 30));
+        assert!(m.insert(8, 80));
+        assert!(m.remove(&5)); // two children → logical delete
+        assert!(!m.contains(&5));
+        assert!(!m.remove(&5));
+        assert!(m.insert(5, 55)); // revive the routing node
+        assert_eq!(m.get(&5), Some(55));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn bulk_sorted_stays_shallow() {
+        let m = BccoTreeMap::new();
+        for k in 0..4_096i64 {
+            assert!(m.insert(k, k as u64));
+        }
+        m.check_invariants(); // height bound asserts the balancing works
+        for k in (0..4_096i64).rev() {
+            assert!(m.remove(&k));
+        }
+        assert!(m.keys_in_order().is_empty());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_net_balance() {
+        let m = BccoTreeMap::new();
+        let nets: Vec<i64> = std::thread::scope(|s| {
+            (0..4u64)
+                .map(|t| {
+                    let m = &m;
+                    s.spawn(move || {
+                        let mut x = 0xFACE ^ (t + 1);
+                        let mut net = 0i64;
+                        for i in 0..20_000u64 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = (x % 100) as i64;
+                            match x % 3 {
+                                0 => {
+                                    if m.insert(k, k as u64) {
+                                        net += 1;
+                                    }
+                                }
+                                1 => {
+                                    if m.remove(&k) {
+                                        net -= 1;
+                                    }
+                                }
+                                _ => {
+                                    let _ = m.contains(&k);
+                                }
+                            }
+                            if i % 128 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                        net
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        assert_eq!(m.keys_in_order().len() as i64, nets.iter().sum::<i64>());
+        m.check_invariants();
+    }
+}

@@ -1,0 +1,688 @@
+//! CF tree: the contention-friendly binary search tree of Crain, Gramoli and
+//! Raynal (Euro-Par 2013) — the paper's "maintenance thread" comparator.
+//!
+//! Design points reproduced:
+//! * **Decoupled maintenance**: application operations never rebalance or
+//!   physically remove. `remove` only sets a `del` flag; `insert` may revive
+//!   a deleted node. A dedicated background thread continuously walks the
+//!   tree, unlinking deleted nodes that have at most one child and restoring
+//!   balance.
+//! * **Rotation by copy**: the maintenance thread rotates by *cloning* the
+//!   node that moves down. The original keeps its child pointers, so an
+//!   in-flight reader parked on it still sees a consistent subtree; the
+//!   original is marked `rem` and retired through the epoch.
+//! * **Unlink keeps pointers**: a spliced-out node's `left`/`right` remain
+//!   valid entry points into the live tree for stranded readers.
+//!
+//! Because rotation clones carry the value across, this map requires
+//! `V: Clone` (the paper's Java version shares references; see DESIGN.md).
+//!
+//! The paper's evaluation runs the maintenance thread continuously; here it
+//! sleeps briefly whenever a full pass found no work, so idle trees do not
+//! spin a core.
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use std::cmp::Ordering as Cmp;
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+use std::sync::Arc;
+
+use crate::lock::RawLock;
+use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+
+struct CfNode<K, V> {
+    /// `None` only for the root holder (−∞; everything descends right).
+    key: Option<K>,
+    value: Atomic<V>,
+    /// Logically deleted (guarded by `lock`).
+    del: AtomicBool,
+    /// Physically removed / superseded by a rotation clone (terminal).
+    rem: AtomicBool,
+    left: Atomic<CfNode<K, V>>,
+    right: Atomic<CfNode<K, V>>,
+    /// Height estimate, maintained solely by the maintenance thread.
+    height: AtomicI32,
+    lock: RawLock,
+}
+
+impl<K, V> CfNode<K, V> {
+    fn new(key: Option<K>, value: Atomic<V>) -> Self {
+        Self {
+            key,
+            value,
+            del: AtomicBool::new(false),
+            rem: AtomicBool::new(false),
+            left: Atomic::null(),
+            right: Atomic::null(),
+            height: AtomicI32::new(1),
+            lock: RawLock::new(),
+        }
+    }
+}
+
+impl<K, V> Drop for CfNode<K, V> {
+    fn drop(&mut self) {
+        let g = unsafe { epoch::unprotected() };
+        let v = self.value.swap(Shared::null(), Ordering::Relaxed, g);
+        if !v.is_null() {
+            drop(unsafe { v.into_owned() });
+        }
+    }
+}
+
+fn cref<'g, K, V>(s: Shared<'g, CfNode<K, V>>) -> &'g CfNode<K, V> {
+    debug_assert!(!s.is_null());
+    // SAFETY: nodes retired only via the epoch after becoming unreachable.
+    unsafe { s.deref() }
+}
+
+struct Inner<K: Key, V: Value> {
+    root: Atomic<CfNode<K, V>>,
+    stop: AtomicBool,
+    /// Serializes each structural maintenance action (unlink / rotation by
+    /// copy) against whole-tree snapshot walks. A rotation briefly makes a
+    /// subtree reachable through two paths — harmless for point searches,
+    /// but a concurrent in-order walk would observe duplicated keys.
+    gate: parking_lot::Mutex<()>,
+}
+
+impl<K: Key, V: Value> Drop for Inner<K, V> {
+    fn drop(&mut self) {
+        let g = unsafe { epoch::unprotected() };
+        let mut stack = vec![self.root.load(Ordering::Relaxed, g)];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let r = cref(n);
+            stack.push(r.left.load(Ordering::Relaxed, g));
+            stack.push(r.right.load(Ordering::Relaxed, g));
+            drop(unsafe { n.into_owned() });
+        }
+    }
+}
+
+/// The contention-friendly tree (owns its maintenance thread).
+pub struct CfTreeMap<K: Key, V: Value + Clone> {
+    inner: Arc<Inner<K, V>>,
+    maintenance: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
+    /// Empty tree; spawns the maintenance thread.
+    pub fn new() -> Self {
+        let g = unsafe { epoch::unprotected() };
+        let holder = Owned::new(CfNode::new(None, Atomic::null())).into_shared(g);
+        let inner = Arc::new(Inner {
+            root: Atomic::from(holder),
+            stop: AtomicBool::new(false),
+            gate: parking_lot::Mutex::new(()),
+        });
+        let worker = Arc::clone(&inner);
+        let maintenance = std::thread::Builder::new()
+            .name("cf-maintenance".into())
+            .spawn(move || {
+                while !worker.stop.load(Ordering::Relaxed) {
+                    let did_work = Self::maintenance_pass(&worker);
+                    if !did_work {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+            })
+            .expect("spawn maintenance thread");
+        Self { inner, maintenance: Some(maintenance) }
+    }
+
+    fn holder<'g>(inner: &Inner<K, V>, g: &'g Guard) -> Shared<'g, CfNode<K, V>> {
+        inner.root.load(Ordering::Relaxed, g)
+    }
+
+    // ------------------------------------------------------------------
+    // Application operations (no structural changes, no rebalancing).
+    // ------------------------------------------------------------------
+
+    /// Plain traversal; returns the node holding `key` (live or `rem` — both
+    /// answer correctly) or null.
+    fn find<'g>(&self, key: &K, g: &'g Guard) -> Shared<'g, CfNode<K, V>> {
+        let mut node = Self::holder(&self.inner, g);
+        loop {
+            let n = cref(node);
+            let next = match n.key.as_ref() {
+                None => n.right.load(Ordering::Acquire, g),
+                Some(nk) => match key.cmp(nk) {
+                    Cmp::Equal => return node,
+                    Cmp::Less => n.left.load(Ordering::Acquire, g),
+                    Cmp::Greater => n.right.load(Ordering::Acquire, g),
+                },
+            };
+            if next.is_null() {
+                return Shared::null();
+            }
+            node = next;
+        }
+    }
+
+    fn insert_impl(&self, key: K, value: V) -> bool {
+        let g = &epoch::pin();
+        let mut value = Some(value);
+        'restart: loop {
+            // Traverse to the key node or the candidate parent.
+            let mut node = Self::holder(&self.inner, g);
+            loop {
+                let n = cref(node);
+                let (next, go_left) = match n.key.as_ref() {
+                    None => (n.right.load(Ordering::Acquire, g), false),
+                    Some(nk) => match key.cmp(nk) {
+                        Cmp::Equal => {
+                            // Present (maybe deleted): lock and decide.
+                            n.lock.lock();
+                            if n.rem.load(Ordering::SeqCst) {
+                                n.lock.unlock();
+                                continue 'restart;
+                            }
+                            if n.del.load(Ordering::SeqCst) {
+                                let v = value.take().expect("value unconsumed");
+                                let old =
+                                    n.value.swap(Owned::new(v), Ordering::AcqRel, g);
+                                n.del.store(false, Ordering::SeqCst);
+                                n.lock.unlock();
+                                if !old.is_null() {
+                                    unsafe { g.defer_destroy(old) };
+                                }
+                                return true;
+                            }
+                            n.lock.unlock();
+                            return false;
+                        }
+                        Cmp::Less => (n.left.load(Ordering::Acquire, g), true),
+                        Cmp::Greater => (n.right.load(Ordering::Acquire, g), false),
+                    },
+                };
+                if next.is_null() {
+                    // Candidate parent: lock, validate, link.
+                    n.lock.lock();
+                    if n.rem.load(Ordering::SeqCst) {
+                        n.lock.unlock();
+                        continue 'restart;
+                    }
+                    let slot = if go_left { &n.left } else { &n.right };
+                    if !slot.load(Ordering::Acquire, g).is_null() {
+                        n.lock.unlock();
+                        continue; // slot filled meanwhile; keep descending
+                    }
+                    let v = value.take().expect("value unconsumed");
+                    let leaf =
+                        Owned::new(CfNode::new(Some(key), Atomic::new(v))).into_shared(g);
+                    slot.store(leaf, Ordering::Release);
+                    n.lock.unlock();
+                    return true;
+                }
+                node = next;
+            }
+        }
+    }
+
+    fn remove_impl(&self, key: &K) -> bool {
+        let g = &epoch::pin();
+        loop {
+            let node = self.find(key, g);
+            if node.is_null() {
+                return false;
+            }
+            let n = cref(node);
+            n.lock.lock();
+            if n.rem.load(Ordering::SeqCst) {
+                n.lock.unlock();
+                continue; // superseded; retry on the live copy
+            }
+            if n.del.load(Ordering::SeqCst) {
+                n.lock.unlock();
+                return false;
+            }
+            n.del.store(true, Ordering::SeqCst);
+            n.lock.unlock();
+            return true;
+        }
+    }
+
+    fn contains_impl(&self, key: &K) -> bool {
+        let g = &epoch::pin();
+        let node = self.find(key, g);
+        !node.is_null() && !cref(node).del.load(Ordering::SeqCst)
+    }
+
+    fn get_value(&self, key: &K) -> Option<V> {
+        let g = &epoch::pin();
+        let node = self.find(key, g);
+        if node.is_null() {
+            return None;
+        }
+        let n = cref(node);
+        if n.del.load(Ordering::SeqCst) {
+            return None;
+        }
+        let v = n.value.load(Ordering::Acquire, g);
+        if v.is_null() {
+            return None;
+        }
+        // SAFETY: value pointers are epoch-protected.
+        Some(unsafe { v.deref() }.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance (single background thread): unlink + rebalance.
+    // ------------------------------------------------------------------
+
+    /// One full pass; returns whether any structural work was done.
+    fn maintenance_pass(inner: &Inner<K, V>) -> bool {
+        let g = &epoch::pin();
+        let holder = Self::holder(inner, g);
+        let mut did_work = false;
+        // Post-order walk with an explicit stack of (parent, node, expanded).
+        type Frame<'g, K, V> = (Shared<'g, CfNode<K, V>>, Shared<'g, CfNode<K, V>>, bool);
+        let mut stack: Vec<Frame<'_, K, V>> = Vec::new();
+        let first = cref(holder).right.load(Ordering::Acquire, g);
+        if !first.is_null() {
+            stack.push((holder, first, false));
+        }
+        while let Some((parent, node, expanded)) = stack.pop() {
+            if inner.stop.load(Ordering::Relaxed) {
+                return did_work;
+            }
+            let n = cref(node);
+            if n.rem.load(Ordering::SeqCst) {
+                continue; // superseded during this pass
+            }
+            if !expanded {
+                stack.push((parent, node, true));
+                for child in
+                    [n.left.load(Ordering::Acquire, g), n.right.load(Ordering::Acquire, g)]
+                {
+                    if !child.is_null() {
+                        stack.push((node, child, false));
+                    }
+                }
+                continue;
+            }
+            // Post-visit: children processed. Try unlink, then height/rotate.
+            if n.del.load(Ordering::SeqCst) {
+                let l = n.left.load(Ordering::Acquire, g);
+                let r = n.right.load(Ordering::Acquire, g);
+                if l.is_null() || r.is_null() {
+                    did_work |= Self::try_unlink(inner, parent, node, g);
+                    continue;
+                }
+            }
+            did_work |= Self::fix_heights_and_rotate(inner, parent, node, g);
+        }
+        did_work
+    }
+
+    fn stored_height(s: Shared<'_, CfNode<K, V>>) -> i32 {
+        if s.is_null() {
+            0
+        } else {
+            cref(s).height.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Unlinks a deleted node with ≤1 child (splices its only child, or
+    /// nothing, into the parent). The node keeps its pointers for stranded
+    /// readers and is retired.
+    fn try_unlink<'g>(
+        inner: &Inner<K, V>,
+        parent: Shared<'g, CfNode<K, V>>,
+        node: Shared<'g, CfNode<K, V>>,
+        g: &'g Guard,
+    ) -> bool {
+        let _gate = inner.gate.lock();
+        let p = cref(parent);
+        let n = cref(node);
+        p.lock.lock();
+        n.lock.lock();
+        let ok = !p.rem.load(Ordering::SeqCst)
+            && !n.rem.load(Ordering::SeqCst)
+            && n.del.load(Ordering::SeqCst)
+            && (p.left.load(Ordering::Acquire, g) == node
+                || p.right.load(Ordering::Acquire, g) == node);
+        if !ok {
+            n.lock.unlock();
+            p.lock.unlock();
+            return false;
+        }
+        let l = n.left.load(Ordering::Acquire, g);
+        let r = n.right.load(Ordering::Acquire, g);
+        if !l.is_null() && !r.is_null() {
+            // Grew a second child since the check.
+            n.lock.unlock();
+            p.lock.unlock();
+            return false;
+        }
+        let splice = if l.is_null() { r } else { l };
+        if p.left.load(Ordering::Acquire, g) == node {
+            p.left.store(splice, Ordering::Release);
+        } else {
+            debug_assert_eq!(p.right.load(Ordering::Acquire, g), node);
+            p.right.store(splice, Ordering::Release);
+        }
+        n.rem.store(true, Ordering::SeqCst);
+        n.lock.unlock();
+        p.lock.unlock();
+        unsafe { g.defer_destroy(node) };
+        true
+    }
+
+    /// Recomputes the height estimate; rotates by copy when imbalanced.
+    fn fix_heights_and_rotate<'g>(
+        inner: &Inner<K, V>,
+        parent: Shared<'g, CfNode<K, V>>,
+        node: Shared<'g, CfNode<K, V>>,
+        g: &'g Guard,
+    ) -> bool {
+        let n = cref(node);
+        let hl = Self::stored_height(n.left.load(Ordering::Acquire, g));
+        let hr = Self::stored_height(n.right.load(Ordering::Acquire, g));
+        n.height.store(hl.max(hr) + 1, Ordering::Relaxed);
+        if hl - hr > 1 {
+            Self::rotate(inner, parent, node, true, g)
+        } else if hr - hl > 1 {
+            Self::rotate(inner, parent, node, false, g)
+        } else {
+            false
+        }
+    }
+
+    /// Rotation by copy: the rising child keeps its identity; `node` is
+    /// superseded by a clone placed below, and retired. `right_rotation`
+    /// lifts the left child.
+    fn rotate<'g>(
+        inner: &Inner<K, V>,
+        parent: Shared<'g, CfNode<K, V>>,
+        node: Shared<'g, CfNode<K, V>>,
+        right_rotation: bool,
+        g: &'g Guard,
+    ) -> bool {
+        let _gate = inner.gate.lock();
+        let p = cref(parent);
+        let n = cref(node);
+        p.lock.lock();
+        n.lock.lock();
+        let child = if right_rotation {
+            n.left.load(Ordering::Acquire, g)
+        } else {
+            n.right.load(Ordering::Acquire, g)
+        };
+        let valid = !p.rem.load(Ordering::SeqCst)
+            && !n.rem.load(Ordering::SeqCst)
+            && !child.is_null()
+            && (p.left.load(Ordering::Acquire, g) == node
+                || p.right.load(Ordering::Acquire, g) == node);
+        if !valid {
+            n.lock.unlock();
+            p.lock.unlock();
+            return false;
+        }
+        let c = cref(child);
+        c.lock.lock();
+
+        // Clone n (key, value, del) to sit below the rising child.
+        let val = n.value.load(Ordering::Acquire, g);
+        let val_clone = if val.is_null() {
+            Atomic::null()
+        } else {
+            // SAFETY: epoch-protected value, stable under n's lock.
+            Atomic::new(unsafe { val.deref() }.clone())
+        };
+        let clone = CfNode::new(n.key, val_clone);
+        clone.del.store(n.del.load(Ordering::SeqCst), Ordering::SeqCst);
+        if right_rotation {
+            // clone gets (c.right, n.right); c.right becomes clone.
+            clone.left.store(c.right.load(Ordering::Acquire, g), Ordering::Relaxed);
+            clone.right.store(n.right.load(Ordering::Acquire, g), Ordering::Relaxed);
+            clone.height.store(
+                Self::stored_height(clone.left.load(Ordering::Relaxed, g))
+                    .max(Self::stored_height(clone.right.load(Ordering::Relaxed, g)))
+                    + 1,
+                Ordering::Relaxed,
+            );
+            let clone = Owned::new(clone).into_shared(g);
+            c.right.store(clone, Ordering::Release);
+        } else {
+            clone.right.store(c.left.load(Ordering::Acquire, g), Ordering::Relaxed);
+            clone.left.store(n.left.load(Ordering::Acquire, g), Ordering::Relaxed);
+            clone.height.store(
+                Self::stored_height(clone.left.load(Ordering::Relaxed, g))
+                    .max(Self::stored_height(clone.right.load(Ordering::Relaxed, g)))
+                    + 1,
+                Ordering::Relaxed,
+            );
+            let clone = Owned::new(clone).into_shared(g);
+            c.left.store(clone, Ordering::Release);
+        }
+        c.height.store(
+            Self::stored_height(c.left.load(Ordering::Acquire, g))
+                .max(Self::stored_height(c.right.load(Ordering::Acquire, g)))
+                + 1,
+            Ordering::Relaxed,
+        );
+        // Swing the parent pointer to the rising child; supersede n.
+        if p.left.load(Ordering::Acquire, g) == node {
+            p.left.store(child, Ordering::Release);
+        } else {
+            p.right.store(child, Ordering::Release);
+        }
+        n.rem.store(true, Ordering::SeqCst);
+
+        c.lock.unlock();
+        n.lock.unlock();
+        p.lock.unlock();
+        unsafe { g.defer_destroy(node) };
+        true
+    }
+}
+
+impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
+    /// (physical nodes, logically-deleted nodes awaiting maintenance) —
+    /// quiescent use only.
+    pub fn node_stats(&self) -> (usize, usize) {
+        let _gate = self.inner.gate.lock();
+        let g = epoch::pin();
+        let mut physical = 0usize;
+        let mut deleted = 0usize;
+        let mut stack =
+            vec![cref(Self::holder(&self.inner, &g)).right.load(Ordering::Acquire, &g)];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            physical += 1;
+            let r = cref(n);
+            if r.del.load(Ordering::SeqCst) {
+                deleted += 1;
+            }
+            stack.push(r.left.load(Ordering::Acquire, &g));
+            stack.push(r.right.load(Ordering::Acquire, &g));
+        }
+        (physical, deleted)
+    }
+}
+
+impl<K: Key, V: Value + Clone> Default for CfTreeMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Value + Clone> Drop for CfTreeMap<K, V> {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.maintenance.take() {
+            let _ = h.join();
+        }
+        // Inner (and all nodes) freed when the last Arc drops.
+    }
+}
+
+impl<K: Key, V: Value + Clone> ConcurrentMap<K, V> for CfTreeMap<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_impl(key, value)
+    }
+    fn remove(&self, key: &K) -> bool {
+        self.remove_impl(key)
+    }
+    fn contains(&self, key: &K) -> bool {
+        self.contains_impl(key)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        self.get_value(key)
+    }
+    fn name(&self) -> &'static str {
+        "cf"
+    }
+}
+
+impl<K: Key, V: Value + Clone> OrderedAccess<K> for CfTreeMap<K, V> {
+    fn min_key(&self) -> Option<K> {
+        self.keys_in_order().first().copied()
+    }
+    fn max_key(&self) -> Option<K> {
+        self.keys_in_order().last().copied()
+    }
+    fn keys_in_order(&self) -> Vec<K> {
+        let _gate = self.inner.gate.lock();
+        let g = epoch::pin();
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        let mut node = cref(Self::holder(&self.inner, &g)).right.load(Ordering::Acquire, &g);
+        while !node.is_null() || !stack.is_empty() {
+            while !node.is_null() {
+                stack.push(node);
+                node = cref(node).left.load(Ordering::Acquire, &g);
+            }
+            let n = stack.pop().expect("non-empty");
+            let r = cref(n);
+            if !r.del.load(Ordering::SeqCst) {
+                out.push(*r.key.as_ref().expect("only holder lacks a key"));
+            }
+            node = r.right.load(Ordering::Acquire, &g);
+        }
+        out
+    }
+}
+
+impl<K: Key, V: Value + Clone> CheckInvariants for CfTreeMap<K, V> {
+    fn check_invariants(&self) {
+        let _gate = self.inner.gate.lock();
+        let g = epoch::pin();
+        let root = cref(Self::holder(&self.inner, &g)).right.load(Ordering::Acquire, &g);
+        type Frame<'g, K, V> = (Shared<'g, CfNode<K, V>>, Option<K>, Option<K>);
+        let mut stack: Vec<Frame<'_, K, V>> = vec![(root, None, None)];
+        while let Some((n, lo, hi)) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let r = cref(n);
+            assert!(!r.rem.load(Ordering::SeqCst), "rem node reachable");
+            let k = r.key.expect("only holder lacks a key");
+            if let Some(lo) = lo {
+                assert!(lo < k, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(k < hi, "BST order violated");
+            }
+            stack.push((r.left.load(Ordering::Acquire, &g), lo, Some(k)));
+            stack.push((r.right.load(Ordering::Acquire, &g), Some(k), hi));
+        }
+        let keys = self.keys_in_order();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys not strictly sorted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let m = CfTreeMap::new();
+        assert!(m.insert(5i64, 50u64));
+        assert!(!m.insert(5, 51));
+        assert_eq!(m.get(&5), Some(50));
+        assert!(m.insert(3, 30));
+        assert!(m.insert(8, 80));
+        assert!(m.remove(&5)); // logical
+        assert!(!m.contains(&5));
+        assert!(!m.remove(&5));
+        assert!(m.insert(5, 55)); // revive (or re-insert after cleanup)
+        assert_eq!(m.get(&5), Some(55));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn maintenance_eventually_unlinks_and_balances() {
+        let m = CfTreeMap::new();
+        for k in 0..2_000i64 {
+            assert!(m.insert(k, k as u64));
+        }
+        for k in 500..1_500i64 {
+            assert!(m.remove(&k));
+        }
+        // Give the maintenance thread time to clean up and rebalance.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        assert_eq!(m.keys_in_order().len(), 1_000);
+        for k in [0i64, 499, 1500, 1999] {
+            assert!(m.contains(&k));
+        }
+        for k in [500i64, 1499] {
+            assert!(!m.contains(&k));
+        }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_net_balance() {
+        let m = CfTreeMap::new();
+        let nets: Vec<i64> = std::thread::scope(|s| {
+            (0..4u64)
+                .map(|t| {
+                    let m = &m;
+                    s.spawn(move || {
+                        let mut x = 0xC0DE ^ (t + 1);
+                        let mut net = 0i64;
+                        for i in 0..20_000u64 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = (x % 100) as i64;
+                            match x % 3 {
+                                0 => {
+                                    if m.insert(k, k as u64) {
+                                        net += 1;
+                                    }
+                                }
+                                1 => {
+                                    if m.remove(&k) {
+                                        net -= 1;
+                                    }
+                                }
+                                _ => {
+                                    let _ = m.contains(&k);
+                                }
+                            }
+                            if i % 128 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                        net
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        // Let maintenance settle, then verify.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        assert_eq!(m.keys_in_order().len() as i64, nets.iter().sum::<i64>());
+        m.check_invariants();
+    }
+}

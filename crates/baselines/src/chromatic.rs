@@ -1,0 +1,739 @@
+//! Chromatic tree: the relaxed-balance external red-black tree of Brown,
+//! Ellen and Ruppert ("Chromatic6" in the paper's evaluation).
+//!
+//! Every node carries a **weight**: 0 = red, 1 = black, ≥2 = overweight.
+//! The relaxed red-black invariant allows two kinds of *violations* —
+//! red-red (a weight-0 node with a weight-0 parent) and overweight — which
+//! updates may create and dedicated rebalancing steps repair later. As in
+//! Chromatic6, repair is *batched*: an update only triggers a repair when
+//! the number of violations it observed on its search path reaches a
+//! threshold (6).
+//!
+//! Update weight rules (path-weight conservation):
+//! * insert: leaf `l` (weight `w`) becomes `Internal(w−1)` over `l(1)` and
+//!   the new leaf `(1)`, possibly creating a red-red violation;
+//! * delete: leaf `l` and its parent `p` vanish; the sibling absorbs `p`'s
+//!   weight (`w(s) += w(p)`), possibly creating an overweight violation.
+//!
+//! Repairs (best-effort, `try_lock`-based — abandoning a repair is safe in a
+//! relaxed-balance tree): *blacking* and rotation for red-red, *weight push*
+//! and red-sibling rotation for overweight. Rotations demote nodes **by
+//! copy** so optimistic readers parked on the demoted router still see a
+//! consistent subtree (same trick as the CF tree).
+//!
+//! **Substitution note (DESIGN.md §3):** the original is non-blocking via
+//! LLX/SCX; this implementation keeps the data structure, weight rules and
+//! violation batching but synchronizes with per-node locks.
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+use crate::lock::RawLock;
+use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+
+/// Violation-batching threshold (Chromatic6).
+const THRESHOLD: usize = 6;
+/// Budget for one best-effort repair walk.
+const REPAIR_BUDGET: usize = 32;
+
+/// Key with the two infinity sentinels (`Key < Inf1 < Inf2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum CKey<K> {
+    Key(K),
+    Inf1,
+    Inf2,
+}
+
+struct CNode<K, V> {
+    key: CKey<K>,
+    value: Option<V>,
+    is_leaf: bool,
+    weight: AtomicI32,
+    left: Atomic<CNode<K, V>>,
+    right: Atomic<CNode<K, V>>,
+    parent: Atomic<CNode<K, V>>,
+    removed: AtomicBool,
+    lock: RawLock,
+}
+
+impl<K, V> CNode<K, V> {
+    fn leaf(key: CKey<K>, value: Option<V>, weight: i32) -> Self {
+        Self {
+            key,
+            value,
+            is_leaf: true,
+            weight: AtomicI32::new(weight),
+            left: Atomic::null(),
+            right: Atomic::null(),
+            parent: Atomic::null(),
+            removed: AtomicBool::new(false),
+            lock: RawLock::new(),
+        }
+    }
+
+    fn internal(key: CKey<K>, weight: i32) -> Self {
+        let mut n = Self::leaf(key, None, weight);
+        n.is_leaf = false;
+        n
+    }
+
+    #[inline]
+    fn w(&self) -> i32 {
+        self.weight.load(Ordering::Relaxed)
+    }
+}
+
+fn xref<'g, K, V>(s: Shared<'g, CNode<K, V>>) -> &'g CNode<K, V> {
+    debug_assert!(!s.is_null());
+    // SAFETY: nodes retired only via the epoch after unlinking.
+    unsafe { s.deref() }
+}
+
+/// (grandparent, parent, leaf, violations seen on the path).
+type ChromaticSearch<'g, K, V> =
+    (Shared<'g, CNode<K, V>>, Shared<'g, CNode<K, V>>, Shared<'g, CNode<K, V>>, usize);
+
+/// The chromatic (relaxed red-black, external) tree.
+pub struct ChromaticTreeMap<K: Key, V: Value + Clone> {
+    root: Atomic<CNode<K, V>>,
+}
+
+impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
+    /// Empty tree: Internal(∞₂) over leaves ∞₁ and ∞₂ (all weight 1).
+    pub fn new() -> Self {
+        let g = unsafe { epoch::unprotected() };
+        let root = Owned::new(CNode::internal(CKey::Inf2, 1)).into_shared(g);
+        let l1 = Owned::new(CNode::leaf(CKey::Inf1, None, 1)).into_shared(g);
+        let l2 = Owned::new(CNode::leaf(CKey::Inf2, None, 1)).into_shared(g);
+        xref(l1).parent.store(root, Ordering::Release);
+        xref(l2).parent.store(root, Ordering::Release);
+        xref(root).left.store(l1, Ordering::Release);
+        xref(root).right.store(l2, Ordering::Release);
+        Self { root: Atomic::from(root) }
+    }
+
+    fn root_sh<'g>(&self, g: &'g Guard) -> Shared<'g, CNode<K, V>> {
+        self.root.load(Ordering::Relaxed, g)
+    }
+
+    /// Descends to the leaf for `key`, counting violations on the path.
+    /// Returns (grandparent, parent, leaf, violations_seen).
+    fn search<'g>(&self, key: &K, g: &'g Guard) -> ChromaticSearch<'g, K, V> {
+        let mut gp = Shared::null();
+        let mut p = Shared::null();
+        let mut l = self.root_sh(g);
+        let mut violations = 0usize;
+        let mut prev_w = 1i32;
+        loop {
+            let n = xref(l);
+            let w = n.w();
+            if w >= 2 || (w == 0 && prev_w == 0) {
+                violations += 1;
+            }
+            prev_w = w;
+            if n.is_leaf {
+                return (gp, p, l, violations);
+            }
+            gp = p;
+            p = l;
+            let go_left = match &n.key {
+                CKey::Key(nk) => key < nk,
+                _ => true,
+            };
+            l = if go_left {
+                n.left.load(Ordering::Acquire, g)
+            } else {
+                n.right.load(Ordering::Acquire, g)
+            };
+        }
+    }
+
+    fn insert_impl(&self, key: K, value: V) -> bool {
+        let g = &epoch::pin();
+        let mut value = Some(value);
+        loop {
+            let (_gp, p, l, violations) = self.search(&key, g);
+            let lr = xref(l);
+            if matches!(lr.key, CKey::Key(k) if k == key) {
+                return false;
+            }
+            let pr = xref(p);
+            pr.lock.lock();
+            let slot_ok = !pr.removed.load(Ordering::SeqCst)
+                && (pr.left.load(Ordering::Acquire, g) == l
+                    || pr.right.load(Ordering::Acquire, g) == l);
+            if !slot_ok {
+                pr.lock.unlock();
+                continue;
+            }
+            // Weight rules: Internal(w(l)−1) over l(1) and new(1).
+            let wl = lr.w();
+            let wi = (wl - 1).max(0);
+            let v = value.take().expect("value unconsumed");
+            let new_leaf = Owned::new(CNode::leaf(CKey::Key(key), Some(v), 1)).into_shared(g);
+            let ikey = lr.key.max(CKey::Key(key));
+            let internal = Owned::new(CNode::internal(ikey, wi)).into_shared(g);
+            lr.weight.store(1, Ordering::Relaxed);
+            if CKey::Key(key) < lr.key {
+                xref(internal).left.store(new_leaf, Ordering::Release);
+                xref(internal).right.store(l, Ordering::Release);
+            } else {
+                xref(internal).left.store(l, Ordering::Release);
+                xref(internal).right.store(new_leaf, Ordering::Release);
+            }
+            xref(new_leaf).parent.store(internal, Ordering::Release);
+            lr.parent.store(internal, Ordering::Release);
+            xref(internal).parent.store(p, Ordering::Release);
+            if pr.left.load(Ordering::Acquire, g) == l {
+                pr.left.store(internal, Ordering::Release);
+            } else {
+                pr.right.store(internal, Ordering::Release);
+            }
+            pr.lock.unlock();
+            // New red-red violation? Repair when the batch threshold is hit.
+            if wi == 0 && pr.w() == 0 && violations + 1 >= THRESHOLD {
+                self.repair(internal, g);
+            }
+            return true;
+        }
+    }
+
+    fn remove_impl(&self, key: &K) -> bool {
+        let g = &epoch::pin();
+        loop {
+            let (gp, p, l, violations) = self.search(key, g);
+            if !matches!(xref(l).key, CKey::Key(k) if k == *key) {
+                return false;
+            }
+            debug_assert!(!gp.is_null(), "real leaves always have a grandparent");
+            let gpr = xref(gp);
+            let pr = xref(p);
+            gpr.lock.lock();
+            if gpr.removed.load(Ordering::SeqCst)
+                || (gpr.left.load(Ordering::Acquire, g) != p
+                    && gpr.right.load(Ordering::Acquire, g) != p)
+            {
+                gpr.lock.unlock();
+                continue;
+            }
+            pr.lock.lock();
+            let l_side_ok = pr.left.load(Ordering::Acquire, g) == l
+                || pr.right.load(Ordering::Acquire, g) == l;
+            if pr.removed.load(Ordering::SeqCst) || !l_side_ok {
+                pr.lock.unlock();
+                gpr.lock.unlock();
+                continue;
+            }
+            let sibling = if pr.left.load(Ordering::Acquire, g) == l {
+                pr.right.load(Ordering::Acquire, g)
+            } else {
+                pr.left.load(Ordering::Acquire, g)
+            };
+            let sr = xref(sibling);
+            sr.lock.lock();
+            // Splice p out; sibling absorbs p's weight.
+            let new_w = sr.w() + pr.w();
+            sr.weight.store(new_w, Ordering::Relaxed);
+            sr.parent.store(gp, Ordering::Release);
+            if gpr.left.load(Ordering::Acquire, g) == p {
+                gpr.left.store(sibling, Ordering::Release);
+            } else {
+                gpr.right.store(sibling, Ordering::Release);
+            }
+            pr.removed.store(true, Ordering::SeqCst);
+            xref(l).removed.store(true, Ordering::SeqCst);
+            sr.lock.unlock();
+            pr.lock.unlock();
+            gpr.lock.unlock();
+            unsafe {
+                g.defer_destroy(p);
+                g.defer_destroy(l);
+            }
+            if new_w >= 2 && violations + 1 >= THRESHOLD {
+                self.repair(sibling, g);
+            }
+            return true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Best-effort violation repair.
+    // ------------------------------------------------------------------
+
+    /// Walks up from `node`, fixing red-red and overweight violations until
+    /// none remains locally, a try_lock fails (abandon: violations are
+    /// tolerated), or the budget runs out.
+    fn repair<'g>(&self, mut node: Shared<'g, CNode<K, V>>, g: &'g Guard) {
+        for _ in 0..REPAIR_BUDGET {
+            if node.is_null() {
+                return;
+            }
+            let n = xref(node);
+            if n.removed.load(Ordering::SeqCst) {
+                return;
+            }
+            let w = n.w();
+            if w >= 2 {
+                match self.fix_overweight(node, g) {
+                    Some(next) => node = next,
+                    None => return,
+                }
+            } else if w == 0 {
+                let p = n.parent.load(Ordering::Acquire, g);
+                if p.is_null() || xref(p).w() != 0 {
+                    return; // no red-red here
+                }
+                match self.fix_red_red(node, g) {
+                    Some(next) => node = next,
+                    None => return,
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Locks `node`'s parent and validates the link; all-or-nothing.
+    fn try_lock_parent<'g>(
+        &self,
+        node: Shared<'g, CNode<K, V>>,
+        g: &'g Guard,
+    ) -> Option<Shared<'g, CNode<K, V>>> {
+        let p = xref(node).parent.load(Ordering::Acquire, g);
+        if p.is_null() {
+            return None;
+        }
+        let pr = xref(p);
+        if !pr.lock.try_lock() {
+            return None;
+        }
+        let valid = !pr.removed.load(Ordering::SeqCst)
+            && (pr.left.load(Ordering::Acquire, g) == node
+                || pr.right.load(Ordering::Acquire, g) == node);
+        if !valid {
+            pr.lock.unlock();
+            return None;
+        }
+        Some(p)
+    }
+
+    /// Overweight at `node` (w ≥ 2): push a unit of weight to the parent, or
+    /// rotate a red sibling up first. Returns the next node to examine.
+    fn fix_overweight<'g>(
+        &self,
+        node: Shared<'g, CNode<K, V>>,
+        g: &'g Guard,
+    ) -> Option<Shared<'g, CNode<K, V>>> {
+        let p = self.try_lock_parent(node, g)?;
+        let pr = xref(p);
+        if pr.parent.load(Ordering::Acquire, g).is_null() {
+            // Parent is the root: the root absorbs weight freely.
+            let n = xref(node);
+            if !n.lock.try_lock() {
+                pr.lock.unlock();
+                return None;
+            }
+            n.weight.store(1, Ordering::Relaxed);
+            n.lock.unlock();
+            pr.lock.unlock();
+            return None;
+        }
+        let n = xref(node);
+        let sibling = if pr.left.load(Ordering::Acquire, g) == node {
+            pr.right.load(Ordering::Acquire, g)
+        } else {
+            pr.left.load(Ordering::Acquire, g)
+        };
+        let sr = xref(sibling);
+        if !n.lock.try_lock() {
+            pr.lock.unlock();
+            return None;
+        }
+        if !sr.lock.try_lock() {
+            n.lock.unlock();
+            pr.lock.unlock();
+            return None;
+        }
+        let result;
+        if n.w() < 2 {
+            // Resolved since the unlocked check.
+            result = None;
+        } else if sr.w() == 0 && !sr.is_leaf {
+            // Red sibling: rotate it up (by copy of the demoted parent),
+            // then retry at the (relocated) node.
+            result = self.rotate_up_locked(p, sibling, None, g).map(|_| node);
+        } else {
+            // Push: n and s each give one unit to p. (If s is a red leaf
+            // its weight saturates at 0, giving up exact path-sum
+            // conservation — harmless in a relaxed-balance tree.)
+            n.weight.store(n.w() - 1, Ordering::Relaxed);
+            sr.weight.store((sr.w() - 1).max(0), Ordering::Relaxed);
+            pr.weight.store(pr.w() + 1, Ordering::Relaxed);
+            result = Some(p);
+        }
+        sr.lock.unlock();
+        n.lock.unlock();
+        pr.lock.unlock();
+        result
+    }
+
+    /// Red-red at `node` (w(node) = 0 = w(parent)): blacking if the uncle is
+    /// red, rotation otherwise. Returns the next node to examine.
+    fn fix_red_red<'g>(
+        &self,
+        node: Shared<'g, CNode<K, V>>,
+        g: &'g Guard,
+    ) -> Option<Shared<'g, CNode<K, V>>> {
+        let p = self.try_lock_parent(node, g)?;
+        let pr = xref(p);
+        if pr.w() != 0 {
+            pr.lock.unlock();
+            return None; // resolved meanwhile
+        }
+        let gp = match self.try_lock_parent(p, g) {
+            Some(gp) => gp,
+            None => {
+                pr.lock.unlock();
+                return None;
+            }
+        };
+        let gpr = xref(gp);
+        let uncle = if gpr.left.load(Ordering::Acquire, g) == p {
+            gpr.right.load(Ordering::Acquire, g)
+        } else {
+            gpr.left.load(Ordering::Acquire, g)
+        };
+        let ur = xref(uncle);
+        let result;
+        if pr.w() != 0 || xref(node).w() != 0 {
+            // Resolved since the unlocked check.
+            gpr.lock.unlock();
+            pr.lock.unlock();
+            return None;
+        } else if gpr.w() == 0 && !gpr.parent.load(Ordering::Acquire, g).is_null() {
+            // gp itself is red: the red-red violation one level up must be
+            // fixed first (blacking would drive gp's weight negative).
+            gpr.lock.unlock();
+            pr.lock.unlock();
+            return Some(p);
+        } else if ur.w() == 0 {
+            // Blacking: p and u become black; gp gives up one unit (the root
+            // may absorb the difference).
+            if !ur.lock.try_lock() {
+                gpr.lock.unlock();
+                pr.lock.unlock();
+                return None;
+            }
+            pr.weight.store(1, Ordering::Relaxed);
+            ur.weight.store(1, Ordering::Relaxed);
+            let is_root = gpr.parent.load(Ordering::Acquire, g).is_null();
+            let new_gw = if is_root { 1 } else { (gpr.w() - 1).max(0) };
+            gpr.weight.store(new_gw, Ordering::Relaxed);
+            ur.lock.unlock();
+            result = Some(gp);
+        } else {
+            // Rotation: lift p (or node, for the inner case) above gp.
+            let p_is_left = gpr.left.load(Ordering::Acquire, g) == p;
+            let n_is_left = pr.left.load(Ordering::Acquire, g) == node;
+            if p_is_left == n_is_left {
+                // Single rotation: p rises over gp.
+                result = self.rotate_up_locked(gp, p, None, g).map(|_| p);
+            } else {
+                // Double rotation, first half: node rises over p (gp is
+                // already locked by us and passed through). The second half
+                // happens on a later repair visit; the budget-bounded caller
+                // tolerates the intermediate state.
+                let nr = xref(node);
+                if !nr.lock.try_lock() {
+                    result = None;
+                } else {
+                    let r1 = self.rotate_up_locked(p, node, Some(gp), g);
+                    nr.lock.unlock();
+                    result = r1.map(|_| node);
+                }
+            }
+        }
+        gpr.lock.unlock();
+        pr.lock.unlock();
+        result
+    }
+
+    /// Rotation by copy with `parent` and `child` locked: `child` rises into
+    /// `parent`'s place; `parent` is demoted as a fresh copy below `child`
+    /// and the original is retired. Weight exchange: the risen child takes
+    /// the parent's weight; the demoted copy becomes red.
+    ///
+    /// Requires `parent` and `child` locked by the caller. The node above
+    /// `parent` is either passed in pre-locked (`upper`) or try-locked here.
+    fn rotate_up_locked<'g>(
+        &self,
+        parent: Shared<'g, CNode<K, V>>,
+        child: Shared<'g, CNode<K, V>>,
+        upper: Option<Shared<'g, CNode<K, V>>>,
+        g: &'g Guard,
+    ) -> Option<()> {
+        let (gp, locked_here) = match upper {
+            Some(u) => {
+                debug_assert_eq!(xref(parent).parent.load(Ordering::Acquire, g), u);
+                (u, false)
+            }
+            None => (self.try_lock_parent(parent, g)?, true),
+        };
+        let gpr = xref(gp);
+        debug_assert_eq!(xref(child).w(), 0, "only red nodes rotate up");
+        let pr = xref(parent);
+        let cr = xref(child);
+        debug_assert!(!cr.is_leaf, "cannot rotate a leaf up");
+        let child_is_left = pr.left.load(Ordering::Acquire, g) == child;
+        // Demoted copy of parent adopts child's far grandchild and parent's
+        // other child.
+        let copy = CNode::internal(pr.key, 0);
+        let (moved, kept) = if child_is_left {
+            (cr.right.load(Ordering::Acquire, g), pr.right.load(Ordering::Acquire, g))
+        } else {
+            (cr.left.load(Ordering::Acquire, g), pr.left.load(Ordering::Acquire, g))
+        };
+        if child_is_left {
+            copy.left.store(moved, Ordering::Relaxed);
+            copy.right.store(kept, Ordering::Relaxed);
+        } else {
+            copy.left.store(kept, Ordering::Relaxed);
+            copy.right.store(moved, Ordering::Relaxed);
+        }
+        let copy = Owned::new(copy).into_shared(g);
+        xref(moved).parent.store(copy, Ordering::Release);
+        xref(kept).parent.store(copy, Ordering::Release);
+        xref(copy).parent.store(child, Ordering::Release);
+        if child_is_left {
+            cr.right.store(copy, Ordering::Release);
+        } else {
+            cr.left.store(copy, Ordering::Release);
+        }
+        // Weight exchange preserving path sums: child takes parent's weight
+        // plus its own minus... risen child w' = w(p) + w(c); copy w = 0
+        // keeps paths through `moved`/`kept` intact.
+        let wsum = pr.w() + cr.w();
+        cr.weight.store(wsum, Ordering::Relaxed);
+        cr.parent.store(gp, Ordering::Release);
+        if gpr.left.load(Ordering::Acquire, g) == parent {
+            gpr.left.store(child, Ordering::Release);
+        } else {
+            gpr.right.store(child, Ordering::Release);
+        }
+        pr.removed.store(true, Ordering::SeqCst);
+        if locked_here {
+            gpr.lock.unlock();
+        }
+        unsafe { g.defer_destroy(parent) };
+        Some(())
+    }
+}
+
+impl<K: Key, V: Value + Clone> Default for ChromaticTreeMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Value + Clone> Drop for ChromaticTreeMap<K, V> {
+    fn drop(&mut self) {
+        let g = unsafe { epoch::unprotected() };
+        let mut stack = vec![self.root.load(Ordering::Relaxed, g)];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let r = xref(n);
+            stack.push(r.left.load(Ordering::Relaxed, g));
+            stack.push(r.right.load(Ordering::Relaxed, g));
+            drop(unsafe { n.into_owned() });
+        }
+    }
+}
+
+impl<K: Key, V: Value + Clone> ConcurrentMap<K, V> for ChromaticTreeMap<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_impl(key, value)
+    }
+    fn remove(&self, key: &K) -> bool {
+        self.remove_impl(key)
+    }
+    fn contains(&self, key: &K) -> bool {
+        let g = &epoch::pin();
+        let (_, _, l, _) = self.search(key, g);
+        matches!(xref(l).key, CKey::Key(k) if k == *key)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        let g = &epoch::pin();
+        let (_, _, l, _) = self.search(key, g);
+        let lr = xref(l);
+        if matches!(lr.key, CKey::Key(k) if k == *key) {
+            lr.value.clone()
+        } else {
+            None
+        }
+    }
+    fn name(&self) -> &'static str {
+        "chromatic"
+    }
+}
+
+impl<K: Key, V: Value + Clone> OrderedAccess<K> for ChromaticTreeMap<K, V> {
+    fn min_key(&self) -> Option<K> {
+        self.keys_in_order().first().copied()
+    }
+    fn max_key(&self) -> Option<K> {
+        self.keys_in_order().last().copied()
+    }
+    fn keys_in_order(&self) -> Vec<K> {
+        let g = epoch::pin();
+        let mut out = Vec::new();
+        let mut stack = vec![self.root_sh(&g)];
+        let mut leaves = Vec::new();
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let r = xref(n);
+            if r.is_leaf {
+                leaves.push(n);
+            } else {
+                stack.push(r.right.load(Ordering::Acquire, &g));
+                stack.push(r.left.load(Ordering::Acquire, &g));
+            }
+        }
+        for leaf in leaves {
+            if let CKey::Key(k) = xref(leaf).key {
+                out.push(k);
+            }
+        }
+        out
+    }
+}
+
+impl<K: Key, V: Value + Clone> CheckInvariants for ChromaticTreeMap<K, V> {
+    fn check_invariants(&self) {
+        let g = epoch::pin();
+        let root = self.root_sh(&g);
+        type Frame<'g, K, V> = (Shared<'g, CNode<K, V>>, Option<CKey<K>>, Option<CKey<K>>);
+        let mut stack: Vec<Frame<'_, K, V>> = vec![(root, None, None)];
+        let mut leaf_count = 0usize;
+        while let Some((n, lo, hi)) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let r = xref(n);
+            assert!(!r.removed.load(Ordering::SeqCst), "removed node reachable");
+            assert!(r.w() >= 0, "negative weight");
+            if let Some(lo) = lo {
+                assert!(r.key >= lo, "external BST order violated (lower)");
+            }
+            if let Some(hi) = hi {
+                assert!(r.key < hi, "external BST order violated (upper)");
+            }
+            if r.is_leaf {
+                leaf_count += 1;
+                continue;
+            }
+            let l = r.left.load(Ordering::Acquire, &g);
+            let rt = r.right.load(Ordering::Acquire, &g);
+            assert!(!l.is_null() && !rt.is_null(), "internal node missing a child");
+            for c in [l, rt] {
+                assert_eq!(
+                    xref(c).parent.load(Ordering::Acquire, &g),
+                    n,
+                    "parent pointer inconsistent"
+                );
+            }
+            stack.push((l, lo, Some(r.key)));
+            stack.push((rt, Some(r.key), hi));
+        }
+        assert!(leaf_count >= 2, "sentinel leaves missing");
+        let keys = self.keys_in_order();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaves not strictly sorted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let m = ChromaticTreeMap::new();
+        assert!(m.insert(5i64, 50u64));
+        assert!(!m.insert(5, 51));
+        assert_eq!(m.get(&5), Some(50));
+        assert!(m.insert(3, 30));
+        assert!(m.insert(8, 80));
+        assert!(m.remove(&5));
+        assert!(!m.remove(&5));
+        assert!(!m.contains(&5));
+        assert_eq!(m.keys_in_order(), vec![3, 8]);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn bulk_sorted_insert() {
+        let m = ChromaticTreeMap::new();
+        for k in 0..4_096i64 {
+            assert!(m.insert(k, k as u64));
+        }
+        m.check_invariants();
+        assert_eq!(m.keys_in_order().len(), 4_096);
+        for k in 0..4_096i64 {
+            assert!(m.contains(&k));
+        }
+        for k in 0..4_096i64 {
+            assert!(m.remove(&k));
+        }
+        assert!(m.keys_in_order().is_empty());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_net_balance() {
+        let m = ChromaticTreeMap::new();
+        let nets: Vec<i64> = std::thread::scope(|s| {
+            (0..4u64)
+                .map(|t| {
+                    let m = &m;
+                    s.spawn(move || {
+                        let mut x = 0x1CED ^ (t + 1);
+                        let mut net = 0i64;
+                        for i in 0..20_000u64 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = (x % 100) as i64;
+                            match x % 3 {
+                                0 => {
+                                    if m.insert(k, k as u64) {
+                                        net += 1;
+                                    }
+                                }
+                                1 => {
+                                    if m.remove(&k) {
+                                        net -= 1;
+                                    }
+                                }
+                                _ => {
+                                    let _ = m.contains(&k);
+                                }
+                            }
+                            if i % 128 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                        net
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        assert_eq!(m.keys_in_order().len() as i64, nets.iter().sum::<i64>());
+        m.check_invariants();
+    }
+}

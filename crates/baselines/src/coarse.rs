@@ -1,0 +1,117 @@
+//! Coarse-grained locked baseline: one `RwLock` around the sequential AVL.
+//!
+//! Not a paper comparator — it is the "what does fine-grained concurrency
+//! buy" control series and the trustworthy oracle for concurrent
+//! differential tests.
+
+use parking_lot::RwLock;
+
+use crate::seq::SeqAvl;
+use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+
+/// `RwLock<SeqAvl>` — readers share, writers exclude everyone.
+pub struct CoarseAvlMap<K: Key, V: Value> {
+    inner: RwLock<SeqAvl<K, V>>,
+}
+
+impl<K: Key, V: Value> CoarseAvlMap<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self { inner: RwLock::new(SeqAvl::new()) }
+    }
+
+    /// Number of keys (exact; takes the read lock).
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl<K: Key, V: Value> Default for CoarseAvlMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Value> ConcurrentMap<K, V> for CoarseAvlMap<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
+        self.inner.write().insert(key, value)
+    }
+    fn remove(&self, key: &K) -> bool {
+        self.inner.write().remove(key)
+    }
+    fn contains(&self, key: &K) -> bool {
+        self.inner.read().contains(key)
+    }
+    fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.inner.read().get(key).cloned()
+    }
+    fn name(&self) -> &'static str {
+        "coarse-rwlock-avl"
+    }
+}
+
+impl<K: Key, V: Value> OrderedAccess<K> for CoarseAvlMap<K, V> {
+    fn min_key(&self) -> Option<K> {
+        self.inner.read().keys_in_order().first().copied()
+    }
+    fn max_key(&self) -> Option<K> {
+        self.inner.read().keys_in_order().last().copied()
+    }
+    fn keys_in_order(&self) -> Vec<K> {
+        self.inner.read().keys_in_order()
+    }
+}
+
+impl<K: Key, V: Value> CheckInvariants for CoarseAvlMap<K, V> {
+    fn check_invariants(&self) {
+        self.inner.read().check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_counters_balance() {
+        let map = CoarseAvlMap::<i64, u64>::new();
+        let nets: Vec<i64> = std::thread::scope(|s| {
+            (0..4u64)
+                .map(|t| {
+                    let map = &map;
+                    s.spawn(move || {
+                        let mut x = 0xABCDEF ^ (t + 1);
+                        let mut net = 0i64;
+                        for _ in 0..10_000 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = (x % 64) as i64;
+                            if x % 2 == 0 {
+                                if map.insert(k, 0) {
+                                    net += 1;
+                                }
+                            } else if map.remove(&k) {
+                                net -= 1;
+                            }
+                        }
+                        net
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        assert_eq!(map.len() as i64, nets.iter().sum::<i64>());
+        map.check_invariants();
+    }
+}

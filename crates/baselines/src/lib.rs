@@ -1,0 +1,40 @@
+//! # lo-baselines: the paper's comparator suite
+//!
+//! Every data structure the paper's evaluation (§6) compares against,
+//! implemented from scratch on the same epoch-reclamation substrate:
+//!
+//! * [`skiplist::SkipListMap`] — lock-free skip list (Fraser/Harris, the
+//!   design behind Java's `ConcurrentSkipListMap`).
+//! * [`efrb::EfrbTreeMap`] — Ellen–Fatourou–Ruppert–van Breugel non-blocking
+//!   external BST (PODC'10).
+//! * [`bcco::BccoTreeMap`] — Bronson–Casper–Chafi–Olukotun lock-based
+//!   relaxed-AVL partially-external tree (PPoPP'10).
+//! * [`cf::CfTreeMap`] — Crain–Gramoli–Raynal contention-friendly tree with a
+//!   background maintenance thread.
+//! * [`chromatic::ChromaticTreeMap`] — Brown–Ellen–Ruppert chromatic tree
+//!   (relaxed-balance external red-black, violation threshold 6); lock-based
+//!   synchronization substitution, see DESIGN.md.
+//! * [`nm::NmTreeMap`] — Natarajan–Mittal lock-free external BST (extension).
+//! * [`coarse::CoarseAvlMap`], [`seq::SeqAvl`] — coarse-locked / sequential
+//!   references.
+
+#![warn(missing_docs)]
+
+pub mod bcco;
+pub mod cf;
+pub mod chromatic;
+pub mod coarse;
+pub mod efrb;
+mod lock;
+pub mod nm;
+pub mod seq;
+pub mod skiplist;
+
+pub use bcco::BccoTreeMap;
+pub use cf::CfTreeMap;
+pub use chromatic::ChromaticTreeMap;
+pub use coarse::CoarseAvlMap;
+pub use efrb::EfrbTreeMap;
+pub use nm::NmTreeMap;
+pub use seq::SeqAvl;
+pub use skiplist::SkipListMap;

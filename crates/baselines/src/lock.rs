@@ -1,0 +1,54 @@
+//! Tiny manual-release lock used by the lock-based baselines (same shape as
+//! `lo-core`'s node lock; duplicated to keep the comparator crate free of a
+//! dependency on the system under test).
+
+use parking_lot::lock_api::RawMutex as _;
+
+pub(crate) struct RawLock {
+    raw: parking_lot::RawMutex,
+}
+
+impl RawLock {
+    pub(crate) const fn new() -> Self {
+        Self { raw: parking_lot::RawMutex::INIT }
+    }
+
+    #[inline]
+    pub(crate) fn lock(&self) {
+        self.raw.lock();
+    }
+
+    #[allow(dead_code)] // used by the CF tree's maintenance thread
+    #[inline]
+    pub(crate) fn try_lock(&self) -> bool {
+        self.raw.try_lock()
+    }
+
+    #[inline]
+    pub(crate) fn unlock(&self) {
+        debug_assert!(self.raw.is_locked(), "unlock of an unheld RawLock");
+        // SAFETY: call sites pair every acquisition with exactly one release.
+        unsafe { self.raw.unlock() }
+    }
+
+    #[inline]
+    pub(crate) fn is_locked(&self) -> bool {
+        self.raw.is_locked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let l = RawLock::new();
+        l.lock();
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+        l.unlock();
+        assert!(!l.is_locked());
+    }
+}

@@ -1,0 +1,513 @@
+//! NM tree: the lock-free external BST of Natarajan & Mittal (PPoPP 2014,
+//! cited by the paper as contemporaneous state of the art) — included as an
+//! extension comparator.
+//!
+//! Unlike EFRB, synchronization state lives on **edges** (parent→child
+//! pointers), using two tag bits:
+//! * `FLAG` — the leaf below this edge is being deleted;
+//! * `TAG`  — no insertion may ever happen at this edge (it belongs to a
+//!   deletion's doomed chain).
+//!
+//! A deletion flags the edge to its leaf, tags the sibling edge, and then
+//! splices at the *ancestor* — the deepest node whose on-path edge is
+//! untagged — removing the whole tagged chain in one CAS. Flags and tags are
+//! sticky, so a fully tagged chain is immutable; the unique splice winner
+//! walks the detached chain and retires it through the epoch (minus the
+//! surviving sibling subtree). A per-node `retired` flag guards against any
+//! double retire.
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+
+/// Edge bits.
+const FLAG: usize = 1;
+const TAG: usize = 2;
+
+/// Key with three infinity sentinels (`Key < Inf0 < Inf1 < Inf2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum NKey<K> {
+    Key(K),
+    Inf0,
+    Inf1,
+    Inf2,
+}
+
+struct NNode<K, V> {
+    key: NKey<K>,
+    value: Option<V>,
+    is_leaf: bool,
+    left: Atomic<NNode<K, V>>,
+    right: Atomic<NNode<K, V>>,
+    retired: AtomicBool,
+}
+
+impl<K, V> NNode<K, V> {
+    fn leaf(key: NKey<K>, value: Option<V>) -> Self {
+        Self {
+            key,
+            value,
+            is_leaf: true,
+            left: Atomic::null(),
+            right: Atomic::null(),
+            retired: AtomicBool::new(false),
+        }
+    }
+
+    fn internal(key: NKey<K>) -> Self {
+        let mut n = Self::leaf(key, None);
+        n.is_leaf = false;
+        n
+    }
+}
+
+fn mref<'g, K, V>(s: Shared<'g, NNode<K, V>>) -> &'g NNode<K, V> {
+    debug_assert!(!s.with_tag(0).is_null());
+    // SAFETY: nodes retired only via the epoch after detaching.
+    unsafe { s.with_tag(0).deref() }
+}
+
+struct Seek<'g, K: Key, V: Value> {
+    ancestor: Shared<'g, NNode<K, V>>,
+    successor: Shared<'g, NNode<K, V>>,
+    parent: Shared<'g, NNode<K, V>>,
+    leaf: Shared<'g, NNode<K, V>>,
+}
+
+/// The Natarajan–Mittal lock-free external BST.
+pub struct NmTreeMap<K: Key, V: Value> {
+    root: Atomic<NNode<K, V>>,
+}
+
+impl<K: Key, V: Value> NmTreeMap<K, V> {
+    /// Empty tree: R(∞₂){ S(∞₁){ leaf ∞₀, leaf ∞₁ }, leaf ∞₂ }.
+    pub fn new() -> Self {
+        let g = unsafe { epoch::unprotected() };
+        let r = Owned::new(NNode::internal(NKey::Inf2)).into_shared(g);
+        let s = Owned::new(NNode::internal(NKey::Inf1)).into_shared(g);
+        let l0 = Owned::new(NNode::leaf(NKey::Inf0, None)).into_shared(g);
+        let l1 = Owned::new(NNode::leaf(NKey::Inf1, None)).into_shared(g);
+        let l2 = Owned::new(NNode::leaf(NKey::Inf2, None)).into_shared(g);
+        mref(s).left.store(l0, Ordering::Release);
+        mref(s).right.store(l1, Ordering::Release);
+        mref(r).left.store(s, Ordering::Release);
+        mref(r).right.store(l2, Ordering::Release);
+        Self { root: Atomic::from(r) }
+    }
+
+    fn root_sh<'g>(&self, g: &'g Guard) -> Shared<'g, NNode<K, V>> {
+        self.root.load(Ordering::Relaxed, g)
+    }
+
+    #[inline]
+    fn go_left(key: &K, node_key: &NKey<K>) -> bool {
+        match node_key {
+            NKey::Key(nk) => key < nk,
+            _ => true,
+        }
+    }
+
+    #[inline]
+    fn child_edge(node: &NNode<K, V>, left: bool) -> &Atomic<NNode<K, V>> {
+        if left {
+            &node.left
+        } else {
+            &node.right
+        }
+    }
+
+    /// NM seek: returns ancestor/successor (deepest untagged on-path edge),
+    /// parent and leaf.
+    fn seek<'g>(&self, key: &K, g: &'g Guard) -> Seek<'g, K, V> {
+        let r = self.root_sh(g);
+        let mut ancestor = r;
+        let mut successor = mref(r).left.load(Ordering::Acquire, g).with_tag(0);
+        let mut parent = r;
+        let mut cur_edge = mref(r).left.load(Ordering::Acquire, g);
+        let mut current = cur_edge.with_tag(0);
+        loop {
+            if mref(current).is_leaf {
+                return Seek { ancestor, successor, parent, leaf: current };
+            }
+            if cur_edge.tag() & TAG == 0 {
+                ancestor = parent;
+                successor = current;
+            }
+            parent = current;
+            let left = Self::go_left(key, &mref(current).key);
+            cur_edge = Self::child_edge(mref(current), left).load(Ordering::Acquire, g);
+            current = cur_edge.with_tag(0);
+        }
+    }
+
+    /// Performs the splice for the deletion whose leaf lies on `key`'s path.
+    /// Returns whether this call's splice CAS succeeded.
+    fn cleanup<'g>(&self, key: &K, sr: &Seek<'g, K, V>, g: &'g Guard) -> bool {
+        let p = mref(sr.parent);
+        // Which side holds the key (the deleted leaf), which the sibling.
+        let left_side = Self::go_left(key, &p.key);
+        let (child_atomic, mut sibling_atomic) = if left_side {
+            (&p.left, &p.right)
+        } else {
+            (&p.right, &p.left)
+        };
+        let child_edge = child_atomic.load(Ordering::Acquire, g);
+        if child_edge.tag() & FLAG == 0 {
+            // The flagged leaf is the other child: keep our side instead.
+            sibling_atomic = child_atomic;
+        }
+        // Tag the sibling edge (sticky; preserves flag + address).
+        loop {
+            let e = sibling_atomic.load(Ordering::Acquire, g);
+            if e.tag() & TAG != 0 {
+                break;
+            }
+            if sibling_atomic
+                .compare_exchange(e, e.with_tag(e.tag() | TAG), Ordering::AcqRel, Ordering::Acquire, g)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        // Splice: ancestor's on-path edge swings from successor to the
+        // sibling subtree (flag preserved, tag cleared).
+        let sibling_edge = sibling_atomic.load(Ordering::Acquire, g);
+        let a_left = Self::go_left(key, &mref(sr.ancestor).key);
+        let a_edge = Self::child_edge(mref(sr.ancestor), a_left);
+        let ok = a_edge
+            .compare_exchange(
+                sr.successor.with_tag(0),
+                sibling_edge.with_tag(sibling_edge.tag() & FLAG),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                g,
+            )
+            .is_ok();
+        if ok {
+            // Unique winner: retire the detached chain (everything under the
+            // old successor except the surviving sibling subtree). The chain
+            // is immutable (fully flagged/tagged), so this walk is stable.
+            self.retire_detached(sr.successor.with_tag(0), sibling_edge.with_tag(0), g);
+        }
+        ok
+    }
+
+    fn retire_detached<'g>(
+        &self,
+        from: Shared<'g, NNode<K, V>>,
+        keep: Shared<'g, NNode<K, V>>,
+        g: &'g Guard,
+    ) {
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n.is_null() || n == keep {
+                continue;
+            }
+            let r = mref(n);
+            if r.retired.swap(true, Ordering::SeqCst) {
+                continue; // belt-and-suspenders: someone else owns it
+            }
+            if !r.is_leaf {
+                stack.push(r.left.load(Ordering::Acquire, g).with_tag(0));
+                stack.push(r.right.load(Ordering::Acquire, g).with_tag(0));
+            }
+            unsafe { g.defer_destroy(n) };
+        }
+    }
+
+    fn insert_impl(&self, key: K, value: V) -> bool {
+        let g = &epoch::pin();
+        let mut value = Some(value);
+        loop {
+            let sr = self.seek(&key, g);
+            let l = mref(sr.leaf);
+            if matches!(l.key, NKey::Key(k) if k == key) {
+                return false;
+            }
+            let p = mref(sr.parent);
+            let left_side = Self::go_left(&key, &p.key);
+            let slot = Self::child_edge(p, left_side);
+            // Build Internal over (old leaf, new leaf).
+            let v = value.take().expect("value unconsumed");
+            let new_leaf = Owned::new(NNode::leaf(NKey::Key(key), Some(v))).into_shared(g);
+            let ikey = l.key.max(NKey::Key(key));
+            let internal = Owned::new(NNode::internal(ikey)).into_shared(g);
+            if NKey::Key(key) < l.key {
+                mref(internal).left.store(new_leaf, Ordering::Release);
+                mref(internal).right.store(sr.leaf, Ordering::Release);
+            } else {
+                mref(internal).left.store(sr.leaf, Ordering::Release);
+                mref(internal).right.store(new_leaf, Ordering::Release);
+            }
+            match slot.compare_exchange(
+                sr.leaf.with_tag(0),
+                internal,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                g,
+            ) {
+                Ok(_) => return true,
+                Err(e) => {
+                    // Reclaim speculative allocations.
+                    let mut lf = unsafe { new_leaf.into_owned() };
+                    value = lf.value.take();
+                    drop(lf);
+                    drop(unsafe { internal.into_owned() });
+                    // Help a pending deletion occupying our edge.
+                    if e.current.with_tag(0) == sr.leaf.with_tag(0)
+                        && e.current.tag() & (FLAG | TAG) != 0
+                    {
+                        self.cleanup(&key, &sr, g);
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_impl(&self, key: &K) -> bool {
+        let g = &epoch::pin();
+        let mut injecting = true;
+        let mut my_leaf: Shared<'_, NNode<K, V>> = Shared::null();
+        loop {
+            let sr = self.seek(key, g);
+            if injecting {
+                let l = mref(sr.leaf);
+                if !matches!(l.key, NKey::Key(k) if k == *key) {
+                    return false;
+                }
+                let p = mref(sr.parent);
+                let left_side = Self::go_left(key, &p.key);
+                let slot = Self::child_edge(p, left_side);
+                match slot.compare_exchange(
+                    sr.leaf.with_tag(0),
+                    sr.leaf.with_tag(FLAG),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    g,
+                ) {
+                    Ok(_) => {
+                        // Injection done: the delete is linearized here.
+                        injecting = false;
+                        my_leaf = sr.leaf.with_tag(0);
+                        if self.cleanup(key, &sr, g) {
+                            return true;
+                        }
+                    }
+                    Err(e) => {
+                        if e.current.with_tag(0) == sr.leaf.with_tag(0)
+                            && e.current.tag() & (FLAG | TAG) != 0
+                        {
+                            self.cleanup(key, &sr, g);
+                        }
+                    }
+                }
+            } else {
+                // Cleanup mode: done once our flagged leaf left the tree.
+                if sr.leaf.with_tag(0) != my_leaf {
+                    return true;
+                }
+                if self.cleanup(key, &sr, g) {
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+impl<K: Key, V: Value> Default for NmTreeMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Value> Drop for NmTreeMap<K, V> {
+    fn drop(&mut self) {
+        let g = unsafe { epoch::unprotected() };
+        let mut stack = vec![self.root.load(Ordering::Relaxed, g).with_tag(0)];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let r = mref(n);
+            stack.push(r.left.load(Ordering::Relaxed, g).with_tag(0));
+            stack.push(r.right.load(Ordering::Relaxed, g).with_tag(0));
+            drop(unsafe { n.into_owned() });
+        }
+    }
+}
+
+impl<K: Key, V: Value> ConcurrentMap<K, V> for NmTreeMap<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_impl(key, value)
+    }
+    fn remove(&self, key: &K) -> bool {
+        self.remove_impl(key)
+    }
+    fn contains(&self, key: &K) -> bool {
+        let g = &epoch::pin();
+        let sr = self.seek(key, g);
+        matches!(mref(sr.leaf).key, NKey::Key(k) if k == *key)
+    }
+    fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let g = &epoch::pin();
+        let sr = self.seek(key, g);
+        let l = mref(sr.leaf);
+        if matches!(l.key, NKey::Key(k) if k == *key) {
+            l.value.clone()
+        } else {
+            None
+        }
+    }
+    fn name(&self) -> &'static str {
+        "nm"
+    }
+}
+
+impl<K: Key, V: Value> OrderedAccess<K> for NmTreeMap<K, V> {
+    fn min_key(&self) -> Option<K> {
+        self.keys_in_order().first().copied()
+    }
+    fn max_key(&self) -> Option<K> {
+        self.keys_in_order().last().copied()
+    }
+    fn keys_in_order(&self) -> Vec<K> {
+        let g = epoch::pin();
+        let mut out = Vec::new();
+        let mut stack = vec![self.root_sh(&g).with_tag(0)];
+        let mut leaves = Vec::new();
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let r = mref(n);
+            if r.is_leaf {
+                leaves.push(n);
+            } else {
+                stack.push(r.right.load(Ordering::Acquire, &g).with_tag(0));
+                stack.push(r.left.load(Ordering::Acquire, &g).with_tag(0));
+            }
+        }
+        for leaf in leaves {
+            if let NKey::Key(k) = mref(leaf).key {
+                out.push(k);
+            }
+        }
+        out
+    }
+}
+
+impl<K: Key, V: Value> CheckInvariants for NmTreeMap<K, V> {
+    fn check_invariants(&self) {
+        let g = epoch::pin();
+        let root = self.root_sh(&g);
+        type Frame<'g, K, V> = (Shared<'g, NNode<K, V>>, Option<NKey<K>>, Option<NKey<K>>);
+        let mut stack: Vec<Frame<'_, K, V>> = vec![(root, None, None)];
+        while let Some((n, lo, hi)) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            let r = mref(n);
+            assert!(!r.retired.load(Ordering::SeqCst), "retired node reachable");
+            if let Some(lo) = lo {
+                assert!(r.key >= lo, "external BST order violated (lower)");
+            }
+            if let Some(hi) = hi {
+                assert!(r.key < hi, "external BST order violated (upper)");
+            }
+            if r.is_leaf {
+                continue;
+            }
+            let l = r.left.load(Ordering::Acquire, &g);
+            let rt = r.right.load(Ordering::Acquire, &g);
+            assert_eq!(l.tag() & (FLAG | TAG), 0, "pending deletion at quiescence");
+            assert_eq!(rt.tag() & (FLAG | TAG), 0, "pending deletion at quiescence");
+            assert!(!l.is_null() && !rt.is_null(), "internal node missing a child");
+            stack.push((l.with_tag(0), lo, Some(r.key)));
+            stack.push((rt.with_tag(0), Some(r.key), hi));
+        }
+        let keys = self.keys_in_order();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaves not strictly sorted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let m = NmTreeMap::new();
+        assert!(m.insert(5i64, 50u64));
+        assert!(!m.insert(5, 51));
+        assert_eq!(m.get(&5), Some(50));
+        assert!(m.insert(2, 20));
+        assert!(m.insert(8, 80));
+        assert_eq!(m.keys_in_order(), vec![2, 5, 8]);
+        assert!(m.remove(&5));
+        assert!(!m.remove(&5));
+        assert!(!m.contains(&5));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn bulk_and_drain() {
+        let m = NmTreeMap::new();
+        for k in 0..1_000i64 {
+            assert!(m.insert(k, k as u64));
+        }
+        m.check_invariants();
+        for k in (0..1_000i64).rev() {
+            assert_eq!(m.get(&k), Some(k as u64));
+            assert!(m.remove(&k));
+        }
+        assert!(m.keys_in_order().is_empty());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_net_balance() {
+        let m = NmTreeMap::new();
+        let nets: Vec<i64> = std::thread::scope(|s| {
+            (0..4u64)
+                .map(|t| {
+                    let m = &m;
+                    s.spawn(move || {
+                        let mut x = 0xAB1E ^ (t + 1);
+                        let mut net = 0i64;
+                        for _ in 0..20_000 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = (x % 100) as i64;
+                            match x % 3 {
+                                0 => {
+                                    if m.insert(k, k as u64) {
+                                        net += 1;
+                                    }
+                                }
+                                1 => {
+                                    if m.remove(&k) {
+                                        net -= 1;
+                                    }
+                                }
+                                _ => {
+                                    let _ = m.contains(&k);
+                                }
+                            }
+                        }
+                        net
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        assert_eq!(m.keys_in_order().len() as i64, nets.iter().sum::<i64>());
+        m.check_invariants();
+    }
+}

@@ -1,0 +1,302 @@
+//! Sequential AVL map: the single-threaded reference implementation.
+//!
+//! Used three ways: as the oracle in differential tests, as the payload of
+//! the coarse-grained locked baseline ([`crate::coarse`]), and as the
+//! single-thread performance reference in the benchmark tables.
+
+use std::cmp::Ordering;
+
+struct SeqNode<K, V> {
+    key: K,
+    value: V,
+    height: i32,
+    left: Option<Box<SeqNode<K, V>>>,
+    right: Option<Box<SeqNode<K, V>>>,
+}
+
+impl<K: Ord, V> SeqNode<K, V> {
+    fn new(key: K, value: V) -> Box<Self> {
+        Box::new(Self { key, value, height: 1, left: None, right: None })
+    }
+}
+
+fn height<K, V>(n: &Option<Box<SeqNode<K, V>>>) -> i32 {
+    n.as_ref().map_or(0, |b| b.height)
+}
+
+fn fix_height<K, V>(n: &mut SeqNode<K, V>) {
+    n.height = height(&n.left).max(height(&n.right)) + 1;
+}
+
+fn bf<K, V>(n: &SeqNode<K, V>) -> i32 {
+    height(&n.left) - height(&n.right)
+}
+
+fn rotate_right<K, V>(mut n: Box<SeqNode<K, V>>) -> Box<SeqNode<K, V>> {
+    let mut l = n.left.take().expect("rotate_right requires a left child");
+    n.left = l.right.take();
+    fix_height(&mut n);
+    l.right = Some(n);
+    fix_height(&mut l);
+    l
+}
+
+fn rotate_left<K, V>(mut n: Box<SeqNode<K, V>>) -> Box<SeqNode<K, V>> {
+    let mut r = n.right.take().expect("rotate_left requires a right child");
+    n.right = r.left.take();
+    fix_height(&mut n);
+    r.left = Some(n);
+    fix_height(&mut r);
+    r
+}
+
+fn balance<K: Ord, V>(mut n: Box<SeqNode<K, V>>) -> Box<SeqNode<K, V>> {
+    fix_height(&mut n);
+    let b = bf(&n);
+    if b >= 2 {
+        if bf(n.left.as_ref().expect("left-heavy implies left child")) < 0 {
+            n.left = Some(rotate_left(n.left.take().expect("checked above")));
+        }
+        rotate_right(n)
+    } else if b <= -2 {
+        if bf(n.right.as_ref().expect("right-heavy implies right child")) > 0 {
+            n.right = Some(rotate_right(n.right.take().expect("checked above")));
+        }
+        rotate_left(n)
+    } else {
+        n
+    }
+}
+
+/// A plain sequential AVL tree map.
+pub struct SeqAvl<K, V> {
+    root: Option<Box<SeqNode<K, V>>>,
+    len: usize,
+}
+
+impl<K: Ord, V> SeqAvl<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self { root: None, len: 0 }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts if absent; `true` on success.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        fn go<K: Ord, V>(slot: &mut Option<Box<SeqNode<K, V>>>, key: K, value: V) -> bool {
+            match slot {
+                None => {
+                    *slot = Some(SeqNode::new(key, value));
+                    true
+                }
+                Some(n) => {
+                    let inserted = match key.cmp(&n.key) {
+                        Ordering::Equal => return false,
+                        Ordering::Less => go(&mut n.left, key, value),
+                        Ordering::Greater => go(&mut n.right, key, value),
+                    };
+                    if inserted {
+                        let owned = slot.take().expect("slot was Some");
+                        *slot = Some(balance(owned));
+                    }
+                    inserted
+                }
+            }
+        }
+        let inserted = go(&mut self.root, key, value);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Removes `key`; `true` if present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        fn pop_min<K: Ord, V>(slot: &mut Option<Box<SeqNode<K, V>>>) -> Box<SeqNode<K, V>> {
+            let n = slot.as_mut().expect("pop_min on empty subtree");
+            if n.left.is_some() {
+                let min = pop_min(&mut n.left);
+                let owned = slot.take().expect("slot was Some");
+                *slot = Some(balance(owned));
+                min
+            } else {
+                let mut owned = slot.take().expect("slot was Some");
+                *slot = owned.right.take();
+                owned
+            }
+        }
+        fn go<K: Ord, V>(slot: &mut Option<Box<SeqNode<K, V>>>, key: &K) -> bool {
+            let Some(n) = slot else { return false };
+            let removed = match key.cmp(&n.key) {
+                Ordering::Less => go(&mut n.left, key),
+                Ordering::Greater => go(&mut n.right, key),
+                Ordering::Equal => {
+                    let mut owned = slot.take().expect("slot was Some");
+                    *slot = match (owned.left.take(), owned.right.take()) {
+                        (None, r) => r,
+                        (l, None) => l,
+                        (l, Some(r)) => {
+                            let mut right = Some(r);
+                            let mut succ = pop_min(&mut right);
+                            succ.left = l;
+                            succ.right = right;
+                            Some(succ)
+                        }
+                    };
+                    true
+                }
+            };
+            if removed {
+                if let Some(owned) = slot.take() {
+                    *slot = Some(balance(owned));
+                }
+            }
+            removed
+        }
+        let removed = go(&mut self.root, key);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Reference to the value for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                Ordering::Equal => return Some(&n.value),
+                Ordering::Less => cur = n.left.as_deref(),
+                Ordering::Greater => cur = n.right.as_deref(),
+            }
+        }
+        None
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Ascending keys.
+    pub fn keys_in_order(&self) -> Vec<K>
+    where
+        K: Copy,
+    {
+        fn go<K: Copy, V>(n: &Option<Box<SeqNode<K, V>>>, out: &mut Vec<K>) {
+            if let Some(n) = n {
+                go(&n.left, out);
+                out.push(n.key);
+                go(&n.right, out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        go(&self.root, &mut out);
+        out
+    }
+
+    /// Panics unless heights are exact and every node satisfies |bf| ≤ 1.
+    pub fn check_invariants(&self) {
+        fn go<K: Ord, V>(n: &Option<Box<SeqNode<K, V>>>, lo: Option<&K>, hi: Option<&K>) -> i32 {
+            let Some(n) = n else { return 0 };
+            if let Some(lo) = lo {
+                assert!(*lo < n.key, "BST order violated (lower bound)");
+            }
+            if let Some(hi) = hi {
+                assert!(n.key < *hi, "BST order violated (upper bound)");
+            }
+            let hl = go(&n.left, lo, Some(&n.key));
+            let hr = go(&n.right, Some(&n.key), hi);
+            assert_eq!(n.height, hl.max(hr) + 1, "stale height");
+            assert!((hl - hr).abs() <= 1, "AVL violation");
+            n.height
+        }
+        let h = go(&self.root, None, None);
+        // Height must be logarithmic in len (sanity bound: 1.45 log2(n+2)).
+        if self.len > 0 {
+            let bound = (1.4405 * ((self.len + 2) as f64).log2()).ceil() as i32 + 1;
+            assert!(h <= bound, "tree too tall: height {h}, len {}", self.len);
+        }
+    }
+}
+
+impl<K: Ord, V> Default for SeqAvl<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn mirrors_btreemap() {
+        let mut avl = SeqAvl::new();
+        let mut oracle = BTreeMap::new();
+        // Deterministic pseudo-random op sequence.
+        let mut x = 0x12345678u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = (x % 512) as i64;
+            match x % 3 {
+                0 => {
+                    let expect = !oracle.contains_key(&k);
+                    if expect {
+                        oracle.insert(k, k);
+                    }
+                    assert_eq!(avl.insert(k, k), expect);
+                }
+                1 => {
+                    assert_eq!(avl.remove(&k), oracle.remove(&k).is_some());
+                }
+                _ => {
+                    assert_eq!(avl.get(&k), oracle.get(&k));
+                }
+            }
+        }
+        avl.check_invariants();
+        assert_eq!(avl.len(), oracle.len());
+        assert_eq!(avl.keys_in_order(), oracle.keys().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sorted_insert_stays_balanced() {
+        let mut avl = SeqAvl::new();
+        for k in 0..4096i64 {
+            assert!(avl.insert(k, k));
+        }
+        avl.check_invariants(); // would fail the height bound if unbalanced
+        for k in 0..4096i64 {
+            assert!(avl.remove(&k));
+            if k % 512 == 0 {
+                avl.check_invariants();
+            }
+        }
+        assert!(avl.is_empty());
+    }
+
+    #[test]
+    fn two_children_removal() {
+        let mut avl = SeqAvl::new();
+        for k in [50i64, 25, 75, 10, 30, 60, 90] {
+            avl.insert(k, k);
+        }
+        assert!(avl.remove(&50)); // root with two children
+        assert!(!avl.contains(&50));
+        assert_eq!(avl.len(), 6);
+        avl.check_invariants();
+    }
+}

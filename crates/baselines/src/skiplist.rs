@@ -1,0 +1,487 @@
+//! Lock-free skip list (the paper's "Java's Skip List" comparator, i.e. the
+//! Fraser/Harris design behind `ConcurrentSkipListMap`), built from scratch.
+//!
+//! * Logical deletion = tag bit on a node's own `next` pointers, set top
+//!   level down, bottom level last (the bottom-level mark is the
+//!   linearization point and designates the owning remover).
+//! * `find` physically unlinks marked successors at every level it visits;
+//!   inserts therefore never link behind a still-linked marked node.
+//! * The owning remover loops `find` passes until the node is no longer
+//!   encountered at any level, then retires it through the epoch — no new
+//!   traversal can reach it, and in-flight readers are protected by their
+//!   guards.
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+
+/// Maximum tower height; supports ~2^28 elements comfortably.
+const MAX_HEIGHT: usize = 28;
+
+struct SlNode<K, V> {
+    /// `None` only for the head sentinel (−∞).
+    key: Option<K>,
+    value: Option<V>,
+    /// Tower of next pointers; tag bit 1 = this node is deleted at that level.
+    next: Box<[Atomic<SlNode<K, V>>]>,
+}
+
+impl<K, V> SlNode<K, V> {
+    fn new(key: Option<K>, value: Option<V>, height: usize) -> Self {
+        let next = (0..height).map(|_| Atomic::null()).collect::<Vec<_>>().into_boxed_slice();
+        Self { key, value, next }
+    }
+
+    fn height(&self) -> usize {
+        self.next.len()
+    }
+}
+
+fn sl_ref<'g, K, V>(s: Shared<'g, SlNode<K, V>>) -> &'g SlNode<K, V> {
+    debug_assert!(!s.is_null());
+    // SAFETY: nodes are retired only via the epoch after being unreachable.
+    unsafe { s.deref() }
+}
+
+/// A lock-free skip-list map.
+pub struct SkipListMap<K: Key, V: Value> {
+    head: Atomic<SlNode<K, V>>,
+    /// Per-instance RNG state for tower heights.
+    rng: AtomicU64,
+}
+
+struct FindResult<'g, K: Key, V: Value> {
+    preds: [Shared<'g, SlNode<K, V>>; MAX_HEIGHT],
+    succs: [Shared<'g, SlNode<K, V>>; MAX_HEIGHT],
+    /// Bottom-level successor equals the key and is unmarked.
+    found: bool,
+}
+
+impl<K: Key, V: Value> SkipListMap<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        let g = unsafe { epoch::unprotected() };
+        let head = Owned::new(SlNode::new(None, None, MAX_HEIGHT)).into_shared(g);
+        Self { head: Atomic::from(head), rng: AtomicU64::new(0x853C_49E6_748F_EA9B) }
+    }
+
+    fn random_height(&self) -> usize {
+        // xorshift on a shared word: races are harmless (it is a RNG).
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        // Geometric with p = 1/2.
+        ((x.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+    }
+
+    /// The Harris-style search: returns preds/succs per level, unlinking
+    /// marked nodes along the way. If `watch` is non-null, reports whether
+    /// that exact node was still linked anywhere on the search path.
+    fn find<'g>(
+        &self,
+        key: &K,
+        watch: Shared<'g, SlNode<K, V>>,
+        g: &'g Guard,
+    ) -> (FindResult<'g, K, V>, bool) {
+        'retry: loop {
+            let head = self.head.load(Ordering::Acquire, g);
+            let mut preds = [head; MAX_HEIGHT];
+            let mut succs = [Shared::null(); MAX_HEIGHT];
+            let mut watched = false;
+            let mut pred = head;
+            for level in (0..MAX_HEIGHT).rev() {
+                // Strip the mark bit: a tag on pred's next means *pred* is
+                // deleted; the target pointer is still the correct next node
+                // (any CAS on that field will fail and retry).
+                let mut curr = sl_ref(pred).next[level].load(Ordering::Acquire, g).with_tag(0);
+                loop {
+                    if curr.is_null() {
+                        break;
+                    }
+                    let curr_ref = sl_ref(curr);
+                    let succ = curr_ref.next[level].load(Ordering::Acquire, g);
+                    if succ.tag() == 1 {
+                        // curr is deleted at this level: unlink it.
+                        if curr == watch.with_tag(0) {
+                            watched = true;
+                        }
+                        if sl_ref(pred).next[level]
+                            .compare_exchange(
+                                curr,
+                                succ.with_tag(0),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                                g,
+                            )
+                            .is_err()
+                        {
+                            continue 'retry;
+                        }
+                        curr = succ.with_tag(0);
+                        continue;
+                    }
+                    let curr_key = curr_ref.key.as_ref().expect("only head lacks a key");
+                    if curr_key < key {
+                        pred = curr;
+                        curr = succ.with_tag(0);
+                    } else {
+                        break;
+                    }
+                }
+                preds[level] = pred;
+                succs[level] = curr;
+            }
+            let found = !succs[0].is_null()
+                && sl_ref(succs[0]).key.as_ref() == Some(key)
+                && sl_ref(succs[0]).next[0].load(Ordering::Acquire, g).tag() == 0;
+            return (FindResult { preds, succs, found }, watched);
+        }
+    }
+
+    fn insert_impl(&self, key: K, value: V) -> bool {
+        let g = &epoch::pin();
+        let height = self.random_height();
+        self.insert_with_height(key, value, height, g)
+    }
+
+    fn insert_with_height(&self, key: K, value: V, height: usize, g: &Guard) -> bool {
+        let mut key = key;
+        let mut value = value;
+        loop {
+            let (f, _) = self.find(&key, Shared::null(), g);
+            if f.found {
+                return false;
+            }
+            let node = Owned::new(SlNode::new(Some(key), Some(value), height));
+            for (level, n) in node.next.iter().enumerate().take(height) {
+                n.store(f.succs[level], Ordering::Relaxed);
+            }
+            let node = node.into_shared(g);
+            if sl_ref(f.preds[0]).next[0]
+                .compare_exchange(f.succs[0], node, Ordering::AcqRel, Ordering::Acquire, g)
+                .is_ok()
+            {
+                self.link_tower(node, height, g);
+                return true;
+            }
+            let mut owned = unsafe { node.into_owned() };
+            let (k, v) = (owned.key.take(), owned.value.take());
+            drop(owned);
+            let (Some(k), Some(v)) = (k, v) else { unreachable!() };
+            key = k;
+            value = v;
+        }
+    }
+
+    /// Links levels 1..height after the bottom-level publication.
+    fn link_tower<'g>(&self, node: Shared<'g, SlNode<K, V>>, height: usize, g: &'g Guard) {
+        let key = sl_ref(node).key.as_ref().expect("key node");
+        for level in 1..height {
+            loop {
+                // Stop if the node got deleted meanwhile.
+                let cur_next = sl_ref(node).next[level].load(Ordering::Acquire, g);
+                if cur_next.tag() == 1 {
+                    return;
+                }
+                let (f, _) = self.find(key, Shared::null(), g);
+                // Aim our pointer at the current succ, then splice in.
+                if cur_next != f.succs[level]
+                    && sl_ref(node).next[level]
+                        .compare_exchange(
+                            cur_next,
+                            f.succs[level],
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                            g,
+                        )
+                        .is_err()
+                {
+                    // Marked meanwhile (only markers touch our tower).
+                    return;
+                }
+                if sl_ref(f.preds[level]).next[level]
+                    .compare_exchange(f.succs[level], node, Ordering::AcqRel, Ordering::Acquire, g)
+                    .is_ok()
+                {
+                    break;
+                }
+                // Contention: re-find and retry this level.
+            }
+        }
+    }
+
+    fn remove_impl(&self, key: &K) -> bool {
+        let g = &epoch::pin();
+        let (f, _) = self.find(key, Shared::null(), g);
+        if !f.found {
+            return false;
+        }
+        let node = f.succs[0];
+        let node_ref = sl_ref(node);
+        let height = node_ref.height();
+        // Mark top-down, bottom last.
+        for level in (1..height).rev() {
+            loop {
+                let next = node_ref.next[level].load(Ordering::Acquire, g);
+                if next.tag() == 1 {
+                    break;
+                }
+                if node_ref.next[level]
+                    .compare_exchange(
+                        next,
+                        next.with_tag(1),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        g,
+                    )
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        // Bottom-level mark: linearization point; the winner owns the node.
+        loop {
+            let next = node_ref.next[0].load(Ordering::Acquire, g);
+            if next.tag() == 1 {
+                return false; // someone else removed it first
+            }
+            if node_ref.next[0]
+                .compare_exchange(next, next.with_tag(1), Ordering::AcqRel, Ordering::Acquire, g)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        // Unlink everywhere, then retire.
+        loop {
+            let (_, watched) = self.find(key, node, g);
+            if !watched {
+                break;
+            }
+        }
+        unsafe { g.defer_destroy(node) };
+        true
+    }
+
+    fn contains_impl(&self, key: &K) -> bool {
+        let g = &epoch::pin();
+        self.peek(key, g).is_some()
+    }
+
+    /// Wait-free-ish search that skips marked nodes without unlinking.
+    fn get_node(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let g = &epoch::pin();
+        self.peek(key, g).map(|n| n.value.clone().expect("key nodes hold values"))
+    }
+
+    fn peek<'g>(&self, key: &K, g: &'g Guard) -> Option<&'g SlNode<K, V>> {
+        let head = self.head.load(Ordering::Acquire, g);
+        let mut pred = head;
+        for level in (0..MAX_HEIGHT).rev() {
+            let mut curr = sl_ref(pred).next[level].load(Ordering::Acquire, g).with_tag(0);
+            loop {
+                if curr.is_null() {
+                    break;
+                }
+                let curr_ref = sl_ref(curr);
+                let succ = curr_ref.next[level].load(Ordering::Acquire, g);
+                if succ.tag() == 1 {
+                    curr = succ.with_tag(0);
+                    continue; // skip marked node
+                }
+                match curr_ref.key.as_ref().expect("only head lacks a key").cmp(key) {
+                    std::cmp::Ordering::Less => {
+                        pred = curr;
+                        curr = succ.with_tag(0);
+                    }
+                    std::cmp::Ordering::Equal => return Some(curr_ref),
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<K: Key, V: Value> Default for SkipListMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Value> Drop for SkipListMap<K, V> {
+    fn drop(&mut self) {
+        // Exclusive access: free the bottom-level chain (it contains every
+        // node, marked or not — marked nodes still linked are owned here
+        // only if never retired; retired nodes are already unlinked).
+        let g = unsafe { epoch::unprotected() };
+        let mut n = self.head.load(Ordering::Relaxed, g);
+        while !n.is_null() {
+            let next = sl_ref(n).next[0].load(Ordering::Relaxed, g).with_tag(0);
+            drop(unsafe { n.into_owned() });
+            n = next;
+        }
+    }
+}
+
+impl<K: Key, V: Value> ConcurrentMap<K, V> for SkipListMap<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_impl(key, value)
+    }
+    fn remove(&self, key: &K) -> bool {
+        self.remove_impl(key)
+    }
+    fn contains(&self, key: &K) -> bool {
+        self.contains_impl(key)
+    }
+    fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get_node(key)
+    }
+    fn name(&self) -> &'static str {
+        "skiplist"
+    }
+}
+
+impl<K: Key, V: Value> OrderedAccess<K> for SkipListMap<K, V> {
+    fn min_key(&self) -> Option<K> {
+        self.keys_in_order().first().copied()
+    }
+    fn max_key(&self) -> Option<K> {
+        self.keys_in_order().last().copied()
+    }
+    fn keys_in_order(&self) -> Vec<K> {
+        let g = epoch::pin();
+        let mut out = Vec::new();
+        let mut n = sl_ref(self.head.load(Ordering::Acquire, &g)).next[0]
+            .load(Ordering::Acquire, &g)
+            .with_tag(0);
+        while !n.is_null() {
+            let r = sl_ref(n);
+            let next = r.next[0].load(Ordering::Acquire, &g);
+            if next.tag() == 0 {
+                out.push(*r.key.as_ref().expect("key node"));
+            }
+            n = next.with_tag(0);
+        }
+        out
+    }
+}
+
+impl<K: Key, V: Value> CheckInvariants for SkipListMap<K, V> {
+    fn check_invariants(&self) {
+        let g = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &g);
+        // Every level strictly sorted; every key on level i is also on i-1.
+        let mut level_keys: Vec<Vec<K>> = Vec::with_capacity(MAX_HEIGHT);
+        for level in 0..MAX_HEIGHT {
+            let mut keys = Vec::new();
+            let mut n = sl_ref(head).next[level].load(Ordering::Acquire, &g).with_tag(0);
+            while !n.is_null() {
+                let r = sl_ref(n);
+                let next = r.next[level].load(Ordering::Acquire, &g);
+                assert_eq!(next.tag(), 0, "marked node still linked at quiescence");
+                assert!(r.height() > level, "node linked above its own tower");
+                keys.push(*r.key.as_ref().expect("key node"));
+                n = next.with_tag(0);
+            }
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "level {level} not sorted");
+            level_keys.push(keys);
+        }
+        for level in 1..MAX_HEIGHT {
+            for k in &level_keys[level] {
+                assert!(
+                    level_keys[level - 1].binary_search(k).is_ok(),
+                    "key {k:?} on level {level} missing below"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let m = SkipListMap::new();
+        assert!(m.insert(5i64, 50u64));
+        assert!(!m.insert(5, 51));
+        assert_eq!(m.get(&5), Some(50));
+        assert!(m.insert(1, 10));
+        assert!(m.insert(9, 90));
+        assert_eq!(m.keys_in_order(), vec![1, 5, 9]);
+        assert!(m.remove(&5));
+        assert!(!m.remove(&5));
+        assert!(!m.contains(&5));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn towers_survive_churn() {
+        let m = SkipListMap::new();
+        for k in 0..2_000i64 {
+            assert!(m.insert(k, k as u64));
+        }
+        for k in (0..2_000i64).step_by(2) {
+            assert!(m.remove(&k));
+        }
+        assert_eq!(m.keys_in_order().len(), 1_000);
+        assert!(m.contains(&1001));
+        assert!(!m.contains(&1000));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_net_balance() {
+        let m = SkipListMap::new();
+        let nets: Vec<i64> = std::thread::scope(|s| {
+            (0..4u64)
+                .map(|t| {
+                    let m = &m;
+                    s.spawn(move || {
+                        let mut x = 0xDEAD ^ (t + 1);
+                        let mut net = 0i64;
+                        for _ in 0..20_000 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = (x % 128) as i64;
+                            match x % 3 {
+                                0 => {
+                                    if m.insert(k, k as u64) {
+                                        net += 1;
+                                    }
+                                }
+                                1 => {
+                                    if m.remove(&k) {
+                                        net -= 1;
+                                    }
+                                }
+                                _ => {
+                                    let _ = m.contains(&k);
+                                }
+                            }
+                        }
+                        net
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        assert_eq!(m.keys_in_order().len() as i64, nets.iter().sum::<i64>());
+        m.check_invariants();
+    }
+}

@@ -1,0 +1,138 @@
+//! Proptest oracles for every comparator: arbitrary op sequences must match
+//! `BTreeMap`, and structural invariants must hold afterwards. (The root
+//! workspace `tests/differential.rs` covers cross-implementation agreement;
+//! this file gives each baseline its own shrinkable failure cases.)
+
+use lo_api::{CheckInvariants, ConcurrentMap, OrderedAccess};
+use lo_baselines::{
+    BccoTreeMap, CfTreeMap, ChromaticTreeMap, CoarseAvlMap, EfrbTreeMap, NmTreeMap, SkipListMap,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(i64),
+    Remove(i64),
+    Contains(i64),
+}
+
+fn ops(key_space: i64) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..key_space).prop_map(Op::Insert),
+            (0..key_space).prop_map(Op::Remove),
+            (0..key_space).prop_map(Op::Contains),
+        ],
+        1..300,
+    )
+}
+
+fn run_oracle<M>(map: &M, ops: &[Op], check_final_keys: bool)
+where
+    M: ConcurrentMap<i64, u64> + CheckInvariants + OrderedAccess<i64>,
+{
+    let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k) => {
+                let absent = !oracle.contains_key(&k);
+                if absent {
+                    oracle.insert(k, k as u64);
+                }
+                assert_eq!(map.insert(k, k as u64), absent, "insert({k}) step {i}");
+            }
+            Op::Remove(k) => {
+                assert_eq!(map.remove(&k), oracle.remove(&k).is_some(), "remove({k}) step {i}");
+            }
+            Op::Contains(k) => {
+                assert_eq!(map.contains(&k), oracle.contains_key(&k), "contains({k}) step {i}");
+            }
+        }
+    }
+    if check_final_keys {
+        assert_eq!(map.keys_in_order(), oracle.keys().copied().collect::<Vec<_>>());
+    }
+    map.check_invariants();
+}
+
+macro_rules! oracle_suite {
+    ($name:ident, $make:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(32))]
+                #[test]
+                fn matches_btreemap(ops in ops(24)) {
+                    let m = $make;
+                    run_oracle(&m, &ops, true);
+                }
+
+                #[test]
+                fn matches_btreemap_wide(ops in ops(2_000)) {
+                    let m = $make;
+                    run_oracle(&m, &ops, true);
+                }
+            }
+        }
+    };
+}
+
+oracle_suite!(bcco, BccoTreeMap::<i64, u64>::new());
+oracle_suite!(cf, CfTreeMap::<i64, u64>::new());
+oracle_suite!(chromatic, ChromaticTreeMap::<i64, u64>::new());
+oracle_suite!(efrb, EfrbTreeMap::<i64, u64>::new());
+oracle_suite!(nm, NmTreeMap::<i64, u64>::new());
+oracle_suite!(skiplist, SkipListMap::<i64, u64>::new());
+oracle_suite!(coarse, CoarseAvlMap::<i64, u64>::new());
+
+/// Skew-shaped deterministic sequences that hit each structure's rebalance
+/// or maintenance machinery hard.
+#[test]
+fn adversarial_shapes() {
+    fn run<M>(m: M)
+    where
+        M: ConcurrentMap<i64, u64> + CheckInvariants + OrderedAccess<i64>,
+    {
+        // Ascending.
+        let asc: Vec<Op> = (0..600).map(Op::Insert).collect();
+        run_oracle(&m, &asc, true);
+        // Descending removals (peels the edge repeatedly).
+        let desc: Vec<Op> = (0..600).rev().map(Op::Remove).collect();
+        run_oracle_continue(&m, &desc);
+        // Zig-zag.
+        let mut zig = Vec::new();
+        for i in 0..300 {
+            zig.push(Op::Insert(i));
+            zig.push(Op::Insert(1_000 - i));
+        }
+        run_oracle_continue(&m, &zig);
+        m.check_invariants();
+    }
+    // Continue-from-current-state variant (no fresh oracle).
+    fn run_oracle_continue<M>(m: &M, ops: &[Op])
+    where
+        M: ConcurrentMap<i64, u64>,
+    {
+        for op in ops {
+            match *op {
+                Op::Insert(k) => {
+                    let _ = m.insert(k, k as u64);
+                }
+                Op::Remove(k) => {
+                    let _ = m.remove(&k);
+                }
+                Op::Contains(k) => {
+                    let _ = m.contains(&k);
+                }
+            }
+        }
+    }
+    run(BccoTreeMap::<i64, u64>::new());
+    run(CfTreeMap::<i64, u64>::new());
+    run(ChromaticTreeMap::<i64, u64>::new());
+    run(EfrbTreeMap::<i64, u64>::new());
+    run(NmTreeMap::<i64, u64>::new());
+    run(SkipListMap::<i64, u64>::new());
+}

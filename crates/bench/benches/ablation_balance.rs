@@ -1,0 +1,91 @@
+//! Ablation B (DESIGN.md / paper §2): the value of balancing, and of keeping
+//! *two subtree heights* per node instead of one balance factor.
+//!
+//! Measures lookup cost on an adversarial (sorted-insert) key sequence —
+//! where the unbalanced BST degenerates to a list and the relaxed AVL stays
+//! logarithmic — and on a uniform sequence where both are shallow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lo_core::{LoAvlMap, LoBstMap};
+use std::time::Duration;
+
+const SORTED_N: i64 = 4_000;
+const UNIFORM_N: i64 = 4_000;
+
+fn benches(c: &mut Criterion) {
+    // Sorted prefill: worst case for the unbalanced tree.
+    let avl_sorted = LoAvlMap::<i64, u64>::new();
+    let bst_sorted = LoBstMap::<i64, u64>::new();
+    for k in 0..SORTED_N {
+        avl_sorted.insert(k, 0);
+        bst_sorted.insert(k, 0);
+    }
+    // Uniform prefill.
+    let avl_uniform = LoAvlMap::<i64, u64>::new();
+    let bst_uniform = LoBstMap::<i64, u64>::new();
+    let mut k = 1i64;
+    for _ in 0..UNIFORM_N {
+        k = (k * 48271) % (UNIFORM_N * 16 + 1);
+        avl_uniform.insert(k, 0);
+        bst_uniform.insert(k, 0);
+    }
+
+    let mut probe = 3i64;
+    c.bench_function("balance/lookup/sorted-prefill/lo-avl", |b| {
+        b.iter(|| {
+            probe = (probe + 1237) % SORTED_N;
+            std::hint::black_box(avl_sorted.contains(&probe))
+        })
+    });
+    c.bench_function("balance/lookup/sorted-prefill/lo-bst", |b| {
+        b.iter(|| {
+            probe = (probe + 1237) % SORTED_N;
+            std::hint::black_box(bst_sorted.contains(&probe))
+        })
+    });
+    c.bench_function("balance/lookup/uniform-prefill/lo-avl", |b| {
+        b.iter(|| {
+            probe = (probe * 48271) % (UNIFORM_N * 16 + 1);
+            std::hint::black_box(avl_uniform.contains(&probe))
+        })
+    });
+    c.bench_function("balance/lookup/uniform-prefill/lo-bst", |b| {
+        b.iter(|| {
+            probe = (probe * 48271) % (UNIFORM_N * 16 + 1);
+            std::hint::black_box(bst_uniform.contains(&probe))
+        })
+    });
+    // Update cost of maintaining balance on the adversarial sequence.
+    c.bench_function("balance/sorted-insert-drain/lo-avl", |b| {
+        b.iter(|| {
+            let m = LoAvlMap::<i64, u64>::new();
+            for k in 0..512i64 {
+                m.insert(k, 0);
+            }
+            for k in 0..512i64 {
+                m.remove(&k);
+            }
+        })
+    });
+    c.bench_function("balance/sorted-insert-drain/lo-bst", |b| {
+        b.iter(|| {
+            let m = LoBstMap::<i64, u64>::new();
+            for k in 0..512i64 {
+                m.insert(k, 0);
+            }
+            for k in 0..512i64 {
+                m.remove(&k);
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = ablation_balance;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+criterion_main!(ablation_balance);

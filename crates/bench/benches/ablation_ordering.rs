@@ -1,0 +1,82 @@
+//! Ablation A (DESIGN.md): what does explicitly maintaining the logical
+//! ordering cost per operation?
+//!
+//! The paper trades "three pointers per node + ordering updates" for
+//! synchronization-free lookups. We quantify the update-side overhead by
+//! comparing single-threaded insert/remove/contains costs of the LO trees
+//! against BCCO (an internal AVL with *no* ordering layer) and quantify the
+//! lookup-side benefit structure by timing `contains` separately.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lo_api::ConcurrentMap;
+use lo_baselines::BccoTreeMap;
+use lo_core::{LoAvlMap, LoBstMap};
+use std::time::Duration;
+
+const N: i64 = 10_000;
+
+fn prefilled<M: ConcurrentMap<i64, u64>>(m: M) -> M {
+    // Pseudo-random permutation of 0..N via a multiplicative step.
+    let mut k = 1i64;
+    for _ in 0..N {
+        k = (k * 48271) % (N * 4 + 1);
+        m.insert(k, k as u64);
+    }
+    m
+}
+
+fn bench_update_cycle<M: ConcurrentMap<i64, u64>>(
+    c: &mut Criterion,
+    name: &str,
+    make: impl Fn() -> M,
+) {
+    c.bench_function(&format!("ordering/update-cycle/{name}"), |b| {
+        b.iter_batched(
+            || prefilled(make()),
+            |m| {
+                // 256 insert+remove pairs of fresh keys.
+                for k in 0..256i64 {
+                    let key = N * 8 + k;
+                    std::hint::black_box(m.insert(key, 0));
+                    std::hint::black_box(m.remove(&key));
+                }
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_contains<M: ConcurrentMap<i64, u64>>(
+    c: &mut Criterion,
+    name: &str,
+    make: impl Fn() -> M,
+) {
+    let m = prefilled(make());
+    let mut k = 7i64;
+    c.bench_function(&format!("ordering/contains/{name}"), |b| {
+        b.iter(|| {
+            k = (k * 48271) % (N * 4 + 1);
+            std::hint::black_box(m.contains(&k))
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_update_cycle(c, "lo-avl", LoAvlMap::<i64, u64>::new);
+    bench_update_cycle(c, "lo-bst", LoBstMap::<i64, u64>::new);
+    bench_update_cycle(c, "bcco-no-ordering", BccoTreeMap::<i64, u64>::new);
+    bench_contains(c, "lo-avl", LoAvlMap::<i64, u64>::new);
+    bench_contains(c, "lo-bst", LoBstMap::<i64, u64>::new);
+    bench_contains(c, "bcco-no-ordering", BccoTreeMap::<i64, u64>::new);
+}
+
+criterion_group! {
+    name = ablation_ordering;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+criterion_main!(ablation_ordering);

@@ -1,0 +1,70 @@
+//! Ablation C (DESIGN.md): substrate costs.
+//!
+//! * Epoch reclamation: our from-scratch `lo-reclaim` vs `crossbeam-epoch`
+//!   (pin cost, and pin+retire cost).
+//! * Per-node lock: the parking-lot backed `NodeLock` vs the from-scratch
+//!   TTAS `SpinLock` (uncontended lock/unlock).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lo_core::sync::{NodeLock, SpinLock};
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    // --- epoch pin ---
+    let collector = lo_reclaim::Collector::new();
+    let handle = collector.register();
+    c.bench_function("substrate/pin/lo-reclaim", |b| {
+        b.iter(|| {
+            let g = handle.pin();
+            std::hint::black_box(&g);
+        })
+    });
+    c.bench_function("substrate/pin/crossbeam-epoch", |b| {
+        b.iter(|| {
+            let g = crossbeam_epoch::pin();
+            std::hint::black_box(&g);
+        })
+    });
+
+    // --- pin + retire a box ---
+    c.bench_function("substrate/retire/lo-reclaim", |b| {
+        b.iter(|| {
+            let g = handle.pin();
+            let p = Box::into_raw(Box::new(42u64));
+            unsafe { g.defer_destroy_box(p) };
+        })
+    });
+    c.bench_function("substrate/retire/crossbeam-epoch", |b| {
+        b.iter(|| {
+            let g = crossbeam_epoch::pin();
+            let p = crossbeam_epoch::Owned::new(42u64).into_shared(&g);
+            unsafe { g.defer_destroy(p) };
+        })
+    });
+
+    // --- locks (uncontended) ---
+    let nl = NodeLock::new();
+    c.bench_function("substrate/lock/parking-lot-nodelock", |b| {
+        b.iter(|| {
+            nl.lock();
+            nl.unlock();
+        })
+    });
+    let sl = SpinLock::new();
+    c.bench_function("substrate/lock/ttas-spinlock", |b| {
+        b.iter(|| {
+            sl.lock();
+            sl.unlock();
+        })
+    });
+}
+
+criterion_group! {
+    name = ablation_substrate;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+criterion_main!(ablation_substrate);

@@ -1,0 +1,24 @@
+//! `cargo bench` entry for Table 1 (balanced trees). Runs a reduced smoke
+//! sweep by default so the whole bench suite terminates quickly; the
+//! `repro-table1` binary is the full-control version (same code path).
+
+use lo_bench::{emit, run_panel, Algo, Scale};
+use lo_workload::Mix;
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale {
+        trial: Duration::from_millis(150),
+        reps: 1,
+        threads: vec![1, 2, 4],
+        ranges: vec![20_000],
+    };
+    let algos = Algo::table1();
+    let mut panels = Vec::new();
+    for mix in [Mix::C50_I25_R25, Mix::C70_I20_R10, Mix::C100] {
+        for &range in &scale.ranges {
+            panels.push(run_panel(mix, range, &algos, &scale));
+        }
+    }
+    emit(&panels, "bench_table1_smoke");
+}

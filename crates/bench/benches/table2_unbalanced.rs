@@ -1,0 +1,23 @@
+//! `cargo bench` entry for Table 2 (unbalanced trees): reduced smoke sweep;
+//! the `repro-table2` binary is the full-control version.
+
+use lo_bench::{emit, run_panel, Algo, Scale};
+use lo_workload::Mix;
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale {
+        trial: Duration::from_millis(150),
+        reps: 1,
+        threads: vec![1, 2, 4],
+        ranges: vec![20_000],
+    };
+    let algos = Algo::table2();
+    let mut panels = Vec::new();
+    for mix in [Mix::C70_I20_R10, Mix::C100] {
+        for &range in &scale.ranges {
+            panels.push(run_panel(mix, range, &algos, &scale));
+        }
+    }
+    emit(&panels, "bench_table2_smoke");
+}

@@ -1,0 +1,92 @@
+//! Extension experiment: **lookup tail latency** under update load.
+//!
+//! The paper's qualitative argument for lock-free `contains` is robustness:
+//! a lookup can never wait for a rebalance, a lock, or a preempted lock
+//! holder. Throughput tables hide this; tail latency shows it. One reader
+//! thread samples `contains` latency while writers churn; we report
+//! p50/p99/p999 per algorithm (the coarse RwLock reference is included as
+//! the blocking extreme).
+//!
+//! Usage: `cargo run -p lo-bench --release --bin repro-latency`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use lo_api::ConcurrentMap;
+use lo_baselines::{BccoTreeMap, CfTreeMap, CoarseAvlMap, SkipListMap};
+use lo_core::LoAvlMap;
+use lo_workload::{prefill, LatencyHistogram, Mix, SplitMix64, TrialSpec, XorShift64Star};
+
+fn measure<M: ConcurrentMap<i64, u64> + Sync>(map: M, spec: &TrialSpec) -> LatencyHistogram {
+    prefill(&map, spec);
+    let stop = AtomicBool::new(false);
+    let mut seeder = SplitMix64::new(spec.seed);
+    let writer_seeds: Vec<u64> = (0..spec.threads.saturating_sub(1)).map(|_| seeder.next_u64()).collect();
+    let reader_seed = seeder.next_u64();
+
+    std::thread::scope(|s| {
+        let map = &map;
+        let stop = &stop;
+        // Writers: 50/50 insert/remove churn.
+        for &seed in &writer_seeds {
+            s.spawn(move || {
+                let mut rng = XorShift64Star::new(seed);
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng.next_below(spec.key_range) as i64;
+                    if rng.next_u64() & 1 == 0 {
+                        map.insert(k, k as u64);
+                    } else {
+                        map.remove(&k);
+                    }
+                }
+            });
+        }
+        // Reader: sample contains latency.
+        let reader = s.spawn(move || {
+            let mut rng = XorShift64Star::new(reader_seed);
+            let mut hist = LatencyHistogram::new();
+            while !stop.load(Ordering::Relaxed) {
+                let k = rng.next_below(spec.key_range) as i64;
+                hist.time(|| std::hint::black_box(map.contains(&k)));
+            }
+            hist
+        });
+        std::thread::sleep(spec.duration);
+        stop.store(true, Ordering::Relaxed);
+        reader.join().expect("reader")
+    })
+}
+
+fn main() {
+    let full = std::env::var("LO_FULL").map(|v| v == "1").unwrap_or(false);
+    let spec = TrialSpec::new(
+        Mix::C50_I25_R25, // prefill ratio source; churn is 50/50 anyway
+        if full { 200_000 } else { 20_000 },
+        4, // 1 reader + 3 writers
+        if full { Duration::from_secs(5) } else { Duration::from_millis(700) },
+    );
+    println!(
+        "### contains() latency under churn: range {}, 3 writers, {:?}",
+        spec.key_range, spec.duration
+    );
+    println!("{:<16}{:>12}{}", "algorithm", "samples", "  latency");
+
+    let mut lines = String::new();
+    macro_rules! row {
+        ($label:expr, $map:expr) => {{
+            let hist = measure($map, &spec);
+            let line = format!("{:<16}{:>12}  {}", $label, hist.count(), hist.summary());
+            println!("{line}");
+            lines.push_str(&line);
+            lines.push('\n');
+        }};
+    }
+    row!("lo-avl", LoAvlMap::<i64, u64>::new());
+    row!("bcco", BccoTreeMap::<i64, u64>::new());
+    row!("cf", CfTreeMap::<i64, u64>::new());
+    row!("skiplist", SkipListMap::<i64, u64>::new());
+    row!("coarse-rwlock", CoarseAvlMap::<i64, u64>::new());
+
+    let _ = std::fs::create_dir_all("bench_results");
+    let _ = std::fs::write("bench_results/latency.txt", lines);
+}

@@ -1,0 +1,115 @@
+//! Reproduces the paper's §6 memory discussion: on-time deletion keeps the
+//! physical tree at exactly the live-key count, while partially-external
+//! designs accumulate logically-deleted "zombie"/routing nodes — the paper
+//! notes the BCCO tree may hold up to ~50% zombies.
+//!
+//! Protocol: prefill to steady state, run the 70c-20i-10r mix, then stop and
+//! report live keys vs. physically allocated nodes for LO-AVL (on-time),
+//! LO-AVL-PE (logical removing), BCCO and CF.
+//!
+//! Usage: `cargo run -p lo-bench --release --bin repro-memory`
+
+use std::time::Duration;
+
+use lo_baselines::{BccoTreeMap, CfTreeMap};
+use lo_core::{LoAvlMap, LoPeAvlMap};
+use lo_workload::{prefill, run_trial, Mix, TrialSpec};
+
+struct Row {
+    name: &'static str,
+    live: usize,
+    physical: usize,
+    zombies: usize,
+}
+
+impl Row {
+    fn overhead_pct(&self) -> f64 {
+        if self.physical == 0 {
+            0.0
+        } else {
+            100.0 * self.zombies as f64 / self.physical as f64
+        }
+    }
+}
+
+fn main() {
+    let full = std::env::var("LO_FULL").map(|v| v == "1").unwrap_or(false);
+    let range: u64 = if full { 200_000 } else { 20_000 };
+    let trial = if full { Duration::from_secs(5) } else { Duration::from_millis(500) };
+    let threads = if full { 8 } else { 4 };
+    let spec = TrialSpec::new(Mix::C70_I20_R10, range, threads, trial);
+
+    let mut rows = Vec::new();
+
+    {
+        let m = LoAvlMap::<i64, u64>::new();
+        prefill(&m, &spec);
+        let _ = run_trial(&m, &spec);
+        rows.push(Row {
+            name: "lo-avl (on-time deletion)",
+            live: m.len(),
+            physical: m.physical_node_count(),
+            zombies: m.zombie_count(),
+        });
+    }
+    {
+        let m = LoPeAvlMap::<i64, u64>::new();
+        prefill(&m, &spec);
+        let _ = run_trial(&m, &spec);
+        rows.push(Row {
+            name: "lo-avl-pe (logical removing)",
+            live: m.len(),
+            physical: m.physical_node_count(),
+            zombies: m.zombie_count(),
+        });
+    }
+    {
+        let m = BccoTreeMap::<i64, u64>::new();
+        prefill(&m, &spec);
+        let _ = run_trial(&m, &spec);
+        let (physical, routing) = m.node_stats();
+        rows.push(Row {
+            name: "bcco (partially external)",
+            live: physical - routing,
+            physical,
+            zombies: routing,
+        });
+    }
+    {
+        let m = CfTreeMap::<i64, u64>::new();
+        prefill(&m, &spec);
+        let _ = run_trial(&m, &spec);
+        // Give the maintenance thread a moment to settle, as a real
+        // deployment would between bursts.
+        std::thread::sleep(Duration::from_millis(200));
+        let (physical, deleted) = m.node_stats();
+        rows.push(Row {
+            name: "cf (maintenance thread)",
+            live: physical - deleted,
+            physical,
+            zombies: deleted,
+        });
+    }
+
+    println!("### Memory footprint after {} {:?} of 70c-20i-10r, range {range}", threads, trial);
+    println!(
+        "{:<32}{:>12}{:>12}{:>12}{:>12}",
+        "algorithm", "live keys", "phys nodes", "zombies", "overhead%"
+    );
+    let mut text = String::new();
+    for r in &rows {
+        let line = format!(
+            "{:<32}{:>12}{:>12}{:>12}{:>11.1}%",
+            r.name,
+            r.live,
+            r.physical,
+            r.zombies,
+            r.overhead_pct()
+        );
+        println!("{line}");
+        text.push_str(&line);
+        text.push('\n');
+    }
+    let _ = std::fs::create_dir_all("bench_results");
+    let _ = std::fs::write("bench_results/memory.txt", text);
+}

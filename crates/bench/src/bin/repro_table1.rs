@@ -1,0 +1,27 @@
+//! Reproduces **Table 1** of the paper: throughput of the *balanced*
+//! concurrent dictionaries (LO-AVL, LO-AVL-PE "logical removing", BCCO, CF,
+//! chromatic, skip list) under the three workload mixes and three key
+//! ranges, swept over thread counts.
+//!
+//! Usage: `cargo run -p lo-bench --release --bin repro-table1`
+//! (`LO_FULL=1` for the paper-scale protocol; `LO_TRIAL_MS`, `LO_REPS`,
+//! `LO_MAX_THREADS` to fine-tune.)
+
+use lo_bench::{emit, run_panel, Algo, Scale};
+use lo_workload::Mix;
+
+fn main() {
+    let scale = Scale::from_env();
+    let algos = Algo::table1();
+    eprintln!(
+        "Table 1: {:?} trials x{} reps, threads {:?}, ranges {:?}",
+        scale.trial, scale.reps, scale.threads, scale.ranges
+    );
+    let mut panels = Vec::new();
+    for mix in [Mix::C50_I25_R25, Mix::C70_I20_R10, Mix::C100] {
+        for &range in &scale.ranges {
+            panels.push(run_panel(mix, range, &algos, &scale));
+        }
+    }
+    emit(&panels, "table1_balanced");
+}

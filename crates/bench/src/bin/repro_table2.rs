@@ -1,0 +1,30 @@
+//! Reproduces **Table 2** of the paper: throughput of the *unbalanced*
+//! dictionaries (LO-BST, its logical-removing variant, EFRB; plus the
+//! Natarajan–Mittal tree as a cited extension) for the 70c-20i-10r and
+//! 100c-0i-0r mixes. (The paper notes 50-25-25 produces similar results to
+//! 70-20-10; pass `LO_TABLE2_ALL_MIXES=1` to include it anyway.)
+//!
+//! Usage: `cargo run -p lo-bench --release --bin repro-table2`
+
+use lo_bench::{emit, run_panel, Algo, Scale};
+use lo_workload::Mix;
+
+fn main() {
+    let scale = Scale::from_env();
+    let algos = Algo::table2();
+    let mut mixes = vec![Mix::C70_I20_R10, Mix::C100];
+    if std::env::var("LO_TABLE2_ALL_MIXES").map(|v| v == "1").unwrap_or(false) {
+        mixes.insert(0, Mix::C50_I25_R25);
+    }
+    eprintln!(
+        "Table 2: {:?} trials x{} reps, threads {:?}, ranges {:?}",
+        scale.trial, scale.reps, scale.threads, scale.ranges
+    );
+    let mut panels = Vec::new();
+    for mix in mixes {
+        for &range in &scale.ranges {
+            panels.push(run_panel(mix, range, &algos, &scale));
+        }
+    }
+    emit(&panels, "table2_unbalanced");
+}

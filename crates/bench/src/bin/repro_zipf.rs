@@ -1,0 +1,39 @@
+//! Extension experiment (not in the paper): skew sensitivity.
+//!
+//! The paper draws keys uniformly; real workloads are often Zipf-skewed,
+//! which concentrates contention on a few interval locks and stresses the
+//! balanced trees' hot paths differently. This binary sweeps Zipf θ for the
+//! balanced lineup at a fixed mix/range/thread count.
+//!
+//! Usage: `cargo run -p lo-bench --release --bin repro-zipf`
+
+use lo_bench::{emit, Algo, Scale};
+use lo_workload::{KeyDist, Mix, Panel, Summary, TrialSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let full = std::env::var("LO_FULL").map(|v| v == "1").unwrap_or(false);
+    let range: u64 = if full { 200_000 } else { 20_000 };
+    let threads = *scale.threads.last().expect("non-empty thread list");
+    let thetas = [0.0, 0.5, 0.9, 1.1];
+    let algos = Algo::table1();
+
+    let mut panel = Panel::new(
+        format!("zipf sweep, 70c-20i-10r, range {range}, {threads} threads (rows = θ×100)"),
+        algos.iter().map(|a| a.label().to_string()).collect(),
+        thetas.iter().map(|t| (t * 100.0) as usize).collect(),
+    );
+    for (row, &theta) in thetas.iter().enumerate() {
+        for (col, &algo) in algos.iter().enumerate() {
+            let mut spec = TrialSpec::new(Mix::C70_I20_R10, range, threads, scale.trial);
+            if theta > 0.0 {
+                spec.dist = KeyDist::Zipf(theta);
+            }
+            let reps = algo.run(&spec, scale.reps);
+            let summary = Summary::of(&reps);
+            panel.set(row, col, summary);
+            eprintln!("  theta={theta} {} -> {summary}", algo.label());
+        }
+    }
+    emit(&[panel], "zipf_sweep");
+}

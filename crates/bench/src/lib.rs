@@ -1,0 +1,221 @@
+//! Shared harness for the reproduction binaries and benches: an algorithm
+//! registry, scale presets, and panel runners regenerating the paper's
+//! Tables 1 and 2.
+//!
+//! Scale: the defaults finish on a small container; set `LO_FULL=1` for the
+//! paper-scale protocol (5-second trials, 8 repetitions, threads 1..256,
+//! key ranges 2·10⁴/2·10⁵/2·10⁶).
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use lo_baselines::{
+    BccoTreeMap, CfTreeMap, ChromaticTreeMap, CoarseAvlMap, EfrbTreeMap, NmTreeMap, SkipListMap,
+};
+use lo_core::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
+use lo_workload::{run_experiment, Mix, Panel, Summary, TrialSpec};
+
+/// Every benchmarkable algorithm in the suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// The paper's relaxed-balance AVL with logical ordering.
+    LoAvl,
+    /// The paper's partially-external ("logical removing") AVL variant.
+    LoPeAvl,
+    /// The paper's unbalanced BST with logical ordering.
+    LoBst,
+    /// Unbalanced partially-external variant.
+    LoPeBst,
+    /// Bronson et al. relaxed AVL (lock-based, partially external).
+    Bcco,
+    /// Crain et al. contention-friendly tree (maintenance thread).
+    Cf,
+    /// Brown et al. chromatic tree (lock-based substitution).
+    Chromatic,
+    /// Lock-free skip list (Fraser/Harris design).
+    Skiplist,
+    /// Ellen et al. non-blocking external BST.
+    Efrb,
+    /// Natarajan–Mittal lock-free external BST (extension).
+    Nm,
+    /// Coarse `RwLock` reference.
+    Coarse,
+}
+
+impl Algo {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::LoAvl => "lo-avl",
+            Algo::LoPeAvl => "lo-avl-pe",
+            Algo::LoBst => "lo-bst",
+            Algo::LoPeBst => "lo-bst-pe",
+            Algo::Bcco => "bcco",
+            Algo::Cf => "cf",
+            Algo::Chromatic => "chromatic",
+            Algo::Skiplist => "skiplist",
+            Algo::Efrb => "efrb",
+            Algo::Nm => "nm",
+            Algo::Coarse => "coarse",
+        }
+    }
+
+    /// The balanced-tree lineup of Table 1.
+    pub fn table1() -> Vec<Algo> {
+        vec![Algo::LoAvl, Algo::LoPeAvl, Algo::Bcco, Algo::Cf, Algo::Chromatic, Algo::Skiplist]
+    }
+
+    /// The unbalanced lineup of Table 2 (plus the NM extension).
+    pub fn table2() -> Vec<Algo> {
+        vec![Algo::LoBst, Algo::LoPeBst, Algo::Efrb, Algo::Nm]
+    }
+
+    /// Runs `reps` prefilled timed trials; returns per-rep Mops/s.
+    pub fn run(self, spec: &TrialSpec, reps: usize) -> Vec<f64> {
+        match self {
+            Algo::LoAvl => run_experiment(LoAvlMap::<i64, u64>::new, spec, reps),
+            Algo::LoPeAvl => run_experiment(LoPeAvlMap::<i64, u64>::new, spec, reps),
+            Algo::LoBst => run_experiment(LoBstMap::<i64, u64>::new, spec, reps),
+            Algo::LoPeBst => run_experiment(LoPeBstMap::<i64, u64>::new, spec, reps),
+            Algo::Bcco => run_experiment(BccoTreeMap::<i64, u64>::new, spec, reps),
+            Algo::Cf => run_experiment(CfTreeMap::<i64, u64>::new, spec, reps),
+            Algo::Chromatic => run_experiment(ChromaticTreeMap::<i64, u64>::new, spec, reps),
+            Algo::Skiplist => run_experiment(SkipListMap::<i64, u64>::new, spec, reps),
+            Algo::Efrb => run_experiment(EfrbTreeMap::<i64, u64>::new, spec, reps),
+            Algo::Nm => run_experiment(NmTreeMap::<i64, u64>::new, spec, reps),
+            Algo::Coarse => run_experiment(CoarseAvlMap::<i64, u64>::new, spec, reps),
+        }
+    }
+}
+
+/// Sweep parameters for a table reproduction.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Trial duration.
+    pub trial: Duration,
+    /// Repetitions per cell (arithmetic mean reported).
+    pub reps: usize,
+    /// Thread counts (the paper: 2^0..2^8).
+    pub threads: Vec<usize>,
+    /// Key ranges (the paper: 2·10⁴, 2·10⁵, 2·10⁶).
+    pub ranges: Vec<u64>,
+}
+
+impl Scale {
+    /// The paper's protocol.
+    pub fn paper() -> Self {
+        Self {
+            trial: Duration::from_secs(5),
+            reps: 8,
+            threads: (0..=8).map(|i| 1usize << i).collect(),
+            ranges: vec![20_000, 200_000, 2_000_000],
+        }
+    }
+
+    /// A container-friendly smoke scale (minutes, not hours).
+    pub fn smoke() -> Self {
+        Self {
+            trial: Duration::from_millis(300),
+            reps: 2,
+            threads: vec![1, 2, 4],
+            ranges: vec![20_000, 200_000],
+        }
+    }
+
+    /// `LO_FULL=1` selects the paper scale; anything else the smoke scale.
+    /// `LO_TRIAL_MS`, `LO_REPS`, `LO_MAX_THREADS` override individual knobs.
+    pub fn from_env() -> Self {
+        let mut s = if std::env::var("LO_FULL").map(|v| v == "1").unwrap_or(false) {
+            Self::paper()
+        } else {
+            Self::smoke()
+        };
+        if let Ok(Ok(ms)) = std::env::var("LO_TRIAL_MS").map(|v| v.parse::<u64>()) {
+            s.trial = Duration::from_millis(ms);
+        }
+        if let Ok(Ok(r)) = std::env::var("LO_REPS").map(|v| v.parse::<usize>()) {
+            s.reps = r.max(1);
+        }
+        if let Ok(Ok(t)) = std::env::var("LO_MAX_THREADS").map(|v| v.parse::<usize>()) {
+            s.threads.retain(|&x| x <= t);
+        }
+        s
+    }
+}
+
+/// Runs one (mix, range) panel over `algos` and returns the filled table.
+pub fn run_panel(mix: Mix, range: u64, algos: &[Algo], scale: &Scale) -> Panel {
+    let mut panel = Panel::new(
+        format!("{}, key range {range}", mix.label()),
+        algos.iter().map(|a| a.label().to_string()).collect(),
+        scale.threads.clone(),
+    );
+    for (row, &threads) in scale.threads.iter().enumerate() {
+        for (col, &algo) in algos.iter().enumerate() {
+            let spec = TrialSpec::new(mix, range, threads, scale.trial);
+            let reps = algo.run(&spec, scale.reps);
+            let summary = Summary::of(&reps);
+            panel.set(row, col, summary);
+            eprintln!("  [{}] threads={threads} {} -> {summary}", panel.title, algo.label());
+        }
+    }
+    panel
+}
+
+/// Writes panels as text + CSV under `bench_results/`.
+pub fn emit(panels: &[Panel], name: &str) {
+    let dir = std::path::Path::new("bench_results");
+    let _ = std::fs::create_dir_all(dir);
+    let mut text = String::new();
+    let mut csv = String::new();
+    for p in panels {
+        text.push_str(&p.render());
+        text.push('\n');
+        csv.push_str(&p.to_csv());
+    }
+    println!("{text}");
+    let _ = std::fs::write(dir.join(format!("{name}.txt")), &text);
+    let _ = std::fs::write(dir.join(format!("{name}.csv")), &csv);
+    eprintln!("(wrote bench_results/{name}.txt and .csv)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique() {
+        let mut all = Algo::table1();
+        all.extend(Algo::table2());
+        all.push(Algo::Coarse);
+        let mut labels: Vec<_> = all.iter().map(|a| a.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn scale_env_default_is_smoke() {
+        let s = Scale::from_env();
+        assert!(s.trial <= Duration::from_secs(5));
+        assert!(!s.threads.is_empty());
+    }
+
+    #[test]
+    fn tiny_panel_runs() {
+        let scale = Scale {
+            trial: Duration::from_millis(30),
+            reps: 1,
+            threads: vec![1, 2],
+            ranges: vec![256],
+        };
+        let panel = run_panel(Mix::C70_I20_R10, 256, &[Algo::LoBst, Algo::Efrb], &scale);
+        assert_eq!(panel.threads, vec![1, 2]);
+        for row in &panel.cells {
+            for cell in row {
+                assert!(cell.mean > 0.0, "throughput must be positive");
+            }
+        }
+    }
+}

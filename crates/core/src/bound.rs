@@ -1,0 +1,99 @@
+//! Key-space bounds: every tree is initialized with the sentinel keys
+//! `-∞` and `+∞` (paper §1: "we always add designated sentinel keys −∞ and ∞
+//! to any set"), so node keys live in the extended key space modeled here.
+
+use std::cmp::Ordering;
+
+/// A key extended with the two sentinel bounds.
+///
+/// Ordering: `NegInf < Key(k) < PosInf` for every `k`, and `Key(a) < Key(b)`
+/// iff `a < b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound<K> {
+    /// The `−∞` sentinel; only the head sentinel node carries it.
+    NegInf,
+    /// A real key.
+    Key(K),
+    /// The `+∞` sentinel; only the root sentinel node carries it.
+    PosInf,
+}
+
+impl<K: Ord> Bound<K> {
+    /// Compares this bound against a real key.
+    #[inline]
+    pub fn cmp_key(&self, key: &K) -> Ordering {
+        match self {
+            Bound::NegInf => Ordering::Less,
+            Bound::Key(k) => k.cmp(key),
+            Bound::PosInf => Ordering::Greater,
+        }
+    }
+
+    /// Returns the real key, if this is not a sentinel.
+    #[inline]
+    pub fn as_key(&self) -> Option<&K> {
+        match self {
+            Bound::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Whether this bound equals the given real key.
+    #[inline]
+    pub fn is_key(&self, key: &K) -> bool {
+        matches!(self, Bound::Key(k) if k == key)
+    }
+}
+
+impl<K: Ord> PartialOrd for Bound<K> {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for Bound<K> {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Bound::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => Ordering::Less,
+            (_, NegInf) | (PosInf, _) => Ordering::Greater,
+            (Key(a), Key(b)) => a.cmp(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        let vals = [Bound::NegInf, Bound::Key(-5), Bound::Key(0), Bound::Key(9), Bound::PosInf];
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                assert_eq!(vals[i].cmp(&vals[j]), i.cmp(&j), "{:?} vs {:?}", vals[i], vals[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_key_matches_cmp() {
+        for b in [Bound::NegInf, Bound::Key(3), Bound::PosInf] {
+            for k in [-1, 3, 7] {
+                assert_eq!(b.cmp_key(&k), b.cmp(&Bound::Key(k)));
+            }
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Bound::Key(4).as_key(), Some(&4));
+        assert_eq!(Bound::<i32>::PosInf.as_key(), None);
+        assert!(Bound::Key(4).is_key(&4));
+        assert!(!Bound::Key(4).is_key(&5));
+        assert!(!Bound::<i32>::NegInf.is_key(&4));
+    }
+}

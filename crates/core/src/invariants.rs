@@ -1,0 +1,188 @@
+//! Quiescent structural validation.
+//!
+//! [`LoTree::check_invariants_quiescent`] verifies, while no other thread is
+//! operating on the tree, every invariant the algorithm promises:
+//!
+//! 1. the ordering chain (`succ` walk from `N−∞`) is strictly ascending,
+//!    `pred` mirrors `succ`, and contains no marked node;
+//! 2. the physical tree layout's in-order traversal yields exactly the
+//!    ordering chain (the two layouts agree);
+//! 3. parent pointers are consistent with child pointers;
+//! 4. in balanced mode the stored `leftHeight`/`rightHeight` equal the true
+//!    subtree heights and every node satisfies the AVL bound |bf| ≤ 1
+//!    (strict balance at quiescence, paper §2 / Bougé et al.);
+//! 5. no lock is left held; zombies only exist in partially-external mode.
+
+use crossbeam_epoch::{self as epoch, Shared};
+use std::sync::atomic::Ordering;
+
+use crate::bound::Bound;
+use crate::node::{nref, Node};
+use crate::tree::LoTree;
+use lo_api::{Key, Value};
+
+impl<K: Key, V: Value> LoTree<K, V> {
+    /// Panics with a diagnostic on the first violated invariant. Must only be
+    /// called at quiescence.
+    pub(crate) fn check_invariants_quiescent(&self) {
+        let g = epoch::pin();
+        let root = self.root_sh(&g);
+        let head = self.head_sh(&g);
+
+        // --- 1. ordering chain ---
+        let mut chain: Vec<Shared<'_, Node<K, V>>> = Vec::new();
+        let mut prev = head;
+        let mut cur = nref(head).succ.load(Ordering::Acquire, &g);
+        assert!(
+            matches!(nref(head).key, Bound::NegInf),
+            "head sentinel must carry −∞"
+        );
+        loop {
+            let n = nref(cur);
+            assert!(
+                !n.mark.load(Ordering::SeqCst),
+                "marked node {:?} present in the ordering chain",
+                n.key
+            );
+            assert_eq!(
+                n.pred.load(Ordering::Acquire, &g),
+                prev,
+                "pred pointer of {:?} does not mirror succ chain",
+                n.key
+            );
+            assert!(
+                nref(prev).key < n.key,
+                "ordering chain not strictly ascending at {:?}",
+                n.key
+            );
+            if cur == root {
+                assert!(matches!(n.key, Bound::PosInf), "tail of chain must be +∞ root");
+                break;
+            }
+            assert!(n.key.as_key().is_some(), "interior chain node must hold a real key");
+            if n.zombie.load(Ordering::SeqCst) {
+                assert!(
+                    self.partially_external,
+                    "zombie node {:?} in a fully-internal tree",
+                    n.key
+                );
+            }
+            assert!(
+                !n.succ_lock.is_locked() && !n.tree_lock.is_locked(),
+                "lock left held on {:?}",
+                n.key
+            );
+            chain.push(cur);
+            prev = cur;
+            cur = n.succ.load(Ordering::Acquire, &g);
+        }
+
+        // --- 2 & 3. physical layout: in-order == chain; parents consistent ---
+        assert!(
+            nref(root).right.load(Ordering::Acquire, &g).is_null(),
+            "+∞ root must have no right child"
+        );
+        let mut inorder: Vec<Shared<'_, Node<K, V>>> = Vec::new();
+        // Iterative in-order over root.left (avoids stack overflow on
+        // degenerate unbalanced shapes).
+        let mut stack: Vec<Shared<'_, Node<K, V>>> = Vec::new();
+        let mut node = nref(root).left.load(Ordering::Acquire, &g);
+        if !node.is_null() {
+            assert_eq!(
+                nref(node).parent.load(Ordering::Acquire, &g),
+                root,
+                "root's child has inconsistent parent pointer"
+            );
+        }
+        while !node.is_null() || !stack.is_empty() {
+            while !node.is_null() {
+                for side in [true, false] {
+                    let ch = nref(node).child(side, &g);
+                    if !ch.is_null() {
+                        assert_eq!(
+                            nref(ch).parent.load(Ordering::Acquire, &g),
+                            node,
+                            "child {:?} of {:?} has inconsistent parent pointer",
+                            nref(ch).key,
+                            nref(node).key
+                        );
+                    }
+                }
+                stack.push(node);
+                node = nref(node).left.load(Ordering::Acquire, &g);
+            }
+            let n = stack.pop().expect("stack non-empty by loop condition");
+            inorder.push(n);
+            node = nref(n).right.load(Ordering::Acquire, &g);
+        }
+        assert_eq!(
+            inorder.len(),
+            chain.len(),
+            "tree layout has {} nodes but ordering chain has {}",
+            inorder.len(),
+            chain.len()
+        );
+        for (a, b) in inorder.iter().zip(chain.iter()) {
+            assert_eq!(
+                *a, *b,
+                "tree in-order and ordering chain diverge at {:?} vs {:?}",
+                nref(*a).key,
+                nref(*b).key
+            );
+        }
+
+        // --- 4. heights and AVL balance (balanced mode only) ---
+        if self.balanced {
+            let top = nref(root).left.load(Ordering::Acquire, &g);
+            self.check_heights(top, &g);
+        }
+    }
+
+    /// Iterative post-order height verification; returns nothing, panics on
+    /// mismatch. Heights: empty subtree = 0, leaf = 1.
+    fn check_heights<'g>(&self, top: Shared<'g, Node<K, V>>, g: &'g epoch::Guard) {
+        if top.is_null() {
+            return;
+        }
+        // (node, visited-children?) work list; computed heights stored in a
+        // side map keyed by pointer.
+        use std::collections::HashMap;
+        let mut heights: HashMap<usize, i32> = HashMap::new();
+        let mut work: Vec<(Shared<'g, Node<K, V>>, bool)> = vec![(top, false)];
+        while let Some((n, expanded)) = work.pop() {
+            let r = nref(n);
+            let l_ch = r.left.load(Ordering::Acquire, g);
+            let r_ch = r.right.load(Ordering::Acquire, g);
+            if !expanded {
+                work.push((n, true));
+                if !l_ch.is_null() {
+                    work.push((l_ch, false));
+                }
+                if !r_ch.is_null() {
+                    work.push((r_ch, false));
+                }
+                continue;
+            }
+            let hl = if l_ch.is_null() { 0 } else { heights[&(l_ch.as_raw() as usize)] };
+            let hr = if r_ch.is_null() { 0 } else { heights[&(r_ch.as_raw() as usize)] };
+            assert_eq!(
+                r.left_height.load(Ordering::Relaxed),
+                hl,
+                "stale leftHeight at {:?} (actual {hl})",
+                r.key
+            );
+            assert_eq!(
+                r.right_height.load(Ordering::Relaxed),
+                hr,
+                "stale rightHeight at {:?} (actual {hr})",
+                r.key
+            );
+            assert!(
+                (hl - hr).abs() <= 1,
+                "AVL violation at {:?}: leftHeight {hl}, rightHeight {hr}",
+                r.key
+            );
+            heights.insert(n.as_raw() as usize, hl.max(hr) + 1);
+        }
+    }
+}

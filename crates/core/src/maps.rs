@@ -1,0 +1,364 @@
+//! Public map types: the four members of the logical-ordering family.
+
+use crate::tree::LoTree;
+use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+
+macro_rules! define_map {
+    (
+        $(#[$doc:meta])*
+        $name:ident, balanced = $balanced:expr, partially_external = $pe:expr,
+        label = $label:expr
+    ) => {
+        $(#[$doc])*
+        pub struct $name<K: Key, V: Value> {
+            tree: LoTree<K, V>,
+        }
+
+        impl<K: Key, V: Value> $name<K, V> {
+            /// Creates an empty map (two-sentinel initial tree).
+            pub fn new() -> Self {
+                Self { tree: LoTree::new($balanced, $pe) }
+            }
+
+            /// Inserts `key -> value` if absent; `true` on success.
+            /// Lock-free traversal, then interval-lock synchronization
+            /// (paper Algorithm 3).
+            pub fn insert(&self, key: K, value: V) -> bool {
+                self.tree.insert(key, value)
+            }
+
+            /// Removes `key`; `true` if it was present (paper Algorithm 7).
+            pub fn remove(&self, key: &K) -> bool {
+                self.tree.remove(key)
+            }
+
+            /// Insert-or-replace: maps `key` to `value` and returns the
+            /// previous value, if any (`None` also when reviving a
+            /// logically-removed zombie in the partially-external variants).
+            pub fn put(&self, key: K, value: V) -> Option<V>
+            where
+                V: Clone,
+            {
+                self.tree.put(key, value)
+            }
+
+            /// Lock-free membership test (paper Algorithm 2): never blocks,
+            /// never restarts, regardless of concurrent rotations/removals.
+            pub fn contains(&self, key: &K) -> bool {
+                self.tree.contains(key)
+            }
+
+            /// The naive layout-only lookup of the paper's Figure 1 — **not
+            /// linearizable** under concurrent updates (it can miss present
+            /// keys). Exposed solely for the `figure1_demo` example and the
+            /// motivation ablation; use [`Self::contains`].
+            #[doc(hidden)]
+            pub fn contains_layout_only(&self, key: &K) -> bool {
+                self.tree.contains_layout_only(key)
+            }
+
+            /// Lock-free value clone.
+            pub fn get(&self, key: &K) -> Option<V>
+            where
+                V: Clone,
+            {
+                self.tree.get(key)
+            }
+
+            /// Lock-free value read through a closure (no clone needed).
+            pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+                self.tree.get_with(key, f)
+            }
+
+            /// Smallest key (paper §4.7), O(1) expected.
+            pub fn min_key(&self) -> Option<K> {
+                self.tree.min_key()
+            }
+
+            /// Largest key (paper §4.7), O(1) expected.
+            pub fn max_key(&self) -> Option<K> {
+                self.tree.max_key()
+            }
+
+            /// Ascending key snapshot via the ordering layout (paper §4.7).
+            pub fn keys_in_order(&self) -> Vec<K> {
+                self.tree.keys_in_order()
+            }
+
+            /// Smallest live key ≥ `key` (lock-free; extension of §4.7).
+            pub fn ceiling_key(&self, key: &K) -> Option<K> {
+                self.tree.ceiling_key(key)
+            }
+
+            /// Largest live key ≤ `key` (lock-free; extension of §4.7).
+            pub fn floor_key(&self, key: &K) -> Option<K> {
+                self.tree.floor_key(key)
+            }
+
+            /// Ascending snapshot of the live keys in `range` (walks the
+            /// succ chain; precise at quiescence, best-effort under
+            /// concurrency).
+            pub fn range_keys(&self, range: std::ops::RangeInclusive<K>) -> Vec<K> {
+                self.tree.range_keys(range)
+            }
+
+            /// Atomically removes and returns the smallest entry.
+            pub fn pop_min(&self) -> Option<(K, V)>
+            where
+                V: Clone,
+            {
+                self.tree.pop_min()
+            }
+
+            /// Atomically removes and returns the largest entry.
+            pub fn pop_max(&self) -> Option<(K, V)>
+            where
+                V: Clone,
+            {
+                self.tree.pop_max()
+            }
+
+            /// Number of live keys. Walks the ordering chain: O(n), intended
+            /// for quiescent use (tests, reporting).
+            pub fn len(&self) -> usize {
+                self.tree.len_quiescent()
+            }
+
+            /// Whether the map holds no live keys.
+            pub fn is_empty(&self) -> bool {
+                self.min_key().is_none()
+            }
+
+            /// Nodes physically present in the tree layout (quiescent use;
+            /// includes zombies in partially-external mode).
+            pub fn physical_node_count(&self) -> usize {
+                self.tree.physical_node_count()
+            }
+
+            /// Logically-deleted nodes still occupying the tree (always 0 for
+            /// the fully-internal variants).
+            pub fn zombie_count(&self) -> usize {
+                self.tree.zombie_count()
+            }
+        }
+
+        impl<K: Key, V: Value> Default for $name<K, V> {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl<K: Key, V: Value> ConcurrentMap<K, V> for $name<K, V> {
+            fn insert(&self, key: K, value: V) -> bool {
+                $name::insert(self, key, value)
+            }
+            fn remove(&self, key: &K) -> bool {
+                $name::remove(self, key)
+            }
+            fn contains(&self, key: &K) -> bool {
+                $name::contains(self, key)
+            }
+            fn get(&self, key: &K) -> Option<V>
+            where
+                V: Clone,
+            {
+                $name::get(self, key)
+            }
+            fn name(&self) -> &'static str {
+                $label
+            }
+        }
+
+        impl<K: Key, V: Value> OrderedAccess<K> for $name<K, V> {
+            fn min_key(&self) -> Option<K> {
+                $name::min_key(self)
+            }
+            fn max_key(&self) -> Option<K> {
+                $name::max_key(self)
+            }
+            fn keys_in_order(&self) -> Vec<K> {
+                $name::keys_in_order(self)
+            }
+        }
+
+        impl<K: Key, V: Value> CheckInvariants for $name<K, V> {
+            fn check_invariants(&self) {
+                self.tree.check_invariants_quiescent()
+            }
+        }
+
+        impl<K: Key, V: Value> std::fmt::Debug for $name<K, V> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name)).field("len", &self.len()).finish()
+            }
+        }
+    };
+}
+
+define_map! {
+    /// The paper's headline data structure: a concurrent **relaxed-balance
+    /// AVL tree with logical ordering** — lock-free `contains`, on-time
+    /// deletion (every removal physically removes the node at once, even
+    /// with two children), and rotations that require no synchronization
+    /// with lookups.
+    LoAvlMap, balanced = true, partially_external = false, label = "lo-avl"
+}
+
+define_map! {
+    /// The paper's **unbalanced** logical-ordering BST (§4.6): same
+    /// ordering-layout synchronization and lock-free `contains`, no
+    /// rebalancing. Expected-logarithmic depth under uniform keys.
+    LoBstMap, balanced = false, partially_external = false, label = "lo-bst"
+}
+
+define_map! {
+    /// The paper's **"logical removing"** variant (§6) of the AVL tree: a
+    /// partially-external tree where removing a node with two children only
+    /// flags it as a zombie; a later insert may revive it, and physical
+    /// removal happens once it drops to one child. Trades memory (zombies)
+    /// for fewer relocations/allocations under update-heavy loads.
+    LoPeAvlMap, balanced = true, partially_external = true, label = "lo-avl-pe"
+}
+
+define_map! {
+    /// Unbalanced partially-external variant ("logical removing" applied to
+    /// the plain BST) — the second of "our trees" in the paper's Table 2.
+    LoPeBstMap, balanced = false, partially_external = true, label = "lo-bst-pe"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basic_ops<M: ConcurrentMap<i64, u64> + CheckInvariants>(m: &M) {
+        assert!(!m.contains(&5));
+        assert!(m.insert(5, 50));
+        assert!(!m.insert(5, 51), "duplicate insert must fail");
+        assert_eq!(m.get(&5), Some(50), "failed insert must not overwrite");
+        assert!(m.contains(&5));
+        assert!(m.insert(3, 30));
+        assert!(m.insert(8, 80));
+        assert!(m.remove(&5));
+        assert!(!m.remove(&5));
+        assert!(!m.contains(&5));
+        assert!(m.contains(&3) && m.contains(&8));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn basic_ops_all_variants() {
+        basic_ops(&LoAvlMap::new());
+        basic_ops(&LoBstMap::new());
+        basic_ops(&LoPeAvlMap::new());
+        basic_ops(&LoPeBstMap::new());
+    }
+
+    #[test]
+    fn ordered_access() {
+        let m = LoAvlMap::new();
+        for k in [5i64, 1, 9, 3, 7] {
+            assert!(m.insert(k, k as u64 * 10));
+        }
+        assert_eq!(m.min_key(), Some(1));
+        assert_eq!(m.max_key(), Some(9));
+        assert_eq!(m.keys_in_order(), vec![1, 3, 5, 7, 9]);
+        assert_eq!(m.len(), 5);
+        assert!(!m.is_empty());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn put_replaces_and_inserts() {
+        let m = LoAvlMap::new();
+        assert_eq!(m.put(1i64, 10u64), None, "fresh key");
+        assert_eq!(m.put(1, 11), Some(10), "replace returns old value");
+        assert_eq!(m.get(&1), Some(11));
+        assert_eq!(m.len(), 1);
+        assert!(m.remove(&1));
+        assert_eq!(m.put(1, 12), None, "reinsert after removal");
+        m.check_invariants();
+    }
+
+    #[test]
+    fn put_revives_zombie_without_old_value() {
+        let m = LoPeAvlMap::new();
+        for k in [5i64, 3, 8] {
+            assert!(m.insert(k, k as u64));
+        }
+        assert!(m.remove(&5)); // two children → zombie
+        assert_eq!(m.zombie_count(), 1);
+        assert_eq!(m.put(5, 99), None, "revive counts as fresh insert");
+        assert_eq!(m.get(&5), Some(99));
+        assert_eq!(m.zombie_count(), 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_puts_last_writer_wins() {
+        let m = LoBstMap::new();
+        assert!(m.insert(7i64, 0u64));
+        std::thread::scope(|s| {
+            for t in 1..=4u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        m.put(7, t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        let v = m.get(&7).expect("key stays present");
+        // Final value must be some thread's *last* write.
+        assert!(
+            (1..=4).any(|t| v == t * 1_000_000 + 4_999),
+            "unexpected final value {v}"
+        );
+        m.check_invariants();
+    }
+
+    #[test]
+    fn get_with_avoids_clone() {
+        let m = LoBstMap::new();
+        assert!(m.insert(1i64, String::from("abc")));
+        assert_eq!(m.get_with(&1, |s| s.len()), Some(3));
+        assert_eq!(m.get_with(&2, |s| s.len()), None);
+    }
+
+    #[test]
+    fn pe_zombie_lifecycle() {
+        let m = LoPeBstMap::new();
+        // Build a node with two children: 5 with children 3 and 8.
+        assert!(m.insert(5i64, 0u64));
+        assert!(m.insert(3, 0));
+        assert!(m.insert(8, 0));
+        // 5 is the root of this subtree with two children → zombie removal.
+        assert!(m.remove(&5));
+        assert!(!m.contains(&5));
+        assert_eq!(m.zombie_count(), 1);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.physical_node_count(), 3, "zombie stays in the layout");
+        // Revive.
+        assert!(m.insert(5, 99));
+        assert_eq!(m.get(&5), Some(99));
+        assert_eq!(m.zombie_count(), 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn on_time_deletion_frees_layout() {
+        let m = LoAvlMap::new();
+        for k in 0..64i64 {
+            assert!(m.insert(k, k as u64));
+        }
+        for k in 0..64i64 {
+            assert!(m.remove(&k));
+        }
+        assert_eq!(m.len(), 0);
+        assert_eq!(
+            m.physical_node_count(),
+            0,
+            "on-time deletion: no zombies may remain"
+        );
+        m.check_invariants();
+    }
+}

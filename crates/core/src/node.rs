@@ -1,0 +1,200 @@
+//! The node layout (paper Figure 3) plus low-level accessors.
+//!
+//! Every field except `key` is mutable and shared between threads, so every
+//! field is an atomic. The synchronization protocol (who may write what):
+//!
+//! * `left`, `right`, `left_height`, `right_height` — protected by this
+//!   node's `tree_lock`.
+//! * `parent` — protected by the *parents'* tree locks: changing `n.parent`
+//!   from `a` to `b` requires holding `a.tree_lock` and `b.tree_lock`
+//!   (paper §4.3: "to change a node's parent, it is only necessary to acquire
+//!   the treeLocks of its original and new parents").
+//! * `succ` of `n`, and `pred` of the node `succ(n)` — protected by
+//!   `n.succ_lock` (the lock of the interval `(n, succ(n))`).
+//! * `mark` — set exactly once, while holding the removed node's `succ_lock`,
+//!   its predecessor's `succ_lock` and its `tree_lock`; read without locks by
+//!   lookups.
+//! * `zombie` — partially-external variant only; guarded by the predecessor's
+//!   `succ_lock`; read without locks by lookups.
+//! * `value` — pointer swapped under the predecessor's `succ_lock`; read
+//!   without locks (epoch-protected) by `get`.
+//!
+//! Reclamation: nodes are only freed through `Guard::defer_destroy` after
+//! being unlinked from both layouts, so lock-free readers holding an epoch
+//! guard can always dereference any pointer they loaded.
+
+use crossbeam_epoch::{Atomic, Guard, Owned, Shared};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+use crate::bound::Bound;
+use crate::sync::NodeLock;
+
+/// A tree node. See module docs for the field protection protocol.
+pub(crate) struct Node<K, V> {
+    /// Immutable key (possibly a sentinel bound).
+    pub(crate) key: Bound<K>,
+    /// Heap pointer to the mapped value; null for sentinels.
+    pub(crate) value: Atomic<V>,
+    /// Removed from the ordering layout (on-time removal).
+    pub(crate) mark: AtomicBool,
+    /// Logically deleted (partially-external variant only).
+    pub(crate) zombie: AtomicBool,
+
+    // -- physical tree layout (guarded by `tree_lock`, except `parent`) --
+    pub(crate) left: Atomic<Node<K, V>>,
+    pub(crate) right: Atomic<Node<K, V>>,
+    pub(crate) parent: Atomic<Node<K, V>>,
+    pub(crate) left_height: AtomicI32,
+    pub(crate) right_height: AtomicI32,
+    pub(crate) tree_lock: NodeLock,
+
+    // -- logical ordering layout (guarded by succ locks) --
+    pub(crate) pred: Atomic<Node<K, V>>,
+    pub(crate) succ: Atomic<Node<K, V>>,
+    pub(crate) succ_lock: NodeLock,
+}
+
+impl<K, V> Node<K, V> {
+    /// A sentinel node (`−∞` or `+∞`); carries no value.
+    pub(crate) fn sentinel(key: Bound<K>) -> Self {
+        Self {
+            key,
+            value: Atomic::null(),
+            mark: AtomicBool::new(false),
+            zombie: AtomicBool::new(false),
+            left: Atomic::null(),
+            right: Atomic::null(),
+            parent: Atomic::null(),
+            left_height: AtomicI32::new(0),
+            right_height: AtomicI32::new(0),
+            tree_lock: NodeLock::new(),
+            pred: Atomic::null(),
+            succ: Atomic::null(),
+            succ_lock: NodeLock::new(),
+        }
+    }
+
+    /// A key node holding `value`. Layout pointers start null; the inserting
+    /// thread links the node into both layouts while holding the interval
+    /// lock.
+    pub(crate) fn new_key(key: K, value: V) -> Self {
+        let mut n = Self::sentinel(Bound::Key(key));
+        n.value = Atomic::new(value);
+        n
+    }
+
+    /// Balance factor `leftHeight − rightHeight`. Caller should hold
+    /// `tree_lock` for a stable reading (unlocked reads are used only as
+    /// heuristics).
+    #[inline]
+    pub(crate) fn bf(&self) -> i32 {
+        self.left_height.load(Ordering::Relaxed) - self.right_height.load(Ordering::Relaxed)
+    }
+
+    /// The stored height of the `is_left` subtree.
+    #[inline]
+    pub(crate) fn height(&self, is_left: bool) -> i32 {
+        if is_left {
+            self.left_height.load(Ordering::Relaxed)
+        } else {
+            self.right_height.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Sets the stored height of the `is_left` subtree (requires `tree_lock`).
+    #[inline]
+    pub(crate) fn set_height(&self, is_left: bool, h: i32) {
+        if is_left {
+            self.left_height.store(h, Ordering::Relaxed);
+        } else {
+            self.right_height.store(h, Ordering::Relaxed);
+        }
+    }
+
+    /// Loads the `is_left` child.
+    #[inline]
+    pub(crate) fn child<'g>(&self, is_left: bool, g: &'g Guard) -> Shared<'g, Node<K, V>> {
+        if is_left {
+            self.left.load(Ordering::Acquire, g)
+        } else {
+            self.right.load(Ordering::Acquire, g)
+        }
+    }
+
+    /// Whether this node is logically removed (either flavor).
+    #[inline]
+    pub(crate) fn is_removed(&self) -> bool {
+        self.mark.load(Ordering::SeqCst) || self.zombie.load(Ordering::SeqCst)
+    }
+}
+
+impl<K, V> Drop for Node<K, V> {
+    fn drop(&mut self) {
+        // We have exclusive access (epoch reclamation or tree teardown), so
+        // an unprotected guard is sound here.
+        let g = unsafe { crossbeam_epoch::unprotected() };
+        let v = self.value.swap(Shared::null(), Ordering::Relaxed, g);
+        if !v.is_null() {
+            // SAFETY: the value pointer was created by `Atomic::new`/`Owned`
+            // and is uniquely owned by this node at drop time.
+            drop(unsafe { v.into_owned() });
+        }
+    }
+}
+
+/// Dereference helper for epoch-protected node pointers.
+///
+/// # Safety contract (met by construction)
+/// Nodes are freed exclusively via `defer_destroy` after unlinking, so any
+/// non-null `Shared` obtained under a live `Guard` points to a live node.
+#[inline]
+pub(crate) fn nref<'g, K, V>(s: Shared<'g, Node<K, V>>) -> &'g Node<K, V> {
+    debug_assert!(!s.is_null(), "nref on null node pointer");
+    unsafe { s.deref() }
+}
+
+/// Allocates a node and returns the shared pointer it will live at.
+pub(crate) fn alloc<'g, K, V>(node: Node<K, V>, g: &'g Guard) -> Shared<'g, Node<K, V>> {
+    Owned::new(node).into_shared(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::Bound;
+
+    #[test]
+    fn sentinel_layout() {
+        let g = crossbeam_epoch::pin();
+        let n = alloc(Node::<i64, u64>::sentinel(Bound::PosInf), &g);
+        let r = nref(n);
+        assert!(r.left.load(Ordering::Relaxed, &g).is_null());
+        assert!(r.value.load(Ordering::Relaxed, &g).is_null());
+        assert_eq!(r.bf(), 0);
+        assert!(!r.is_removed());
+        unsafe { g.defer_destroy(n) };
+    }
+
+    #[test]
+    fn key_node_owns_value() {
+        let g = crossbeam_epoch::pin();
+        let n = alloc(Node::new_key(5i64, String::from("hello")), &g);
+        let r = nref(n);
+        assert!(r.key.is_key(&5));
+        let v = r.value.load(Ordering::Acquire, &g);
+        assert_eq!(unsafe { v.deref() }, "hello");
+        // Dropping the node must free the value (checked by miri/asan runs;
+        // here we just exercise the path).
+        drop(unsafe { n.into_owned() });
+    }
+
+    #[test]
+    fn heights_accessors() {
+        let n = Node::<i64, u64>::new_key(1, 2);
+        n.set_height(true, 3);
+        n.set_height(false, 1);
+        assert_eq!(n.height(true), 3);
+        assert_eq!(n.height(false), 1);
+        assert_eq!(n.bf(), 2);
+    }
+}

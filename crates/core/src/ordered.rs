@@ -1,0 +1,119 @@
+//! Ordered-navigation extensions built on the logical-ordering layer
+//! (beyond the paper's §4.7 min/max/iteration): ceiling/floor queries,
+//! range snapshots and atomic pop-min/pop-max.
+//!
+//! All of these walk only `pred`/`succ` pointers after an initial layout
+//! descent, so — like `contains` — they never block on rotations or
+//! relocations.
+
+use crossbeam_epoch::{self as epoch};
+use std::cmp::Ordering as Cmp;
+use std::ops::RangeInclusive;
+use std::sync::atomic::Ordering;
+
+use crate::bound::Bound;
+use crate::node::nref;
+use crate::tree::LoTree;
+use lo_api::{Key, Value};
+
+impl<K: Key, V: Value> LoTree<K, V> {
+    /// Smallest live key ≥ `key`, or `None`. Lock-free.
+    pub(crate) fn ceiling_key(&self, key: &K) -> Option<K> {
+        let g = epoch::pin();
+        // Land on the interval around `key`, then walk succ to the first
+        // live node with key ≥ key.
+        let mut node = nref(self.search(key, &g));
+        while node.key.cmp_key(key) == Cmp::Greater {
+            node = nref(node.pred.load(Ordering::Acquire, &g));
+        }
+        loop {
+            match node.key {
+                Bound::PosInf => return None,
+                Bound::Key(k) if node.key.cmp_key(key) != Cmp::Less && !node.is_removed() => {
+                    return Some(k)
+                }
+                _ => node = nref(node.succ.load(Ordering::Acquire, &g)),
+            }
+        }
+    }
+
+    /// Largest live key ≤ `key`, or `None`. Lock-free.
+    pub(crate) fn floor_key(&self, key: &K) -> Option<K> {
+        let g = epoch::pin();
+        let mut node = nref(self.search(key, &g));
+        while node.key.cmp_key(key) == Cmp::Less {
+            node = nref(node.succ.load(Ordering::Acquire, &g));
+        }
+        loop {
+            match node.key {
+                Bound::NegInf => return None,
+                Bound::Key(k) if node.key.cmp_key(key) != Cmp::Greater && !node.is_removed() => {
+                    return Some(k)
+                }
+                _ => node = nref(node.pred.load(Ordering::Acquire, &g)),
+            }
+        }
+    }
+
+    /// Snapshot of the live keys in `range`, ascending. Walks the succ chain
+    /// from the range's ceiling; best-effort consistent under concurrency
+    /// (precise at quiescence).
+    pub(crate) fn range_keys(&self, range: RangeInclusive<K>) -> Vec<K> {
+        let (lo, hi) = range.into_inner();
+        let g = epoch::pin();
+        let mut out = Vec::new();
+        let mut node = nref(self.search(&lo, &g));
+        while node.key.cmp_key(&lo) == Cmp::Greater {
+            node = nref(node.pred.load(Ordering::Acquire, &g));
+        }
+        loop {
+            match node.key {
+                Bound::PosInf => return out,
+                Bound::Key(k) => {
+                    if k > hi {
+                        return out;
+                    }
+                    if k >= lo && !node.is_removed() {
+                        out.push(k);
+                    }
+                }
+                Bound::NegInf => {}
+            }
+            node = nref(node.succ.load(Ordering::Acquire, &g));
+        }
+    }
+
+    /// Atomically removes and returns the smallest key (with its value),
+    /// or `None` if the map is empty. Retries while losing races.
+    pub(crate) fn pop_min(&self) -> Option<(K, V)>
+    where
+        V: Clone,
+    {
+        loop {
+            let k = self.min_key()?;
+            // Read the value first, then claim the key; the successful
+            // remove is the linearization point. If the key vanished (or
+            // was replaced) between the two steps, retry.
+            if let Some(v) = self.get(&k) {
+                if self.remove(&k) {
+                    return Some((k, v));
+                }
+            }
+        }
+    }
+
+    /// Mirror of [`Self::pop_min`].
+    pub(crate) fn pop_max(&self) -> Option<(K, V)>
+    where
+        V: Clone,
+    {
+        loop {
+            let k = self.max_key()?;
+            if let Some(v) = self.get(&k) {
+                if self.remove(&k) {
+                    return Some((k, v));
+                }
+            }
+        }
+    }
+}

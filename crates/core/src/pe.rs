@@ -1,0 +1,187 @@
+//! Partially-external ("logical removing") variant — paper §6:
+//!
+//! > "a node with two children is marked as logically removed via a
+//! > designated flag, and it is not physically removed from the ordering
+//! > layout or the physical layout. It will be physically removed only if
+//! > its number of children reduces to one due to another removal or due to
+//! > rotations. An insert can revive such a node by flipping this flag."
+//!
+//! Implementation notes:
+//! * The `zombie` flag is guarded by the predecessor's `succLock`, the same
+//!   lock that serializes inserts and removes of that key, so
+//!   revive/remove/remove races are fully ordered.
+//! * A removal that finds ≤1 children physically removes the node on time,
+//!   exactly like the base algorithm.
+//! * Cleanup: after any physical removal, the removed node's old parent is
+//!   re-examined; if it is a zombie that now has at most one child it is
+//!   physically removed with an all-`try_lock`, single-attempt version of
+//!   the removal protocol (contention ⇒ the zombie simply stays, which is
+//!   allowed — zombies are never *required* to leave). Rotations do not
+//!   trigger cleanup in this implementation (divergence recorded in
+//!   DESIGN.md §8); the zombie population is bounded by the same "at most
+//!   one zombie per successful 2-children removal" argument as the BCCO
+//!   tree's.
+
+use crossbeam_epoch::{Guard, Shared};
+use std::sync::atomic::Ordering;
+
+use crate::node::{nref, Node};
+use crate::tree::LoTree;
+use lo_api::{Key, Value};
+
+impl<K: Key, V: Value> LoTree<K, V> {
+    /// Remove path for partially-external mode. On entry: `p.succLock` is
+    /// held, `s` is `p.succ` and holds the key, validation passed. Consumes
+    /// `p.succLock`. Returns whether the removal succeeded.
+    pub(crate) fn remove_pe<'g>(
+        &self,
+        p: Shared<'g, Node<K, V>>,
+        s: Shared<'g, Node<K, V>>,
+        g: &'g Guard,
+    ) -> bool {
+        if nref(s).zombie.load(Ordering::SeqCst) {
+            // Already logically deleted.
+            nref(p).succ_lock.unlock();
+            return false;
+        }
+        // Take s's succ lock up front: the physical path needs it, and the
+        // lock order (succ locks before tree locks) forbids taking it later.
+        nref(s).succ_lock.lock();
+        loop {
+            nref(s).tree_lock.lock();
+            let l = nref(s).left.load(Ordering::Acquire, g);
+            let r = nref(s).right.load(Ordering::Acquire, g);
+
+            if !l.is_null() && !r.is_null() {
+                // Two children: logical removal only. Linearization point is
+                // the zombie store (guarded by p.succLock).
+                nref(s).zombie.store(true, Ordering::SeqCst);
+                nref(s).tree_lock.unlock();
+                nref(s).succ_lock.unlock();
+                nref(p).succ_lock.unlock();
+                return true;
+            }
+
+            // ≤1 child: on-time physical removal.
+            let parent = self.lock_parent(s, g);
+            // Children are stable (s.treeLock held since before lock_parent).
+            let child = if r.is_null() { l } else { r };
+            if !child.is_null() && !nref(child).tree_lock.try_lock() {
+                nref(parent).tree_lock.unlock();
+                nref(s).tree_lock.unlock();
+                continue; // retry the tree-lock phase
+            }
+
+            // Ordering-layout removal (linearization point: the mark store).
+            nref(s).mark.store(true, Ordering::SeqCst);
+            let s_succ = nref(s).succ.load(Ordering::Acquire, g);
+            nref(s_succ).pred.store(p, Ordering::Release);
+            nref(p).succ.store(s_succ, Ordering::Release);
+            nref(s).succ_lock.unlock();
+            nref(p).succ_lock.unlock();
+
+            // Physical unlink (≤1-child splice).
+            let is_left = self.update_child(parent, s, child, g);
+            nref(s).tree_lock.unlock();
+            if self.balanced {
+                self.rebalance(parent, child, is_left, false, g);
+            } else {
+                if !child.is_null() {
+                    nref(child).tree_lock.unlock();
+                }
+                nref(parent).tree_lock.unlock();
+            }
+            unsafe { g.defer_destroy(s) };
+
+            // The unlink may have dropped the old parent to ≤1 children; if
+            // it is a zombie, try to clean it up (single attempt).
+            self.try_cleanup_zombie(parent, g);
+            return true;
+        }
+    }
+
+    /// Single-attempt physical removal of a zombie that may have dropped to
+    /// ≤1 children. Every lock acquisition is a `try_lock`; any contention or
+    /// failed validation aborts silently (the zombie may be cleaned later).
+    pub(crate) fn try_cleanup_zombie<'g>(&self, z: Shared<'g, Node<K, V>>, g: &'g Guard) {
+        let zn = nref(z);
+        if zn.key.as_key().is_none() {
+            return; // sentinel
+        }
+        if !zn.zombie.load(Ordering::SeqCst) || zn.mark.load(Ordering::SeqCst) {
+            return;
+        }
+        // Ordering-layout locks first: the predecessor's, then the zombie's.
+        let p = zn.pred.load(Ordering::Acquire, g);
+        if !nref(p).succ_lock.try_lock() {
+            return;
+        }
+        // Validate the interval: p must still be z's live predecessor and z
+        // must still be a zombie.
+        if nref(p).succ.load(Ordering::Acquire, g) != z
+            || nref(p).mark.load(Ordering::SeqCst)
+            || !zn.zombie.load(Ordering::SeqCst)
+        {
+            nref(p).succ_lock.unlock();
+            return;
+        }
+        if !zn.succ_lock.try_lock() {
+            nref(p).succ_lock.unlock();
+            return;
+        }
+        if !zn.tree_lock.try_lock() {
+            zn.succ_lock.unlock();
+            nref(p).succ_lock.unlock();
+            return;
+        }
+        let release_ordering_and_tree = || {
+            zn.tree_lock.unlock();
+            zn.succ_lock.unlock();
+            nref(p).succ_lock.unlock();
+        };
+        let l = zn.left.load(Ordering::Acquire, g);
+        let r = zn.right.load(Ordering::Acquire, g);
+        if !l.is_null() && !r.is_null() {
+            release_ordering_and_tree();
+            return; // still has two children
+        }
+        // Parent: single validated try_lock (no blocking in cleanup).
+        let parent = zn.parent.load(Ordering::Acquire, g);
+        if !nref(parent).tree_lock.try_lock() {
+            release_ordering_and_tree();
+            return;
+        }
+        if zn.parent.load(Ordering::Acquire, g) != parent || nref(parent).mark.load(Ordering::SeqCst)
+        {
+            nref(parent).tree_lock.unlock();
+            release_ordering_and_tree();
+            return;
+        }
+        let child = if r.is_null() { l } else { r };
+        if !child.is_null() && !nref(child).tree_lock.try_lock() {
+            nref(parent).tree_lock.unlock();
+            release_ordering_and_tree();
+            return;
+        }
+
+        // All locks held: run the standard ≤1-child removal.
+        zn.mark.store(true, Ordering::SeqCst);
+        let z_succ = zn.succ.load(Ordering::Acquire, g);
+        nref(z_succ).pred.store(p, Ordering::Release);
+        nref(p).succ.store(z_succ, Ordering::Release);
+        zn.succ_lock.unlock();
+        nref(p).succ_lock.unlock();
+
+        let is_left = self.update_child(parent, z, child, g);
+        zn.tree_lock.unlock();
+        if self.balanced {
+            self.rebalance(parent, child, is_left, false, g);
+        } else {
+            if !child.is_null() {
+                nref(child).tree_lock.unlock();
+            }
+            nref(parent).tree_lock.unlock();
+        }
+        unsafe { g.defer_destroy(z) };
+    }
+}

@@ -1,0 +1,387 @@
+//! The shared tree engine behind all four public map types.
+//!
+//! One engine implements the paper's whole family:
+//!
+//! | `balanced` | `partially_external` | public type | paper name |
+//! |---|---|---|---|
+//! | true  | false | `LoAvlMap`   | "our AVL" |
+//! | false | false | `LoBstMap`   | "our BST" |
+//! | true  | true  | `LoPeAvlMap` | "logical removing" variant |
+//! | false | true  | `LoPeBstMap` | unbalanced logical-removing variant |
+//!
+//! This module holds the structure, the lock-free lookups (paper §4.2,
+//! Algorithms 1–2) and the helpers shared by the update paths
+//! (`lockParent`, `updateChild`). Inserts/removes live in `update.rs`,
+//! rebalancing in `balance.rs`, the partially-external paths in `pe.rs`.
+
+use crossbeam_epoch::{self as epoch, Guard, Shared};
+use std::cmp::Ordering as Cmp;
+use std::sync::atomic::Ordering;
+
+use crate::bound::Bound;
+use crate::node::{alloc, nref, Node};
+use lo_api::{Key, Value};
+
+/// The tree engine. See module docs; public wrappers live in `maps.rs`.
+pub(crate) struct LoTree<K: Key, V: Value> {
+    /// The `+∞` sentinel; the physical root (paper §4.1: "The root is N∞").
+    /// Never rotated, never removed. Set once at construction.
+    root: epoch::Atomic<Node<K, V>>,
+    /// The `−∞` sentinel; reachable only through the ordering layout.
+    head: epoch::Atomic<Node<K, V>>,
+    /// Maintain AVL heights and rebalance after each update.
+    pub(crate) balanced: bool,
+    /// Partially-external mode: 2-children removals only set the `zombie`
+    /// flag; inserts revive zombies; physical removal is deferred.
+    pub(crate) partially_external: bool,
+}
+
+impl<K: Key, V: Value> LoTree<K, V> {
+    /// Creates the initial two-sentinel tree (paper §4.1 "The Initial Tree").
+    pub(crate) fn new(balanced: bool, partially_external: bool) -> Self {
+        let g = unsafe { epoch::unprotected() };
+        let root = alloc(Node::sentinel(Bound::PosInf), g);
+        let head = alloc(Node::sentinel(Bound::NegInf), g);
+        // N−∞ and N∞ are each other's predecessor and successor; the unused
+        // outward pointers (head.pred, root.succ) self-loop so the lookup
+        // walks can never observe null.
+        nref(head).succ.store(root, Ordering::Release);
+        nref(head).pred.store(head, Ordering::Release);
+        nref(root).pred.store(head, Ordering::Release);
+        nref(root).succ.store(root, Ordering::Release);
+        Self {
+            root: epoch::Atomic::from(root),
+            head: epoch::Atomic::from(head),
+            balanced,
+            partially_external,
+        }
+    }
+
+    /// The `+∞` root sentinel (stable for the tree's lifetime).
+    #[inline]
+    pub(crate) fn root_sh<'g>(&self, g: &'g Guard) -> Shared<'g, Node<K, V>> {
+        self.root.load(Ordering::Relaxed, g)
+    }
+
+    /// The `−∞` head sentinel (stable for the tree's lifetime).
+    #[inline]
+    pub(crate) fn head_sh<'g>(&self, g: &'g Guard) -> Shared<'g, Node<K, V>> {
+        self.head.load(Ordering::Relaxed, g)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookups (paper Algorithms 1 and 2) — no locks, no restarts.
+    // ------------------------------------------------------------------
+
+    /// Algorithm 1: plain top-down traversal. Returns the node with `key`,
+    /// or the last node on the search path. Oblivious to concurrent
+    /// relocations — it may stray from its initial path; the caller corrects
+    /// via the ordering layout.
+    pub(crate) fn search<'g>(&self, key: &K, g: &'g Guard) -> Shared<'g, Node<K, V>> {
+        let mut node = self.root_sh(g);
+        loop {
+            let n = nref(node);
+            let child = match n.key.cmp_key(key) {
+                Cmp::Equal => return node,
+                // currKey < k → go right, else left (Algorithm 1 line 5).
+                Cmp::Less => n.right.load(Ordering::Acquire, g),
+                Cmp::Greater => n.left.load(Ordering::Acquire, g),
+            };
+            if child.is_null() {
+                return node;
+            }
+            node = child;
+        }
+    }
+
+    /// Algorithm 2's interval walk: starting from the search result, chase
+    /// `pred` until the key is not greater, then `succ` until not smaller.
+    /// Returns the node holding `key` (possibly marked/zombie), or `None` if
+    /// the enclosing interval proves absence.
+    pub(crate) fn lookup<'g>(&self, key: &K, g: &'g Guard) -> Option<&'g Node<K, V>> {
+        let mut node = nref(self.search(key, g));
+        while node.key.cmp_key(key) == Cmp::Greater {
+            node = nref(node.pred.load(Ordering::Acquire, g));
+        }
+        while node.key.cmp_key(key) == Cmp::Less {
+            node = nref(node.succ.load(Ordering::Acquire, g));
+        }
+        if node.key.is_key(key) {
+            Some(node)
+        } else {
+            None
+        }
+    }
+
+    /// Lock-free membership test (paper Algorithm 2).
+    pub(crate) fn contains(&self, key: &K) -> bool {
+        let g = epoch::pin();
+        match self.lookup(key, &g) {
+            Some(n) => !n.is_removed(),
+            None => false,
+        }
+    }
+
+    /// The *naive* membership test the paper's Figure 1 warns about: a plain
+    /// layout descent with no ordering-layer fallback. **Not linearizable**
+    /// under concurrency — a successor relocation or rotation can make it
+    /// miss a present key. Kept for the `figure1_demo` example and the
+    /// motivation ablation; never used by the real operations.
+    pub(crate) fn contains_layout_only(&self, key: &K) -> bool {
+        let g = epoch::pin();
+        let n = nref(self.search(key, &g));
+        n.key.is_key(key) && !n.is_removed()
+    }
+
+    /// Lock-free value read; applies `f` to the value under the epoch guard.
+    pub(crate) fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let g = epoch::pin();
+        let n = self.lookup(key, &g)?;
+        if n.is_removed() {
+            return None;
+        }
+        let v = n.value.load(Ordering::Acquire, &g);
+        if v.is_null() {
+            return None; // unreachable for key nodes; defensive
+        }
+        // SAFETY: value pointers are retired via the epoch, never freed
+        // in-place, so they are valid for the lifetime of `g`.
+        Some(f(unsafe { v.deref() }))
+    }
+
+    /// Lock-free value clone.
+    pub(crate) fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get_with(key, V::clone)
+    }
+
+    // ------------------------------------------------------------------
+    // Ordered access (paper §4.7).
+    // ------------------------------------------------------------------
+
+    /// O(1)-expected minimum via `succ(N−∞)`; restarts if it observes a
+    /// marked node (paper §4.7), skips zombies via `succ`.
+    pub(crate) fn min_key(&self) -> Option<K> {
+        let g = epoch::pin();
+        'restart: loop {
+            let mut n = nref(self.head_sh(&g)).succ.load(Ordering::Acquire, &g);
+            loop {
+                let r = nref(n);
+                if r.mark.load(Ordering::SeqCst) {
+                    continue 'restart;
+                }
+                match r.key {
+                    Bound::PosInf => return None,
+                    Bound::Key(k) if !r.zombie.load(Ordering::SeqCst) => return Some(k),
+                    // zombie (or, impossibly, −∞): advance along the ordering
+                    _ => n = r.succ.load(Ordering::Acquire, &g),
+                }
+            }
+        }
+    }
+
+    /// O(1)-expected maximum via `pred(N∞)` (mirror of [`Self::min_key`]).
+    pub(crate) fn max_key(&self) -> Option<K> {
+        let g = epoch::pin();
+        'restart: loop {
+            let mut n = nref(self.root_sh(&g)).pred.load(Ordering::Acquire, &g);
+            loop {
+                let r = nref(n);
+                if r.mark.load(Ordering::SeqCst) {
+                    continue 'restart;
+                }
+                match r.key {
+                    Bound::NegInf => return None,
+                    Bound::Key(k) if !r.zombie.load(Ordering::SeqCst) => return Some(k),
+                    _ => n = r.pred.load(Ordering::Acquire, &g),
+                }
+            }
+        }
+    }
+
+    /// In-order key snapshot by walking the `succ` chain (paper §4.7
+    /// `first()`/`next()`). Precise at quiescence; best-effort under
+    /// concurrency.
+    pub(crate) fn keys_in_order(&self) -> Vec<K> {
+        let g = epoch::pin();
+        let mut out = Vec::new();
+        let mut n = nref(self.head_sh(&g)).succ.load(Ordering::Acquire, &g);
+        loop {
+            let r = nref(n);
+            match r.key {
+                Bound::PosInf => return out,
+                Bound::Key(k) => {
+                    if !r.is_removed() {
+                        out.push(k);
+                    }
+                }
+                Bound::NegInf => {}
+            }
+            n = r.succ.load(Ordering::Acquire, &g);
+        }
+    }
+
+    /// Number of live keys (walks the ordering chain; quiescent use only).
+    pub(crate) fn len_quiescent(&self) -> usize {
+        let g = epoch::pin();
+        let mut count = 0usize;
+        let mut n = nref(self.head_sh(&g)).succ.load(Ordering::Acquire, &g);
+        loop {
+            let r = nref(n);
+            match r.key {
+                Bound::PosInf => return count,
+                Bound::Key(_) if !r.is_removed() => count += 1,
+                _ => {}
+            }
+            n = r.succ.load(Ordering::Acquire, &g);
+        }
+    }
+
+    /// Number of nodes physically present in the tree layout, excluding the
+    /// root sentinel (quiescent use only). In partially-external mode this
+    /// includes zombies.
+    pub(crate) fn physical_node_count(&self) -> usize {
+        let g = epoch::pin();
+        let mut stack = Vec::new();
+        let top = nref(self.root_sh(&g)).left.load(Ordering::Acquire, &g);
+        if !top.is_null() {
+            stack.push(top);
+        }
+        let mut count = 0usize;
+        while let Some(n) = stack.pop() {
+            count += 1;
+            let r = nref(n);
+            for child in [r.left.load(Ordering::Acquire, &g), r.right.load(Ordering::Acquire, &g)] {
+                if !child.is_null() {
+                    stack.push(child);
+                }
+            }
+        }
+        count
+    }
+
+    /// Number of zombie (logically-deleted, physically-present) nodes
+    /// (quiescent use only; always 0 outside partially-external mode).
+    pub(crate) fn zombie_count(&self) -> usize {
+        let g = epoch::pin();
+        let mut count = 0usize;
+        let mut n = nref(self.head_sh(&g)).succ.load(Ordering::Acquire, &g);
+        loop {
+            let r = nref(n);
+            match r.key {
+                Bound::PosInf => return count,
+                Bound::Key(_) if r.zombie.load(Ordering::SeqCst) => count += 1,
+                _ => {}
+            }
+            n = r.succ.load(Ordering::Acquire, &g);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared locking helpers (paper Algorithms 6 and 10).
+    // ------------------------------------------------------------------
+
+    /// Algorithm 6: locks `node.parent`'s tree lock, revalidating that it is
+    /// still the parent and unmarked. Blocking is safe: the acquisition goes
+    /// *upward* in the tree while `node`'s own tree lock is held by the
+    /// caller.
+    pub(crate) fn lock_parent<'g>(
+        &self,
+        node: Shared<'g, Node<K, V>>,
+        g: &'g Guard,
+    ) -> Shared<'g, Node<K, V>> {
+        loop {
+            let p = nref(node).parent.load(Ordering::Acquire, g);
+            debug_assert!(!p.is_null(), "lock_parent called on the root sentinel");
+            nref(p).tree_lock.lock();
+            if nref(node).parent.load(Ordering::Acquire, g) == p
+                && !nref(p).mark.load(Ordering::SeqCst)
+            {
+                return p;
+            }
+            nref(p).tree_lock.unlock();
+        }
+    }
+
+    /// Algorithm 10: redirects `parent`'s child pointer from `old_ch` to
+    /// `new_ch` (possibly null) and fixes `new_ch.parent`. Requires
+    /// `parent.tree_lock`; if `new_ch` is non-null its new parent's lock
+    /// (`parent`) and old parent's lock are held by all call sites.
+    ///
+    /// Returns `true` if the replaced slot was the left child.
+    pub(crate) fn update_child<'g>(
+        &self,
+        parent: Shared<'g, Node<K, V>>,
+        old_ch: Shared<'g, Node<K, V>>,
+        new_ch: Shared<'g, Node<K, V>>,
+        g: &'g Guard,
+    ) -> bool {
+        let p = nref(parent);
+        let is_left = p.left.load(Ordering::Acquire, g) == old_ch;
+        if is_left {
+            p.left.store(new_ch, Ordering::Release);
+        } else {
+            debug_assert_eq!(
+                p.right.load(Ordering::Acquire, g),
+                old_ch,
+                "update_child: old child not found on either side"
+            );
+            p.right.store(new_ch, Ordering::Release);
+        }
+        if !new_ch.is_null() {
+            nref(new_ch).parent.store(parent, Ordering::Release);
+        }
+        is_left
+    }
+}
+
+impl<K: Key, V: Value> Drop for LoTree<K, V> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the ordering chain (which contains every
+        // live node plus both sentinels) and free each node. Nodes removed
+        // earlier were retired through the epoch and are not in the chain.
+        let g = unsafe { epoch::unprotected() };
+        let root = self.root.load(Ordering::Relaxed, g);
+        let mut n = self.head.load(Ordering::Relaxed, g);
+        loop {
+            let next = nref(n).succ.load(Ordering::Relaxed, g);
+            let at_end = n == root;
+            drop(unsafe { n.into_owned() });
+            if at_end {
+                break;
+            }
+            n = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_lookups() {
+        let t: LoTree<i64, u64> = LoTree::new(true, false);
+        assert!(!t.contains(&1));
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.min_key(), None);
+        assert_eq!(t.max_key(), None);
+        assert!(t.keys_in_order().is_empty());
+        assert_eq!(t.len_quiescent(), 0);
+        assert_eq!(t.physical_node_count(), 0);
+    }
+
+    #[test]
+    fn sentinels_wired() {
+        let t: LoTree<i64, u64> = LoTree::new(false, false);
+        let g = epoch::pin();
+        let root = t.root_sh(&g);
+        let head = t.head_sh(&g);
+        assert_eq!(nref(head).succ.load(Ordering::Acquire, &g), root);
+        assert_eq!(nref(root).pred.load(Ordering::Acquire, &g), head);
+        assert!(matches!(nref(root).key, Bound::PosInf));
+        assert!(matches!(nref(head).key, Bound::NegInf));
+    }
+}

@@ -1,0 +1,448 @@
+//! Mutating operations: `insert` (paper Algorithms 3–5) and `remove`
+//! (Algorithms 7–10).
+//!
+//! Both follow the paper's four-step recipe (§3.4):
+//! 1. acquire ordering-layout locks (`succLock`s, ascending key order),
+//! 2. acquire physical-layout locks (`treeLock`s, bottom-up; descending
+//!    acquisitions are `try_lock` + restart),
+//! 3. update the ordering layout and release the ordering locks,
+//! 4. update the physical layout and release the tree locks.
+
+use crossbeam_epoch::{self as epoch, Guard, Shared};
+use std::cmp::Ordering as Cmp;
+use std::sync::atomic::Ordering;
+
+use crate::node::{alloc, nref, Node};
+use crate::tree::LoTree;
+use lo_api::{Key, Value};
+
+/// The set of tree locks held for a physical removal, produced by
+/// [`LoTree::acquire_tree_locks`] (paper Algorithm 8). All listed nodes'
+/// `tree_lock`s are held on return.
+pub(crate) struct RemovalLocks<'g, K: Key, V: Value> {
+    /// The removed node's parent.
+    pub(crate) parent: Shared<'g, Node<K, V>>,
+    /// `true` iff the removed node has two children.
+    pub(crate) has_two: bool,
+    /// ≤1-child case: the node's only child, or null (locked iff non-null).
+    pub(crate) child: Shared<'g, Node<K, V>>,
+    /// 2-children case: the successor (always locked).
+    pub(crate) succ: Shared<'g, Node<K, V>>,
+    /// 2-children case: the successor's parent if it differs from the removed
+    /// node, else null. Locked iff non-null.
+    pub(crate) succ_parent: Shared<'g, Node<K, V>>,
+    /// 2-children case: the successor's right child, or null (locked iff
+    /// non-null).
+    pub(crate) succ_child: Shared<'g, Node<K, V>>,
+}
+
+impl<K: Key, V: Value> LoTree<K, V> {
+    /// Paper Algorithm 3. Returns `true` on a successful (key-was-absent)
+    /// insertion; in partially-external mode a zombie revival also counts as
+    /// a successful insertion.
+    pub(crate) fn insert(&self, key: K, value: V) -> bool {
+        let g = &epoch::pin();
+        loop {
+            let node = self.search(&key, g);
+            // `p` is believed to be the key's predecessor: step back when the
+            // search landed on a node with key ≥ k (the validation below
+            // requires p.key < k strictly).
+            let p = if nref(node).key.cmp_key(&key) != Cmp::Less {
+                nref(node).pred.load(Ordering::Acquire, g)
+            } else {
+                node
+            };
+            nref(p).succ_lock.lock();
+            let s = nref(p).succ.load(Ordering::Acquire, g);
+            // Validate k ∈ (p.key, s.key] and that the interval is live.
+            let valid = nref(p).key.cmp_key(&key) == Cmp::Less
+                && nref(s).key.cmp_key(&key) != Cmp::Less
+                && !nref(p).mark.load(Ordering::SeqCst);
+            if !valid {
+                nref(p).succ_lock.unlock();
+                continue; // validation failed; restart
+            }
+            if nref(s).key.is_key(&key) {
+                // Key already present.
+                if self.partially_external && nref(s).zombie.load(Ordering::SeqCst) {
+                    // Revive the zombie: install the new value, clear the flag.
+                    let old = nref(s).value.swap(
+                        epoch::Owned::new(value),
+                        Ordering::AcqRel,
+                        g,
+                    );
+                    nref(s).zombie.store(false, Ordering::SeqCst);
+                    if !old.is_null() {
+                        unsafe { g.defer_destroy(old) };
+                    }
+                    nref(p).succ_lock.unlock();
+                    return true;
+                }
+                nref(p).succ_lock.unlock();
+                return false; // unsuccessful insert
+            }
+            // Successful insert: split interval (p, s) into (p, k), (k, s).
+            let parent = self.choose_parent(p, s, node, g);
+            let new = alloc(Node::new_key(key, value), g);
+            nref(new).pred.store(p, Ordering::Release);
+            nref(new).succ.store(s, Ordering::Release);
+            nref(new).parent.store(parent, Ordering::Release);
+            nref(s).pred.store(new, Ordering::Release);
+            // Linearization point of a successful insert (paper §5.2).
+            nref(p).succ.store(new, Ordering::Release);
+            nref(p).succ_lock.unlock();
+            self.insert_to_tree(parent, new, g);
+            return true;
+        }
+    }
+
+    /// Insert-or-replace (map `put`): like [`Self::insert`], but when the
+    /// key is present its value is swapped and the old value returned.
+    /// The value swap happens under the predecessor's `succLock` — the same
+    /// lock that serializes inserts and removes of this key — so it
+    /// linearizes with them; readers observe either value through the epoch.
+    pub(crate) fn put(&self, key: K, value: V) -> Option<V>
+    where
+        V: Clone,
+    {
+        let g = &epoch::pin();
+        loop {
+            let node = self.search(&key, g);
+            let p = if nref(node).key.cmp_key(&key) != Cmp::Less {
+                nref(node).pred.load(Ordering::Acquire, g)
+            } else {
+                node
+            };
+            nref(p).succ_lock.lock();
+            let s = nref(p).succ.load(Ordering::Acquire, g);
+            let valid = nref(p).key.cmp_key(&key) == Cmp::Less
+                && nref(s).key.cmp_key(&key) != Cmp::Less
+                && !nref(p).mark.load(Ordering::SeqCst);
+            if !valid {
+                nref(p).succ_lock.unlock();
+                continue;
+            }
+            if nref(s).key.is_key(&key) {
+                let was_zombie =
+                    self.partially_external && nref(s).zombie.load(Ordering::SeqCst);
+                let old =
+                    nref(s).value.swap(epoch::Owned::new(value), Ordering::AcqRel, g);
+                if was_zombie {
+                    nref(s).zombie.store(false, Ordering::SeqCst);
+                }
+                nref(p).succ_lock.unlock();
+                if old.is_null() {
+                    return None; // defensive: key nodes always hold a value
+                }
+                // SAFETY: `old` stays valid for this guard's lifetime.
+                let out = (!was_zombie).then(|| unsafe { old.deref() }.clone());
+                unsafe { g.defer_destroy(old) };
+                return out;
+            }
+            // Absent: plain insertion (same as Algorithm 3's success path).
+            let parent = self.choose_parent(p, s, node, g);
+            let new = alloc(Node::new_key(key, value), g);
+            nref(new).pred.store(p, Ordering::Release);
+            nref(new).succ.store(s, Ordering::Release);
+            nref(new).parent.store(parent, Ordering::Release);
+            nref(s).pred.store(new, Ordering::Release);
+            nref(p).succ.store(new, Ordering::Release);
+            nref(p).succ_lock.unlock();
+            self.insert_to_tree(parent, new, g);
+            return None;
+        }
+    }
+
+    /// Paper Algorithm 4: pick the physical parent for a new node — its
+    /// predecessor (right slot) or successor (left slot) — and return it with
+    /// its tree lock held. Between two adjacent nodes exactly one of those
+    /// slots is free at any moment, but rotations may move the free slot back
+    /// and forth, hence the loop.
+    ///
+    /// Sentinel guard (a hole in the paper's Algorithm 4 as written): when
+    /// the predecessor is `N−∞` — which exists only in the ordering layout —
+    /// it must never be chosen as a *physical* parent, even though its right
+    /// child slot is permanently empty. In that case the successor is the
+    /// only valid parent; its left slot can be transiently occupied by a
+    /// marked node whose physical removal is still in flight, so we wait on
+    /// the successor instead of falling back to the sentinel.
+    fn choose_parent<'g>(
+        &self,
+        p: Shared<'g, Node<K, V>>,
+        s: Shared<'g, Node<K, V>>,
+        first_cand: Shared<'g, Node<K, V>>,
+        g: &'g Guard,
+    ) -> Shared<'g, Node<K, V>> {
+        let head = self.head_sh(g);
+        let mut candidate = if first_cand == p || first_cand == s { first_cand } else { p };
+        if candidate == head {
+            candidate = s;
+        }
+        loop {
+            nref(candidate).tree_lock.lock();
+            if candidate == p {
+                if nref(candidate).right.load(Ordering::Acquire, g).is_null() {
+                    return candidate;
+                }
+                nref(candidate).tree_lock.unlock();
+                candidate = s;
+            } else {
+                if nref(candidate).left.load(Ordering::Acquire, g).is_null() {
+                    return candidate;
+                }
+                nref(candidate).tree_lock.unlock();
+                if p == head {
+                    // Only the successor can parent the new minimum; its
+                    // left slot frees up once the pending unlink completes.
+                    std::thread::yield_now();
+                } else {
+                    candidate = p;
+                }
+            }
+        }
+    }
+
+    /// Paper Algorithm 5: link the new node under `parent` (whose tree lock
+    /// is held) and kick off rebalancing. Consumes the parent lock.
+    fn insert_to_tree<'g>(
+        &self,
+        parent: Shared<'g, Node<K, V>>,
+        new: Shared<'g, Node<K, V>>,
+        g: &'g Guard,
+    ) {
+        let pn = nref(parent);
+        if pn.key < nref(new).key {
+            pn.right.store(new, Ordering::Release);
+            if self.balanced {
+                pn.right_height.store(1, Ordering::Relaxed);
+            }
+        } else {
+            pn.left.store(new, Ordering::Release);
+            if self.balanced {
+                pn.left_height.store(1, Ordering::Relaxed);
+            }
+        }
+        if self.balanced && parent != self.root_sh(g) {
+            // Heights above may have changed: walk up from the grandparent
+            // (rebalance consumes both locks).
+            let grand = self.lock_parent(parent, g);
+            let is_left = nref(grand).left.load(Ordering::Acquire, g) == parent;
+            self.rebalance(grand, parent, is_left, false, g);
+        } else {
+            pn.tree_lock.unlock();
+        }
+    }
+
+    /// Paper Algorithm 7. Returns `true` on a successful removal. In
+    /// partially-external mode, delegates to the logical-removal path.
+    pub(crate) fn remove(&self, key: &K) -> bool {
+        let g = &epoch::pin();
+        loop {
+            let node = self.search(key, g);
+            let p = if nref(node).key.cmp_key(key) != Cmp::Less {
+                nref(node).pred.load(Ordering::Acquire, g)
+            } else {
+                node
+            };
+            nref(p).succ_lock.lock();
+            let s = nref(p).succ.load(Ordering::Acquire, g);
+            let valid = nref(p).key.cmp_key(key) == Cmp::Less
+                && nref(s).key.cmp_key(key) != Cmp::Less
+                && !nref(p).mark.load(Ordering::SeqCst);
+            if !valid {
+                nref(p).succ_lock.unlock();
+                continue; // validation failed; restart
+            }
+            if !nref(s).key.is_key(key) {
+                nref(p).succ_lock.unlock();
+                return false; // unsuccessful remove
+            }
+            if self.partially_external {
+                // Consumes p's succ lock; see pe.rs.
+                return self.remove_pe(p, s, g);
+            }
+            // Successful on-time removal of s.
+            nref(s).succ_lock.lock();
+            let locks = self.acquire_tree_locks(s, g);
+            // Linearization point of a successful remove (paper §5.2).
+            nref(s).mark.store(true, Ordering::SeqCst);
+            let s_succ = nref(s).succ.load(Ordering::Acquire, g);
+            nref(s_succ).pred.store(p, Ordering::Release);
+            nref(p).succ.store(s_succ, Ordering::Release);
+            nref(s).succ_lock.unlock();
+            nref(p).succ_lock.unlock();
+            self.remove_from_tree(s, locks, g);
+            // The node is now unlinked from both layouts; free it once all
+            // pinned readers move on.
+            unsafe { g.defer_destroy(s) };
+            return true;
+        }
+    }
+
+    /// Paper Algorithm 8: acquire every tree lock the physical removal of `n`
+    /// needs. On entry the caller holds `p.succLock`, `n.succLock` (so `n` is
+    /// pinned: it cannot be marked, and `n.succ` cannot change). Descending
+    /// lock acquisitions are `try_lock`; on failure everything is released
+    /// and the whole acquisition restarts.
+    pub(crate) fn acquire_tree_locks<'g>(
+        &self,
+        n: Shared<'g, Node<K, V>>,
+        g: &'g Guard,
+    ) -> RemovalLocks<'g, K, V> {
+        loop {
+            nref(n).tree_lock.lock();
+            let parent = self.lock_parent(n, g);
+            let l = nref(n).left.load(Ordering::Acquire, g);
+            let r = nref(n).right.load(Ordering::Acquire, g);
+
+            if l.is_null() || r.is_null() {
+                // n is a leaf or has a single child.
+                let child = if r.is_null() { l } else { r };
+                if !child.is_null() && !nref(child).tree_lock.try_lock() {
+                    nref(parent).tree_lock.unlock();
+                    nref(n).tree_lock.unlock();
+                    continue;
+                }
+                return RemovalLocks {
+                    parent,
+                    has_two: false,
+                    child,
+                    succ: Shared::null(),
+                    succ_parent: Shared::null(),
+                    succ_child: Shared::null(),
+                };
+            }
+
+            // n has two children; its successor s is the leftmost node of the
+            // right subtree (stable: we hold n.succLock).
+            let s = nref(n).succ.load(Ordering::Acquire, g);
+            let sp = nref(s).parent.load(Ordering::Acquire, g);
+            let succ_parent = if sp != n {
+                if !nref(sp).tree_lock.try_lock() {
+                    nref(parent).tree_lock.unlock();
+                    nref(n).tree_lock.unlock();
+                    continue;
+                }
+                if nref(s).parent.load(Ordering::Acquire, g) != sp
+                    || nref(sp).mark.load(Ordering::SeqCst)
+                {
+                    nref(sp).tree_lock.unlock();
+                    nref(parent).tree_lock.unlock();
+                    nref(n).tree_lock.unlock();
+                    continue;
+                }
+                sp
+            } else {
+                Shared::null()
+            };
+            let release_partial = |sp_locked: Shared<'g, Node<K, V>>| {
+                if !sp_locked.is_null() {
+                    nref(sp_locked).tree_lock.unlock();
+                }
+                nref(parent).tree_lock.unlock();
+                nref(n).tree_lock.unlock();
+            };
+            if !nref(s).tree_lock.try_lock() {
+                release_partial(succ_parent);
+                continue;
+            }
+            let sr = nref(s).right.load(Ordering::Acquire, g);
+            debug_assert!(
+                nref(s).left.load(Ordering::Acquire, g).is_null(),
+                "successor of a 2-children node must have no left child"
+            );
+            if !sr.is_null() && !nref(sr).tree_lock.try_lock() {
+                nref(s).tree_lock.unlock();
+                release_partial(succ_parent);
+                continue;
+            }
+            return RemovalLocks {
+                parent,
+                has_two: true,
+                child: Shared::null(),
+                succ: s,
+                succ_parent,
+                succ_child: sr,
+            };
+        }
+    }
+
+    /// Paper Algorithm 9: physically unlink `n` (already marked and spliced
+    /// out of the ordering layout) and rebalance. Consumes every lock in
+    /// `locks` plus `n.tree_lock`.
+    pub(crate) fn remove_from_tree<'g>(
+        &self,
+        n: Shared<'g, Node<K, V>>,
+        locks: RemovalLocks<'g, K, V>,
+        g: &'g Guard,
+    ) {
+        if !locks.has_two {
+            // Leaf or single child: splice n's parent to n's child.
+            let is_left = self.update_child(locks.parent, n, locks.child, g);
+            nref(n).tree_lock.unlock();
+            if self.balanced {
+                self.rebalance(locks.parent, locks.child, is_left, false, g);
+            } else {
+                if !locks.child.is_null() {
+                    nref(locks.child).tree_lock.unlock();
+                }
+                nref(locks.parent).tree_lock.unlock();
+            }
+            return;
+        }
+
+        // Two children: relocate the successor s into n's position.
+        let s = locks.succ;
+        let child = locks.succ_child; // s.right, possibly null
+        let s_parent_is_n = locks.succ_parent.is_null();
+        let detach_parent = if s_parent_is_n { n } else { locks.succ_parent };
+
+        // (i) Detach s from its current location.
+        let is_left = self.update_child(detach_parent, s, child, g);
+
+        // (ii) Move s to n's location: copy n's tree fields to s, point n's
+        // children and parent at s. During this window s is unreachable via
+        // the tree layout, but remains reachable via the ordering layout, so
+        // concurrent lookups cannot miss it (paper §4.4).
+        let sn = nref(s);
+        let nn = nref(n);
+        sn.left_height.store(nn.left_height.load(Ordering::Relaxed), Ordering::Relaxed);
+        sn.right_height.store(nn.right_height.load(Ordering::Relaxed), Ordering::Relaxed);
+        let nl = nn.left.load(Ordering::Acquire, g);
+        let nr = nn.right.load(Ordering::Acquire, g); // may be null if s was n.right
+        sn.left.store(nl, Ordering::Release);
+        sn.right.store(nr, Ordering::Release);
+        debug_assert!(!nl.is_null(), "2-children node must have a left child");
+        nref(nl).parent.store(s, Ordering::Release);
+        if !nr.is_null() {
+            nref(nr).parent.store(s, Ordering::Release);
+        }
+        self.update_child(locks.parent, n, s, g);
+
+        // (iii) Decide where rebalancing starts and release the rest.
+        let reb_node = if s_parent_is_n {
+            s // rebalance begins from s; keep it locked
+        } else {
+            sn.tree_lock.unlock();
+            locks.succ_parent
+        };
+        // reb_node is s or s's old parent, both strictly below n's parent,
+        // so n's parent lock is never the rebalance start.
+        debug_assert!(locks.parent != reb_node);
+        nref(locks.parent).tree_lock.unlock();
+        nn.tree_lock.unlock();
+
+        if self.balanced {
+            self.rebalance(reb_node, child, is_left, false, g);
+            // Paper §4.5 edge case: a concurrent rebalancer that found n
+            // marked abandoned its work; n's replacement s may be imbalanced
+            // and it is this thread's responsibility to fix it.
+            self.rebalance_node(s, g);
+        } else {
+            if !child.is_null() {
+                nref(child).tree_lock.unlock();
+            }
+            nref(reb_node).tree_lock.unlock();
+        }
+    }
+}

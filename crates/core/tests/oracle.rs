@@ -1,0 +1,126 @@
+//! Sequential oracle tests: every variant must behave exactly like a
+//! `BTreeMap` under arbitrary operation sequences, and satisfy all
+//! structural invariants afterwards.
+
+use lo_api::{CheckInvariants, ConcurrentMap, OrderedAccess};
+use lo_core::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(i64),
+    Remove(i64),
+    Contains(i64),
+}
+
+fn op_strategy(key_space: i64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_space).prop_map(Op::Insert),
+        (0..key_space).prop_map(Op::Remove),
+        (0..key_space).prop_map(Op::Contains),
+    ]
+}
+
+fn check_against_oracle<M>(map: &M, ops: &[Op])
+where
+    M: ConcurrentMap<i64, u64> + CheckInvariants + OrderedAccess<i64>,
+{
+    let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k) => {
+                let expected = !oracle.contains_key(&k);
+                if expected {
+                    oracle.insert(k, k as u64);
+                }
+                assert_eq!(map.insert(k, k as u64), expected, "insert({k}) at step {i}");
+            }
+            Op::Remove(k) => {
+                let expected = oracle.remove(&k).is_some();
+                assert_eq!(map.remove(&k), expected, "remove({k}) at step {i}");
+            }
+            Op::Contains(k) => {
+                assert_eq!(map.contains(&k), oracle.contains_key(&k), "contains({k}) at step {i}");
+                assert_eq!(map.get(&k), oracle.get(&k).copied(), "get({k}) at step {i}");
+            }
+        }
+    }
+    map.check_invariants();
+    let keys: Vec<i64> = oracle.keys().copied().collect();
+    assert_eq!(map.keys_in_order(), keys, "final in-order keys");
+    assert_eq!(map.min_key(), keys.first().copied());
+    assert_eq!(map.max_key(), keys.last().copied());
+}
+
+macro_rules! oracle_suite {
+    ($mod_name:ident, $ty:ident) => {
+        mod $mod_name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(64))]
+                #[test]
+                fn random_ops_small_space(ops in prop::collection::vec(op_strategy(16), 1..400)) {
+                    check_against_oracle(&$ty::new(), &ops);
+                }
+
+                #[test]
+                fn random_ops_large_space(ops in prop::collection::vec(op_strategy(1_000), 1..400)) {
+                    check_against_oracle(&$ty::new(), &ops);
+                }
+            }
+
+            #[test]
+            fn ascending_then_descending() {
+                let m = $ty::new();
+                let ops: Vec<Op> = (0..200)
+                    .map(Op::Insert)
+                    .chain((0..200).rev().map(Op::Remove))
+                    .collect();
+                check_against_oracle(&m, &ops);
+            }
+
+            #[test]
+            fn interleaved_insert_remove() {
+                let m = $ty::new();
+                // Insert evens, remove odds (absent), then flip.
+                let mut ops = Vec::new();
+                for k in 0..300i64 {
+                    ops.push(Op::Insert(k * 2));
+                    ops.push(Op::Remove(k * 2 + 1));
+                }
+                for k in 0..300i64 {
+                    ops.push(Op::Remove(k * 2));
+                    ops.push(Op::Insert(k * 2 + 1));
+                }
+                check_against_oracle(&m, &ops);
+            }
+
+            #[test]
+            fn two_children_removals() {
+                // Build a full tree, then remove internal nodes first so the
+                // 2-children (successor relocation / zombie) path is hit hard.
+                let m = $ty::new();
+                let mut ops: Vec<Op> = (0..127).map(Op::Insert).collect();
+                // Remove in BFS-root-first order of a balanced layout.
+                let mut order = vec![];
+                let mut ranges = std::collections::VecDeque::from([(0i64, 127i64)]);
+                while let Some((lo, hi)) = ranges.pop_front() {
+                    if lo >= hi { continue; }
+                    let mid = (lo + hi) / 2;
+                    order.push(mid);
+                    ranges.push_back((lo, mid));
+                    ranges.push_back((mid + 1, hi));
+                }
+                ops.extend(order.into_iter().map(Op::Remove));
+                check_against_oracle(&m, &ops);
+            }
+        }
+    };
+}
+
+oracle_suite!(avl, LoAvlMap);
+oracle_suite!(bst, LoBstMap);
+oracle_suite!(pe_avl, LoPeAvlMap);
+oracle_suite!(pe_bst, LoPeBstMap);

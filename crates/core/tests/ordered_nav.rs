@@ -1,0 +1,186 @@
+//! Tests for the ordered-navigation extensions (ceiling/floor/range/pop).
+
+use lo_core::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+macro_rules! nav_suite {
+    ($mod_name:ident, $ty:ident) => {
+        mod $mod_name {
+            use super::*;
+
+            #[test]
+            fn ceiling_floor_basics() {
+                let m = $ty::new();
+                for k in [10i64, 20, 30, 40] {
+                    assert!(m.insert(k, k as u64));
+                }
+                assert_eq!(m.ceiling_key(&5), Some(10));
+                assert_eq!(m.ceiling_key(&10), Some(10));
+                assert_eq!(m.ceiling_key(&11), Some(20));
+                assert_eq!(m.ceiling_key(&40), Some(40));
+                assert_eq!(m.ceiling_key(&41), None);
+                assert_eq!(m.floor_key(&5), None);
+                assert_eq!(m.floor_key(&10), Some(10));
+                assert_eq!(m.floor_key(&29), Some(20));
+                assert_eq!(m.floor_key(&1000), Some(40));
+            }
+
+            #[test]
+            fn ceiling_floor_skip_removed() {
+                let m = $ty::new();
+                for k in [10i64, 20, 30] {
+                    assert!(m.insert(k, 0));
+                }
+                assert!(m.remove(&20));
+                assert_eq!(m.ceiling_key(&15), Some(30), "removed key must be skipped");
+                assert_eq!(m.floor_key(&25), Some(10));
+            }
+
+            #[test]
+            fn range_snapshot() {
+                let m = $ty::new();
+                for k in 0..50i64 {
+                    assert!(m.insert(k * 2, 0)); // evens 0..98
+                }
+                assert_eq!(m.range_keys(10..=20), vec![10, 12, 14, 16, 18, 20]);
+                assert_eq!(m.range_keys(11..=13), vec![12]);
+                assert_eq!(m.range_keys(99..=200), Vec::<i64>::new());
+                assert_eq!(m.range_keys(0..=0), vec![0]);
+            }
+
+            #[test]
+            fn range_matches_btreemap_oracle() {
+                let m = $ty::new();
+                let mut oracle = BTreeMap::new();
+                let mut x = 0xFEEDu64;
+                for _ in 0..500 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = (x % 200) as i64;
+                    if x % 3 == 0 {
+                        m.remove(&k);
+                        oracle.remove(&k);
+                    } else {
+                        if oracle.insert(k, ()).is_none() {
+                            assert!(m.insert(k, 0));
+                        }
+                    }
+                }
+                for (lo, hi) in [(0i64, 199), (50, 60), (10, 10), (0, 0), (199, 199)] {
+                    let expected: Vec<i64> = oracle.range(lo..=hi).map(|(&k, _)| k).collect();
+                    assert_eq!(m.range_keys(lo..=hi), expected, "range {lo}..={hi}");
+                }
+                // Inverted range: BTreeMap panics; we define it as empty.
+                assert_eq!(m.range_keys(150..=40), Vec::<i64>::new());
+            }
+
+            #[test]
+            fn pop_drains_in_order() {
+                let m = $ty::new();
+                for k in [5i64, 3, 9, 1, 7] {
+                    assert!(m.insert(k, k as u64 * 10));
+                }
+                assert_eq!(m.pop_min(), Some((1, 10)));
+                assert_eq!(m.pop_max(), Some((9, 90)));
+                assert_eq!(m.pop_min(), Some((3, 30)));
+                assert_eq!(m.pop_min(), Some((5, 50)));
+                assert_eq!(m.pop_max(), Some((7, 70)));
+                assert_eq!(m.pop_min(), None);
+                assert_eq!(m.pop_max(), None);
+            }
+
+            #[test]
+            fn concurrent_pop_min_is_exclusive() {
+                // Two poppers drain the map; every key must be popped
+                // exactly once, in globally sorted order per popper.
+                const N: i64 = 2_000;
+                let m = $ty::new();
+                for k in 0..N {
+                    assert!(m.insert(k, k as u64));
+                }
+                let popped: Vec<Vec<(i64, u64)>> = std::thread::scope(|s| {
+                    (0..2)
+                        .map(|_| {
+                            let m = &m;
+                            s.spawn(move || {
+                                let mut out = Vec::new();
+                                while let Some(kv) = m.pop_min() {
+                                    out.push(kv);
+                                }
+                                out
+                            })
+                        })
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .map(|h| h.join().expect("popper"))
+                        .collect()
+                });
+                let mut all: Vec<i64> = popped.iter().flatten().map(|&(k, _)| k).collect();
+                assert_eq!(all.len() as i64, N, "every key popped exactly once");
+                all.sort_unstable();
+                all.dedup();
+                assert_eq!(all.len() as i64, N, "no duplicates");
+                for per in &popped {
+                    assert!(
+                        per.windows(2).all(|w| w[0].0 < w[1].0),
+                        "each popper sees ascending keys"
+                    );
+                    for &(k, v) in per {
+                        assert_eq!(v, k as u64, "value travels with its key");
+                    }
+                }
+            }
+        }
+    };
+}
+
+nav_suite!(avl, LoAvlMap);
+nav_suite!(bst, LoBstMap);
+nav_suite!(pe_avl, LoPeAvlMap);
+nav_suite!(pe_bst, LoPeBstMap);
+
+/// Ceiling/floor under concurrent churn of *other* keys must stay exact for
+/// stable anchor keys.
+#[test]
+fn navigation_under_churn() {
+    let m = LoAvlMap::new();
+    // Anchors at multiples of 100; churn happens strictly between them.
+    for a in (0..=1_000i64).step_by(100) {
+        assert!(m.insert(a, 0u64));
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let m = &m;
+        let stop = &stop;
+        s.spawn(move || {
+            let mut x = 77u64;
+            for _ in 0..60_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let k = (x % 1_000) as i64;
+                if k % 100 == 0 {
+                    continue;
+                }
+                if x % 2 == 0 {
+                    m.insert(k, 1);
+                } else {
+                    m.remove(&k);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        s.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                // Between anchors there is always *some* key ≥ the probe
+                // (the next anchor), and ceiling can never overshoot it.
+                let c = m.ceiling_key(&150).expect("anchor 200 exists");
+                assert!((150..=200).contains(&c), "ceiling overshot: {c}");
+                let f = m.floor_key(&250).expect("anchor 200 exists");
+                assert!((200..=250).contains(&f), "floor undershot: {f}");
+            }
+        });
+    });
+}

@@ -1,0 +1,142 @@
+//! Integration tests for the from-scratch EBR: build a small lock-free
+//! Treiber stack on top of it and hammer it — the classic acid test for a
+//! reclamation scheme (pop retires nodes that concurrent pops may still be
+//! reading).
+
+use lo_reclaim::Collector;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct StackNode {
+    value: u64,
+    next: *mut StackNode,
+}
+
+struct TreiberStack {
+    head: AtomicPtr<StackNode>,
+    collector: Collector,
+}
+
+// SAFETY: all mutation is CAS on `head`; nodes are freed through the epoch.
+unsafe impl Send for TreiberStack {}
+unsafe impl Sync for TreiberStack {}
+
+impl TreiberStack {
+    fn new() -> Self {
+        Self { head: AtomicPtr::new(std::ptr::null_mut()), collector: Collector::new() }
+    }
+
+    fn push(&self, handle: &lo_reclaim::Handle, value: u64) {
+        let _guard = handle.pin();
+        let node = Box::into_raw(Box::new(StackNode { value, next: std::ptr::null_mut() }));
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            // SAFETY: node is unpublished; we own it.
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange(head, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn pop(&self, handle: &lo_reclaim::Handle) -> Option<u64> {
+        let guard = handle.pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            if head.is_null() {
+                return None;
+            }
+            // SAFETY: `head` was reachable under our pin; even if another
+            // thread pops and retires it concurrently, the epoch keeps the
+            // allocation alive for us.
+            let next = unsafe { (*head).next };
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let value = unsafe { (*head).value };
+                // SAFETY: unlinked by the successful CAS; single retirer.
+                unsafe { guard.defer_destroy_box(head) };
+                return Some(value);
+            }
+        }
+    }
+}
+
+impl Drop for TreiberStack {
+    fn drop(&mut self) {
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            let boxed = unsafe { Box::from_raw(p) };
+            p = boxed.next;
+        }
+    }
+}
+
+#[test]
+fn treiber_stack_conserves_values() {
+    const PER_THREAD: u64 = if cfg!(debug_assertions) { 20_000 } else { 60_000 };
+    const THREADS: u64 = 4;
+    let stack = Arc::new(TreiberStack::new());
+    let popped_sum = Arc::new(AtomicU64::new(0));
+    let popped_count = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let stack = Arc::clone(&stack);
+            let popped_sum = Arc::clone(&popped_sum);
+            let popped_count = Arc::clone(&popped_count);
+            s.spawn(move || {
+                let handle = stack.collector.register();
+                // Interleave pushes and pops.
+                for i in 0..PER_THREAD {
+                    stack.push(&handle, t * PER_THREAD + i + 1);
+                    if i % 2 == 0 {
+                        if let Some(v) = stack.pop(&handle) {
+                            popped_sum.fetch_add(v, Ordering::Relaxed);
+                            popped_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                handle.flush();
+            });
+        }
+    });
+
+    // Drain the remainder single-threaded.
+    let handle = stack.collector.register();
+    while let Some(v) = stack.pop(&handle) {
+        popped_sum.fetch_add(v, Ordering::Relaxed);
+        popped_count.fetch_add(1, Ordering::Relaxed);
+    }
+    for _ in 0..4 {
+        handle.flush();
+    }
+
+    let n = THREADS * PER_THREAD;
+    assert_eq!(popped_count.load(Ordering::Relaxed), n, "every push popped exactly once");
+    // Sum of t*PER_THREAD + i + 1 over all t, i.
+    let expected: u64 = (0..THREADS)
+        .map(|t| (0..PER_THREAD).map(|i| t * PER_THREAD + i + 1).sum::<u64>())
+        .sum();
+    assert_eq!(popped_sum.load(Ordering::Relaxed), expected, "values conserved");
+}
+
+#[test]
+fn many_collectors_are_independent() {
+    let a = Collector::new();
+    let b = Collector::new();
+    let ha = a.register();
+    let _pinned_forever = ha.pin();
+    // A pinned thread in collector `a` must not block `b`'s progress.
+    let hb = b.register();
+    let before = b.epoch();
+    hb.flush();
+    hb.flush();
+    assert!(b.epoch() > before, "independent collectors must advance");
+}

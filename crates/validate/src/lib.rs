@@ -1,0 +1,13 @@
+//! Correctness substrate for the tree suite: a reusable phased stress
+//! harness with per-key accounting ([`stress`]), and an exhaustive
+//! small-history linearizability checker ([`lin`]) that would catch exactly
+//! the Figure-1 anomaly the paper opens with.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lin;
+pub mod stress;
+
+pub use lin::{is_linearizable, CompletedOp, LinOp, Recorder};
+pub use stress::{lin_check_map, stress_map, StressConfig, StressReport};

@@ -1,0 +1,245 @@
+//! A small-history linearizability checker for concurrent sets
+//! (Wing–Gong search with memoization on (linearized-set, state) pairs).
+//!
+//! Histories are recorded with a global atomic timestamp: each completed
+//! operation carries an invocation stamp and a response stamp; operation A
+//! *happens before* B iff `A.response < B.invoke`. The checker searches for
+//! a total order consistent with happens-before in which every operation's
+//! result matches sequential set semantics.
+//!
+//! Designed for *small* histories (≤ ~24 operations, key universe ≤ 64):
+//! the point is adversarial validation of tiny hot interleavings, thousands
+//! of times, not full-run verification (the stress harness's net-balance
+//! accounting covers long runs).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Set operation kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinOp {
+    /// insert(k) → bool (true = was absent)
+    Insert,
+    /// remove(k) → bool (true = was present)
+    Remove,
+    /// contains(k) → bool
+    Contains,
+}
+
+/// One completed operation.
+#[derive(Clone, Copy, Debug)]
+pub struct CompletedOp {
+    /// Which operation.
+    pub op: LinOp,
+    /// The key (must be `< 64` for the bitmask state).
+    pub key: u8,
+    /// The returned boolean.
+    pub result: bool,
+    /// Global invocation stamp.
+    pub invoke: u64,
+    /// Global response stamp.
+    pub response: u64,
+}
+
+/// Concurrent history recorder: wrap each operation call with
+/// [`Recorder::stamp`]s and push the completed op.
+pub struct Recorder {
+    clock: AtomicU64,
+}
+
+impl Recorder {
+    /// Fresh recorder with clock 0.
+    pub fn new() -> Self {
+        Self { clock: AtomicU64::new(0) }
+    }
+
+    /// Draws the next timestamp.
+    pub fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Runs `f`, stamping around it, and builds the completed record.
+    pub fn record(&self, op: LinOp, key: u8, f: impl FnOnce() -> bool) -> CompletedOp {
+        let invoke = self.stamp();
+        let result = f();
+        let response = self.stamp();
+        CompletedOp { op, key, result, invoke, response }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Checks whether `history` (completed ops only) is linearizable w.r.t. set
+/// semantics starting from `initial` (bitmask of present keys).
+///
+/// Panics if the history has more than 28 operations (search-space guard).
+pub fn is_linearizable(history: &[CompletedOp], initial: u64) -> bool {
+    assert!(history.len() <= 28, "history too large for the exhaustive checker");
+    let n = history.len();
+    if n == 0 {
+        return true;
+    }
+    // DFS over (taken-mask, state); memoize visited (mask, state) pairs.
+    // Classic pruning: op i may linearize next only if no *untaken* op
+    // responded before i was invoked (otherwise that op must come first).
+    let mut memo: HashSet<(u32, u64)> = HashSet::new();
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+
+    fn apply(op: &CompletedOp, state: u64) -> Option<u64> {
+        let bit = 1u64 << op.key;
+        let present = state & bit != 0;
+        match op.op {
+            LinOp::Contains => (op.result == present).then_some(state),
+            LinOp::Insert => {
+                if op.result {
+                    (!present).then_some(state | bit)
+                } else {
+                    present.then_some(state)
+                }
+            }
+            LinOp::Remove => {
+                if op.result {
+                    present.then_some(state & !bit)
+                } else {
+                    (!present).then_some(state)
+                }
+            }
+        }
+    }
+
+    fn dfs(
+        history: &[CompletedOp],
+        taken: u32,
+        state: u64,
+        full: u32,
+        memo: &mut HashSet<(u32, u64)>,
+    ) -> bool {
+        if taken == full {
+            return true;
+        }
+        if !memo.insert((taken, state)) {
+            return false;
+        }
+        // Earliest response among untaken ops: candidates must have been
+        // invoked before it (they overlap or precede that op).
+        let mut min_resp = u64::MAX;
+        for (i, op) in history.iter().enumerate() {
+            if taken & (1 << i) == 0 {
+                min_resp = min_resp.min(op.response);
+            }
+        }
+        for (i, op) in history.iter().enumerate() {
+            if taken & (1 << i) != 0 || op.invoke > min_resp {
+                continue;
+            }
+            if let Some(next) = apply(op, state) {
+                if dfs(history, taken | (1 << i), next, full, memo) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    dfs(history, 0, initial, full, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(op: LinOp, key: u8, result: bool, invoke: u64, response: u64) -> CompletedOp {
+        CompletedOp { op, key, result, invoke, response }
+    }
+
+    #[test]
+    fn sequential_valid() {
+        let h = [
+            op(LinOp::Insert, 1, true, 0, 1),
+            op(LinOp::Contains, 1, true, 2, 3),
+            op(LinOp::Remove, 1, true, 4, 5),
+            op(LinOp::Contains, 1, false, 6, 7),
+        ];
+        assert!(is_linearizable(&h, 0));
+    }
+
+    #[test]
+    fn sequential_invalid() {
+        // contains(1) = false strictly after a successful insert with no
+        // remove anywhere: not linearizable.
+        let h = [
+            op(LinOp::Insert, 1, true, 0, 1),
+            op(LinOp::Contains, 1, false, 2, 3),
+        ];
+        assert!(!is_linearizable(&h, 0));
+    }
+
+    #[test]
+    fn overlap_allows_reordering() {
+        // Same shape, but the contains overlaps the insert: fine.
+        let h = [
+            op(LinOp::Insert, 1, true, 0, 3),
+            op(LinOp::Contains, 1, false, 1, 2),
+        ];
+        assert!(is_linearizable(&h, 0));
+    }
+
+    #[test]
+    fn figure1_scenario_would_be_caught() {
+        // The paper's Figure 1 bug: contains(7) returns false even though 7
+        // was in the set the whole time and only key 3 was removed.
+        let h = [
+            op(LinOp::Remove, 3, true, 1, 4),
+            op(LinOp::Contains, 7, false, 2, 3),
+        ];
+        let initial = (1 << 1) | (1 << 3) | (1 << 7) | (1 << 9);
+        assert!(!is_linearizable(&h, initial), "Figure 1 anomaly must be rejected");
+        // The correct answer is accepted.
+        let h_ok = [
+            op(LinOp::Remove, 3, true, 1, 4),
+            op(LinOp::Contains, 7, true, 2, 3),
+        ];
+        assert!(is_linearizable(&h_ok, initial));
+    }
+
+    #[test]
+    fn duplicate_insert_results() {
+        // Two overlapping inserts of the same key: exactly one may win.
+        let both_win = [
+            op(LinOp::Insert, 5, true, 0, 2),
+            op(LinOp::Insert, 5, true, 1, 3),
+        ];
+        assert!(!is_linearizable(&both_win, 0));
+        let one_wins = [
+            op(LinOp::Insert, 5, true, 0, 2),
+            op(LinOp::Insert, 5, false, 1, 3),
+        ];
+        assert!(is_linearizable(&one_wins, 0));
+    }
+
+    #[test]
+    fn initial_state_respected() {
+        let h = [op(LinOp::Remove, 9, true, 0, 1)];
+        assert!(!is_linearizable(&h, 0));
+        assert!(is_linearizable(&h, 1 << 9));
+    }
+
+    #[test]
+    fn empty_history() {
+        assert!(is_linearizable(&[], 0));
+    }
+
+    #[test]
+    fn recorder_orders_stamps() {
+        let r = Recorder::new();
+        let a = r.record(LinOp::Insert, 1, || true);
+        let b = r.record(LinOp::Contains, 1, || true);
+        assert!(a.invoke < a.response);
+        assert!(a.response < b.invoke);
+        assert!(is_linearizable(&[a, b], 0));
+    }
+}

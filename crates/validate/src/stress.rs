@@ -1,0 +1,266 @@
+//! Reusable phased stress harness for any [`ConcurrentMap`].
+//!
+//! Correctness accounting that scales to long runs (complementing the
+//! exhaustive small-history linearizability checker in [`crate::lin`]):
+//!
+//! * **Net balance** — every thread tracks successful inserts − removes;
+//!   linearizability implies the final size equals the sum.
+//! * **Per-key parity** — with per-key insert/remove success counts summed
+//!   across threads, a key is present at the end iff its inserts exceed its
+//!   removes by exactly one (they can differ by at most one).
+//! * **Quiescent checks** — the structure's own `check_invariants`, plus
+//!   snapshot ordering.
+
+use lo_api::{CheckInvariants, ConcurrentMap, OrderedAccess};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stress configuration.
+#[derive(Clone, Debug)]
+pub struct StressConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Keys drawn uniformly from `[0, key_space)`.
+    pub key_space: i64,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Percentage of lookups (rest split evenly insert/remove).
+    pub contains_pct: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Yield every N operations (improves interleavings on few-core hosts).
+    pub yield_every: usize,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            key_space: 128,
+            ops_per_thread: 20_000,
+            contains_pct: 34,
+            seed: 0xD15EA5E,
+            yield_every: 64,
+        }
+    }
+}
+
+/// Outcome summary of a stress run.
+#[derive(Clone, Debug)]
+pub struct StressReport {
+    /// Final number of keys.
+    pub final_size: usize,
+    /// Total successful inserts.
+    pub inserts: u64,
+    /// Total successful removes.
+    pub removes: u64,
+    /// Total operations executed.
+    pub total_ops: u64,
+}
+
+/// Runs the stress and all correctness accounting; panics on any violation.
+pub fn stress_map<M>(map: &M, cfg: &StressConfig) -> StressReport
+where
+    M: ConcurrentMap<i64, u64> + CheckInvariants + OrderedAccess<i64> + Sync,
+{
+    assert!(cfg.key_space > 0);
+    // Per-thread, per-key success counters.
+    let per_thread: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+                    let mut ins = vec![0u64; cfg.key_space as usize];
+                    let mut rem = vec![0u64; cfg.key_space as usize];
+                    for i in 0..cfg.ops_per_thread {
+                        let k = rng.gen_range(0..cfg.key_space);
+                        let roll: u32 = rng.gen_range(0..100);
+                        if roll < cfg.contains_pct {
+                            let _ = map.contains(&k);
+                        } else if roll < cfg.contains_pct + (100 - cfg.contains_pct) / 2 {
+                            if map.insert(k, k as u64) {
+                                ins[k as usize] += 1;
+                            }
+                        } else if map.remove(&k) {
+                            rem[k as usize] += 1;
+                        }
+                        if cfg.yield_every > 0 && i % cfg.yield_every == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    (ins, rem)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stress worker panicked")).collect()
+    });
+
+    // Aggregate.
+    let mut ins = vec![0u64; cfg.key_space as usize];
+    let mut rem = vec![0u64; cfg.key_space as usize];
+    for (ti, tr) in &per_thread {
+        for k in 0..cfg.key_space as usize {
+            ins[k] += ti[k];
+            rem[k] += tr[k];
+        }
+    }
+
+    // Per-key parity: diff must be 0 (absent) or 1 (present).
+    let keys: Vec<i64> = map.keys_in_order();
+    let present: std::collections::HashSet<i64> = keys.iter().copied().collect();
+    for k in 0..cfg.key_space as usize {
+        let diff = ins[k] as i64 - rem[k] as i64;
+        assert!(
+            diff == 0 || diff == 1,
+            "key {k}: {} successful inserts vs {} removes — impossible",
+            ins[k],
+            rem[k]
+        );
+        assert_eq!(
+            diff == 1,
+            present.contains(&(k as i64)),
+            "key {k}: presence does not match insert/remove accounting"
+        );
+    }
+
+    // Net balance.
+    let total_ins: u64 = ins.iter().sum();
+    let total_rem: u64 = rem.iter().sum();
+    assert_eq!(keys.len() as u64, total_ins - total_rem, "net size mismatch");
+    assert!(keys.windows(2).all(|w| w[0] < w[1]), "snapshot not strictly sorted");
+
+    map.check_invariants();
+
+    StressReport {
+        final_size: keys.len(),
+        inserts: total_ins,
+        removes: total_rem,
+        total_ops: (cfg.threads * cfg.ops_per_thread) as u64,
+    }
+}
+
+/// Runs many tiny adversarial interleavings and checks each recorded history
+/// with the exhaustive linearizability checker. `make_map` builds a fresh
+/// map per round, prefilled with `initial` keys.
+pub fn lin_check_map<M, F>(make_map: F, rounds: usize, seed: u64)
+where
+    M: ConcurrentMap<i64, u64> + Sync,
+    F: Fn() -> M,
+{
+    use crate::lin::{is_linearizable, LinOp, Recorder};
+    const THREADS: usize = 3;
+    const OPS_PER_THREAD: usize = 5;
+    const KEYS: u8 = 6;
+
+    let mut master = StdRng::seed_from_u64(seed);
+    for round in 0..rounds {
+        let map = make_map();
+        // Random initial set.
+        let mut initial = 0u64;
+        for k in 0..KEYS {
+            if master.gen_bool(0.5) {
+                assert!(map.insert(k as i64, k as u64));
+                initial |= 1 << k;
+            }
+        }
+        let recorder = Recorder::new();
+        let seeds: Vec<u64> = (0..THREADS).map(|_| master.gen()).collect();
+        let histories: Vec<Vec<crate::lin::CompletedOp>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&s| {
+                    let map = &map;
+                    let recorder = &recorder;
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(s);
+                        let mut out = Vec::with_capacity(OPS_PER_THREAD);
+                        for _ in 0..OPS_PER_THREAD {
+                            let k: u8 = rng.gen_range(0..KEYS);
+                            let op = match rng.gen_range(0..3) {
+                                0 => LinOp::Insert,
+                                1 => LinOp::Remove,
+                                _ => LinOp::Contains,
+                            };
+                            let rec = recorder.record(op, k, || match op {
+                                LinOp::Insert => map.insert(k as i64, k as u64),
+                                LinOp::Remove => map.remove(&(k as i64)),
+                                LinOp::Contains => map.contains(&(k as i64)),
+                            });
+                            out.push(rec);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("lin worker")).collect()
+        });
+        let history: Vec<_> = histories.into_iter().flatten().collect();
+        assert!(
+            is_linearizable(&history, initial),
+            "non-linearizable history in round {round} on {}: {history:#?} (initial {initial:#b})",
+            map.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    struct RefMap(Mutex<BTreeMap<i64, u64>>);
+    impl ConcurrentMap<i64, u64> for RefMap {
+        fn insert(&self, k: i64, v: u64) -> bool {
+            let mut g = self.0.lock().unwrap();
+            if let std::collections::btree_map::Entry::Vacant(e) = g.entry(k) {
+                e.insert(v);
+                true
+            } else {
+                false
+            }
+        }
+        fn remove(&self, k: &i64) -> bool {
+            self.0.lock().unwrap().remove(k).is_some()
+        }
+        fn contains(&self, k: &i64) -> bool {
+            self.0.lock().unwrap().contains_key(k)
+        }
+        fn get(&self, k: &i64) -> Option<u64> {
+            self.0.lock().unwrap().get(k).copied()
+        }
+        fn name(&self) -> &'static str {
+            "ref"
+        }
+    }
+    impl OrderedAccess<i64> for RefMap {
+        fn min_key(&self) -> Option<i64> {
+            self.0.lock().unwrap().keys().next().copied()
+        }
+        fn max_key(&self) -> Option<i64> {
+            self.0.lock().unwrap().keys().last().copied()
+        }
+        fn keys_in_order(&self) -> Vec<i64> {
+            self.0.lock().unwrap().keys().copied().collect()
+        }
+    }
+    impl CheckInvariants for RefMap {
+        fn check_invariants(&self) {}
+    }
+
+    #[test]
+    fn stress_reference_map() {
+        let map = RefMap(Mutex::new(BTreeMap::new()));
+        let report = stress_map(
+            &map,
+            &StressConfig { threads: 3, ops_per_thread: 5_000, ..Default::default() },
+        );
+        assert_eq!(report.total_ops, 15_000);
+        assert_eq!(report.final_size as u64, report.inserts - report.removes);
+    }
+
+    #[test]
+    fn lin_check_reference_map() {
+        lin_check_map(|| RefMap(Mutex::new(BTreeMap::new())), 50, 42);
+    }
+}

@@ -1,0 +1,160 @@
+//! Operation-latency measurement (extension): the paper argues lock-free
+//! lookups matter for tail behaviour — a `contains` can never be blocked by
+//! a rebalance or a preempted lock holder. This module samples per-op
+//! latencies into a log-scaled histogram so the repro harness can report
+//! p50/p99/p999 per operation kind.
+
+use std::time::Instant;
+
+/// Log₂-bucketed latency histogram (nanoseconds, 1ns..~1s).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    /// bucket i counts samples with latency in [2^i, 2^(i+1)) ns.
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+const BUCKETS: usize = 32;
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: vec![0; BUCKETS], count: 0 }
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        let idx = (64 - nanos.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Times `f` and records its duration.
+    #[inline]
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.record(t0.elapsed().as_nanos() as u64);
+        r
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound (ns) of the bucket containing the given quantile
+    /// (0.0..=1.0). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// `p50/p99/p999` summary line, e.g. `p50<2.0µs p99<16.4µs p999<131µs`.
+    pub fn summary(&self) -> String {
+        fn fmt(ns: u64) -> String {
+            if ns >= 1_000_000 {
+                format!("{:.1}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.1}µs", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        format!(
+            "p50<{} p99<{} p999<{}",
+            fmt(self.quantile(0.50)),
+            fmt(self.quantile(0.99)),
+            fmt(self.quantile(0.999))
+        )
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..900 {
+            h.record(100); // bucket [64, 128)
+        }
+        for _ in 0..100 {
+            h.record(10_000); // bucket [8192, 16384)
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.50);
+        assert!(p50 >= 128 && p50 <= 256, "p50 bucket bound: {p50}");
+        let p999 = h.quantile(0.999);
+        assert!(p999 >= 16_384, "p999 must cover the slow tail: {p999}");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(50);
+        b.record(50);
+        b.record(5_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn extreme_values_clamped() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // clamps to 1ns bucket
+        h.record(u64::MAX); // clamps to top bucket
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) > 0);
+    }
+
+    #[test]
+    fn time_records() {
+        let mut h = LatencyHistogram::new();
+        let v = h.time(|| 7 * 6);
+        assert_eq!(v, 42);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn summary_formats() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        let s = h.summary();
+        assert!(s.starts_with("p50<"), "{s}");
+    }
+}

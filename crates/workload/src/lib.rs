@@ -1,0 +1,32 @@
+//! Benchmark workload substrate reproducing the paper's evaluation
+//! methodology (§6): operation mixes, uniform (or Zipf) key draws, prefill
+//! to the steady-state size with the trial's own update ratio, timed
+//! multi-threaded trials, and the paper's table layout for reporting.
+//!
+//! ```
+//! use lo_workload::{Mix, TrialSpec, prefill, run_trial};
+//! use std::time::Duration;
+//!
+//! let map = lo_core::LoAvlMap::new();
+//! let spec = TrialSpec::new(Mix::C70_I20_R10, 1_000, 2, Duration::from_millis(20));
+//! prefill(&map, &spec);
+//! let result = run_trial(&map, &spec);
+//! assert!(result.total_ops > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod latency;
+pub mod report;
+pub mod rng;
+pub mod runner;
+pub mod spec;
+pub mod stats;
+
+pub use latency::LatencyHistogram;
+pub use report::Panel;
+pub use rng::{SplitMix64, XorShift64Star, Zipf};
+pub use runner::{prefill, run_experiment, run_trial, TrialResult};
+pub use spec::{KeyDist, Mix, OpKind, TrialSpec};
+pub use stats::Summary;

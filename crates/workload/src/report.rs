@@ -1,0 +1,109 @@
+//! Fixed-width table / CSV output for the reproduction binaries.
+//!
+//! Each panel of the paper's Tables 1 and 2 is throughput (Mops/s) vs.
+//! thread count for one (mix, key-range) pair; a [`Panel`] renders exactly
+//! that: one row per thread count, one column per algorithm.
+
+use crate::stats::Summary;
+
+/// One table panel: algorithms × thread counts.
+pub struct Panel {
+    /// Title, e.g. `70c-20i-10r, key range 2e5`.
+    pub title: String,
+    /// Column headers (algorithm labels).
+    pub algorithms: Vec<String>,
+    /// Row labels (thread counts).
+    pub threads: Vec<usize>,
+    /// `cells[row][col]` = throughput summary for (threads[row], algorithms[col]).
+    pub cells: Vec<Vec<Summary>>,
+}
+
+impl Panel {
+    /// Creates an empty panel; fill with [`Panel::set`].
+    pub fn new(title: impl Into<String>, algorithms: Vec<String>, threads: Vec<usize>) -> Self {
+        let cells =
+            vec![vec![Summary { mean: 0.0, stddev: 0.0, n: 0 }; algorithms.len()]; threads.len()];
+        Self { title: title.into(), algorithms, threads, cells }
+    }
+
+    /// Stores a measurement.
+    pub fn set(&mut self, thread_row: usize, algo_col: usize, s: Summary) {
+        self.cells[thread_row][algo_col] = s;
+    }
+
+    /// Renders a human-readable fixed-width table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n", self.title));
+        out.push_str(&format!("{:>8}", "threads"));
+        for a in &self.algorithms {
+            out.push_str(&format!("{a:>16}"));
+        }
+        out.push('\n');
+        for (r, t) in self.threads.iter().enumerate() {
+            out.push_str(&format!("{t:>8}"));
+            for c in 0..self.algorithms.len() {
+                let s = self.cells[r][c];
+                if s.n == 0 {
+                    out.push_str(&format!("{:>16}", "-"));
+                } else {
+                    out.push_str(&format!("{:>16}", format!("{s}")));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders machine-readable CSV (`title,threads,algorithm,mean,stddev,n`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("panel,threads,algorithm,mops_mean,mops_stddev,reps\n");
+        for (r, t) in self.threads.iter().enumerate() {
+            for (c, a) in self.algorithms.iter().enumerate() {
+                let s = self.cells[r][c];
+                out.push_str(&format!(
+                    "{},{},{},{:.6},{:.6},{}\n",
+                    self.title, t, a, s.mean, s.stddev, s.n
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_panel() -> Panel {
+        let mut p = Panel::new(
+            "test-panel",
+            vec!["lo-avl".into(), "bcco".into()],
+            vec![1, 2, 4],
+        );
+        p.set(0, 0, Summary { mean: 1.5, stddev: 0.1, n: 3 });
+        p.set(2, 1, Summary { mean: 4.25, stddev: 0.2, n: 3 });
+        p
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = sample_panel().render();
+        assert!(text.contains("test-panel"));
+        assert!(text.contains("lo-avl"));
+        assert!(text.contains("1.500"));
+        assert!(text.contains("4.250"));
+        // Unfilled cells render as '-'.
+        assert!(text.contains('-'));
+        assert_eq!(text.lines().count(), 2 + 3);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample_panel().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 3 * 2);
+        assert!(lines[0].starts_with("panel,threads"));
+        assert!(lines[1].starts_with("test-panel,1,lo-avl,1.5"));
+    }
+}

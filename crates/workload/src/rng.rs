@@ -1,0 +1,160 @@
+//! Deterministic, allocation-free PRNGs for workload generation.
+//!
+//! Benchmarks need per-thread generators that are (a) fast enough not to
+//! dominate the measured operation, (b) seedable so every trial is
+//! reproducible, and (c) independent across threads. `SplitMix64` seeds
+//! per-thread `XorShift64Star` streams, mirroring the common Synchrobench
+//! setup (the paper's harness draws keys uniformly at random per thread).
+
+/// SplitMix64 — used to derive independent seeds.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xorshift64* — the per-thread workhorse.
+#[derive(Clone, Debug)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator; a zero seed is remapped (xorshift must not hold 0).
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 12;
+        x ^= x >> 25;
+        x ^= x << 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, bound)` (Lemire's multiply-shift; bias is
+    /// negligible for benchmark bounds ≪ 2^64).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0.0, 1.0)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A Zipf(θ) sampler over `[0, n)` using an inverted-CDF table.
+///
+/// Not part of the paper's protocol (it draws keys uniformly); provided for
+/// the skew-sensitivity extension experiments.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. O(n) time and memory; `n` up to a few million is
+    /// fine.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut XorShift64Star) -> usize {
+        let u = rng.next_f64();
+        // Binary search for the first cdf entry >= u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn xorshift_bounds() {
+        let mut r = XorShift64Star::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn xorshift_zero_seed_ok() {
+        let mut r = XorShift64Star::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn uniform_coverage() {
+        // Every residue class should be hit for a small bound.
+        let mut r = XorShift64Star::new(99);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut r = XorShift64Star::new(5);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            let s = z.sample(&mut r);
+            assert!(s < 100);
+            counts[s] += 1;
+        }
+        assert!(counts[0] > counts[50] * 3, "rank 0 should dominate rank 50");
+    }
+}

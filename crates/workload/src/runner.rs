@@ -1,0 +1,218 @@
+//! Timed multi-threaded trials (paper §6 protocol): each thread repeatedly
+//! draws an operation from the mix and a key from the distribution until the
+//! stop flag fires; the trial reports the summed throughput.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use lo_api::ConcurrentMap;
+
+use crate::rng::{SplitMix64, XorShift64Star, Zipf};
+use crate::spec::{KeyDist, OpKind, TrialSpec};
+
+/// Outcome of one timed trial.
+#[derive(Clone, Debug)]
+pub struct TrialResult {
+    /// Total operations completed across all threads.
+    pub total_ops: u64,
+    /// Operations per thread (diagnostic; reveals imbalance).
+    pub per_thread: Vec<u64>,
+    /// Actual measured wall time.
+    pub elapsed: Duration,
+}
+
+impl TrialResult {
+    /// Throughput in million operations per second — the unit of the paper's
+    /// tables.
+    pub fn mops(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Prefills the map to the spec's steady-state target size.
+///
+/// The paper runs the trial's own mix during prefill until the desired size
+/// is reached. For uniform keys the resulting live set is a uniform random
+/// subset of the range *regardless* of the insert/remove ratio used to
+/// build it, so this implementation inserts uniformly drawn keys until the
+/// target is hit — the same distribution, while avoiding a subtle trap in
+/// the mix-ratio dynamics: the paper's targets (½ or ⅔ of the range) are
+/// exactly the steady-state *asymptote* of the mixed random walk, whose
+/// drift vanishes on approach, so "run the mix until the size is reached"
+/// takes unboundedly long for the final fraction of a percent.
+pub fn prefill<M: ConcurrentMap<i64, u64>>(map: &M, spec: &TrialSpec) {
+    let target = spec.prefill_target();
+    let mut seeder = SplitMix64::new(spec.seed ^ 0x5EED_F111);
+    let mut rng = XorShift64Star::new(seeder.next_u64());
+    // Uniform draws even for Zipf trials: the skew shapes the *operations*;
+    // the initial subset is uniform (a Zipf-drawn fill would coupon-collect
+    // over the distribution's tail and take arbitrarily long).
+    let mut size = 0usize;
+    while size < target {
+        let key = rng.next_below(spec.key_range) as i64;
+        if map.insert(key, key as u64) {
+            size += 1;
+        }
+    }
+}
+
+#[inline]
+fn draw_key(rng: &mut XorShift64Star, spec: &TrialSpec, zipf: Option<&Zipf>) -> i64 {
+    match zipf {
+        None => rng.next_below(spec.key_range) as i64,
+        // Zipf ranks map straight to keys; the skew target is arbitrary
+        // under a uniform initial subset.
+        Some(z) => z.sample(rng) as i64,
+    }
+}
+
+/// Runs one timed trial on an already-prefilled map.
+pub fn run_trial<M: ConcurrentMap<i64, u64>>(map: &M, spec: &TrialSpec) -> TrialResult {
+    let stop = AtomicBool::new(false);
+    let mut seeder = SplitMix64::new(spec.seed);
+    let seeds: Vec<u64> = (0..spec.threads).map(|_| seeder.next_u64()).collect();
+    let started = Instant::now();
+
+    let (per_thread, elapsed) = std::thread::scope(|scope| {
+        let stop = &stop;
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move || {
+                    let mut rng = XorShift64Star::new(seed);
+                    let zipf = match spec.dist {
+                        KeyDist::Zipf(theta) => {
+                            Some(Zipf::new(spec.key_range as usize, theta))
+                        }
+                        KeyDist::Uniform => None,
+                    };
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Small batch between stop checks keeps the flag out
+                        // of the measured inner loop.
+                        for _ in 0..64 {
+                            let key = draw_key(&mut rng, spec, zipf.as_ref());
+                            match spec.mix.pick(rng.next_below(100) as u32) {
+                                OpKind::Contains => {
+                                    std::hint::black_box(map.contains(&key));
+                                }
+                                OpKind::Insert => {
+                                    std::hint::black_box(map.insert(key, key as u64));
+                                }
+                                OpKind::Remove => {
+                                    std::hint::black_box(map.remove(&key));
+                                }
+                            }
+                            ops += 1;
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect();
+
+        std::thread::sleep(spec.duration);
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = started.elapsed();
+        let per_thread: Vec<u64> =
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        (per_thread, elapsed)
+    });
+
+    TrialResult { total_ops: per_thread.iter().sum(), per_thread, elapsed }
+}
+
+/// Prefill + warm-up + `reps` measured trials; returns per-rep throughputs
+/// in Mops/s. A fresh map is built by `make_map` for every repetition, as in
+/// the paper (each batch ran in its own JVM).
+pub fn run_experiment<M, F>(make_map: F, spec: &TrialSpec, reps: usize) -> Vec<f64>
+where
+    M: ConcurrentMap<i64, u64>,
+    F: Fn() -> M,
+{
+    let mut out = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let map = make_map();
+        let rep_spec = spec.with_seed(spec.seed.wrapping_add(rep as u64 * 0x9E37));
+        prefill(&map, &rep_spec);
+        // Warm-up: a short untimed burst (stands in for the paper's JIT
+        // warm-up; here it warms caches/allocator).
+        let warm = TrialSpec { duration: spec.duration / 10, ..rep_spec.clone() };
+        let _ = run_trial(&map, &warm);
+        out.push(run_trial(&map, &rep_spec).mops());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Mix;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    struct RefMap(Mutex<BTreeMap<i64, u64>>);
+    impl ConcurrentMap<i64, u64> for RefMap {
+        fn insert(&self, k: i64, v: u64) -> bool {
+            let mut g = self.0.lock().unwrap();
+            if let std::collections::btree_map::Entry::Vacant(e) = g.entry(k) {
+                e.insert(v);
+                true
+            } else {
+                false
+            }
+        }
+        fn remove(&self, k: &i64) -> bool {
+            self.0.lock().unwrap().remove(k).is_some()
+        }
+        fn contains(&self, k: &i64) -> bool {
+            self.0.lock().unwrap().contains_key(k)
+        }
+        fn get(&self, k: &i64) -> Option<u64> {
+            self.0.lock().unwrap().get(k).copied()
+        }
+        fn name(&self) -> &'static str {
+            "ref"
+        }
+    }
+
+    #[test]
+    fn prefill_reaches_target() {
+        let spec =
+            TrialSpec::new(Mix::C70_I20_R10, 300, 2, Duration::from_millis(10));
+        let map = RefMap(Mutex::new(BTreeMap::new()));
+        prefill(&map, &spec);
+        assert_eq!(map.0.lock().unwrap().len(), spec.prefill_target());
+    }
+
+    #[test]
+    fn prefill_read_only_mix_uses_inserts() {
+        let spec = TrialSpec::new(Mix::C100, 100, 1, Duration::from_millis(10));
+        let map = RefMap(Mutex::new(BTreeMap::new()));
+        prefill(&map, &spec);
+        assert_eq!(map.0.lock().unwrap().len(), 50);
+    }
+
+    #[test]
+    fn trial_counts_ops() {
+        let spec = TrialSpec::new(Mix::C50_I25_R25, 200, 2, Duration::from_millis(50));
+        let map = RefMap(Mutex::new(BTreeMap::new()));
+        prefill(&map, &spec);
+        let res = run_trial(&map, &spec);
+        assert!(res.total_ops > 0);
+        assert_eq!(res.per_thread.len(), 2);
+        assert_eq!(res.per_thread.iter().sum::<u64>(), res.total_ops);
+        assert!(res.mops() > 0.0);
+        // Keys stayed in range.
+        let g = map.0.lock().unwrap();
+        assert!(g.keys().all(|&k| (0..200).contains(&k)));
+    }
+
+    #[test]
+    fn experiment_repetitions() {
+        let spec = TrialSpec::new(Mix::C100, 128, 1, Duration::from_millis(20));
+        let reps = run_experiment(|| RefMap(Mutex::new(BTreeMap::new())), &spec, 2);
+        assert_eq!(reps.len(), 2);
+        assert!(reps.iter().all(|&m| m > 0.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! Trial specifications mirroring the paper's evaluation protocol (§6).
+
+use std::time::Duration;
+
+/// An operation mix, in percent (must sum to 100).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mix {
+    /// Percentage of `contains` operations.
+    pub contains: u32,
+    /// Percentage of `insert` operations.
+    pub insert: u32,
+    /// Percentage of `remove` operations.
+    pub remove: u32,
+}
+
+impl Mix {
+    /// Validated constructor.
+    pub fn new(contains: u32, insert: u32, remove: u32) -> Self {
+        assert_eq!(contains + insert + remove, 100, "mix must sum to 100%");
+        Self { contains, insert, remove }
+    }
+
+    /// 100% contains — the paper's read-only workload.
+    pub const C100: Mix = Mix { contains: 100, insert: 0, remove: 0 };
+    /// 70% contains, 20% insert, 10% remove — the paper's mixed workload.
+    pub const C70_I20_R10: Mix = Mix { contains: 70, insert: 20, remove: 10 };
+    /// 50% contains, 25% insert, 25% remove — the paper's write-heavy workload.
+    pub const C50_I25_R25: Mix = Mix { contains: 50, insert: 25, remove: 25 };
+
+    /// Short identifier used in table headers (e.g. `70c-20i-10r`).
+    pub fn label(&self) -> String {
+        format!("{}c-{}i-{}r", self.contains, self.insert, self.remove)
+    }
+
+    /// Whether the mix contains mutating operations.
+    pub fn has_updates(&self) -> bool {
+        self.insert + self.remove > 0
+    }
+
+    /// Expected steady-state size as a fraction of the key range.
+    ///
+    /// With equal insert/remove rates a uniform-key workload converges to
+    /// half the range; with insert:remove = 2:1 it converges to 2/3 — the
+    /// paper prefans with exactly these fractions.
+    pub fn steady_state_fraction(&self) -> f64 {
+        if self.insert + self.remove == 0 {
+            0.5
+        } else {
+            f64::from(self.insert) / f64::from(self.insert + self.remove)
+        }
+    }
+
+    /// Draws an operation kind from a uniform `[0, 100)` roll.
+    #[inline]
+    pub fn pick(&self, roll: u32) -> OpKind {
+        debug_assert!(roll < 100);
+        if roll < self.contains {
+            OpKind::Contains
+        } else if roll < self.contains + self.insert {
+            OpKind::Insert
+        } else {
+            OpKind::Remove
+        }
+    }
+}
+
+/// The three dictionary operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Membership query.
+    Contains,
+    /// Insertion.
+    Insert,
+    /// Removal.
+    Remove,
+}
+
+/// Key distribution for a trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the key range (the paper's protocol).
+    Uniform,
+    /// Zipf-distributed ranks over a shuffled key space (extension).
+    Zipf(f64),
+}
+
+/// A complete trial description.
+#[derive(Clone, Debug)]
+pub struct TrialSpec {
+    /// Operation mix.
+    pub mix: Mix,
+    /// Keys are drawn from `[0, key_range)`.
+    pub key_range: u64,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Measured duration of the trial.
+    pub duration: Duration,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Base seed; thread `i` of repetition `r` derives an independent stream.
+    pub seed: u64,
+}
+
+impl TrialSpec {
+    /// The paper's default: uniform keys, duration set by the caller.
+    pub fn new(mix: Mix, key_range: u64, threads: usize, duration: Duration) -> Self {
+        assert!(key_range >= 2);
+        assert!(threads >= 1);
+        Self { mix, key_range, threads, duration, dist: KeyDist::Uniform, seed: 0x00C0_FFEE }
+    }
+
+    /// Target prefill size (paper §6: ½ of the range for 100c and 50-25-25,
+    /// ⅔ for 70-20-10 — the expected steady-state size).
+    pub fn prefill_target(&self) -> usize {
+        (self.key_range as f64 * self.mix.steady_state_fraction()).round() as usize
+    }
+
+    /// Derives a new spec with a different seed (per repetition).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        let mut s = self.clone();
+        s.seed = seed;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sums_enforced() {
+        let m = Mix::new(70, 20, 10);
+        assert_eq!(m.label(), "70c-20i-10r");
+        assert!(m.has_updates());
+        assert!(!Mix::C100.has_updates());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_mix_panics() {
+        let _ = Mix::new(50, 20, 10);
+    }
+
+    #[test]
+    fn steady_state_fractions_match_paper() {
+        assert!((Mix::C100.steady_state_fraction() - 0.5).abs() < 1e-9);
+        assert!((Mix::C50_I25_R25.steady_state_fraction() - 0.5).abs() < 1e-9);
+        assert!((Mix::C70_I20_R10.steady_state_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pick_respects_boundaries() {
+        let m = Mix::C70_I20_R10;
+        assert_eq!(m.pick(0), OpKind::Contains);
+        assert_eq!(m.pick(69), OpKind::Contains);
+        assert_eq!(m.pick(70), OpKind::Insert);
+        assert_eq!(m.pick(89), OpKind::Insert);
+        assert_eq!(m.pick(90), OpKind::Remove);
+        assert_eq!(m.pick(99), OpKind::Remove);
+    }
+
+    #[test]
+    fn prefill_targets() {
+        let s = TrialSpec::new(Mix::C70_I20_R10, 30_000, 4, Duration::from_millis(10));
+        assert_eq!(s.prefill_target(), 20_000);
+        let s = TrialSpec::new(Mix::C100, 30_000, 4, Duration::from_millis(10));
+        assert_eq!(s.prefill_target(), 15_000);
+    }
+}

@@ -1,0 +1,125 @@
+//! A concurrent limit-order-book price index — the kind of workload the
+//! paper's introduction motivates: a hot ordered dictionary with a
+//! read-dominated mix and strict latency requirements on lookups.
+//!
+//! Price levels for one side of the book live in an `LoAvlMap<Price, Qty>`:
+//! * market-data threads hammer `contains`/`get` (lock-free here — they can
+//!   never be blocked by a rebalance),
+//! * order-entry threads insert and cancel price levels,
+//! * the matching engine repeatedly takes the **best price** via the O(1)
+//!   `min_key`/`max_key` of the ordering layer.
+//!
+//! Run with: `cargo run --release --example order_book`
+
+use lo_trees::LoAvlMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+type Price = i64; // ticks
+type Qty = u64;
+
+struct Side {
+    levels: LoAvlMap<Price, Qty>,
+    is_bid: bool,
+}
+
+impl Side {
+    fn best(&self) -> Option<Price> {
+        if self.is_bid {
+            self.levels.max_key()
+        } else {
+            self.levels.min_key()
+        }
+    }
+}
+
+fn main() {
+    let asks = Arc::new(Side { levels: LoAvlMap::new(), is_bid: false });
+    let stop = Arc::new(AtomicBool::new(false));
+    let trades = Arc::new(AtomicU64::new(0));
+    let quotes = Arc::new(AtomicU64::new(0));
+
+    // Seed the ask side around 10_000 ticks.
+    for p in 0..500i64 {
+        asks.levels.insert(10_000 + p * 2, 100);
+    }
+
+    let mut handles = Vec::new();
+
+    // Order entry: post and cancel ask levels around the touch.
+    for t in 0..2u64 {
+        let asks = Arc::clone(&asks);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut x = 0x5EED ^ (t + 1);
+            while !stop.load(Ordering::Relaxed) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let price = 10_000 + (x % 2_000) as i64;
+                if x % 3 == 0 {
+                    asks.levels.remove(&price);
+                } else {
+                    asks.levels.insert(price, 100 + x % 400);
+                }
+            }
+        }));
+    }
+
+    // Market data: quote lookups (the lock-free hot path).
+    for t in 0..2u64 {
+        let asks = Arc::clone(&asks);
+        let stop = Arc::clone(&stop);
+        let quotes = Arc::clone(&quotes);
+        handles.push(std::thread::spawn(move || {
+            let mut x = 0xFEED ^ (t + 1);
+            let mut local = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let price = 10_000 + (x % 2_000) as i64;
+                if asks.levels.get(&price).is_some() {
+                    local += 1;
+                }
+            }
+            quotes.fetch_add(local, Ordering::Relaxed);
+        }));
+    }
+
+    // Matching engine: lift the best ask (min of the ordered set).
+    {
+        let asks = Arc::clone(&asks);
+        let stop = Arc::clone(&stop);
+        let trades = Arc::clone(&trades);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(best) = asks.best() {
+                    // Fill-and-remove the level (price-time priority sketch).
+                    if asks.levels.remove(&best) {
+                        trades.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("worker");
+    }
+
+    let depth = asks.levels.len();
+    println!(
+        "order_book OK: {} trades matched, {} quote hits, {} resting levels, best ask {:?}",
+        trades.load(Ordering::Relaxed),
+        quotes.load(Ordering::Relaxed),
+        depth,
+        asks.best(),
+    );
+    // Sanity: the book is a consistent ordered set at quiescence.
+    let ladder = asks.levels.keys_in_order();
+    assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(ladder.first().copied(), asks.best());
+}

@@ -1,0 +1,77 @@
+//! Quickstart: the logical-ordering tree API in two minutes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lo_trees::{LoAvlMap, LoBstMap};
+use std::sync::Arc;
+
+fn main() {
+    // The paper's headline structure: a concurrent relaxed-balance AVL tree
+    // whose `contains`/`get` are lock-free and never restart, and whose
+    // `remove` physically deletes on time (no zombie nodes).
+    let map: Arc<LoAvlMap<i64, String>> = Arc::new(LoAvlMap::new());
+
+    // Basic single-threaded use.
+    assert!(map.insert(3, "three".into()));
+    assert!(map.insert(1, "one".into()));
+    assert!(map.insert(7, "seven".into()));
+    assert!(!map.insert(3, "again".into()), "insert is insert-if-absent");
+    assert_eq!(map.get(&3).as_deref(), Some("three"));
+    assert_eq!(map.get_with(&7, |v| v.len()), Some(5)); // no clone needed
+
+    // Ordered access comes from the logical-ordering layer (paper §4.7):
+    // min/max are O(1) pointer reads, iteration walks the succ chain.
+    assert_eq!(map.min_key(), Some(1));
+    assert_eq!(map.max_key(), Some(7));
+    assert_eq!(map.keys_in_order(), vec![1, 3, 7]);
+
+    // Concurrent use: lookups proceed with zero synchronization against
+    // inserts, removals and rotations.
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                for k in 0..1_000i64 {
+                    let key = (t + 1) * 10_000 + k;
+                    map.insert(key, format!("w{t}-{k}"));
+                    if k % 3 == 0 {
+                        map.remove(&key);
+                    }
+                }
+            })
+        })
+        .collect();
+    let reader = {
+        let map = Arc::clone(&map);
+        std::thread::spawn(move || {
+            let mut hits = 0u64;
+            for _ in 0..10_000 {
+                // 3 was inserted before the writers started and is never
+                // removed: a lock-free lookup must observe it every time,
+                // no matter what the writers do to the physical layout.
+                assert!(map.contains(&3));
+                hits += 1;
+            }
+            hits
+        })
+    };
+    for w in writers {
+        w.join().expect("writer");
+    }
+    assert_eq!(reader.join().expect("reader"), 10_000);
+
+    // Remove physically deletes even nodes with two children (on-time
+    // deletion); memory is reclaimed through the epoch once readers move on.
+    assert!(map.remove(&3));
+    assert!(!map.contains(&3));
+
+    // The unbalanced variant has the same API (and slightly cheaper updates
+    // under uniform keys).
+    let bst = LoBstMap::<u64, u64>::new();
+    for k in [5u64, 2, 9] {
+        bst.insert(k, k * k);
+    }
+    assert_eq!(bst.get(&9), Some(81));
+
+    println!("quickstart OK: {} keys left in the AVL map", map.len());
+}

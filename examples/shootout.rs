@@ -1,0 +1,50 @@
+//! Mini-shootout CLI: run one workload cell across any subset of the suite.
+//!
+//! ```text
+//! cargo run --release --example shootout -- \
+//!     [contains%] [insert%] [remove%] [key_range] [threads] [millis]
+//! ```
+//! Defaults: 70 20 10 20000 4 300.
+
+use lo_baselines::{
+    BccoTreeMap, CfTreeMap, ChromaticTreeMap, CoarseAvlMap, EfrbTreeMap, NmTreeMap, SkipListMap,
+};
+use lo_trees::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
+use lo_workload::{run_experiment, Mix, TrialSpec};
+use std::time::Duration;
+
+fn arg(n: usize, default: u64) -> u64 {
+    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let mix = Mix::new(arg(1, 70) as u32, arg(2, 20) as u32, arg(3, 10) as u32);
+    let range = arg(4, 20_000);
+    let threads = arg(5, 4) as usize;
+    let millis = arg(6, 300);
+    let spec = TrialSpec::new(mix, range, threads, Duration::from_millis(millis));
+    println!(
+        "shootout: {} over [0,{range}), {threads} threads, {millis} ms per trial\n",
+        mix.label()
+    );
+    println!("{:<14}{:>12}", "algorithm", "Mops/s");
+
+    macro_rules! row {
+        ($label:expr, $ctor:expr) => {{
+            let mops = run_experiment($ctor, &spec, 1)[0];
+            println!("{:<14}{:>12.3}", $label, mops);
+        }};
+    }
+
+    row!("lo-avl", LoAvlMap::<i64, u64>::new);
+    row!("lo-avl-pe", LoPeAvlMap::<i64, u64>::new);
+    row!("lo-bst", LoBstMap::<i64, u64>::new);
+    row!("lo-bst-pe", LoPeBstMap::<i64, u64>::new);
+    row!("bcco", BccoTreeMap::<i64, u64>::new);
+    row!("cf", CfTreeMap::<i64, u64>::new);
+    row!("chromatic", ChromaticTreeMap::<i64, u64>::new);
+    row!("skiplist", SkipListMap::<i64, u64>::new);
+    row!("efrb", EfrbTreeMap::<i64, u64>::new);
+    row!("nm", NmTreeMap::<i64, u64>::new);
+    row!("coarse", CoarseAvlMap::<i64, u64>::new);
+}

@@ -1,0 +1,27 @@
+//! # lo-trees — umbrella crate
+//!
+//! Re-exports the paper's data structures from [`lo_core`] and exposes the
+//! rest of the workspace under stable module names. See the README for the
+//! project overview and DESIGN.md for the system inventory.
+//!
+//! ```
+//! use lo_trees::LoAvlMap;
+//! let m = LoAvlMap::new();
+//! m.insert(1, "one");
+//! assert!(m.contains(&1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lo_core::*;
+
+/// The comparator suite (BCCO, CF, chromatic, skip list, EFRB, NM, ...).
+pub use lo_baselines as baselines;
+/// Shared map/set traits.
+pub use lo_api as api;
+/// Epoch-based reclamation built from scratch (substrate study).
+pub use lo_reclaim as reclaim;
+/// Correctness substrate: stress harness + linearizability checker.
+pub use lo_validate as validate;
+/// The paper's evaluation workload protocol.
+pub use lo_workload as workload;

@@ -1,0 +1,69 @@
+//! Cross-implementation validation: every map in the suite — the four
+//! logical-ordering variants and all comparators — goes through the same
+//! stress harness (net-balance + per-key accounting + quiescent invariants)
+//! and the exhaustive small-history linearizability checker.
+
+use lo_baselines::{
+    BccoTreeMap, CfTreeMap, ChromaticTreeMap, CoarseAvlMap, EfrbTreeMap, NmTreeMap, SkipListMap,
+};
+use lo_trees::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
+use lo_validate::{lin_check_map, stress_map, StressConfig};
+
+fn quick() -> StressConfig {
+    StressConfig {
+        threads: 4,
+        key_space: 64,
+        ops_per_thread: if cfg!(debug_assertions) { 8_000 } else { 30_000 },
+        ..Default::default()
+    }
+}
+
+fn wide() -> StressConfig {
+    StressConfig {
+        threads: 6,
+        key_space: 4_096,
+        ops_per_thread: if cfg!(debug_assertions) { 6_000 } else { 25_000 },
+        seed: 0xFEED_BEEF,
+        ..Default::default()
+    }
+}
+
+const LIN_ROUNDS: usize = if cfg!(debug_assertions) { 150 } else { 400 };
+
+macro_rules! validate_suite {
+    ($mod_name:ident, $make:expr) => {
+        mod $mod_name {
+            use super::*;
+
+            #[test]
+            fn stress_high_contention() {
+                let map = $make;
+                let report = stress_map(&map, &quick());
+                assert!(report.total_ops > 0);
+            }
+
+            #[test]
+            fn stress_wide_keyspace() {
+                let map = $make;
+                stress_map(&map, &wide());
+            }
+
+            #[test]
+            fn linearizability_small_histories() {
+                lin_check_map(|| $make, LIN_ROUNDS, 0xA11CE);
+            }
+        }
+    };
+}
+
+validate_suite!(lo_avl, LoAvlMap::<i64, u64>::new());
+validate_suite!(lo_bst, LoBstMap::<i64, u64>::new());
+validate_suite!(lo_pe_avl, LoPeAvlMap::<i64, u64>::new());
+validate_suite!(lo_pe_bst, LoPeBstMap::<i64, u64>::new());
+validate_suite!(bcco, BccoTreeMap::<i64, u64>::new());
+validate_suite!(cf, CfTreeMap::<i64, u64>::new());
+validate_suite!(chromatic, ChromaticTreeMap::<i64, u64>::new());
+validate_suite!(efrb, EfrbTreeMap::<i64, u64>::new());
+validate_suite!(nm, NmTreeMap::<i64, u64>::new());
+validate_suite!(skiplist, SkipListMap::<i64, u64>::new());
+validate_suite!(coarse, CoarseAvlMap::<i64, u64>::new());

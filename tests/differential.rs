@@ -1,0 +1,176 @@
+//! Differential testing: the same randomly generated operation sequence is
+//! applied (single-threaded) to every implementation in the suite and to a
+//! `BTreeMap` oracle; every return value and the final ordered key set must
+//! agree everywhere.
+
+use lo_api::{CheckInvariants, ConcurrentMap, OrderedAccess};
+use lo_baselines::{
+    BccoTreeMap, CfTreeMap, ChromaticTreeMap, CoarseAvlMap, EfrbTreeMap, NmTreeMap, SkipListMap,
+};
+use lo_trees::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(i64),
+    Remove(i64),
+    Contains(i64),
+    Get(i64),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    let key = 0..48i64;
+    prop::collection::vec(
+        prop_oneof![
+            key.clone().prop_map(Op::Insert),
+            (0..48i64).prop_map(Op::Remove),
+            (0..48i64).prop_map(Op::Contains),
+            key.prop_map(Op::Get),
+        ],
+        1..300,
+    )
+}
+
+trait Sut {
+    fn run(&self, op: &Op) -> Option<u64>;
+    fn final_keys(&self) -> Vec<i64>;
+    fn check(&self);
+    fn label(&self) -> &'static str;
+}
+
+impl<M: ConcurrentMap<i64, u64> + OrderedAccess<i64> + CheckInvariants> Sut for M {
+    fn run(&self, op: &Op) -> Option<u64> {
+        match *op {
+            Op::Insert(k) => Some(self.insert(k, k as u64 + 1000) as u64),
+            Op::Remove(k) => Some(self.remove(&k) as u64),
+            Op::Contains(k) => Some(self.contains(&k) as u64),
+            Op::Get(k) => self.get(&k),
+        }
+    }
+    fn final_keys(&self) -> Vec<i64> {
+        self.keys_in_order()
+    }
+    fn check(&self) {
+        self.check_invariants()
+    }
+    fn label(&self) -> &'static str {
+        self.name()
+    }
+}
+
+fn run_differential(ops: &[Op]) {
+    let suts: Vec<Box<dyn Sut>> = vec![
+        Box::new(LoAvlMap::<i64, u64>::new()),
+        Box::new(LoBstMap::<i64, u64>::new()),
+        Box::new(LoPeAvlMap::<i64, u64>::new()),
+        Box::new(LoPeBstMap::<i64, u64>::new()),
+        Box::new(BccoTreeMap::<i64, u64>::new()),
+        Box::new(CfTreeMap::<i64, u64>::new()),
+        Box::new(ChromaticTreeMap::<i64, u64>::new()),
+        Box::new(EfrbTreeMap::<i64, u64>::new()),
+        Box::new(NmTreeMap::<i64, u64>::new()),
+        Box::new(SkipListMap::<i64, u64>::new()),
+        Box::new(CoarseAvlMap::<i64, u64>::new()),
+    ];
+    let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+    for (step, op) in ops.iter().enumerate() {
+        let expected: Option<u64> = match *op {
+            Op::Insert(k) => {
+                let absent = !oracle.contains_key(&k);
+                if absent {
+                    oracle.insert(k, k as u64 + 1000);
+                }
+                Some(absent as u64)
+            }
+            Op::Remove(k) => Some(oracle.remove(&k).is_some() as u64),
+            Op::Contains(k) => Some(oracle.contains_key(&k) as u64),
+            Op::Get(k) => oracle.get(&k).copied(),
+        };
+        for sut in &suts {
+            assert_eq!(
+                sut.run(op),
+                expected,
+                "{} diverged from oracle at step {step} ({op:?})",
+                sut.label()
+            );
+        }
+    }
+    let expected_keys: Vec<i64> = oracle.keys().copied().collect();
+    for sut in &suts {
+        assert_eq!(sut.final_keys(), expected_keys, "{} final keys diverged", sut.label());
+        sut.check();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn all_implementations_agree(ops in ops_strategy()) {
+        run_differential(&ops);
+    }
+}
+
+/// `put` (insert-or-replace) on the four LO variants against the oracle —
+/// the comparators don't expose `put`, so this is LO-only.
+#[test]
+fn put_matches_oracle_on_lo_variants() {
+    macro_rules! run_put_oracle {
+        ($ty:ty) => {{
+            let m = <$ty>::new();
+            let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+            let mut x = 0x9E37u64;
+            for step in 0..4_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let k = (x % 64) as i64;
+                match x % 4 {
+                    0 => {
+                        let expected = oracle.insert(k, x);
+                        assert_eq!(m.put(k, x), expected, "put({k}) at step {step}");
+                    }
+                    1 => {
+                        let expected = oracle.remove(&k).is_some();
+                        assert_eq!(m.remove(&k), expected, "remove({k}) at step {step}");
+                    }
+                    2 => {
+                        let absent = !oracle.contains_key(&k);
+                        if absent {
+                            oracle.insert(k, x);
+                        }
+                        assert_eq!(m.insert(k, x), absent, "insert({k}) at step {step}");
+                    }
+                    _ => {
+                        assert_eq!(m.get(&k), oracle.get(&k).copied(), "get({k}) at step {step}");
+                    }
+                }
+            }
+            assert_eq!(m.keys_in_order(), oracle.keys().copied().collect::<Vec<_>>());
+            m.check_invariants();
+        }};
+    }
+    run_put_oracle!(LoAvlMap<i64, u64>);
+    run_put_oracle!(LoBstMap<i64, u64>);
+    run_put_oracle!(LoPeAvlMap<i64, u64>);
+    run_put_oracle!(LoPeBstMap<i64, u64>);
+}
+
+#[test]
+fn targeted_sequences() {
+    // Ascending inserts then root-first removals (2-children removal storm).
+    let mut ops: Vec<Op> = (0..40).map(Op::Insert).collect();
+    ops.extend([20, 10, 30, 5, 15, 25, 35, 0].map(Op::Remove));
+    ops.extend((0..48).map(Op::Contains));
+    run_differential(&ops);
+
+    // Delete-reinsert churn on one key (zombie revive paths).
+    let mut ops = vec![Op::Insert(7), Op::Insert(3), Op::Insert(11)];
+    for _ in 0..25 {
+        ops.push(Op::Remove(7));
+        ops.push(Op::Get(7));
+        ops.push(Op::Insert(7));
+        ops.push(Op::Get(7));
+    }
+    run_differential(&ops);
+}

@@ -1,0 +1,171 @@
+//! Deterministic/adversarial replays of the paper's worked examples
+//! (Figures 1, 2, 4, 5, 6). Where the paper suspends a thread mid-lookup we
+//! instead race the two operations across a barrier thousands of times —
+//! any interleaving that reproduced the anomaly would fail the assertion.
+
+use lo_trees::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
+use lo_api::{CheckInvariants, ConcurrentMap};
+use std::sync::Barrier;
+
+const RACE_ROUNDS: usize = if cfg!(debug_assertions) { 2_000 } else { 5_000 };
+
+/// Figure 1: `contains(7) ∥ remove(3)` on the tree {1,3,7,9} where 3's
+/// removal relocates its successor 7. A layout-only lookup can miss 7; the
+/// logical-ordering lookup must never.
+fn figure1_race<M: ConcurrentMap<i64, u64> + Sync>(make: impl Fn() -> M) {
+    for _ in 0..RACE_ROUNDS {
+        let m = make();
+        // Insertion order reproduces Figure 1(a)'s shape in the unbalanced
+        // tree: 3 at the top, children 1 and 9, 7 under 9.
+        for k in [3i64, 1, 9, 7] {
+            assert!(m.insert(k, k as u64));
+        }
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            let m = &m;
+            let barrier = &barrier;
+            let lookup = s.spawn(move || {
+                barrier.wait();
+                m.contains(&7)
+            });
+            let removal = s.spawn(move || {
+                barrier.wait();
+                m.remove(&3)
+            });
+            assert!(
+                lookup.join().expect("lookup thread"),
+                "Figure 1 anomaly: contains(7) missed a present key"
+            );
+            assert!(removal.join().expect("remove thread"));
+        });
+        assert!(m.contains(&7) && !m.contains(&3));
+    }
+}
+
+#[test]
+fn figure1_bst() {
+    figure1_race(LoBstMap::new);
+}
+
+#[test]
+fn figure1_avl() {
+    figure1_race(LoAvlMap::new);
+}
+
+#[test]
+fn figure1_pe_variants() {
+    figure1_race(LoPeBstMap::new);
+    figure1_race(LoPeAvlMap::new);
+}
+
+/// Figure 2: after remove(3) on {1,3,7,9}, a lookup that reaches a leaf must
+/// answer from the interval endpoints: contains(7) → true via pred walk,
+/// contains(5) → false via the interval (1,7)... and so on.
+#[test]
+fn figure2_interval_lookups() {
+    let m = LoBstMap::new();
+    for k in [3i64, 1, 9, 7] {
+        assert!(m.insert(k, k as u64));
+    }
+    assert!(m.remove(&3));
+    // Set is now {1, 7, 9}; intervals (−∞,1)(1,7)(7,9)(9,∞).
+    assert!(m.contains(&7), "7 still reachable through the ordering layout");
+    for absent in [0i64, 2, 3, 5, 8, 100] {
+        assert!(!m.contains(&absent), "{absent} should be absent");
+    }
+    assert_eq!(m.keys_in_order(), vec![1, 7, 9]);
+    m.check_invariants();
+}
+
+/// Figure 4: insert(5) into {1,3,7,9} splits the interval (3,7); 7 becomes
+/// the physical parent (successor with empty left slot).
+#[test]
+fn figure4_insert_updates_both_layouts() {
+    let m = LoBstMap::new();
+    for k in [3i64, 1, 9, 7] {
+        assert!(m.insert(k, k as u64));
+    }
+    assert!(m.insert(5, 50));
+    assert_eq!(m.keys_in_order(), vec![1, 3, 5, 7, 9], "ordering layout updated");
+    assert_eq!(m.get(&5), Some(50));
+    assert!(!m.insert(5, 51), "interval (3,5) no longer contains 5 exclusively");
+    m.check_invariants(); // tree layout consistent with ordering layout
+}
+
+/// Figure 5: two concurrent inserts where a rotation between lock
+/// acquisitions forces one thread to re-choose its physical parent. Raced
+/// heavily on the AVL map; both inserts must succeed exactly once.
+#[test]
+fn figure5_parent_rechoice_under_rotation() {
+    for round in 0..RACE_ROUNDS {
+        let m = LoAvlMap::new();
+        assert!(m.insert(4i64, 0u64));
+        assert!(m.insert(2, 0));
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            let m = &m;
+            let barrier = &barrier;
+            let t1 = s.spawn(move || {
+                barrier.wait();
+                m.insert(1, 0)
+            });
+            let t2 = s.spawn(move || {
+                barrier.wait();
+                m.insert(3, 0)
+            });
+            assert!(t1.join().expect("t1"), "insert(1) must succeed (round {round})");
+            assert!(t2.join().expect("t2"), "insert(3) must succeed (round {round})");
+        });
+        assert_eq!(m.keys_in_order(), vec![1, 2, 3, 4]);
+        m.check_invariants(); // AVL strictly balanced at quiescence
+    }
+}
+
+/// Figure 6: remove(2) where the removed node has two children; the
+/// successor 3 (with child 4) is relocated. Exercised with concurrent
+/// lookups of every other key.
+#[test]
+fn figure6_two_children_removal_with_lookups() {
+    for _ in 0..RACE_ROUNDS / 2 {
+        let m = LoAvlMap::new();
+        for k in [6i64, 2, 1, 5, 3, 4] {
+            assert!(m.insert(k, k as u64));
+        }
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            let m = &m;
+            let barrier = &barrier;
+            let reader = s.spawn(move || {
+                barrier.wait();
+                // 3 is being physically relocated; it must stay visible.
+                for _ in 0..8 {
+                    assert!(m.contains(&3), "successor lost during relocation");
+                    assert!(m.contains(&4));
+                }
+            });
+            let remover = s.spawn(move || {
+                barrier.wait();
+                m.remove(&2)
+            });
+            assert!(remover.join().expect("remover"));
+            reader.join().expect("reader");
+        });
+        assert_eq!(m.keys_in_order(), vec![1, 3, 4, 5, 6]);
+        m.check_invariants();
+    }
+}
+
+/// §4.7: min/max/iteration through the ordering layout.
+#[test]
+fn additional_operations() {
+    let m = LoAvlMap::new();
+    assert_eq!(m.min_key(), None);
+    for k in [42i64, -7, 100, 0] {
+        assert!(m.insert(k, 0u64));
+    }
+    assert_eq!(m.min_key(), Some(-7));
+    assert_eq!(m.max_key(), Some(100));
+    assert_eq!(m.keys_in_order(), vec![-7, 0, 42, 100]);
+    assert!(m.remove(&-7));
+    assert_eq!(m.min_key(), Some(0));
+}
