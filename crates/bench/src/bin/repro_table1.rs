@@ -5,12 +5,15 @@
 //!
 //! Usage: `cargo run -p lo-bench --release --bin repro-table1`
 //! (`LO_FULL=1` for the paper-scale protocol; `LO_TRIAL_MS`, `LO_REPS`,
-//! `LO_MAX_THREADS` to fine-tune.)
+//! `LO_MAX_THREADS` to fine-tune. `--metrics` additionally emits per-trial
+//! event telemetry — build with `--features metrics` so the counters are
+//! actually recorded.)
 
-use lo_bench::{emit, run_panel, Algo, Scale};
+use lo_bench::{emit, emit_metrics, metrics_flag, run_panel_with_metrics, Algo, Scale};
 use lo_workload::Mix;
 
 fn main() {
+    let want_metrics = metrics_flag();
     let scale = Scale::from_env();
     let algos = Algo::table1();
     eprintln!(
@@ -18,10 +21,16 @@ fn main() {
         scale.trial, scale.reps, scale.threads, scale.ranges
     );
     let mut panels = Vec::new();
+    let mut metrics = Vec::new();
     for mix in [Mix::C50_I25_R25, Mix::C70_I20_R10, Mix::C100] {
         for &range in &scale.ranges {
-            panels.push(run_panel(mix, range, &algos, &scale));
+            let (panel, m) = run_panel_with_metrics(mix, range, &algos, &scale);
+            panels.push(panel);
+            metrics.push(m);
         }
     }
     emit(&panels, "table1_balanced");
+    if want_metrics {
+        emit_metrics(&metrics, "table1_balanced_metrics");
+    }
 }

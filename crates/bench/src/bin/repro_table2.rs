@@ -5,11 +5,14 @@
 //! 70-20-10; pass `LO_TABLE2_ALL_MIXES=1` to include it anyway.)
 //!
 //! Usage: `cargo run -p lo-bench --release --bin repro-table2`
+//! (`--metrics` additionally emits per-trial event telemetry — build with
+//! `--features metrics` so the counters are actually recorded.)
 
-use lo_bench::{emit, run_panel, Algo, Scale};
+use lo_bench::{emit, emit_metrics, metrics_flag, run_panel_with_metrics, Algo, Scale};
 use lo_workload::Mix;
 
 fn main() {
+    let want_metrics = metrics_flag();
     let scale = Scale::from_env();
     let algos = Algo::table2();
     let mut mixes = vec![Mix::C70_I20_R10, Mix::C100];
@@ -21,10 +24,16 @@ fn main() {
         scale.trial, scale.reps, scale.threads, scale.ranges
     );
     let mut panels = Vec::new();
+    let mut metrics = Vec::new();
     for mix in mixes {
         for &range in &scale.ranges {
-            panels.push(run_panel(mix, range, &algos, &scale));
+            let (panel, m) = run_panel_with_metrics(mix, range, &algos, &scale);
+            panels.push(panel);
+            metrics.push(m);
         }
     }
     emit(&panels, "table2_unbalanced");
+    if want_metrics {
+        emit_metrics(&metrics, "table2_unbalanced_metrics");
+    }
 }

@@ -14,7 +14,9 @@ use lo_baselines::{
     BccoTreeMap, CfTreeMap, ChromaticTreeMap, CoarseAvlMap, EfrbTreeMap, NmTreeMap, SkipListMap,
 };
 use lo_core::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
-use lo_workload::{run_experiment, Mix, Panel, Summary, TrialSpec};
+use lo_workload::{
+    run_experiment_full, Mix, MetricsEntry, MetricsPanel, Panel, Summary, TrialResult, TrialSpec,
+};
 
 /// Every benchmarkable algorithm in the suite.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,21 +73,27 @@ impl Algo {
         vec![Algo::LoBst, Algo::LoPeBst, Algo::Efrb, Algo::Nm]
     }
 
+    /// Runs `reps` prefilled timed trials; returns the full per-rep
+    /// [`TrialResult`]s (throughput, per-thread distribution, telemetry).
+    pub fn run_full(self, spec: &TrialSpec, reps: usize) -> Vec<TrialResult> {
+        match self {
+            Algo::LoAvl => run_experiment_full(LoAvlMap::<i64, u64>::new, spec, reps),
+            Algo::LoPeAvl => run_experiment_full(LoPeAvlMap::<i64, u64>::new, spec, reps),
+            Algo::LoBst => run_experiment_full(LoBstMap::<i64, u64>::new, spec, reps),
+            Algo::LoPeBst => run_experiment_full(LoPeBstMap::<i64, u64>::new, spec, reps),
+            Algo::Bcco => run_experiment_full(BccoTreeMap::<i64, u64>::new, spec, reps),
+            Algo::Cf => run_experiment_full(CfTreeMap::<i64, u64>::new, spec, reps),
+            Algo::Chromatic => run_experiment_full(ChromaticTreeMap::<i64, u64>::new, spec, reps),
+            Algo::Skiplist => run_experiment_full(SkipListMap::<i64, u64>::new, spec, reps),
+            Algo::Efrb => run_experiment_full(EfrbTreeMap::<i64, u64>::new, spec, reps),
+            Algo::Nm => run_experiment_full(NmTreeMap::<i64, u64>::new, spec, reps),
+            Algo::Coarse => run_experiment_full(CoarseAvlMap::<i64, u64>::new, spec, reps),
+        }
+    }
+
     /// Runs `reps` prefilled timed trials; returns per-rep Mops/s.
     pub fn run(self, spec: &TrialSpec, reps: usize) -> Vec<f64> {
-        match self {
-            Algo::LoAvl => run_experiment(LoAvlMap::<i64, u64>::new, spec, reps),
-            Algo::LoPeAvl => run_experiment(LoPeAvlMap::<i64, u64>::new, spec, reps),
-            Algo::LoBst => run_experiment(LoBstMap::<i64, u64>::new, spec, reps),
-            Algo::LoPeBst => run_experiment(LoPeBstMap::<i64, u64>::new, spec, reps),
-            Algo::Bcco => run_experiment(BccoTreeMap::<i64, u64>::new, spec, reps),
-            Algo::Cf => run_experiment(CfTreeMap::<i64, u64>::new, spec, reps),
-            Algo::Chromatic => run_experiment(ChromaticTreeMap::<i64, u64>::new, spec, reps),
-            Algo::Skiplist => run_experiment(SkipListMap::<i64, u64>::new, spec, reps),
-            Algo::Efrb => run_experiment(EfrbTreeMap::<i64, u64>::new, spec, reps),
-            Algo::Nm => run_experiment(NmTreeMap::<i64, u64>::new, spec, reps),
-            Algo::Coarse => run_experiment(CoarseAvlMap::<i64, u64>::new, spec, reps),
-        }
+        self.run_full(spec, reps).iter().map(TrialResult::mops).collect()
     }
 }
 
@@ -144,23 +152,57 @@ impl Scale {
     }
 }
 
-/// Runs one (mix, range) panel over `algos` and returns the filled table.
-pub fn run_panel(mix: Mix, range: u64, algos: &[Algo], scale: &Scale) -> Panel {
+/// Runs one (mix, range) panel over `algos`, returning both the throughput
+/// table and its event-telemetry companion. The telemetry panel carries, per
+/// (algorithm, thread-count) cell, the counters summed over every measured
+/// repetition — all zeros unless built with `--features metrics`.
+pub fn run_panel_with_metrics(
+    mix: Mix,
+    range: u64,
+    algos: &[Algo],
+    scale: &Scale,
+) -> (Panel, MetricsPanel) {
+    let title = format!("{}, key range {range}", mix.label());
     let mut panel = Panel::new(
-        format!("{}, key range {range}", mix.label()),
+        title.clone(),
         algos.iter().map(|a| a.label().to_string()).collect(),
         scale.threads.clone(),
     );
+    let mut metrics = MetricsPanel::new(title);
     for (row, &threads) in scale.threads.iter().enumerate() {
         for (col, &algo) in algos.iter().enumerate() {
             let spec = TrialSpec::new(mix, range, threads, scale.trial);
-            let reps = algo.run(&spec, scale.reps);
-            let summary = Summary::of(&reps);
+            let trials = algo.run_full(&spec, scale.reps);
+            let mops: Vec<f64> = trials.iter().map(TrialResult::mops).collect();
+            let summary = Summary::of(&mops);
             panel.set(row, col, summary);
-            eprintln!("  [{}] threads={threads} {} -> {summary}", panel.title, algo.label());
+            let imbalance =
+                trials.iter().map(|t| t.imbalance()).fold(f64::NAN, f64::max);
+            let mut events = lo_metrics::Snapshot::zero();
+            let mut total_ops = 0u64;
+            for t in &trials {
+                events.merge(&t.events);
+                total_ops += t.total_ops;
+            }
+            metrics.push(MetricsEntry {
+                algorithm: algo.label().to_string(),
+                threads,
+                total_ops,
+                events,
+            });
+            eprintln!(
+                "  [{}] threads={threads} {} -> {summary} imb={imbalance:.2}",
+                panel.title,
+                algo.label()
+            );
         }
     }
-    panel
+    (panel, metrics)
+}
+
+/// Runs one (mix, range) panel over `algos` and returns the filled table.
+pub fn run_panel(mix: Mix, range: u64, algos: &[Algo], scale: &Scale) -> Panel {
+    run_panel_with_metrics(mix, range, algos, scale).0
 }
 
 /// Writes panels as text + CSV under `bench_results/`.
@@ -178,6 +220,51 @@ pub fn emit(panels: &[Panel], name: &str) {
     let _ = std::fs::write(dir.join(format!("{name}.txt")), &text);
     let _ = std::fs::write(dir.join(format!("{name}.csv")), &csv);
     eprintln!("(wrote bench_results/{name}.txt and .csv)");
+}
+
+/// Writes event-telemetry panels as text + CSV + JSON under `bench_results/`.
+pub fn emit_metrics(panels: &[MetricsPanel], name: &str) {
+    let dir = std::path::Path::new("bench_results");
+    let _ = std::fs::create_dir_all(dir);
+    let mut text = String::new();
+    let mut csv = String::new();
+    let mut json = String::from("[");
+    for (i, p) in panels.iter().enumerate() {
+        text.push_str(&p.render());
+        text.push('\n');
+        if i == 0 {
+            csv.push_str(&p.to_csv());
+        } else {
+            // Skip the repeated header when concatenating panels.
+            let body = p.to_csv();
+            csv.push_str(body.split_once('\n').map(|(_, b)| b).unwrap_or(""));
+        }
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&p.to_json());
+    }
+    json.push(']');
+    println!("{text}");
+    let _ = std::fs::write(dir.join(format!("{name}.txt")), &text);
+    let _ = std::fs::write(dir.join(format!("{name}.csv")), &csv);
+    let _ = std::fs::write(dir.join(format!("{name}.json")), &json);
+    eprintln!("(wrote bench_results/{name}.txt, .csv and .json)");
+}
+
+/// Whether `--metrics` was passed on the command line. Warns (once) when
+/// telemetry is requested from a build without the `metrics` feature, where
+/// every counter is compiled out and the output would be all zeros.
+pub fn metrics_flag() -> bool {
+    let want = std::env::args().any(|a| a == "--metrics");
+    if want && !lo_metrics::ENABLED {
+        eprintln!(
+            "warning: --metrics requested but this binary was built without \
+             the `metrics` feature; counters are compiled out (rebuild with \
+             `--features metrics` for real telemetry)"
+        );
+    }
+    want
 }
 
 #[cfg(test)]
@@ -210,11 +297,28 @@ mod tests {
             threads: vec![1, 2],
             ranges: vec![256],
         };
-        let panel = run_panel(Mix::C70_I20_R10, 256, &[Algo::LoBst, Algo::Efrb], &scale);
+        let (panel, metrics) =
+            run_panel_with_metrics(Mix::C70_I20_R10, 256, &[Algo::LoBst, Algo::Efrb], &scale);
         assert_eq!(panel.threads, vec![1, 2]);
         for row in &panel.cells {
             for cell in row {
                 assert!(cell.mean > 0.0, "throughput must be positive");
+            }
+        }
+        // One telemetry entry per (thread count × algorithm) cell.
+        assert_eq!(metrics.entries.len(), 2 * 2);
+        for e in &metrics.entries {
+            assert!(e.total_ops > 0);
+            // With the feature on, the instrumented lo-bst must have counted
+            // at least its tree descents; without it, counters stay zero.
+            if lo_metrics::ENABLED && e.algorithm == "lo-bst" {
+                assert!(
+                    e.events.get(lo_metrics::Event::SearchDescent) > 0,
+                    "instrumented tree recorded nothing"
+                );
+            }
+            if !lo_metrics::ENABLED {
+                assert!(e.events.is_zero());
             }
         }
     }

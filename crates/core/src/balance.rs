@@ -18,6 +18,7 @@ use std::sync::atomic::Ordering;
 use crate::node::{nref, Node};
 use crate::tree::LoTree;
 use lo_api::{Key, Value};
+use lo_metrics::{record, Event};
 
 impl<K: Key, V: Value> LoTree<K, V> {
     /// Paper Algorithm 13: recompute `node`'s stored height on the `is_left`
@@ -30,6 +31,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         node: Shared<'g, Node<K, V>>,
         is_left: bool,
     ) -> bool {
+        record(Event::HeightUpdate);
         let new_h = if child.is_null() {
             0
         } else {
@@ -53,6 +55,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         left_rotation: bool,
         g: &'g Guard,
     ) {
+        record(Event::Rotation);
         self.update_child(parent, n, child, g);
         let nn = nref(n);
         let cn = nref(child);
@@ -103,6 +106,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         parent: &mut Shared<'g, Node<K, V>>,
         g: &'g Guard,
     ) -> Option<Shared<'g, Node<K, V>>> {
+        record(Event::RebalanceRestart);
         if !parent.is_null() {
             nref(*parent).tree_lock.unlock();
             *parent = Shared::null();
@@ -240,6 +244,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                             }
                         }
                     }
+                    record(Event::DoubleRotation);
                     self.rotate(grand, child, node, is_left, g);
                     nref(child).tree_lock.unlock();
                     child = grand;

@@ -21,16 +21,33 @@ use crate::node::{nref, Node};
 use crate::tree::LoTree;
 use lo_api::{Key, Value};
 
+/// Structural census produced by a successful invariant check: what the
+/// validated tree actually contained at quiescence. Useful for conservation
+/// checks against the `lo_metrics` event counters (e.g. `zombie-created −
+/// zombie-revived − zombie-unlinked` must equal [`zombies`](Self::zombies)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Live keys (interior chain nodes that are not zombies).
+    pub live_keys: usize,
+    /// Logically-removed nodes still occupying both layouts (partially-
+    /// external mode only; always 0 otherwise).
+    pub zombies: usize,
+    /// Interior nodes physically present in the tree layout (live + zombie;
+    /// excludes the two sentinels).
+    pub physical_nodes: usize,
+}
+
 impl<K: Key, V: Value> LoTree<K, V> {
     /// Panics with a diagnostic on the first violated invariant. Must only be
-    /// called at quiescence.
-    pub(crate) fn check_invariants_quiescent(&self) {
+    /// called at quiescence. Returns a census of the validated structure.
+    pub(crate) fn check_invariants_quiescent(&self) -> InvariantReport {
         let g = epoch::pin();
         let root = self.root_sh(&g);
         let head = self.head_sh(&g);
 
         // --- 1. ordering chain ---
         let mut chain: Vec<Shared<'_, Node<K, V>>> = Vec::new();
+        let mut zombies = 0usize;
         let mut prev = head;
         let mut cur = nref(head).succ.load(Ordering::Acquire, &g);
         assert!(
@@ -66,6 +83,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     "zombie node {:?} in a fully-internal tree",
                     n.key
                 );
+                zombies += 1;
             }
             assert!(
                 !n.succ_lock.is_locked() && !n.tree_lock.is_locked(),
@@ -135,6 +153,12 @@ impl<K: Key, V: Value> LoTree<K, V> {
         if self.balanced {
             let top = nref(root).left.load(Ordering::Acquire, &g);
             self.check_heights(top, &g);
+        }
+
+        InvariantReport {
+            live_keys: chain.len() - zombies,
+            zombies,
+            physical_nodes: inorder.len(),
         }
     }
 

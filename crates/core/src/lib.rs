@@ -56,7 +56,14 @@ mod update;
 
 pub mod sync;
 
+pub use invariants::InvariantReport;
 pub use maps::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
+
+/// Event-counter telemetry substrate (re-exported so integration tests and
+/// downstream tools can snapshot counters without a separate dependency).
+/// Counters are live only when this crate is built with the `metrics`
+/// feature; otherwise every recording call is a compile-time no-op.
+pub use lo_metrics as metrics;
 
 /// Set views over the unit-valued maps.
 pub type LoAvlSet<K> = lo_api::ConcurrentSet<K, LoAvlMap<K, ()>>;

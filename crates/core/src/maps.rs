@@ -1,5 +1,6 @@
 //! Public map types: the four members of the logical-ordering family.
 
+use crate::invariants::InvariantReport;
 use crate::tree::LoTree;
 use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
 
@@ -140,6 +141,14 @@ macro_rules! define_map {
             pub fn zombie_count(&self) -> usize {
                 self.tree.zombie_count()
             }
+
+            /// Runs the full quiescent invariant check (panicking on any
+            /// violation) and returns a census of the validated structure —
+            /// live keys, zombies, physical nodes. Must only be called while
+            /// no other thread operates on the map.
+            pub fn check_invariants_report(&self) -> InvariantReport {
+                self.tree.check_invariants_quiescent()
+            }
         }
 
         impl<K: Key, V: Value> Default for $name<K, V> {
@@ -183,7 +192,7 @@ macro_rules! define_map {
 
         impl<K: Key, V: Value> CheckInvariants for $name<K, V> {
             fn check_invariants(&self) {
-                self.tree.check_invariants_quiescent()
+                self.tree.check_invariants_quiescent();
             }
         }
 

@@ -15,6 +15,7 @@ use crate::bound::Bound;
 use crate::node::nref;
 use crate::tree::LoTree;
 use lo_api::{Key, Value};
+use lo_metrics::{add, Event};
 
 impl<K: Key, V: Value> LoTree<K, V> {
     /// Smallest live key ≥ `key`, or `None`. Lock-free.
@@ -23,16 +24,27 @@ impl<K: Key, V: Value> LoTree<K, V> {
         // Land on the interval around `key`, then walk succ to the first
         // live node with key ≥ key.
         let mut node = nref(self.search(key, &g));
+        let mut pred_steps = 0u64;
         while node.key.cmp_key(key) == Cmp::Greater {
             node = nref(node.pred.load(Ordering::Acquire, &g));
+            pred_steps += 1;
         }
+        add(Event::ChasePred, pred_steps);
+        let mut succ_steps = 0u64;
         loop {
             match node.key {
-                Bound::PosInf => return None,
-                Bound::Key(k) if node.key.cmp_key(key) != Cmp::Less && !node.is_removed() => {
-                    return Some(k)
+                Bound::PosInf => {
+                    add(Event::ChaseSucc, succ_steps);
+                    return None;
                 }
-                _ => node = nref(node.succ.load(Ordering::Acquire, &g)),
+                Bound::Key(k) if node.key.cmp_key(key) != Cmp::Less && !node.is_removed() => {
+                    add(Event::ChaseSucc, succ_steps);
+                    return Some(k);
+                }
+                _ => {
+                    node = nref(node.succ.load(Ordering::Acquire, &g));
+                    succ_steps += 1;
+                }
             }
         }
     }
@@ -41,16 +53,27 @@ impl<K: Key, V: Value> LoTree<K, V> {
     pub(crate) fn floor_key(&self, key: &K) -> Option<K> {
         let g = epoch::pin();
         let mut node = nref(self.search(key, &g));
+        let mut succ_steps = 0u64;
         while node.key.cmp_key(key) == Cmp::Less {
             node = nref(node.succ.load(Ordering::Acquire, &g));
+            succ_steps += 1;
         }
+        add(Event::ChaseSucc, succ_steps);
+        let mut pred_steps = 0u64;
         loop {
             match node.key {
-                Bound::NegInf => return None,
-                Bound::Key(k) if node.key.cmp_key(key) != Cmp::Greater && !node.is_removed() => {
-                    return Some(k)
+                Bound::NegInf => {
+                    add(Event::ChasePred, pred_steps);
+                    return None;
                 }
-                _ => node = nref(node.pred.load(Ordering::Acquire, &g)),
+                Bound::Key(k) if node.key.cmp_key(key) != Cmp::Greater && !node.is_removed() => {
+                    add(Event::ChasePred, pred_steps);
+                    return Some(k);
+                }
+                _ => {
+                    node = nref(node.pred.load(Ordering::Acquire, &g));
+                    pred_steps += 1;
+                }
             }
         }
     }
@@ -63,9 +86,12 @@ impl<K: Key, V: Value> LoTree<K, V> {
         let g = epoch::pin();
         let mut out = Vec::new();
         let mut node = nref(self.search(&lo, &g));
+        let mut pred_steps = 0u64;
         while node.key.cmp_key(&lo) == Cmp::Greater {
             node = nref(node.pred.load(Ordering::Acquire, &g));
+            pred_steps += 1;
         }
+        add(Event::ChasePred, pred_steps);
         loop {
             match node.key {
                 Bound::PosInf => return out,

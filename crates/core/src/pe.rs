@@ -28,6 +28,7 @@ use std::sync::atomic::Ordering;
 use crate::node::{nref, Node};
 use crate::tree::LoTree;
 use lo_api::{Key, Value};
+use lo_metrics::{record, Event};
 
 impl<K: Key, V: Value> LoTree<K, V> {
     /// Remove path for partially-external mode. On entry: `p.succLock` is
@@ -56,6 +57,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 // Two children: logical removal only. Linearization point is
                 // the zombie store (guarded by p.succLock).
                 nref(s).zombie.store(true, Ordering::SeqCst);
+                record(Event::ZombieCreated);
                 nref(s).tree_lock.unlock();
                 nref(s).succ_lock.unlock();
                 nref(p).succ_lock.unlock();
@@ -67,6 +69,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             // Children are stable (s.treeLock held since before lock_parent).
             let child = if r.is_null() { l } else { r };
             if !child.is_null() && !nref(child).tree_lock.try_lock() {
+                record(Event::TreeLockRestart);
                 nref(parent).tree_lock.unlock();
                 nref(s).tree_lock.unlock();
                 continue; // retry the tree-lock phase
@@ -91,6 +94,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 }
                 nref(parent).tree_lock.unlock();
             }
+            record(Event::ReclaimRetire);
             unsafe { g.defer_destroy(s) };
 
             // The unlink may have dropped the old parent to ≤1 children; if
@@ -114,6 +118,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         // Ordering-layout locks first: the predecessor's, then the zombie's.
         let p = zn.pred.load(Ordering::Acquire, g);
         if !nref(p).succ_lock.try_lock() {
+            record(Event::ZombieCleanupAbort);
             return;
         }
         // Validate the interval: p must still be z's live predecessor and z
@@ -122,14 +127,17 @@ impl<K: Key, V: Value> LoTree<K, V> {
             || nref(p).mark.load(Ordering::SeqCst)
             || !zn.zombie.load(Ordering::SeqCst)
         {
+            record(Event::ZombieCleanupAbort);
             nref(p).succ_lock.unlock();
             return;
         }
         if !zn.succ_lock.try_lock() {
+            record(Event::ZombieCleanupAbort);
             nref(p).succ_lock.unlock();
             return;
         }
         if !zn.tree_lock.try_lock() {
+            record(Event::ZombieCleanupAbort);
             zn.succ_lock.unlock();
             nref(p).succ_lock.unlock();
             return;
@@ -148,17 +156,20 @@ impl<K: Key, V: Value> LoTree<K, V> {
         // Parent: single validated try_lock (no blocking in cleanup).
         let parent = zn.parent.load(Ordering::Acquire, g);
         if !nref(parent).tree_lock.try_lock() {
+            record(Event::ZombieCleanupAbort);
             release_ordering_and_tree();
             return;
         }
         if zn.parent.load(Ordering::Acquire, g) != parent || nref(parent).mark.load(Ordering::SeqCst)
         {
+            record(Event::ZombieCleanupAbort);
             nref(parent).tree_lock.unlock();
             release_ordering_and_tree();
             return;
         }
         let child = if r.is_null() { l } else { r };
         if !child.is_null() && !nref(child).tree_lock.try_lock() {
+            record(Event::ZombieCleanupAbort);
             nref(parent).tree_lock.unlock();
             release_ordering_and_tree();
             return;
@@ -182,6 +193,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
             }
             nref(parent).tree_lock.unlock();
         }
+        record(Event::ZombieUnlinked);
+        record(Event::ReclaimRetire);
         unsafe { g.defer_destroy(z) };
     }
 }

@@ -23,6 +23,8 @@
 use parking_lot::lock_api::RawMutex as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use lo_metrics::{record, Event};
+
 /// The default per-node lock (parking-lot backed).
 pub struct NodeLock {
     raw: parking_lot::RawMutex,
@@ -36,9 +38,22 @@ impl NodeLock {
     }
 
     /// Blocking acquire.
+    ///
+    /// With the `metrics` feature, a `try_lock` probe classifies the
+    /// acquisition as contended or uncontended before (possibly) blocking;
+    /// without it, this is a plain `raw.lock()` with no probe.
     #[inline]
     pub fn lock(&self) {
-        self.raw.lock();
+        if !lo_metrics::ENABLED {
+            self.raw.lock();
+            return;
+        }
+        if self.raw.try_lock() {
+            record(Event::NodeLockUncontended);
+        } else {
+            record(Event::NodeLockContended);
+            self.raw.lock();
+        }
     }
 
     /// Non-blocking acquire; `true` on success.
@@ -98,6 +113,11 @@ impl SpinLock {
     /// Blocking acquire (spin with exponential backoff, yielding once the
     /// backoff saturates so single-core hosts make progress).
     pub fn lock(&self) {
+        if self.try_lock() {
+            record(Event::SpinLockUncontended);
+            return;
+        }
+        record(Event::SpinLockContended);
         let mut spins = 1u32;
         loop {
             if self.try_lock() {
@@ -111,6 +131,7 @@ impl SpinLock {
                 if spins < 1 << 10 {
                     spins <<= 1;
                 } else {
+                    record(Event::SpinBackoffSaturated);
                     std::thread::yield_now();
                 }
             }

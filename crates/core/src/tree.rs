@@ -21,6 +21,7 @@ use std::sync::atomic::Ordering;
 use crate::bound::Bound;
 use crate::node::{alloc, nref, Node};
 use lo_api::{Key, Value};
+use lo_metrics::{add, record, Event};
 
 /// The tree engine. See module docs; public wrappers live in `maps.rs`.
 pub(crate) struct LoTree<K: Key, V: Value> {
@@ -79,19 +80,23 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// via the ordering layout.
     pub(crate) fn search<'g>(&self, key: &K, g: &'g Guard) -> Shared<'g, Node<K, V>> {
         let mut node = self.root_sh(g);
+        let mut depth = 0u64;
         loop {
             let n = nref(node);
             let child = match n.key.cmp_key(key) {
-                Cmp::Equal => return node,
+                Cmp::Equal => break,
                 // currKey < k → go right, else left (Algorithm 1 line 5).
                 Cmp::Less => n.right.load(Ordering::Acquire, g),
                 Cmp::Greater => n.left.load(Ordering::Acquire, g),
             };
             if child.is_null() {
-                return node;
+                break;
             }
+            depth += 1;
             node = child;
         }
+        add(Event::SearchDescent, depth);
+        node
     }
 
     /// Algorithm 2's interval walk: starting from the search result, chase
@@ -100,12 +105,18 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// the enclosing interval proves absence.
     pub(crate) fn lookup<'g>(&self, key: &K, g: &'g Guard) -> Option<&'g Node<K, V>> {
         let mut node = nref(self.search(key, g));
+        let mut pred_steps = 0u64;
         while node.key.cmp_key(key) == Cmp::Greater {
             node = nref(node.pred.load(Ordering::Acquire, g));
+            pred_steps += 1;
         }
+        let mut succ_steps = 0u64;
         while node.key.cmp_key(key) == Cmp::Less {
             node = nref(node.succ.load(Ordering::Acquire, g));
+            succ_steps += 1;
         }
+        add(Event::ChasePred, pred_steps);
+        add(Event::ChaseSucc, succ_steps);
         if node.key.is_key(key) {
             Some(node)
         } else {
@@ -301,6 +312,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             {
                 return p;
             }
+            record(Event::LockParentRetry);
             nref(p).tree_lock.unlock();
         }
     }

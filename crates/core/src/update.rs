@@ -15,6 +15,7 @@ use std::sync::atomic::Ordering;
 use crate::node::{alloc, nref, Node};
 use crate::tree::LoTree;
 use lo_api::{Key, Value};
+use lo_metrics::{record, Event};
 
 /// The set of tree locks held for a physical removal, produced by
 /// [`LoTree::acquire_tree_locks`] (paper Algorithm 8). All listed nodes'
@@ -59,6 +60,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 && nref(s).key.cmp_key(&key) != Cmp::Less
                 && !nref(p).mark.load(Ordering::SeqCst);
             if !valid {
+                record(Event::SuccLockRestart);
                 nref(p).succ_lock.unlock();
                 continue; // validation failed; restart
             }
@@ -72,7 +74,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
                         g,
                     );
                     nref(s).zombie.store(false, Ordering::SeqCst);
+                    record(Event::ZombieRevived);
                     if !old.is_null() {
+                        record(Event::ReclaimRetire);
                         unsafe { g.defer_destroy(old) };
                     }
                     nref(p).succ_lock.unlock();
@@ -119,6 +123,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 && nref(s).key.cmp_key(&key) != Cmp::Less
                 && !nref(p).mark.load(Ordering::SeqCst);
             if !valid {
+                record(Event::SuccLockRestart);
                 nref(p).succ_lock.unlock();
                 continue;
             }
@@ -129,6 +134,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     nref(s).value.swap(epoch::Owned::new(value), Ordering::AcqRel, g);
                 if was_zombie {
                     nref(s).zombie.store(false, Ordering::SeqCst);
+                    record(Event::ZombieRevived);
                 }
                 nref(p).succ_lock.unlock();
                 if old.is_null() {
@@ -136,6 +142,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 }
                 // SAFETY: `old` stays valid for this guard's lifetime.
                 let out = (!was_zombie).then(|| unsafe { old.deref() }.clone());
+                record(Event::ReclaimRetire);
                 unsafe { g.defer_destroy(old) };
                 return out;
             }
@@ -250,6 +257,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 && nref(s).key.cmp_key(key) != Cmp::Less
                 && !nref(p).mark.load(Ordering::SeqCst);
             if !valid {
+                record(Event::SuccLockRestart);
                 nref(p).succ_lock.unlock();
                 continue; // validation failed; restart
             }
@@ -274,6 +282,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             self.remove_from_tree(s, locks, g);
             // The node is now unlinked from both layouts; free it once all
             // pinned readers move on.
+            record(Event::ReclaimRetire);
             unsafe { g.defer_destroy(s) };
             return true;
         }
@@ -299,6 +308,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 // n is a leaf or has a single child.
                 let child = if r.is_null() { l } else { r };
                 if !child.is_null() && !nref(child).tree_lock.try_lock() {
+                    record(Event::TreeLockRestart);
                     nref(parent).tree_lock.unlock();
                     nref(n).tree_lock.unlock();
                     continue;
@@ -319,6 +329,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let sp = nref(s).parent.load(Ordering::Acquire, g);
             let succ_parent = if sp != n {
                 if !nref(sp).tree_lock.try_lock() {
+                    record(Event::TreeLockRestart);
                     nref(parent).tree_lock.unlock();
                     nref(n).tree_lock.unlock();
                     continue;
@@ -326,6 +337,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 if nref(s).parent.load(Ordering::Acquire, g) != sp
                     || nref(sp).mark.load(Ordering::SeqCst)
                 {
+                    record(Event::TreeLockRestart);
                     nref(sp).tree_lock.unlock();
                     nref(parent).tree_lock.unlock();
                     nref(n).tree_lock.unlock();
@@ -343,6 +355,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 nref(n).tree_lock.unlock();
             };
             if !nref(s).tree_lock.try_lock() {
+                record(Event::TreeLockRestart);
                 release_partial(succ_parent);
                 continue;
             }
@@ -352,6 +365,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 "successor of a 2-children node must have no left child"
             );
             if !sr.is_null() && !nref(sr).tree_lock.try_lock() {
+                record(Event::TreeLockRestart);
                 nref(s).tree_lock.unlock();
                 release_partial(succ_parent);
                 continue;

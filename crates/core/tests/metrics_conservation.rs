@@ -1,0 +1,125 @@
+//! Conservation laws for the `metrics` event counters, exercised under real
+//! concurrency. These tests only exist when the feature is on; without it
+//! every counter is a compile-time no-op and there is nothing to check.
+//!
+//! Two laws are asserted:
+//! 1. **Monotonicity** — counters only grow: any later snapshot dominates any
+//!    earlier one, event by event (checked while worker threads hammer the
+//!    map).
+//! 2. **Zombie conservation** — in partially-external mode a zombie can only
+//!    leave the tree by being revived (insert/put on its key) or physically
+//!    unlinked by the cleanup pass, so at quiescence
+//!    `zombie-created − zombie-revived − zombie-unlinked` must equal the live
+//!    zombie population reported by both `zombie_count()` and the invariant
+//!    checker's census.
+#![cfg(feature = "metrics")]
+
+use lo_core::metrics::{Event, Snapshot};
+use lo_core::LoPeAvlMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Single test on purpose: counters are process-global, so a second test in
+/// this binary would race with this one and break the conservation sums.
+#[test]
+fn counters_conserve_under_concurrency() {
+    let map = LoPeAvlMap::new();
+    let base = Snapshot::take();
+    let stop = AtomicBool::new(false);
+
+    const THREADS: u64 = 4;
+    const OPS: u64 = 30_000;
+    const KEYS: i64 = 512;
+
+    std::thread::scope(|s| {
+        // Monitor thread: counters must never decrease, even mid-flight.
+        s.spawn(|| {
+            let mut prev = Snapshot::take();
+            while !stop.load(Ordering::Relaxed) {
+                let cur = Snapshot::take();
+                for (ev, n) in cur.iter() {
+                    assert!(
+                        n >= prev.get(ev),
+                        "counter {} went backwards: {} -> {}",
+                        ev.name(),
+                        prev.get(ev),
+                        n
+                    );
+                }
+                prev = cur;
+                std::thread::yield_now();
+            }
+        });
+        let mut workers = Vec::new();
+        for t in 0..THREADS {
+            let map = &map;
+            workers.push(s.spawn(move || {
+                // Per-thread splitmix-style stream; keys collide across
+                // threads so succ-lock validation and zombie paths all fire.
+                let mut x = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t + 1);
+                for _ in 0..OPS {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = (x % KEYS as u64) as i64;
+                    match x >> 61 {
+                        0 | 1 | 2 => {
+                            map.insert(k, x);
+                        }
+                        3 | 4 => {
+                            map.remove(&k);
+                        }
+                        5 => {
+                            map.put(k, x);
+                        }
+                        _ => {
+                            map.contains(&k);
+                        }
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        // Workers are done; let the monitor exit so the scope can close.
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let diff = Snapshot::take().since(&base);
+
+    // The workload must actually have exercised the interesting paths.
+    assert!(diff.get(Event::SearchDescent) > 0, "no descents recorded");
+    assert!(diff.get(Event::HeightUpdate) > 0, "no height updates recorded");
+    assert!(
+        diff.get(Event::ZombieCreated) > 0,
+        "update-heavy PE workload created no zombies"
+    );
+
+    // Zombie conservation at quiescence.
+    let created = diff.get(Event::ZombieCreated);
+    let revived = diff.get(Event::ZombieRevived);
+    let unlinked = diff.get(Event::ZombieUnlinked);
+    assert!(
+        created >= revived + unlinked,
+        "more zombies left ({revived} revived + {unlinked} unlinked) than created ({created})"
+    );
+    let live = created - revived - unlinked;
+    assert_eq!(
+        live as usize,
+        map.zombie_count(),
+        "counter-derived zombie population disagrees with the tree walk"
+    );
+    let report = map.check_invariants_report();
+    assert_eq!(
+        live as usize, report.zombies,
+        "counter-derived zombie population disagrees with the invariant census"
+    );
+
+    // Retires cover every physically unlinked node (exact bookkeeping for
+    // value replacements is workload-dependent, so only the lower bound is
+    // stable): at least the unlinked zombies must have been retired.
+    assert!(
+        diff.get(Event::ReclaimRetire) >= unlinked,
+        "fewer retires than unlinked zombies"
+    );
+}

@@ -38,6 +38,8 @@ use std::cell::{Cell, RefCell};
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use lo_metrics::{add, record, Event};
+
 /// Number of retires between automatic collection attempts.
 const COLLECT_EVERY: usize = 64;
 
@@ -107,7 +109,9 @@ impl Global {
             }
         }
         // Multiple threads may race; only one CAS wins, which is fine.
-        let _ = self.epoch.compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst);
+        if self.epoch.compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            record(Event::ReclaimAdvance);
+        }
         self.epoch.load(Ordering::SeqCst)
     }
 
@@ -126,6 +130,7 @@ impl Global {
             }
             ripe
         };
+        add(Event::ReclaimFree, ripe.len() as u64);
         for d in ripe {
             d.run();
         }
@@ -247,6 +252,7 @@ impl Handle {
             }
             ripe
         };
+        add(Event::ReclaimFree, ripe.len() as u64);
         for d in ripe {
             d.run();
         }
@@ -259,6 +265,7 @@ impl Handle {
     }
 
     fn retire(&self, d: Deferred) {
+        record(Event::ReclaimRetire);
         let e = self.global.epoch.load(Ordering::SeqCst);
         self.bag.borrow_mut().push((e, d));
         let n = self.retires_since_collect.get() + 1;
@@ -415,6 +422,29 @@ mod tests {
         let before = c.epoch();
         h.flush();
         assert!(c.epoch() > before, "idle (unpinned) participants must not block");
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn telemetry_tracks_reclamation_pipeline() {
+        use lo_metrics::Snapshot;
+        let before = Snapshot::take();
+        let c = Collector::new();
+        let h = c.register();
+        let dropped = Arc::new(AtomicBool::new(false));
+        {
+            let g = h.pin();
+            let p = Box::into_raw(Box::new(Tracked(Arc::clone(&dropped))));
+            unsafe { g.defer_destroy_box(p) };
+        }
+        h.flush();
+        h.flush();
+        h.flush();
+        assert!(dropped.load(Ordering::SeqCst));
+        let diff = Snapshot::take().since(&before);
+        assert!(diff.get(Event::ReclaimRetire) >= 1, "retire not recorded");
+        assert!(diff.get(Event::ReclaimAdvance) >= 2, "epoch advances not recorded");
+        assert!(diff.get(Event::ReclaimFree) >= 1, "free not recorded");
     }
 
     #[test]

@@ -133,6 +133,36 @@ mod tests {
         assert_eq!(a.count(), 3);
     }
 
+    /// Merging per-thread histograms must be exactly equivalent to recording
+    /// every sample into a single histogram — same counts, same quantiles.
+    #[test]
+    fn merge_preserves_quantiles() {
+        let samples: [&[u64]; 3] = [
+            &[100, 100, 100, 10_000],
+            &[50, 200, 300_000],
+            &[1, 2_000_000, 90],
+        ];
+        let mut merged = LatencyHistogram::new();
+        let mut reference = LatencyHistogram::new();
+        for part in samples {
+            let mut h = LatencyHistogram::new();
+            for &s in part {
+                h.record(s);
+                reference.record(s);
+            }
+            merged.merge(&h);
+        }
+        assert_eq!(merged.count(), reference.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                merged.quantile(q),
+                reference.quantile(q),
+                "quantile {q} diverges after merge"
+            );
+        }
+        assert_eq!(merged.summary(), reference.summary());
+    }
+
     #[test]
     fn extreme_values_clamped() {
         let mut h = LatencyHistogram::new();

@@ -25,8 +25,13 @@ pub mod spec;
 pub mod stats;
 
 pub use latency::LatencyHistogram;
-pub use report::Panel;
+pub use report::{MetricsEntry, MetricsPanel, Panel};
 pub use rng::{SplitMix64, XorShift64Star, Zipf};
-pub use runner::{prefill, run_experiment, run_trial, TrialResult};
+pub use runner::{prefill, run_experiment, run_experiment_full, run_trial, TrialResult};
 pub use spec::{KeyDist, Mix, OpKind, TrialSpec};
 pub use stats::Summary;
+
+/// Event-counter substrate re-export: gives harness binaries access to
+/// [`metrics::Event`]/[`metrics::Snapshot`] without a direct dependency.
+/// Counters are live only in `--features metrics` builds.
+pub use lo_metrics as metrics;

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use lo_api::ConcurrentMap;
+use lo_metrics::{Event, Snapshot};
 
 use crate::rng::{SplitMix64, XorShift64Star, Zipf};
 use crate::spec::{KeyDist, OpKind, TrialSpec};
@@ -19,6 +20,12 @@ pub struct TrialResult {
     pub per_thread: Vec<u64>,
     /// Actual measured wall time.
     pub elapsed: Duration,
+    /// Event counters recorded during this trial (difference of global
+    /// snapshots taken around the timed window). All-zero unless the
+    /// `metrics` feature is enabled. Slightly over-inclusive under
+    /// concurrency from outside the trial; exact when the trial's threads
+    /// are the only activity, as in the reproduction binaries.
+    pub events: Snapshot,
 }
 
 impl TrialResult {
@@ -26,6 +33,27 @@ impl TrialResult {
     /// tables.
     pub fn mops(&self) -> f64 {
         self.total_ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+
+    /// Thread-imbalance ratio: busiest thread's op count over the laziest
+    /// thread's. 1.0 is perfectly fair; `INFINITY` means some thread was
+    /// fully starved; 1.0 is also returned for empty/all-zero trials (there
+    /// is no imbalance to speak of).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.per_thread.iter().copied().max().unwrap_or(0);
+        let min = self.per_thread.iter().copied().min().unwrap_or(0);
+        if max == 0 {
+            1.0
+        } else if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+
+    /// Occurrences of `event` per completed operation in this trial.
+    pub fn events_per_op(&self, event: Event) -> f64 {
+        self.events.per_op(event, self.total_ops)
     }
 }
 
@@ -71,6 +99,7 @@ pub fn run_trial<M: ConcurrentMap<i64, u64>>(map: &M, spec: &TrialSpec) -> Trial
     let stop = AtomicBool::new(false);
     let mut seeder = SplitMix64::new(spec.seed);
     let seeds: Vec<u64> = (0..spec.threads).map(|_| seeder.next_u64()).collect();
+    let events_before = Snapshot::take();
     let started = Instant::now();
 
     let (per_thread, elapsed) = std::thread::scope(|scope| {
@@ -119,13 +148,15 @@ pub fn run_trial<M: ConcurrentMap<i64, u64>>(map: &M, spec: &TrialSpec) -> Trial
         (per_thread, elapsed)
     });
 
-    TrialResult { total_ops: per_thread.iter().sum(), per_thread, elapsed }
+    let events = Snapshot::take().since(&events_before);
+    TrialResult { total_ops: per_thread.iter().sum(), per_thread, elapsed, events }
 }
 
-/// Prefill + warm-up + `reps` measured trials; returns per-rep throughputs
-/// in Mops/s. A fresh map is built by `make_map` for every repetition, as in
-/// the paper (each batch ran in its own JVM).
-pub fn run_experiment<M, F>(make_map: F, spec: &TrialSpec, reps: usize) -> Vec<f64>
+/// Prefill + warm-up + `reps` measured trials; returns the full
+/// [`TrialResult`] of each measured repetition (throughput, per-thread
+/// distribution, event telemetry). A fresh map is built by `make_map` for
+/// every repetition, as in the paper (each batch ran in its own JVM).
+pub fn run_experiment_full<M, F>(make_map: F, spec: &TrialSpec, reps: usize) -> Vec<TrialResult>
 where
     M: ConcurrentMap<i64, u64>,
     F: Fn() -> M,
@@ -139,9 +170,19 @@ where
         // warm-up; here it warms caches/allocator).
         let warm = TrialSpec { duration: spec.duration / 10, ..rep_spec.clone() };
         let _ = run_trial(&map, &warm);
-        out.push(run_trial(&map, &rep_spec).mops());
+        out.push(run_trial(&map, &rep_spec));
     }
     out
+}
+
+/// Prefill + warm-up + `reps` measured trials; returns per-rep throughputs
+/// in Mops/s. Thin wrapper over [`run_experiment_full`].
+pub fn run_experiment<M, F>(make_map: F, spec: &TrialSpec, reps: usize) -> Vec<f64>
+where
+    M: ConcurrentMap<i64, u64>,
+    F: Fn() -> M,
+{
+    run_experiment_full(make_map, spec, reps).iter().map(TrialResult::mops).collect()
 }
 
 #[cfg(test)]
@@ -214,5 +255,34 @@ mod tests {
         let reps = run_experiment(|| RefMap(Mutex::new(BTreeMap::new())), &spec, 2);
         assert_eq!(reps.len(), 2);
         assert!(reps.iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn experiment_full_carries_trial_details() {
+        let spec = TrialSpec::new(Mix::C50_I25_R25, 128, 2, Duration::from_millis(20));
+        let trials = run_experiment_full(|| RefMap(Mutex::new(BTreeMap::new())), &spec, 2);
+        assert_eq!(trials.len(), 2);
+        for t in &trials {
+            assert!(t.total_ops > 0);
+            assert_eq!(t.per_thread.len(), 2);
+            assert!(t.imbalance() >= 1.0);
+            // Without the metrics feature the snapshot must stay all-zero;
+            // with it, the RefMap records nothing either way.
+        }
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        let t = |per_thread: Vec<u64>| TrialResult {
+            total_ops: per_thread.iter().sum(),
+            per_thread,
+            elapsed: Duration::from_secs(1),
+            events: Snapshot::zero(),
+        };
+        assert_eq!(t(vec![100, 100]).imbalance(), 1.0);
+        assert_eq!(t(vec![300, 100]).imbalance(), 3.0);
+        assert_eq!(t(vec![100, 0]).imbalance(), f64::INFINITY);
+        assert_eq!(t(vec![0, 0]).imbalance(), 1.0, "idle trial is not imbalanced");
+        assert_eq!(t(vec![]).imbalance(), 1.0);
     }
 }

@@ -1,0 +1,37 @@
+//! End-to-end smoke test for the observability surface: the same test body
+//! is meaningful in both build configurations. Without `--features metrics`
+//! every counter must stay zero (the zero-overhead contract); with it, a
+//! short burst of map operations must show up in the global snapshot.
+
+use lo_trees::metrics::{Event, Snapshot, ENABLED};
+use lo_trees::LoAvlMap;
+
+#[test]
+fn counters_reflect_build_configuration() {
+    let before = Snapshot::take();
+    let map = LoAvlMap::new();
+    for k in 0..256i64 {
+        assert!(map.insert(k, k as u64));
+    }
+    for k in 0..256i64 {
+        assert!(map.contains(&k));
+    }
+    for k in 0..256i64 {
+        assert!(map.remove(&k));
+    }
+    let diff = Snapshot::take().since(&before);
+
+    if ENABLED {
+        assert!(diff.get(Event::SearchDescent) > 0, "descents must be counted");
+        assert!(diff.get(Event::HeightUpdate) > 0, "AVL height passes must be counted");
+        assert!(
+            diff.get(Event::ReclaimRetire) >= 256,
+            "every removal retires a node"
+        );
+    } else {
+        assert!(
+            diff.is_zero(),
+            "metrics feature is off: all counters must be compile-time no-ops"
+        );
+    }
+}
