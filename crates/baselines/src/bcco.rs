@@ -85,9 +85,12 @@ impl<K, V> BNode<K, V> {
 
 impl<K, V> Drop for BNode<K, V> {
     fn drop(&mut self) {
+        // SAFETY: drop implies exclusive access (epoch reclamation already
+        // proved no reader can still hold a reference).
         let g = unsafe { epoch::unprotected() };
         let v = self.value.swap(Shared::null(), Ordering::Relaxed, g);
         if !v.is_null() {
+            // SAFETY: the value pointer is uniquely owned by this node.
             drop(unsafe { v.into_owned() });
         }
     }
@@ -129,6 +132,7 @@ pub struct BccoTreeMap<K: Key, V: Value> {
 impl<K: Key, V: Value> BccoTreeMap<K, V> {
     /// Empty tree.
     pub fn new() -> Self {
+        // SAFETY: the tree is not yet shared; no other thread can free nodes.
         let g = unsafe { epoch::unprotected() };
         let holder = Owned::new(BNode::new(None, Atomic::null(), 0)).into_shared(g);
         Self { root_holder: Atomic::from(holder) }
@@ -463,6 +467,8 @@ impl<K: Key, V: Value> BccoTreeMap<K, V> {
                 if old.is_null() {
                     return Attempt::Done(false);
                 }
+                // SAFETY: the swap under the node lock unlinked `old`
+                // exclusively; readers hold epoch guards.
                 unsafe { g.defer_destroy(old) };
                 return Attempt::Done(true);
             }
@@ -493,6 +499,8 @@ impl<K: Key, V: Value> BccoTreeMap<K, V> {
             nr.value.store(Shared::null(), Ordering::Release);
             nr.lock.unlock();
             parent.lock.unlock();
+            // SAFETY: `old` was unlinked under the node lock by this thread;
+            // readers hold epoch guards.
             unsafe { g.defer_destroy(old) };
             return Attempt::Done(true);
         }
@@ -512,6 +520,9 @@ impl<K: Key, V: Value> BccoTreeMap<K, V> {
         nr.version.store(nr.ver() | UNLINKED, Ordering::SeqCst);
         nr.lock.unlock();
         parent.lock.unlock();
+        // SAFETY: this thread unlinked both the value and the node under the
+        // parent + node locks; the UNLINKED version bit stops new references
+        // and readers hold epoch guards.
         unsafe {
             g.defer_destroy(old);
             g.defer_destroy(n);
@@ -640,6 +651,8 @@ impl<K: Key, V: Value> BccoTreeMap<K, V> {
                 bref(splice).parent.store(parent, Ordering::Release);
             }
             nr.version.store(nr.ver() | UNLINKED, Ordering::SeqCst);
+            // SAFETY: unlinked under the parent + node locks by this thread;
+            // readers hold epoch guards.
             unsafe { g.defer_destroy(n) };
             return parent;
         }
@@ -1004,6 +1017,7 @@ impl<K: Key, V: Value> Default for BccoTreeMap<K, V> {
 
 impl<K: Key, V: Value> Drop for BccoTreeMap<K, V> {
     fn drop(&mut self) {
+        // SAFETY: &mut self — no concurrent readers or writers remain.
         let g = unsafe { epoch::unprotected() };
         let mut stack = vec![self.root_holder.load(Ordering::Relaxed, g)];
         while let Some(n) = stack.pop() {
@@ -1013,6 +1027,7 @@ impl<K: Key, V: Value> Drop for BccoTreeMap<K, V> {
             let r = bref(n);
             stack.push(r.left.load(Ordering::Relaxed, g));
             stack.push(r.right.load(Ordering::Relaxed, g));
+            // SAFETY: quiescent teardown; each node is reachable exactly once.
             drop(unsafe { n.into_owned() });
         }
     }

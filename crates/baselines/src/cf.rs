@@ -61,9 +61,12 @@ impl<K, V> CfNode<K, V> {
 
 impl<K, V> Drop for CfNode<K, V> {
     fn drop(&mut self) {
+        // SAFETY: drop implies exclusive access (epoch reclamation already
+        // proved no reader can still hold a reference).
         let g = unsafe { epoch::unprotected() };
         let v = self.value.swap(Shared::null(), Ordering::Relaxed, g);
         if !v.is_null() {
+            // SAFETY: the value pointer is uniquely owned by this node.
             drop(unsafe { v.into_owned() });
         }
     }
@@ -87,6 +90,8 @@ struct Inner<K: Key, V: Value> {
 
 impl<K: Key, V: Value> Drop for Inner<K, V> {
     fn drop(&mut self) {
+        // SAFETY: &mut self — the maintenance thread has been joined and no
+        // readers remain.
         let g = unsafe { epoch::unprotected() };
         let mut stack = vec![self.root.load(Ordering::Relaxed, g)];
         while let Some(n) = stack.pop() {
@@ -96,6 +101,7 @@ impl<K: Key, V: Value> Drop for Inner<K, V> {
             let r = cref(n);
             stack.push(r.left.load(Ordering::Relaxed, g));
             stack.push(r.right.load(Ordering::Relaxed, g));
+            // SAFETY: quiescent teardown; each node is reachable exactly once.
             drop(unsafe { n.into_owned() });
         }
     }
@@ -110,6 +116,7 @@ pub struct CfTreeMap<K: Key, V: Value + Clone> {
 impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
     /// Empty tree; spawns the maintenance thread.
     pub fn new() -> Self {
+        // SAFETY: the tree is not yet shared; no other thread can free nodes.
         let g = unsafe { epoch::unprotected() };
         let holder = Owned::new(CfNode::new(None, Atomic::null())).into_shared(g);
         let inner = Arc::new(Inner {
@@ -186,6 +193,8 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
                                 n.del.store(false, Ordering::SeqCst);
                                 n.lock.unlock();
                                 if !old.is_null() {
+                                    // SAFETY: `old` was swapped out under the
+                                    // node lock; readers hold epoch guards.
                                     unsafe { g.defer_destroy(old) };
                                 }
                                 return true;
@@ -367,6 +376,9 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
         n.rem.store(true, Ordering::SeqCst);
         n.lock.unlock();
         p.lock.unlock();
+        // SAFETY: this thread unlinked the node under the parent + node
+        // locks; the `rem` flag stops new references and readers hold epoch
+        // guards.
         unsafe { g.defer_destroy(node) };
         true
     }
@@ -475,6 +487,8 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
         c.lock.unlock();
         n.lock.unlock();
         p.lock.unlock();
+        // SAFETY: unlinked under the parent + node + child locks by this
+        // thread; readers hold epoch guards.
         unsafe { g.defer_destroy(node) };
         true
     }

@@ -101,6 +101,7 @@ pub struct ChromaticTreeMap<K: Key, V: Value + Clone> {
 impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
     /// Empty tree: Internal(∞₂) over leaves ∞₁ and ∞₂ (all weight 1).
     pub fn new() -> Self {
+        // SAFETY: the tree is not yet shared; no other thread can free nodes.
         let g = unsafe { epoch::unprotected() };
         let root = Owned::new(CNode::internal(CKey::Inf2, 1)).into_shared(g);
         let l1 = Owned::new(CNode::leaf(CKey::Inf1, None, 1)).into_shared(g);
@@ -245,6 +246,9 @@ impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
             sr.lock.unlock();
             pr.lock.unlock();
             gpr.lock.unlock();
+            // SAFETY: this thread unlinked both nodes under the grandparent +
+            // parent + sibling locks; the `removed` flags stop new references
+            // and readers hold epoch guards.
             unsafe {
                 g.defer_destroy(p);
                 g.defer_destroy(l);
@@ -524,6 +528,8 @@ impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
         if locked_here {
             gpr.lock.unlock();
         }
+        // SAFETY: the weight-violation repair unlinked `parent` under its
+        // lock; readers hold epoch guards.
         unsafe { g.defer_destroy(parent) };
         Some(())
     }
@@ -537,6 +543,7 @@ impl<K: Key, V: Value + Clone> Default for ChromaticTreeMap<K, V> {
 
 impl<K: Key, V: Value + Clone> Drop for ChromaticTreeMap<K, V> {
     fn drop(&mut self) {
+        // SAFETY: &mut self — no concurrent readers or writers remain.
         let g = unsafe { epoch::unprotected() };
         let mut stack = vec![self.root.load(Ordering::Relaxed, g)];
         while let Some(n) = stack.pop() {
@@ -546,6 +553,7 @@ impl<K: Key, V: Value + Clone> Drop for ChromaticTreeMap<K, V> {
             let r = xref(n);
             stack.push(r.left.load(Ordering::Relaxed, g));
             stack.push(r.right.load(Ordering::Relaxed, g));
+            // SAFETY: quiescent teardown; each node is reachable exactly once.
             drop(unsafe { n.into_owned() });
         }
     }

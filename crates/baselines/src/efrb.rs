@@ -100,6 +100,7 @@ enum Info<K, V> {
 // SAFETY: the raw pointers are epoch-protected shared nodes/records; all
 // mutation goes through atomics on the pointees.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for Info<K, V> {}
+// SAFETY: as above — shared access only ever goes through the atomics.
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for Info<K, V> {}
 
 fn eref<'g, K, V>(s: Shared<'g, ENode<K, V>>) -> &'g ENode<K, V> {
@@ -125,6 +126,7 @@ pub struct EfrbTreeMap<K: Key, V: Value> {
 impl<K: Key, V: Value> EfrbTreeMap<K, V> {
     /// Empty tree: root = Internal(∞₂) with leaves ∞₁ and ∞₂.
     pub fn new() -> Self {
+        // SAFETY: the tree is not yet shared; no other thread can free nodes.
         let g = unsafe { epoch::unprotected() };
         let root = Owned::new(ENode::internal(EKey::Inf2)).into_shared(g);
         let l1 = Owned::new(ENode::leaf(EKey::Inf1, None)).into_shared(g);
@@ -229,6 +231,8 @@ impl<K: Key, V: Value> EfrbTreeMap<K, V> {
             Ok(_) => {
                 // We replaced the Clean record with the mark: retire it.
                 if !expected.with_tag(0).is_null() {
+                    // SAFETY: the CAS winner is the unique retirer of the
+                    // replaced record; readers hold epoch guards.
                     unsafe { g.defer_destroy(expected.with_tag(0)) };
                 }
                 self.help_marked(op, g);
@@ -267,9 +271,10 @@ impl<K: Key, V: Value> EfrbTreeMap<K, V> {
         let other =
             if right == l { pr.left.load(Ordering::Acquire, g) } else { right };
         if self.cas_child(gp, p, other, g) {
-            // Unique winner retires the two unlinked nodes. The Mark record
-            // in p.update is shared with gp.update and is retired by gp's
-            // next flagger (or the tree's Drop).
+            // SAFETY: unique winner retires the two unlinked nodes (the
+            // child CAS succeeds exactly once). The Mark record in p.update
+            // is shared with gp.update and is retired by gp's next flagger
+            // (or the tree's Drop). Readers hold epoch guards.
             unsafe {
                 g.defer_destroy(p);
                 g.defer_destroy(l);
@@ -325,17 +330,23 @@ impl<K: Key, V: Value> EfrbTreeMap<K, V> {
                 Ok(_) => {
                     // Retire the replaced Clean record.
                     if !s.pupdate.with_tag(0).is_null() {
+                        // SAFETY: the flag CAS winner is the unique retirer
+                        // of the record it displaced.
                         unsafe { g.defer_destroy(s.pupdate.with_tag(0)) };
                     }
                     self.help_insert(op, g);
                     return true;
                 }
                 Err(e) => {
-                    // Unpublished: reclaim our speculative allocations.
+                    // SAFETY (×3): the flag CAS failed, so none of the
+                    // three speculative allocations was ever published; this
+                    // thread still owns them exclusively.
                     let mut leaf = unsafe { new_leaf.into_owned() };
                     value = leaf.value.take();
                     drop(leaf);
+                    // SAFETY: as above — never published.
                     drop(unsafe { new_internal.into_owned() });
+                    // SAFETY: as above — never published.
                     drop(unsafe { op.into_owned() });
                     self.help(e.current, g);
                 }
@@ -376,6 +387,8 @@ impl<K: Key, V: Value> EfrbTreeMap<K, V> {
             ) {
                 Ok(_) => {
                     if !s.gpupdate.with_tag(0).is_null() {
+                        // SAFETY: the flag CAS winner is the unique retirer
+                        // of the record it displaced.
                         unsafe { g.defer_destroy(s.gpupdate.with_tag(0)) };
                     }
                     if self.help_delete(op, g) {
@@ -385,6 +398,8 @@ impl<K: Key, V: Value> EfrbTreeMap<K, V> {
                     // is retired by gp's next flagger.
                 }
                 Err(e) => {
+                    // SAFETY: the flag CAS failed, so the op record was never
+                    // published; this thread still owns it exclusively.
                     drop(unsafe { op.into_owned() });
                     self.help(e.current, g);
                 }
@@ -405,6 +420,7 @@ impl<K: Key, V: Value> Drop for EfrbTreeMap<K, V> {
         // node's update record. Records are uniquely owned by the single
         // live node whose update word points at them (marked nodes were
         // already unlinked and retired).
+        // SAFETY: &mut self — no concurrent readers or writers remain.
         let g = unsafe { epoch::unprotected() };
         let mut stack = vec![self.root.load(Ordering::Relaxed, g)];
         while let Some(n) = stack.pop() {
@@ -416,8 +432,10 @@ impl<K: Key, V: Value> Drop for EfrbTreeMap<K, V> {
             stack.push(r.right.load(Ordering::Relaxed, g));
             let u = r.update.load(Ordering::Relaxed, g).with_tag(0);
             if !u.is_null() {
+                // SAFETY: quiescent teardown; each record freed exactly once.
                 drop(unsafe { u.into_owned() });
             }
+            // SAFETY: quiescent teardown; each node is reachable exactly once.
             drop(unsafe { n.into_owned() });
         }
     }

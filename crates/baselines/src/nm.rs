@@ -83,6 +83,7 @@ pub struct NmTreeMap<K: Key, V: Value> {
 impl<K: Key, V: Value> NmTreeMap<K, V> {
     /// Empty tree: R(∞₂){ S(∞₁){ leaf ∞₀, leaf ∞₁ }, leaf ∞₂ }.
     pub fn new() -> Self {
+        // SAFETY: the tree is not yet shared; no other thread can free nodes.
         let g = unsafe { epoch::unprotected() };
         let r = Owned::new(NNode::internal(NKey::Inf2)).into_shared(g);
         let s = Owned::new(NNode::internal(NKey::Inf1)).into_shared(g);
@@ -212,6 +213,9 @@ impl<K: Key, V: Value> NmTreeMap<K, V> {
                 stack.push(r.left.load(Ordering::Acquire, g).with_tag(0));
                 stack.push(r.right.load(Ordering::Acquire, g).with_tag(0));
             }
+            // SAFETY: the `retired` swap above makes this thread the unique
+            // retirer of `n`; the subtree was unlinked by the winning CAS and
+            // readers hold epoch guards.
             unsafe { g.defer_destroy(n) };
         }
     }
@@ -249,10 +253,12 @@ impl<K: Key, V: Value> NmTreeMap<K, V> {
             ) {
                 Ok(_) => return true,
                 Err(e) => {
-                    // Reclaim speculative allocations.
+                    // SAFETY: the CAS failed, so neither speculative node
+                    // was published; this thread still uniquely owns both.
                     let mut lf = unsafe { new_leaf.into_owned() };
                     value = lf.value.take();
                     drop(lf);
+                    // SAFETY: as above — never published.
                     drop(unsafe { internal.into_owned() });
                     // Help a pending deletion occupying our edge.
                     if e.current.with_tag(0) == sr.leaf.with_tag(0)
@@ -323,6 +329,7 @@ impl<K: Key, V: Value> Default for NmTreeMap<K, V> {
 
 impl<K: Key, V: Value> Drop for NmTreeMap<K, V> {
     fn drop(&mut self) {
+        // SAFETY: &mut self — no concurrent readers or writers remain.
         let g = unsafe { epoch::unprotected() };
         let mut stack = vec![self.root.load(Ordering::Relaxed, g).with_tag(0)];
         while let Some(n) = stack.pop() {
@@ -332,6 +339,7 @@ impl<K: Key, V: Value> Drop for NmTreeMap<K, V> {
             let r = mref(n);
             stack.push(r.left.load(Ordering::Relaxed, g).with_tag(0));
             stack.push(r.right.load(Ordering::Relaxed, g).with_tag(0));
+            // SAFETY: quiescent teardown; each node is reachable exactly once.
             drop(unsafe { n.into_owned() });
         }
     }

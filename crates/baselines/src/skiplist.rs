@@ -61,6 +61,7 @@ struct FindResult<'g, K: Key, V: Value> {
 impl<K: Key, V: Value> SkipListMap<K, V> {
     /// Empty map.
     pub fn new() -> Self {
+        // SAFETY: the map is not yet shared; no other thread can free nodes.
         let g = unsafe { epoch::unprotected() };
         let head = Owned::new(SlNode::new(None, None, MAX_HEIGHT)).into_shared(g);
         Self { head: Atomic::from(head), rng: AtomicU64::new(0x853C_49E6_748F_EA9B) }
@@ -167,6 +168,8 @@ impl<K: Key, V: Value> SkipListMap<K, V> {
                 self.link_tower(node, height, g);
                 return true;
             }
+            // SAFETY: the CAS failed, so `node` was never published; this
+            // thread still uniquely owns the allocation.
             let mut owned = unsafe { node.into_owned() };
             let (k, v) = (owned.key.take(), owned.value.take());
             drop(owned);
@@ -263,6 +266,8 @@ impl<K: Key, V: Value> SkipListMap<K, V> {
                 break;
             }
         }
+        // SAFETY: this thread won the bottom-level mark, and `find` has
+        // unlinked the node from every level; readers hold epoch guards.
         unsafe { g.defer_destroy(node) };
         true
     }
@@ -318,13 +323,16 @@ impl<K: Key, V: Value> Default for SkipListMap<K, V> {
 
 impl<K: Key, V: Value> Drop for SkipListMap<K, V> {
     fn drop(&mut self) {
-        // Exclusive access: free the bottom-level chain (it contains every
-        // node, marked or not — marked nodes still linked are owned here
-        // only if never retired; retired nodes are already unlinked).
+        // SAFETY: &mut self (drop) — no concurrent readers or writers
+        // remain, so an unprotected guard is sound. The bottom-level chain
+        // contains every still-owned node (retired ones are already
+        // unlinked), so each is freed exactly once.
         let g = unsafe { epoch::unprotected() };
         let mut n = self.head.load(Ordering::Relaxed, g);
         while !n.is_null() {
             let next = sl_ref(n).next[0].load(Ordering::Relaxed, g).with_tag(0);
+            // SAFETY: quiescent teardown; each node is reachable exactly
+            // once via the bottom-level chain.
             drop(unsafe { n.into_owned() });
             n = next;
         }

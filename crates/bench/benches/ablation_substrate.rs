@@ -31,6 +31,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let g = handle.pin();
             let p = Box::into_raw(Box::new(42u64));
+            // SAFETY: `p` came from Box::into_raw and is never freed again.
             unsafe { g.defer_destroy_box(p) };
         })
     });
@@ -38,6 +39,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let g = crossbeam_epoch::pin();
             let p = crossbeam_epoch::Owned::new(42u64).into_shared(&g);
+            // SAFETY: the allocation was never published; single retirer.
             unsafe { g.defer_destroy(p) };
         })
     });

@@ -1,0 +1,37 @@
+//! # lo-check — concurrency correctness toolkit
+//!
+//! Verification substrate for the logical-ordering tree suite
+//! (Drachsler–Vechev–Yahav, PPoPP 2014). Four pillars:
+//!
+//! * [`lockdep`] — a kernel-lockdep-style runtime ledger. Behind the
+//!   `lockdep` cargo feature, every `NodeLock` acquire/release in `lo-core`
+//!   reports here; the ledger asserts the paper's §5.1 lock-ordering rules
+//!   (succ-locks before tree-locks, succ-locks in ascending key order,
+//!   blocking tree-locks only as bottom anchors or upward hand-over-hand)
+//!   and maintains a global acquired-before graph with cycle detection.
+//!   With the feature off, every hook compiles to an empty
+//!   `#[inline(always)]` function — the same zero-cost pattern as
+//!   `lo-metrics`.
+//! * [`lin`] — a Wing–Gong linearizability checker over recorded
+//!   timestamped histories of set operations (the canonical home;
+//!   `lo-validate` re-exports it).
+//! * [`mc`] — an exhaustive bounded-interleaving explorer for *modeled*
+//!   lock algorithms (loom-shaped stateless model checking by schedule
+//!   replay; the `loom` crate itself is not available as a dependency).
+//! * [`sched`] — a seeded bounded-interleaving scheduler that serializes
+//!   real tree code at lockdep pause points (PCT/CHESS-spirit schedule
+//!   perturbation) so tests can drive rare windows such as two-children
+//!   relocation and zombie revive.
+//!
+//! This crate has **no dependencies** and forbids unsafe code: it must stay
+//! buildable standalone and clean under Miri.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lin;
+pub mod lockdep;
+pub mod mc;
+pub mod sched;
+
+pub use lockdep::{AcquireHow, LockClass, Rank, Violation, ViolationKind};

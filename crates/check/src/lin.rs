@@ -10,7 +10,8 @@
 //! Designed for *small* histories (≤ ~24 operations, key universe ≤ 64):
 //! the point is adversarial validation of tiny hot interleavings, thousands
 //! of times, not full-run verification (the stress harness's net-balance
-//! accounting covers long runs).
+//! accounting covers long runs). This module is the canonical home of the
+//! checker; `lo-validate` re-exports it for its stress harness.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +44,7 @@ pub struct CompletedOp {
 
 /// Concurrent history recorder: wrap each operation call with
 /// [`Recorder::stamp`]s and push the completed op.
+#[derive(Debug)]
 pub struct Recorder {
     clock: AtomicU64,
 }

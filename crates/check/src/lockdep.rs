@@ -1,0 +1,553 @@
+//! Lockdep-style runtime lock-ordering ledger.
+//!
+//! The paper's deadlock-freedom argument (§5.1) rests on three rules:
+//!
+//! 1. **succ-locks before tree-locks** — an operation acquires all of its
+//!    ordering-layout locks before its first physical-layout lock and never
+//!    goes back;
+//! 2. **succ-locks in ascending key order** — when an operation holds more
+//!    than one `succLock`, it acquired them smallest key first;
+//! 3. **tree-locks bottom-up** — blocking `treeLock` acquisitions only travel
+//!    from a locked node to its parent (or anchor a fresh chain while no
+//!    tree-lock is held); every *descending* acquisition must be a `try_lock`
+//!    that restarts on failure, so it can never wait.
+//!
+//! This module turns those rules from prose into machine checks. Lock call
+//! sites report every acquisition and release; the ledger keeps a per-thread
+//! held-set and asserts the rules at acquire time, and additionally folds
+//! blocking acquisitions into a global *acquired-before* graph whose cycles
+//! are reported as potential deadlocks (the classic lockdep construction:
+//! if thread 1 ever takes A then B, and thread 2 ever takes B then A, the
+//! cycle A→B→A is flagged even if the actual deadlock never fired).
+//!
+//! ## Scope and honesty
+//! * `try_lock` acquisitions are recorded in the held-set (so double-acquire
+//!   and release-while-unheld are still caught) but are exempt from the
+//!   ordering rules and the graph: a `try_lock` never waits, so it cannot
+//!   close a wait-for cycle. This mirrors the kernel lockdep treatment.
+//! * *Upward* blocking acquisitions ([`AcquireHow::BlockUpward`], used by
+//!   `lockParent`-style hand-over-hand walks) are checked against rule 3 but
+//!   excluded from the cycle graph: rotations legitimately reorder the
+//!   parent relation over time, so instance-level edges accumulated across a
+//!   whole run would contain stale inversions that were never concurrently
+//!   live. The hand-over-hand walk is deadlock-free because all walkers
+//!   travel rootward at any instant; the ledger enforces exactly that
+//!   discipline instead of graphing it.
+//! * Everything is gated on the `lockdep` cargo feature. Without it, every
+//!   hook is an empty `#[inline(always)]` function and the types remain so
+//!   call sites compile unchanged (the `metrics` feature pattern).
+//!
+//! ## Violation handling
+//! Violations panic by default (so any test that drives a tree under
+//! `--features lockdep` doubles as a protocol check). A thread can switch
+//! itself to collect mode with [`set_thread_collect`] — used by the seeded
+//! self-tests, which *want* to observe violations — and drain them with
+//! [`take_violations`].
+
+/// Whether this build carries the live ledger (compile-time constant).
+pub const ENABLED: bool = cfg!(feature = "lockdep");
+
+/// The lock classes of the §5.1 discipline, plus an escape hatch for
+/// self-tests and non-tree locks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LockClass {
+    /// An ordering-layout interval lock (`succLock`).
+    Succ,
+    /// A physical-layout lock (`treeLock`).
+    Tree,
+    /// Any other lock: exempt from rules 1–3, still graphed and held-tracked.
+    Other,
+}
+
+/// Total-order rank of a lock's key, used to check rule 2.
+///
+/// Keys that cannot be mapped into `i128` are [`Rank::Opaque`]; ordering
+/// checks involving an opaque rank are skipped (rules 1 and 3 and the cycle
+/// graph still apply).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rank {
+    /// The `−∞` sentinel.
+    NegInf,
+    /// A concrete key, order-embedded into `i128`.
+    Key(i128),
+    /// Unrankable key type; rule-2 comparisons are skipped.
+    Opaque,
+    /// The `+∞` sentinel.
+    PosInf,
+}
+
+impl Rank {
+    /// Compares two ranks when both are concrete; `None` if either is
+    /// [`Rank::Opaque`].
+    pub fn cmp_concrete(self, other: Rank) -> Option<std::cmp::Ordering> {
+        let level = |r: Rank| match r {
+            Rank::NegInf => 0u8,
+            Rank::Key(_) => 1,
+            Rank::Opaque => 2,
+            Rank::PosInf => 3,
+        };
+        match (self, other) {
+            (Rank::Opaque, _) | (_, Rank::Opaque) => None,
+            (Rank::Key(a), Rank::Key(b)) => Some(a.cmp(&b)),
+            (a, b) => Some(level(a).cmp(&level(b))),
+        }
+    }
+}
+
+/// Maps a key of any `'static + Copy` type to a [`Rank`] by trying the
+/// standard integer types. Unknown types rank [`Rank::Opaque`].
+pub fn rank_of_key<K: std::any::Any + Copy>(key: &K) -> Rank {
+    let any = key as &dyn std::any::Any;
+    macro_rules! try_int {
+        ($($t:ty),*) => {
+            $(if let Some(v) = any.downcast_ref::<$t>() {
+                return Rank::Key(*v as i128);
+            })*
+        };
+    }
+    try_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+    if let Some(c) = any.downcast_ref::<char>() {
+        return Rank::Key(*c as i128);
+    }
+    Rank::Opaque
+}
+
+/// How an acquisition waits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcquireHow {
+    /// Blocking acquire anchoring a fresh chain (no same-class constraint
+    /// may be outstanding; see rule 3 for tree locks).
+    Block,
+    /// Blocking acquire travelling from a held lock to its parent
+    /// (hand-over-hand rootward walk; permitted by rule 3).
+    BlockUpward,
+    /// Non-blocking `try_lock`; exempt from ordering rules and the graph.
+    Try,
+}
+
+/// The rule (or meta-check) a violation broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Rule 1: blocking succ-lock acquire while holding a tree lock.
+    SuccAfterTree,
+    /// Rule 2: blocking succ-lock acquire out of ascending key order.
+    SuccOrder,
+    /// Rule 3: blocking non-upward tree-lock acquire while holding a tree
+    /// lock (descending acquisitions must be `try_lock`).
+    TreeBlockingNotAnchor,
+    /// The thread already holds this very lock.
+    Reentrant,
+    /// Release of a lock the thread does not hold.
+    ReleaseUnheld,
+    /// The global acquired-before graph closed a cycle.
+    DeadlockCycle,
+}
+
+/// One recorded rule violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which rule broke.
+    pub kind: ViolationKind,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+/// Draws a fresh process-unique lock id (compile-time 0 when the feature is
+/// off; ids are only meaningful to the ledger).
+#[inline(always)]
+pub fn fresh_lock_id() -> u64 {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::fresh_lock_id()
+    }
+    #[cfg(not(feature = "lockdep"))]
+    {
+        0
+    }
+}
+
+/// Hook: call immediately *before* a blocking raw acquire. Asserts the
+/// ordering rules and feeds the acquired-before graph. Never call for
+/// `try_lock` attempts.
+#[inline(always)]
+pub fn on_acquire_attempt(id: u64, class: LockClass, rank: Rank, how: AcquireHow) {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::on_acquire_attempt(id, class, rank, how);
+    }
+    #[cfg(not(feature = "lockdep"))]
+    {
+        let _ = (id, class, rank, how);
+    }
+}
+
+/// Hook: call immediately after a successful acquire (blocking or try).
+/// Records the lock in the thread's held-set.
+#[inline(always)]
+pub fn on_acquired(id: u64, class: LockClass, rank: Rank, how: AcquireHow) {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::on_acquired(id, class, rank, how);
+    }
+    #[cfg(not(feature = "lockdep"))]
+    {
+        let _ = (id, class, rank, how);
+    }
+}
+
+/// Hook: call after the raw release. Removes the lock from the held-set.
+#[inline(always)]
+pub fn on_release(id: u64) {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::on_release(id);
+    }
+    #[cfg(not(feature = "lockdep"))]
+    {
+        let _ = id;
+    }
+}
+
+/// Number of locks the current thread holds according to the ledger
+/// (always 0 with the feature off).
+#[inline(always)]
+pub fn held_count() -> usize {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::held_count()
+    }
+    #[cfg(not(feature = "lockdep"))]
+    {
+        0
+    }
+}
+
+/// Switches the *current thread* between panic-on-violation (default) and
+/// collect mode. In collect mode violations caused by this thread's calls
+/// are recorded and retrievable with [`take_violations`] instead of
+/// panicking. No-op with the feature off.
+#[inline(always)]
+pub fn set_thread_collect(collect: bool) {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::set_thread_collect(collect);
+    }
+    #[cfg(not(feature = "lockdep"))]
+    {
+        let _ = collect;
+    }
+}
+
+/// Drains and returns every violation recorded so far (process-global).
+pub fn take_violations() -> Vec<Violation> {
+    #[cfg(feature = "lockdep")]
+    {
+        imp::take_violations()
+    }
+    #[cfg(not(feature = "lockdep"))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(feature = "lockdep")]
+mod imp {
+    use super::*;
+    use crate::sched;
+    use std::cell::{Cell, RefCell};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[derive(Clone, Copy)]
+    struct Held {
+        id: u64,
+        class: LockClass,
+        rank: Rank,
+    }
+
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    /// Acquired-before edges among blocking, non-upward acquisitions.
+    static GRAPH: Mutex<BTreeMap<u64, BTreeSet<u64>>> = Mutex::new(BTreeMap::new());
+    static VIOLATIONS: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+        static COLLECT: Cell<bool> = const { Cell::new(false) };
+    }
+
+    pub(super) fn fresh_lock_id() -> u64 {
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(super) fn set_thread_collect(collect: bool) {
+        COLLECT.with(|c| c.set(collect));
+    }
+
+    pub(super) fn take_violations() -> Vec<Violation> {
+        std::mem::take(&mut *VIOLATIONS.lock().unwrap())
+    }
+
+    pub(super) fn held_count() -> usize {
+        HELD.with(|h| h.borrow().len())
+    }
+
+    fn report(kind: ViolationKind, message: String) {
+        let collect = COLLECT.with(|c| c.get());
+        VIOLATIONS.lock().unwrap().push(Violation { kind, message: message.clone() });
+        if !collect {
+            panic!("lockdep {kind:?}: {message}");
+        }
+    }
+
+    /// DFS: is `to` reachable from `from` in the acquired-before graph?
+    fn reachable(graph: &BTreeMap<u64, BTreeSet<u64>>, from: u64, to: u64) -> bool {
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = graph.get(&n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    pub(super) fn on_acquire_attempt(id: u64, class: LockClass, rank: Rank, how: AcquireHow) {
+        debug_assert!(how != AcquireHow::Try, "attempt hook is for blocking acquires");
+        sched::pause_point();
+        HELD.with(|held| {
+            let held = held.borrow();
+            for h in held.iter() {
+                if h.id == id {
+                    report(
+                        ViolationKind::Reentrant,
+                        format!("blocking re-acquire of already-held lock #{id} ({class:?})"),
+                    );
+                    return;
+                }
+            }
+            match class {
+                LockClass::Succ => {
+                    if let Some(t) = held.iter().find(|h| h.class == LockClass::Tree) {
+                        report(
+                            ViolationKind::SuccAfterTree,
+                            format!(
+                                "succ-lock #{id} acquired while holding tree-lock #{} \
+                                 (rule 1: succ-locks before tree-locks)",
+                                t.id
+                            ),
+                        );
+                    }
+                    for h in held.iter().filter(|h| h.class == LockClass::Succ) {
+                        if let Some(ord) = rank.cmp_concrete(h.rank) {
+                            if ord != std::cmp::Ordering::Greater {
+                                report(
+                                    ViolationKind::SuccOrder,
+                                    format!(
+                                        "succ-lock #{id} (rank {rank:?}) acquired while \
+                                         holding succ-lock #{} (rank {:?}) \
+                                         (rule 2: ascending key order)",
+                                        h.id, h.rank
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                LockClass::Tree => {
+                    if how == AcquireHow::Block {
+                        if let Some(t) = held.iter().find(|h| h.class == LockClass::Tree) {
+                            report(
+                                ViolationKind::TreeBlockingNotAnchor,
+                                format!(
+                                    "blocking tree-lock #{id} acquired while holding \
+                                     tree-lock #{} outside the upward walk (rule 3: \
+                                     descending acquisitions must try_lock)",
+                                    t.id
+                                ),
+                            );
+                        }
+                    }
+                }
+                LockClass::Other => {}
+            }
+            // Acquired-before graph: edges held → new for plain blocking
+            // acquires. Upward tree acquisitions are excluded (see module
+            // docs); their discipline is rule 3.
+            if how == AcquireHow::Block {
+                let mut graph = GRAPH.lock().unwrap();
+                for h in held.iter() {
+                    graph.entry(h.id).or_default().insert(id);
+                }
+                if held.iter().any(|h| reachable(&graph, id, h.id)) {
+                    // A path new → …held… exists while we also recorded
+                    // held → new: the graph closed a cycle.
+                    let involved: Vec<u64> = held.iter().map(|h| h.id).collect();
+                    drop(graph);
+                    report(
+                        ViolationKind::DeadlockCycle,
+                        format!(
+                            "acquired-before cycle: lock #{id} is transitively \
+                             acquired-before currently-held {involved:?} and is now \
+                             being acquired after them (potential deadlock)"
+                        ),
+                    );
+                }
+            }
+        });
+    }
+
+    pub(super) fn on_acquired(id: u64, class: LockClass, rank: Rank, how: AcquireHow) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if how == AcquireHow::Try && held.iter().any(|h| h.id == id) {
+                report(
+                    ViolationKind::Reentrant,
+                    format!("try-re-acquire of already-held lock #{id} ({class:?})"),
+                );
+            }
+            held.push(Held { id, class, rank });
+        });
+        sched::pause_point();
+    }
+
+    pub(super) fn on_release(id: u64) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            match held.iter().rposition(|h| h.id == id) {
+                Some(pos) => {
+                    held.remove(pos);
+                }
+                None => report(
+                    ViolationKind::ReleaseUnheld,
+                    format!("release of lock #{id} which this thread does not hold"),
+                ),
+            }
+        });
+        sched::pause_point();
+    }
+}
+
+#[cfg(all(test, feature = "lockdep"))]
+mod tests {
+    use super::*;
+
+    // The ledger is process-global; serialize the self-tests.
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        set_thread_collect(true);
+        let _ = take_violations();
+        g
+    }
+
+    fn kinds(v: &[Violation]) -> Vec<ViolationKind> {
+        v.iter().map(|v| v.kind).collect()
+    }
+
+    #[test]
+    fn clean_protocol_sequence_passes() {
+        let _g = locked();
+        let (p_succ, s_succ, n_tree, parent_tree) =
+            (fresh_lock_id(), fresh_lock_id(), fresh_lock_id(), fresh_lock_id());
+        // insert/remove shape: succ locks ascending, tree anchor, upward.
+        on_acquire_attempt(p_succ, LockClass::Succ, Rank::Key(1), AcquireHow::Block);
+        on_acquired(p_succ, LockClass::Succ, Rank::Key(1), AcquireHow::Block);
+        on_acquire_attempt(s_succ, LockClass::Succ, Rank::Key(5), AcquireHow::Block);
+        on_acquired(s_succ, LockClass::Succ, Rank::Key(5), AcquireHow::Block);
+        on_acquire_attempt(n_tree, LockClass::Tree, Rank::Key(5), AcquireHow::Block);
+        on_acquired(n_tree, LockClass::Tree, Rank::Key(5), AcquireHow::Block);
+        on_acquire_attempt(parent_tree, LockClass::Tree, Rank::Key(3), AcquireHow::BlockUpward);
+        on_acquired(parent_tree, LockClass::Tree, Rank::Key(3), AcquireHow::BlockUpward);
+        for id in [parent_tree, n_tree, s_succ, p_succ] {
+            on_release(id);
+        }
+        assert_eq!(held_count(), 0);
+        assert!(take_violations().is_empty(), "clean sequence must not be flagged");
+        set_thread_collect(false);
+    }
+
+    #[test]
+    fn succ_after_tree_flagged() {
+        let _g = locked();
+        let (t, s) = (fresh_lock_id(), fresh_lock_id());
+        on_acquire_attempt(t, LockClass::Tree, Rank::Opaque, AcquireHow::Block);
+        on_acquired(t, LockClass::Tree, Rank::Opaque, AcquireHow::Block);
+        on_acquire_attempt(s, LockClass::Succ, Rank::Key(1), AcquireHow::Block);
+        on_acquired(s, LockClass::Succ, Rank::Key(1), AcquireHow::Block);
+        on_release(s);
+        on_release(t);
+        assert!(kinds(&take_violations()).contains(&ViolationKind::SuccAfterTree));
+        set_thread_collect(false);
+    }
+
+    #[test]
+    fn descending_succ_order_flagged() {
+        let _g = locked();
+        let (a, b) = (fresh_lock_id(), fresh_lock_id());
+        on_acquire_attempt(a, LockClass::Succ, Rank::Key(9), AcquireHow::Block);
+        on_acquired(a, LockClass::Succ, Rank::Key(9), AcquireHow::Block);
+        on_acquire_attempt(b, LockClass::Succ, Rank::Key(2), AcquireHow::Block);
+        on_acquired(b, LockClass::Succ, Rank::Key(2), AcquireHow::Block);
+        on_release(b);
+        on_release(a);
+        assert!(kinds(&take_violations()).contains(&ViolationKind::SuccOrder));
+        set_thread_collect(false);
+    }
+
+    #[test]
+    fn blocking_descending_tree_flagged_but_try_is_exempt() {
+        let _g = locked();
+        let (a, b, c) = (fresh_lock_id(), fresh_lock_id(), fresh_lock_id());
+        on_acquire_attempt(a, LockClass::Tree, Rank::Opaque, AcquireHow::Block);
+        on_acquired(a, LockClass::Tree, Rank::Opaque, AcquireHow::Block);
+        // Descending try_lock: allowed.
+        on_acquired(b, LockClass::Tree, Rank::Opaque, AcquireHow::Try);
+        // Descending blocking acquire: rule 3 violation.
+        on_acquire_attempt(c, LockClass::Tree, Rank::Opaque, AcquireHow::Block);
+        on_acquired(c, LockClass::Tree, Rank::Opaque, AcquireHow::Block);
+        on_release(c);
+        on_release(b);
+        on_release(a);
+        let k = kinds(&take_violations());
+        assert!(k.contains(&ViolationKind::TreeBlockingNotAnchor));
+        assert_eq!(
+            k.iter().filter(|k| **k == ViolationKind::TreeBlockingNotAnchor).count(),
+            1,
+            "the try_lock must not be flagged"
+        );
+        set_thread_collect(false);
+    }
+
+    #[test]
+    fn release_unheld_and_reentrant_flagged() {
+        let _g = locked();
+        let a = fresh_lock_id();
+        on_release(a);
+        on_acquired(a, LockClass::Other, Rank::Opaque, AcquireHow::Try);
+        on_acquired(a, LockClass::Other, Rank::Opaque, AcquireHow::Try);
+        on_release(a);
+        on_release(a);
+        let k = kinds(&take_violations());
+        assert!(k.contains(&ViolationKind::ReleaseUnheld));
+        assert!(k.contains(&ViolationKind::Reentrant));
+        assert_eq!(held_count(), 0);
+        set_thread_collect(false);
+    }
+
+    #[test]
+    fn rank_of_key_integers() {
+        assert_eq!(rank_of_key(&7i64), Rank::Key(7));
+        assert_eq!(rank_of_key(&7u32), Rank::Key(7));
+        assert_eq!(rank_of_key(&-3i8), Rank::Key(-3));
+        assert_eq!(rank_of_key(&'a'), Rank::Key('a' as i128));
+        assert_eq!(rank_of_key(&(1i64, 2i64)), Rank::Opaque);
+    }
+}

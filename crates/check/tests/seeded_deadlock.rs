@@ -1,0 +1,105 @@
+//! Seeded-deadlock self-test: a deliberately mis-ordered AB/BA acquisition
+//! pattern (the classic two-lock deadlock) must be flagged by the ledger's
+//! acquired-before graph, while the same locks taken in a consistent order
+//! must not be.
+
+#![cfg(feature = "lockdep")]
+
+use lo_check::lockdep::{
+    fresh_lock_id, on_acquire_attempt, on_acquired, on_release, set_thread_collect,
+    take_violations, AcquireHow, LockClass, Rank, ViolationKind,
+};
+
+/// The ledger is process-global; serialize tests within this binary.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn acquire(id: u64) {
+    on_acquire_attempt(id, LockClass::Other, Rank::Opaque, AcquireHow::Block);
+    on_acquired(id, LockClass::Other, Rank::Opaque, AcquireHow::Block);
+}
+
+/// Runs `f` on two worker threads (sequentially — the graph accumulates
+/// ordering facts across threads regardless of timing, which is exactly the
+/// lockdep property: the deadlock need not actually fire to be caught).
+fn on_two_threads(f: impl Fn(usize) + Send + Sync) {
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let f = &f;
+            s.spawn(move || {
+                set_thread_collect(true);
+                f(t);
+            })
+            .join()
+            .expect("worker must not panic in collect mode");
+        }
+    });
+}
+
+#[test]
+fn mis_ordered_acquisition_is_flagged() {
+    let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = take_violations();
+    let (a, b) = (fresh_lock_id(), fresh_lock_id());
+    on_two_threads(|t| {
+        // Thread 0 takes A then B; thread 1 takes B then A.
+        let (first, second) = if t == 0 { (a, b) } else { (b, a) };
+        acquire(first);
+        acquire(second);
+        on_release(second);
+        on_release(first);
+    });
+    let kinds: Vec<ViolationKind> = take_violations().iter().map(|v| v.kind).collect();
+    assert!(
+        kinds.contains(&ViolationKind::DeadlockCycle),
+        "AB/BA inversion must close a cycle in the acquired-before graph, got {kinds:?}"
+    );
+}
+
+#[test]
+fn consistent_order_is_not_flagged() {
+    let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = take_violations();
+    let (a, b) = (fresh_lock_id(), fresh_lock_id());
+    on_two_threads(|_| {
+        // Both threads agree: A before B. No cycle, no violation.
+        acquire(a);
+        acquire(b);
+        on_release(b);
+        on_release(a);
+    });
+    let v = take_violations();
+    assert!(v.is_empty(), "consistent order must stay clean, got {v:?}");
+}
+
+#[test]
+fn three_lock_transitive_cycle_is_flagged() {
+    let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = take_violations();
+    let (a, b, c) = (fresh_lock_id(), fresh_lock_id(), fresh_lock_id());
+    // A→B, B→C on two clean threads, then C→A closes the triangle even
+    // though no pair of locks was ever directly inverted.
+    for (first, second) in [(a, b), (b, c)] {
+        on_two_threads(move |t| {
+            if t == 0 {
+                acquire(first);
+                acquire(second);
+                on_release(second);
+                on_release(first);
+            }
+        });
+    }
+    assert!(take_violations().is_empty(), "chain edges alone are clean");
+    on_two_threads(|t| {
+        if t == 0 {
+            acquire(c);
+            acquire(a);
+            on_release(a);
+            on_release(c);
+        }
+    });
+    let kinds: Vec<ViolationKind> = take_violations().iter().map(|v| v.kind).collect();
+    assert!(
+        kinds.contains(&ViolationKind::DeadlockCycle),
+        "transitive A→B→C→A cycle must be flagged, got {kinds:?}"
+    );
+}

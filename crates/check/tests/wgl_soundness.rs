@@ -1,0 +1,86 @@
+//! Soundness self-test for the linearizability checker: crafted
+//! non-linearizable histories must be rejected, and near-identical valid
+//! variants accepted — guarding against a checker that silently accepts
+//! everything (the failure mode that would void the whole validation layer).
+
+use lo_check::lin::{is_linearizable, CompletedOp, LinOp};
+
+fn op(op: LinOp, key: u8, result: bool, invoke: u64, response: u64) -> CompletedOp {
+    CompletedOp { op, key, result, invoke, response }
+}
+
+#[test]
+fn lost_update_is_rejected() {
+    // Two non-overlapping successful inserts of the same key with no remove
+    // in between: the second insert cannot have returned true.
+    let h = [
+        op(LinOp::Insert, 3, true, 0, 1),
+        op(LinOp::Insert, 3, true, 2, 3),
+    ];
+    assert!(!is_linearizable(&h, 0));
+    // Fixing the second result makes it valid.
+    let h_ok = [
+        op(LinOp::Insert, 3, true, 0, 1),
+        op(LinOp::Insert, 3, false, 2, 3),
+    ];
+    assert!(is_linearizable(&h_ok, 0));
+}
+
+#[test]
+fn stale_read_is_rejected() {
+    // remove(5) completes, then a later contains(5) still sees it: stale.
+    let h = [
+        op(LinOp::Insert, 5, true, 0, 1),
+        op(LinOp::Remove, 5, true, 2, 3),
+        op(LinOp::Contains, 5, true, 4, 5),
+    ];
+    assert!(!is_linearizable(&h, 0));
+}
+
+#[test]
+fn value_out_of_thin_air_is_rejected() {
+    // contains(9) = true though 9 was never inserted.
+    let h = [op(LinOp::Contains, 9, true, 0, 1)];
+    assert!(!is_linearizable(&h, 0));
+    assert!(is_linearizable(&h, 1 << 9));
+}
+
+#[test]
+fn overlapping_window_is_honoured_exactly() {
+    // insert(2) overlaps contains(2): either answer is fine while the
+    // window is open…
+    let open = [
+        op(LinOp::Insert, 2, true, 0, 3),
+        op(LinOp::Contains, 2, false, 1, 2),
+    ];
+    assert!(is_linearizable(&open, 0));
+    // …but once the insert has responded before the contains is invoked,
+    // only true is acceptable.
+    let closed = [
+        op(LinOp::Insert, 2, true, 0, 1),
+        op(LinOp::Contains, 2, false, 2, 3),
+    ];
+    assert!(!is_linearizable(&closed, 0));
+}
+
+#[test]
+fn three_thread_interleaving_rejected() {
+    // Threads: A inserts 1 (t0–t1), B removes 1 (t2–t5), C reads 1 twice,
+    // first false (t3–t4, inside B's window — fine alone) then true
+    // (t6–t7, strictly after the remove responded — contradiction).
+    let h = [
+        op(LinOp::Insert, 1, true, 0, 1),
+        op(LinOp::Remove, 1, true, 2, 5),
+        op(LinOp::Contains, 1, false, 3, 4),
+        op(LinOp::Contains, 1, true, 6, 7),
+    ];
+    assert!(!is_linearizable(&h, 0));
+    // Swap the two read results and the history becomes valid.
+    let h_ok = [
+        op(LinOp::Insert, 1, true, 0, 1),
+        op(LinOp::Remove, 1, true, 2, 5),
+        op(LinOp::Contains, 1, true, 3, 4),
+        op(LinOp::Contains, 1, false, 6, 7),
+    ];
+    assert!(is_linearizable(&h_ok, 0));
+}

@@ -108,15 +108,15 @@ impl<K: Key, V: Value> LoTree<K, V> {
     ) -> Option<Shared<'g, Node<K, V>>> {
         record(Event::RebalanceRestart);
         if !parent.is_null() {
-            nref(*parent).tree_lock.unlock();
+            nref(*parent).unlock_tree();
             *parent = Shared::null();
         }
         let n = nref(node);
         loop {
-            n.tree_lock.unlock();
-            n.tree_lock.lock();
+            n.unlock_tree();
+            n.lock_tree();
             if n.mark.load(Ordering::SeqCst) {
-                n.tree_lock.unlock();
+                n.unlock_tree();
                 return None;
             }
             let bf = n.bf();
@@ -124,7 +124,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             if child.is_null() {
                 return Some(Shared::null());
             }
-            if nref(child).tree_lock.try_lock() {
+            if nref(child).try_lock_tree() {
                 return Some(child);
             }
         }
@@ -134,9 +134,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// concurrent rebalance (paper §4.5 edge case). Takes no locks on entry.
     pub(crate) fn rebalance_node<'g>(&self, node: Shared<'g, Node<K, V>>, g: &'g Guard) {
         let n = nref(node);
-        n.tree_lock.lock();
+        n.lock_tree();
         if n.mark.load(Ordering::SeqCst) || node == self.root_sh(g) {
-            n.tree_lock.unlock();
+            n.unlock_tree();
             return;
         }
         // `skip_first_update = true`: no height to propagate, just check the
@@ -168,9 +168,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
             debug_assert!(parent.is_null(), "parent lock must not be held at walk top");
             if node == root {
                 if !child.is_null() {
-                    nref(child).tree_lock.unlock();
+                    nref(child).unlock_tree();
                 }
-                nref(node).tree_lock.unlock();
+                nref(node).unlock_tree();
                 return;
             }
             if !child.is_null() {
@@ -186,9 +186,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
             if !updated && bf.abs() < 2 {
                 // Height unchanged and balanced: ancestors are unaffected.
                 if !child.is_null() {
-                    nref(child).tree_lock.unlock();
+                    nref(child).unlock_tree();
                 }
-                nref(node).tree_lock.unlock();
+                nref(node).unlock_tree();
                 return;
             }
 
@@ -199,7 +199,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 if child != needed {
                     // The locked child (if any) is on the wrong side.
                     if !child.is_null() {
-                        nref(child).tree_lock.unlock();
+                        nref(child).unlock_tree();
                     }
                     child = needed;
                     if child.is_null() {
@@ -210,7 +210,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                         bf = nref(node).bf();
                         continue;
                     }
-                    if !nref(child).tree_lock.try_lock() {
+                    if !nref(child).try_lock_tree() {
                         match self.rebalance_restart(node, &mut parent, g) {
                             None => return, // node removed; all released
                             Some(c) => {
@@ -233,8 +233,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
                         nref(child).set_height(!is_left, 0);
                         continue;
                     }
-                    if !nref(grand).tree_lock.try_lock() {
-                        nref(child).tree_lock.unlock();
+                    if !nref(grand).try_lock_tree() {
+                        nref(child).unlock_tree();
                         match self.rebalance_restart(node, &mut parent, g) {
                             None => return,
                             Some(c) => {
@@ -246,7 +246,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     }
                     record(Event::DoubleRotation);
                     self.rotate(grand, child, node, is_left, g);
-                    nref(child).tree_lock.unlock();
+                    nref(child).unlock_tree();
                     child = grand;
                 }
 
@@ -259,7 +259,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 if bf.abs() >= 2 {
                     // Still imbalanced (heights were stale): rotate again
                     // beneath the new parent (= old child).
-                    nref(parent).tree_lock.unlock();
+                    nref(parent).unlock_tree();
                     parent = child;
                     child = Shared::null();
                     continue;
@@ -271,7 +271,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
 
             // --- move one level up ---
             if !child.is_null() {
-                nref(child).tree_lock.unlock();
+                nref(child).unlock_tree();
             }
             child = node;
             node = if parent.is_null() {

@@ -128,10 +128,89 @@ impl<K, V> Node<K, V> {
     }
 }
 
+/// Instrumented lock acquire/release wrappers — the **single enforcement
+/// point** of the §5.1 lock-ordering discipline. Every tree-algorithm lock
+/// operation goes through one of these, which classify the acquisition for
+/// the `lo-check` ledger (lock class, key rank, and how it may wait).
+/// Without the `lockdep` feature they compile down to the raw operations.
+impl<K: std::any::Any + Copy, V> Node<K, V> {
+    /// This node's key rank for the rule-2 (ascending succ-lock order)
+    /// check. Free when the ledger is compiled out.
+    #[inline]
+    fn ldep_rank(&self) -> lo_check::Rank {
+        if !lo_check::lockdep::ENABLED {
+            return lo_check::Rank::Opaque;
+        }
+        match &self.key {
+            Bound::NegInf => lo_check::Rank::NegInf,
+            Bound::Key(k) => lo_check::lockdep::rank_of_key(k),
+            Bound::PosInf => lo_check::Rank::PosInf,
+        }
+    }
+
+    /// Blocking acquire of this node's `succLock` (rules 1 and 2 apply).
+    #[inline]
+    pub(crate) fn lock_succ(&self) {
+        self.succ_lock.lock_traced(
+            lo_check::LockClass::Succ,
+            self.ldep_rank(),
+            lo_check::AcquireHow::Block,
+        );
+    }
+
+    /// Non-blocking acquire of this node's `succLock`.
+    #[inline]
+    pub(crate) fn try_lock_succ(&self) -> bool {
+        self.succ_lock.try_lock_traced(lo_check::LockClass::Succ, self.ldep_rank())
+    }
+
+    /// Release of this node's `succLock`.
+    #[inline]
+    pub(crate) fn unlock_succ(&self) {
+        self.succ_lock.unlock_traced();
+    }
+
+    /// Blocking acquire of this node's `treeLock` anchoring a fresh chain:
+    /// rule 3 requires that no other tree lock is held.
+    #[inline]
+    pub(crate) fn lock_tree(&self) {
+        self.tree_lock.lock_traced(
+            lo_check::LockClass::Tree,
+            self.ldep_rank(),
+            lo_check::AcquireHow::Block,
+        );
+    }
+
+    /// Blocking acquire of this node's `treeLock` as part of an *upward*
+    /// hand-over-hand walk (`lockParent`): permitted by rule 3 while tree
+    /// locks below are held.
+    #[inline]
+    pub(crate) fn lock_tree_upward(&self) {
+        self.tree_lock.lock_traced(
+            lo_check::LockClass::Tree,
+            self.ldep_rank(),
+            lo_check::AcquireHow::BlockUpward,
+        );
+    }
+
+    /// Non-blocking acquire of this node's `treeLock` (the only legal way
+    /// to take a tree lock *below* one already held).
+    #[inline]
+    pub(crate) fn try_lock_tree(&self) -> bool {
+        self.tree_lock.try_lock_traced(lo_check::LockClass::Tree, self.ldep_rank())
+    }
+
+    /// Release of this node's `treeLock`.
+    #[inline]
+    pub(crate) fn unlock_tree(&self) {
+        self.tree_lock.unlock_traced();
+    }
+}
+
 impl<K, V> Drop for Node<K, V> {
     fn drop(&mut self) {
-        // We have exclusive access (epoch reclamation or tree teardown), so
-        // an unprotected guard is sound here.
+        // SAFETY: we have exclusive access (epoch reclamation or tree
+        // teardown), so an unprotected guard is sound here.
         let g = unsafe { crossbeam_epoch::unprotected() };
         let v = self.value.swap(Shared::null(), Ordering::Relaxed, g);
         if !v.is_null() {
@@ -150,6 +229,8 @@ impl<K, V> Drop for Node<K, V> {
 #[inline]
 pub(crate) fn nref<'g, K, V>(s: Shared<'g, Node<K, V>>) -> &'g Node<K, V> {
     debug_assert!(!s.is_null(), "nref on null node pointer");
+    // SAFETY: see the contract above — `s` was obtained under a live guard,
+    // and unlinked nodes are only freed after all guards retire.
     unsafe { s.deref() }
 }
 
@@ -172,6 +253,7 @@ mod tests {
         assert!(r.value.load(Ordering::Relaxed, &g).is_null());
         assert_eq!(r.bf(), 0);
         assert!(!r.is_removed());
+        // SAFETY: the node was never published; this test uniquely owns it.
         unsafe { g.defer_destroy(n) };
     }
 
@@ -182,9 +264,11 @@ mod tests {
         let r = nref(n);
         assert!(r.key.is_key(&5));
         let v = r.value.load(Ordering::Acquire, &g);
+        // SAFETY: `v` is protected by the live guard `g`.
         assert_eq!(unsafe { v.deref() }, "hello");
         // Dropping the node must free the value (checked by miri/asan runs;
         // here we just exercise the path).
+        // SAFETY: the node was never published; this test uniquely owns it.
         drop(unsafe { n.into_owned() });
     }
 

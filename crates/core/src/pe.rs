@@ -42,14 +42,14 @@ impl<K: Key, V: Value> LoTree<K, V> {
     ) -> bool {
         if nref(s).zombie.load(Ordering::SeqCst) {
             // Already logically deleted.
-            nref(p).succ_lock.unlock();
+            nref(p).unlock_succ();
             return false;
         }
         // Take s's succ lock up front: the physical path needs it, and the
         // lock order (succ locks before tree locks) forbids taking it later.
-        nref(s).succ_lock.lock();
+        nref(s).lock_succ();
         loop {
-            nref(s).tree_lock.lock();
+            nref(s).lock_tree();
             let l = nref(s).left.load(Ordering::Acquire, g);
             let r = nref(s).right.load(Ordering::Acquire, g);
 
@@ -58,9 +58,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 // the zombie store (guarded by p.succLock).
                 nref(s).zombie.store(true, Ordering::SeqCst);
                 record(Event::ZombieCreated);
-                nref(s).tree_lock.unlock();
-                nref(s).succ_lock.unlock();
-                nref(p).succ_lock.unlock();
+                nref(s).unlock_tree();
+                nref(s).unlock_succ();
+                nref(p).unlock_succ();
                 return true;
             }
 
@@ -68,10 +68,10 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let parent = self.lock_parent(s, g);
             // Children are stable (s.treeLock held since before lock_parent).
             let child = if r.is_null() { l } else { r };
-            if !child.is_null() && !nref(child).tree_lock.try_lock() {
+            if !child.is_null() && !nref(child).try_lock_tree() {
                 record(Event::TreeLockRestart);
-                nref(parent).tree_lock.unlock();
-                nref(s).tree_lock.unlock();
+                nref(parent).unlock_tree();
+                nref(s).unlock_tree();
                 continue; // retry the tree-lock phase
             }
 
@@ -80,21 +80,24 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let s_succ = nref(s).succ.load(Ordering::Acquire, g);
             nref(s_succ).pred.store(p, Ordering::Release);
             nref(p).succ.store(s_succ, Ordering::Release);
-            nref(s).succ_lock.unlock();
-            nref(p).succ_lock.unlock();
+            nref(s).unlock_succ();
+            nref(p).unlock_succ();
 
             // Physical unlink (≤1-child splice).
             let is_left = self.update_child(parent, s, child, g);
-            nref(s).tree_lock.unlock();
+            nref(s).unlock_tree();
             if self.balanced {
                 self.rebalance(parent, child, is_left, false, g);
             } else {
                 if !child.is_null() {
-                    nref(child).tree_lock.unlock();
+                    nref(child).unlock_tree();
                 }
-                nref(parent).tree_lock.unlock();
+                nref(parent).unlock_tree();
             }
             record(Event::ReclaimRetire);
+            // SAFETY: `s` is unlinked from both the tree and the ordering
+            // layout by this thread (marked under its succ lock); readers
+            // hold epoch guards.
             unsafe { g.defer_destroy(s) };
 
             // The unlink may have dropped the old parent to ≤1 children; if
@@ -117,7 +120,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         }
         // Ordering-layout locks first: the predecessor's, then the zombie's.
         let p = zn.pred.load(Ordering::Acquire, g);
-        if !nref(p).succ_lock.try_lock() {
+        if !nref(p).try_lock_succ() {
             record(Event::ZombieCleanupAbort);
             return;
         }
@@ -128,24 +131,24 @@ impl<K: Key, V: Value> LoTree<K, V> {
             || !zn.zombie.load(Ordering::SeqCst)
         {
             record(Event::ZombieCleanupAbort);
-            nref(p).succ_lock.unlock();
+            nref(p).unlock_succ();
             return;
         }
-        if !zn.succ_lock.try_lock() {
+        if !zn.try_lock_succ() {
             record(Event::ZombieCleanupAbort);
-            nref(p).succ_lock.unlock();
+            nref(p).unlock_succ();
             return;
         }
-        if !zn.tree_lock.try_lock() {
+        if !zn.try_lock_tree() {
             record(Event::ZombieCleanupAbort);
-            zn.succ_lock.unlock();
-            nref(p).succ_lock.unlock();
+            zn.unlock_succ();
+            nref(p).unlock_succ();
             return;
         }
         let release_ordering_and_tree = || {
-            zn.tree_lock.unlock();
-            zn.succ_lock.unlock();
-            nref(p).succ_lock.unlock();
+            zn.unlock_tree();
+            zn.unlock_succ();
+            nref(p).unlock_succ();
         };
         let l = zn.left.load(Ordering::Acquire, g);
         let r = zn.right.load(Ordering::Acquire, g);
@@ -155,7 +158,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         }
         // Parent: single validated try_lock (no blocking in cleanup).
         let parent = zn.parent.load(Ordering::Acquire, g);
-        if !nref(parent).tree_lock.try_lock() {
+        if !nref(parent).try_lock_tree() {
             record(Event::ZombieCleanupAbort);
             release_ordering_and_tree();
             return;
@@ -163,14 +166,14 @@ impl<K: Key, V: Value> LoTree<K, V> {
         if zn.parent.load(Ordering::Acquire, g) != parent || nref(parent).mark.load(Ordering::SeqCst)
         {
             record(Event::ZombieCleanupAbort);
-            nref(parent).tree_lock.unlock();
+            nref(parent).unlock_tree();
             release_ordering_and_tree();
             return;
         }
         let child = if r.is_null() { l } else { r };
-        if !child.is_null() && !nref(child).tree_lock.try_lock() {
+        if !child.is_null() && !nref(child).try_lock_tree() {
             record(Event::ZombieCleanupAbort);
-            nref(parent).tree_lock.unlock();
+            nref(parent).unlock_tree();
             release_ordering_and_tree();
             return;
         }
@@ -180,21 +183,23 @@ impl<K: Key, V: Value> LoTree<K, V> {
         let z_succ = zn.succ.load(Ordering::Acquire, g);
         nref(z_succ).pred.store(p, Ordering::Release);
         nref(p).succ.store(z_succ, Ordering::Release);
-        zn.succ_lock.unlock();
-        nref(p).succ_lock.unlock();
+        zn.unlock_succ();
+        nref(p).unlock_succ();
 
         let is_left = self.update_child(parent, z, child, g);
-        zn.tree_lock.unlock();
+        zn.unlock_tree();
         if self.balanced {
             self.rebalance(parent, child, is_left, false, g);
         } else {
             if !child.is_null() {
-                nref(child).tree_lock.unlock();
+                nref(child).unlock_tree();
             }
-            nref(parent).tree_lock.unlock();
+            nref(parent).unlock_tree();
         }
         record(Event::ZombieUnlinked);
         record(Event::ReclaimRetire);
+        // SAFETY: the zombie was marked and unlinked from both layouts under
+        // its locks by this thread; readers hold epoch guards.
         unsafe { g.defer_destroy(z) };
     }
 }

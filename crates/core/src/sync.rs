@@ -13,28 +13,96 @@
 //! * [`SpinLock`] — a test-and-test-and-set lock with exponential backoff,
 //!   built from scratch; used by the substrate ablation benchmark.
 //!
-//! Lock-ordering discipline (paper §5.1), enforced by call-site structure and
-//! debug assertions in the trees:
+//! Lock-ordering discipline (paper §5.1), enforced by call-site structure:
 //! 1. `succLock`s before `treeLock`s,
 //! 2. `succLock`s in ascending key order,
 //! 3. `treeLock`s bottom-up; any descending acquisition must use
 //!    [`try_lock`](NodeLock::try_lock) and restart on failure.
+//!
+//! With the `lockdep` feature, every acquisition and release additionally
+//! reports to the `lo-check` runtime ledger through the `*_traced` methods
+//! (the node-level wrappers in `node.rs` are the only callers), which
+//! asserts the three rules and feeds a global acquired-before graph with
+//! cycle detection. Without the feature the `*_traced` methods compile to
+//! the raw operations.
 
 use parking_lot::lock_api::RawMutex as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use lo_check::lockdep::{AcquireHow, LockClass, Rank};
 use lo_metrics::{record, Event};
 
 /// The default per-node lock (parking-lot backed).
 pub struct NodeLock {
     raw: parking_lot::RawMutex,
+    /// Ledger identity, assigned lazily on first traced use (0 = unassigned).
+    #[cfg(feature = "lockdep")]
+    ldep_id: std::sync::atomic::AtomicU64,
 }
 
 impl NodeLock {
     /// Creates an unlocked lock.
     #[inline]
     pub const fn new() -> Self {
-        Self { raw: parking_lot::RawMutex::INIT }
+        Self {
+            raw: parking_lot::RawMutex::INIT,
+            #[cfg(feature = "lockdep")]
+            ldep_id: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// This lock's process-unique ledger id, assigned on first use.
+    #[cfg(feature = "lockdep")]
+    #[inline]
+    fn ldep_id(&self) -> u64 {
+        let id = self.ldep_id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = lo_check::lockdep::fresh_lock_id();
+        match self.ldep_id.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => fresh,
+            Err(raced) => raced,
+        }
+    }
+
+    /// Blocking acquire reported to the lockdep ledger (no-op wrapper around
+    /// [`lock`](Self::lock) without the `lockdep` feature).
+    #[inline]
+    pub fn lock_traced(&self, class: LockClass, rank: Rank, how: AcquireHow) {
+        #[cfg(feature = "lockdep")]
+        {
+            let id = self.ldep_id();
+            lo_check::lockdep::on_acquire_attempt(id, class, rank, how);
+            self.lock();
+            lo_check::lockdep::on_acquired(id, class, rank, how);
+        }
+        #[cfg(not(feature = "lockdep"))]
+        {
+            let _ = (class, rank, how);
+            self.lock();
+        }
+    }
+
+    /// Non-blocking acquire reported to the lockdep ledger on success.
+    #[inline]
+    pub fn try_lock_traced(&self, class: LockClass, rank: Rank) -> bool {
+        let acquired = self.try_lock();
+        #[cfg(feature = "lockdep")]
+        if acquired {
+            lo_check::lockdep::on_acquired(self.ldep_id(), class, rank, AcquireHow::Try);
+        }
+        #[cfg(not(feature = "lockdep"))]
+        let _ = (class, rank);
+        acquired
+    }
+
+    /// Release reported to the lockdep ledger.
+    #[inline]
+    pub fn unlock_traced(&self) {
+        self.unlock();
+        #[cfg(feature = "lockdep")]
+        lo_check::lockdep::on_release(self.ldep_id());
     }
 
     /// Blocking acquire.
@@ -64,12 +132,12 @@ impl NodeLock {
 
     /// Release.
     ///
-    /// The caller must hold the lock (the trees pair every acquisition with
-    /// exactly one release along every control path; violations are caught by
-    /// parking-lot debug assertions under `debug_assertions`).
+    /// The caller must hold the lock: the trees pair every acquisition with
+    /// exactly one release along every control path. This is checked by the
+    /// lockdep ledger (`ReleaseUnheld`) under `--features lockdep` rather
+    /// than an assertion here, so there is exactly one enforcement point.
     #[inline]
     pub fn unlock(&self) {
-        debug_assert!(self.raw.is_locked(), "unlock of an unheld NodeLock");
         // SAFETY: the tree algorithms guarantee the current thread holds the
         // lock whenever they call `unlock` (see module docs).
         unsafe { self.raw.unlock() }

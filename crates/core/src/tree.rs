@@ -40,6 +40,7 @@ pub(crate) struct LoTree<K: Key, V: Value> {
 impl<K: Key, V: Value> LoTree<K, V> {
     /// Creates the initial two-sentinel tree (paper §4.1 "The Initial Tree").
     pub(crate) fn new(balanced: bool, partially_external: bool) -> Self {
+        // SAFETY: the tree is not yet shared; no other thread can free nodes.
         let g = unsafe { epoch::unprotected() };
         let root = alloc(Node::sentinel(Bound::PosInf), g);
         let head = alloc(Node::sentinel(Bound::NegInf), g);
@@ -94,6 +95,11 @@ impl<K: Key, V: Value> LoTree<K, V> {
             }
             depth += 1;
             node = child;
+            // Bounded-interleaving tests perturb the schedule per descent
+            // step; compiled out without the `lockdep` feature.
+            if lo_check::lockdep::ENABLED {
+                lo_check::sched::pause_point();
+            }
         }
         add(Event::SearchDescent, depth);
         node
@@ -107,11 +113,17 @@ impl<K: Key, V: Value> LoTree<K, V> {
         let mut node = nref(self.search(key, g));
         let mut pred_steps = 0u64;
         while node.key.cmp_key(key) == Cmp::Greater {
+            if lo_check::lockdep::ENABLED {
+                lo_check::sched::pause_point();
+            }
             node = nref(node.pred.load(Ordering::Acquire, g));
             pred_steps += 1;
         }
         let mut succ_steps = 0u64;
         while node.key.cmp_key(key) == Cmp::Less {
+            if lo_check::lockdep::ENABLED {
+                lo_check::sched::pause_point();
+            }
             node = nref(node.succ.load(Ordering::Acquire, g));
             succ_steps += 1;
         }
@@ -306,14 +318,14 @@ impl<K: Key, V: Value> LoTree<K, V> {
         loop {
             let p = nref(node).parent.load(Ordering::Acquire, g);
             debug_assert!(!p.is_null(), "lock_parent called on the root sentinel");
-            nref(p).tree_lock.lock();
+            nref(p).lock_tree_upward();
             if nref(node).parent.load(Ordering::Acquire, g) == p
                 && !nref(p).mark.load(Ordering::SeqCst)
             {
                 return p;
             }
             record(Event::LockParentRetry);
-            nref(p).tree_lock.unlock();
+            nref(p).unlock_tree();
         }
     }
 
@@ -351,8 +363,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
 
 impl<K: Key, V: Value> Drop for LoTree<K, V> {
     fn drop(&mut self) {
-        // Exclusive access: walk the ordering chain (which contains every
-        // live node plus both sentinels) and free each node. Nodes removed
+        // SAFETY: &mut self (drop) — no concurrent readers or writers
+        // remain, so an unprotected guard is sound. The ordering chain
+        // contains every live node plus both sentinels; nodes removed
         // earlier were retired through the epoch and are not in the chain.
         let g = unsafe { epoch::unprotected() };
         let root = self.root.load(Ordering::Relaxed, g);
@@ -360,6 +373,7 @@ impl<K: Key, V: Value> Drop for LoTree<K, V> {
         loop {
             let next = nref(n).succ.load(Ordering::Relaxed, g);
             let at_end = n == root;
+            // SAFETY: quiescent teardown; the chain visits each node once.
             drop(unsafe { n.into_owned() });
             if at_end {
                 break;

@@ -53,7 +53,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             } else {
                 node
             };
-            nref(p).succ_lock.lock();
+            nref(p).lock_succ();
             let s = nref(p).succ.load(Ordering::Acquire, g);
             // Validate k ∈ (p.key, s.key] and that the interval is live.
             let valid = nref(p).key.cmp_key(&key) == Cmp::Less
@@ -61,7 +61,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 && !nref(p).mark.load(Ordering::SeqCst);
             if !valid {
                 record(Event::SuccLockRestart);
-                nref(p).succ_lock.unlock();
+                nref(p).unlock_succ();
                 continue; // validation failed; restart
             }
             if nref(s).key.is_key(&key) {
@@ -77,12 +77,14 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     record(Event::ZombieRevived);
                     if !old.is_null() {
                         record(Event::ReclaimRetire);
+                        // SAFETY: `old` was swapped out under the succ lock;
+                        // readers hold epoch guards.
                         unsafe { g.defer_destroy(old) };
                     }
-                    nref(p).succ_lock.unlock();
+                    nref(p).unlock_succ();
                     return true;
                 }
-                nref(p).succ_lock.unlock();
+                nref(p).unlock_succ();
                 return false; // unsuccessful insert
             }
             // Successful insert: split interval (p, s) into (p, k), (k, s).
@@ -94,7 +96,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             nref(s).pred.store(new, Ordering::Release);
             // Linearization point of a successful insert (paper §5.2).
             nref(p).succ.store(new, Ordering::Release);
-            nref(p).succ_lock.unlock();
+            nref(p).unlock_succ();
             self.insert_to_tree(parent, new, g);
             return true;
         }
@@ -117,14 +119,14 @@ impl<K: Key, V: Value> LoTree<K, V> {
             } else {
                 node
             };
-            nref(p).succ_lock.lock();
+            nref(p).lock_succ();
             let s = nref(p).succ.load(Ordering::Acquire, g);
             let valid = nref(p).key.cmp_key(&key) == Cmp::Less
                 && nref(s).key.cmp_key(&key) != Cmp::Less
                 && !nref(p).mark.load(Ordering::SeqCst);
             if !valid {
                 record(Event::SuccLockRestart);
-                nref(p).succ_lock.unlock();
+                nref(p).unlock_succ();
                 continue;
             }
             if nref(s).key.is_key(&key) {
@@ -136,13 +138,15 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     nref(s).zombie.store(false, Ordering::SeqCst);
                     record(Event::ZombieRevived);
                 }
-                nref(p).succ_lock.unlock();
+                nref(p).unlock_succ();
                 if old.is_null() {
                     return None; // defensive: key nodes always hold a value
                 }
                 // SAFETY: `old` stays valid for this guard's lifetime.
                 let out = (!was_zombie).then(|| unsafe { old.deref() }.clone());
                 record(Event::ReclaimRetire);
+                // SAFETY: `old` was swapped out under the succ lock by this
+                // thread; readers hold epoch guards.
                 unsafe { g.defer_destroy(old) };
                 return out;
             }
@@ -154,7 +158,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             nref(new).parent.store(parent, Ordering::Release);
             nref(s).pred.store(new, Ordering::Release);
             nref(p).succ.store(new, Ordering::Release);
-            nref(p).succ_lock.unlock();
+            nref(p).unlock_succ();
             self.insert_to_tree(parent, new, g);
             return None;
         }
@@ -186,18 +190,18 @@ impl<K: Key, V: Value> LoTree<K, V> {
             candidate = s;
         }
         loop {
-            nref(candidate).tree_lock.lock();
+            nref(candidate).lock_tree();
             if candidate == p {
                 if nref(candidate).right.load(Ordering::Acquire, g).is_null() {
                     return candidate;
                 }
-                nref(candidate).tree_lock.unlock();
+                nref(candidate).unlock_tree();
                 candidate = s;
             } else {
                 if nref(candidate).left.load(Ordering::Acquire, g).is_null() {
                     return candidate;
                 }
-                nref(candidate).tree_lock.unlock();
+                nref(candidate).unlock_tree();
                 if p == head {
                     // Only the successor can parent the new minimum; its
                     // left slot frees up once the pending unlink completes.
@@ -236,7 +240,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let is_left = nref(grand).left.load(Ordering::Acquire, g) == parent;
             self.rebalance(grand, parent, is_left, false, g);
         } else {
-            pn.tree_lock.unlock();
+            pn.unlock_tree();
         }
     }
 
@@ -251,18 +255,18 @@ impl<K: Key, V: Value> LoTree<K, V> {
             } else {
                 node
             };
-            nref(p).succ_lock.lock();
+            nref(p).lock_succ();
             let s = nref(p).succ.load(Ordering::Acquire, g);
             let valid = nref(p).key.cmp_key(key) == Cmp::Less
                 && nref(s).key.cmp_key(key) != Cmp::Less
                 && !nref(p).mark.load(Ordering::SeqCst);
             if !valid {
                 record(Event::SuccLockRestart);
-                nref(p).succ_lock.unlock();
+                nref(p).unlock_succ();
                 continue; // validation failed; restart
             }
             if !nref(s).key.is_key(key) {
-                nref(p).succ_lock.unlock();
+                nref(p).unlock_succ();
                 return false; // unsuccessful remove
             }
             if self.partially_external {
@@ -270,19 +274,20 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 return self.remove_pe(p, s, g);
             }
             // Successful on-time removal of s.
-            nref(s).succ_lock.lock();
+            nref(s).lock_succ();
             let locks = self.acquire_tree_locks(s, g);
             // Linearization point of a successful remove (paper §5.2).
             nref(s).mark.store(true, Ordering::SeqCst);
             let s_succ = nref(s).succ.load(Ordering::Acquire, g);
             nref(s_succ).pred.store(p, Ordering::Release);
             nref(p).succ.store(s_succ, Ordering::Release);
-            nref(s).succ_lock.unlock();
-            nref(p).succ_lock.unlock();
+            nref(s).unlock_succ();
+            nref(p).unlock_succ();
             self.remove_from_tree(s, locks, g);
-            // The node is now unlinked from both layouts; free it once all
-            // pinned readers move on.
             record(Event::ReclaimRetire);
+            // SAFETY: the node is now unlinked from both layouts by this
+            // thread (marked under its succ lock); it is freed only once all
+            // pinned readers move on.
             unsafe { g.defer_destroy(s) };
             return true;
         }
@@ -299,7 +304,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         g: &'g Guard,
     ) -> RemovalLocks<'g, K, V> {
         loop {
-            nref(n).tree_lock.lock();
+            nref(n).lock_tree();
             let parent = self.lock_parent(n, g);
             let l = nref(n).left.load(Ordering::Acquire, g);
             let r = nref(n).right.load(Ordering::Acquire, g);
@@ -307,10 +312,10 @@ impl<K: Key, V: Value> LoTree<K, V> {
             if l.is_null() || r.is_null() {
                 // n is a leaf or has a single child.
                 let child = if r.is_null() { l } else { r };
-                if !child.is_null() && !nref(child).tree_lock.try_lock() {
+                if !child.is_null() && !nref(child).try_lock_tree() {
                     record(Event::TreeLockRestart);
-                    nref(parent).tree_lock.unlock();
-                    nref(n).tree_lock.unlock();
+                    nref(parent).unlock_tree();
+                    nref(n).unlock_tree();
                     continue;
                 }
                 return RemovalLocks {
@@ -328,19 +333,19 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let s = nref(n).succ.load(Ordering::Acquire, g);
             let sp = nref(s).parent.load(Ordering::Acquire, g);
             let succ_parent = if sp != n {
-                if !nref(sp).tree_lock.try_lock() {
+                if !nref(sp).try_lock_tree() {
                     record(Event::TreeLockRestart);
-                    nref(parent).tree_lock.unlock();
-                    nref(n).tree_lock.unlock();
+                    nref(parent).unlock_tree();
+                    nref(n).unlock_tree();
                     continue;
                 }
                 if nref(s).parent.load(Ordering::Acquire, g) != sp
                     || nref(sp).mark.load(Ordering::SeqCst)
                 {
                     record(Event::TreeLockRestart);
-                    nref(sp).tree_lock.unlock();
-                    nref(parent).tree_lock.unlock();
-                    nref(n).tree_lock.unlock();
+                    nref(sp).unlock_tree();
+                    nref(parent).unlock_tree();
+                    nref(n).unlock_tree();
                     continue;
                 }
                 sp
@@ -349,12 +354,12 @@ impl<K: Key, V: Value> LoTree<K, V> {
             };
             let release_partial = |sp_locked: Shared<'g, Node<K, V>>| {
                 if !sp_locked.is_null() {
-                    nref(sp_locked).tree_lock.unlock();
+                    nref(sp_locked).unlock_tree();
                 }
-                nref(parent).tree_lock.unlock();
-                nref(n).tree_lock.unlock();
+                nref(parent).unlock_tree();
+                nref(n).unlock_tree();
             };
-            if !nref(s).tree_lock.try_lock() {
+            if !nref(s).try_lock_tree() {
                 record(Event::TreeLockRestart);
                 release_partial(succ_parent);
                 continue;
@@ -364,9 +369,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 nref(s).left.load(Ordering::Acquire, g).is_null(),
                 "successor of a 2-children node must have no left child"
             );
-            if !sr.is_null() && !nref(sr).tree_lock.try_lock() {
+            if !sr.is_null() && !nref(sr).try_lock_tree() {
                 record(Event::TreeLockRestart);
-                nref(s).tree_lock.unlock();
+                nref(s).unlock_tree();
                 release_partial(succ_parent);
                 continue;
             }
@@ -393,14 +398,14 @@ impl<K: Key, V: Value> LoTree<K, V> {
         if !locks.has_two {
             // Leaf or single child: splice n's parent to n's child.
             let is_left = self.update_child(locks.parent, n, locks.child, g);
-            nref(n).tree_lock.unlock();
+            nref(n).unlock_tree();
             if self.balanced {
                 self.rebalance(locks.parent, locks.child, is_left, false, g);
             } else {
                 if !locks.child.is_null() {
-                    nref(locks.child).tree_lock.unlock();
+                    nref(locks.child).unlock_tree();
                 }
-                nref(locks.parent).tree_lock.unlock();
+                nref(locks.parent).unlock_tree();
             }
             return;
         }
@@ -437,14 +442,14 @@ impl<K: Key, V: Value> LoTree<K, V> {
         let reb_node = if s_parent_is_n {
             s // rebalance begins from s; keep it locked
         } else {
-            sn.tree_lock.unlock();
+            sn.unlock_tree();
             locks.succ_parent
         };
         // reb_node is s or s's old parent, both strictly below n's parent,
         // so n's parent lock is never the rebalance start.
         debug_assert!(locks.parent != reb_node);
-        nref(locks.parent).tree_lock.unlock();
-        nn.tree_lock.unlock();
+        nref(locks.parent).unlock_tree();
+        nn.unlock_tree();
 
         if self.balanced {
             self.rebalance(reb_node, child, is_left, false, g);
@@ -454,9 +459,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
             self.rebalance_node(s, g);
         } else {
             if !child.is_null() {
-                nref(child).tree_lock.unlock();
+                nref(child).unlock_tree();
             }
-            nref(reb_node).tree_lock.unlock();
+            nref(reb_node).unlock_tree();
         }
     }
 }

@@ -345,6 +345,8 @@ mod tests {
         {
             let g = h.pin();
             let p = Box::into_raw(Box::new(Tracked(Arc::clone(&dropped))));
+            // SAFETY: `p` came from Box::into_raw just above and is never
+            // freed elsewhere.
             unsafe { g.defer_destroy_box(p) };
         }
         assert!(!dropped.load(Ordering::SeqCst), "must not drop immediately");
@@ -365,6 +367,8 @@ mod tests {
         {
             let g = writer.pin();
             let p = Box::into_raw(Box::new(Tracked(Arc::clone(&dropped))));
+            // SAFETY: `p` came from Box::into_raw just above and is never
+            // freed elsewhere.
             unsafe { g.defer_destroy_box(p) };
         }
         // No amount of flushing may free it while the reader is pinned at
@@ -406,6 +410,8 @@ mod tests {
             let h = c.register();
             let g = h.pin();
             let p = Box::into_raw(Box::new(Tracked(Arc::clone(&dropped))));
+            // SAFETY: `p` came from Box::into_raw just above and is never
+            // freed elsewhere.
             unsafe { g.defer_destroy_box(p) };
             drop(g);
             // Handle dropped with garbage still pending → orphaned.
@@ -435,6 +441,8 @@ mod tests {
         {
             let g = h.pin();
             let p = Box::into_raw(Box::new(Tracked(Arc::clone(&dropped))));
+            // SAFETY: `p` came from Box::into_raw just above and is never
+            // freed elsewhere.
             unsafe { g.defer_destroy_box(p) };
         }
         h.flush();
@@ -469,6 +477,8 @@ mod tests {
                     let g = h.pin();
                     let fresh = Box::into_raw(Box::new(i as u64));
                     let old = slot.swap(fresh, Ordering::AcqRel);
+                    // SAFETY: the swap made this thread the unique retirer of
+                    // `old`; readers are protected by their pins.
                     unsafe { g.defer_destroy_box(old) };
                 }
                 stop.store(true, Ordering::SeqCst);
@@ -490,6 +500,7 @@ mod tests {
         });
         // Final cleanup of the last published box.
         let last = slot.load(Ordering::Acquire);
+        // SAFETY: all threads have joined; `last` is the only live box.
         drop(unsafe { Box::from_raw(last) });
     }
 }

@@ -19,6 +19,7 @@ struct TreiberStack {
 
 // SAFETY: all mutation is CAS on `head`; nodes are freed through the epoch.
 unsafe impl Send for TreiberStack {}
+// SAFETY: as above — shared access only ever races on the atomic `head`.
 unsafe impl Sync for TreiberStack {}
 
 impl TreiberStack {
@@ -59,6 +60,7 @@ impl TreiberStack {
                 .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                // SAFETY: still protected by our pin (see above).
                 let value = unsafe { (*head).value };
                 // SAFETY: unlinked by the successful CAS; single retirer.
                 unsafe { guard.defer_destroy_box(head) };
@@ -72,6 +74,7 @@ impl Drop for TreiberStack {
     fn drop(&mut self) {
         let mut p = *self.head.get_mut();
         while !p.is_null() {
+            // SAFETY: &mut self — remaining nodes are uniquely owned.
             let boxed = unsafe { Box::from_raw(p) };
             p = boxed.next;
         }

@@ -6,8 +6,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod lin;
 pub mod stress;
 
-pub use lin::{is_linearizable, CompletedOp, LinOp, Recorder};
+/// Exhaustive small-history linearizability checker, re-exported from
+/// [`lo_check`] (the concurrency-correctness toolkit crate) so existing
+/// `lo_validate::lin::…` paths keep working.
+pub use lo_check::lin;
+
+pub use lo_check::lin::{is_linearizable, CompletedOp, LinOp, Recorder};
 pub use stress::{lin_check_map, stress_map, StressConfig, StressReport};

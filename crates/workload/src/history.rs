@@ -1,0 +1,192 @@
+//! Timed-history capture for linearizability checking.
+//!
+//! Bridges the workload substrate to the exhaustive WGL checker in
+//! [`lo_check::lin`]: a [`HistoryRecorder`] wraps any [`ConcurrentMap`] so
+//! that every `insert`/`remove`/`contains` issued through the wrapper is
+//! stamped with invocation/response times and collected into a history the
+//! checker can validate.
+//!
+//! The checker is exponential in history length, so recorded sessions must
+//! stay tiny (a handful of ops per thread over a handful of keys). This
+//! module is for *correctness* runs; the timed benchmark trials in
+//! [`crate::runner`] stay recording-free.
+//!
+//! ```
+//! use lo_workload::history::HistoryRecorder;
+//! use lo_check::lin::is_linearizable;
+//!
+//! let map = lo_core::LoAvlMap::new();
+//! let rec = HistoryRecorder::new();
+//! let wrapped = rec.wrap(&map);
+//! wrapped.insert(3, 3);
+//! wrapped.contains(&3);
+//! let history = rec.take_history();
+//! assert!(is_linearizable(&history, 0));
+//! ```
+
+use std::sync::Mutex;
+
+use lo_api::ConcurrentMap;
+use lo_check::lin::{CompletedOp, LinOp, Recorder};
+
+/// Largest key a recorded session may touch: the WGL checker models the set
+/// state as a 64-bit membership mask.
+pub const MAX_KEYS: u8 = 64;
+
+/// Collects a timed operation history from one or more [`Recorded`]
+/// wrappers. Cheap to share by reference across worker threads.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    recorder: Recorder,
+    history: Mutex<Vec<CompletedOp>>,
+}
+
+impl HistoryRecorder {
+    /// Fresh recorder with an empty history and the logical clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps `map` so operations issued through the returned handle are
+    /// recorded here. Many wrappers (one per thread) may share one recorder.
+    pub fn wrap<'a, M>(&'a self, map: &'a M) -> Recorded<'a, M> {
+        Recorded { map, rec: self }
+    }
+
+    /// Drains and returns everything recorded so far, sorted by invocation
+    /// time — the layout [`lo_check::lin::is_linearizable`] expects.
+    pub fn take_history(&self) -> Vec<CompletedOp> {
+        let mut h = std::mem::take(&mut *self.history.lock().expect("history poisoned"));
+        h.sort_by_key(|c| c.invoke);
+        h
+    }
+
+    fn record(&self, op: LinOp, key: u8, f: impl FnOnce() -> bool) -> bool {
+        assert!(key < MAX_KEYS, "recorded sessions are limited to keys 0..{MAX_KEYS}");
+        let done = self.recorder.record(op, key, f);
+        let result = done.result;
+        self.history.lock().expect("history poisoned").push(done);
+        result
+    }
+}
+
+/// A [`ConcurrentMap`] view that records every operation into its
+/// [`HistoryRecorder`]. Keys must lie in `0..MAX_KEYS`.
+#[derive(Debug)]
+pub struct Recorded<'a, M> {
+    map: &'a M,
+    rec: &'a HistoryRecorder,
+}
+
+impl<M: ConcurrentMap<i64, u64>> Recorded<'_, M> {
+    /// Recorded [`ConcurrentMap::insert`].
+    pub fn insert(&self, key: i64, value: u64) -> bool {
+        self.rec.record(LinOp::Insert, key_to_u8(key), || self.map.insert(key, value))
+    }
+
+    /// Recorded [`ConcurrentMap::remove`].
+    pub fn remove(&self, key: &i64) -> bool {
+        self.rec.record(LinOp::Remove, key_to_u8(*key), || self.map.remove(key))
+    }
+
+    /// Recorded [`ConcurrentMap::contains`].
+    pub fn contains(&self, key: &i64) -> bool {
+        self.rec.record(LinOp::Contains, key_to_u8(*key), || self.map.contains(key))
+    }
+}
+
+fn key_to_u8(key: i64) -> u8 {
+    u8::try_from(key)
+        .ok()
+        .filter(|&k| k < MAX_KEYS)
+        .unwrap_or_else(|| panic!("recorded sessions are limited to keys 0..{MAX_KEYS}, got {key}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lo_check::lin::is_linearizable;
+    use std::collections::BTreeMap;
+
+    /// Single-threaded reference map, enough to exercise the recorder.
+    #[derive(Default)]
+    struct RefMap(Mutex<BTreeMap<i64, u64>>);
+
+    impl ConcurrentMap<i64, u64> for RefMap {
+        fn insert(&self, key: i64, value: u64) -> bool {
+            let mut m = self.0.lock().unwrap();
+            if m.contains_key(&key) {
+                false
+            } else {
+                m.insert(key, value);
+                true
+            }
+        }
+        fn remove(&self, key: &i64) -> bool {
+            self.0.lock().unwrap().remove(key).is_some()
+        }
+        fn contains(&self, key: &i64) -> bool {
+            self.0.lock().unwrap().contains_key(key)
+        }
+        fn get(&self, key: &i64) -> Option<u64> {
+            self.0.lock().unwrap().get(key).copied()
+        }
+        fn name(&self) -> &'static str {
+            "ref-btree"
+        }
+    }
+
+    #[test]
+    fn sequential_session_is_linearizable() {
+        let map = RefMap::default();
+        let rec = HistoryRecorder::new();
+        let w = rec.wrap(&map);
+        assert!(w.insert(1, 1));
+        assert!(!w.insert(1, 1));
+        assert!(w.contains(&1));
+        assert!(w.remove(&1));
+        assert!(!w.remove(&1));
+        assert!(!w.contains(&1));
+        let h = rec.take_history();
+        assert_eq!(h.len(), 6);
+        assert!(is_linearizable(&h, 0));
+    }
+
+    #[test]
+    fn take_history_drains() {
+        let map = RefMap::default();
+        let rec = HistoryRecorder::new();
+        let w = rec.wrap(&map);
+        w.insert(2, 2);
+        assert_eq!(rec.take_history().len(), 1);
+        assert!(rec.take_history().is_empty());
+    }
+
+    #[test]
+    fn concurrent_histories_merge_sorted() {
+        let map = RefMap::default();
+        let rec = HistoryRecorder::new();
+        std::thread::scope(|s| {
+            for t in 0..3i64 {
+                let w = rec.wrap(&map);
+                s.spawn(move || {
+                    for k in (t * 4)..(t * 4 + 4) {
+                        w.insert(k, k as u64);
+                    }
+                });
+            }
+        });
+        let h = rec.take_history();
+        assert_eq!(h.len(), 12);
+        assert!(h.windows(2).all(|w| w[0].invoke <= w[1].invoke));
+        assert!(is_linearizable(&h, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to keys")]
+    fn oversized_key_is_rejected() {
+        let map = RefMap::default();
+        let rec = HistoryRecorder::new();
+        rec.wrap(&map).insert(64, 0);
+    }
+}

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod history;
 pub mod latency;
 pub mod report;
 pub mod rng;
@@ -24,6 +25,7 @@ pub mod runner;
 pub mod spec;
 pub mod stats;
 
+pub use history::HistoryRecorder;
 pub use latency::LatencyHistogram;
 pub use report::{MetricsEntry, MetricsPanel, Panel};
 pub use rng::{SplitMix64, XorShift64Star, Zipf};

@@ -1,0 +1,114 @@
+//! End-to-end exercise of the concurrency-correctness toolkit (`lo-check`)
+//! against the real trees:
+//!
+//! * multi-threaded stress of LO-AVL and LO-PE with the recorded histories
+//!   validated by the exhaustive WGL linearizability checker,
+//! * the [`lo_workload::history::HistoryRecorder`] adapter over live trees,
+//! * and — with `--features lockdep` — full stress runs of all four
+//!   logical-ordering trees under the lock-ordering ledger, so any §5.1
+//!   violation or acquired-before cycle panics the test.
+
+use lo_trees::{LoAvlMap, LoPeAvlMap};
+use lo_validate::stress::lin_check_map;
+
+const LIN_ROUNDS: usize = if cfg!(debug_assertions) { 150 } else { 400 };
+
+/// Acceptance scenario: the linearizability checker validates histories from
+/// multi-threaded stress of LO-AVL (3 threads, tiny key space, many rounds).
+#[test]
+fn lin_histories_lo_avl() {
+    lin_check_map(LoAvlMap::<i64, u64>::new, LIN_ROUNDS, 0xA71);
+}
+
+/// Acceptance scenario: same for the partially-external LO-PE AVL (exercises
+/// the zombie mark/revive paths under the checker).
+#[test]
+fn lin_histories_lo_pe() {
+    lin_check_map(LoPeAvlMap::<i64, u64>::new, LIN_ROUNDS, 0x9E1);
+}
+
+/// The workload-side history adapter drives a live tree and produces
+/// checkable histories.
+#[test]
+fn history_recorder_over_live_tree() {
+    use lo_check::lin::is_linearizable;
+    use lo_workload::history::HistoryRecorder;
+
+    let map = LoAvlMap::<i64, u64>::new();
+    let rec = HistoryRecorder::new();
+    std::thread::scope(|s| {
+        for t in 0..3i64 {
+            let w = rec.wrap(&map);
+            s.spawn(move || {
+                for k in 0..4i64 {
+                    match (t + k) % 3 {
+                        0 => {
+                            w.insert(k, k as u64);
+                        }
+                        1 => {
+                            w.remove(&k);
+                        }
+                        _ => {
+                            w.contains(&k);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let h = rec.take_history();
+    assert_eq!(h.len(), 12);
+    assert!(is_linearizable(&h, 0), "live-tree history not linearizable: {h:#?}");
+}
+
+/// With the ledger compiled in, a full stress run over every tree variant
+/// doubles as a lock-discipline proof: any succ-after-tree acquisition,
+/// out-of-order succ lock, blocking non-anchor tree lock, or
+/// acquired-before cycle panics inside the hooks.
+#[cfg(feature = "lockdep")]
+mod lockdep_stress {
+    use super::*;
+    use lo_api::ConcurrentMap;
+    use lo_trees::{LoBstMap, LoPeBstMap};
+    use lo_validate::stress::{stress_map, StressConfig};
+
+    fn ledger_stress<M>(map: M)
+    where
+        M: ConcurrentMap<i64, u64>
+            + lo_api::CheckInvariants
+            + lo_api::OrderedAccess<i64>
+            + Sync,
+    {
+        assert!(lo_check::lockdep::ENABLED);
+        let cfg = StressConfig {
+            threads: 4,
+            key_space: 48,
+            ops_per_thread: if cfg!(debug_assertions) { 3_000 } else { 8_000 },
+            ..Default::default()
+        };
+        let report = stress_map(&map, &cfg);
+        assert_eq!(report.total_ops, (cfg.threads * cfg.ops_per_thread) as u64);
+        // All locks released: the per-thread held set must be empty here.
+        assert_eq!(lo_check::lockdep::held_count(), 0);
+    }
+
+    #[test]
+    fn ledger_stress_lo_bst() {
+        ledger_stress(LoBstMap::new());
+    }
+
+    #[test]
+    fn ledger_stress_lo_avl() {
+        ledger_stress(LoAvlMap::new());
+    }
+
+    #[test]
+    fn ledger_stress_lo_pe_bst() {
+        ledger_stress(LoPeBstMap::new());
+    }
+
+    #[test]
+    fn ledger_stress_lo_pe_avl() {
+        ledger_stress(LoPeAvlMap::new());
+    }
+}
