@@ -4,10 +4,20 @@
 //!   (pin cost, and pin+retire cost).
 //! * Per-node lock: the parking-lot backed `NodeLock` vs the from-scratch
 //!   TTAS `SpinLock` (uncontended lock/unlock).
+//! * Node allocation: global allocator `Box` vs the slab [`Arena`]
+//!   (alloc + free of a node-sized payload). This benches the allocator
+//!   primitives head-to-head in one binary; cargo feature unification makes
+//!   a same-binary *tree-level* comparison impossible (`lo-workload` pulls
+//!   in `lo-core` with its default `arena` feature), so the tree-level
+//!   ablation is a rebuild with `--no-default-features` (see DESIGN.md §12).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use lo_core::arena::Arena;
 use lo_core::sync::{NodeLock, SpinLock};
 use std::time::Duration;
+
+/// Same footprint class as a populated `Node<i64, u64>`: two cache lines.
+type NodeSized = [u64; 16];
 
 fn benches(c: &mut Criterion) {
     // --- epoch pin ---
@@ -59,6 +69,40 @@ fn benches(c: &mut Criterion) {
             sl.unlock();
         })
     });
+
+    // --- node allocation: Box (ablation baseline) vs slab arena ---
+    c.bench_function("substrate/alloc/box", |b| {
+        b.iter(|| {
+            let p = Box::new(std::hint::black_box::<NodeSized>([1u64; 16]));
+            std::hint::black_box(&p);
+            drop(p);
+        })
+    });
+    let arena: Arena<NodeSized> = Arena::new();
+    c.bench_function("substrate/alloc/arena", |b| {
+        b.iter(|| {
+            let p = arena.alloc(std::hint::black_box::<NodeSized>([1u64; 16]));
+            std::hint::black_box(p);
+            // SAFETY: `p` was just returned by this arena's `alloc` and is
+            // retired exactly once; no other reference exists.
+            unsafe { arena.retire(p) };
+        })
+    });
+    // Steady-state mix: a standing population so alloc/retire exercise the
+    // nonfull-chunk list rather than a single hot slot.
+    let standing: Vec<_> = (0..256).map(|i| arena.alloc([i as u64; 16])).collect();
+    c.bench_function("substrate/alloc/arena-standing-256", |b| {
+        b.iter(|| {
+            let p = arena.alloc(std::hint::black_box::<NodeSized>([2u64; 16]));
+            std::hint::black_box(p);
+            // SAFETY: single owner; retired exactly once.
+            unsafe { arena.retire(p) };
+        })
+    });
+    for p in standing {
+        // SAFETY: each pointer came from `arena.alloc` above, retired once.
+        unsafe { arena.retire(p) };
+    }
 }
 
 criterion_group! {

@@ -5,17 +5,23 @@
 //!
 //! Usage: `cargo run -p lo-bench --release --bin repro-table1`
 //! (`LO_FULL=1` for the paper-scale protocol; `LO_TRIAL_MS`, `LO_REPS`,
-//! `LO_MAX_THREADS` to fine-tune. `--metrics` additionally emits per-trial
-//! event telemetry — build with `--features metrics` so the counters are
-//! actually recorded.)
+//! `LO_MAX_THREADS`, `LO_RANGES`, `LO_ALGOS` to fine-tune. `--metrics`
+//! additionally emits per-trial event telemetry — build with
+//! `--features metrics` so the counters are actually recorded.
+//! `--summary-json` appends a machine-readable run, labelled by
+//! `LO_SUMMARY_LABEL`, to `BENCH_throughput.json`.)
 
-use lo_bench::{emit, emit_metrics, metrics_flag, run_panel_with_metrics, Algo, Scale};
+use lo_bench::{
+    emit, emit_metrics, emit_summary_json, filter_algos, metrics_flag, run_panel_with_metrics,
+    summary_json_flag, Algo, Scale,
+};
 use lo_workload::Mix;
 
 fn main() {
     let want_metrics = metrics_flag();
+    let want_summary = summary_json_flag();
     let scale = Scale::from_env();
-    let algos = Algo::table1();
+    let algos = filter_algos(Algo::table1());
     eprintln!(
         "Table 1: {:?} trials x{} reps, threads {:?}, ranges {:?}",
         scale.trial, scale.reps, scale.threads, scale.ranges
@@ -30,6 +36,9 @@ fn main() {
         }
     }
     emit(&panels, "table1_balanced");
+    if want_summary {
+        emit_summary_json(&panels, "table1_balanced");
+    }
     if want_metrics {
         emit_metrics(&metrics, "table1_balanced_metrics");
     }

@@ -6,15 +6,22 @@
 //!
 //! Usage: `cargo run -p lo-bench --release --bin repro-table2`
 //! (`--metrics` additionally emits per-trial event telemetry — build with
-//! `--features metrics` so the counters are actually recorded.)
+//! `--features metrics` so the counters are actually recorded.
+//! `--summary-json` appends a machine-readable run, labelled by
+//! `LO_SUMMARY_LABEL`, to `BENCH_throughput.json`; `LO_RANGES` and
+//! `LO_ALGOS` narrow the sweep.)
 
-use lo_bench::{emit, emit_metrics, metrics_flag, run_panel_with_metrics, Algo, Scale};
+use lo_bench::{
+    emit, emit_metrics, emit_summary_json, filter_algos, metrics_flag, run_panel_with_metrics,
+    summary_json_flag, Algo, Scale,
+};
 use lo_workload::Mix;
 
 fn main() {
     let want_metrics = metrics_flag();
+    let want_summary = summary_json_flag();
     let scale = Scale::from_env();
-    let algos = Algo::table2();
+    let algos = filter_algos(Algo::table2());
     let mut mixes = vec![Mix::C70_I20_R10, Mix::C100];
     if std::env::var("LO_TABLE2_ALL_MIXES").map(|v| v == "1").unwrap_or(false) {
         mixes.insert(0, Mix::C50_I25_R25);
@@ -33,6 +40,9 @@ fn main() {
         }
     }
     emit(&panels, "table2_unbalanced");
+    if want_summary {
+        emit_summary_json(&panels, "table2_unbalanced");
+    }
     if want_metrics {
         emit_metrics(&metrics, "table2_unbalanced_metrics");
     }

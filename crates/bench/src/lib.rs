@@ -132,7 +132,9 @@ impl Scale {
     }
 
     /// `LO_FULL=1` selects the paper scale; anything else the smoke scale.
-    /// `LO_TRIAL_MS`, `LO_REPS`, `LO_MAX_THREADS` override individual knobs.
+    /// `LO_TRIAL_MS`, `LO_REPS`, `LO_MAX_THREADS` override individual knobs;
+    /// `LO_RANGES` (comma-separated key ranges, e.g. `20000,200000`) replaces
+    /// the range sweep outright — handy for CI smoke runs.
     pub fn from_env() -> Self {
         let mut s = if std::env::var("LO_FULL").map(|v| v == "1").unwrap_or(false) {
             Self::paper()
@@ -148,7 +150,31 @@ impl Scale {
         if let Ok(Ok(t)) = std::env::var("LO_MAX_THREADS").map(|v| v.parse::<usize>()) {
             s.threads.retain(|&x| x <= t);
         }
+        if let Ok(v) = std::env::var("LO_RANGES") {
+            let ranges: Vec<u64> =
+                v.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+            if !ranges.is_empty() {
+                s.ranges = ranges;
+            }
+        }
         s
+    }
+}
+
+/// Restricts an algorithm lineup via the `LO_ALGOS` environment variable
+/// (comma-separated labels, e.g. `lo-avl,bcco`). Unknown labels are ignored;
+/// an empty intersection falls back to the full lineup with a warning so a
+/// typo cannot silently produce an empty table.
+pub fn filter_algos(lineup: Vec<Algo>) -> Vec<Algo> {
+    let Ok(v) = std::env::var("LO_ALGOS") else { return lineup };
+    let want: Vec<&str> = v.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let filtered: Vec<Algo> =
+        lineup.iter().copied().filter(|a| want.contains(&a.label())).collect();
+    if filtered.is_empty() {
+        eprintln!("warning: LO_ALGOS={v:?} matched no algorithm in this table; running all");
+        lineup
+    } else {
+        filtered
     }
 }
 
@@ -222,6 +248,94 @@ pub fn emit(panels: &[Panel], name: &str) {
     eprintln!("(wrote bench_results/{name}.txt and .csv)");
 }
 
+/// Whether `--summary-json` was passed on the command line. When set, the
+/// table runners additionally append a machine-readable throughput summary
+/// to `BENCH_throughput.json` (see [`emit_summary_json`]).
+pub fn summary_json_flag() -> bool {
+    std::env::args().any(|a| a == "--summary-json")
+}
+
+/// `cells[row][col]` → flat summary rows. A panel title has the shape
+/// `"<mix>, key range <range>"`; the row's `config` is
+/// `"<mix>/r<range>/<algorithm>"` so one string keys a comparable series
+/// across runs. Cells that were never measured (`n == 0`) are skipped.
+fn summary_rows(panels: &[Panel]) -> String {
+    let mut rows = String::new();
+    for p in panels {
+        let series = p.title.replace(", key range ", "/r");
+        for (r, &threads) in p.threads.iter().enumerate() {
+            for (c, algo) in p.algorithms.iter().enumerate() {
+                let s = p.cells[r][c];
+                if s.n == 0 {
+                    continue;
+                }
+                if !rows.is_empty() {
+                    rows.push_str(",\n");
+                }
+                rows.push_str(&format!(
+                    "      {{\"config\": \"{series}/{algo}\", \"threads\": {threads}, \
+                     \"ops_per_us_mean\": {:.6}, \"ops_per_us_sd\": {:.6}, \"reps\": {}}}",
+                    s.mean, s.stddev, s.n
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// One run object for the summary file (hand-rolled JSON: every field is
+/// numeric or a label with no characters needing escapes beyond quotes).
+fn summary_run_json(panels: &[Panel], table: &str, label: &str) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        "  {{\n    \"label\": \"{}\",\n    \"table\": \"{}\",\n    \"rows\": [\n{}\n    ]\n  }}",
+        esc(label),
+        esc(table),
+        summary_rows(panels)
+    )
+}
+
+/// Wraps a first run object in a fresh summary document.
+fn summary_new_doc(run: &str) -> String {
+    format!(
+        "{{\n\"schema\": \"lo-bench-throughput-v1\",\n\"unit\": \"ops/us (= Mops/s)\",\n\
+         \"runs\": [\n{run}\n]\n}}\n"
+    )
+}
+
+/// Inserts `run` before the closing `]` of the document's `runs` array.
+/// Returns `None` when the document does not look like one of ours (caller
+/// then rewrites it from scratch). The runs array's `]` is the last bracket
+/// in the file — only the object's `}` follows it — so `rfind` is exact.
+fn summary_append_doc(existing: &str, run: &str) -> Option<String> {
+    let close = existing.rfind(']')?;
+    let before = existing[..close].trim_end();
+    let sep = if before.ends_with('[') { "\n" } else { ",\n" };
+    Some(format!("{before}{sep}{run}\n{}", &existing[close..]))
+}
+
+/// Appends one run (label × config × threads → ops/µs mean ± sd) to the
+/// throughput-summary JSON at `LO_SUMMARY_PATH` (default
+/// `BENCH_throughput.json` in the working directory — repo root when run via
+/// `cargo run`). `LO_SUMMARY_LABEL` names the run (default `local`); commit
+/// the file to track before/after numbers across changes.
+pub fn emit_summary_json(panels: &[Panel], table: &str) {
+    let path = std::env::var("LO_SUMMARY_PATH")
+        .unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+    let label =
+        std::env::var("LO_SUMMARY_LABEL").unwrap_or_else(|_| "local".to_string());
+    let run = summary_run_json(panels, table, &label);
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(existing) => summary_append_doc(&existing, &run)
+            .unwrap_or_else(|| summary_new_doc(&run)),
+        Err(_) => summary_new_doc(&run),
+    };
+    match std::fs::write(&path, &doc) {
+        Ok(()) => eprintln!("(appended run {label:?} for {table} to {path})"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
 /// Writes event-telemetry panels as text + CSV + JSON under `bench_results/`.
 pub fn emit_metrics(panels: &[MetricsPanel], name: &str) {
     let dir = std::path::Path::new("bench_results");
@@ -287,6 +401,54 @@ mod tests {
         let s = Scale::from_env();
         assert!(s.trial <= Duration::from_secs(5));
         assert!(!s.threads.is_empty());
+    }
+
+    fn summary_sample_panel() -> Panel {
+        let mut p = Panel::new(
+            "70c-20i-10r, key range 20000",
+            vec!["lo-avl".into(), "bcco".into()],
+            vec![1, 2],
+        );
+        p.set(0, 0, Summary { mean: 1.5, stddev: 0.1, n: 2 });
+        p.set(1, 1, Summary { mean: 2.25, stddev: 0.05, n: 2 });
+        // (0,1) and (1,0) stay unmeasured (n == 0) and must be skipped.
+        p
+    }
+
+    #[test]
+    fn summary_rows_shape() {
+        let rows = summary_rows(&[summary_sample_panel()]);
+        assert!(rows.contains("\"config\": \"70c-20i-10r/r20000/lo-avl\""));
+        assert!(rows.contains("\"config\": \"70c-20i-10r/r20000/bcco\""));
+        assert!(rows.contains("\"ops_per_us_mean\": 1.500000"));
+        assert!(rows.contains("\"threads\": 2"));
+        // Two measured cells, two unmeasured ones skipped.
+        assert_eq!(rows.matches("\"config\"").count(), 2);
+    }
+
+    #[test]
+    fn summary_doc_new_and_append() {
+        let run1 = summary_run_json(&[summary_sample_panel()], "table1_balanced", "base");
+        let doc1 = summary_new_doc(&run1);
+        assert!(doc1.starts_with("{\n\"schema\": \"lo-bench-throughput-v1\""));
+        assert!(doc1.contains("\"label\": \"base\""));
+        let run2 = summary_run_json(&[summary_sample_panel()], "table1_balanced", "after");
+        let doc2 = summary_append_doc(&doc1, &run2).expect("append into our own doc");
+        assert_eq!(doc2.matches("\"label\"").count(), 2);
+        assert!(doc2.contains("\"label\": \"after\""));
+        // Still one runs array, properly comma-separated: appending again works.
+        let doc3 = summary_append_doc(&doc2, &run2).expect("append twice");
+        assert_eq!(doc3.matches("\"label\"").count(), 3);
+        assert!(summary_append_doc("no brackets here", &run1).is_none());
+    }
+
+    #[test]
+    fn filter_algos_without_env_is_identity() {
+        // LO_ALGOS handling itself is env-dependent; only the default path is
+        // test-stable (process env is shared across the test harness).
+        if std::env::var("LO_ALGOS").is_err() {
+            assert_eq!(filter_algos(Algo::table1()), Algo::table1());
+        }
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! Slab arena for tree nodes: cache-line-aligned, chunked, epoch-friendly.
+//!
+//! One `Box` per insert puts every node at the allocator's mercy — nodes
+//! that are adjacent in the tree end up scattered across the heap, and the
+//! malloc/free pair shows up directly on the update path. The arena instead
+//! hands out slots from 64-slot chunks whose base is aligned to the chunk
+//! size (a power of two), giving three properties the hot paths want:
+//!
+//! 1. **Spatial locality**: nodes allocated together sit in the same few
+//!    pages, so tree descents touch fewer TLB entries and lookups of
+//!    recently-inserted keys hit warmer lines.
+//! 2. **O(1) slot recycling**: a freed slot goes on its chunk's free stack
+//!    and is handed out LIFO — the next insert reuses memory that is very
+//!    likely still in cache.
+//! 3. **Cheap pointer→chunk resolution**: because a chunk's base address is
+//!    aligned to `CHUNK_ALIGN ≥ CHUNK_BYTES`, masking a slot address with
+//!    `!(CHUNK_ALIGN − 1)` yields the chunk base, which indexes a small
+//!    side table. No per-slot headers — slots stay exactly `SLOT_SIZE`.
+//!
+//! # Lifetimes under epoch reclamation
+//!
+//! The arena **never frees a chunk that still contains a live slot**, and a
+//! slot is only recycled through [`Arena::retire`], which the tree invokes
+//! via `Guard::defer_unchecked` — i.e. strictly *after* the grace period in
+//! which some lock-free reader might still dereference the node. The safety
+//! argument for readers is therefore unchanged from the `Box` baseline:
+//!
+//! * a pointer loaded under a guard stays valid until the guard drops,
+//!   because neither `drop_in_place` (part of `retire`) nor chunk
+//!   deallocation can run before the epoch advances past every such guard;
+//! * recycling a slot *within* a chunk re-initializes it fully before the
+//!   new node is published, so a reader can never observe a half-built node
+//!   (publication is the same `Release` store as before).
+//!
+//! An empty chunk is not freed immediately: one empty chunk is kept as
+//! hysteresis so a workload oscillating around a chunk boundary does not
+//! alternate `mmap`/`munmap` (the same reasoning as `COLLECT_EVERY` batching
+//! in `lo-reclaim`).
+//!
+//! The `arena` cargo feature (default **on**) routes all tree-node
+//! allocation through a per-tree [`Arena`]; without it the tree falls back
+//! to the `Box`-per-node baseline, which the substrate ablation benches
+//! against (`substrate/alloc/{box,arena}` rows).
+
+use parking_lot::Mutex;
+use std::alloc::{alloc as raw_alloc, dealloc, handle_alloc_error, Layout};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::mem::{align_of, size_of};
+use std::ptr::NonNull;
+
+use lo_metrics::{record, Event};
+
+/// Slots per chunk. 64 nodes × 2 cache lines ≈ 8 KiB per chunk — two pages,
+/// small enough that partially-used chunks waste little, large enough that
+/// chunk turnover is rare.
+pub const SLOTS: usize = 64;
+
+/// Empty chunks kept around instead of freed (hysteresis; see module docs).
+const KEEP_EMPTY: usize = 1;
+
+/// One chunk: a raw aligned block plus its free-slot stack.
+struct Chunk<T> {
+    mem: NonNull<u8>,
+    /// Free slot indices, LIFO so recycled slots are reused while warm.
+    free: Vec<u16>,
+    /// This chunk's position in `State::nonfull` (`usize::MAX` when full),
+    /// maintained so removal is O(1) `swap_remove`.
+    pos_in_nonfull: usize,
+    _marker: PhantomData<T>,
+}
+
+struct State<T> {
+    /// All chunks; `None` entries are reusable indices (see `vacant`).
+    chunks: Vec<Option<Chunk<T>>>,
+    /// Indices of `None` entries in `chunks`.
+    vacant: Vec<usize>,
+    /// Indices of chunks with at least one free slot.
+    nonfull: Vec<usize>,
+    /// Chunk base address → index in `chunks`. Keys are plain integers
+    /// (never cast back to pointers), so provenance stays with `Chunk::mem`.
+    by_base: HashMap<usize, usize>,
+    /// Chunks whose slots are all free.
+    empty_chunks: usize,
+    /// Currently allocated (not yet retired) slots.
+    live: usize,
+}
+
+/// A chunked slab allocator for values of type `T`. See module docs.
+pub struct Arena<T> {
+    state: Mutex<State<T>>,
+}
+
+/// SAFETY: the arena owns values of `T` and may drop them from whatever
+/// thread calls `retire` (or drops the arena), so `T: Send` is required and
+/// sufficient; all internal state is guarded by the mutex.
+unsafe impl<T: Send> Send for Arena<T> {}
+/// SAFETY: every method synchronizes through the internal mutex; handing a
+/// `&Arena<T>` to another thread only enables the same `Send`-bounded moves
+/// of `T` as above.
+unsafe impl<T: Send> Sync for Arena<T> {}
+
+impl<T> Arena<T> {
+    /// Slots are at least cache-line aligned so a slot never straddles a
+    /// line it doesn't own.
+    const SLOT_ALIGN: usize = {
+        if align_of::<T>() > 64 {
+            align_of::<T>()
+        } else {
+            64
+        }
+    };
+    /// Slot stride: the value size rounded up to the slot alignment.
+    const SLOT_SIZE: usize = {
+        assert!(size_of::<T>() > 0, "arena does not support zero-sized types");
+        (size_of::<T>() + Self::SLOT_ALIGN - 1) / Self::SLOT_ALIGN * Self::SLOT_ALIGN
+    };
+    const CHUNK_BYTES: usize = Self::SLOT_SIZE * SLOTS;
+    /// Chunk alignment = chunk size rounded to a power of two, so that
+    /// masking any slot address yields the chunk base.
+    const CHUNK_ALIGN: usize = Self::CHUNK_BYTES.next_power_of_two();
+
+    fn chunk_layout() -> Layout {
+        Layout::from_size_align(Self::CHUNK_BYTES, Self::CHUNK_ALIGN)
+            .expect("chunk layout is valid by construction")
+    }
+
+    /// Creates an empty arena (no chunks until the first allocation).
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(State {
+                chunks: Vec::new(),
+                vacant: Vec::new(),
+                nonfull: Vec::new(),
+                by_base: HashMap::new(),
+                empty_chunks: 0,
+                live: 0,
+            }),
+        }
+    }
+
+    /// Allocates a slot and moves `value` into it. The returned pointer is
+    /// stable until [`Arena::retire`] is called on it (or the arena drops).
+    pub fn alloc(&self, value: T) -> NonNull<T> {
+        let slot = self.take_slot();
+        // SAFETY: `take_slot` returns an exclusive, properly aligned,
+        // uninitialized slot of size ≥ size_of::<T>().
+        unsafe { slot.as_ptr().write(value) };
+        slot
+    }
+
+    /// Drops the value in `ptr`'s slot and recycles the slot.
+    ///
+    /// # Safety
+    /// `ptr` must have come from [`Arena::alloc`] on this arena, must not
+    /// have been retired already, and no other thread may access the value
+    /// concurrently or afterwards (in the tree this is guaranteed by epoch
+    /// deferral: retire runs only after the grace period).
+    pub unsafe fn retire(&self, ptr: NonNull<T>) {
+        // SAFETY: per this function's contract the slot holds a live value
+        // with no remaining aliases.
+        unsafe { std::ptr::drop_in_place(ptr.as_ptr()) };
+        self.recycle(ptr);
+    }
+
+    /// Number of live (allocated, not retired) slots.
+    pub fn live(&self) -> usize {
+        self.state.lock().live
+    }
+
+    /// Number of chunks currently allocated from the OS.
+    pub fn chunks(&self) -> usize {
+        let st = self.state.lock();
+        st.chunks.len() - st.vacant.len()
+    }
+
+    fn take_slot(&self) -> NonNull<T> {
+        let mut st = self.state.lock();
+        if st.nonfull.is_empty() {
+            Self::grow(&mut st);
+        }
+        let ci = *st.nonfull.last().expect("grow guarantees a nonfull chunk");
+        let (slot_ptr, became_full, was_empty) = {
+            let chunk = st.chunks[ci].as_mut().expect("nonfull index is live");
+            let was_empty = chunk.free.len() == SLOTS;
+            let slot = chunk.free.pop().expect("nonfull chunk has a free slot") as usize;
+            let became_full = chunk.free.is_empty();
+            if became_full {
+                chunk.pos_in_nonfull = usize::MAX;
+            }
+            // SAFETY: `slot < SLOTS`, so the offset stays inside the chunk
+            // allocation; the resulting pointer inherits `mem`'s provenance.
+            let p = unsafe { chunk.mem.as_ptr().add(slot * Self::SLOT_SIZE) };
+            (p.cast::<T>(), became_full, was_empty)
+        };
+        if was_empty {
+            st.empty_chunks -= 1;
+        }
+        if became_full {
+            // The chunk we allocated from is always the *last* nonfull entry.
+            st.nonfull.pop();
+        }
+        st.live += 1;
+        NonNull::new(slot_ptr).expect("chunk memory is non-null")
+    }
+
+    fn grow(st: &mut State<T>) {
+        let layout = Self::chunk_layout();
+        // SAFETY: `layout` has non-zero size (SLOT_SIZE ≥ 64, SLOTS = 64).
+        let mem = unsafe { raw_alloc(layout) };
+        let Some(mem) = NonNull::new(mem) else { handle_alloc_error(layout) };
+        let ci = match st.vacant.pop() {
+            Some(i) => i,
+            None => {
+                st.chunks.push(None);
+                st.chunks.len() - 1
+            }
+        };
+        st.by_base.insert(mem.as_ptr().addr(), ci);
+        let chunk = Chunk {
+            mem,
+            // Reversed so slots are handed out in address order (pop = 0).
+            free: (0..SLOTS as u16).rev().collect(),
+            pos_in_nonfull: st.nonfull.len(),
+            _marker: PhantomData,
+        };
+        st.nonfull.push(ci);
+        st.chunks[ci] = Some(chunk);
+        st.empty_chunks += 1;
+        record(Event::ArenaChunkAlloc);
+    }
+
+    fn recycle(&self, ptr: NonNull<T>) {
+        let addr = ptr.as_ptr().addr();
+        let base = addr & !(Self::CHUNK_ALIGN - 1);
+        let mut st = self.state.lock();
+        let ci = *st.by_base.get(&base).expect("retired pointer does not belong to this arena");
+        let (became_nonfull, now_empty) = {
+            let chunk = st.chunks[ci].as_mut().expect("indexed chunk is live");
+            let slot = (addr - base) / Self::SLOT_SIZE;
+            debug_assert!(slot < SLOTS, "slot index out of range");
+            debug_assert!(
+                !chunk.free.contains(&(slot as u16)),
+                "double retire of arena slot"
+            );
+            let became_nonfull = chunk.free.is_empty();
+            chunk.free.push(slot as u16);
+            (became_nonfull, chunk.free.len() == SLOTS)
+        };
+        st.live -= 1;
+        if became_nonfull {
+            let pos = st.nonfull.len();
+            st.nonfull.push(ci);
+            st.chunks[ci].as_mut().expect("indexed chunk is live").pos_in_nonfull = pos;
+        }
+        if now_empty {
+            st.empty_chunks += 1;
+            if st.empty_chunks > KEEP_EMPTY {
+                Self::release_chunk(&mut st, ci);
+            }
+        }
+    }
+
+    /// Returns a fully-empty chunk to the OS (called only past the
+    /// hysteresis threshold).
+    fn release_chunk(st: &mut State<T>, ci: usize) {
+        let chunk = st.chunks[ci].take().expect("released chunk is live");
+        debug_assert_eq!(chunk.free.len(), SLOTS, "releasing a non-empty chunk");
+        st.empty_chunks -= 1;
+        st.by_base.remove(&chunk.mem.as_ptr().addr());
+        let pos = chunk.pos_in_nonfull;
+        debug_assert!(pos != usize::MAX, "empty chunk must be in nonfull");
+        st.nonfull.swap_remove(pos);
+        if pos < st.nonfull.len() {
+            let moved = st.nonfull[pos];
+            st.chunks[moved].as_mut().expect("moved chunk is live").pos_in_nonfull = pos;
+        }
+        st.vacant.push(ci);
+        // SAFETY: `mem` was allocated with exactly this layout and no slot
+        // is live (free list is full), so no pointer into it remains usable.
+        unsafe { dealloc(chunk.mem.as_ptr(), Self::chunk_layout()) };
+        record(Event::ArenaChunkFree);
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for Arena<T> {
+    fn drop(&mut self) {
+        let st = self.state.get_mut();
+        for chunk in st.chunks.iter_mut().flatten() {
+            let mut is_free = [false; SLOTS];
+            for &f in &chunk.free {
+                is_free[f as usize] = true;
+            }
+            for (slot, free) in is_free.iter().enumerate() {
+                if !free {
+                    // SAFETY: `&mut self` — no concurrent users; the slot is
+                    // live (not on the free list) so it holds a valid value.
+                    unsafe {
+                        std::ptr::drop_in_place(
+                            chunk.mem.as_ptr().add(slot * Self::SLOT_SIZE).cast::<T>(),
+                        );
+                    }
+                }
+            }
+            // SAFETY: allocated with this exact layout; all values dropped.
+            unsafe { dealloc(chunk.mem.as_ptr(), Self::chunk_layout()) };
+        }
+    }
+}
+
+/// A raw pointer wrapper that is `Send`, so a deferred arena retirement can
+/// execute on whichever thread flushes the epoch bag. Only the tree's
+/// arena-backed retirement path uses it.
+#[cfg(feature = "arena")]
+pub(crate) struct SendPtr<T>(NonNull<T>);
+
+/// SAFETY: the wrapper only moves the *address* between threads; the tree's
+/// retirement contract (node unlinked, grace period elapsed) makes the
+/// eventual cross-thread access sound.
+#[cfg(feature = "arena")]
+unsafe impl<T> Send for SendPtr<T> {}
+
+#[cfg(feature = "arena")]
+impl<T> SendPtr<T> {
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        Self(NonNull::new(ptr).expect("retired node pointer is non-null"))
+    }
+
+    pub(crate) fn get(&self) -> NonNull<T> {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Value with a drop counter (leak/double-free detector under Miri).
+    struct Tracked {
+        drops: Arc<AtomicUsize>,
+        payload: u64,
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn tracked(drops: &Arc<AtomicUsize>, payload: u64) -> Tracked {
+        Tracked { drops: Arc::clone(drops), payload }
+    }
+
+    #[test]
+    fn alloc_read_retire_roundtrip() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let arena: Arena<Tracked> = Arena::new();
+        let p = arena.alloc(tracked(&drops, 42));
+        // SAFETY: `p` is live and this test is the only accessor.
+        assert_eq!(unsafe { p.as_ref() }.payload, 42);
+        assert_eq!(arena.live(), 1);
+        assert_eq!(arena.chunks(), 1);
+        // SAFETY: `p` came from this arena, is live, and has no aliases.
+        unsafe { arena.retire(p) };
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn slots_are_cache_line_aligned_and_disjoint() {
+        let arena: Arena<[u8; 72]> = Arena::new();
+        let mut ptrs = Vec::new();
+        for i in 0..SLOTS {
+            let p = arena.alloc([i as u8; 72]);
+            assert_eq!(p.as_ptr().addr() % 64, 0, "slot not cache-line aligned");
+            ptrs.push(p);
+        }
+        assert_eq!(arena.chunks(), 1, "64 slots must fit one chunk");
+        // Strides must not overlap: consecutive slots differ by SLOT_SIZE.
+        let mut addrs: Vec<usize> = ptrs.iter().map(|p| p.as_ptr().addr()).collect();
+        addrs.sort_unstable();
+        for w in addrs.windows(2) {
+            assert!(w[1] - w[0] >= 72, "slots overlap");
+        }
+        for p in ptrs {
+            // SAFETY: each pointer is live and retired exactly once.
+            unsafe { arena.retire(p) };
+        }
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn lifo_recycling_reuses_the_slot() {
+        let arena: Arena<u64> = Arena::new();
+        let p = arena.alloc(7);
+        let addr = p.as_ptr().addr();
+        // SAFETY: live, no aliases.
+        unsafe { arena.retire(p) };
+        let q = arena.alloc(8);
+        assert_eq!(q.as_ptr().addr(), addr, "freed slot must be reused LIFO");
+        // SAFETY: live, no aliases.
+        unsafe { arena.retire(q) };
+    }
+
+    #[test]
+    fn multi_chunk_growth_and_shrink_with_hysteresis() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let arena: Arena<Tracked> = Arena::new();
+        const N: usize = 3 * SLOTS + 5; // forces 4 chunks
+        let ptrs: Vec<_> = (0..N).map(|i| arena.alloc(tracked(&drops, i as u64))).collect();
+        assert_eq!(arena.chunks(), 4);
+        assert_eq!(arena.live(), N);
+        for p in ptrs {
+            // SAFETY: each pointer is live and retired exactly once.
+            unsafe { arena.retire(p) };
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), N);
+        assert_eq!(arena.live(), 0);
+        // All chunks emptied; one is kept as hysteresis, the rest freed.
+        assert_eq!(arena.chunks(), KEEP_EMPTY, "empty chunks beyond hysteresis must be freed");
+    }
+
+    #[test]
+    fn drop_frees_live_values_no_leak() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let arena: Arena<Tracked> = Arena::new();
+            for i in 0..(SLOTS + 3) {
+                let p = arena.alloc(tracked(&drops, i as u64));
+                if i % 2 == 0 {
+                    // SAFETY: live, no aliases.
+                    unsafe { arena.retire(p) };
+                }
+            }
+            // Half the values still live here; Arena::drop must free them.
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), SLOTS + 3, "leak or double free on drop");
+    }
+
+    #[test]
+    fn concurrent_alloc_retire_smoke() {
+        let arena: Arc<Arena<u64>> = Arc::new(Arena::new());
+        let threads = 4;
+        let per_thread = if cfg!(miri) { 40 } else { 2_000 };
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let arena = Arc::clone(&arena);
+                s.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..per_thread {
+                        held.push(arena.alloc((t * per_thread + i) as u64));
+                        if i % 3 == 0 {
+                            let p = held.swap_remove(i % held.len());
+                            // SAFETY: `p` was removed from `held`, so this
+                            // thread is its only owner.
+                            unsafe { arena.retire(p) };
+                        }
+                    }
+                    for p in held {
+                        // SAFETY: sole owner.
+                        unsafe { arena.retire(p) };
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.live(), 0);
+    }
+}

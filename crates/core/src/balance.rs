@@ -32,12 +32,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         is_left: bool,
     ) -> bool {
         record(Event::HeightUpdate);
-        let new_h = if child.is_null() {
-            0
-        } else {
-            let c = nref(child);
-            c.left_height.load(Ordering::Relaxed).max(c.right_height.load(Ordering::Relaxed)) + 1
-        };
+        let new_h = if child.is_null() { 0 } else { nref(child).subtree_height() };
         let n = nref(node);
         let old_h = n.height(is_left);
         n.set_height(is_left, new_h);
@@ -69,11 +64,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             }
             cn.left.store(n, Ordering::Release);
             nn.right_height.store(cn.left_height.load(Ordering::Relaxed), Ordering::Relaxed);
-            cn.left_height.store(
-                nn.left_height.load(Ordering::Relaxed).max(nn.right_height.load(Ordering::Relaxed))
-                    + 1,
-                Ordering::Relaxed,
-            );
+            cn.set_height(true, nn.subtree_height());
         } else {
             // Mirror image: n.left <- child.right ; child.right <- n
             let moved = cn.right.load(Ordering::Acquire, g);
@@ -83,11 +74,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             }
             cn.right.store(n, Ordering::Release);
             nn.left_height.store(cn.right_height.load(Ordering::Relaxed), Ordering::Relaxed);
-            cn.right_height.store(
-                nn.left_height.load(Ordering::Relaxed).max(nn.right_height.load(Ordering::Relaxed))
-                    + 1,
-                Ordering::Relaxed,
-            );
+            cn.set_height(false, nn.subtree_height());
         }
     }
 
@@ -115,7 +102,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
         loop {
             n.unlock_tree();
             n.lock_tree();
-            if n.mark.load(Ordering::SeqCst) {
+            // Relaxed: marking requires the node's tree lock, which we hold.
+            if n.mark.load(Ordering::Relaxed) {
                 n.unlock_tree();
                 return None;
             }
@@ -135,7 +123,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
     pub(crate) fn rebalance_node<'g>(&self, node: Shared<'g, Node<K, V>>, g: &'g Guard) {
         let n = nref(node);
         n.lock_tree();
-        if n.mark.load(Ordering::SeqCst) || node == self.root_sh(g) {
+        // Relaxed: marking requires the node's tree lock, which we hold.
+        if n.mark.load(Ordering::Relaxed) || node == self.root_sh(g) {
             n.unlock_tree();
             return;
         }

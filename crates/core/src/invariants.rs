@@ -56,8 +56,11 @@ impl<K: Key, V: Value> LoTree<K, V> {
         );
         loop {
             let n = nref(cur);
+            // Relaxed flag loads throughout: quiescent validation — the
+            // caller's external synchronization (thread join) already orders
+            // every prior store before this walk.
             assert!(
-                !n.mark.load(Ordering::SeqCst),
+                !n.mark.load(Ordering::Relaxed),
                 "marked node {:?} present in the ordering chain",
                 n.key
             );
@@ -77,7 +80,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 break;
             }
             assert!(n.key.as_key().is_some(), "interior chain node must hold a real key");
-            if n.zombie.load(Ordering::SeqCst) {
+            if n.zombie.load(Ordering::Relaxed) {
                 assert!(
                     self.partially_external,
                     "zombie node {:?} in a fully-internal tree",
@@ -190,13 +193,13 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let hl = if l_ch.is_null() { 0 } else { heights[&(l_ch.as_raw() as usize)] };
             let hr = if r_ch.is_null() { 0 } else { heights[&(r_ch.as_raw() as usize)] };
             assert_eq!(
-                r.left_height.load(Ordering::Relaxed),
+                i32::from(r.left_height.load(Ordering::Relaxed)),
                 hl,
                 "stale leftHeight at {:?} (actual {hl})",
                 r.key
             );
             assert_eq!(
-                r.right_height.load(Ordering::Relaxed),
+                i32::from(r.right_height.load(Ordering::Relaxed)),
                 hr,
                 "stale rightHeight at {:?} (actual {hr})",
                 r.key

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod balance;
 mod bound;
 mod invariants;

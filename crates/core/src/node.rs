@@ -1,7 +1,39 @@
 //! The node layout (paper Figure 3) plus low-level accessors.
 //!
+//! # Hot/cold layout split
+//!
+//! The paper's headline property is that `contains`/`get` are pure pointer
+//! chases: no locks, no restarts, no stores. Every cycle on that path is
+//! therefore memory latency, so the node is laid out `#[repr(C, align(64))]`
+//! with the fields the **lock-free read path** touches packed first, inside
+//! the first cache line, and everything only writers touch banished to the
+//! second line:
+//!
+//! ```text
+//! offset   0 ┌──────────────────────────────────────────────┐
+//!            │ key          (Bound<K>; compared every step) │  hot: read
+//!            │ left, right  (layout descent, Algorithm 1)   │  path only —
+//!            │ succ, pred   (ordering chase, Algorithm 2)   │  writers dirty
+//!            │ value        (read by get)                   │  this line only
+//!            │ mark, zombie (liveness flags, read unlocked) │  at the lin
+//! offset  64 ├──────────────────────────────────────────────┤  point
+//!            │ parent       (writers' upward walks only)    │  cold: dirtied
+//!            │ left/right height (AtomicI8; rebalancing)    │  by every lock
+//!            │ tree_lock, succ_lock                         │  acquisition &
+//!            └──────────────────────────────────────────────┘  height update
+//! ```
+//!
+//! For the benchmark configuration `Node<u64, u64>` the hot half is 58 bytes
+//! and the compile-time assertions at the bottom of this file pin every hot
+//! field inside the first 64-byte line (and the whole node under two lines).
+//! Lock traffic (both `NodeLock`s), height churn from rebalancing, and
+//! `parent` rewrites from rotations all land on the cold line, so concurrent
+//! writers do not invalidate the line readers are chasing through.
+//!
+//! # Field-protection protocol (who may write what)
+//!
 //! Every field except `key` is mutable and shared between threads, so every
-//! field is an atomic. The synchronization protocol (who may write what):
+//! field is an atomic. The synchronization protocol:
 //!
 //! * `left`, `right`, `left_height`, `right_height` — protected by this
 //!   node's `tree_lock`.
@@ -19,20 +51,79 @@
 //! * `value` — pointer swapped under the predecessor's `succ_lock`; read
 //!   without locks (epoch-protected) by `get`.
 //!
-//! Reclamation: nodes are only freed through `Guard::defer_destroy` after
-//! being unlinked from both layouts, so lock-free readers holding an epoch
-//! guard can always dereference any pointer they loaded.
+//! # Memory-ordering audit (ISSUE 3)
+//!
+//! The protocol above implies the weakest ordering each access needs; the
+//! tree uses **no `SeqCst` anywhere**. The rules, per field:
+//!
+//! | field | writes | lock-free reads | reads under the guarding lock |
+//! |---|---|---|---|
+//! | `left`/`right`/`parent` | `Release` | `Acquire` | `Acquire` |
+//! | `pred`/`succ`           | `Release` | `Acquire` | `Acquire` |
+//! | `value`                 | `AcqRel` swap | `Acquire` | — |
+//! | `mark`/`zombie`         | `Release` | `Acquire` | `Relaxed` |
+//! | `left_height`/`right_height` | `Relaxed` | `Relaxed` (heuristic) | `Relaxed` |
+//!
+//! Justifications:
+//!
+//! * **Pointers are publication edges.** An insert fully initializes the new
+//!   node before the `Release` stores that link it (`p.succ`, then the
+//!   parent's child slot); any reader that `Acquire`-loads a pointer to it
+//!   therefore sees an initialized node. This is the classic release/acquire
+//!   publish and needs nothing stronger.
+//! * **`mark`/`zombie` stores are `Release`** so that a reader which
+//!   `Acquire`-loads the flag transition also observes everything the writer
+//!   completed before flipping it — in particular a zombie *revive* stores
+//!   the new `value` before clearing `zombie`, and a `get` that observes
+//!   `zombie == false` must not return the pre-revive value.
+//! * **`mark`/`zombie` loads under the guarding lock are `Relaxed`**: every
+//!   store to these flags happens while holding the same lock the validating
+//!   reader holds (`mark` ⇒ the node's `succ_lock` *and* `tree_lock`;
+//!   `zombie` ⇒ the predecessor's `succ_lock`), so the lock's own
+//!   acquire/release edge already orders the store before the load; the load
+//!   needs no ordering of its own.
+//! * **Lock-free flag loads are `Acquire`, not `SeqCst`.** The seed used
+//!   `SeqCst` here, but no correctness argument relies on a single total
+//!   order of flag and pointer writes: a lookup reaches a node only through
+//!   the pointer loads above, all of which were already `Acquire` — the flag
+//!   was never part of a complete SC proof. The linearizability argument
+//!   (paper §5.2) is per-location: an unmarked read linearizes before the
+//!   mark store, and a removed node is unreachable through fresh pointer
+//!   loads once the splice stores land.
+//! * **Heights are `Relaxed` everywhere**: writes happen under `tree_lock`;
+//!   unlocked reads (`bf` heuristics in the rebalancer) are explicitly
+//!   tolerant of stale values by the relaxed-balance design (Bougé et al.) —
+//!   a wrong decision is re-examined, never incorrect.
+//!
+//! Reclamation: nodes are only freed through the epoch (`defer_destroy`, or
+//! the arena's deferred slot recycle under `--features arena`) after being
+//! unlinked from both layouts, so lock-free readers holding an epoch guard
+//! can always dereference any pointer they loaded.
 
 use crossbeam_epoch::{Atomic, Guard, Owned, Shared};
-use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI8, Ordering};
 
 use crate::bound::Bound;
 use crate::sync::NodeLock;
 
-/// A tree node. See module docs for the field protection protocol.
+/// A tree node. See module docs for the layout split, the field protection
+/// protocol and the per-field memory-ordering table.
+#[repr(C, align(64))]
 pub(crate) struct Node<K, V> {
+    // ------------------------------------------------------------------
+    // Hot half: every field the lock-free read path touches, packed into
+    // the first cache line (compile-time asserted for Node<u64, u64>).
+    // ------------------------------------------------------------------
     /// Immutable key (possibly a sentinel bound).
     pub(crate) key: Bound<K>,
+    /// Physical layout children (guarded by `tree_lock`).
+    pub(crate) left: Atomic<Node<K, V>>,
+    /// See [`Self::left`].
+    pub(crate) right: Atomic<Node<K, V>>,
+    /// Logical-ordering successor (guarded by this node's `succ_lock`).
+    pub(crate) succ: Atomic<Node<K, V>>,
+    /// Logical-ordering predecessor (guarded by `pred(n).succ_lock`).
+    pub(crate) pred: Atomic<Node<K, V>>,
     /// Heap pointer to the mapped value; null for sentinels.
     pub(crate) value: Atomic<V>,
     /// Removed from the ordering layout (on-time removal).
@@ -40,19 +131,50 @@ pub(crate) struct Node<K, V> {
     /// Logically deleted (partially-external variant only).
     pub(crate) zombie: AtomicBool,
 
-    // -- physical tree layout (guarded by `tree_lock`, except `parent`) --
-    pub(crate) left: Atomic<Node<K, V>>,
-    pub(crate) right: Atomic<Node<K, V>>,
+    // ------------------------------------------------------------------
+    // Cold half: fields only update paths touch. Lock words and height
+    // churn dirty this line, never the hot one.
+    // ------------------------------------------------------------------
+    /// Physical parent (guarded by the old and new parents' tree locks).
     pub(crate) parent: Atomic<Node<K, V>>,
-    pub(crate) left_height: AtomicI32,
-    pub(crate) right_height: AtomicI32,
+    /// Stored left-subtree height. `i8`: an AVL (even relaxed) of height
+    /// h ≥ 92 needs more than 2⁶⁴ nodes, so heights fit with room to spare;
+    /// a debug assert in [`Node::set_height`] guards the conversion.
+    pub(crate) left_height: AtomicI8,
+    /// Stored right-subtree height (see [`Self::left_height`]).
+    pub(crate) right_height: AtomicI8,
+    /// Physical-layout lock (paper `treeLock`).
     pub(crate) tree_lock: NodeLock,
-
-    // -- logical ordering layout (guarded by succ locks) --
-    pub(crate) pred: Atomic<Node<K, V>>,
-    pub(crate) succ: Atomic<Node<K, V>>,
+    /// Ordering-layout interval lock (paper `succLock`).
     pub(crate) succ_lock: NodeLock,
 }
+
+/// Compile-time layout regression tests (ISSUE 3 acceptance criteria): the
+/// hot half of the benchmark configuration `Node<u64, u64>` must fit in one
+/// 64-byte cache line, and the whole node in two. `Bound<u64>` is 16 bytes,
+/// the five pointers 40, the two flags 2 → hot half 58 ≤ 64.
+const _: () = {
+    use std::mem::{align_of, offset_of, size_of};
+    type N = Node<u64, u64>;
+    assert!(align_of::<N>() == 64, "node must start on a cache line");
+    // Every hot field must END within the first 64 bytes.
+    assert!(offset_of!(N, key) + size_of::<Bound<u64>>() <= 64);
+    assert!(offset_of!(N, left) + 8 <= 64);
+    assert!(offset_of!(N, right) + 8 <= 64);
+    assert!(offset_of!(N, succ) + 8 <= 64);
+    assert!(offset_of!(N, pred) + 8 <= 64);
+    assert!(offset_of!(N, value) + 8 <= 64);
+    assert!(offset_of!(N, mark) + 1 <= 64);
+    assert!(offset_of!(N, zombie) + 1 <= 64);
+    // Every cold field must START at or after the line boundary, so writer
+    // traffic never dirties the readers' line.
+    assert!(offset_of!(N, parent) >= 64);
+    assert!(offset_of!(N, left_height) >= 64);
+    assert!(offset_of!(N, right_height) >= 64);
+    // Whole-node upper bound: two cache lines (also holds with the lockdep
+    // feature's per-lock ledger ids).
+    assert!(size_of::<N>() <= 128, "Node<u64,u64> must fit two cache lines");
+};
 
 impl<K, V> Node<K, V> {
     /// A sentinel node (`−∞` or `+∞`); carries no value.
@@ -65,8 +187,8 @@ impl<K, V> Node<K, V> {
             left: Atomic::null(),
             right: Atomic::null(),
             parent: Atomic::null(),
-            left_height: AtomicI32::new(0),
-            right_height: AtomicI32::new(0),
+            left_height: AtomicI8::new(0),
+            right_height: AtomicI8::new(0),
             tree_lock: NodeLock::new(),
             pred: Atomic::null(),
             succ: Atomic::null(),
@@ -88,26 +210,40 @@ impl<K, V> Node<K, V> {
     /// heuristics).
     #[inline]
     pub(crate) fn bf(&self) -> i32 {
-        self.left_height.load(Ordering::Relaxed) - self.right_height.load(Ordering::Relaxed)
+        i32::from(self.left_height.load(Ordering::Relaxed))
+            - i32::from(self.right_height.load(Ordering::Relaxed))
     }
 
     /// The stored height of the `is_left` subtree.
     #[inline]
     pub(crate) fn height(&self, is_left: bool) -> i32 {
         if is_left {
-            self.left_height.load(Ordering::Relaxed)
+            i32::from(self.left_height.load(Ordering::Relaxed))
         } else {
-            self.right_height.load(Ordering::Relaxed)
+            i32::from(self.right_height.load(Ordering::Relaxed))
         }
+    }
+
+    /// `max(leftHeight, rightHeight) + 1`: the height this node contributes
+    /// to its parent's stored height (requires `tree_lock` for stability).
+    #[inline]
+    pub(crate) fn subtree_height(&self) -> i32 {
+        i32::from(self.left_height.load(Ordering::Relaxed))
+            .max(i32::from(self.right_height.load(Ordering::Relaxed)))
+            + 1
     }
 
     /// Sets the stored height of the `is_left` subtree (requires `tree_lock`).
     #[inline]
     pub(crate) fn set_height(&self, is_left: bool, h: i32) {
+        debug_assert!(
+            (0..=i32::from(i8::MAX)).contains(&h),
+            "AVL height {h} out of i8 range — impossible for any realizable tree"
+        );
         if is_left {
-            self.left_height.store(h, Ordering::Relaxed);
+            self.left_height.store(h as i8, Ordering::Relaxed);
         } else {
-            self.right_height.store(h, Ordering::Relaxed);
+            self.right_height.store(h as i8, Ordering::Relaxed);
         }
     }
 
@@ -121,10 +257,12 @@ impl<K, V> Node<K, V> {
         }
     }
 
-    /// Whether this node is logically removed (either flavor).
+    /// Whether this node is logically removed (either flavor). Lock-free
+    /// callers: `Acquire` pairs with the `Release` flag stores so a revive's
+    /// value swap is visible once `zombie` reads false (see module docs).
     #[inline]
     pub(crate) fn is_removed(&self) -> bool {
-        self.mark.load(Ordering::SeqCst) || self.zombie.load(Ordering::SeqCst)
+        self.mark.load(Ordering::Acquire) || self.zombie.load(Ordering::Acquire)
     }
 }
 
@@ -224,8 +362,9 @@ impl<K, V> Drop for Node<K, V> {
 /// Dereference helper for epoch-protected node pointers.
 ///
 /// # Safety contract (met by construction)
-/// Nodes are freed exclusively via `defer_destroy` after unlinking, so any
-/// non-null `Shared` obtained under a live `Guard` points to a live node.
+/// Nodes are freed exclusively via deferred reclamation (box destroy or
+/// arena slot recycle) after unlinking, so any non-null `Shared` obtained
+/// under a live `Guard` points to a live node.
 #[inline]
 pub(crate) fn nref<'g, K, V>(s: Shared<'g, Node<K, V>>) -> &'g Node<K, V> {
     debug_assert!(!s.is_null(), "nref on null node pointer");
@@ -234,7 +373,11 @@ pub(crate) fn nref<'g, K, V>(s: Shared<'g, Node<K, V>>) -> &'g Node<K, V> {
     unsafe { s.deref() }
 }
 
-/// Allocates a node and returns the shared pointer it will live at.
+/// Box-allocates a node and returns the shared pointer it will live at (the
+/// `alloc=box` ablation baseline; the default allocation path is the arena,
+/// see [`LoTree::alloc_node`](crate::tree::LoTree)).
+// With `arena` on, only this module's tests call the box path.
+#[cfg_attr(feature = "arena", allow(dead_code))]
 pub(crate) fn alloc<'g, K, V>(node: Node<K, V>, g: &'g Guard) -> Shared<'g, Node<K, V>> {
     Owned::new(node).into_shared(g)
 }
@@ -280,5 +423,25 @@ mod tests {
         assert_eq!(n.height(true), 3);
         assert_eq!(n.height(false), 1);
         assert_eq!(n.bf(), 2);
+        assert_eq!(n.subtree_height(), 4);
+    }
+
+    /// Runtime companion to the `const` layout assertions: pins the exact
+    /// hot-field offsets of the benchmark configuration so an accidental
+    /// field reorder (which `repr(C)` would silently accept) fails loudly.
+    #[test]
+    fn hot_half_layout_pinned() {
+        use std::mem::{offset_of, size_of};
+        type N = Node<u64, u64>;
+        assert_eq!(offset_of!(N, key), 0);
+        assert_eq!(offset_of!(N, left), 16);
+        assert_eq!(offset_of!(N, right), 24);
+        assert_eq!(offset_of!(N, succ), 32);
+        assert_eq!(offset_of!(N, pred), 40);
+        assert_eq!(offset_of!(N, value), 48);
+        assert_eq!(offset_of!(N, mark), 56);
+        assert_eq!(offset_of!(N, zombie), 57);
+        assert!(offset_of!(N, parent) >= 64, "cold half must start on line 2");
+        assert!(size_of::<N>() <= 128);
     }
 }

@@ -40,7 +40,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
         s: Shared<'g, Node<K, V>>,
         g: &'g Guard,
     ) -> bool {
-        if nref(s).zombie.load(Ordering::SeqCst) {
+        // Relaxed: `s.zombie` is only written under `p.succ_lock` (`p` is
+        // `s`'s predecessor), which we hold.
+        if nref(s).zombie.load(Ordering::Relaxed) {
             // Already logically deleted.
             nref(p).unlock_succ();
             return false;
@@ -56,7 +58,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
             if !l.is_null() && !r.is_null() {
                 // Two children: logical removal only. Linearization point is
                 // the zombie store (guarded by p.succLock).
-                nref(s).zombie.store(true, Ordering::SeqCst);
+                // Release pairs with lock-free Acquire flag loads.
+                nref(s).zombie.store(true, Ordering::Release);
                 record(Event::ZombieCreated);
                 nref(s).unlock_tree();
                 nref(s).unlock_succ();
@@ -76,7 +79,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
             }
 
             // Ordering-layout removal (linearization point: the mark store).
-            nref(s).mark.store(true, Ordering::SeqCst);
+            // Release pairs with lock-free Acquire flag loads.
+            nref(s).mark.store(true, Ordering::Release);
             let s_succ = nref(s).succ.load(Ordering::Acquire, g);
             nref(s_succ).pred.store(p, Ordering::Release);
             nref(p).succ.store(s_succ, Ordering::Release);
@@ -98,7 +102,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             // SAFETY: `s` is unlinked from both the tree and the ordering
             // layout by this thread (marked under its succ lock); readers
             // hold epoch guards.
-            unsafe { g.defer_destroy(s) };
+            unsafe { self.retire_node(s, g) };
 
             // The unlink may have dropped the old parent to ≤1 children; if
             // it is a zombie, try to clean it up (single attempt).
@@ -115,7 +119,10 @@ impl<K: Key, V: Value> LoTree<K, V> {
         if zn.key.as_key().is_none() {
             return; // sentinel
         }
-        if !zn.zombie.load(Ordering::SeqCst) || zn.mark.load(Ordering::SeqCst) {
+        // Relaxed: unlocked pre-filter only — both flags are re-validated
+        // below under the locks that guard them; a stale read here merely
+        // aborts or retries the (optional) cleanup.
+        if !zn.zombie.load(Ordering::Relaxed) || zn.mark.load(Ordering::Relaxed) {
             return;
         }
         // Ordering-layout locks first: the predecessor's, then the zombie's.
@@ -126,9 +133,12 @@ impl<K: Key, V: Value> LoTree<K, V> {
         }
         // Validate the interval: p must still be z's live predecessor and z
         // must still be a zombie.
+        // Relaxed flag loads: `p.mark` is only set under `p.succ_lock` (held),
+        // and once `p.succ == z` is validated, `z.zombie` is only written
+        // under that same lock.
         if nref(p).succ.load(Ordering::Acquire, g) != z
-            || nref(p).mark.load(Ordering::SeqCst)
-            || !zn.zombie.load(Ordering::SeqCst)
+            || nref(p).mark.load(Ordering::Relaxed)
+            || !zn.zombie.load(Ordering::Relaxed)
         {
             record(Event::ZombieCleanupAbort);
             nref(p).unlock_succ();
@@ -163,7 +173,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
             release_ordering_and_tree();
             return;
         }
-        if zn.parent.load(Ordering::Acquire, g) != parent || nref(parent).mark.load(Ordering::SeqCst)
+        // Relaxed: a node is only marked while its tree lock is held (ours).
+        if zn.parent.load(Ordering::Acquire, g) != parent
+            || nref(parent).mark.load(Ordering::Relaxed)
         {
             record(Event::ZombieCleanupAbort);
             nref(parent).unlock_tree();
@@ -179,7 +191,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
         }
 
         // All locks held: run the standard ≤1-child removal.
-        zn.mark.store(true, Ordering::SeqCst);
+        // Release pairs with lock-free Acquire flag loads.
+        zn.mark.store(true, Ordering::Release);
         let z_succ = zn.succ.load(Ordering::Acquire, g);
         nref(z_succ).pred.store(p, Ordering::Release);
         nref(p).succ.store(z_succ, Ordering::Release);
@@ -200,6 +213,6 @@ impl<K: Key, V: Value> LoTree<K, V> {
         record(Event::ReclaimRetire);
         // SAFETY: the zombie was marked and unlinked from both layouts under
         // its locks by this thread; readers hold epoch guards.
-        unsafe { g.defer_destroy(z) };
+        unsafe { self.retire_node(z, g) };
     }
 }

@@ -19,7 +19,7 @@ use std::cmp::Ordering as Cmp;
 use std::sync::atomic::Ordering;
 
 use crate::bound::Bound;
-use crate::node::{alloc, nref, Node};
+use crate::node::{nref, Node};
 use lo_api::{Key, Value};
 use lo_metrics::{add, record, Event};
 
@@ -30,6 +30,10 @@ pub(crate) struct LoTree<K: Key, V: Value> {
     root: epoch::Atomic<Node<K, V>>,
     /// The `−∞` sentinel; reachable only through the ordering layout.
     head: epoch::Atomic<Node<K, V>>,
+    /// Slab arena all of this tree's nodes live in. Shared (`Arc`) with the
+    /// epoch collector's deferred retirements, which may outlive the tree.
+    #[cfg(feature = "arena")]
+    arena: std::sync::Arc<crate::arena::Arena<Node<K, V>>>,
     /// Maintain AVL heights and rebalance after each update.
     pub(crate) balanced: bool,
     /// Partially-external mode: 2-children removals only set the `zombie`
@@ -40,10 +44,18 @@ pub(crate) struct LoTree<K: Key, V: Value> {
 impl<K: Key, V: Value> LoTree<K, V> {
     /// Creates the initial two-sentinel tree (paper §4.1 "The Initial Tree").
     pub(crate) fn new(balanced: bool, partially_external: bool) -> Self {
+        let t = Self {
+            root: epoch::Atomic::null(),
+            head: epoch::Atomic::null(),
+            #[cfg(feature = "arena")]
+            arena: std::sync::Arc::new(crate::arena::Arena::new()),
+            balanced,
+            partially_external,
+        };
         // SAFETY: the tree is not yet shared; no other thread can free nodes.
         let g = unsafe { epoch::unprotected() };
-        let root = alloc(Node::sentinel(Bound::PosInf), g);
-        let head = alloc(Node::sentinel(Bound::NegInf), g);
+        let root = t.alloc_node(Node::sentinel(Bound::PosInf), g);
+        let head = t.alloc_node(Node::sentinel(Bound::NegInf), g);
         // N−∞ and N∞ are each other's predecessor and successor; the unused
         // outward pointers (head.pred, root.succ) self-loop so the lookup
         // walks can never observe null.
@@ -51,12 +63,58 @@ impl<K: Key, V: Value> LoTree<K, V> {
         nref(head).pred.store(head, Ordering::Release);
         nref(root).pred.store(head, Ordering::Release);
         nref(root).succ.store(root, Ordering::Release);
-        Self {
-            root: epoch::Atomic::from(root),
-            head: epoch::Atomic::from(head),
-            balanced,
-            partially_external,
+        t.root.store(root, Ordering::Release);
+        t.head.store(head, Ordering::Release);
+        t
+    }
+
+    /// Allocates a node: from this tree's slab arena (default), or one `Box`
+    /// per node under `--no-default-features` (the ablation baseline).
+    pub(crate) fn alloc_node<'g>(
+        &self,
+        node: Node<K, V>,
+        g: &'g Guard,
+    ) -> Shared<'g, Node<K, V>> {
+        #[cfg(feature = "arena")]
+        {
+            let _ = g;
+            Shared::from(self.arena.alloc(node).as_ptr().cast_const())
         }
+        #[cfg(not(feature = "arena"))]
+        {
+            crate::node::alloc(node, g)
+        }
+    }
+
+    /// Retires a node after the grace period: the arena recycles its slot
+    /// (default), or the `Box` is destroyed (ablation baseline).
+    ///
+    /// # Safety
+    /// Same contract as `Guard::defer_destroy`: `node` must already be
+    /// unlinked from both layouts so no *new* reference to it can be
+    /// created; currently-pinned readers may still hold it.
+    pub(crate) unsafe fn retire_node(&self, node: Shared<'_, Node<K, V>>, g: &Guard) {
+        #[cfg(feature = "arena")]
+        {
+            let arena = std::sync::Arc::clone(&self.arena);
+            let ptr = crate::arena::SendPtr::new(node.as_raw().cast_mut());
+            let recycle = move || {
+                // SAFETY: the slot is live until this deferred retirement
+                // runs, and the epoch guarantees no reader still holds it.
+                unsafe { arena.retire(ptr.get()) }
+            };
+            // SAFETY (defer_unchecked): the closure captures only the Arc'd
+            // arena (Send + Sync) and the retired pointer; by this function's
+            // contract the node is unreachable, so running the retirement on
+            // any thread after the grace period is sound, and the Arc keeps
+            // the arena alive even past the tree's drop.
+            unsafe { g.defer_unchecked(recycle) };
+        }
+        #[cfg(not(feature = "arena"))]
+        // SAFETY: forwarded contract (unlinked; freed after grace period).
+        unsafe {
+            g.defer_destroy(node)
+        };
     }
 
     /// The `+∞` root sentinel (stable for the tree's lifetime).
@@ -192,12 +250,13 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let mut n = nref(self.head_sh(&g)).succ.load(Ordering::Acquire, &g);
             loop {
                 let r = nref(n);
-                if r.mark.load(Ordering::SeqCst) {
+                // Lock-free flag reads: Acquire (see node.rs ordering table).
+                if r.mark.load(Ordering::Acquire) {
                     continue 'restart;
                 }
                 match r.key {
                     Bound::PosInf => return None,
-                    Bound::Key(k) if !r.zombie.load(Ordering::SeqCst) => return Some(k),
+                    Bound::Key(k) if !r.zombie.load(Ordering::Acquire) => return Some(k),
                     // zombie (or, impossibly, −∞): advance along the ordering
                     _ => n = r.succ.load(Ordering::Acquire, &g),
                 }
@@ -212,12 +271,13 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let mut n = nref(self.root_sh(&g)).pred.load(Ordering::Acquire, &g);
             loop {
                 let r = nref(n);
-                if r.mark.load(Ordering::SeqCst) {
+                // Lock-free flag reads: Acquire (see node.rs ordering table).
+                if r.mark.load(Ordering::Acquire) {
                     continue 'restart;
                 }
                 match r.key {
                     Bound::NegInf => return None,
-                    Bound::Key(k) if !r.zombie.load(Ordering::SeqCst) => return Some(k),
+                    Bound::Key(k) if !r.zombie.load(Ordering::Acquire) => return Some(k),
                     _ => n = r.pred.load(Ordering::Acquire, &g),
                 }
             }
@@ -295,7 +355,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let r = nref(n);
             match r.key {
                 Bound::PosInf => return count,
-                Bound::Key(_) if r.zombie.load(Ordering::SeqCst) => count += 1,
+                Bound::Key(_) if r.zombie.load(Ordering::Acquire) => count += 1,
                 _ => {}
             }
             n = r.succ.load(Ordering::Acquire, &g);
@@ -319,8 +379,11 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let p = nref(node).parent.load(Ordering::Acquire, g);
             debug_assert!(!p.is_null(), "lock_parent called on the root sentinel");
             nref(p).lock_tree_upward();
+            // Relaxed: `p.mark` is only ever set while holding `p.tree_lock`
+            // (Algorithm 8 removes acquire it before marking), which we hold
+            // here — the lock edge orders any mark store before this load.
             if nref(node).parent.load(Ordering::Acquire, g) == p
-                && !nref(p).mark.load(Ordering::SeqCst)
+                && !nref(p).mark.load(Ordering::Relaxed)
             {
                 return p;
             }
@@ -373,6 +436,17 @@ impl<K: Key, V: Value> Drop for LoTree<K, V> {
         loop {
             let next = nref(n).succ.load(Ordering::Relaxed, g);
             let at_end = n == root;
+            #[cfg(feature = "arena")]
+            // SAFETY: quiescent teardown; every chain node was allocated from
+            // this tree's arena and is visited (and retired) exactly once.
+            // Nodes retired earlier through the epoch are no longer in the
+            // chain; their deferred retirements hold their own Arc.
+            unsafe {
+                let p = std::ptr::NonNull::new(n.as_raw().cast_mut())
+                    .expect("chain nodes are non-null");
+                self.arena.retire(p);
+            }
+            #[cfg(not(feature = "arena"))]
             // SAFETY: quiescent teardown; the chain visits each node once.
             drop(unsafe { n.into_owned() });
             if at_end {

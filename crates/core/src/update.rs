@@ -12,7 +12,7 @@ use crossbeam_epoch::{self as epoch, Guard, Shared};
 use std::cmp::Ordering as Cmp;
 use std::sync::atomic::Ordering;
 
-use crate::node::{alloc, nref, Node};
+use crate::node::{nref, Node};
 use crate::tree::LoTree;
 use lo_api::{Key, Value};
 use lo_metrics::{record, Event};
@@ -56,9 +56,12 @@ impl<K: Key, V: Value> LoTree<K, V> {
             nref(p).lock_succ();
             let s = nref(p).succ.load(Ordering::Acquire, g);
             // Validate k ∈ (p.key, s.key] and that the interval is live.
+            // Relaxed mark load: `mark` is only ever set while holding the
+            // marked node's own succ lock, which we hold for `p` — the lock
+            // edge orders any mark store before this load.
             let valid = nref(p).key.cmp_key(&key) == Cmp::Less
                 && nref(s).key.cmp_key(&key) != Cmp::Less
-                && !nref(p).mark.load(Ordering::SeqCst);
+                && !nref(p).mark.load(Ordering::Relaxed);
             if !valid {
                 record(Event::SuccLockRestart);
                 nref(p).unlock_succ();
@@ -66,14 +69,18 @@ impl<K: Key, V: Value> LoTree<K, V> {
             }
             if nref(s).key.is_key(&key) {
                 // Key already present.
-                if self.partially_external && nref(s).zombie.load(Ordering::SeqCst) {
+                // Relaxed: `s.zombie` is only written under `p.succ_lock`
+                // (`p` is `s`'s predecessor), which we hold.
+                if self.partially_external && nref(s).zombie.load(Ordering::Relaxed) {
                     // Revive the zombie: install the new value, clear the flag.
                     let old = nref(s).value.swap(
                         epoch::Owned::new(value),
                         Ordering::AcqRel,
                         g,
                     );
-                    nref(s).zombie.store(false, Ordering::SeqCst);
+                    // Release: a lock-free reader that Acquire-loads
+                    // zombie == false must also see the value swap above.
+                    nref(s).zombie.store(false, Ordering::Release);
                     record(Event::ZombieRevived);
                     if !old.is_null() {
                         record(Event::ReclaimRetire);
@@ -89,7 +96,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             }
             // Successful insert: split interval (p, s) into (p, k), (k, s).
             let parent = self.choose_parent(p, s, node, g);
-            let new = alloc(Node::new_key(key, value), g);
+            let new = self.alloc_node(Node::new_key(key, value), g);
             nref(new).pred.store(p, Ordering::Release);
             nref(new).succ.store(s, Ordering::Release);
             nref(new).parent.store(parent, Ordering::Release);
@@ -121,21 +128,25 @@ impl<K: Key, V: Value> LoTree<K, V> {
             };
             nref(p).lock_succ();
             let s = nref(p).succ.load(Ordering::Acquire, g);
+            // Relaxed mark load: see the justification in `insert`.
             let valid = nref(p).key.cmp_key(&key) == Cmp::Less
                 && nref(s).key.cmp_key(&key) != Cmp::Less
-                && !nref(p).mark.load(Ordering::SeqCst);
+                && !nref(p).mark.load(Ordering::Relaxed);
             if !valid {
                 record(Event::SuccLockRestart);
                 nref(p).unlock_succ();
                 continue;
             }
             if nref(s).key.is_key(&key) {
+                // Relaxed: `s.zombie` only changes under `p.succ_lock`, held.
                 let was_zombie =
-                    self.partially_external && nref(s).zombie.load(Ordering::SeqCst);
+                    self.partially_external && nref(s).zombie.load(Ordering::Relaxed);
                 let old =
                     nref(s).value.swap(epoch::Owned::new(value), Ordering::AcqRel, g);
                 if was_zombie {
-                    nref(s).zombie.store(false, Ordering::SeqCst);
+                    // Release: readers observing zombie == false must see the
+                    // value swap above (same as the revive in `insert`).
+                    nref(s).zombie.store(false, Ordering::Release);
                     record(Event::ZombieRevived);
                 }
                 nref(p).unlock_succ();
@@ -152,7 +163,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             }
             // Absent: plain insertion (same as Algorithm 3's success path).
             let parent = self.choose_parent(p, s, node, g);
-            let new = alloc(Node::new_key(key, value), g);
+            let new = self.alloc_node(Node::new_key(key, value), g);
             nref(new).pred.store(p, Ordering::Release);
             nref(new).succ.store(s, Ordering::Release);
             nref(new).parent.store(parent, Ordering::Release);
@@ -257,9 +268,10 @@ impl<K: Key, V: Value> LoTree<K, V> {
             };
             nref(p).lock_succ();
             let s = nref(p).succ.load(Ordering::Acquire, g);
+            // Relaxed mark load: see the justification in `insert`.
             let valid = nref(p).key.cmp_key(key) == Cmp::Less
                 && nref(s).key.cmp_key(key) != Cmp::Less
-                && !nref(p).mark.load(Ordering::SeqCst);
+                && !nref(p).mark.load(Ordering::Relaxed);
             if !valid {
                 record(Event::SuccLockRestart);
                 nref(p).unlock_succ();
@@ -277,7 +289,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
             nref(s).lock_succ();
             let locks = self.acquire_tree_locks(s, g);
             // Linearization point of a successful remove (paper §5.2).
-            nref(s).mark.store(true, Ordering::SeqCst);
+            // Release pairs with the lock-free Acquire flag loads; nothing
+            // needs a stronger order — see the node.rs ordering table.
+            nref(s).mark.store(true, Ordering::Release);
             let s_succ = nref(s).succ.load(Ordering::Acquire, g);
             nref(s_succ).pred.store(p, Ordering::Release);
             nref(p).succ.store(s_succ, Ordering::Release);
@@ -288,7 +302,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             // SAFETY: the node is now unlinked from both layouts by this
             // thread (marked under its succ lock); it is freed only once all
             // pinned readers move on.
-            unsafe { g.defer_destroy(s) };
+            unsafe { self.retire_node(s, g) };
             return true;
         }
     }
@@ -339,8 +353,10 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     nref(n).unlock_tree();
                     continue;
                 }
+                // Relaxed: a node is only marked while its tree lock is
+                // held, and we hold `sp.tree_lock` here.
                 if nref(s).parent.load(Ordering::Acquire, g) != sp
-                    || nref(sp).mark.load(Ordering::SeqCst)
+                    || nref(sp).mark.load(Ordering::Relaxed)
                 {
                     record(Event::TreeLockRestart);
                     nref(sp).unlock_tree();

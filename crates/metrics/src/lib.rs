@@ -122,6 +122,11 @@ events! {
     ReclaimAdvance => "reclaim-advance",
     /// Objects actually freed after their grace period (`lo-reclaim`).
     ReclaimFree => "reclaim-free",
+    /// The node arena allocated a fresh 64-slot chunk from the OS.
+    ArenaChunkAlloc => "arena-chunk-alloc",
+    /// The node arena returned a fully-empty chunk to the OS (beyond the
+    /// one-chunk hysteresis).
+    ArenaChunkFree => "arena-chunk-free",
 }
 
 /// Number of counter shards. Threads are striped across shards round-robin;

@@ -40,8 +40,9 @@ use std::sync::{Arc, Mutex};
 
 use lo_metrics::{add, record, Event};
 
-/// Number of retires between automatic collection attempts.
-const COLLECT_EVERY: usize = 64;
+/// Default number of retires between automatic collection attempts (see
+/// [`Collector::with_collect_every`] to tune per collector).
+pub const DEFAULT_COLLECT_EVERY: usize = 64;
 
 /// A deferred destruction: a type-erased `drop(Box::from_raw(ptr))`.
 struct Deferred {
@@ -92,6 +93,8 @@ struct Global {
     participants: Mutex<Vec<Arc<Participant>>>,
     /// Garbage orphaned by dropped handles: (retire_epoch, deferred).
     orphans: Mutex<Vec<(usize, Deferred)>>,
+    /// Retires between automatic collection attempts on each handle.
+    collect_every: usize,
 }
 
 impl Global {
@@ -143,15 +146,31 @@ pub struct Collector {
 }
 
 impl Collector {
-    /// Creates a fresh collector.
+    /// Creates a fresh collector with the default collection threshold
+    /// ([`DEFAULT_COLLECT_EVERY`]).
     pub fn new() -> Self {
+        Self::with_collect_every(DEFAULT_COLLECT_EVERY)
+    }
+
+    /// Creates a collector whose handles attempt automatic collection every
+    /// `collect_every` retires. Larger values batch frees (fewer epoch scans
+    /// per retire, more unreclaimed garbage between collections); a manual
+    /// [`Handle::flush`] always reclaims regardless of the threshold.
+    /// `collect_every` is clamped to at least 1.
+    pub fn with_collect_every(collect_every: usize) -> Self {
         Self {
             global: Arc::new(Global {
                 epoch: AtomicUsize::new(0),
                 participants: Mutex::new(Vec::new()),
                 orphans: Mutex::new(Vec::new()),
+                collect_every: collect_every.max(1),
             }),
         }
+    }
+
+    /// The configured automatic-collection threshold.
+    pub fn collect_every(&self) -> usize {
+        self.global.collect_every
     }
 
     /// Registers the calling thread and returns its handle. A handle must
@@ -269,7 +288,7 @@ impl Handle {
         let e = self.global.epoch.load(Ordering::SeqCst);
         self.bag.borrow_mut().push((e, d));
         let n = self.retires_since_collect.get() + 1;
-        if n >= COLLECT_EVERY {
+        if n >= self.global.collect_every {
             self.retires_since_collect.set(0);
             self.flush();
         } else {
@@ -418,6 +437,57 @@ mod tests {
         }
         drop(c);
         assert!(dropped.load(Ordering::SeqCst), "collector drop must free orphans");
+    }
+
+    #[test]
+    fn collect_threshold_defers_and_flush_reclaims() {
+        // Retire enough objects for several default-threshold collection
+        // cycles, but fewer than the configured threshold: automatic
+        // collection must never kick in, so every object stays pending;
+        // an explicit flush cycle then frees them all.
+        let n = 4 * DEFAULT_COLLECT_EVERY + 40;
+        let c = Collector::with_collect_every(10 * DEFAULT_COLLECT_EVERY);
+        assert_eq!(c.collect_every(), 10 * DEFAULT_COLLECT_EVERY);
+        let h = c.register();
+        let flags: Vec<Arc<AtomicBool>> =
+            (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        for f in &flags {
+            // Short pins so the epoch is free to advance between retires —
+            // auto-collection *could* free here if its threshold allowed it.
+            let g = h.pin();
+            let p = Box::into_raw(Box::new(Tracked(Arc::clone(f))));
+            // SAFETY: `p` came from Box::into_raw just above and is never
+            // freed elsewhere.
+            unsafe { g.defer_destroy_box(p) };
+        }
+        assert_eq!(h.pending(), n, "threshold not reached: nothing may be freed");
+        assert!(flags.iter().all(|f| !f.load(Ordering::SeqCst)));
+        h.flush();
+        h.flush();
+        h.flush();
+        assert_eq!(h.pending(), 0, "manual flush must reclaim everything");
+        assert!(flags.iter().all(|f| f.load(Ordering::SeqCst)));
+
+        // Control: identical retire pattern under the default threshold —
+        // automatic collection fires along the way and frees the backlog.
+        let c2 = Collector::new();
+        assert_eq!(c2.collect_every(), DEFAULT_COLLECT_EVERY);
+        let h2 = c2.register();
+        for _ in 0..n {
+            let g = h2.pin();
+            let p = Box::into_raw(Box::new(0u64));
+            // SAFETY: `p` came from Box::into_raw just above and is never
+            // freed elsewhere.
+            unsafe { g.defer_destroy_box(p) };
+        }
+        assert!(
+            h2.pending() < n,
+            "default threshold must have auto-collected some garbage"
+        );
+        h2.flush();
+        h2.flush();
+        h2.flush();
+        assert_eq!(h2.pending(), 0);
     }
 
     #[test]
