@@ -82,6 +82,74 @@ pub trait CheckInvariants {
     fn check_invariants(&self);
 }
 
+/// Why a tree transitioned to the poisoned state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoisonCause {
+    /// An injected fault (the named failpoint) panicked a writer inside a
+    /// critical window.
+    Failpoint(&'static str),
+    /// A restart loop exceeded the configured `LO_MAX_RESTARTS` bound
+    /// (contention-storm / livelock tripwire).
+    RestartStorm,
+    /// A writer panicked for a reason the tree did not inject (a genuine
+    /// bug, or a panic from user code such as a key comparator).
+    Panic,
+}
+
+impl std::fmt::Display for PoisonCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoisonCause::Failpoint(name) => write!(f, "injected fault at failpoint `{name}`"),
+            PoisonCause::RestartStorm => write!(f, "restart budget exceeded (LO_MAX_RESTARTS)"),
+            PoisonCause::Panic => write!(f, "writer panicked"),
+        }
+    }
+}
+
+/// Error returned by the fallible write entry points ([`FallibleMap`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// A writer died inside a critical window; the tree released its locks
+    /// and atomically poisoned itself. Reads (`contains`, `get`, ordered
+    /// access) remain correct; all further writes are rejected with this
+    /// error.
+    Poisoned(PoisonCause),
+    /// Node allocation failed (allocator exhaustion). The operation had no
+    /// effect; the tree remains healthy and the call may be retried.
+    AllocFailed,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Poisoned(cause) => write!(f, "tree poisoned: {cause}"),
+            TreeError::AllocFailed => write!(f, "node allocation failed"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Fallible write extension: maps that can reject writes instead of
+/// panicking or aborting — on allocation failure ([`TreeError::AllocFailed`])
+/// and after a writer death poisoned the structure
+/// ([`TreeError::Poisoned`]).
+///
+/// The infallible [`ConcurrentMap`] methods on the same map are equivalent
+/// to `try_*(..).unwrap()`-style behavior: they panic on `Poisoned` and
+/// abort-by-panic on allocation failure.
+pub trait FallibleMap<K: Key, V: Value>: ConcurrentMap<K, V> {
+    /// Fallible [`ConcurrentMap::insert`].
+    fn try_insert(&self, key: K, value: V) -> Result<bool, TreeError>;
+
+    /// Fallible [`ConcurrentMap::remove`].
+    fn try_remove(&self, key: &K) -> Result<bool, TreeError>;
+
+    /// Current poison state: `None` while healthy, `Some(error)` once a
+    /// writer death has poisoned the tree.
+    fn poisoned(&self) -> Option<TreeError>;
+}
+
 /// A concurrent set view over any `ConcurrentMap<K, ()>`.
 pub struct ConcurrentSet<K: Key, M: ConcurrentMap<K, ()>> {
     map: M,
@@ -161,6 +229,22 @@ mod tests {
         assert!(m.remove(&1));
         assert!(!m.remove(&1));
         assert!(!m.contains(&1));
+    }
+
+    #[test]
+    fn tree_error_display() {
+        let e = TreeError::Poisoned(PoisonCause::Failpoint("remove-after-mark"));
+        assert_eq!(
+            e.to_string(),
+            "tree poisoned: injected fault at failpoint `remove-after-mark`"
+        );
+        assert_eq!(
+            TreeError::Poisoned(PoisonCause::RestartStorm).to_string(),
+            "tree poisoned: restart budget exceeded (LO_MAX_RESTARTS)"
+        );
+        assert_eq!(TreeError::AllocFailed.to_string(), "node allocation failed");
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.to_string().contains("remove-after-mark"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # lo-check — concurrency correctness toolkit
 //!
 //! Verification substrate for the logical-ordering tree suite
-//! (Drachsler–Vechev–Yahav, PPoPP 2014). Four pillars:
+//! (Drachsler–Vechev–Yahav, PPoPP 2014). Five pillars:
 //!
 //! * [`lockdep`] — a kernel-lockdep-style runtime ledger. Behind the
 //!   `lockdep` cargo feature, every `NodeLock` acquire/release in `lo-core`
@@ -18,6 +18,10 @@
 //! * [`mc`] — an exhaustive bounded-interleaving explorer for *modeled*
 //!   lock algorithms (loom-shaped stateless model checking by schedule
 //!   replay; the `loom` crate itself is not available as a dependency).
+//! * [`fail`] — a failpoint registry: seeded, budgeted [`fail::FaultPlan`]s
+//!   drive named crosscut points in `lo-core` (behind its `failpoints`
+//!   feature) to inject delays, forced `try_lock` failures, and panics at
+//!   the algorithm's sensitive windows, with deterministic replay by seed.
 //! * [`sched`] — a seeded bounded-interleaving scheduler that serializes
 //!   real tree code at lockdep pause points (PCT/CHESS-spirit schedule
 //!   perturbation) so tests can drive rare windows such as two-children
@@ -29,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fail;
 pub mod lin;
 pub mod lockdep;
 pub mod mc;

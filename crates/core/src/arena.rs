@@ -141,12 +141,24 @@ impl<T> Arena<T> {
 
     /// Allocates a slot and moves `value` into it. The returned pointer is
     /// stable until [`Arena::retire`] is called on it (or the arena drops).
+    /// Aborts via [`handle_alloc_error`] if the OS refuses a fresh chunk;
+    /// use [`Arena::try_alloc`] for the graceful-failure path.
     pub fn alloc(&self, value: T) -> NonNull<T> {
-        let slot = self.take_slot();
-        // SAFETY: `take_slot` returns an exclusive, properly aligned,
+        match self.try_alloc(value) {
+            Some(slot) => slot,
+            None => handle_alloc_error(Self::chunk_layout()),
+        }
+    }
+
+    /// Fallible [`Arena::alloc`]: returns `None` (with `value` dropped)
+    /// when no slot is free and the OS refuses a fresh chunk. The arena
+    /// stays fully usable; a later call may succeed.
+    pub fn try_alloc(&self, value: T) -> Option<NonNull<T>> {
+        let slot = self.try_take_slot()?;
+        // SAFETY: `try_take_slot` returns an exclusive, properly aligned,
         // uninitialized slot of size ≥ size_of::<T>().
         unsafe { slot.as_ptr().write(value) };
-        slot
+        Some(slot)
     }
 
     /// Drops the value in `ptr`'s slot and recycles the slot.
@@ -174,10 +186,10 @@ impl<T> Arena<T> {
         st.chunks.len() - st.vacant.len()
     }
 
-    fn take_slot(&self) -> NonNull<T> {
+    fn try_take_slot(&self) -> Option<NonNull<T>> {
         let mut st = self.state.lock();
-        if st.nonfull.is_empty() {
-            Self::grow(&mut st);
+        if st.nonfull.is_empty() && !Self::try_grow(&mut st) {
+            return None;
         }
         let ci = *st.nonfull.last().expect("grow guarantees a nonfull chunk");
         let (slot_ptr, became_full, was_empty) = {
@@ -201,14 +213,15 @@ impl<T> Arena<T> {
             st.nonfull.pop();
         }
         st.live += 1;
-        NonNull::new(slot_ptr).expect("chunk memory is non-null")
+        Some(NonNull::new(slot_ptr).expect("chunk memory is non-null"))
     }
 
-    fn grow(st: &mut State<T>) {
+    /// Allocates one chunk from the OS; `false` if the allocator refused.
+    fn try_grow(st: &mut State<T>) -> bool {
         let layout = Self::chunk_layout();
         // SAFETY: `layout` has non-zero size (SLOT_SIZE ≥ 64, SLOTS = 64).
         let mem = unsafe { raw_alloc(layout) };
-        let Some(mem) = NonNull::new(mem) else { handle_alloc_error(layout) };
+        let Some(mem) = NonNull::new(mem) else { return false };
         let ci = match st.vacant.pop() {
             Some(i) => i,
             None => {
@@ -228,6 +241,7 @@ impl<T> Arena<T> {
         st.chunks[ci] = Some(chunk);
         st.empty_chunks += 1;
         record(Event::ArenaChunkAlloc);
+        true
     }
 
     fn recycle(&self, ptr: NonNull<T>) {
@@ -357,6 +371,20 @@ mod tests {
 
     fn tracked(drops: &Arc<AtomicUsize>, payload: u64) -> Tracked {
         Tracked { drops: Arc::clone(drops), payload }
+    }
+
+    #[test]
+    fn try_alloc_roundtrip() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let arena: Arena<Tracked> = Arena::new();
+        let p = arena.try_alloc(tracked(&drops, 7)).expect("OS allocation succeeds in tests");
+        // SAFETY: `p` is live and this test is the only accessor.
+        assert_eq!(unsafe { p.as_ref() }.payload, 7);
+        assert_eq!(arena.live(), 1);
+        // SAFETY: `p` came from this arena, is live, and has no aliases.
+        unsafe { arena.retire(p) };
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        assert_eq!(arena.live(), 0);
     }
 
     #[test]

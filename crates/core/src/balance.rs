@@ -15,7 +15,9 @@
 use crossbeam_epoch::{Guard, Shared};
 use std::sync::atomic::Ordering;
 
+use crate::fp::{self, FailPoint};
 use crate::node::{nref, Node};
+use crate::poison::{self, RestartBudget};
 use crate::tree::LoTree;
 use lo_api::{Key, Value};
 use lo_metrics::{record, Event};
@@ -63,6 +65,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 nref(moved).parent.store(n, Ordering::Release);
             }
             cn.left.store(n, Ordering::Release);
+            // Window: pointers rewired, heights not yet restored (lookups
+            // are oblivious to heights; only balance bookkeeping lags).
+            fp::pause(FailPoint::RotateMid);
             nn.right_height.store(cn.left_height.load(Ordering::Relaxed), Ordering::Relaxed);
             cn.set_height(true, nn.subtree_height());
         } else {
@@ -73,6 +78,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 nref(moved).parent.store(n, Ordering::Release);
             }
             cn.right.store(n, Ordering::Release);
+            // Same mid-rotation window as the left-rotation branch.
+            fp::pause(FailPoint::RotateMid);
             nn.left_height.store(cn.right_height.load(Ordering::Relaxed), Ordering::Relaxed);
             cn.set_height(false, nn.subtree_height());
         }
@@ -99,8 +106,11 @@ impl<K: Key, V: Value> LoTree<K, V> {
             *parent = Shared::null();
         }
         let n = nref(node);
+        let mut budget = RestartBudget::new();
         loop {
             n.unlock_tree();
+            poison::abort_if_poisoned(&self.poisoned);
+            budget.tick();
             n.lock_tree();
             // Relaxed: marking requires the node's tree lock, which we hold.
             if n.mark.load(Ordering::Relaxed) {

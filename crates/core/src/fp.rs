@@ -1,0 +1,91 @@
+//! Feature-gated failpoint call sites.
+//!
+//! `lo-core` crosses a [`FailPoint`] at each of the algorithms' sensitive
+//! windows (the catalog lives on the enum in `lo_check::fail`). With the
+//! `failpoints` cargo feature **off** — the default — both entry points
+//! here are empty `#[inline(always)]` functions: no atomics, no branches,
+//! no code. With it on, each crossing consults the active
+//! `lo_check::fail::FaultPlan` (if any) and injects the planned effect:
+//!
+//! * [`pause`] — for pure windows (between two stores): a seeded delay
+//!   widens the window; a planned panic kills the writer mid-window,
+//!   exercising the poisoning path in `poison.rs`.
+//! * [`should_fail`] — for fallible steps (`try_lock`, allocation):
+//!   returns `true` to force the step to report failure; a planned panic
+//!   behaves as in [`pause`].
+//!
+//! Injected panics stage the failpoint's poison code
+//! (`CODE_FAILPOINT_BASE + index`) and mark themselves via
+//! `lo_check::fail::note_injected_panic`, so harnesses can tell injected
+//! faults from genuine bugs, and carry the linearized/not-linearized
+//! effect marker for history classification.
+
+pub(crate) use lo_check::fail::FailPoint;
+
+/// Whether this build has failpoints compiled in.
+#[allow(dead_code)]
+pub(crate) const ENABLED: bool = cfg!(feature = "failpoints");
+
+/// Crosses a pure-window failpoint (see module docs).
+#[cfg(feature = "failpoints")]
+#[inline]
+pub(crate) fn pause(point: FailPoint) {
+    use lo_check::fail::{fire, FaultAction};
+    match fire(point) {
+        None => {}
+        Some(FaultAction::Delay(units)) => delay(units),
+        // `Fail` has no meaning at a pure window; treat as a delay of zero.
+        Some(FaultAction::Fail) => {}
+        Some(FaultAction::Panic) => inject_panic(point),
+    }
+}
+
+/// Crosses a fallible-step failpoint; `true` forces the step to fail.
+#[cfg(feature = "failpoints")]
+#[inline]
+pub(crate) fn should_fail(point: FailPoint) -> bool {
+    use lo_check::fail::{fire, FaultAction};
+    match fire(point) {
+        None => false,
+        Some(FaultAction::Fail) => true,
+        Some(FaultAction::Delay(units)) => {
+            delay(units);
+            false
+        }
+        Some(FaultAction::Panic) => inject_panic(point),
+    }
+}
+
+#[cfg(feature = "failpoints")]
+fn delay(units: u32) {
+    for _ in 0..units {
+        std::hint::spin_loop();
+    }
+    // Wide delays also yield, so single-core hosts actually reschedule a
+    // contender into the widened window.
+    if units > 64 {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(feature = "failpoints")]
+fn inject_panic(point: FailPoint) -> ! {
+    lo_check::fail::note_injected_panic(point);
+    crate::poison::set_pending(crate::poison::CODE_FAILPOINT_BASE + point.index() as u32);
+    crate::poison::panic_with_effect(&format!(
+        "injected fault at failpoint `{}`",
+        point.name()
+    ))
+}
+
+/// No-op (the `failpoints` feature is disabled).
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn pause(_point: FailPoint) {}
+
+/// No-op: never forces a failure (the `failpoints` feature is disabled).
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn should_fail(_point: FailPoint) -> bool {
+    false
+}

@@ -35,6 +35,13 @@ pub struct InvariantReport {
     /// Interior nodes physically present in the tree layout (live + zombie;
     /// excludes the two sentinels).
     pub physical_nodes: usize,
+    /// `true` when the tree was poisoned (a writer died mid-operation) and
+    /// the check therefore ran in *degraded* mode: the ordering-chain
+    /// invariants — which carry the set's semantics and the panic-safety
+    /// promise — were fully asserted, but layout agreement, parent
+    /// consistency, and height bounds were skipped (a dead writer may
+    /// legitimately leave those mid-transition).
+    pub degraded: bool,
 }
 
 impl<K: Key, V: Value> LoTree<K, V> {
@@ -44,6 +51,12 @@ impl<K: Key, V: Value> LoTree<K, V> {
         let g = epoch::pin();
         let root = self.root_sh(&g);
         let head = self.head_sh(&g);
+        // Poisoned tree ⇒ degraded mode: the chain invariants (1 and 5)
+        // still hold at every cataloged failpoint window — they are what a
+        // dead writer is *guaranteed* to have kept consistent (ordering
+        // repairs strictly precede layout repairs) — but the layout may be
+        // mid-transition, so invariants 2–4 are skipped.
+        let degraded = self.poison_error().is_some();
 
         // --- 1. ordering chain ---
         let mut chain: Vec<Shared<'_, Node<K, V>>> = Vec::new();
@@ -108,7 +121,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         // degenerate unbalanced shapes).
         let mut stack: Vec<Shared<'_, Node<K, V>>> = Vec::new();
         let mut node = nref(root).left.load(Ordering::Acquire, &g);
-        if !node.is_null() {
+        if !node.is_null() && !degraded {
             assert_eq!(
                 nref(node).parent.load(Ordering::Acquire, &g),
                 root,
@@ -117,16 +130,18 @@ impl<K: Key, V: Value> LoTree<K, V> {
         }
         while !node.is_null() || !stack.is_empty() {
             while !node.is_null() {
-                for side in [true, false] {
-                    let ch = nref(node).child(side, &g);
-                    if !ch.is_null() {
-                        assert_eq!(
-                            nref(ch).parent.load(Ordering::Acquire, &g),
-                            node,
-                            "child {:?} of {:?} has inconsistent parent pointer",
-                            nref(ch).key,
-                            nref(node).key
-                        );
+                if !degraded {
+                    for side in [true, false] {
+                        let ch = nref(node).child(side, &g);
+                        if !ch.is_null() {
+                            assert_eq!(
+                                nref(ch).parent.load(Ordering::Acquire, &g),
+                                node,
+                                "child {:?} of {:?} has inconsistent parent pointer",
+                                nref(ch).key,
+                                nref(node).key
+                            );
+                        }
                     }
                 }
                 stack.push(node);
@@ -136,24 +151,26 @@ impl<K: Key, V: Value> LoTree<K, V> {
             inorder.push(n);
             node = nref(n).right.load(Ordering::Acquire, &g);
         }
-        assert_eq!(
-            inorder.len(),
-            chain.len(),
-            "tree layout has {} nodes but ordering chain has {}",
-            inorder.len(),
-            chain.len()
-        );
-        for (a, b) in inorder.iter().zip(chain.iter()) {
+        if !degraded {
             assert_eq!(
-                *a, *b,
-                "tree in-order and ordering chain diverge at {:?} vs {:?}",
-                nref(*a).key,
-                nref(*b).key
+                inorder.len(),
+                chain.len(),
+                "tree layout has {} nodes but ordering chain has {}",
+                inorder.len(),
+                chain.len()
             );
+            for (a, b) in inorder.iter().zip(chain.iter()) {
+                assert_eq!(
+                    *a, *b,
+                    "tree in-order and ordering chain diverge at {:?} vs {:?}",
+                    nref(*a).key,
+                    nref(*b).key
+                );
+            }
         }
 
         // --- 4. heights and AVL balance (balanced mode only) ---
-        if self.balanced {
+        if self.balanced && !degraded {
             let top = nref(root).left.load(Ordering::Acquire, &g);
             self.check_heights(top, &g);
         }
@@ -162,6 +179,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             live_keys: chain.len() - zombies,
             zombies,
             physical_nodes: inorder.len(),
+            degraded,
         }
     }
 

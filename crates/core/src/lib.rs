@@ -47,11 +47,13 @@
 pub mod arena;
 mod balance;
 mod bound;
+mod fp;
 mod invariants;
 mod maps;
 mod node;
 mod ordered;
 mod pe;
+mod poison;
 mod tree;
 mod update;
 
@@ -59,6 +61,16 @@ pub mod sync;
 
 pub use invariants::InvariantReport;
 pub use maps::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
+
+/// Fallible-write error surface (re-exported from `lo-api`): poisoning
+/// causes and the `try_*` error type, plus the trait the maps implement.
+pub use lo_api::{FallibleMap, PoisonCause, TreeError};
+
+/// Overrides the `LO_MAX_RESTARTS` restart-storm bound for this process
+/// (`0` = unlimited). Test hook for driving the storm tripwire without
+/// environment plumbing; not part of the stable API.
+#[doc(hidden)]
+pub use poison::set_max_restarts;
 
 /// Event-counter telemetry substrate (re-exported so integration tests and
 /// downstream tools can snapshot counters without a separate dependency).

@@ -2,7 +2,9 @@
 
 use crate::invariants::InvariantReport;
 use crate::tree::LoTree;
-use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+use lo_api::{
+    CheckInvariants, ConcurrentMap, FallibleMap, Key, OrderedAccess, TreeError, Value,
+};
 
 macro_rules! define_map {
     (
@@ -149,6 +151,34 @@ macro_rules! define_map {
             pub fn check_invariants_report(&self) -> InvariantReport {
                 self.tree.check_invariants_quiescent()
             }
+
+            /// Fallible [`Self::insert`]: rejects the write with
+            /// [`TreeError::Poisoned`] after a writer death, or
+            /// [`TreeError::AllocFailed`] (no effect, retryable) when node
+            /// allocation fails.
+            pub fn try_insert(&self, key: K, value: V) -> Result<bool, TreeError> {
+                self.tree.try_insert(key, value)
+            }
+
+            /// Fallible [`Self::remove`] (see [`Self::try_insert`]).
+            pub fn try_remove(&self, key: &K) -> Result<bool, TreeError> {
+                self.tree.try_remove(key)
+            }
+
+            /// Fallible [`Self::put`] (see [`Self::try_insert`]).
+            pub fn try_put(&self, key: K, value: V) -> Result<Option<V>, TreeError>
+            where
+                V: Clone,
+            {
+                self.tree.try_put(key, value)
+            }
+
+            /// Current poison state: `None` while healthy, `Some(error)` once
+            /// a writer death has poisoned the tree. Reads stay correct on a
+            /// poisoned map; writes are rejected.
+            pub fn poisoned(&self) -> Option<TreeError> {
+                self.tree.poison_error()
+            }
         }
 
         impl<K: Key, V: Value> Default for $name<K, V> {
@@ -175,6 +205,18 @@ macro_rules! define_map {
             }
             fn name(&self) -> &'static str {
                 $label
+            }
+        }
+
+        impl<K: Key, V: Value> FallibleMap<K, V> for $name<K, V> {
+            fn try_insert(&self, key: K, value: V) -> Result<bool, TreeError> {
+                $name::try_insert(self, key, value)
+            }
+            fn try_remove(&self, key: &K) -> Result<bool, TreeError> {
+                $name::try_remove(self, key)
+            }
+            fn poisoned(&self) -> Option<TreeError> {
+                $name::poisoned(self)
             }
         }
 
@@ -350,6 +392,19 @@ mod tests {
         assert!(m.insert(5, 99));
         assert_eq!(m.get(&5), Some(99));
         assert_eq!(m.zombie_count(), 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn fallible_api_on_healthy_map() {
+        let m = LoAvlMap::new();
+        assert_eq!(m.poisoned(), None);
+        assert_eq!(m.try_insert(1i64, 10u64), Ok(true));
+        assert_eq!(m.try_insert(1, 11), Ok(false));
+        assert_eq!(m.try_put(1, 12), Ok(Some(10)));
+        assert_eq!(m.try_remove(&1), Ok(true));
+        assert_eq!(m.try_remove(&1), Ok(false));
+        assert_eq!(m.poisoned(), None);
         m.check_invariants();
     }
 

@@ -335,6 +335,11 @@ impl<K: std::any::Any + Copy, V> Node<K, V> {
     /// to take a tree lock *below* one already held).
     #[inline]
     pub(crate) fn try_lock_tree(&self) -> bool {
+        // Fault injection: a forced failure here feeds the paper's restart
+        // loops exactly as a lost `try_lock` race would (no-op by default).
+        if crate::fp::should_fail(crate::fp::FailPoint::TreeTryLock) {
+            return false;
+        }
         self.tree_lock.try_lock_traced(lo_check::LockClass::Tree, self.ldep_rank())
     }
 

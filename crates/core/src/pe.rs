@@ -25,7 +25,9 @@
 use crossbeam_epoch::{Guard, Shared};
 use std::sync::atomic::Ordering;
 
+use crate::fp::{self, FailPoint};
 use crate::node::{nref, Node};
+use crate::poison::{self, RestartBudget};
 use crate::tree::LoTree;
 use lo_api::{Key, Value};
 use lo_metrics::{record, Event};
@@ -50,6 +52,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
         // Take s's succ lock up front: the physical path needs it, and the
         // lock order (succ locks before tree locks) forbids taking it later.
         nref(s).lock_succ();
+        // Same succ-lock/tree-lock boundary as the base remove path.
+        fp::pause(FailPoint::RemoveSuccTreeWindow);
+        let mut budget = RestartBudget::new();
         loop {
             nref(s).lock_tree();
             let l = nref(s).left.load(Ordering::Acquire, g);
@@ -60,6 +65,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 // the zombie store (guarded by p.succLock).
                 // Release pairs with lock-free Acquire flag loads.
                 nref(s).zombie.store(true, Ordering::Release);
+                poison::note_linearized();
                 record(Event::ZombieCreated);
                 nref(s).unlock_tree();
                 nref(s).unlock_succ();
@@ -75,17 +81,22 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 record(Event::TreeLockRestart);
                 nref(parent).unlock_tree();
                 nref(s).unlock_tree();
+                self.writer_restart(&mut budget);
                 continue; // retry the tree-lock phase
             }
 
             // Ordering-layout removal (linearization point: the mark store).
             // Release pairs with lock-free Acquire flag loads.
             nref(s).mark.store(true, Ordering::Release);
+            poison::note_linearized();
             let s_succ = nref(s).succ.load(Ordering::Acquire, g);
             nref(s_succ).pred.store(p, Ordering::Release);
             nref(p).succ.store(s_succ, Ordering::Release);
             nref(s).unlock_succ();
             nref(p).unlock_succ();
+            // Window: marked and spliced out of the ordering layout, still
+            // physically present (PE flavor of `remove-after-mark`).
+            fp::pause(FailPoint::PeAfterMark);
 
             // Physical unlink (≤1-child splice).
             let is_left = self.update_child(parent, s, child, g);

@@ -1,0 +1,372 @@
+//! Panic-safe writer scopes, held-lock tracking, and tree poisoning.
+//!
+//! The paper's update algorithms acquire and release `NodeLock`s across
+//! non-lexical scopes (`chooseParent` returns holding a lock, `rebalance`
+//! consumes its caller's locks), so per-lock RAII guards do not fit the
+//! call structure. Instead, panic-safety is provided at *operation*
+//! granularity:
+//!
+//! * every traced acquisition registers the lock in a thread-local
+//!   held-lock list ([`note_acquired`]/[`note_released`], called from
+//!   `sync.rs`'s `*_traced` methods — the only lock surface the tree
+//!   algorithms use);
+//! * every write operation runs inside a [`WriteScope`] whose `Drop`,
+//!   if the thread is unwinding, releases every still-held lock and
+//!   atomically poisons the tree (a `compare_exchange` on the tree's
+//!   poison word, so exactly one cause wins).
+//!
+//! A poisoned tree stays readable: the lock-free read path (`contains`,
+//! `get`, ordered access) never consults the poison word, and the
+//! structural windows a dead writer can leave behind are exactly the ones
+//! the lookup's ordering-layout fallback already tolerates (the ordering
+//! chain is always repaired *before* the layout). All further writes are
+//! rejected with [`TreeError::Poisoned`], which reports the failpoint that
+//! fired (or [`PoisonCause::RestartStorm`]/[`PoisonCause::Panic`]).
+//!
+//! Read-path cost: zero — nothing here is touched by lookups. Write-path
+//! cost with the `failpoints` feature off: one `Acquire` load on the
+//! poison word per operation plus a thread-local `Vec` push/pop per lock,
+//! no extra shared-memory traffic.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::sync::NodeLock;
+use lo_api::{PoisonCause, TreeError};
+use lo_check::fail::FailPoint;
+
+/// Poison-word values. `0` = healthy; anything else encodes a
+/// [`TreeError::Poisoned`] cause.
+pub(crate) const CODE_HEALTHY: u32 = 0;
+/// An uninjected (genuine) writer panic.
+pub(crate) const CODE_PANIC: u32 = 1;
+/// A restart loop exceeded `LO_MAX_RESTARTS`.
+pub(crate) const CODE_RESTART_STORM: u32 = 2;
+/// Base for failpoint causes: `CODE_FAILPOINT_BASE + FailPoint::index()`.
+pub(crate) const CODE_FAILPOINT_BASE: u32 = 3;
+
+/// Decodes a nonzero poison word into the public error.
+pub(crate) fn decode(code: u32) -> TreeError {
+    debug_assert_ne!(code, CODE_HEALTHY);
+    match code {
+        CODE_PANIC => TreeError::Poisoned(PoisonCause::Panic),
+        CODE_RESTART_STORM => TreeError::Poisoned(PoisonCause::RestartStorm),
+        n => {
+            let idx = (n - CODE_FAILPOINT_BASE) as usize;
+            let name = FailPoint::ALL.get(idx).map_or("unknown", |p| p.name());
+            TreeError::Poisoned(PoisonCause::Failpoint(name))
+        }
+    }
+}
+
+thread_local! {
+    /// Locks this thread currently holds through the traced lock surface.
+    /// Raw pointers: entries are only dereferenced during an unwind, at
+    /// which point every registered lock is still alive (it is held, and
+    /// held nodes are never retired).
+    static HELD: RefCell<Vec<*const NodeLock>> = const { RefCell::new(Vec::new()) };
+    /// Poison code the next unwind on this thread should install
+    /// (set by the failpoint / restart-storm raisers right before they
+    /// panic; `CODE_PANIC` is used when nothing was staged).
+    static PENDING: Cell<u32> = const { Cell::new(CODE_HEALTHY) };
+    /// Whether the operation inside the current [`WriteScope`] has passed
+    /// its linearization point (drives the panic-effect markers the chaos
+    /// harness uses to classify interrupted operations).
+    static LINEARIZED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Registers `lock` as held by this thread (called from
+/// `NodeLock::lock_traced`/`try_lock_traced` on success).
+#[inline]
+pub(crate) fn note_acquired(lock: &NodeLock) {
+    HELD.with(|h| h.borrow_mut().push(lock as *const NodeLock));
+}
+
+/// Unregisters `lock` (called from `NodeLock::unlock_traced`).
+#[inline]
+pub(crate) fn note_released(lock: &NodeLock) {
+    HELD.with(|h| {
+        let mut v = h.borrow_mut();
+        let target = lock as *const NodeLock;
+        // Releases are near-LIFO in the tree algorithms; scan from the back.
+        if let Some(i) = v.iter().rposition(|&p| p == target) {
+            v.swap_remove(i);
+        }
+    });
+}
+
+/// Marks the current write operation as linearized (its effect is now
+/// visible to readers). Called immediately after every linearization-point
+/// store in `update.rs`/`pe.rs`.
+#[inline]
+pub(crate) fn note_linearized() {
+    LINEARIZED.with(|c| c.set(true));
+}
+
+/// Stages the poison code the next unwind should install.
+#[inline]
+pub(crate) fn set_pending(code: u32) {
+    PENDING.with(|c| c.set(code));
+}
+
+/// Panics with `msg` plus the effect marker for the current operation
+/// (`[lo-fault:op-linearized]` / `[lo-fault:op-not-linearized]`), so a
+/// harness catching the unwind knows whether the interrupted operation
+/// took effect.
+pub(crate) fn panic_with_effect(msg: &str) -> ! {
+    let marker = if LINEARIZED.with(Cell::get) {
+        lo_check::fail::MARKER_EFFECTIVE
+    } else {
+        lo_check::fail::MARKER_INEFFECTIVE
+    };
+    std::panic::panic_any(format!("{msg} {marker}"))
+}
+
+/// Panic (through the poisoning path) if `poisoned` is set: a writer that
+/// would otherwise wait on — or retry against — structure stranded by a
+/// dead thread aborts instead of livelocking. Called at the restart/wait
+/// edges of every update loop.
+#[inline]
+pub(crate) fn abort_if_poisoned(poisoned: &AtomicU32) {
+    let code = poisoned.load(Ordering::Acquire);
+    if code != CODE_HEALTHY {
+        // Keep the already-installed cause; this thread's unwind should
+        // not overwrite it (compare_exchange in `WriteScope::drop` won't).
+        panic_with_effect(&format!("aborting writer: {}", decode(code)));
+    }
+}
+
+/// Operation-granularity unwind guard. Constructed at the top of every
+/// write operation; on a panicking drop it releases the thread's held
+/// locks and poisons the tree.
+pub(crate) struct WriteScope<'t> {
+    poisoned: &'t AtomicU32,
+}
+
+impl<'t> WriteScope<'t> {
+    /// Enters a write scope, first rejecting the write if the tree is
+    /// already poisoned.
+    pub(crate) fn enter(poisoned: &'t AtomicU32) -> Result<Self, TreeError> {
+        let code = poisoned.load(Ordering::Acquire);
+        if code != CODE_HEALTHY {
+            return Err(decode(code));
+        }
+        LINEARIZED.with(|c| c.set(false));
+        Ok(WriteScope { poisoned })
+    }
+}
+
+impl Drop for WriteScope<'_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            debug_assert!(
+                HELD.with(|h| h.borrow().is_empty()),
+                "write operation returned with locks still registered"
+            );
+            return;
+        }
+        // Poison FIRST (Release pairs with the Acquire loads in
+        // `enter`/`abort_if_poisoned`), then release the locks: a writer
+        // that wins one of them next will abort at its next restart edge
+        // instead of trusting the half-updated structure.
+        let code = PENDING.with(Cell::take);
+        let code = if code == CODE_HEALTHY { CODE_PANIC } else { code };
+        let _ = self.poisoned.compare_exchange(
+            CODE_HEALTHY,
+            code,
+            Ordering::Release,
+            Ordering::Relaxed,
+        );
+        let held = HELD.with(|h| std::mem::take(&mut *h.borrow_mut()));
+        for lock in held {
+            // SAFETY: each pointer was registered by `note_acquired` while
+            // this thread held the lock and was never unregistered, so the
+            // lock is still held by this thread and its node is still live
+            // (held nodes are never retired).
+            unsafe { (*lock).unlock_traced() };
+        }
+    }
+}
+
+/// Unwraps a fallible write for the infallible `ConcurrentMap` surface:
+/// panics (outside any [`WriteScope`], so without poisoning) on
+/// [`TreeError::Poisoned`] or [`TreeError::AllocFailed`].
+#[inline]
+pub(crate) fn expect_writable<T>(r: Result<T, TreeError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Restart-storm budget (LO_MAX_RESTARTS).
+// ----------------------------------------------------------------------
+
+/// Runtime override for the restart bound; `u32::MAX` = not set.
+static MAX_RESTARTS_OVERRIDE: AtomicU32 = AtomicU32::new(u32::MAX);
+
+/// Process-wide restart bound: the override if set, else `LO_MAX_RESTARTS`
+/// from the environment (cached), else `0` = unlimited.
+fn max_restarts() -> u32 {
+    let ov = MAX_RESTARTS_OVERRIDE.load(Ordering::Relaxed);
+    if ov != u32::MAX {
+        return ov;
+    }
+    static FROM_ENV: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("LO_MAX_RESTARTS").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+    })
+}
+
+/// Overrides `LO_MAX_RESTARTS` for this process (`0` = unlimited). Test
+/// hook — exported `#[doc(hidden)]` from the crate root.
+pub fn set_max_restarts(limit: u32) {
+    MAX_RESTARTS_OVERRIDE.store(limit, Ordering::Relaxed);
+}
+
+/// Per-operation consecutive-restart counter. Each restart edge calls
+/// [`tick`](Self::tick); exceeding the configured bound panics through the
+/// poisoning path (a storm tripwire, not a recovery mechanism), and the
+/// high-water count feeds the `restarts-consecutive-max` gauge.
+pub(crate) struct RestartBudget {
+    count: u32,
+    limit: u32,
+}
+
+impl RestartBudget {
+    pub(crate) fn new() -> Self {
+        RestartBudget { count: 0, limit: max_restarts() }
+    }
+
+    #[inline]
+    pub(crate) fn tick(&mut self) {
+        self.count += 1;
+        lo_metrics::note_max(lo_metrics::Event::RestartsConsecutiveMax, u64::from(self.count));
+        if self.limit != 0 && self.count >= self.limit {
+            set_pending(CODE_RESTART_STORM);
+            panic_with_effect(&format!(
+                "operation restarted {} times without progress (LO_MAX_RESTARTS={})",
+                self.count, self.limit
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_covers_all_causes() {
+        assert_eq!(decode(CODE_PANIC), TreeError::Poisoned(PoisonCause::Panic));
+        assert_eq!(decode(CODE_RESTART_STORM), TreeError::Poisoned(PoisonCause::RestartStorm));
+        for p in FailPoint::ALL {
+            assert_eq!(
+                decode(CODE_FAILPOINT_BASE + p.index() as u32),
+                TreeError::Poisoned(PoisonCause::Failpoint(p.name()))
+            );
+        }
+    }
+
+    #[test]
+    fn scope_enter_rejects_poisoned() {
+        let word = AtomicU32::new(CODE_RESTART_STORM);
+        assert_eq!(
+            WriteScope::enter(&word).err(),
+            Some(TreeError::Poisoned(PoisonCause::RestartStorm))
+        );
+        let healthy = AtomicU32::new(CODE_HEALTHY);
+        assert!(WriteScope::enter(&healthy).is_ok());
+    }
+
+    #[test]
+    fn panicking_scope_releases_locks_and_poisons() {
+        let word = AtomicU32::new(CODE_HEALTHY);
+        let lock = NodeLock::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = WriteScope::enter(&word).unwrap();
+            lock.lock_traced(
+                lo_check::lockdep::LockClass::Tree,
+                lo_check::lockdep::Rank::Opaque,
+                lo_check::lockdep::AcquireHow::Block,
+            );
+            assert!(lock.is_locked());
+            panic_with_effect("simulated writer death");
+        }));
+        let err = result.unwrap_err();
+        let msg = lo_check::fail::panic_message(err.as_ref()).unwrap();
+        assert_eq!(lo_check::fail::effect_in_message(msg), Some(false));
+        assert!(!lock.is_locked(), "unwind must release registered locks");
+        assert_eq!(word.load(Ordering::Acquire), CODE_PANIC);
+        // First cause wins: a second death cannot re-poison.
+        let again = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            set_pending(CODE_RESTART_STORM);
+            let _scope = match WriteScope::enter(&word) {
+                Ok(s) => s,
+                Err(e) => panic!("{e}"),
+            };
+        }));
+        assert!(again.is_err());
+        assert_eq!(word.load(Ordering::Acquire), CODE_PANIC);
+    }
+
+    #[test]
+    fn linearized_marker_tracks_scope() {
+        let word = AtomicU32::new(CODE_HEALTHY);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = WriteScope::enter(&word).unwrap();
+            note_linearized();
+            panic_with_effect("death after linearization");
+        }));
+        let err = result.unwrap_err();
+        let msg = lo_check::fail::panic_message(err.as_ref()).unwrap();
+        assert_eq!(lo_check::fail::effect_in_message(msg), Some(true));
+        // The next scope resets the flag.
+        let word2 = AtomicU32::new(CODE_HEALTHY);
+        let result2 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = WriteScope::enter(&word2).unwrap();
+            panic_with_effect("death before linearization");
+        }));
+        let msg2_err = result2.unwrap_err();
+        let msg2 = lo_check::fail::panic_message(msg2_err.as_ref()).unwrap();
+        assert_eq!(lo_check::fail::effect_in_message(msg2), Some(false));
+    }
+
+    #[test]
+    fn restart_budget_trips_at_limit() {
+        set_max_restarts(4);
+        let word = AtomicU32::new(CODE_HEALTHY);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = WriteScope::enter(&word).unwrap();
+            let mut budget = RestartBudget::new();
+            for _ in 0..10 {
+                budget.tick();
+            }
+        }));
+        set_max_restarts(0);
+        assert!(result.is_err());
+        assert_eq!(word.load(Ordering::Acquire), CODE_RESTART_STORM);
+        assert_eq!(decode(word.load(Ordering::Acquire)), TreeError::Poisoned(PoisonCause::RestartStorm));
+        // Unlimited (0) never trips.
+        let mut budget = RestartBudget::new();
+        for _ in 0..100_000 {
+            budget.tick();
+        }
+    }
+
+    #[test]
+    fn abort_if_poisoned_fires_only_when_poisoned() {
+        let healthy = AtomicU32::new(CODE_HEALTHY);
+        abort_if_poisoned(&healthy); // must not panic
+        let word = AtomicU32::new(CODE_FAILPOINT_BASE + FailPoint::RemoveAfterMark.index() as u32);
+        let healthy_scope = AtomicU32::new(CODE_HEALTHY);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = WriteScope::enter(&healthy_scope).unwrap();
+            abort_if_poisoned(&word);
+        }));
+        let err = result.unwrap_err();
+        let msg = lo_check::fail::panic_message(err.as_ref()).unwrap();
+        assert!(msg.contains("remove-after-mark"), "abort message names the cause: {msg}");
+    }
+}

@@ -66,8 +66,9 @@ impl NodeLock {
         }
     }
 
-    /// Blocking acquire reported to the lockdep ledger (no-op wrapper around
-    /// [`lock`](Self::lock) without the `lockdep` feature).
+    /// Blocking acquire reported to the lockdep ledger (and always to the
+    /// thread's held-lock registry, which powers the panic-safe unwind in
+    /// `poison.rs`).
     #[inline]
     pub fn lock_traced(&self, class: LockClass, rank: Rank, how: AcquireHow) {
         #[cfg(feature = "lockdep")]
@@ -82,9 +83,11 @@ impl NodeLock {
             let _ = (class, rank, how);
             self.lock();
         }
+        crate::poison::note_acquired(self);
     }
 
-    /// Non-blocking acquire reported to the lockdep ledger on success.
+    /// Non-blocking acquire reported to the lockdep ledger (and the
+    /// held-lock registry) on success.
     #[inline]
     pub fn try_lock_traced(&self, class: LockClass, rank: Rank) -> bool {
         let acquired = self.try_lock();
@@ -94,12 +97,16 @@ impl NodeLock {
         }
         #[cfg(not(feature = "lockdep"))]
         let _ = (class, rank);
+        if acquired {
+            crate::poison::note_acquired(self);
+        }
         acquired
     }
 
-    /// Release reported to the lockdep ledger.
+    /// Release reported to the lockdep ledger and the held-lock registry.
     #[inline]
     pub fn unlock_traced(&self) {
+        crate::poison::note_released(self);
         self.unlock();
         #[cfg(feature = "lockdep")]
         lo_check::lockdep::on_release(self.ldep_id());
@@ -162,6 +169,35 @@ impl std::fmt::Debug for NodeLock {
     }
 }
 
+/// Uniform jitter in `[0, bound)` from a per-thread xorshift64* stream.
+///
+/// Each thread's stream is seeded from its arrival order in a process-wide
+/// counter (golden-ratio spaced, so streams decorrelate immediately) — a
+/// stable per-thread identity that needs no wall clock and no OS thread id,
+/// keeping the lock Miri- and loom-clean.
+fn backoff_jitter(bound: u32) -> u32 {
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicU64;
+    static NEXT_SEED: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0) };
+    }
+    STATE.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            x = NEXT_SEED
+                .fetch_add(1, Ordering::Relaxed)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                | 1;
+        }
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        s.set(x);
+        ((x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) as u32) % bound.max(1)
+    })
+}
+
 /// A from-scratch test-and-test-and-set spin lock with exponential backoff.
 ///
 /// Kept deliberately simple: it is the "what the JVM monitor costs" ablation
@@ -193,7 +229,10 @@ impl SpinLock {
             }
             // Test-and-test-and-set: spin on the read-only path first.
             while self.locked.load(Ordering::Relaxed) {
-                for _ in 0..spins {
+                // Randomized jitter on top of the doubling: deterministic
+                // exponential backoff lets contenders that collided once
+                // back off in lockstep and collide again at every release.
+                for _ in 0..spins + backoff_jitter(spins) {
                     std::hint::spin_loop();
                 }
                 if spins < 1 << 10 {
@@ -292,6 +331,26 @@ mod tests {
             h.join().unwrap();
         }
         counter.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn backoff_jitter_bounded_and_varying() {
+        // Within one thread: values stay in range and are not all equal
+        // (the whole point is to desynchronize lockstep backoff).
+        let vals: Vec<u32> = (0..64).map(|_| backoff_jitter(1 << 10)).collect();
+        assert!(vals.iter().all(|&v| v < 1 << 10));
+        assert!(vals.windows(2).any(|w| w[0] != w[1]), "jitter stream is constant");
+        // Degenerate bound never divides by zero and returns 0.
+        assert_eq!(backoff_jitter(0), 0);
+        assert_eq!(backoff_jitter(1), 0);
+        // Two threads get decorrelated streams.
+        let a = std::thread::spawn(|| (0..32).map(|_| backoff_jitter(1 << 16)).collect::<Vec<_>>())
+            .join()
+            .unwrap();
+        let b = std::thread::spawn(|| (0..32).map(|_| backoff_jitter(1 << 16)).collect::<Vec<_>>())
+            .join()
+            .unwrap();
+        assert_ne!(a, b, "per-thread jitter streams must differ");
     }
 
     #[test]

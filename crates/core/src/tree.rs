@@ -16,11 +16,11 @@
 
 use crossbeam_epoch::{self as epoch, Guard, Shared};
 use std::cmp::Ordering as Cmp;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::bound::Bound;
 use crate::node::{nref, Node};
-use lo_api::{Key, Value};
+use lo_api::{Key, TreeError, Value};
 use lo_metrics::{add, record, Event};
 
 /// The tree engine. See module docs; public wrappers live in `maps.rs`.
@@ -39,6 +39,10 @@ pub(crate) struct LoTree<K: Key, V: Value> {
     /// Partially-external mode: 2-children removals only set the `zombie`
     /// flag; inserts revive zombies; physical removal is deferred.
     pub(crate) partially_external: bool,
+    /// Poison word: `0` = healthy; otherwise a `poison::decode`-able cause
+    /// installed by a dying writer's `WriteScope`. Never read on the
+    /// lock-free lookup paths — a poisoned tree stays readable.
+    pub(crate) poisoned: AtomicU32,
 }
 
 impl<K: Key, V: Value> LoTree<K, V> {
@@ -51,6 +55,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             arena: std::sync::Arc::new(crate::arena::Arena::new()),
             balanced,
             partially_external,
+            poisoned: AtomicU32::new(crate::poison::CODE_HEALTHY),
         };
         // SAFETY: the tree is not yet shared; no other thread can free nodes.
         let g = unsafe { epoch::unprotected() };
@@ -83,6 +88,41 @@ impl<K: Key, V: Value> LoTree<K, V> {
         #[cfg(not(feature = "arena"))]
         {
             crate::node::alloc(node, g)
+        }
+    }
+
+    /// Fallible [`Self::alloc_node`]: consults the `arena-alloc` failpoint
+    /// and the arena's own `try_alloc`, surfacing exhaustion as
+    /// [`TreeError::AllocFailed`] instead of aborting. (The Box ablation
+    /// baseline cannot observe real OOM — stable `Box::new` aborts — but
+    /// still honors the failpoint.)
+    pub(crate) fn try_alloc_node<'g>(
+        &self,
+        node: Node<K, V>,
+        g: &'g Guard,
+    ) -> Result<Shared<'g, Node<K, V>>, TreeError> {
+        if crate::fp::should_fail(crate::fp::FailPoint::ArenaAlloc) {
+            return Err(TreeError::AllocFailed);
+        }
+        #[cfg(feature = "arena")]
+        {
+            let _ = g;
+            match self.arena.try_alloc(node) {
+                Some(p) => Ok(Shared::from(p.as_ptr().cast_const())),
+                None => Err(TreeError::AllocFailed),
+            }
+        }
+        #[cfg(not(feature = "arena"))]
+        {
+            Ok(crate::node::alloc(node, g))
+        }
+    }
+
+    /// The current poison state (`None` while healthy).
+    pub(crate) fn poison_error(&self) -> Option<TreeError> {
+        match self.poisoned.load(Ordering::Acquire) {
+            crate::poison::CODE_HEALTHY => None,
+            code => Some(crate::poison::decode(code)),
         }
     }
 
@@ -375,6 +415,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         node: Shared<'g, Node<K, V>>,
         g: &'g Guard,
     ) -> Shared<'g, Node<K, V>> {
+        let mut budget: Option<crate::poison::RestartBudget> = None;
         loop {
             let p = nref(node).parent.load(Ordering::Acquire, g);
             debug_assert!(!p.is_null(), "lock_parent called on the root sentinel");
@@ -389,6 +430,10 @@ impl<K: Key, V: Value> LoTree<K, V> {
             }
             record(Event::LockParentRetry);
             nref(p).unlock_tree();
+            // A dead writer can strand a parent marked-under-lock forever;
+            // abort instead of retrying against it (and count the storm).
+            crate::poison::abort_if_poisoned(&self.poisoned);
+            budget.get_or_insert_with(crate::poison::RestartBudget::new).tick();
         }
     }
 

@@ -12,9 +12,11 @@ use crossbeam_epoch::{self as epoch, Guard, Shared};
 use std::cmp::Ordering as Cmp;
 use std::sync::atomic::Ordering;
 
+use crate::fp::{self, FailPoint};
 use crate::node::{nref, Node};
+use crate::poison::{self, RestartBudget, WriteScope};
 use crate::tree::LoTree;
-use lo_api::{Key, Value};
+use lo_api::{Key, TreeError, Value};
 use lo_metrics::{record, Event};
 
 /// The set of tree locks held for a physical removal, produced by
@@ -38,11 +40,33 @@ pub(crate) struct RemovalLocks<'g, K: Key, V: Value> {
 }
 
 impl<K: Key, V: Value> LoTree<K, V> {
+    /// Restart edge shared by every update loop: a writer about to retry
+    /// first aborts (through the poisoning path) if a dead thread already
+    /// poisoned the tree — retrying against stranded structure can
+    /// livelock — then ticks the `LO_MAX_RESTARTS` storm budget.
+    #[inline]
+    pub(crate) fn writer_restart(&self, budget: &mut RestartBudget) {
+        poison::abort_if_poisoned(&self.poisoned);
+        budget.tick();
+    }
+
     /// Paper Algorithm 3. Returns `true` on a successful (key-was-absent)
     /// insertion; in partially-external mode a zombie revival also counts as
     /// a successful insertion.
+    ///
+    /// Infallible surface: panics if the tree is poisoned or allocation
+    /// fails (see [`Self::try_insert`]).
     pub(crate) fn insert(&self, key: K, value: V) -> bool {
+        poison::expect_writable(self.try_insert(key, value))
+    }
+
+    /// Fallible [`Self::insert`]: rejects writes on a poisoned tree and
+    /// surfaces allocation failure instead of aborting. An `Err` means the
+    /// map was not modified.
+    pub(crate) fn try_insert(&self, key: K, value: V) -> Result<bool, TreeError> {
         let g = &epoch::pin();
+        let _scope = WriteScope::enter(&self.poisoned)?;
+        let mut budget = RestartBudget::new();
         loop {
             let node = self.search(&key, g);
             // `p` is believed to be the key's predecessor: step back when the
@@ -65,6 +89,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             if !valid {
                 record(Event::SuccLockRestart);
                 nref(p).unlock_succ();
+                self.writer_restart(&mut budget);
                 continue; // validation failed; restart
             }
             if nref(s).key.is_key(&key) {
@@ -81,6 +106,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     // Release: a lock-free reader that Acquire-loads
                     // zombie == false must also see the value swap above.
                     nref(s).zombie.store(false, Ordering::Release);
+                    poison::note_linearized();
                     record(Event::ZombieRevived);
                     if !old.is_null() {
                         record(Event::ReclaimRetire);
@@ -89,23 +115,35 @@ impl<K: Key, V: Value> LoTree<K, V> {
                         unsafe { g.defer_destroy(old) };
                     }
                     nref(p).unlock_succ();
-                    return true;
+                    return Ok(true);
                 }
                 nref(p).unlock_succ();
-                return false; // unsuccessful insert
+                return Ok(false); // unsuccessful insert
             }
             // Successful insert: split interval (p, s) into (p, k), (k, s).
+            // Allocate before taking any tree lock, so a failure exits
+            // holding only `p.succ_lock` and the map is untouched.
+            let new = match self.try_alloc_node(Node::new_key(key, value), g) {
+                Ok(n) => n,
+                Err(e) => {
+                    nref(p).unlock_succ();
+                    return Err(e);
+                }
+            };
             let parent = self.choose_parent(p, s, node, g);
-            let new = self.alloc_node(Node::new_key(key, value), g);
             nref(new).pred.store(p, Ordering::Release);
             nref(new).succ.store(s, Ordering::Release);
             nref(new).parent.store(parent, Ordering::Release);
             nref(s).pred.store(new, Ordering::Release);
             // Linearization point of a successful insert (paper §5.2).
             nref(p).succ.store(new, Ordering::Release);
+            poison::note_linearized();
             nref(p).unlock_succ();
+            // Window: the new key is in the set (ordering layout) but not
+            // yet in the tree layout; lookups find it via the chain.
+            fp::pause(FailPoint::InsertOrderingLinked);
             self.insert_to_tree(parent, new, g);
-            return true;
+            return Ok(true);
         }
     }
 
@@ -118,7 +156,17 @@ impl<K: Key, V: Value> LoTree<K, V> {
     where
         V: Clone,
     {
+        poison::expect_writable(self.try_put(key, value))
+    }
+
+    /// Fallible [`Self::put`] (see [`Self::try_insert`] for the contract).
+    pub(crate) fn try_put(&self, key: K, value: V) -> Result<Option<V>, TreeError>
+    where
+        V: Clone,
+    {
         let g = &epoch::pin();
+        let _scope = WriteScope::enter(&self.poisoned)?;
+        let mut budget = RestartBudget::new();
         loop {
             let node = self.search(&key, g);
             let p = if nref(node).key.cmp_key(&key) != Cmp::Less {
@@ -135,6 +183,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             if !valid {
                 record(Event::SuccLockRestart);
                 nref(p).unlock_succ();
+                self.writer_restart(&mut budget);
                 continue;
             }
             if nref(s).key.is_key(&key) {
@@ -143,6 +192,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     self.partially_external && nref(s).zombie.load(Ordering::Relaxed);
                 let old =
                     nref(s).value.swap(epoch::Owned::new(value), Ordering::AcqRel, g);
+                poison::note_linearized();
                 if was_zombie {
                     // Release: readers observing zombie == false must see the
                     // value swap above (same as the revive in `insert`).
@@ -151,7 +201,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 }
                 nref(p).unlock_succ();
                 if old.is_null() {
-                    return None; // defensive: key nodes always hold a value
+                    return Ok(None); // defensive: key nodes always hold a value
                 }
                 // SAFETY: `old` stays valid for this guard's lifetime.
                 let out = (!was_zombie).then(|| unsafe { old.deref() }.clone());
@@ -159,19 +209,27 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 // SAFETY: `old` was swapped out under the succ lock by this
                 // thread; readers hold epoch guards.
                 unsafe { g.defer_destroy(old) };
-                return out;
+                return Ok(out);
             }
             // Absent: plain insertion (same as Algorithm 3's success path).
+            let new = match self.try_alloc_node(Node::new_key(key, value), g) {
+                Ok(n) => n,
+                Err(e) => {
+                    nref(p).unlock_succ();
+                    return Err(e);
+                }
+            };
             let parent = self.choose_parent(p, s, node, g);
-            let new = self.alloc_node(Node::new_key(key, value), g);
             nref(new).pred.store(p, Ordering::Release);
             nref(new).succ.store(s, Ordering::Release);
             nref(new).parent.store(parent, Ordering::Release);
             nref(s).pred.store(new, Ordering::Release);
             nref(p).succ.store(new, Ordering::Release);
+            poison::note_linearized();
             nref(p).unlock_succ();
+            fp::pause(FailPoint::InsertOrderingLinked);
             self.insert_to_tree(parent, new, g);
-            return None;
+            return Ok(None);
         }
     }
 
@@ -200,6 +258,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         if candidate == head {
             candidate = s;
         }
+        let mut budget: Option<RestartBudget> = None;
         loop {
             nref(candidate).lock_tree();
             if candidate == p {
@@ -215,7 +274,11 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 nref(candidate).unlock_tree();
                 if p == head {
                     // Only the successor can parent the new minimum; its
-                    // left slot frees up once the pending unlink completes.
+                    // left slot frees up once the pending unlink completes —
+                    // unless the unlinking writer died, so check for poison
+                    // before waiting on it.
+                    poison::abort_if_poisoned(&self.poisoned);
+                    budget.get_or_insert_with(RestartBudget::new).tick();
                     std::thread::yield_now();
                 } else {
                     candidate = p;
@@ -257,8 +320,19 @@ impl<K: Key, V: Value> LoTree<K, V> {
 
     /// Paper Algorithm 7. Returns `true` on a successful removal. In
     /// partially-external mode, delegates to the logical-removal path.
+    ///
+    /// Infallible surface: panics if the tree is poisoned (see
+    /// [`Self::try_remove`]).
     pub(crate) fn remove(&self, key: &K) -> bool {
+        poison::expect_writable(self.try_remove(key))
+    }
+
+    /// Fallible [`Self::remove`]: rejects writes on a poisoned tree. An
+    /// `Err` means the map was not modified.
+    pub(crate) fn try_remove(&self, key: &K) -> Result<bool, TreeError> {
         let g = &epoch::pin();
+        let _scope = WriteScope::enter(&self.poisoned)?;
+        let mut budget = RestartBudget::new();
         loop {
             let node = self.search(key, g);
             let p = if nref(node).key.cmp_key(key) != Cmp::Less {
@@ -275,35 +349,43 @@ impl<K: Key, V: Value> LoTree<K, V> {
             if !valid {
                 record(Event::SuccLockRestart);
                 nref(p).unlock_succ();
+                self.writer_restart(&mut budget);
                 continue; // validation failed; restart
             }
             if !nref(s).key.is_key(key) {
                 nref(p).unlock_succ();
-                return false; // unsuccessful remove
+                return Ok(false); // unsuccessful remove
             }
             if self.partially_external {
                 // Consumes p's succ lock; see pe.rs.
-                return self.remove_pe(p, s, g);
+                return Ok(self.remove_pe(p, s, g));
             }
             // Successful on-time removal of s.
             nref(s).lock_succ();
+            // Window: both succ locks held, no tree lock yet (the §5.1
+            // ordering boundary).
+            fp::pause(FailPoint::RemoveSuccTreeWindow);
             let locks = self.acquire_tree_locks(s, g);
             // Linearization point of a successful remove (paper §5.2).
             // Release pairs with the lock-free Acquire flag loads; nothing
             // needs a stronger order — see the node.rs ordering table.
             nref(s).mark.store(true, Ordering::Release);
+            poison::note_linearized();
             let s_succ = nref(s).succ.load(Ordering::Acquire, g);
             nref(s_succ).pred.store(p, Ordering::Release);
             nref(p).succ.store(s_succ, Ordering::Release);
             nref(s).unlock_succ();
             nref(p).unlock_succ();
+            // Window: marked and spliced out of the ordering layout, still
+            // physically present in the tree layout.
+            fp::pause(FailPoint::RemoveAfterMark);
             self.remove_from_tree(s, locks, g);
             record(Event::ReclaimRetire);
             // SAFETY: the node is now unlinked from both layouts by this
             // thread (marked under its succ lock); it is freed only once all
             // pinned readers move on.
             unsafe { self.retire_node(s, g) };
-            return true;
+            return Ok(true);
         }
     }
 
@@ -317,6 +399,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         n: Shared<'g, Node<K, V>>,
         g: &'g Guard,
     ) -> RemovalLocks<'g, K, V> {
+        let mut budget = RestartBudget::new();
         loop {
             nref(n).lock_tree();
             let parent = self.lock_parent(n, g);
@@ -330,6 +413,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     record(Event::TreeLockRestart);
                     nref(parent).unlock_tree();
                     nref(n).unlock_tree();
+                    self.writer_restart(&mut budget);
                     continue;
                 }
                 return RemovalLocks {
@@ -351,6 +435,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     record(Event::TreeLockRestart);
                     nref(parent).unlock_tree();
                     nref(n).unlock_tree();
+                    self.writer_restart(&mut budget);
                     continue;
                 }
                 // Relaxed: a node is only marked while its tree lock is
@@ -362,6 +447,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     nref(sp).unlock_tree();
                     nref(parent).unlock_tree();
                     nref(n).unlock_tree();
+                    self.writer_restart(&mut budget);
                     continue;
                 }
                 sp
@@ -378,6 +464,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             if !nref(s).try_lock_tree() {
                 record(Event::TreeLockRestart);
                 release_partial(succ_parent);
+                self.writer_restart(&mut budget);
                 continue;
             }
             let sr = nref(s).right.load(Ordering::Acquire, g);
@@ -389,6 +476,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 record(Event::TreeLockRestart);
                 nref(s).unlock_tree();
                 release_partial(succ_parent);
+                self.writer_restart(&mut budget);
                 continue;
             }
             return RemovalLocks {
@@ -434,6 +522,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
 
         // (i) Detach s from its current location.
         let is_left = self.update_child(detach_parent, s, child, g);
+        // Window: s is mid-relocation — detached from its old layout slot,
+        // not yet relinked at n's position; reachable only via the chain.
+        fp::pause(FailPoint::RemoveMidRelocation);
 
         // (ii) Move s to n's location: copy n's tree fields to s, point n's
         // children and parent at s. During this window s is unreachable via

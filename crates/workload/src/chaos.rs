@@ -1,0 +1,346 @@
+//! Seeded chaos harness: mixed workloads under an active fault plan.
+//!
+//! [`run_chaos`] drives a mixed insert/remove/contains workload against any
+//! [`FallibleMap`] while a [`FaultPlan`] is installed, catching every
+//! injected writer death and classifying it through the panic effect
+//! markers (`[lo-fault:op-linearized]` / `[lo-fault:op-not-linearized]`).
+//! After the storm it verifies the survivors' world:
+//!
+//! * the full quiescent invariant check (poison-aware: a poisoned tree is
+//!   validated in degraded mode — ordering-chain invariants still hold);
+//! * read coherence: `contains` agrees with the ordered key snapshot for
+//!   every key in the universe, poisoned or not;
+//! * writer rejection: a poisoned tree refuses `try_insert`/`try_remove`
+//!   with [`TreeError::Poisoned`];
+//! * optionally, linearizability of the recorded history via the
+//!   exhaustive WGL checker ([`lo_check::lin`]) — interrupted operations
+//!   count as completed iff they passed their linearization point.
+//!
+//! Fault injection only happens in builds where `lo-core` has its
+//! `failpoints` feature on; under a default build the harness still runs
+//! the workload and the checks, it just observes zero fired faults.
+//! Everything is deterministic from [`ChaosSpec::seed`] (modulo OS
+//! scheduling, which picks *which thread* hits an occurrence, never whether
+//! that occurrence fires).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lo_api::{CheckInvariants, FallibleMap, OrderedAccess, TreeError};
+use lo_check::fail::{
+    activate, effect_in_message, panic_message, take_injected_panic, FailPoint, FaultPlan,
+};
+use lo_check::lin::{is_linearizable, CompletedOp, LinOp, Recorder};
+
+use crate::rng::{SplitMix64, XorShift64Star};
+
+/// Workload shape for a chaos run. All fields are public; [`ChaosSpec::new`]
+/// fills in defaults sized for a fast, deterministic test.
+#[derive(Clone, Debug)]
+pub struct ChaosSpec {
+    /// Worker threads.
+    pub threads: usize,
+    /// Key universe `0..keys` (at most 64: the linearizability checker
+    /// models set state as a 64-bit mask).
+    pub keys: u64,
+    /// Operations attempted per thread (40% insert / 30% remove /
+    /// 30% contains).
+    pub ops_per_thread: usize,
+    /// Seed for the per-thread operation streams (independent of the
+    /// [`FaultPlan`] seed).
+    pub seed: u64,
+    /// Bitmask of keys present before the run starts (prefilled with the
+    /// plan *inactive*, so prefill never faults).
+    pub initial: u64,
+    /// Record the history and run the exhaustive WGL checker afterwards.
+    /// Requires `threads * ops_per_thread <= 28` (the checker is
+    /// exponential in history length).
+    pub check_linearizability: bool,
+    /// Suppress the default panic-hook backtrace for *injected* panics
+    /// (anything carrying an effect marker); genuine panics still print.
+    pub quiet: bool,
+}
+
+impl ChaosSpec {
+    /// Defaults: 4 threads, 16 keys, 200 ops/thread, no recording, quiet.
+    pub fn new(seed: u64) -> Self {
+        ChaosSpec {
+            threads: 4,
+            keys: 16,
+            ops_per_thread: 200,
+            seed,
+            initial: 0,
+            check_linearizability: false,
+            quiet: true,
+        }
+    }
+}
+
+/// What a chaos run did and observed. Counters are exact (every attempted
+/// operation lands in exactly one of `ops_completed`, `injected_panics`,
+/// `aborted_ops`, `rejected_writes`, `alloc_failures`).
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Operations that ran to completion (including failed inserts of
+    /// present keys etc. — "completed" means returned, not "succeeded").
+    pub ops_completed: u64,
+    /// Writer deaths injected by an armed failpoint.
+    pub injected_panics: u64,
+    /// Writers that died on a *consequence* of a fault rather than an
+    /// injection: poisoned-tree aborts at restart edges and restart-storm
+    /// budget trips.
+    pub aborted_ops: u64,
+    /// Writes rejected up front with [`TreeError::Poisoned`].
+    pub rejected_writes: u64,
+    /// Writes that observed [`TreeError::AllocFailed`].
+    pub alloc_failures: u64,
+    /// Per-point injected-fault counts, indexed like [`FailPoint::ALL`].
+    pub fired: [u64; FailPoint::COUNT],
+    /// Poison state of the map after the run.
+    pub poisoned: Option<TreeError>,
+    /// Recorded history length (0 unless
+    /// [`ChaosSpec::check_linearizability`]).
+    pub history_len: usize,
+}
+
+impl ChaosReport {
+    /// Total injected faults across all points (delays and forced
+    /// failures included, not just panics).
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().sum()
+    }
+}
+
+/// Runs the chaos workload described by `spec` against `map` under `plan`,
+/// then runs the post-mortem checks (see module docs). Panics on any
+/// violated check; returns the run's accounting otherwise.
+pub fn run_chaos<M>(map: &M, spec: &ChaosSpec, plan: FaultPlan) -> ChaosReport
+where
+    M: FallibleMap<i64, u64> + OrderedAccess<i64> + CheckInvariants + Sync,
+{
+    assert!(spec.threads > 0 && spec.ops_per_thread > 0, "empty chaos spec");
+    assert!(spec.keys > 0 && spec.keys <= 64, "key universe must be 1..=64");
+    if spec.check_linearizability {
+        assert!(
+            spec.threads * spec.ops_per_thread <= 28,
+            "linearizability checking needs threads * ops_per_thread <= 28"
+        );
+    }
+
+    // Prefill before arming the plan: the initial state never faults.
+    for k in 0..spec.keys {
+        if spec.initial & (1 << k) != 0 {
+            assert_eq!(map.try_insert(k as i64, k), Ok(true), "prefill of fresh key");
+        }
+    }
+
+    let quiet = spec.quiet.then(silence_injected_panics);
+    let session = activate(plan);
+
+    let recorder = spec.check_linearizability.then(Recorder::new);
+    let history: Mutex<Vec<CompletedOp>> = Mutex::new(Vec::new());
+    let ops_completed = AtomicU64::new(0);
+    let injected_panics = AtomicU64::new(0);
+    let aborted_ops = AtomicU64::new(0);
+    let rejected_writes = AtomicU64::new(0);
+    let alloc_failures = AtomicU64::new(0);
+
+    let mut seeder = SplitMix64::new(spec.seed);
+    let thread_seeds: Vec<u64> = (0..spec.threads).map(|_| seeder.next_u64()).collect();
+
+    std::thread::scope(|s| {
+        for &tseed in &thread_seeds {
+            let (recorder, history) = (&recorder, &history);
+            let (ops_completed, injected_panics) = (&ops_completed, &injected_panics);
+            let (aborted_ops, rejected_writes) = (&aborted_ops, &rejected_writes);
+            let alloc_failures = &alloc_failures;
+            s.spawn(move || {
+                let mut rng = XorShift64Star::new(tseed);
+                for _ in 0..spec.ops_per_thread {
+                    let key = rng.next_below(spec.keys) as i64;
+                    let roll = rng.next_below(100);
+                    let (op, val) = if roll < 40 {
+                        (LinOp::Insert, rng.next_u64())
+                    } else if roll < 70 {
+                        (LinOp::Remove, 0)
+                    } else {
+                        (LinOp::Contains, 0)
+                    };
+                    let invoke = recorder.as_ref().map(Recorder::stamp);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| match op {
+                        LinOp::Insert => map.try_insert(key, val),
+                        LinOp::Remove => map.try_remove(&key),
+                        LinOp::Contains => Ok(map.contains(&key)),
+                    }));
+                    let response = recorder.as_ref().map(Recorder::stamp);
+                    let recorded = match outcome {
+                        Ok(Ok(result)) => {
+                            ops_completed.fetch_add(1, Ordering::Relaxed);
+                            Some(result)
+                        }
+                        Ok(Err(TreeError::Poisoned(_))) => {
+                            rejected_writes.fetch_add(1, Ordering::Relaxed);
+                            None // rejected up front: no effect
+                        }
+                        Ok(Err(TreeError::AllocFailed)) => {
+                            alloc_failures.fetch_add(1, Ordering::Relaxed);
+                            None // allocation failure: no effect
+                        }
+                        Err(payload) => {
+                            let injected = take_injected_panic().is_some();
+                            let effect =
+                                panic_message(payload.as_ref()).and_then(effect_in_message);
+                            if !injected && effect.is_none() {
+                                // Not fault-related: a genuine bug surfaced
+                                // under chaos. Re-raise it.
+                                resume_unwind(payload);
+                            }
+                            let ctr = if injected { injected_panics } else { aborted_ops };
+                            ctr.fetch_add(1, Ordering::Relaxed);
+                            // A writer killed *after* its linearization
+                            // point completed an effective insert/remove;
+                            // one killed before it had no effect.
+                            (effect == Some(true)).then_some(true)
+                        }
+                    };
+                    if let (Some(result), Some(invoke), Some(response)) =
+                        (recorded, invoke, response)
+                    {
+                        history.lock().expect("history mutex").push(CompletedOp {
+                            op,
+                            key: key as u8,
+                            result,
+                            invoke,
+                            response,
+                        });
+                    }
+                }
+            });
+        }
+    });
+
+    let fired = session.fired_counts();
+    drop(session);
+    if let Some(restore) = quiet {
+        restore();
+    }
+
+    // ---- post-mortem checks (quiescent) ----
+    let poisoned = map.poisoned();
+
+    // 1. Full invariant sweep; degraded automatically when poisoned.
+    map.check_invariants();
+
+    // 2. Read coherence: the lock-free membership test agrees with the
+    //    ordering-layout snapshot for the whole key universe.
+    let snapshot = map.keys_in_order();
+    for k in 0..spec.keys as i64 {
+        assert_eq!(
+            map.contains(&k),
+            snapshot.contains(&k),
+            "contains({k}) disagrees with the ordered snapshot (poisoned: {poisoned:?})"
+        );
+    }
+
+    // 3. A poisoned tree must keep rejecting writers.
+    if poisoned.is_some() {
+        assert!(
+            matches!(map.try_insert(i64::MAX, 0), Err(TreeError::Poisoned(_))),
+            "poisoned tree accepted an insert"
+        );
+        assert!(
+            matches!(map.try_remove(&0), Err(TreeError::Poisoned(_))),
+            "poisoned tree accepted a remove"
+        );
+    }
+
+    // 4. Linearizability of the recorded history.
+    let mut history = history.into_inner().expect("history mutex");
+    history.sort_by_key(|c| c.invoke);
+    if spec.check_linearizability {
+        assert!(
+            is_linearizable(&history, spec.initial),
+            "chaos history (len {}) is not linearizable under seed {}",
+            history.len(),
+            spec.seed
+        );
+    }
+
+    ChaosReport {
+        ops_completed: ops_completed.into_inner(),
+        injected_panics: injected_panics.into_inner(),
+        aborted_ops: aborted_ops.into_inner(),
+        rejected_writes: rejected_writes.into_inner(),
+        alloc_failures: alloc_failures.into_inner(),
+        fired,
+        poisoned,
+        history_len: history.len(),
+    }
+}
+
+/// Replaces the panic hook with one that swallows injected-fault panics
+/// (payloads carrying an effect marker) and forwards everything else.
+/// Returns a closure that restores forwarding-to-the-previous-hook
+/// behavior. Chaos runs are serialized by the plan session, so the global
+/// hook swap does not race with other runs.
+fn silence_injected_panics() -> impl FnOnce() {
+    let prev = Arc::new(std::panic::take_hook());
+    let filter_prev = Arc::clone(&prev);
+    std::panic::set_hook(Box::new(move |info| {
+        let marked = panic_message(info.payload()).is_some_and(|m| effect_in_message(m).is_some());
+        if !marked {
+            filter_prev(info);
+        }
+    }));
+    move || {
+        let _ = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| prev(info)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The harness must run cleanly (zero faults) with an empty plan, on
+    /// any build.
+    #[test]
+    fn clean_run_with_empty_plan() {
+        let map = lo_core::LoAvlMap::new();
+        let spec = ChaosSpec { initial: 0b1010, ..ChaosSpec::new(11) };
+        let report = run_chaos(&map, &spec, FaultPlan::new(11));
+        assert_eq!(report.total_fired(), 0);
+        assert_eq!(report.injected_panics, 0);
+        assert_eq!(report.poisoned, None);
+        assert_eq!(
+            report.ops_completed,
+            (spec.threads * spec.ops_per_thread) as u64
+        );
+    }
+
+    /// Tiny recorded session through the WGL checker, no faults.
+    #[test]
+    fn clean_run_is_linearizable() {
+        let map = lo_core::LoBstMap::new();
+        let spec = ChaosSpec {
+            threads: 3,
+            keys: 4,
+            ops_per_thread: 9,
+            initial: 0b0101,
+            check_linearizability: true,
+            ..ChaosSpec::new(23)
+        };
+        let report = run_chaos(&map, &spec, FaultPlan::new(23));
+        assert_eq!(report.history_len, 27);
+        assert_eq!(report.poisoned, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads * ops_per_thread")]
+    fn oversized_recorded_session_rejected() {
+        let map = lo_core::LoAvlMap::new();
+        let spec = ChaosSpec { check_linearizability: true, ..ChaosSpec::new(1) };
+        run_chaos(&map, &spec, FaultPlan::new(1));
+    }
+}

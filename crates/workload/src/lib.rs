@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod history;
 pub mod latency;
 pub mod report;
@@ -25,6 +26,7 @@ pub mod runner;
 pub mod spec;
 pub mod stats;
 
+pub use chaos::{run_chaos, ChaosReport, ChaosSpec};
 pub use history::HistoryRecorder;
 pub use latency::LatencyHistogram;
 pub use report::{MetricsEntry, MetricsPanel, Panel};

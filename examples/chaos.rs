@@ -1,0 +1,270 @@
+//! Seeded chaos demo: kill writers inside every cataloged failpoint
+//! window, then show that readers stay correct and the poisoned tree
+//! rejects further writes.
+//!
+//! Run with fault injection compiled in:
+//!
+//! ```text
+//! cargo run --release --features failpoints --example chaos
+//! LO_CHAOS_SEED=7 cargo run --release --features failpoints --example chaos
+//! ```
+//!
+//! Without `--features failpoints` the failpoint call sites are compiled
+//! out; the example detects that, skips the targeted kill scenarios, and
+//! still runs the mixed-workload rounds (which then observe zero faults) —
+//! so the same binary doubles as the no-op smoke test for default builds.
+
+use lo_check::fail::{
+    activate, effect_in_message, panic_message, take_injected_panic, FailPoint, FaultPlan,
+};
+use lo_trees::workload::{run_chaos, ChaosSpec};
+use lo_trees::{
+    FallibleMap, LoAvlMap, LoBstMap, LoPeBstMap, PoisonCause, TreeError,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn seed() -> u64 {
+    std::env::var("LO_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE)
+}
+
+/// Probe whether this build actually injects faults (i.e. `lo-core` was
+/// compiled with its `failpoints` feature).
+fn injection_compiled_in() -> bool {
+    let session = activate(FaultPlan::new(0).fail_at(FailPoint::ArenaAlloc, 1));
+    let probe = LoAvlMap::new();
+    let r = probe.try_insert(1i64, 1u64);
+    drop(session);
+    match r {
+        Err(TreeError::AllocFailed) => true,
+        Ok(true) => false,
+        other => panic!("unexpected probe outcome {other:?}"),
+    }
+}
+
+/// Runs `op` on a fresh scenario under a one-shot panic plan at `point`,
+/// reporting how the interrupted operation was classified.
+fn kill_at<M: FallibleMap<i64, u64>>(
+    point: FailPoint,
+    map: &M,
+    op: impl FnOnce() -> Result<bool, TreeError>,
+) -> bool {
+    let session = activate(FaultPlan::new(seed()).panic_at(point));
+    let outcome = catch_unwind(AssertUnwindSafe(op));
+    let fired = session.fired();
+    drop(session);
+
+    let payload = outcome.expect_err("the armed failpoint must kill the writer");
+    assert_eq!(fired, 1, "exactly one injection expected");
+    assert_eq!(take_injected_panic(), Some(point));
+    let msg = panic_message(payload.as_ref()).expect("injected panics carry a message");
+    let linearized = effect_in_message(msg).expect("injected panics carry an effect marker");
+
+    // The dead writer must have poisoned the tree with its failpoint as
+    // the cause, and the tree must reject writers from now on.
+    let err = map.poisoned().expect("writer death must poison the tree");
+    assert_eq!(err, TreeError::Poisoned(PoisonCause::Failpoint(point.name())));
+    assert!(matches!(map.try_insert(99, 0), Err(TreeError::Poisoned(_))));
+
+    println!(
+        "  kill @ {:<24} -> op {}, tree poisoned, writers rejected",
+        point.name(),
+        if linearized { "took effect" } else { "had no effect" },
+    );
+    linearized
+}
+
+fn targeted_kills() {
+    println!("targeted writer kills (one per failpoint window):");
+
+    // Insert, after the ordering-layout linearization point but before the
+    // node is linked into the tree layout: the key IS in the set.
+    let m = LoAvlMap::new();
+    assert!(kill_at(FailPoint::InsertOrderingLinked, &m, || m.try_insert(5, 50)));
+    assert!(m.contains(&5), "linearized insert is visible through the ordering layout");
+
+    // Remove, between succ-lock and tree-lock acquisition: before the
+    // linearization point, so the key survives.
+    let m = LoAvlMap::new();
+    for k in [1i64, 2, 3] {
+        m.try_insert(k, 0).unwrap();
+    }
+    assert!(!kill_at(FailPoint::RemoveSuccTreeWindow, &m, || m.try_remove(&2)));
+    assert!(m.contains(&2), "unlinearized remove must leave the key present");
+
+    // Remove, after the mark store (linearization point) but before the
+    // physical unlink: the key is GONE even though its node is still in
+    // the tree layout.
+    let m = LoAvlMap::new();
+    for k in [1i64, 2, 3] {
+        m.try_insert(k, 0).unwrap();
+    }
+    assert!(kill_at(FailPoint::RemoveAfterMark, &m, || m.try_remove(&2)));
+    assert!(!m.contains(&2), "linearized remove is visible despite the stranded layout");
+    assert!(m.contains(&1) && m.contains(&3), "neighbors unaffected");
+
+    // Remove of a two-children node, mid successor relocation: the victim
+    // is logically gone; the half-relocated successor stays readable.
+    let m = LoBstMap::new();
+    for k in [2i64, 1, 3] {
+        m.try_insert(k, 0).unwrap();
+    }
+    assert!(kill_at(FailPoint::RemoveMidRelocation, &m, || m.try_remove(&2)));
+    assert!(!m.contains(&2));
+    assert!(m.contains(&1) && m.contains(&3), "relocated successor still found");
+
+    // Rotation, after the child pointers are rewired but before the height
+    // stores: the triggering insert had already linearized.
+    let m = LoAvlMap::new();
+    let outcome = {
+        let session = activate(FaultPlan::new(seed()).panic_at(FailPoint::RotateMid));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            for k in [1i64, 2, 3] {
+                // The third insert triggers the first rotation.
+                m.try_insert(k, 0).unwrap();
+            }
+        }));
+        assert_eq!(session.fired(), 1);
+        r
+    };
+    assert!(outcome.is_err(), "rotation failpoint must kill the inserter");
+    assert_eq!(take_injected_panic(), Some(FailPoint::RotateMid));
+    for k in [1i64, 2, 3] {
+        assert!(m.contains(&k), "all inserted keys visible mid-rotation");
+    }
+    assert_eq!(
+        m.poisoned(),
+        Some(TreeError::Poisoned(PoisonCause::Failpoint(FailPoint::RotateMid.name())))
+    );
+    println!(
+        "  kill @ {:<24} -> op took effect, tree poisoned, writers rejected",
+        FailPoint::RotateMid.name()
+    );
+
+    // Partially-external remove, after the mark but before the physical
+    // splice: same observable outcome as `remove-after-mark`.
+    let m = LoPeBstMap::new();
+    for k in [1i64, 2] {
+        m.try_insert(k, 0).unwrap();
+    }
+    assert!(kill_at(FailPoint::PeAfterMark, &m, || m.try_remove(&2)));
+    assert!(!m.contains(&2) && m.contains(&1));
+}
+
+fn restart_storm() {
+    // Forced try_lock failures starve a remove's tree-lock phase; the
+    // LO_MAX_RESTARTS tripwire converts the livelock into a poisoned tree.
+    println!("restart storm (forced try-lock failures under LO_MAX_RESTARTS=16):");
+    let m = LoAvlMap::new();
+    for k in [1i64, 2, 3] {
+        m.try_insert(k, 0).unwrap();
+    }
+    lo_trees::set_max_restarts(16);
+    let session = activate(FaultPlan::new(seed()).fail_at(FailPoint::TreeTryLock, u64::MAX));
+    let outcome = catch_unwind(AssertUnwindSafe(|| m.try_remove(&2)));
+    let fired = session.fired();
+    drop(session);
+    lo_trees::set_max_restarts(0);
+
+    assert!(outcome.is_err(), "the storm tripwire must abort the writer");
+    assert!(fired >= 16, "every restart burned a forced failure (fired {fired})");
+    assert_eq!(m.poisoned(), Some(TreeError::Poisoned(PoisonCause::RestartStorm)));
+    assert!(m.contains(&2), "the starved remove never linearized");
+    println!("  remove(2) aborted after {fired} forced failures; cause: RestartStorm");
+}
+
+fn alloc_exhaustion() {
+    // Simulated allocator exhaustion surfaces as a clean error, not a
+    // poisoning: the tree stays healthy and the retry succeeds.
+    println!("allocation failure (simulated, budget 1):");
+    let m = LoAvlMap::new();
+    let session = activate(FaultPlan::new(seed()).fail_at(FailPoint::ArenaAlloc, 1));
+    assert_eq!(m.try_insert(7, 70), Err(TreeError::AllocFailed));
+    assert_eq!(m.poisoned(), None, "allocation failure must not poison");
+    assert_eq!(m.try_insert(7, 70), Ok(true), "retry succeeds once the budget is spent");
+    drop(session);
+    println!("  first insert: AllocFailed (tree healthy); retry: ok");
+}
+
+fn chaos_rounds(injecting: bool) {
+    println!("mixed-workload chaos rounds (seed {:#x}):", seed());
+
+    // Round 1: sampled panics across the write-path windows, AVL tree.
+    let plan = FaultPlan::new(seed())
+        .delay_at(FailPoint::RemoveSuccTreeWindow, 512, 3)
+        .with(
+            FailPoint::InsertOrderingLinked,
+            lo_check::fail::FaultRule::once(lo_check::fail::FaultAction::Panic).skip(40),
+        )
+        .delay_at(FailPoint::RotateMid, 256, 2);
+    let map = LoAvlMap::new();
+    let report = run_chaos(&map, &ChaosSpec { initial: 0xFF, ..ChaosSpec::new(seed()) }, plan);
+    println!(
+        "  avl:    {} ops, {} injected panics, {} rejected writes, poisoned: {}",
+        report.ops_completed,
+        report.injected_panics,
+        report.rejected_writes,
+        report.poisoned.map_or("no".into(), |e| format!("yes ({e})")),
+    );
+    if injecting {
+        assert_eq!(report.injected_panics, 1, "the armed one-shot panic must land");
+        assert!(report.poisoned.is_some());
+    }
+
+    // Round 2: delays and budgeted try-lock failures only — survivable
+    // chaos; the tree must come out healthy.
+    let plan = FaultPlan::new(seed() ^ 1)
+        .delay_at(FailPoint::RemoveAfterMark, 512, 4)
+        .delay_at(FailPoint::PeAfterMark, 512, 4)
+        .fail_at(FailPoint::TreeTryLock, 64);
+    let map = LoPeBstMap::new();
+    let spec = ChaosSpec { initial: 0xF0F0, ..ChaosSpec::new(seed() ^ 1) };
+    let report = run_chaos(&map, &spec, plan);
+    println!(
+        "  pe-bst: {} ops, {} faults fired (delays + forced try-lock failures), poisoned: {}",
+        report.ops_completed,
+        report.total_fired(),
+        if report.poisoned.is_some() { "yes" } else { "no" },
+    );
+    assert_eq!(report.poisoned, None, "survivable chaos must not poison");
+    assert_eq!(report.ops_completed, (spec.threads * spec.ops_per_thread) as u64);
+
+    // Round 3: tiny recorded session through the WGL linearizability
+    // checker with a mid-window panic armed.
+    let plan = FaultPlan::new(seed() ^ 2).with(
+        FailPoint::RemoveAfterMark,
+        lo_check::fail::FaultRule::once(lo_check::fail::FaultAction::Panic).skip(2),
+    );
+    let map = LoAvlMap::new();
+    let spec = ChaosSpec {
+        threads: 4,
+        keys: 8,
+        ops_per_thread: 7,
+        initial: 0b1011_0110,
+        check_linearizability: true,
+        ..ChaosSpec::new(seed() ^ 2)
+    };
+    let report = run_chaos(&map, &spec, plan);
+    println!(
+        "  lin:    {} recorded ops linearizable ({} injected panic{})",
+        report.history_len,
+        report.injected_panics,
+        if report.injected_panics == 1 { "" } else { "s" },
+    );
+}
+
+fn main() {
+    let injecting = injection_compiled_in();
+    println!(
+        "fault injection: {}",
+        if injecting { "compiled in (--features failpoints)" } else { "compiled out (no-op build)" }
+    );
+    if injecting {
+        targeted_kills();
+        restart_storm();
+        alloc_exhaustion();
+    } else {
+        println!("skipping targeted kill scenarios (failpoints are no-ops in this build)");
+    }
+    chaos_rounds(injecting);
+    println!("chaos demo complete: readers stayed coherent, poisoning behaved as specified.");
+}
