@@ -31,10 +31,12 @@ impl<T: Send + Sync + 'static> Value for T {}
 /// A linearizable concurrent ordered map.
 ///
 /// Semantics follow the paper's interface:
-/// * [`insert`](Self::insert) is a no-op returning `false` when the key is
-///   already present (it does **not** overwrite; use
-///   [`put_if_absent`](Self::insert) semantics for overwriting maps built on
-///   top of this trait),
+/// * [`insert`](Self::insert) has *put-if-absent* semantics: it is a no-op
+///   returning `false` when the key is already present (it does **not**
+///   overwrite). Implementations that also support overwriting expose it as
+///   a separate inherent `put` method — e.g. the `lo-core` maps' `put`
+///   returns the previous value and replaces it in place — rather than
+///   through this trait,
 /// * [`remove`](Self::remove) returns whether the key was present,
 /// * [`contains`](Self::contains) must be safe to run concurrently with any
 ///   mix of mutating operations.
@@ -59,16 +61,67 @@ pub trait ConcurrentMap<K: Key, V: Value>: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
-/// Ordered-access extension (paper §4.7): O(1) min/max via the sentinel
-/// `succ`/`pred` pointers, plus in-order key snapshots for iteration tests.
-pub trait OrderedAccess<K: Key> {
+/// Concurrent-safe ordered reads (paper §4.7): O(1) min/max via the
+/// sentinel `succ`/`pred` pointers, ceiling/floor queries and streaming
+/// range scans over the logical-ordering list.
+///
+/// Every method is safe to call concurrently with any mix of mutating
+/// operations, and each *individual* key an implementation reports was
+/// live at some instant during the call. A multi-key scan is **not** an
+/// atomic snapshot: keys observed early in the scan may be removed (and
+/// keys ahead of the cursor inserted) while the scan is still running.
+/// What is guaranteed: keys are yielded in strictly ascending order, the
+/// scan stays within its bounds, and it terminates.
+///
+/// This trait is where the logical-ordering design pays off structurally:
+/// maps whose nodes carry `pred`/`succ` ordering pointers (the `lo-core`
+/// trees) and linked-list-based structures (the skip list) implement it
+/// natively. External/leaf-oriented trees without an ordering layer (EFRB,
+/// Natarajan-Mittal, chromatic, ...) structurally cannot — they only get
+/// [`QuiescentOrdered`] snapshots.
+pub trait OrderedRead<K: Key> {
     /// Smallest key currently in the map, if any.
     fn min_key(&self) -> Option<K>;
+
     /// Largest key currently in the map, if any.
     fn max_key(&self) -> Option<K>;
+
+    /// Smallest live key `>= key`, if any.
+    fn ceiling_key(&self, key: &K) -> Option<K>;
+
+    /// Largest live key `<= key`, if any.
+    fn floor_key(&self, key: &K) -> Option<K>;
+
+    /// Streams every live key in `range` (ascending, strictly increasing)
+    /// into `f`, without materialising the whole result.
+    fn scan_range(&self, range: std::ops::RangeInclusive<K>, f: &mut dyn FnMut(K));
+
+    /// Number of live keys in `range` (one streaming pass, no allocation).
+    fn range_count(&self, range: std::ops::RangeInclusive<K>) -> usize {
+        let mut n = 0;
+        self.scan_range(range, &mut |_| n += 1);
+        n
+    }
+
+    /// Collects the live keys in `range`, ascending.
+    fn range_keys(&self, range: std::ops::RangeInclusive<K>) -> Vec<K> {
+        let mut out = Vec::new();
+        self.scan_range(range, &mut |k| out.push(k));
+        out
+    }
+}
+
+/// Full-structure ordered snapshots, only meaningful at quiescence.
+///
+/// Every map in the suite can produce an in-order key dump by traversing
+/// its layout while no other thread is mutating it — that requires no
+/// ordering layer, so even the external-tree baselines implement this.
+/// Structures that additionally support *concurrent* ordered reads
+/// implement [`OrderedRead`] on top.
+pub trait QuiescentOrdered<K: Key> {
     /// All keys in ascending order. Only meaningful at quiescence; used by
-    /// tests and examples. Concurrent-safe implementations may return a
-    /// point-in-time-ish snapshot.
+    /// tests, invariant checks and examples. Concurrent-safe
+    /// implementations may return a point-in-time-ish snapshot.
     fn keys_in_order(&self) -> Vec<K>;
 }
 

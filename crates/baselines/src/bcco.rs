@@ -24,7 +24,7 @@ use std::cmp::Ordering as Cmp;
 use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
 
 use crate::lock::RawLock;
-use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+use lo_api::{CheckInvariants, ConcurrentMap, Key, QuiescentOrdered, Value};
 
 const UNLINKED: u64 = 1;
 const SHRINKING: u64 = 2;
@@ -1054,13 +1054,10 @@ impl<K: Key, V: Value> ConcurrentMap<K, V> for BccoTreeMap<K, V> {
     }
 }
 
-impl<K: Key, V: Value> OrderedAccess<K> for BccoTreeMap<K, V> {
-    fn min_key(&self) -> Option<K> {
-        self.keys_in_order().first().copied()
-    }
-    fn max_key(&self) -> Option<K> {
-        self.keys_in_order().last().copied()
-    }
+/// Snapshot-only ordered access: this structure has no ordering layer
+/// (no `pred`/`succ` chain), so it cannot offer concurrent ordered reads
+/// ([`lo_api::OrderedRead`]); quiescent in-order dumps are all it has.
+impl<K: Key, V: Value> QuiescentOrdered<K> for BccoTreeMap<K, V> {
     fn keys_in_order(&self) -> Vec<K> {
         let g = epoch::pin();
         let mut out = Vec::new();

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::Arc;
 
 use crate::lock::RawLock;
-use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+use lo_api::{CheckInvariants, ConcurrentMap, Key, QuiescentOrdered, Value};
 
 struct CfNode<K, V> {
     /// `None` only for the root holder (−∞; everything descends right).
@@ -554,13 +554,10 @@ impl<K: Key, V: Value + Clone> ConcurrentMap<K, V> for CfTreeMap<K, V> {
     }
 }
 
-impl<K: Key, V: Value + Clone> OrderedAccess<K> for CfTreeMap<K, V> {
-    fn min_key(&self) -> Option<K> {
-        self.keys_in_order().first().copied()
-    }
-    fn max_key(&self) -> Option<K> {
-        self.keys_in_order().last().copied()
-    }
+/// Snapshot-only ordered access: this structure has no ordering layer
+/// (no `pred`/`succ` chain), so it cannot offer concurrent ordered reads
+/// ([`lo_api::OrderedRead`]); quiescent in-order dumps are all it has.
+impl<K: Key, V: Value + Clone> QuiescentOrdered<K> for CfTreeMap<K, V> {
     fn keys_in_order(&self) -> Vec<K> {
         let _gate = self.inner.gate.lock();
         let g = epoch::pin();

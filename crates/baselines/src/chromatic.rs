@@ -29,7 +29,7 @@ use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 
 use crate::lock::RawLock;
-use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+use lo_api::{CheckInvariants, ConcurrentMap, Key, QuiescentOrdered, Value};
 
 /// Violation-batching threshold (Chromatic6).
 const THRESHOLD: usize = 6;
@@ -586,13 +586,10 @@ impl<K: Key, V: Value + Clone> ConcurrentMap<K, V> for ChromaticTreeMap<K, V> {
     }
 }
 
-impl<K: Key, V: Value + Clone> OrderedAccess<K> for ChromaticTreeMap<K, V> {
-    fn min_key(&self) -> Option<K> {
-        self.keys_in_order().first().copied()
-    }
-    fn max_key(&self) -> Option<K> {
-        self.keys_in_order().last().copied()
-    }
+/// Snapshot-only ordered access: this structure has no ordering layer
+/// (no `pred`/`succ` chain), so it cannot offer concurrent ordered reads
+/// ([`lo_api::OrderedRead`]); quiescent in-order dumps are all it has.
+impl<K: Key, V: Value + Clone> QuiescentOrdered<K> for ChromaticTreeMap<K, V> {
     fn keys_in_order(&self) -> Vec<K> {
         let g = epoch::pin();
         let mut out = Vec::new();

@@ -7,7 +7,7 @@
 use parking_lot::RwLock;
 
 use crate::seq::SeqAvl;
-use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+use lo_api::{CheckInvariants, ConcurrentMap, Key, QuiescentOrdered, Value};
 
 /// `RwLock<SeqAvl>` — readers share, writers exclude everyone.
 pub struct CoarseAvlMap<K: Key, V: Value> {
@@ -58,13 +58,10 @@ impl<K: Key, V: Value> ConcurrentMap<K, V> for CoarseAvlMap<K, V> {
     }
 }
 
-impl<K: Key, V: Value> OrderedAccess<K> for CoarseAvlMap<K, V> {
-    fn min_key(&self) -> Option<K> {
-        self.inner.read().keys_in_order().first().copied()
-    }
-    fn max_key(&self) -> Option<K> {
-        self.inner.read().keys_in_order().last().copied()
-    }
+/// Snapshot-only ordered access: this structure has no ordering layer
+/// (no `pred`/`succ` chain), so it cannot offer concurrent ordered reads
+/// ([`lo_api::OrderedRead`]); quiescent in-order dumps are all it has.
+impl<K: Key, V: Value> QuiescentOrdered<K> for CoarseAvlMap<K, V> {
     fn keys_in_order(&self) -> Vec<K> {
         self.inner.read().keys_in_order()
     }

@@ -21,7 +21,7 @@
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use std::sync::atomic::Ordering;
 
-use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+use lo_api::{CheckInvariants, ConcurrentMap, Key, QuiescentOrdered, Value};
 
 /// Update-word state tags.
 const CLEAN: usize = 0;
@@ -469,13 +469,10 @@ impl<K: Key, V: Value> ConcurrentMap<K, V> for EfrbTreeMap<K, V> {
     }
 }
 
-impl<K: Key, V: Value> OrderedAccess<K> for EfrbTreeMap<K, V> {
-    fn min_key(&self) -> Option<K> {
-        self.keys_in_order().first().copied()
-    }
-    fn max_key(&self) -> Option<K> {
-        self.keys_in_order().last().copied()
-    }
+/// Snapshot-only ordered access: this structure has no ordering layer
+/// (no `pred`/`succ` chain), so it cannot offer concurrent ordered reads
+/// ([`lo_api::OrderedRead`]); quiescent in-order dumps are all it has.
+impl<K: Key, V: Value> QuiescentOrdered<K> for EfrbTreeMap<K, V> {
     fn keys_in_order(&self) -> Vec<K> {
         let g = epoch::pin();
         let mut out = Vec::new();

@@ -14,7 +14,7 @@
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedAccess, Value};
+use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedRead, QuiescentOrdered, Value};
 
 /// Maximum tower height; supports ~2^28 elements comfortably.
 const MAX_HEIGHT: usize = 28;
@@ -286,6 +286,45 @@ impl<K: Key, V: Value> SkipListMap<K, V> {
         self.peek(key, g).map(|n| n.value.clone().expect("key nodes hold values"))
     }
 
+    /// Bottom-level position for `key` without unlinking: the last *live*
+    /// node with key `< key` seen on the descent (`None` = only the head
+    /// precedes it) and the first bottom-level node (possibly marked) with
+    /// key `>= key`.
+    fn bottom_bounds<'g>(
+        &self,
+        key: &K,
+        g: &'g Guard,
+    ) -> (Option<&'g SlNode<K, V>>, Shared<'g, SlNode<K, V>>) {
+        let head = self.head.load(Ordering::Acquire, g);
+        let mut pred = head;
+        let mut floor: Option<&'g SlNode<K, V>> = None;
+        for level in (0..MAX_HEIGHT).rev() {
+            let mut curr = sl_ref(pred).next[level].load(Ordering::Acquire, g).with_tag(0);
+            loop {
+                if curr.is_null() {
+                    break;
+                }
+                let curr_ref = sl_ref(curr);
+                let succ = curr_ref.next[level].load(Ordering::Acquire, g);
+                if succ.tag() == 1 {
+                    curr = succ.with_tag(0);
+                    continue; // skip marked node
+                }
+                if curr_ref.key.as_ref().expect("only head lacks a key") < key {
+                    pred = curr;
+                    floor = Some(curr_ref);
+                    curr = succ.with_tag(0);
+                } else {
+                    break;
+                }
+            }
+            if level == 0 {
+                return (floor, curr);
+            }
+        }
+        unreachable!("the loop returns at level 0")
+    }
+
     fn peek<'g>(&self, key: &K, g: &'g Guard) -> Option<&'g SlNode<K, V>> {
         let head = self.head.load(Ordering::Acquire, g);
         let mut pred = head;
@@ -360,13 +399,127 @@ impl<K: Key, V: Value> ConcurrentMap<K, V> for SkipListMap<K, V> {
     }
 }
 
-impl<K: Key, V: Value> OrderedAccess<K> for SkipListMap<K, V> {
+/// The skip list has a sorted bottom-level list — structurally the same
+/// asset as the logical-ordering trees' `succ` chain — so it implements
+/// the concurrent [`OrderedRead`] surface natively: ceiling/floor come
+/// from a marked-node-skipping descent, scans walk the bottom level.
+impl<K: Key, V: Value> OrderedRead<K> for SkipListMap<K, V> {
     fn min_key(&self) -> Option<K> {
-        self.keys_in_order().first().copied()
+        let g = epoch::pin();
+        let mut n = sl_ref(self.head.load(Ordering::Acquire, &g)).next[0]
+            .load(Ordering::Acquire, &g)
+            .with_tag(0);
+        while !n.is_null() {
+            let r = sl_ref(n);
+            let next = r.next[0].load(Ordering::Acquire, &g);
+            if next.tag() == 0 {
+                return Some(*r.key.as_ref().expect("key node"));
+            }
+            n = next.with_tag(0);
+        }
+        None
     }
+
     fn max_key(&self) -> Option<K> {
-        self.keys_in_order().last().copied()
+        let g = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &g);
+        // Descend to the rightmost node, then check liveness along the
+        // bottom-level suffix the descent lands in.
+        let mut pred = head;
+        let mut best: Option<K> = None;
+        for level in (0..MAX_HEIGHT).rev() {
+            loop {
+                let next = sl_ref(pred).next[level].load(Ordering::Acquire, &g).with_tag(0);
+                if next.is_null() {
+                    break;
+                }
+                if level == 0 {
+                    let r = sl_ref(next);
+                    if r.next[0].load(Ordering::Acquire, &g).tag() == 0 {
+                        best = Some(*r.key.as_ref().expect("key node"));
+                    }
+                }
+                pred = next;
+            }
+        }
+        if best.is_some() {
+            return best;
+        }
+        // The whole suffix was concurrently deleted: fall back to a full
+        // bottom-level walk tracking the last live node.
+        let mut n = sl_ref(head).next[0].load(Ordering::Acquire, &g).with_tag(0);
+        while !n.is_null() {
+            let r = sl_ref(n);
+            let next = r.next[0].load(Ordering::Acquire, &g);
+            if next.tag() == 0 {
+                best = Some(*r.key.as_ref().expect("key node"));
+            }
+            n = next.with_tag(0);
+        }
+        best
     }
+
+    fn ceiling_key(&self, key: &K) -> Option<K> {
+        let g = epoch::pin();
+        let (_, mut curr) = self.bottom_bounds(key, &g);
+        while !curr.is_null() {
+            let r = sl_ref(curr);
+            let next = r.next[0].load(Ordering::Acquire, &g);
+            if next.tag() == 0 {
+                return Some(*r.key.as_ref().expect("key node"));
+            }
+            curr = next.with_tag(0);
+        }
+        None
+    }
+
+    fn floor_key(&self, key: &K) -> Option<K> {
+        let g = epoch::pin();
+        let (floor, mut curr) = self.bottom_bounds(key, &g);
+        // Exact live hit beats the strict floor from the descent.
+        while !curr.is_null() {
+            let r = sl_ref(curr);
+            let next = r.next[0].load(Ordering::Acquire, &g);
+            if next.tag() == 0 {
+                if r.key.as_ref().expect("key node") == key {
+                    return Some(*key);
+                }
+                break;
+            }
+            curr = next.with_tag(0);
+        }
+        floor.map(|n| *n.key.as_ref().expect("key node"))
+    }
+
+    fn scan_range(&self, range: std::ops::RangeInclusive<K>, f: &mut dyn FnMut(K)) {
+        let (lo, hi) = range.into_inner();
+        if lo > hi {
+            return;
+        }
+        let g = epoch::pin();
+        let (_, mut curr) = self.bottom_bounds(&lo, &g);
+        let mut last: Option<K> = None;
+        while !curr.is_null() {
+            let r = sl_ref(curr);
+            let next = r.next[0].load(Ordering::Acquire, &g);
+            if next.tag() == 0 {
+                let k = *r.key.as_ref().expect("key node");
+                if k > hi {
+                    break;
+                }
+                // Defensive strict-ascent filter (a racing unlink can step
+                // the walk backwards through a stale next pointer).
+                if last.is_none_or(|l| k > l) {
+                    f(k);
+                    last = Some(k);
+                }
+            }
+            curr = next.with_tag(0);
+        }
+    }
+}
+
+impl<K: Key, V: Value> QuiescentOrdered<K> for SkipListMap<K, V> {
     fn keys_in_order(&self) -> Vec<K> {
         let g = epoch::pin();
         let mut out = Vec::new();

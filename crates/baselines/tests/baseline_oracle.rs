@@ -3,7 +3,7 @@
 //! workspace `tests/differential.rs` covers cross-implementation agreement;
 //! this file gives each baseline its own shrinkable failure cases.)
 
-use lo_api::{CheckInvariants, ConcurrentMap, OrderedAccess};
+use lo_api::{CheckInvariants, ConcurrentMap, QuiescentOrdered};
 use lo_baselines::{
     BccoTreeMap, CfTreeMap, ChromaticTreeMap, CoarseAvlMap, EfrbTreeMap, NmTreeMap, SkipListMap,
 };
@@ -30,7 +30,7 @@ fn ops(key_space: i64) -> impl Strategy<Value = Vec<Op>> {
 
 fn run_oracle<M>(map: &M, ops: &[Op], check_final_keys: bool)
 where
-    M: ConcurrentMap<i64, u64> + CheckInvariants + OrderedAccess<i64>,
+    M: ConcurrentMap<i64, u64> + CheckInvariants + QuiescentOrdered<i64>,
 {
     let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
     for (i, op) in ops.iter().enumerate() {
@@ -93,7 +93,7 @@ oracle_suite!(coarse, CoarseAvlMap::<i64, u64>::new());
 fn adversarial_shapes() {
     fn run<M>(m: M)
     where
-        M: ConcurrentMap<i64, u64> + CheckInvariants + OrderedAccess<i64>,
+        M: ConcurrentMap<i64, u64> + CheckInvariants + QuiescentOrdered<i64>,
     {
         // Ascending.
         let asc: Vec<Op> = (0..600).map(Op::Insert).collect();

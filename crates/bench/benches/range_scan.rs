@@ -1,0 +1,105 @@
+//! Range-scan microbenchmarks: streaming-cursor scans over the
+//! logical-ordering trees vs the skip list's bottom-level walk, at scan
+//! lengths 8 / 64 / 512, both quiescent and under one background updater.
+//!
+//! The timed unit is one `scan_range` call over a window of the requested
+//! length starting at a rotating offset (so successive iterations touch
+//! different parts of the structure instead of rescanning hot cache).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lo_api::{ConcurrentMap, OrderedRead};
+use lo_baselines::SkipListMap;
+use lo_core::{LoAvlMap, LoBstMap, LoPeAvlMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Keys 0..KEYS with every second key present: scans see a half-dense range.
+const KEYS: i64 = 1 << 14;
+const LENS: [i64; 3] = [8, 64, 512];
+
+fn prefill<M: ConcurrentMap<i64, u64>>(map: &M) {
+    for k in (0..KEYS).step_by(2) {
+        assert!(map.insert(k, k as u64));
+    }
+}
+
+fn bench_quiescent<M>(c: &mut Criterion, name: &str, map: &M)
+where
+    M: ConcurrentMap<i64, u64> + OrderedRead<i64>,
+{
+    prefill(map);
+    for len in LENS {
+        let mut start = 0i64;
+        c.bench_function(&format!("range-scan/{name}/{len}/quiescent"), |b| {
+            b.iter(|| {
+                let mut n = 0u64;
+                map.scan_range(start..=start + len - 1, &mut |k| {
+                    std::hint::black_box(k);
+                    n += 1;
+                });
+                start = (start + len) % KEYS;
+                std::hint::black_box(n)
+            })
+        });
+    }
+}
+
+fn bench_under_updates<M>(c: &mut Criterion, name: &str, map: &M)
+where
+    M: ConcurrentMap<i64, u64> + OrderedRead<i64> + Sync,
+{
+    prefill(map);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // One updater churns odd keys for the whole measurement so every
+        // scan races real insertions/removals between its yields.
+        s.spawn(|| {
+            let mut x = 0x9E3779B97F4A7C15u64;
+            while !stop.load(Ordering::Relaxed) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let k = ((x % KEYS as u64) | 1) as i64;
+                if x & 2 == 0 {
+                    map.insert(k, 0);
+                } else {
+                    map.remove(&k);
+                }
+            }
+        });
+        for len in LENS {
+            let mut start = 0i64;
+            c.bench_function(&format!("range-scan/{name}/{len}/under-updates"), |b| {
+                b.iter(|| {
+                    let mut n = 0u64;
+                    map.scan_range(start..=start + len - 1, &mut |k| {
+                        std::hint::black_box(k);
+                        n += 1;
+                    });
+                    start = (start + len) % KEYS;
+                    std::hint::black_box(n)
+                })
+            });
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_quiescent(c, "lo-bst", &LoBstMap::<i64, u64>::new());
+    bench_quiescent(c, "lo-avl", &LoAvlMap::<i64, u64>::new());
+    bench_quiescent(c, "lo-avl-pe", &LoPeAvlMap::<i64, u64>::new());
+    bench_quiescent(c, "skiplist", &SkipListMap::<i64, u64>::new());
+    bench_under_updates(c, "lo-avl", &LoAvlMap::<i64, u64>::new());
+    bench_under_updates(c, "skiplist", &SkipListMap::<i64, u64>::new());
+}
+
+criterion_group! {
+    name = range_scan;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+criterion_main!(range_scan);

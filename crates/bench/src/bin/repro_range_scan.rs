@@ -1,0 +1,90 @@
+//! Range-scan benchmark (extension): throughput of a mixed workload whose
+//! scans stream through each structure's *concurrent* ordered-read path —
+//! the logical-ordering trees via the epoch-pinned succ-chain cursor
+//! (paper §4.7 generalized), the skip list via its sorted bottom level —
+//! at scan lengths 8 / 64 / 512 under a 50c-20i-10r-20s update load.
+//!
+//! The external-tree baselines (BCCO, CF, chromatic, EFRB, NM) cannot
+//! appear here: they have no ordering layer, so they only implement
+//! `QuiescentOrdered` and the ordered runner rejects them at compile time.
+//!
+//! Usage: `cargo run -p lo-bench --release --bin repro-range-scan`
+//! (`--summary-json` appends `range-scan/<algo>/<len>` rows, labelled by
+//! `LO_SUMMARY_LABEL`, to `BENCH_throughput.json`; `LO_SCAN_LENS`
+//! (comma-separated) overrides the scan-length sweep; `LO_RANGES` and
+//! `LO_ALGOS` narrow the sweep as usual.)
+
+use lo_bench::{
+    emit, emit_metrics, emit_summary_rows, filter_algos, metrics_flag, run_panel_ordered,
+    summary_json_flag, Algo, Scale, SummaryRow,
+};
+use lo_workload::Mix;
+
+/// The paper-style update load around the scans: 50% contains, 20% insert,
+/// 10% remove, 20% range scans of `len` keys.
+fn scan_mix(len: u32) -> Mix {
+    Mix::with_range(50, 20, 10, 20, len)
+}
+
+fn scan_lens() -> Vec<u32> {
+    if let Ok(v) = std::env::var("LO_SCAN_LENS") {
+        let lens: Vec<u32> = v.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+        if !lens.is_empty() {
+            return lens;
+        }
+    }
+    vec![8, 64, 512]
+}
+
+fn main() {
+    let want_metrics = metrics_flag();
+    let want_summary = summary_json_flag();
+    let scale = Scale::from_env();
+    let algos = filter_algos(Algo::range_scan_lineup());
+    assert!(algos.iter().all(|a| a.supports_ordered()), "lineup must be OrderedRead-capable");
+    let lens = scan_lens();
+    eprintln!(
+        "Range scans: lens {lens:?}, {:?} trials x{} reps, threads {:?}, ranges {:?}",
+        scale.trial, scale.reps, scale.threads, scale.ranges
+    );
+    let mut panels = Vec::new();
+    let mut metrics = Vec::new();
+    let mut rows = Vec::new();
+    for &len in &lens {
+        for &range in &scale.ranges {
+            let (panel, m) = run_panel_ordered(scan_mix(len), range, &algos, &scale);
+            // Flat summary rows keyed `range-scan/<algo>/<len>`; with more
+            // than one key range, the widest-sweep rows keep the short key
+            // and narrower ranges are suffixed to stay distinguishable.
+            for (r, &threads) in panel.threads.iter().enumerate() {
+                for (c, algo) in panel.algorithms.iter().enumerate() {
+                    let s = panel.cells[r][c];
+                    if s.n == 0 {
+                        continue;
+                    }
+                    let config = if range == scale.ranges[0] {
+                        format!("range-scan/{algo}/{len}")
+                    } else {
+                        format!("range-scan/{algo}/{len}/r{range}")
+                    };
+                    rows.push(SummaryRow {
+                        config,
+                        threads,
+                        mean: s.mean,
+                        stddev: s.stddev,
+                        reps: s.n,
+                    });
+                }
+            }
+            panels.push(panel);
+            metrics.push(m);
+        }
+    }
+    emit(&panels, "range_scan");
+    if want_summary {
+        emit_summary_rows(&rows, "range_scan");
+    }
+    if want_metrics {
+        emit_metrics(&metrics, "range_scan_metrics");
+    }
+}

@@ -15,7 +15,8 @@ use lo_baselines::{
 };
 use lo_core::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
 use lo_workload::{
-    run_experiment_full, Mix, MetricsEntry, MetricsPanel, Panel, Summary, TrialResult, TrialSpec,
+    run_experiment_full, run_experiment_full_ordered, Mix, MetricsEntry, MetricsPanel, Panel,
+    Summary, TrialResult, TrialSpec,
 };
 
 /// Every benchmarkable algorithm in the suite.
@@ -73,6 +74,24 @@ impl Algo {
         vec![Algo::LoBst, Algo::LoPeBst, Algo::Efrb, Algo::Nm]
     }
 
+    /// The range-scan lineup: every structure with *concurrent* ordered
+    /// reads ([`lo_api::OrderedRead`]) — the logical-ordering trees via the
+    /// succ-chain cursor, the skip list via its sorted bottom level. The
+    /// external-tree baselines are excluded by the type system: they only
+    /// implement `QuiescentOrdered`.
+    pub fn range_scan_lineup() -> Vec<Algo> {
+        vec![Algo::LoBst, Algo::LoAvl, Algo::LoPeAvl, Algo::Skiplist]
+    }
+
+    /// Whether this algorithm supports concurrent ordered reads (and thus
+    /// [`Algo::run_full_ordered`]).
+    pub fn supports_ordered(self) -> bool {
+        matches!(
+            self,
+            Algo::LoAvl | Algo::LoPeAvl | Algo::LoBst | Algo::LoPeBst | Algo::Skiplist
+        )
+    }
+
     /// Runs `reps` prefilled timed trials; returns the full per-rep
     /// [`TrialResult`]s (throughput, per-thread distribution, telemetry).
     pub fn run_full(self, spec: &TrialSpec, reps: usize) -> Vec<TrialResult> {
@@ -94,6 +113,24 @@ impl Algo {
     /// Runs `reps` prefilled timed trials; returns per-rep Mops/s.
     pub fn run(self, spec: &TrialSpec, reps: usize) -> Vec<f64> {
         self.run_full(spec, reps).iter().map(TrialResult::mops).collect()
+    }
+
+    /// [`Algo::run_full`] for mixes containing range scans, driven through
+    /// the ordered runner. Panics for algorithms without concurrent ordered
+    /// reads (see [`Algo::supports_ordered`]).
+    pub fn run_full_ordered(self, spec: &TrialSpec, reps: usize) -> Vec<TrialResult> {
+        match self {
+            Algo::LoAvl => run_experiment_full_ordered(LoAvlMap::<i64, u64>::new, spec, reps),
+            Algo::LoPeAvl => run_experiment_full_ordered(LoPeAvlMap::<i64, u64>::new, spec, reps),
+            Algo::LoBst => run_experiment_full_ordered(LoBstMap::<i64, u64>::new, spec, reps),
+            Algo::LoPeBst => run_experiment_full_ordered(LoPeBstMap::<i64, u64>::new, spec, reps),
+            Algo::Skiplist => run_experiment_full_ordered(SkipListMap::<i64, u64>::new, spec, reps),
+            other => panic!(
+                "{} only supports quiescent ordered access (QuiescentOrdered), \
+                 not concurrent range scans",
+                other.label()
+            ),
+        }
     }
 }
 
@@ -188,6 +225,30 @@ pub fn run_panel_with_metrics(
     algos: &[Algo],
     scale: &Scale,
 ) -> (Panel, MetricsPanel) {
+    run_panel_inner(mix, range, algos, scale, &|algo, spec, reps| algo.run_full(spec, reps))
+}
+
+/// [`run_panel_with_metrics`] for mixes containing range scans: every cell
+/// runs through [`Algo::run_full_ordered`], so `algos` must all support
+/// concurrent ordered reads.
+pub fn run_panel_ordered(
+    mix: Mix,
+    range: u64,
+    algos: &[Algo],
+    scale: &Scale,
+) -> (Panel, MetricsPanel) {
+    run_panel_inner(mix, range, algos, scale, &|algo, spec, reps| {
+        algo.run_full_ordered(spec, reps)
+    })
+}
+
+fn run_panel_inner(
+    mix: Mix,
+    range: u64,
+    algos: &[Algo],
+    scale: &Scale,
+    run: &dyn Fn(Algo, &TrialSpec, usize) -> Vec<TrialResult>,
+) -> (Panel, MetricsPanel) {
     let title = format!("{}, key range {range}", mix.label());
     let mut panel = Panel::new(
         title.clone(),
@@ -198,7 +259,7 @@ pub fn run_panel_with_metrics(
     for (row, &threads) in scale.threads.iter().enumerate() {
         for (col, &algo) in algos.iter().enumerate() {
             let spec = TrialSpec::new(mix, range, threads, scale.trial);
-            let trials = algo.run_full(&spec, scale.reps);
+            let trials = run(algo, &spec, scale.reps);
             let mops: Vec<f64> = trials.iter().map(TrialResult::mops).collect();
             let summary = Summary::of(&mops);
             panel.set(row, col, summary);
@@ -285,6 +346,9 @@ fn summary_rows(panels: &[Panel]) -> String {
 
 /// One run object for the summary file (hand-rolled JSON: every field is
 /// numeric or a label with no characters needing escapes beyond quotes).
+/// Production emission goes through [`emit_summary_run`]; this composed
+/// form is kept for the document round-trip tests.
+#[cfg(test)]
 fn summary_run_json(panels: &[Panel], table: &str, label: &str) -> String {
     let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     format!(
@@ -320,11 +384,58 @@ fn summary_append_doc(existing: &str, run: &str) -> Option<String> {
 /// `cargo run`). `LO_SUMMARY_LABEL` names the run (default `local`); commit
 /// the file to track before/after numbers across changes.
 pub fn emit_summary_json(panels: &[Panel], table: &str) {
+    emit_summary_run(&summary_rows(panels), table);
+}
+
+/// One flat throughput-summary row for [`emit_summary_rows`] — used by
+/// benches whose config strings do not follow the panel convention
+/// `<mix>/r<range>/<algo>` (e.g. the range-scan rows, keyed
+/// `range-scan/<algo>/<len>`).
+#[derive(Clone, Debug)]
+pub struct SummaryRow {
+    /// Series key, stable across runs (e.g. `range-scan/lo-avl/64`).
+    pub config: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Mean throughput in ops/µs (= Mops/s).
+    pub mean: f64,
+    /// Standard deviation over the repetitions.
+    pub stddev: f64,
+    /// Number of repetitions.
+    pub reps: usize,
+}
+
+/// Appends one run built from explicit rows to the throughput-summary JSON
+/// (same document and env knobs as [`emit_summary_json`]).
+pub fn emit_summary_rows(rows: &[SummaryRow], table: &str) {
+    let mut body = String::new();
+    for r in rows {
+        if !body.is_empty() {
+            body.push_str(",\n");
+        }
+        body.push_str(&format!(
+            "      {{\"config\": \"{}\", \"threads\": {}, \
+             \"ops_per_us_mean\": {:.6}, \"ops_per_us_sd\": {:.6}, \"reps\": {}}}",
+            r.config, r.threads, r.mean, r.stddev, r.reps
+        ));
+    }
+    emit_summary_run(&body, table);
+}
+
+/// Shared tail of the summary emitters: wraps pre-rendered rows in a run
+/// object and appends it to (or creates) the summary document.
+fn emit_summary_run(rows: &str, table: &str) {
     let path = std::env::var("LO_SUMMARY_PATH")
         .unwrap_or_else(|_| "BENCH_throughput.json".to_string());
     let label =
         std::env::var("LO_SUMMARY_LABEL").unwrap_or_else(|_| "local".to_string());
-    let run = summary_run_json(panels, table, &label);
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let run = format!(
+        "  {{\n    \"label\": \"{}\",\n    \"table\": \"{}\",\n    \"rows\": [\n{}\n    ]\n  }}",
+        esc(&label),
+        esc(table),
+        rows
+    );
     let doc = match std::fs::read_to_string(&path) {
         Ok(existing) => summary_append_doc(&existing, &run)
             .unwrap_or_else(|| summary_new_doc(&run)),

@@ -1,7 +1,7 @@
 //! # lo-check — concurrency correctness toolkit
 //!
 //! Verification substrate for the logical-ordering tree suite
-//! (Drachsler–Vechev–Yahav, PPoPP 2014). Five pillars:
+//! (Drachsler–Vechev–Yahav, PPoPP 2014). Six pillars:
 //!
 //! * [`lockdep`] — a kernel-lockdep-style runtime ledger. Behind the
 //!   `lockdep` cargo feature, every `NodeLock` acquire/release in `lo-core`
@@ -15,6 +15,10 @@
 //! * [`lin`] — a Wing–Gong linearizability checker over recorded
 //!   timestamped histories of set operations (the canonical home;
 //!   `lo-validate` re-exports it).
+//! * [`scan`] — a scan-coherence checker for concurrent range scans
+//!   recorded against the same logical clock: every yielded key was live
+//!   at some instant inside the scan's window, yields ascend strictly,
+//!   and continuously-live keys are never missed.
 //! * [`mc`] — an exhaustive bounded-interleaving explorer for *modeled*
 //!   lock algorithms (loom-shaped stateless model checking by schedule
 //!   replay; the `loom` crate itself is not available as a dependency).
@@ -37,6 +41,7 @@ pub mod fail;
 pub mod lin;
 pub mod lockdep;
 pub mod mc;
+pub mod scan;
 pub mod sched;
 
 pub use lockdep::{AcquireHow, LockClass, Rank, Violation, ViolationKind};

@@ -1,0 +1,284 @@
+//! Scan-coherence checking over recorded histories.
+//!
+//! A concurrent range scan is not an atomic snapshot: the cursor walks the
+//! ordering chain while updaters run, so the returned set may mix states
+//! from different instants. The contract it *does* make (and the one this
+//! module checks) is per-key:
+//!
+//! 1. yields are strictly ascending and stay inside the requested window;
+//! 2. every yielded key was **live at some instant** between the scan's
+//!    invocation and response;
+//! 3. every key that was **continuously live** across the whole scan window
+//!    (and inside the key window) is yielded — a scan may miss keys in
+//!    flux, never keys at rest.
+//!
+//! The checker consumes the same timestamped [`CompletedOp`] histories as
+//! the WGL linearizability checker in [`crate::lin`], plus one
+//! [`ScanObservation`] per recorded scan. Because an operation linearizes
+//! at an unknown instant inside its `[invoke, response]` window, liveness
+//! is decided conservatively: a yield is flagged only when the key was
+//! **certainly dead** for the scan's entire window under *every* possible
+//! linearization, and a miss only when the key was **certainly live**
+//! throughout. Anything ambiguous passes — the checker produces no false
+//! positives on linearizable histories.
+
+use crate::lin::{CompletedOp, LinOp};
+
+/// One recorded range scan: the requested window, the yields (in yield
+/// order), and the logical-clock stamps taken around the whole scan with
+/// the same [`crate::lin::Recorder`] as the surrounding operation history.
+#[derive(Clone, Debug)]
+pub struct ScanObservation {
+    /// Inclusive lower end of the requested key window.
+    pub lo: u8,
+    /// Inclusive upper end of the requested key window.
+    pub hi: u8,
+    /// Keys the scan yielded, in yield order.
+    pub keys: Vec<u8>,
+    /// Timestamp drawn immediately before the scan started.
+    pub invoke: u64,
+    /// Timestamp drawn immediately after the scan returned.
+    pub response: u64,
+}
+
+/// A violated scan-coherence rule. `scan` indexes into the slice passed to
+/// [`check_scan_coherence`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanViolation {
+    /// Yields were not strictly ascending.
+    NotAscending {
+        /// Offending scan.
+        scan: usize,
+    },
+    /// A yield fell outside the requested `[lo, hi]` window.
+    OutOfBounds {
+        /// Offending scan.
+        scan: usize,
+        /// The stray key.
+        key: u8,
+    },
+    /// A yielded key was dead for the scan's whole window under every
+    /// possible linearization of the surrounding history.
+    CertainlyDead {
+        /// Offending scan.
+        scan: usize,
+        /// The phantom key.
+        key: u8,
+    },
+    /// A key that was live across the scan's whole window (under every
+    /// linearization) was not yielded.
+    MissedLiveKey {
+        /// Offending scan.
+        scan: usize,
+        /// The missed key.
+        key: u8,
+    },
+}
+
+impl std::fmt::Display for ScanViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ScanViolation::NotAscending { scan } => {
+                write!(f, "scan {scan}: yields not strictly ascending")
+            }
+            ScanViolation::OutOfBounds { scan, key } => {
+                write!(f, "scan {scan}: yielded key {key} outside the requested window")
+            }
+            ScanViolation::CertainlyDead { scan, key } => {
+                write!(f, "scan {scan}: yielded key {key}, dead for the scan's whole window")
+            }
+            ScanViolation::MissedLiveKey { scan, key } => {
+                write!(f, "scan {scan}: missed key {key}, live for the scan's whole window")
+            }
+        }
+    }
+}
+
+/// Checks every scan in `scans` against the operation history and the
+/// initial membership mask (bit `k` = key `k` live at time zero). Returns
+/// the first violation found, or `Ok(())`.
+///
+/// `history` must use the same logical clock as the scans (one shared
+/// [`crate::lin::Recorder`]); keys are limited to `0..64` as in the WGL
+/// checker.
+pub fn check_scan_coherence(
+    history: &[CompletedOp],
+    scans: &[ScanObservation],
+    initial: u64,
+) -> Result<(), ScanViolation> {
+    for (i, s) in scans.iter().enumerate() {
+        if !s.keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ScanViolation::NotAscending { scan: i });
+        }
+        if let Some(&k) = s.keys.iter().find(|&&k| k < s.lo || k > s.hi) {
+            return Err(ScanViolation::OutOfBounds { scan: i, key: k });
+        }
+        for &k in &s.keys {
+            if certainly_dead_throughout(history, initial, k, s.invoke, s.response) {
+                return Err(ScanViolation::CertainlyDead { scan: i, key: k });
+            }
+        }
+        for k in s.lo..=s.hi {
+            if certainly_live_throughout(history, initial, k, s.invoke, s.response)
+                && !s.keys.contains(&k)
+            {
+                return Err(ScanViolation::MissedLiveKey { scan: i, key: k });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Successful operations on `key` of the given kind.
+fn successes<'h>(
+    history: &'h [CompletedOp],
+    key: u8,
+    op: LinOp,
+) -> impl Iterator<Item = &'h CompletedOp> {
+    history.iter().filter(move |c| c.key == key && c.op == op && c.result)
+}
+
+/// True iff `key` cannot have been live at any instant of `[start, end]`:
+/// it was never made live by `end` (not initial, and every successful
+/// insert certainly linearizes after `end`), or some successful remove
+/// certainly linearizes before `start` with every successful insert
+/// certainly before that remove (so nothing can revive the key in time).
+fn certainly_dead_throughout(
+    history: &[CompletedOp],
+    initial: u64,
+    key: u8,
+    start: u64,
+    end: u64,
+) -> bool {
+    let initially_live = initial & (1u64 << key) != 0;
+    let never_made_live =
+        !initially_live && successes(history, key, LinOp::Insert).all(|i| i.invoke > end);
+    if never_made_live {
+        return true;
+    }
+    successes(history, key, LinOp::Remove).any(|r| {
+        r.response < start
+            && successes(history, key, LinOp::Insert).all(|i| i.response < r.invoke)
+    })
+}
+
+/// True iff `key` must have been live at every instant of `[start, end]`:
+/// liveness was certainly established before `start` (initial membership,
+/// or a successful insert that certainly linearizes before `start`) and no
+/// successful remove could possibly linearize by `end`.
+fn certainly_live_throughout(
+    history: &[CompletedOp],
+    initial: u64,
+    key: u8,
+    start: u64,
+    end: u64,
+) -> bool {
+    let initially_live = initial & (1u64 << key) != 0;
+    let live_before = initially_live
+        || successes(history, key, LinOp::Insert).any(|i| i.response < start);
+    live_before && successes(history, key, LinOp::Remove).all(|r| r.invoke > end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(op: LinOp, key: u8, result: bool, invoke: u64, response: u64) -> CompletedOp {
+        CompletedOp { op, key, result, invoke, response }
+    }
+
+    fn scan(lo: u8, hi: u8, keys: &[u8], invoke: u64, response: u64) -> ScanObservation {
+        ScanObservation { lo, hi, keys: keys.to_vec(), invoke, response }
+    }
+
+    #[test]
+    fn clean_quiescent_scan_passes() {
+        let h = vec![op(LinOp::Insert, 3, true, 0, 1), op(LinOp::Insert, 5, true, 2, 3)];
+        let s = [scan(0, 10, &[3, 5], 4, 5)];
+        assert_eq!(check_scan_coherence(&h, &s, 0), Ok(()));
+    }
+
+    #[test]
+    fn descending_yields_flagged() {
+        let s = [scan(0, 10, &[5, 3], 0, 1)];
+        assert_eq!(
+            check_scan_coherence(&[], &s, 0b101000),
+            Err(ScanViolation::NotAscending { scan: 0 })
+        );
+    }
+
+    #[test]
+    fn out_of_window_yield_flagged() {
+        let s = [scan(2, 4, &[3, 7], 0, 1)];
+        assert_eq!(
+            check_scan_coherence(&[], &s, 0xFF),
+            Err(ScanViolation::OutOfBounds { scan: 0, key: 7 })
+        );
+    }
+
+    #[test]
+    fn phantom_key_flagged() {
+        // Key 9 never existed anywhere in the history.
+        let s = [scan(0, 10, &[9], 0, 1)];
+        assert_eq!(
+            check_scan_coherence(&[], &s, 0),
+            Err(ScanViolation::CertainlyDead { scan: 0, key: 9 })
+        );
+    }
+
+    #[test]
+    fn key_removed_long_before_scan_flagged() {
+        let h = vec![op(LinOp::Remove, 4, true, 0, 1)];
+        let s = [scan(0, 10, &[4], 5, 6)];
+        assert_eq!(
+            check_scan_coherence(&h, &s, 1 << 4),
+            Err(ScanViolation::CertainlyDead { scan: 0, key: 4 })
+        );
+    }
+
+    #[test]
+    fn concurrent_removal_is_ambiguous_and_passes() {
+        // The remove's window overlaps the scan: the key may have been
+        // yielded before the removal linearized.
+        let h = vec![op(LinOp::Remove, 4, true, 4, 8)];
+        let s = [scan(0, 10, &[4], 5, 6)];
+        assert_eq!(check_scan_coherence(&h, &s, 1 << 4), Ok(()));
+    }
+
+    #[test]
+    fn reinsertion_keeps_key_plausible() {
+        // Removed before the scan, but re-inserted with an overlapping
+        // window — the insert may linearize before the scan looks.
+        let h = vec![
+            op(LinOp::Remove, 4, true, 0, 1),
+            op(LinOp::Insert, 4, true, 2, 9),
+        ];
+        let s = [scan(0, 10, &[4], 5, 6)];
+        assert_eq!(check_scan_coherence(&h, &s, 1 << 4), Ok(()));
+    }
+
+    #[test]
+    fn missed_stable_key_flagged() {
+        // Key 2 is initial and never touched: the scan must yield it.
+        let s = [scan(0, 10, &[5], 3, 4)];
+        let h = vec![op(LinOp::Insert, 5, true, 0, 1)];
+        assert_eq!(
+            check_scan_coherence(&h, &s, 1 << 2),
+            Err(ScanViolation::MissedLiveKey { scan: 0, key: 2 })
+        );
+    }
+
+    #[test]
+    fn missed_in_flux_key_passes() {
+        // Key 2 has a remove in flight during the scan: missing it is fine.
+        let h = vec![op(LinOp::Remove, 2, true, 3, 7)];
+        let s = [scan(0, 10, &[], 4, 5)];
+        assert_eq!(check_scan_coherence(&h, &s, 1 << 2), Ok(()));
+    }
+
+    #[test]
+    fn violations_render() {
+        let v = ScanViolation::CertainlyDead { scan: 1, key: 7 };
+        assert!(v.to_string().contains("key 7"));
+    }
+}

@@ -66,6 +66,12 @@ pub use maps::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
 /// causes and the `try_*` error type, plus the trait the maps implement.
 pub use lo_api::{FallibleMap, PoisonCause, TreeError};
 
+/// Core map traits (re-exported from `lo-api`) so downstream users get the
+/// point-op and ordered-access surfaces without a separate dependency:
+/// [`OrderedRead`] is the concurrent streaming-scan interface backed by the
+/// succ-chain cursor; [`QuiescentOrdered`] is the full-snapshot interface.
+pub use lo_api::{ConcurrentMap, OrderedRead, QuiescentOrdered};
+
 /// Overrides the `LO_MAX_RESTARTS` restart-storm bound for this process
 /// (`0` = unlimited). Test hook for driving the storm tripwire without
 /// environment plumbing; not part of the stable API.

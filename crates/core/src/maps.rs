@@ -3,7 +3,8 @@
 use crate::invariants::InvariantReport;
 use crate::tree::LoTree;
 use lo_api::{
-    CheckInvariants, ConcurrentMap, FallibleMap, Key, OrderedAccess, TreeError, Value,
+    CheckInvariants, ConcurrentMap, FallibleMap, Key, OrderedRead, QuiescentOrdered, TreeError,
+    Value,
 };
 
 macro_rules! define_map {
@@ -98,11 +99,37 @@ macro_rules! define_map {
                 self.tree.floor_key(key)
             }
 
-            /// Ascending snapshot of the live keys in `range` (walks the
-            /// succ chain; precise at quiescence, best-effort under
-            /// concurrency).
+            /// Ascending snapshot of the live keys in `range` (a cursor walk
+            /// over the succ chain; precise at quiescence, best-effort
+            /// consistent under concurrency).
             pub fn range_keys(&self, range: std::ops::RangeInclusive<K>) -> Vec<K> {
                 self.tree.range_keys(range)
+            }
+
+            /// Streams every live key in `range` (ascending, strictly
+            /// increasing) into `f` without materialising the result.
+            /// Lock-free: runs concurrently with any mix of updates, skips
+            /// removed nodes, and re-pins its epoch guard in chunks so long
+            /// scans never stall reclamation. Not an atomic snapshot — each
+            /// yielded key was live at the instant it was observed.
+            pub fn scan_range(
+                &self,
+                range: std::ops::RangeInclusive<K>,
+                f: impl FnMut(K),
+            ) {
+                self.tree.scan_range(range, f)
+            }
+
+            /// Streams all live keys in ascending order into `f` (see
+            /// [`Self::scan_range`] for the concurrency contract).
+            pub fn for_each_in_order(&self, f: impl FnMut(K)) {
+                self.tree.for_each_in_order(f)
+            }
+
+            /// Number of live keys in `range`: one streaming cursor pass,
+            /// no allocation.
+            pub fn range_count(&self, range: std::ops::RangeInclusive<K>) -> usize {
+                self.tree.range_count(range)
             }
 
             /// Atomically removes and returns the smallest entry.
@@ -220,13 +247,35 @@ macro_rules! define_map {
             }
         }
 
-        impl<K: Key, V: Value> OrderedAccess<K> for $name<K, V> {
+        impl<K: Key, V: Value> OrderedRead<K> for $name<K, V> {
             fn min_key(&self) -> Option<K> {
                 $name::min_key(self)
             }
             fn max_key(&self) -> Option<K> {
                 $name::max_key(self)
             }
+            fn ceiling_key(&self, key: &K) -> Option<K> {
+                $name::ceiling_key(self, key)
+            }
+            fn floor_key(&self, key: &K) -> Option<K> {
+                $name::floor_key(self, key)
+            }
+            fn scan_range(
+                &self,
+                range: std::ops::RangeInclusive<K>,
+                f: &mut dyn FnMut(K),
+            ) {
+                $name::scan_range(self, range, |k| f(k))
+            }
+            fn range_count(&self, range: std::ops::RangeInclusive<K>) -> usize {
+                $name::range_count(self, range)
+            }
+            fn range_keys(&self, range: std::ops::RangeInclusive<K>) -> Vec<K> {
+                $name::range_keys(self, range)
+            }
+        }
+
+        impl<K: Key, V: Value> QuiescentOrdered<K> for $name<K, V> {
             fn keys_in_order(&self) -> Vec<K> {
                 $name::keys_in_order(self)
             }
@@ -315,6 +364,29 @@ mod tests {
         assert_eq!(m.keys_in_order(), vec![1, 3, 5, 7, 9]);
         assert_eq!(m.len(), 5);
         assert!(!m.is_empty());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn streaming_scans() {
+        let m = LoBstMap::new();
+        for k in [5i64, 1, 9, 3, 7] {
+            assert!(m.insert(k, k as u64));
+        }
+        assert_eq!(m.ceiling_key(&4), Some(5));
+        assert_eq!(m.floor_key(&4), Some(3));
+        assert_eq!(m.range_keys(3..=7), vec![3, 5, 7]);
+        assert_eq!(m.range_count(2..=8), 3);
+        let mut seen = Vec::new();
+        m.scan_range(1..=9, |k| seen.push(k));
+        assert_eq!(seen, vec![1, 3, 5, 7, 9]);
+        let mut all = Vec::new();
+        m.for_each_in_order(|k| all.push(k));
+        assert_eq!(all, m.keys_in_order());
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert_eq!(m.range_count(8..=2), 0, "inverted range is empty");
+        }
         m.check_invariants();
     }
 

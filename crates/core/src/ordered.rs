@@ -1,125 +1,302 @@
-//! Ordered-navigation extensions built on the logical-ordering layer
-//! (beyond the paper's §4.7 min/max/iteration): ceiling/floor queries,
-//! range snapshots and atomic pop-min/pop-max.
+//! Concurrent ordered access built on the logical-ordering layer (paper
+//! §4.7 plus extensions): a reusable lock-free [`OrderedCursor`] over the
+//! `pred`/`succ` chain, and the streaming scan / ceiling / floor /
+//! pop-min/pop-max operations rebuilt on top of it.
 //!
-//! All of these walk only `pred`/`succ` pointers after an initial layout
-//! descent, so — like `contains` — they never block on rotations or
-//! relocations.
+//! ## Cursor protocol
+//!
+//! A cursor anchors with one layout descent ([`LoTree::search`]) followed
+//! by the Algorithm-2 interval correction (chase `pred`/`succ` until the
+//! position encloses the boundary key), then walks the ordering chain in
+//! its direction, yielding live keys and skipping marked nodes and
+//! zombies. Like `contains`, it takes no locks and never blocks on
+//! rotations or relocations; each *yielded* key was live at the instant
+//! it was observed, and yields are strictly monotone in the scan
+//! direction (a stale chain edge can only send the cursor to a key it has
+//! already passed, which the boundary filter drops).
+//!
+//! ## Chunked re-pinning
+//!
+//! The cursor must not hold one epoch guard across an arbitrarily long
+//! traversal — a pinned thread stalls memory reclamation for the whole
+//! process. Every [`SCAN_REPIN_EVERY`] chain steps the cursor forgets its
+//! position, re-pins the epoch ([`Guard::repin`] gives reclamation a real
+//! unpin window), and re-anchors with a fresh descent from the last yield
+//! boundary. Correctness is unaffected: the boundary key, not the node
+//! pointer, carries the position across the re-pin.
+//!
+//! All of this works unchanged on a poisoned tree: the read path takes no
+//! locks and never consults the poison word, so scans stay live in
+//! degraded mode (the PR 4 contract).
 
-use crossbeam_epoch::{self as epoch};
+use crossbeam_epoch::{self as epoch, Guard};
 use std::cmp::Ordering as Cmp;
 use std::ops::RangeInclusive;
 use std::sync::atomic::Ordering;
 
 use crate::bound::Bound;
-use crate::node::nref;
+use crate::node::{nref, Node};
 use crate::tree::LoTree;
 use lo_api::{Key, Value};
-use lo_metrics::{add, Event};
+use lo_metrics::{add, record, Event};
 
-impl<K: Key, V: Value> LoTree<K, V> {
-    /// Smallest live key ≥ `key`, or `None`. Lock-free.
-    pub(crate) fn ceiling_key(&self, key: &K) -> Option<K> {
-        let g = epoch::pin();
-        // Land on the interval around `key`, then walk succ to the first
-        // live node with key ≥ key.
-        let mut node = nref(self.search(key, &g));
-        let mut pred_steps = 0u64;
-        while node.key.cmp_key(key) == Cmp::Greater {
-            node = nref(node.pred.load(Ordering::Acquire, &g));
-            pred_steps += 1;
+/// Chain steps between the cursor's guard re-pins (chunked re-pinning).
+/// Small enough that a scan never delays reclamation by more than a few
+/// cache lines' worth of walking; large enough that the re-anchor descent
+/// amortizes to noise.
+pub(crate) const SCAN_REPIN_EVERY: usize = 256;
+
+/// Traversal direction along the ordering chain.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// Ascending: follow `succ`, finish at the `+∞` root sentinel.
+    Fwd,
+    /// Descending: follow `pred`, finish at the `−∞` head sentinel.
+    Rev,
+}
+
+/// A lock-free cursor over the logical-ordering chain.
+///
+/// Owns its epoch guard and re-pins it every [`SCAN_REPIN_EVERY`] steps;
+/// see the module docs for the full protocol. Not `Send`/`Sync` (it holds
+/// a raw position pointer only valid under its own guard).
+pub(crate) struct OrderedCursor<'t, K: Key, V: Value> {
+    tree: &'t LoTree<K, V>,
+    guard: Guard,
+    /// Current chain position; null = unanchored (fresh or just re-pinned).
+    /// Only dereferenced while `guard` is the pin it was loaded under —
+    /// `repin` nulls it first.
+    node: *const Node<K, V>,
+    /// The anchored node has not been examined yet (an anchor may land
+    /// exactly on a yieldable key).
+    examine_current: bool,
+    dir: Dir,
+    /// Yield boundary: lower bound going `Fwd`, upper bound going `Rev`.
+    /// Advanced to each yielded key, which is what makes yields strictly
+    /// monotone and what carries the position across a re-pin.
+    boundary: Bound<K>,
+    /// Whether a key equal to `boundary` may still be yielded (inclusive
+    /// range endpoint); cleared after the first yield.
+    inclusive: bool,
+    /// Chain steps taken under the current pin.
+    steps: usize,
+}
+
+impl<'t, K: Key, V: Value> OrderedCursor<'t, K, V> {
+    /// Ascending cursor yielding live keys `>= from` (`> from` when
+    /// `inclusive` is false; `Bound::NegInf` scans from the start).
+    pub(crate) fn ascending(tree: &'t LoTree<K, V>, from: Bound<K>, inclusive: bool) -> Self {
+        record(Event::ScanStarted);
+        Self {
+            tree,
+            guard: epoch::pin(),
+            node: std::ptr::null(),
+            examine_current: false,
+            dir: Dir::Fwd,
+            boundary: from,
+            inclusive,
+            steps: 0,
         }
-        add(Event::ChasePred, pred_steps);
-        let mut succ_steps = 0u64;
+    }
+
+    /// Descending cursor yielding live keys `<= from` (`< from` when
+    /// `inclusive` is false; `Bound::PosInf` scans from the end).
+    pub(crate) fn descending(tree: &'t LoTree<K, V>, from: Bound<K>, inclusive: bool) -> Self {
+        record(Event::ScanStarted);
+        Self {
+            tree,
+            guard: epoch::pin(),
+            node: std::ptr::null(),
+            examine_current: false,
+            dir: Dir::Rev,
+            boundary: from,
+            inclusive,
+            steps: 0,
+        }
+    }
+
+    /// Drops the guard (with a real unpin window) and forgets the stale
+    /// position; the next step re-anchors from `boundary`.
+    fn repin(&mut self) {
+        self.node = std::ptr::null();
+        self.examine_current = false;
+        self.steps = 0;
+        self.guard.repin();
+        record(Event::ScanRepin);
+    }
+
+    /// One layout descent + interval correction landing on a node at or
+    /// just past `boundary` against the scan direction, so the filter in
+    /// [`Self::next`] sees every candidate exactly once.
+    fn anchor(&mut self) {
+        let raw = match self.boundary {
+            // Full-range scans start at the sentinel on the boundary side.
+            Bound::NegInf => self.tree.head_sh(&self.guard).as_raw(),
+            Bound::PosInf => self.tree.root_sh(&self.guard).as_raw(),
+            Bound::Key(k) => {
+                let mut n = nref(self.tree.search(&k, &self.guard));
+                let mut chase = 0u64;
+                match self.dir {
+                    // Land at a node with key <= k: everything >= the
+                    // boundary is then ahead of the cursor.
+                    Dir::Fwd => {
+                        while n.key.cmp_key(&k) == Cmp::Greater {
+                            n = nref(n.pred.load(Ordering::Acquire, &self.guard));
+                            chase += 1;
+                        }
+                        add(Event::ChasePred, chase);
+                    }
+                    // Mirror: land at a node with key >= k.
+                    Dir::Rev => {
+                        while n.key.cmp_key(&k) == Cmp::Less {
+                            n = nref(n.succ.load(Ordering::Acquire, &self.guard));
+                            chase += 1;
+                        }
+                        add(Event::ChaseSucc, chase);
+                    }
+                }
+                n as *const Node<K, V>
+            }
+        };
+        self.node = raw;
+        self.examine_current = true;
+    }
+
+    /// Yields the next live key in scan direction, or `None` at the end
+    /// sentinel. Skips marked nodes and zombies; re-pins every
+    /// [`SCAN_REPIN_EVERY`] chain steps.
+    pub(crate) fn next(&mut self) -> Option<K> {
         loop {
-            match node.key {
+            if self.node.is_null() {
+                self.anchor();
+            }
+            // SAFETY: `node` is non-null and was loaded from the tree under
+            // the currently-held `self.guard` (every re-pin nulls it first,
+            // and `anchor` reloads it under the fresh pin). Nodes are only
+            // freed through epoch-deferred reclamation, so the referent
+            // stays valid while the guard is live.
+            let n = unsafe { &*self.node };
+            if !self.examine_current {
+                // Step along the chain, then re-examine.
+                let next = match self.dir {
+                    Dir::Fwd => n.succ.load(Ordering::Acquire, &self.guard),
+                    Dir::Rev => n.pred.load(Ordering::Acquire, &self.guard),
+                };
+                self.node = next.as_raw();
+                self.steps += 1;
+                if self.steps >= SCAN_REPIN_EVERY {
+                    self.repin();
+                    continue;
+                }
+                self.examine_current = true;
+                continue;
+            }
+            self.examine_current = false;
+            match n.key {
                 Bound::PosInf => {
-                    add(Event::ChaseSucc, succ_steps);
-                    return None;
+                    if self.dir == Dir::Fwd {
+                        return None;
+                    }
+                    // Descending anchor at the root sentinel: step past it.
                 }
-                Bound::Key(k) if node.key.cmp_key(key) != Cmp::Less && !node.is_removed() => {
-                    add(Event::ChaseSucc, succ_steps);
-                    return Some(k);
+                Bound::NegInf => {
+                    if self.dir == Dir::Rev {
+                        return None;
+                    }
                 }
-                _ => {
-                    node = nref(node.succ.load(Ordering::Acquire, &g));
-                    succ_steps += 1;
+                Bound::Key(k) => {
+                    let ahead = match (self.dir, self.boundary.cmp_key(&k)) {
+                        (Dir::Fwd, Cmp::Less) | (Dir::Rev, Cmp::Greater) => true,
+                        (_, Cmp::Equal) => self.inclusive,
+                        _ => false,
+                    };
+                    if ahead && !n.is_removed() {
+                        self.boundary = Bound::Key(k);
+                        self.inclusive = false;
+                        return Some(k);
+                    }
                 }
             }
         }
+    }
+}
+
+impl<K: Key, V: Value> LoTree<K, V> {
+    /// Streams every live key in `range` (ascending, strictly increasing)
+    /// into `f` without materialising the result. Lock-free; works on
+    /// poisoned trees.
+    pub(crate) fn scan_range(&self, range: RangeInclusive<K>, mut f: impl FnMut(K)) {
+        let (lo, hi) = range.into_inner();
+        if lo > hi {
+            record(Event::ScanStarted); // still one (empty) scan
+            return;
+        }
+        let mut cur = OrderedCursor::ascending(self, Bound::Key(lo), true);
+        let mut yielded = 0u64;
+        while let Some(k) = cur.next() {
+            if k > hi {
+                break;
+            }
+            yielded += 1;
+            f(k);
+        }
+        add(Event::ScanKeysYielded, yielded);
+    }
+
+    /// Streams all live keys in ascending order into `f`.
+    pub(crate) fn for_each_in_order(&self, mut f: impl FnMut(K)) {
+        let mut cur = OrderedCursor::ascending(self, Bound::NegInf, false);
+        let mut yielded = 0u64;
+        while let Some(k) = cur.next() {
+            yielded += 1;
+            f(k);
+        }
+        add(Event::ScanKeysYielded, yielded);
+    }
+
+    /// Number of live keys in `range`: one streaming pass, no allocation.
+    pub(crate) fn range_count(&self, range: RangeInclusive<K>) -> usize {
+        let mut n = 0usize;
+        self.scan_range(range, |_| n += 1);
+        n
+    }
+
+    /// Ascending snapshot of the live keys in `range`; precise at
+    /// quiescence, best-effort consistent under concurrency.
+    pub(crate) fn range_keys(&self, range: RangeInclusive<K>) -> Vec<K> {
+        let mut out = Vec::new();
+        self.scan_range(range, |k| out.push(k));
+        out
+    }
+
+    /// In-order key snapshot over the whole map (paper §4.7
+    /// `first()`/`next()` iteration, now a full-range cursor walk).
+    pub(crate) fn keys_in_order(&self) -> Vec<K> {
+        let mut out = Vec::new();
+        self.for_each_in_order(|k| out.push(k));
+        out
+    }
+
+    /// Smallest live key ≥ `key`, or `None`. Lock-free.
+    pub(crate) fn ceiling_key(&self, key: &K) -> Option<K> {
+        OrderedCursor::ascending(self, Bound::Key(*key), true).next()
     }
 
     /// Largest live key ≤ `key`, or `None`. Lock-free.
     pub(crate) fn floor_key(&self, key: &K) -> Option<K> {
-        let g = epoch::pin();
-        let mut node = nref(self.search(key, &g));
-        let mut succ_steps = 0u64;
-        while node.key.cmp_key(key) == Cmp::Less {
-            node = nref(node.succ.load(Ordering::Acquire, &g));
-            succ_steps += 1;
-        }
-        add(Event::ChaseSucc, succ_steps);
-        let mut pred_steps = 0u64;
-        loop {
-            match node.key {
-                Bound::NegInf => {
-                    add(Event::ChasePred, pred_steps);
-                    return None;
-                }
-                Bound::Key(k) if node.key.cmp_key(key) != Cmp::Greater && !node.is_removed() => {
-                    add(Event::ChasePred, pred_steps);
-                    return Some(k);
-                }
-                _ => {
-                    node = nref(node.pred.load(Ordering::Acquire, &g));
-                    pred_steps += 1;
-                }
-            }
-        }
-    }
-
-    /// Snapshot of the live keys in `range`, ascending. Walks the succ chain
-    /// from the range's ceiling; best-effort consistent under concurrency
-    /// (precise at quiescence).
-    pub(crate) fn range_keys(&self, range: RangeInclusive<K>) -> Vec<K> {
-        let (lo, hi) = range.into_inner();
-        let g = epoch::pin();
-        let mut out = Vec::new();
-        let mut node = nref(self.search(&lo, &g));
-        let mut pred_steps = 0u64;
-        while node.key.cmp_key(&lo) == Cmp::Greater {
-            node = nref(node.pred.load(Ordering::Acquire, &g));
-            pred_steps += 1;
-        }
-        add(Event::ChasePred, pred_steps);
-        loop {
-            match node.key {
-                Bound::PosInf => return out,
-                Bound::Key(k) => {
-                    if k > hi {
-                        return out;
-                    }
-                    if k >= lo && !node.is_removed() {
-                        out.push(k);
-                    }
-                }
-                Bound::NegInf => {}
-            }
-            node = nref(node.succ.load(Ordering::Acquire, &g));
-        }
+        OrderedCursor::descending(self, Bound::Key(*key), true).next()
     }
 
     /// Atomically removes and returns the smallest key (with its value),
-    /// or `None` if the map is empty. Retries while losing races.
+    /// or `None` if the map is empty. The successful `remove` is the
+    /// linearization point; the cursor only nominates candidates, so the
+    /// pop retries while losing races.
     pub(crate) fn pop_min(&self) -> Option<(K, V)>
     where
         V: Clone,
     {
         loop {
-            let k = self.min_key()?;
-            // Read the value first, then claim the key; the successful
-            // remove is the linearization point. If the key vanished (or
-            // was replaced) between the two steps, retry.
+            let k = OrderedCursor::ascending(self, Bound::NegInf, false).next()?;
             if let Some(v) = self.get(&k) {
                 if self.remove(&k) {
                     return Some((k, v));
@@ -134,7 +311,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         V: Clone,
     {
         loop {
-            let k = self.max_key()?;
+            let k = OrderedCursor::descending(self, Bound::PosInf, false).next()?;
             if let Some(v) = self.get(&k) {
                 if self.remove(&k) {
                     return Some((k, v));

@@ -324,28 +324,6 @@ impl<K: Key, V: Value> LoTree<K, V> {
         }
     }
 
-    /// In-order key snapshot by walking the `succ` chain (paper §4.7
-    /// `first()`/`next()`). Precise at quiescence; best-effort under
-    /// concurrency.
-    pub(crate) fn keys_in_order(&self) -> Vec<K> {
-        let g = epoch::pin();
-        let mut out = Vec::new();
-        let mut n = nref(self.head_sh(&g)).succ.load(Ordering::Acquire, &g);
-        loop {
-            let r = nref(n);
-            match r.key {
-                Bound::PosInf => return out,
-                Bound::Key(k) => {
-                    if !r.is_removed() {
-                        out.push(k);
-                    }
-                }
-                Bound::NegInf => {}
-            }
-            n = r.succ.load(Ordering::Acquire, &g);
-        }
-    }
-
     /// Number of live keys (walks the ordering chain; quiescent use only).
     pub(crate) fn len_quiescent(&self) -> usize {
         let g = epoch::pin();

@@ -6,7 +6,7 @@
 //! of the nets, and the quiescent structure must satisfy every invariant
 //! (ordering chain == tree layout, strict AVL balance, no locks held, ...).
 
-use lo_api::{CheckInvariants, ConcurrentMap, OrderedAccess};
+use lo_api::{CheckInvariants, ConcurrentMap, QuiescentOrdered};
 use lo_core::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -29,7 +29,7 @@ impl Rng {
 
 fn stress<M>(map: &M, threads: usize, key_space: i64, ops_per_thread: usize)
 where
-    M: ConcurrentMap<i64, u64> + CheckInvariants + OrderedAccess<i64> + Sync,
+    M: ConcurrentMap<i64, u64> + CheckInvariants + QuiescentOrdered<i64> + Sync,
 {
     let barrier = Barrier::new(threads);
     let running = AtomicBool::new(true);

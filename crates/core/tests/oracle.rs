@@ -2,7 +2,7 @@
 //! `BTreeMap` under arbitrary operation sequences, and satisfy all
 //! structural invariants afterwards.
 
-use lo_api::{CheckInvariants, ConcurrentMap, OrderedAccess};
+use lo_api::{CheckInvariants, ConcurrentMap, OrderedRead, QuiescentOrdered};
 use lo_core::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -24,7 +24,7 @@ fn op_strategy(key_space: i64) -> impl Strategy<Value = Op> {
 
 fn check_against_oracle<M>(map: &M, ops: &[Op])
 where
-    M: ConcurrentMap<i64, u64> + CheckInvariants + OrderedAccess<i64>,
+    M: ConcurrentMap<i64, u64> + CheckInvariants + OrderedRead<i64> + QuiescentOrdered<i64>,
 {
     let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
     for (i, op) in ops.iter().enumerate() {

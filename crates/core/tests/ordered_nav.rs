@@ -27,6 +27,32 @@ macro_rules! nav_suite {
             }
 
             #[test]
+            fn ceiling_floor_on_empty_tree() {
+                let m = $ty::<i64, u64>::new();
+                assert_eq!(m.ceiling_key(&0), None);
+                assert_eq!(m.floor_key(&0), None);
+                assert_eq!(m.ceiling_key(&i64::MIN), None);
+                assert_eq!(m.floor_key(&i64::MAX), None);
+                assert_eq!(m.range_keys(i64::MIN..=i64::MAX), Vec::<i64>::new());
+            }
+
+            #[test]
+            fn ceiling_floor_beyond_extremes() {
+                let m = $ty::new();
+                for k in [10i64, 20, 30, 40] {
+                    assert!(m.insert(k, 0));
+                }
+                // Probes below the minimum.
+                assert_eq!(m.ceiling_key(&i64::MIN), Some(10));
+                assert_eq!(m.floor_key(&i64::MIN), None);
+                assert_eq!(m.floor_key(&9), None);
+                // Probes above the maximum.
+                assert_eq!(m.floor_key(&i64::MAX), Some(40));
+                assert_eq!(m.ceiling_key(&i64::MAX), None);
+                assert_eq!(m.ceiling_key(&41), None);
+            }
+
+            #[test]
             fn ceiling_floor_skip_removed() {
                 let m = $ty::new();
                 for k in [10i64, 20, 30] {
@@ -93,15 +119,15 @@ macro_rules! nav_suite {
 
             #[test]
             fn concurrent_pop_min_is_exclusive() {
-                // Two poppers drain the map; every key must be popped
-                // exactly once, in globally sorted order per popper.
+                // Four poppers drain the map; every key must be popped
+                // exactly once, in ascending order per popper.
                 const N: i64 = 2_000;
                 let m = $ty::new();
                 for k in 0..N {
                     assert!(m.insert(k, k as u64));
                 }
                 let popped: Vec<Vec<(i64, u64)>> = std::thread::scope(|s| {
-                    (0..2)
+                    (0..4)
                         .map(|_| {
                             let m = &m;
                             s.spawn(move || {
@@ -140,6 +166,60 @@ nav_suite!(avl, LoAvlMap);
 nav_suite!(bst, LoBstMap);
 nav_suite!(pe_avl, LoPeAvlMap);
 nav_suite!(pe_bst, LoPeBstMap);
+
+/// Exact-hit probes on a *zombie* (LO-PE: removed key whose node lingers
+/// unlinked-but-allocated in the tree layout) must skip it in both
+/// directions, even though the layout descent lands exactly on it.
+#[test]
+fn pe_ceiling_floor_exact_hit_on_zombie() {
+    fn probe<M>(m: &M)
+    where
+        M: lo_api::ConcurrentMap<i64, u64> + lo_api::OrderedRead<i64>,
+    {
+        for k in [50i64, 25, 75] {
+            assert!(m.insert(k, 0));
+        }
+        assert!(m.remove(&50));
+        assert_eq!(m.ceiling_key(&50), Some(75), "exact-hit ceiling skips the zombie");
+        assert_eq!(m.floor_key(&50), Some(25), "exact-hit floor skips the zombie");
+        // The zombie key is also a dead exact endpoint for scans.
+        assert_eq!(m.range_keys(50..=50), Vec::<i64>::new());
+        assert_eq!(m.range_keys(25..=75), vec![25, 75]);
+    }
+    probe(&LoPeAvlMap::new());
+    probe(&LoPeBstMap::new());
+}
+
+/// Ceiling racing the target key's removal, made deterministic with the
+/// PR 4 failpoints: the remover dies right after its mark store (the
+/// linearization point), leaving the marked node stranded in the tree
+/// layout of a poisoned tree. Ordered reads must skip it — and stay live.
+#[cfg(feature = "failpoints")]
+#[test]
+fn ceiling_skips_key_whose_removal_is_in_flight() {
+    use lo_check::fail::{activate, FailPoint, FaultPlan};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let m = LoAvlMap::new();
+    for k in [1i64, 2, 3] {
+        assert_eq!(m.try_insert(k, k as u64), Ok(true));
+    }
+    let session = activate(FaultPlan::new(0x0CEA).panic_at(FailPoint::RemoveAfterMark));
+    let died = catch_unwind(AssertUnwindSafe(|| {
+        let _ = m.try_remove(&2);
+    }));
+    assert_eq!(session.fired(), 1);
+    drop(session);
+    assert!(died.is_err(), "armed failpoint kills the remover");
+    let _ = lo_check::fail::take_injected_panic();
+    // The removal linearized (mark store), so 2 is gone for every ordered
+    // read — including an exact-hit anchor on its still-present node.
+    assert!(m.poisoned().is_some(), "writer death poisons the tree");
+    assert_eq!(m.ceiling_key(&2), Some(3), "ceiling skips the marked node");
+    assert_eq!(m.floor_key(&2), Some(1), "floor skips the marked node");
+    assert_eq!(m.range_keys(0..=10), vec![1, 3], "scans stay live when poisoned");
+    assert_eq!(m.keys_in_order(), vec![1, 3]);
+}
 
 /// Ceiling/floor under concurrent churn of *other* keys must stay exact for
 /// stable anchor keys.

@@ -109,7 +109,7 @@ fn remove_killed_after_mark_is_effective() {
 /// must still reach it.
 fn relocation_kill<M>(m: &M)
 where
-    M: FallibleMap<i64, u64> + lo_api::OrderedAccess<i64> + lo_api::CheckInvariants,
+    M: FallibleMap<i64, u64> + lo_api::QuiescentOrdered<i64> + lo_api::CheckInvariants,
 {
     for k in [2i64, 1, 3] {
         assert_eq!(m.try_insert(k, k as u64), Ok(true));

@@ -131,6 +131,14 @@ events! {
     /// *consecutive* restarts any single operation suffered before
     /// completing — the restart-storm telemetry behind `LO_MAX_RESTARTS`.
     RestartsConsecutiveMax => "restarts-consecutive-max",
+    /// An ordered-cursor traversal was anchored (one per `scan_range` /
+    /// `for_each_in_order` / `range_count` / ceiling / floor / pop call).
+    ScanStarted => "scan-started",
+    /// Live keys yielded to scan callbacks by the ordered cursor.
+    ScanKeysYielded => "scan-keys-yielded",
+    /// A long scan dropped its epoch guard at a chunk boundary and
+    /// re-pinned + re-anchored (the cursor's chunked re-pinning rule).
+    ScanRepin => "scan-repin",
 }
 
 /// Number of counter shards. Threads are striped across shards round-robin;

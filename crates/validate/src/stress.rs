@@ -11,7 +11,7 @@
 //! * **Quiescent checks** — the structure's own `check_invariants`, plus
 //!   snapshot ordering.
 
-use lo_api::{CheckInvariants, ConcurrentMap, OrderedAccess};
+use lo_api::{CheckInvariants, ConcurrentMap, OrderedRead, QuiescentOrdered};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,7 +61,7 @@ pub struct StressReport {
 /// Runs the stress and all correctness accounting; panics on any violation.
 pub fn stress_map<M>(map: &M, cfg: &StressConfig) -> StressReport
 where
-    M: ConcurrentMap<i64, u64> + CheckInvariants + OrderedAccess<i64> + Sync,
+    M: ConcurrentMap<i64, u64> + CheckInvariants + QuiescentOrdered<i64> + Sync,
 {
     assert!(cfg.key_space > 0);
     // Per-thread, per-key success counters.
@@ -137,6 +137,88 @@ where
         removes: total_rem,
         total_ops: (cfg.threads * cfg.ops_per_thread) as u64,
     }
+}
+
+/// Update churn with concurrent streaming scans, checking the cursor
+/// contract on every scan:
+///
+/// * yields are strictly ascending and stay inside the requested range,
+/// * *stable* keys — planted outside the churn key space and never
+///   touched by the updaters — appear in every scan whose range covers
+///   them (a concurrent scan may miss keys that are being inserted or
+///   removed while it runs, but never a key that is continuously live).
+///
+/// Panics on any violation; returns the total number of keys yielded
+/// across all scans.
+pub fn scan_stress<M>(map: &M, cfg: &StressConfig, scanners: usize) -> u64
+where
+    M: ConcurrentMap<i64, u64> + OrderedRead<i64> + Sync,
+{
+    assert!(cfg.key_space > 0 && scanners > 0);
+    // Stable sentinels below the churn space: updaters only ever touch
+    // [0, key_space), so these stay live for the whole run.
+    let stable: Vec<i64> = (1..=8).map(|i| -16 * i).collect();
+    for &k in &stable {
+        let _ = map.insert(k, 0);
+    }
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let total_yields = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..cfg.threads {
+            let map = &map;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+                for i in 0..cfg.ops_per_thread {
+                    let k = rng.gen_range(0..cfg.key_space);
+                    if rng.gen_bool(0.5) {
+                        let _ = map.insert(k, k as u64);
+                    } else {
+                        let _ = map.remove(&k);
+                    }
+                    if cfg.yield_every > 0 && i % cfg.yield_every == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+        }
+        for s in 0..scanners {
+            let map = &map;
+            let stop = &stop;
+            let stable = &stable;
+            let total_yields = &total_yields;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD ^ (s as u64));
+                let mut yields = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    // Random window that always covers the stable keys.
+                    let hi = rng.gen_range(0..cfg.key_space);
+                    let lo = -1_000;
+                    let mut seen = Vec::new();
+                    map.scan_range(lo..=hi, &mut |k| seen.push(k));
+                    yields += seen.len() as u64;
+                    assert!(
+                        seen.windows(2).all(|w| w[0] < w[1]),
+                        "scan yields must be strictly ascending: {seen:?}"
+                    );
+                    assert!(
+                        seen.iter().all(|&k| (lo..=hi).contains(&k)),
+                        "scan strayed outside [{lo}, {hi}]: {seen:?}"
+                    );
+                    for &k in stable {
+                        assert!(
+                            seen.contains(&k),
+                            "scan over [{lo}, {hi}] missed continuously-live key {k}"
+                        );
+                    }
+                }
+                total_yields.fetch_add(yields, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    total_yields.into_inner()
 }
 
 /// Runs many tiny adversarial interleavings and checks each recorded history
@@ -233,13 +315,7 @@ mod tests {
             "ref"
         }
     }
-    impl OrderedAccess<i64> for RefMap {
-        fn min_key(&self) -> Option<i64> {
-            self.0.lock().unwrap().keys().next().copied()
-        }
-        fn max_key(&self) -> Option<i64> {
-            self.0.lock().unwrap().keys().last().copied()
-        }
+    impl QuiescentOrdered<i64> for RefMap {
         fn keys_in_order(&self) -> Vec<i64> {
             self.0.lock().unwrap().keys().copied().collect()
         }

@@ -10,6 +10,11 @@
 //!   validated in degraded mode — ordering-chain invariants still hold);
 //! * read coherence: `contains` agrees with the ordered key snapshot for
 //!   every key in the universe, poisoned or not;
+//! * scan liveness: streaming range scans (enabled via
+//!   [`ChaosSpec::scan_pct`]) complete mid-storm and at quiescence even on
+//!   a poisoned tree, obey the cursor contract (strict ascent, window
+//!   bounds), and — when recording — pass the scan-coherence checker
+//!   ([`lo_check::scan`]) against the operation history;
 //! * writer rejection: a poisoned tree refuses `try_insert`/`try_remove`
 //!   with [`TreeError::Poisoned`];
 //! * optionally, linearizability of the recorded history via the
@@ -27,11 +32,12 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use lo_api::{CheckInvariants, FallibleMap, OrderedAccess, TreeError};
+use lo_api::{CheckInvariants, FallibleMap, OrderedRead, QuiescentOrdered, TreeError};
 use lo_check::fail::{
     activate, effect_in_message, panic_message, take_injected_panic, FailPoint, FaultPlan,
 };
 use lo_check::lin::{is_linearizable, CompletedOp, LinOp, Recorder};
+use lo_check::scan::{check_scan_coherence, ScanObservation};
 
 use crate::rng::{SplitMix64, XorShift64Star};
 
@@ -44,9 +50,17 @@ pub struct ChaosSpec {
     /// Key universe `0..keys` (at most 64: the linearizability checker
     /// models set state as a 64-bit mask).
     pub keys: u64,
-    /// Operations attempted per thread (40% insert / 30% remove /
-    /// 30% contains).
+    /// Operations attempted per thread (40% insert / 30% remove, with the
+    /// rest split between `contains` and range scans per
+    /// [`ChaosSpec::scan_pct`]).
     pub ops_per_thread: usize,
+    /// Percentage of operations that are range scans (carved out of the
+    /// `contains` share; at most 30). Scans walk an 8-key window from the
+    /// drawn key through the lock-free cursor, are checked inline for
+    /// strict ascent and window bounds, and — when recording — are
+    /// verified for scan coherence against the history afterwards.
+    /// Defaults to 0, which leaves the classic op stream byte-identical.
+    pub scan_pct: u32,
     /// Seed for the per-thread operation streams (independent of the
     /// [`FaultPlan`] seed).
     pub seed: u64,
@@ -69,6 +83,7 @@ impl ChaosSpec {
             threads: 4,
             keys: 16,
             ops_per_thread: 200,
+            scan_pct: 0,
             seed,
             initial: 0,
             check_linearizability: false,
@@ -95,6 +110,10 @@ pub struct ChaosReport {
     pub rejected_writes: u64,
     /// Writes that observed [`TreeError::AllocFailed`].
     pub alloc_failures: u64,
+    /// Range scans that ran to completion (a subset of `ops_completed`).
+    pub scans_completed: u64,
+    /// Keys yielded across all completed scans.
+    pub scan_keys_yielded: u64,
     /// Per-point injected-fault counts, indexed like [`FailPoint::ALL`].
     pub fired: [u64; FailPoint::COUNT],
     /// Poison state of the map after the run.
@@ -117,10 +136,11 @@ impl ChaosReport {
 /// violated check; returns the run's accounting otherwise.
 pub fn run_chaos<M>(map: &M, spec: &ChaosSpec, plan: FaultPlan) -> ChaosReport
 where
-    M: FallibleMap<i64, u64> + OrderedAccess<i64> + CheckInvariants + Sync,
+    M: FallibleMap<i64, u64> + OrderedRead<i64> + QuiescentOrdered<i64> + CheckInvariants + Sync,
 {
     assert!(spec.threads > 0 && spec.ops_per_thread > 0, "empty chaos spec");
     assert!(spec.keys > 0 && spec.keys <= 64, "key universe must be 1..=64");
+    assert!(spec.scan_pct <= 30, "scans are carved out of the 30% contains share");
     if spec.check_linearizability {
         assert!(
             spec.threads * spec.ops_per_thread <= 28,
@@ -140,11 +160,14 @@ where
 
     let recorder = spec.check_linearizability.then(Recorder::new);
     let history: Mutex<Vec<CompletedOp>> = Mutex::new(Vec::new());
+    let scan_obs: Mutex<Vec<ScanObservation>> = Mutex::new(Vec::new());
     let ops_completed = AtomicU64::new(0);
     let injected_panics = AtomicU64::new(0);
     let aborted_ops = AtomicU64::new(0);
     let rejected_writes = AtomicU64::new(0);
     let alloc_failures = AtomicU64::new(0);
+    let scans_completed = AtomicU64::new(0);
+    let scan_keys_yielded = AtomicU64::new(0);
 
     let mut seeder = SplitMix64::new(spec.seed);
     let thread_seeds: Vec<u64> = (0..spec.threads).map(|_| seeder.next_u64()).collect();
@@ -155,11 +178,65 @@ where
             let (ops_completed, injected_panics) = (&ops_completed, &injected_panics);
             let (aborted_ops, rejected_writes) = (&aborted_ops, &rejected_writes);
             let alloc_failures = &alloc_failures;
+            let (scan_obs, scans_completed) = (&scan_obs, &scans_completed);
+            let scan_keys_yielded = &scan_keys_yielded;
             s.spawn(move || {
                 let mut rng = XorShift64Star::new(tseed);
                 for _ in 0..spec.ops_per_thread {
                     let key = rng.next_below(spec.keys) as i64;
                     let roll = rng.next_below(100);
+                    if spec.scan_pct > 0 && roll >= 100 - u64::from(spec.scan_pct) {
+                        // Range scan over an 8-key window from the drawn
+                        // key. Lock-free read path: it must complete (and
+                        // obey the cursor contract) even mid-storm on a
+                        // poisoned tree.
+                        let hi = (key + 7).min(spec.keys as i64 - 1);
+                        let invoke = recorder.as_ref().map(Recorder::stamp);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let mut ks = Vec::new();
+                            map.scan_range(key..=hi, &mut |k| ks.push(k));
+                            ks
+                        }));
+                        let response = recorder.as_ref().map(Recorder::stamp);
+                        match outcome {
+                            Ok(ks) => {
+                                assert!(
+                                    ks.windows(2).all(|w| w[0] < w[1]),
+                                    "chaos scan yields not strictly ascending: {ks:?}"
+                                );
+                                assert!(
+                                    ks.iter().all(|&k| (key..=hi).contains(&k)),
+                                    "chaos scan strayed outside [{key}, {hi}]: {ks:?}"
+                                );
+                                ops_completed.fetch_add(1, Ordering::Relaxed);
+                                scans_completed.fetch_add(1, Ordering::Relaxed);
+                                scan_keys_yielded.fetch_add(ks.len() as u64, Ordering::Relaxed);
+                                if let (Some(invoke), Some(response)) = (invoke, response) {
+                                    scan_obs.lock().expect("scan mutex").push(ScanObservation {
+                                        lo: key as u8,
+                                        hi: hi as u8,
+                                        keys: ks.iter().map(|&k| k as u8).collect(),
+                                        invoke,
+                                        response,
+                                    });
+                                }
+                            }
+                            Err(payload) => {
+                                // The scan path takes no locks and hosts no
+                                // failpoints; treat anything unmarked as a
+                                // genuine bug, like the write path does.
+                                let injected = take_injected_panic().is_some();
+                                let effect =
+                                    panic_message(payload.as_ref()).and_then(effect_in_message);
+                                if !injected && effect.is_none() {
+                                    resume_unwind(payload);
+                                }
+                                let ctr = if injected { injected_panics } else { aborted_ops };
+                                ctr.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        continue;
+                    }
                     let (op, val) = if roll < 40 {
                         (LinOp::Insert, rng.next_u64())
                     } else if roll < 70 {
@@ -243,6 +320,15 @@ where
         );
     }
 
+    // 2b. Streaming scans stay live in degraded mode and, at quiescence,
+    //     agree exactly with the snapshot (poisoned or not).
+    let mut scanned = Vec::new();
+    map.scan_range(0..=spec.keys as i64 - 1, &mut |k| scanned.push(k));
+    assert_eq!(
+        scanned, snapshot,
+        "quiescent full-range scan disagrees with the ordered snapshot (poisoned: {poisoned:?})"
+    );
+
     // 3. A poisoned tree must keep rejecting writers.
     if poisoned.is_some() {
         assert!(
@@ -255,7 +341,8 @@ where
         );
     }
 
-    // 4. Linearizability of the recorded history.
+    // 4. Linearizability of the recorded history, and coherence of every
+    //    recorded scan against it.
     let mut history = history.into_inner().expect("history mutex");
     history.sort_by_key(|c| c.invoke);
     if spec.check_linearizability {
@@ -265,6 +352,10 @@ where
             history.len(),
             spec.seed
         );
+        let scans = scan_obs.into_inner().expect("scan mutex");
+        if let Err(v) = check_scan_coherence(&history, &scans, spec.initial) {
+            panic!("chaos scan incoherent under seed {}: {v}", spec.seed);
+        }
     }
 
     ChaosReport {
@@ -273,6 +364,8 @@ where
         aborted_ops: aborted_ops.into_inner(),
         rejected_writes: rejected_writes.into_inner(),
         alloc_failures: alloc_failures.into_inner(),
+        scans_completed: scans_completed.into_inner(),
+        scan_keys_yielded: scan_keys_yielded.into_inner(),
         fired,
         poisoned,
         history_len: history.len(),
@@ -334,6 +427,42 @@ mod tests {
         let report = run_chaos(&map, &spec, FaultPlan::new(23));
         assert_eq!(report.history_len, 27);
         assert_eq!(report.poisoned, None);
+    }
+
+    /// Scans interleave with the storm and keep the cursor contract; the
+    /// classic counters still balance.
+    #[test]
+    fn scans_run_mid_storm() {
+        let map = lo_core::LoAvlMap::new();
+        let spec = ChaosSpec { scan_pct: 30, initial: 0b1111_0000, ..ChaosSpec::new(7) };
+        let report = run_chaos(&map, &spec, FaultPlan::new(7));
+        assert!(report.scans_completed > 0, "a 30% scan share must fire");
+        assert_eq!(
+            report.ops_completed,
+            (spec.threads * spec.ops_per_thread) as u64
+        );
+    }
+
+    /// Tiny recorded session with scans: history linearizable *and* every
+    /// scan coherent against it.
+    #[test]
+    fn recorded_scans_are_coherent() {
+        let map = lo_core::LoBstMap::new();
+        let spec = ChaosSpec {
+            threads: 3,
+            keys: 8,
+            ops_per_thread: 9,
+            scan_pct: 30,
+            initial: 0b1101,
+            check_linearizability: true,
+            ..ChaosSpec::new(41)
+        };
+        let report = run_chaos(&map, &spec, FaultPlan::new(41));
+        assert!(report.scans_completed > 0);
+        assert_eq!(
+            report.history_len + report.scans_completed as usize,
+            spec.threads * spec.ops_per_thread
+        );
     }
 
     #[test]

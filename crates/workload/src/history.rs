@@ -26,8 +26,9 @@
 
 use std::sync::Mutex;
 
-use lo_api::ConcurrentMap;
+use lo_api::{ConcurrentMap, OrderedRead};
 use lo_check::lin::{CompletedOp, LinOp, Recorder};
+use lo_check::scan::ScanObservation;
 
 /// Largest key a recorded session may touch: the WGL checker models the set
 /// state as a 64-bit membership mask.
@@ -35,10 +36,16 @@ pub const MAX_KEYS: u8 = 64;
 
 /// Collects a timed operation history from one or more [`Recorded`]
 /// wrappers. Cheap to share by reference across worker threads.
+///
+/// Range scans issued through [`Recorded::scan_range`] are stamped with
+/// the same logical clock and collected separately (as
+/// [`ScanObservation`]s) for the scan-coherence checker in
+/// [`lo_check::scan`].
 #[derive(Debug, Default)]
 pub struct HistoryRecorder {
     recorder: Recorder,
     history: Mutex<Vec<CompletedOp>>,
+    scans: Mutex<Vec<ScanObservation>>,
 }
 
 impl HistoryRecorder {
@@ -59,6 +66,13 @@ impl HistoryRecorder {
         let mut h = std::mem::take(&mut *self.history.lock().expect("history poisoned"));
         h.sort_by_key(|c| c.invoke);
         h
+    }
+
+    /// Drains the recorded scan observations, sorted by invocation time.
+    pub fn take_scans(&self) -> Vec<ScanObservation> {
+        let mut s = std::mem::take(&mut *self.scans.lock().expect("scans poisoned"));
+        s.sort_by_key(|o| o.invoke);
+        s
     }
 
     fn record(&self, op: LinOp, key: u8, f: impl FnOnce() -> bool) -> bool {
@@ -92,6 +106,28 @@ impl<M: ConcurrentMap<i64, u64>> Recorded<'_, M> {
     /// Recorded [`ConcurrentMap::contains`].
     pub fn contains(&self, key: &i64) -> bool {
         self.rec.record(LinOp::Contains, key_to_u8(*key), || self.map.contains(key))
+    }
+}
+
+impl<M: OrderedRead<i64>> Recorded<'_, M> {
+    /// Recorded [`OrderedRead::scan_range`] over `lo..=hi`: the yields are
+    /// returned and an [`ScanObservation`] stamped around the whole scan is
+    /// pushed into the recorder for [`lo_check::scan::check_scan_coherence`].
+    pub fn scan_range(&self, lo: i64, hi: i64) -> Vec<i64> {
+        let (lo8, hi8) = (key_to_u8(lo), key_to_u8(hi));
+        let invoke = self.rec.recorder.stamp();
+        let mut keys = Vec::new();
+        self.map.scan_range(lo..=hi, &mut |k| keys.push(k));
+        let response = self.rec.recorder.stamp();
+        let obs = ScanObservation {
+            lo: lo8,
+            hi: hi8,
+            keys: keys.iter().map(|&k| key_to_u8(k)).collect(),
+            invoke,
+            response,
+        };
+        self.rec.scans.lock().expect("scans poisoned").push(obs);
+        keys
     }
 }
 
@@ -133,6 +169,26 @@ mod tests {
         }
         fn name(&self) -> &'static str {
             "ref-btree"
+        }
+    }
+
+    impl OrderedRead<i64> for RefMap {
+        fn min_key(&self) -> Option<i64> {
+            self.0.lock().unwrap().keys().next().copied()
+        }
+        fn max_key(&self) -> Option<i64> {
+            self.0.lock().unwrap().keys().next_back().copied()
+        }
+        fn ceiling_key(&self, key: &i64) -> Option<i64> {
+            self.0.lock().unwrap().range(*key..).next().map(|(k, _)| *k)
+        }
+        fn floor_key(&self, key: &i64) -> Option<i64> {
+            self.0.lock().unwrap().range(..=*key).next_back().map(|(k, _)| *k)
+        }
+        fn scan_range(&self, range: std::ops::RangeInclusive<i64>, f: &mut dyn FnMut(i64)) {
+            for (&k, _) in self.0.lock().unwrap().range(range) {
+                f(k);
+            }
         }
     }
 
@@ -180,6 +236,24 @@ mod tests {
         assert_eq!(h.len(), 12);
         assert!(h.windows(2).all(|w| w[0].invoke <= w[1].invoke));
         assert!(is_linearizable(&h, 0));
+    }
+
+    #[test]
+    fn recorded_scans_are_coherent() {
+        use lo_check::scan::check_scan_coherence;
+        let map = RefMap::default();
+        let rec = HistoryRecorder::new();
+        let w = rec.wrap(&map);
+        w.insert(2, 2);
+        w.insert(5, 5);
+        assert_eq!(w.scan_range(0, 10), vec![2, 5]);
+        w.remove(&2);
+        assert_eq!(w.scan_range(0, 10), vec![5]);
+        let history = rec.take_history();
+        let scans = rec.take_scans();
+        assert_eq!(scans.len(), 2);
+        assert!(rec.take_scans().is_empty(), "take_scans drains");
+        check_scan_coherence(&history, &scans, 0).expect("coherent session");
     }
 
     #[test]

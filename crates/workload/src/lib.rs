@@ -31,7 +31,10 @@ pub use history::HistoryRecorder;
 pub use latency::LatencyHistogram;
 pub use report::{MetricsEntry, MetricsPanel, Panel};
 pub use rng::{SplitMix64, XorShift64Star, Zipf};
-pub use runner::{prefill, run_experiment, run_experiment_full, run_trial, TrialResult};
+pub use runner::{
+    prefill, run_experiment, run_experiment_full, run_experiment_full_ordered,
+    run_experiment_ordered, run_trial, run_trial_ordered, TrialResult,
+};
 pub use spec::{KeyDist, Mix, OpKind, TrialSpec};
 pub use stats::Summary;
 

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use lo_api::ConcurrentMap;
+use lo_api::{ConcurrentMap, OrderedRead};
 use lo_metrics::{Event, Snapshot};
 
 use crate::rng::{SplitMix64, XorShift64Star, Zipf};
@@ -95,7 +95,43 @@ fn draw_key(rng: &mut XorShift64Star, spec: &TrialSpec, zipf: Option<&Zipf>) -> 
 }
 
 /// Runs one timed trial on an already-prefilled map.
+///
+/// Accepts any [`ConcurrentMap`], so the mix must not contain range scans
+/// (`mix.range == 0`); scan workloads need an ordered map and
+/// [`run_trial_ordered`].
 pub fn run_trial<M: ConcurrentMap<i64, u64>>(map: &M, spec: &TrialSpec) -> TrialResult {
+    assert_eq!(
+        spec.mix.range, 0,
+        "mixes with range scans need an OrderedRead map: use run_trial_ordered"
+    );
+    trial_loop(map, spec, |_, _, _| unreachable!("range == 0 never rolls a scan"))
+}
+
+/// Runs one timed trial whose mix may include range scans. Each scan
+/// streams the window `start..=start + len - 1` through
+/// [`OrderedRead::scan_range`] and counts as one operation.
+pub fn run_trial_ordered<M>(map: &M, spec: &TrialSpec) -> TrialResult
+where
+    M: ConcurrentMap<i64, u64> + OrderedRead<i64>,
+{
+    trial_loop(map, spec, |map, start, len| {
+        let end = start.saturating_add(i64::from(len).saturating_sub(1));
+        let mut seen = 0u64;
+        map.scan_range(start..=end, &mut |k| {
+            std::hint::black_box(k);
+            seen += 1;
+        });
+        std::hint::black_box(seen);
+    })
+}
+
+/// The shared timed loop: `scan` executes a `RangeScan { len }` drawn from
+/// the mix (never called when `mix.range == 0`).
+fn trial_loop<M, S>(map: &M, spec: &TrialSpec, scan: S) -> TrialResult
+where
+    M: ConcurrentMap<i64, u64>,
+    S: Fn(&M, i64, u32) + Sync,
+{
     let stop = AtomicBool::new(false);
     let mut seeder = SplitMix64::new(spec.seed);
     let seeds: Vec<u64> = (0..spec.threads).map(|_| seeder.next_u64()).collect();
@@ -104,6 +140,7 @@ pub fn run_trial<M: ConcurrentMap<i64, u64>>(map: &M, spec: &TrialSpec) -> Trial
 
     let (per_thread, elapsed) = std::thread::scope(|scope| {
         let stop = &stop;
+        let scan = &scan;
         let handles: Vec<_> = seeds
             .iter()
             .map(|&seed| {
@@ -131,6 +168,7 @@ pub fn run_trial<M: ConcurrentMap<i64, u64>>(map: &M, spec: &TrialSpec) -> Trial
                                 OpKind::Remove => {
                                     std::hint::black_box(map.remove(&key));
                                 }
+                                OpKind::RangeScan { len } => scan(map, key, len),
                             }
                             ops += 1;
                         }
@@ -185,6 +223,38 @@ where
     run_experiment_full(make_map, spec, reps).iter().map(TrialResult::mops).collect()
 }
 
+/// [`run_experiment_full`] for mixes that may include range scans (drives
+/// each repetition through [`run_trial_ordered`]).
+pub fn run_experiment_full_ordered<M, F>(
+    make_map: F,
+    spec: &TrialSpec,
+    reps: usize,
+) -> Vec<TrialResult>
+where
+    M: ConcurrentMap<i64, u64> + OrderedRead<i64>,
+    F: Fn() -> M,
+{
+    let mut out = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let map = make_map();
+        let rep_spec = spec.with_seed(spec.seed.wrapping_add(rep as u64 * 0x9E37));
+        prefill(&map, &rep_spec);
+        let warm = TrialSpec { duration: spec.duration / 10, ..rep_spec.clone() };
+        let _ = run_trial_ordered(&map, &warm);
+        out.push(run_trial_ordered(&map, &rep_spec));
+    }
+    out
+}
+
+/// Per-rep Mops/s over [`run_experiment_full_ordered`].
+pub fn run_experiment_ordered<M, F>(make_map: F, spec: &TrialSpec, reps: usize) -> Vec<f64>
+where
+    M: ConcurrentMap<i64, u64> + OrderedRead<i64>,
+    F: Fn() -> M,
+{
+    run_experiment_full_ordered(make_map, spec, reps).iter().map(TrialResult::mops).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +284,25 @@ mod tests {
         }
         fn name(&self) -> &'static str {
             "ref"
+        }
+    }
+    impl OrderedRead<i64> for RefMap {
+        fn min_key(&self) -> Option<i64> {
+            self.0.lock().unwrap().keys().next().copied()
+        }
+        fn max_key(&self) -> Option<i64> {
+            self.0.lock().unwrap().keys().next_back().copied()
+        }
+        fn ceiling_key(&self, key: &i64) -> Option<i64> {
+            self.0.lock().unwrap().range(*key..).next().map(|(k, _)| *k)
+        }
+        fn floor_key(&self, key: &i64) -> Option<i64> {
+            self.0.lock().unwrap().range(..=*key).next_back().map(|(k, _)| *k)
+        }
+        fn scan_range(&self, range: std::ops::RangeInclusive<i64>, f: &mut dyn FnMut(i64)) {
+            for (&k, _) in self.0.lock().unwrap().range(range) {
+                f(k);
+            }
         }
     }
 
@@ -269,6 +358,26 @@ mod tests {
             // Without the metrics feature the snapshot must stay all-zero;
             // with it, the RefMap records nothing either way.
         }
+    }
+
+    #[test]
+    fn ordered_trial_runs_scans() {
+        let mix = Mix::with_range(40, 20, 10, 30, 16);
+        let spec = TrialSpec::new(mix, 200, 2, Duration::from_millis(40));
+        let map = RefMap(Mutex::new(BTreeMap::new()));
+        prefill(&map, &spec);
+        let res = run_trial_ordered(&map, &spec);
+        assert!(res.total_ops > 0);
+        assert_eq!(res.per_thread.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "run_trial_ordered")]
+    fn classic_runner_rejects_scan_mix() {
+        let mix = Mix::with_range(90, 0, 0, 10, 8);
+        let spec = TrialSpec::new(mix, 64, 1, Duration::from_millis(5));
+        let map = RefMap(Mutex::new(BTreeMap::new()));
+        let _ = run_trial(&map, &spec);
     }
 
     #[test]

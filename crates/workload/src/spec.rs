@@ -11,25 +11,47 @@ pub struct Mix {
     pub insert: u32,
     /// Percentage of `remove` operations.
     pub remove: u32,
+    /// Percentage of range-scan operations. Mixes with a nonzero `range`
+    /// weight need an ordered map ([`lo_api::OrderedRead`]) and the
+    /// ordered runner ([`crate::runner::run_trial_ordered`]).
+    pub range: u32,
+    /// Keys per range scan (the scan window is `start..=start + scan_len
+    /// - 1`). Only meaningful when `range > 0`.
+    pub scan_len: u32,
 }
 
 impl Mix {
-    /// Validated constructor.
+    /// Validated constructor for the classic three-operation mix
+    /// (`range = 0`).
     pub fn new(contains: u32, insert: u32, remove: u32) -> Self {
-        assert_eq!(contains + insert + remove, 100, "mix must sum to 100%");
-        Self { contains, insert, remove }
+        Self::with_range(contains, insert, remove, 0, 0)
+    }
+
+    /// Validated constructor including a range-scan weight.
+    pub fn with_range(contains: u32, insert: u32, remove: u32, range: u32, scan_len: u32) -> Self {
+        assert_eq!(contains + insert + remove + range, 100, "mix must sum to 100%");
+        assert!(range == 0 || scan_len >= 1, "range scans need scan_len >= 1");
+        Self { contains, insert, remove, range, scan_len }
     }
 
     /// 100% contains — the paper's read-only workload.
-    pub const C100: Mix = Mix { contains: 100, insert: 0, remove: 0 };
+    pub const C100: Mix = Mix { contains: 100, insert: 0, remove: 0, range: 0, scan_len: 0 };
     /// 70% contains, 20% insert, 10% remove — the paper's mixed workload.
-    pub const C70_I20_R10: Mix = Mix { contains: 70, insert: 20, remove: 10 };
+    pub const C70_I20_R10: Mix = Mix { contains: 70, insert: 20, remove: 10, range: 0, scan_len: 0 };
     /// 50% contains, 25% insert, 25% remove — the paper's write-heavy workload.
-    pub const C50_I25_R25: Mix = Mix { contains: 50, insert: 25, remove: 25 };
+    pub const C50_I25_R25: Mix = Mix { contains: 50, insert: 25, remove: 25, range: 0, scan_len: 0 };
 
-    /// Short identifier used in table headers (e.g. `70c-20i-10r`).
+    /// Short identifier used in table headers (e.g. `70c-20i-10r`; mixes
+    /// with scans append the weight and window, e.g. `60c-20i-10r-10s64`).
     pub fn label(&self) -> String {
-        format!("{}c-{}i-{}r", self.contains, self.insert, self.remove)
+        if self.range == 0 {
+            format!("{}c-{}i-{}r", self.contains, self.insert, self.remove)
+        } else {
+            format!(
+                "{}c-{}i-{}r-{}s{}",
+                self.contains, self.insert, self.remove, self.range, self.scan_len
+            )
+        }
     }
 
     /// Whether the mix contains mutating operations.
@@ -58,13 +80,15 @@ impl Mix {
             OpKind::Contains
         } else if roll < self.contains + self.insert {
             OpKind::Insert
-        } else {
+        } else if roll < self.contains + self.insert + self.remove {
             OpKind::Remove
+        } else {
+            OpKind::RangeScan { len: self.scan_len }
         }
     }
 }
 
-/// The three dictionary operations.
+/// The dictionary operations a workload can issue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OpKind {
     /// Membership query.
@@ -73,6 +97,11 @@ pub enum OpKind {
     Insert,
     /// Removal.
     Remove,
+    /// Ordered scan of `len` consecutive keys starting at the drawn key.
+    RangeScan {
+        /// Window width in keys.
+        len: u32,
+    },
 }
 
 /// Key distribution for a trial.
@@ -157,6 +186,24 @@ mod tests {
         assert_eq!(m.pick(89), OpKind::Insert);
         assert_eq!(m.pick(90), OpKind::Remove);
         assert_eq!(m.pick(99), OpKind::Remove);
+    }
+
+    #[test]
+    fn range_mix_labels_and_picks() {
+        let m = Mix::with_range(60, 20, 10, 10, 64);
+        assert_eq!(m.label(), "60c-20i-10r-10s64");
+        assert!(m.has_updates());
+        assert_eq!(m.pick(89), OpKind::Remove);
+        assert_eq!(m.pick(90), OpKind::RangeScan { len: 64 });
+        assert_eq!(m.pick(99), OpKind::RangeScan { len: 64 });
+        // Classic constructor keeps the old labels stable.
+        assert_eq!(Mix::new(70, 20, 10).label(), "70c-20i-10r");
+    }
+
+    #[test]
+    #[should_panic(expected = "scan_len")]
+    fn range_mix_needs_scan_len() {
+        let _ = Mix::with_range(60, 20, 10, 10, 0);
     }
 
     #[test]

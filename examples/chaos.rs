@@ -211,25 +211,30 @@ fn chaos_rounds(injecting: bool) {
     }
 
     // Round 2: delays and budgeted try-lock failures only — survivable
-    // chaos; the tree must come out healthy.
+    // chaos; the tree must come out healthy. A fifth of the read share is
+    // diverted to range scans so the streaming cursor rides the same storm.
     let plan = FaultPlan::new(seed() ^ 1)
         .delay_at(FailPoint::RemoveAfterMark, 512, 4)
         .delay_at(FailPoint::PeAfterMark, 512, 4)
         .fail_at(FailPoint::TreeTryLock, 64);
     let map = LoPeBstMap::new();
-    let spec = ChaosSpec { initial: 0xF0F0, ..ChaosSpec::new(seed() ^ 1) };
+    let spec = ChaosSpec { initial: 0xF0F0, scan_pct: 20, ..ChaosSpec::new(seed() ^ 1) };
     let report = run_chaos(&map, &spec, plan);
     println!(
-        "  pe-bst: {} ops, {} faults fired (delays + forced try-lock failures), poisoned: {}",
+        "  pe-bst: {} ops ({} scans, {} keys yielded), {} faults fired, poisoned: {}",
         report.ops_completed,
+        report.scans_completed,
+        report.scan_keys_yielded,
         report.total_fired(),
         if report.poisoned.is_some() { "yes" } else { "no" },
     );
     assert_eq!(report.poisoned, None, "survivable chaos must not poison");
     assert_eq!(report.ops_completed, (spec.threads * spec.ops_per_thread) as u64);
+    assert!(report.scans_completed > 0, "a 20% scan share must roll some scans");
 
     // Round 3: tiny recorded session through the WGL linearizability
-    // checker with a mid-window panic armed.
+    // checker with a mid-window panic armed. Scans ride along and are
+    // cross-checked for coherence against the recorded point-op history.
     let plan = FaultPlan::new(seed() ^ 2).with(
         FailPoint::RemoveAfterMark,
         lo_check::fail::FaultRule::once(lo_check::fail::FaultAction::Panic).skip(2),
@@ -241,12 +246,14 @@ fn chaos_rounds(injecting: bool) {
         ops_per_thread: 7,
         initial: 0b1011_0110,
         check_linearizability: true,
+        scan_pct: 15,
         ..ChaosSpec::new(seed() ^ 2)
     };
     let report = run_chaos(&map, &spec, plan);
     println!(
-        "  lin:    {} recorded ops linearizable ({} injected panic{})",
+        "  lin:    {} recorded ops linearizable, {} coherent scans ({} injected panic{})",
         report.history_len,
+        report.scans_completed,
         report.injected_panics,
         if report.injected_panics == 1 { "" } else { "s" },
     );

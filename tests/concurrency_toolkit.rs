@@ -61,6 +61,29 @@ fn history_recorder_over_live_tree() {
     assert!(is_linearizable(&h, 0), "live-tree history not linearizable: {h:#?}");
 }
 
+/// Streaming scans stay correct under concurrent update churn: strictly
+/// ascending, in-bounds, and never missing continuously-live sentinel keys —
+/// exercised on the epoch-pinned succ-chain cursor (LO-AVL, LO-PE AVL) and
+/// on the skip list's bottom-level walk for contrast.
+#[test]
+fn scan_stress_under_churn() {
+    use lo_validate::stress::{scan_stress, StressConfig};
+    let cfg = StressConfig {
+        threads: 3,
+        key_space: 96,
+        ops_per_thread: if cfg!(debug_assertions) { 6_000 } else { 16_000 },
+        ..Default::default()
+    };
+    for yielded in [
+        scan_stress(&LoAvlMap::<i64, u64>::new(), &cfg, 2),
+        scan_stress(&LoPeAvlMap::<i64, u64>::new(), &cfg, 2),
+        scan_stress(&lo_trees::baselines::SkipListMap::<i64, u64>::new(), &cfg, 2),
+    ] {
+        // Every completed scan covers the eight stable sentinels.
+        assert!(yielded >= 8, "scanners must observe the stable sentinels");
+    }
+}
+
 /// With the ledger compiled in, a full stress run over every tree variant
 /// doubles as a lock-discipline proof: any succ-after-tree acquisition,
 /// out-of-order succ lock, blocking non-anchor tree lock, or
@@ -76,7 +99,7 @@ mod lockdep_stress {
     where
         M: ConcurrentMap<i64, u64>
             + lo_api::CheckInvariants
-            + lo_api::OrderedAccess<i64>
+            + lo_api::QuiescentOrdered<i64>
             + Sync,
     {
         assert!(lo_check::lockdep::ENABLED);

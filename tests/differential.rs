@@ -3,7 +3,7 @@
 //! `BTreeMap` oracle; every return value and the final ordered key set must
 //! agree everywhere.
 
-use lo_api::{CheckInvariants, ConcurrentMap, OrderedAccess};
+use lo_api::{CheckInvariants, ConcurrentMap, QuiescentOrdered};
 use lo_baselines::{
     BccoTreeMap, CfTreeMap, ChromaticTreeMap, CoarseAvlMap, EfrbTreeMap, NmTreeMap, SkipListMap,
 };
@@ -39,7 +39,7 @@ trait Sut {
     fn label(&self) -> &'static str;
 }
 
-impl<M: ConcurrentMap<i64, u64> + OrderedAccess<i64> + CheckInvariants> Sut for M {
+impl<M: ConcurrentMap<i64, u64> + QuiescentOrdered<i64> + CheckInvariants> Sut for M {
     fn run(&self, op: &Op) -> Option<u64> {
         match *op {
             Op::Insert(k) => Some(self.insert(k, k as u64 + 1000) as u64),
