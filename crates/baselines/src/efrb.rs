@@ -338,7 +338,7 @@ impl<K: Key, V: Value> EfrbTreeMap<K, V> {
                     return true;
                 }
                 Err(e) => {
-                    // SAFETY (×3): the flag CAS failed, so none of the
+                    // SAFETY: (×3) the flag CAS failed, so none of the
                     // three speculative allocations was ever published; this
                     // thread still owns them exclusively.
                     let mut leaf = unsafe { new_leaf.into_owned() };

@@ -19,6 +19,10 @@ use lo_api::{CheckInvariants, ConcurrentMap, Key, OrderedRead, QuiescentOrdered,
 /// Maximum tower height; supports ~2^28 elements comfortably.
 const MAX_HEIGHT: usize = 28;
 
+/// Result of [`SkipListMap::bottom_bounds`]: the last live strict
+/// predecessor (`None` = head) and the first `>= key` bottom node.
+type BottomBounds<'g, K, V> = (Option<&'g SlNode<K, V>>, Shared<'g, SlNode<K, V>>);
+
 struct SlNode<K, V> {
     /// `None` only for the head sentinel (−∞).
     key: Option<K>,
@@ -290,11 +294,7 @@ impl<K: Key, V: Value> SkipListMap<K, V> {
     /// node with key `< key` seen on the descent (`None` = only the head
     /// precedes it) and the first bottom-level node (possibly marked) with
     /// key `>= key`.
-    fn bottom_bounds<'g>(
-        &self,
-        key: &K,
-        g: &'g Guard,
-    ) -> (Option<&'g SlNode<K, V>>, Shared<'g, SlNode<K, V>>) {
+    fn bottom_bounds<'g>(&self, key: &K, g: &'g Guard) -> BottomBounds<'g, K, V> {
         let head = self.head.load(Ordering::Acquire, g);
         let mut pred = head;
         let mut floor: Option<&'g SlNode<K, V>> = None;

@@ -1,92 +1,130 @@
-//! Extension experiment: **lookup tail latency** under update load.
+//! Extension experiment: **per-operation latency** under the paper's
+//! write-heavy mix.
 //!
 //! The paper's qualitative argument for lock-free `contains` is robustness:
 //! a lookup can never wait for a rebalance, a lock, or a preempted lock
-//! holder. Throughput tables hide this; tail latency shows it. One reader
-//! thread samples `contains` latency while writers churn; we report
-//! p50/p99/p999 per algorithm (the coarse RwLock reference is included as
-//! the blocking extreme).
+//! holder. Throughput tables hide this; tail latency shows it. Every worker
+//! samples its own operation latencies into per-kind log₂ histograms
+//! ([`TrialSpec::with_latency`]), so the table reports p50/p90/p99/p999 for
+//! `contains`, `insert` and `remove` separately — the blocking coarse
+//! RwLock reference is included as the extreme.
+//!
+//! With `--summary-json`, each (algorithm, op, percentile) cell is appended
+//! to `BENCH_throughput.json` as a row keyed `latency/<algo>/<op>/<pXX>`.
+//! Latency rows ride the same schema as throughput rows: the value lands in
+//! `ops_per_us_mean` but is a **latency in nanoseconds** (sd = 0); the
+//! `latency/` config prefix is what marks the unit switch.
+//!
+//! With `--trace` (build with `--features trace`), the run also prints the
+//! lock-window evidence — succ-lock vs tree-lock wait and hold histograms —
+//! and `--trace-out PATH` writes the merged flight recording as Chrome
+//! Trace Event JSON (open in Perfetto).
 //!
 //! Usage: `cargo run -p lo-bench --release --bin repro-latency`
+//! (`LO_FULL=1` for longer trials; `LO_ALGOS` filters the lineup.)
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use lo_api::ConcurrentMap;
-use lo_baselines::{BccoTreeMap, CfTreeMap, CoarseAvlMap, SkipListMap};
-use lo_core::LoAvlMap;
-use lo_workload::{prefill, LatencyHistogram, Mix, SplitMix64, TrialSpec, XorShift64Star};
+use lo_bench::{
+    emit_summary_rows, emit_trace, filter_algos, render_phase_table, summary_json_flag,
+    trace_flag, trace_out, Algo, SummaryRow,
+};
+use lo_workload::{fmt_ns, Mix, OpKind, TrialSpec};
 
-fn measure<M: ConcurrentMap<i64, u64> + Sync>(map: M, spec: &TrialSpec) -> LatencyHistogram {
-    prefill(&map, spec);
-    let stop = AtomicBool::new(false);
-    let mut seeder = SplitMix64::new(spec.seed);
-    let writer_seeds: Vec<u64> = (0..spec.threads.saturating_sub(1)).map(|_| seeder.next_u64()).collect();
-    let reader_seed = seeder.next_u64();
-
-    std::thread::scope(|s| {
-        let map = &map;
-        let stop = &stop;
-        // Writers: 50/50 insert/remove churn.
-        for &seed in &writer_seeds {
-            s.spawn(move || {
-                let mut rng = XorShift64Star::new(seed);
-                while !stop.load(Ordering::Relaxed) {
-                    let k = rng.next_below(spec.key_range) as i64;
-                    if rng.next_u64() & 1 == 0 {
-                        map.insert(k, k as u64);
-                    } else {
-                        map.remove(&k);
-                    }
-                }
-            });
-        }
-        // Reader: sample contains latency.
-        let reader = s.spawn(move || {
-            let mut rng = XorShift64Star::new(reader_seed);
-            let mut hist = LatencyHistogram::new();
-            while !stop.load(Ordering::Relaxed) {
-                let k = rng.next_below(spec.key_range) as i64;
-                hist.time(|| std::hint::black_box(map.contains(&k)));
-            }
-            hist
-        });
-        std::thread::sleep(spec.duration);
-        stop.store(true, Ordering::Relaxed);
-        reader.join().expect("reader")
-    })
-}
+/// The reported percentiles, labelled for the summary-row config key.
+const PERCENTILES: [(&str, f64); 4] =
+    [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
 
 fn main() {
+    let want_summary = summary_json_flag();
+    let want_trace = trace_flag();
     let full = std::env::var("LO_FULL").map(|v| v == "1").unwrap_or(false);
     let spec = TrialSpec::new(
-        Mix::C50_I25_R25, // prefill ratio source; churn is 50/50 anyway
+        Mix::C50_I25_R25,
         if full { 200_000 } else { 20_000 },
-        4, // 1 reader + 3 writers
-        if full { Duration::from_secs(5) } else { Duration::from_millis(700) },
+        4,
+        if full { Duration::from_secs(5) } else { Duration::from_millis(500) },
+    )
+    .with_latency();
+
+    let algos = filter_algos(vec![
+        Algo::LoAvl,
+        Algo::LoPeAvl,
+        Algo::Bcco,
+        Algo::Cf,
+        Algo::Skiplist,
+        Algo::Coarse,
+    ]);
+    println!(
+        "### per-op latency, {} mix, range {}, {} threads, {:?}",
+        spec.mix.label(),
+        spec.key_range,
+        spec.threads,
+        spec.duration
     );
     println!(
-        "### contains() latency under churn: range {}, 3 writers, {:?}",
-        spec.key_range, spec.duration
+        "{:<12}{:<12}{:>12}{:>10}{:>10}{:>10}{:>10}",
+        "algorithm", "op", "samples", "p50", "p90", "p99", "p999"
     );
-    println!("{:<16}{:>12}{}", "algorithm", "samples", "  latency");
+
+    if want_trace {
+        lo_trace::set_recording(true);
+    }
+    let trace_before = lo_trace::TraceSnapshot::take();
 
     let mut lines = String::new();
-    macro_rules! row {
-        ($label:expr, $map:expr) => {{
-            let hist = measure($map, &spec);
-            let line = format!("{:<16}{:>12}  {}", $label, hist.count(), hist.summary());
+    let mut rows: Vec<SummaryRow> = Vec::new();
+    for algo in algos {
+        let trial = algo
+            .run_full(&spec, 1)
+            .into_iter()
+            .next()
+            .expect("one repetition");
+        let latency = trial.latency.as_ref().expect("sampled trial carries latency");
+        for kind in [OpKind::Contains, OpKind::Insert, OpKind::Remove] {
+            let hist = latency.kind(kind);
+            let cells: Vec<String> = PERCENTILES
+                .iter()
+                .map(|&(_, q)| hist.quantile(q).map(fmt_ns).unwrap_or_else(|| "-".into()))
+                .collect();
+            let line = format!(
+                "{:<12}{:<12}{:>12}{:>10}{:>10}{:>10}{:>10}",
+                algo.label(),
+                kind.label(),
+                hist.count(),
+                cells[0],
+                cells[1],
+                cells[2],
+                cells[3]
+            );
             println!("{line}");
             lines.push_str(&line);
             lines.push('\n');
-        }};
+            for &(name, q) in &PERCENTILES {
+                let Some(ns) = hist.quantile(q) else { continue };
+                rows.push(SummaryRow {
+                    config: format!("latency/{}/{}/{name}", algo.label(), kind.label()),
+                    threads: spec.threads,
+                    mean: ns as f64,
+                    stddev: 0.0,
+                    reps: 1,
+                });
+            }
+        }
     }
-    row!("lo-avl", LoAvlMap::<i64, u64>::new());
-    row!("bcco", BccoTreeMap::<i64, u64>::new());
-    row!("cf", CfTreeMap::<i64, u64>::new());
-    row!("skiplist", SkipListMap::<i64, u64>::new());
-    row!("coarse-rwlock", CoarseAvlMap::<i64, u64>::new());
 
     let _ = std::fs::create_dir_all("bench_results");
-    let _ = std::fs::write("bench_results/latency.txt", lines);
+    let _ = std::fs::write("bench_results/latency.txt", &lines);
+    eprintln!("(wrote bench_results/latency.txt)");
+
+    if want_summary {
+        emit_summary_rows(&rows, "latency_per_op");
+    }
+    if want_trace {
+        lo_trace::set_recording(false);
+        let snap = lo_trace::TraceSnapshot::take().since(&trace_before);
+        println!("\n### lock windows and hot-path phases (trace)");
+        print!("{}", render_phase_table(&snap));
+        emit_trace(&trace_out());
+    }
 }

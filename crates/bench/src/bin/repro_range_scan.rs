@@ -12,11 +12,14 @@
 //! (`--summary-json` appends `range-scan/<algo>/<len>` rows, labelled by
 //! `LO_SUMMARY_LABEL`, to `BENCH_throughput.json`; `LO_SCAN_LENS`
 //! (comma-separated) overrides the scan-length sweep; `LO_RANGES` and
-//! `LO_ALGOS` narrow the sweep as usual.)
+//! `LO_ALGOS` narrow the sweep as usual. `--trace`/`--trace-out` record
+//! and export the hot-path flight recorder — scan repins show up as
+//! `scan-repin` spans — build with `--features trace`.)
 
 use lo_bench::{
-    emit, emit_metrics, emit_summary_rows, filter_algos, metrics_flag, run_panel_ordered,
-    summary_json_flag, Algo, Scale, SummaryRow,
+    emit, emit_metrics, emit_summary_rows, emit_trace, filter_algos, metrics_flag,
+    render_phase_table, run_panel_ordered, summary_json_flag, trace_flag, trace_out, Algo, Scale,
+    SummaryRow,
 };
 use lo_workload::Mix;
 
@@ -39,6 +42,10 @@ fn scan_lens() -> Vec<u32> {
 fn main() {
     let want_metrics = metrics_flag();
     let want_summary = summary_json_flag();
+    let want_trace = trace_flag();
+    if want_trace {
+        lo_trace::set_recording(true);
+    }
     let scale = Scale::from_env();
     let algos = filter_algos(Algo::range_scan_lineup());
     assert!(algos.iter().all(|a| a.supports_ordered()), "lineup must be OrderedRead-capable");
@@ -86,5 +93,11 @@ fn main() {
     }
     if want_metrics {
         emit_metrics(&metrics, "range_scan_metrics");
+    }
+    if want_trace {
+        lo_trace::set_recording(false);
+        println!("### lock windows and hot-path phases (trace)");
+        print!("{}", render_phase_table(&lo_trace::TraceSnapshot::take()));
+        emit_trace(&trace_out());
     }
 }

@@ -9,17 +9,23 @@
 //! `--features metrics` so the counters are actually recorded.
 //! `--summary-json` appends a machine-readable run, labelled by
 //! `LO_SUMMARY_LABEL`, to `BENCH_throughput.json`; `LO_RANGES` and
-//! `LO_ALGOS` narrow the sweep.)
+//! `LO_ALGOS` narrow the sweep. `--trace`/`--trace-out` record and export
+//! the hot-path flight recorder — build with `--features trace`.)
 
 use lo_bench::{
-    emit, emit_metrics, emit_summary_json, filter_algos, metrics_flag, run_panel_with_metrics,
-    summary_json_flag, Algo, Scale,
+    emit, emit_metrics, emit_summary_json, emit_trace, filter_algos, metrics_flag,
+    render_phase_table, run_panel_with_metrics, summary_json_flag, trace_flag, trace_out, Algo,
+    Scale,
 };
 use lo_workload::Mix;
 
 fn main() {
     let want_metrics = metrics_flag();
     let want_summary = summary_json_flag();
+    let want_trace = trace_flag();
+    if want_trace {
+        lo_trace::set_recording(true);
+    }
     let scale = Scale::from_env();
     let algos = filter_algos(Algo::table2());
     let mut mixes = vec![Mix::C70_I20_R10, Mix::C100];
@@ -45,5 +51,11 @@ fn main() {
     }
     if want_metrics {
         emit_metrics(&metrics, "table2_unbalanced_metrics");
+    }
+    if want_trace {
+        lo_trace::set_recording(false);
+        println!("### lock windows and hot-path phases (trace)");
+        print!("{}", render_phase_table(&lo_trace::TraceSnapshot::take()));
+        emit_trace(&trace_out());
     }
 }

@@ -477,6 +477,106 @@ pub fn emit_metrics(panels: &[MetricsPanel], name: &str) {
     eprintln!("(wrote bench_results/{name}.txt, .csv and .json)");
 }
 
+/// Whether `--trace` (or `--trace-out`) was passed on the command line.
+/// When set, the binary enables flight recording
+/// ([`lo_trace::set_recording`]) for its measured trials and writes the
+/// trace artifacts on exit (see [`emit_trace`]). Warns when tracing is
+/// requested from a build without the `trace` feature, where every probe is
+/// compiled out and the trace would be empty.
+pub fn trace_flag() -> bool {
+    let want = std::env::args().any(|a| {
+        a == "--trace" || a == "--trace-out" || a.starts_with("--trace-out=")
+    });
+    if want && !lo_trace::ENABLED {
+        eprintln!(
+            "warning: --trace requested but this binary was built without \
+             the `trace` feature; spans are compiled out (rebuild with \
+             `--features trace` for a real flight recording)"
+        );
+    }
+    want
+}
+
+/// The `--trace-out PATH` (or `--trace-out=PATH`) argument: where
+/// [`emit_trace`] writes the Chrome Trace Event JSON. Defaults to
+/// `bench_results/trace.json` when only `--trace` was given.
+pub fn trace_out() -> String {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            if let Some(p) = args.next() {
+                return p;
+            }
+        } else if let Some(p) = a.strip_prefix("--trace-out=") {
+            return p.to_string();
+        }
+    }
+    "bench_results/trace.json".to_string()
+}
+
+/// Writes the accumulated flight recording as Chrome Trace Event JSON to
+/// `path` (open it in Perfetto / `chrome://tracing`) and the Prometheus
+/// text exposition — event counters plus per-phase duration histograms —
+/// next to it with a `.prom` extension.
+pub fn emit_trace(path: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let records = lo_trace::flight::merged_records();
+    match std::fs::write(path, lo_trace::export::chrome_trace_json(&records)) {
+        Ok(()) => eprintln!("(wrote {} flight records to {path})", records.len()),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    let snap = lo_trace::TraceSnapshot::take();
+    let events = lo_metrics::Snapshot::take();
+    let counters =
+        lo_metrics::Event::ALL.iter().map(|&e| (e.name(), events.get(e)));
+    let prom_path = std::path::Path::new(path).with_extension("prom");
+    let text = lo_trace::export::prometheus_text(counters, &snap);
+    match std::fs::write(&prom_path, text) {
+        Ok(()) => eprintln!("(wrote Prometheus exposition to {})", prom_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", prom_path.display()),
+    }
+}
+
+/// Renders the lock-wait / lock-hold evidence from a trace snapshot: one
+/// line per phase with count, mean, and p50/p99/p999 — the succ-lock vs
+/// tree-lock wait and hold histograms the tracing layer exists to surface.
+/// Returns `"(no spans recorded)"` for an empty snapshot.
+pub fn render_phase_table(snap: &lo_trace::TraceSnapshot) -> String {
+    use std::fmt::Write as _;
+    if snap.is_zero() {
+        return "(no spans recorded)\n".to_string();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16}{:>12}{:>10}{:>10}{:>10}{:>10}",
+        "phase", "spans", "mean", "p50", "p99", "p999"
+    );
+    for &p in &lo_trace::Phase::ALL {
+        let h = snap.phase(p);
+        if h.count() == 0 {
+            continue;
+        }
+        let q = |q: f64| h.quantile(q).map(lo_workload::fmt_ns).unwrap_or_default();
+        let mean = h.mean().map(|m| lo_workload::fmt_ns(m as u64)).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{:<16}{:>12}{:>10}{:>10}{:>10}{:>10}",
+            p.name(),
+            h.count(),
+            mean,
+            q(0.50),
+            q(0.99),
+            q(0.999)
+        );
+    }
+    out
+}
+
 /// Whether `--metrics` was passed on the command line. Warns (once) when
 /// telemetry is requested from a build without the `metrics` feature, where
 /// every counter is compiled out and the output would be all zeros.

@@ -309,7 +309,7 @@ pub fn fire(point: FailPoint) -> Option<FaultAction> {
     }
     if rule.one_in > 1 {
         let h = mix(a.plan.seed ^ ((idx as u64) << 32) ^ occ.wrapping_mul(0x632b_e5ab));
-        if h % rule.one_in != 0 {
+        if !h.is_multiple_of(rule.one_in) {
             return None;
         }
     }

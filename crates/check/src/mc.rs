@@ -126,7 +126,7 @@ pub fn explore<S>(
         loop {
             let en = enabled(&status);
             if en.is_empty() {
-                if status.iter().any(|s| *s == St::Blocked) {
+                if status.contains(&St::Blocked) {
                     let blocked: Vec<usize> =
                         (0..n).filter(|&i| status[i] == St::Blocked).collect();
                     return Err(format!(

@@ -130,11 +130,11 @@ pub fn check_scan_coherence(
 }
 
 /// Successful operations on `key` of the given kind.
-fn successes<'h>(
-    history: &'h [CompletedOp],
+fn successes(
+    history: &[CompletedOp],
     key: u8,
     op: LinOp,
-) -> impl Iterator<Item = &'h CompletedOp> {
+) -> impl Iterator<Item = &CompletedOp> {
     history.iter().filter(move |c| c.key == key && c.op == op && c.result)
 }
 

@@ -152,7 +152,7 @@ impl Scheduler {
         if st.token == me {
             // Burst control: mostly keep the token.
             let denom = st.switch_denom;
-            if st.next_rng() % denom != 0 {
+            if !st.next_rng().is_multiple_of(denom) {
                 return;
             }
             let Some(next) = st.pick_other(me) else { return };

@@ -113,7 +113,7 @@ impl<T> Arena<T> {
     /// Slot stride: the value size rounded up to the slot alignment.
     const SLOT_SIZE: usize = {
         assert!(size_of::<T>() > 0, "arena does not support zero-sized types");
-        (size_of::<T>() + Self::SLOT_ALIGN - 1) / Self::SLOT_ALIGN * Self::SLOT_ALIGN
+        size_of::<T>().div_ceil(Self::SLOT_ALIGN) * Self::SLOT_ALIGN
     };
     const CHUNK_BYTES: usize = Self::SLOT_SIZE * SLOTS;
     /// Chunk alignment = chunk size rounded to a power of two, so that

@@ -53,6 +53,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         g: &'g Guard,
     ) {
         record(Event::Rotation);
+        let span = lo_trace::stamp();
         self.update_child(parent, n, child, g);
         let nn = nref(n);
         let cn = nref(child);
@@ -83,6 +84,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             nn.left_height.store(cn.right_height.load(Ordering::Relaxed), Ordering::Relaxed);
             cn.set_height(false, nn.subtree_height());
         }
+        lo_trace::span(lo_trace::Phase::Rotation, span);
     }
 
     /// Paper Algorithm 14: the against-order lock acquisition failed.

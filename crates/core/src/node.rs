@@ -164,8 +164,8 @@ const _: () = {
     assert!(offset_of!(N, succ) + 8 <= 64);
     assert!(offset_of!(N, pred) + 8 <= 64);
     assert!(offset_of!(N, value) + 8 <= 64);
-    assert!(offset_of!(N, mark) + 1 <= 64);
-    assert!(offset_of!(N, zombie) + 1 <= 64);
+    assert!(offset_of!(N, mark) < 64);
+    assert!(offset_of!(N, zombie) < 64);
     // Every cold field must START at or after the line boundary, so writer
     // traffic never dirties the readers' line.
     assert!(offset_of!(N, parent) >= 64);

@@ -118,11 +118,13 @@ impl<'t, K: Key, V: Value> OrderedCursor<'t, K, V> {
     /// Drops the guard (with a real unpin window) and forgets the stale
     /// position; the next step re-anchors from `boundary`.
     fn repin(&mut self) {
+        let span = lo_trace::stamp();
         self.node = std::ptr::null();
         self.examine_current = false;
         self.steps = 0;
         self.guard.repin();
         record(Event::ScanRepin);
+        lo_trace::span(lo_trace::Phase::ScanRepin, span);
     }
 
     /// One layout descent + interval correction landing on a node at or

@@ -34,6 +34,45 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use crate::sync::NodeLock;
 use lo_api::{PoisonCause, TreeError};
 use lo_check::fail::FailPoint;
+use lo_check::lockdep::LockClass;
+
+/// Lock-hold tracing phase for a lock class (succ/tree only).
+#[inline(always)]
+fn hold_phase(class: LockClass) -> Option<lo_trace::Phase> {
+    match class {
+        LockClass::Succ => Some(lo_trace::Phase::SuccLockHold),
+        LockClass::Tree => Some(lo_trace::Phase::TreeLockHold),
+        _ => None,
+    }
+}
+
+/// One entry of the thread-local held-lock registry: the lock, its class
+/// (so the unwind path and the release path can attribute the wait/hold
+/// spans to the right lock kind), when its acquisition was attempted
+/// (`wait`, disarmed for try-acquires) and when it was acquired
+/// (`since`). The stamps are zero-sized without the `trace` feature;
+/// carrying them here defers all span recording to the release path,
+/// outside the critical section.
+struct HeldLock {
+    lock: *const NodeLock,
+    class: LockClass,
+    wait: lo_trace::Stamp,
+    since: lo_trace::Stamp,
+}
+
+impl HeldLock {
+    /// Records this entry's lock-wait and lock-hold spans, the hold span
+    /// closing at `end` (taken by the caller before the release store).
+    #[inline]
+    fn record_spans(&self, end: lo_trace::Stamp) {
+        if let Some(phase) = crate::sync::wait_phase(self.class) {
+            lo_trace::span_closed(phase, self.wait, self.since);
+        }
+        if let Some(phase) = hold_phase(self.class) {
+            lo_trace::span_closed(phase, self.since, end);
+        }
+    }
+}
 
 /// Poison-word values. `0` = healthy; anything else encodes a
 /// [`TreeError::Poisoned`] cause.
@@ -64,7 +103,7 @@ thread_local! {
     /// Raw pointers: entries are only dereferenced during an unwind, at
     /// which point every registered lock is still alive (it is held, and
     /// held nodes are never retired).
-    static HELD: RefCell<Vec<*const NodeLock>> = const { RefCell::new(Vec::new()) };
+    static HELD: RefCell<Vec<HeldLock>> = const { RefCell::new(Vec::new()) };
     /// Poison code the next unwind on this thread should install
     /// (set by the failpoint / restart-storm raisers right before they
     /// panic; `CODE_PANIC` is used when nothing was staged).
@@ -76,23 +115,43 @@ thread_local! {
 }
 
 /// Registers `lock` as held by this thread (called from
-/// `NodeLock::lock_traced`/`try_lock_traced` on success).
+/// `NodeLock::lock_traced`/`try_lock_traced` on success). With the
+/// `trace` feature the acquisition instant is stamped so the release
+/// (or the unwind) can close a lock-hold span.
 #[inline]
-pub(crate) fn note_acquired(lock: &NodeLock) {
-    HELD.with(|h| h.borrow_mut().push(lock as *const NodeLock));
+pub(crate) fn note_acquired(
+    lock: &NodeLock,
+    class: LockClass,
+    wait: lo_trace::Stamp,
+    since: lo_trace::Stamp,
+) {
+    HELD.with(|h| {
+        h.borrow_mut().push(HeldLock { lock: lock as *const NodeLock, class, wait, since });
+    });
 }
 
-/// Unregisters `lock` (called from `NodeLock::unlock_traced`).
+/// Unregisters `lock`, releases it, and then records its lock-wait and
+/// lock-hold spans. The hold span's end is stamped *before* the release
+/// store (so the window is honest) but all ring/histogram work runs
+/// *after* it, keeping recording cost out of the critical section —
+/// extending a hold window to measure hold windows would serialize the
+/// very contention being measured.
 #[inline]
-pub(crate) fn note_released(lock: &NodeLock) {
-    HELD.with(|h| {
+pub(crate) fn release_and_unlock(lock: &NodeLock) {
+    let entry = HELD.with(|h| {
         let mut v = h.borrow_mut();
         let target = lock as *const NodeLock;
         // Releases are near-LIFO in the tree algorithms; scan from the back.
-        if let Some(i) = v.iter().rposition(|&p| p == target) {
-            v.swap_remove(i);
-        }
+        v.iter().rposition(|e| e.lock == target).map(|i| v.swap_remove(i))
     });
+    let end = match &entry {
+        Some(e) => lo_trace::stamp_closing(e.since),
+        None => lo_trace::Stamp::disarmed(),
+    };
+    lock.unlock();
+    if let Some(e) = entry {
+        e.record_spans(end);
+    }
 }
 
 /// Marks the current write operation as linearized (its effect is now
@@ -177,13 +236,21 @@ impl Drop for WriteScope<'_> {
             Ordering::Release,
             Ordering::Relaxed,
         );
+        // Latch a flight-recorder post-mortem: the chaos harness (or any
+        // caller that armed the latch) can now take one Chrome-trace dump
+        // of every thread's ring. No-op without the `trace` feature.
+        lo_trace::flight::note_poisoned();
         let held = HELD.with(|h| std::mem::take(&mut *h.borrow_mut()));
-        for lock in held {
+        for e in held {
+            // The dying writer's spans still close (the hold span at the
+            // unwind instant) — lock windows cut short by a panic are
+            // exactly what a post-mortem wants to see.
+            e.record_spans(lo_trace::stamp_closing(e.since));
             // SAFETY: each pointer was registered by `note_acquired` while
             // this thread held the lock and was never unregistered, so the
             // lock is still held by this thread and its node is still live
             // (held nodes are never retired).
-            unsafe { (*lock).unlock_traced() };
+            unsafe { (*e.lock).unlock_traced() };
         }
     }
 }
@@ -232,15 +299,22 @@ pub fn set_max_restarts(limit: u32) {
 pub(crate) struct RestartBudget {
     count: u32,
     limit: u32,
+    /// Start of the current attempt (operation entry or the previous
+    /// restart edge); zero-sized without the `trace` feature.
+    attempt: lo_trace::Stamp,
 }
 
 impl RestartBudget {
     pub(crate) fn new() -> Self {
-        RestartBudget { count: 0, limit: max_restarts() }
+        RestartBudget { count: 0, limit: max_restarts(), attempt: lo_trace::stamp() }
     }
 
     #[inline]
     pub(crate) fn tick(&mut self) {
+        // Each restart edge closes the wasted attempt's span: the time
+        // from operation entry (or the previous restart) to here.
+        let prev = std::mem::replace(&mut self.attempt, lo_trace::stamp());
+        lo_trace::span(lo_trace::Phase::Restart, prev);
         self.count += 1;
         lo_metrics::note_max(lo_metrics::Event::RestartsConsecutiveMax, u64::from(self.count));
         if self.limit != 0 && self.count >= self.limit {

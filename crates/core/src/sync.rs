@@ -32,6 +32,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use lo_check::lockdep::{AcquireHow, LockClass, Rank};
 use lo_metrics::{record, Event};
 
+/// Lock-wait tracing phase for a lock class (succ/tree only; ablation
+/// locks with [`LockClass::Other`] are not timed).
+#[inline(always)]
+pub(crate) fn wait_phase(class: LockClass) -> Option<lo_trace::Phase> {
+    match class {
+        LockClass::Succ => Some(lo_trace::Phase::SuccLockWait),
+        LockClass::Tree => Some(lo_trace::Phase::TreeLockWait),
+        _ => None,
+    }
+}
+
 /// The default per-node lock (parking-lot backed).
 pub struct NodeLock {
     raw: parking_lot::RawMutex,
@@ -68,9 +79,11 @@ impl NodeLock {
 
     /// Blocking acquire reported to the lockdep ledger (and always to the
     /// thread's held-lock registry, which powers the panic-safe unwind in
-    /// `poison.rs`).
+    /// `poison.rs`). With the `trace` feature, the attempt→acquired window
+    /// is recorded as the lock-wait span of the lock's class.
     #[inline]
     pub fn lock_traced(&self, class: LockClass, rank: Rank, how: AcquireHow) {
+        let wait = lo_trace::stamp();
         #[cfg(feature = "lockdep")]
         {
             let id = self.ldep_id();
@@ -80,10 +93,15 @@ impl NodeLock {
         }
         #[cfg(not(feature = "lockdep"))]
         {
-            let _ = (class, rank, how);
+            let _ = (rank, how);
             self.lock();
         }
-        crate::poison::note_acquired(self);
+        // One clock read is the wait span's end AND the hold span's start.
+        // Neither span is recorded here — the acquire instant starts the
+        // critical section, and recording work belongs outside it; both
+        // spans are recorded by `release_and_unlock` after the release.
+        let since = lo_trace::stamp_closing(wait);
+        crate::poison::note_acquired(self, class, wait, since);
     }
 
     /// Non-blocking acquire reported to the lockdep ledger (and the
@@ -96,18 +114,21 @@ impl NodeLock {
             lo_check::lockdep::on_acquired(self.ldep_id(), class, rank, AcquireHow::Try);
         }
         #[cfg(not(feature = "lockdep"))]
-        let _ = (class, rank);
+        let _ = rank;
         if acquired {
-            crate::poison::note_acquired(self);
+            // A try-acquire has no wait window; the hold span draws its
+            // own sampling ticket.
+            crate::poison::note_acquired(self, class, lo_trace::Stamp::disarmed(), lo_trace::stamp());
         }
         acquired
     }
 
     /// Release reported to the lockdep ledger and the held-lock registry.
+    /// The hold span's end is stamped just before the release store, but
+    /// its recording cost lands after it — outside the critical section.
     #[inline]
     pub fn unlock_traced(&self) {
-        crate::poison::note_released(self);
-        self.unlock();
+        crate::poison::release_and_unlock(self);
         #[cfg(feature = "lockdep")]
         lo_check::lockdep::on_release(self.ldep_id());
     }

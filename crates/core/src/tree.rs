@@ -143,7 +143,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 // runs, and the epoch guarantees no reader still holds it.
                 unsafe { arena.retire(ptr.get()) }
             };
-            // SAFETY (defer_unchecked): the closure captures only the Arc'd
+            // SAFETY: (defer_unchecked) the closure captures only the Arc'd
             // arena (Send + Sync) and the retired pointer; by this function's
             // contract the node is unreachable, so running the retirement on
             // any thread after the grace period is sound, and the Arc keeps
@@ -178,6 +178,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// relocations — it may stray from its initial path; the caller corrects
     /// via the ordering layout.
     pub(crate) fn search<'g>(&self, key: &K, g: &'g Guard) -> Shared<'g, Node<K, V>> {
+        let descent = lo_trace::stamp();
         let mut node = self.root_sh(g);
         let mut depth = 0u64;
         loop {
@@ -200,6 +201,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             }
         }
         add(Event::SearchDescent, depth);
+        lo_trace::span(lo_trace::Phase::Descent, descent);
         node
     }
 

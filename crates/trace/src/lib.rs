@@ -1,0 +1,1157 @@
+//! Timing-grade tracing for the logical-ordering trees: a feature-gated
+//! (`trace`) per-thread lock-free ring-buffer **flight recorder** plus
+//! per-phase duration histograms.
+//!
+//! `lo-metrics` (PR 1) counts *how often* the paper's two-lock protocol
+//! descends, chases, restarts and rotates; this crate measures *how long*
+//! each hot-path phase takes — the evidence ROADMAP item 2 (shrinking the
+//! write-path lock windows) needs before the protocol can be changed.
+//!
+//! # Design
+//!
+//! - **Zero cost when off.** Without the `trace` feature, [`Stamp`] is a
+//!   unit struct and [`stamp`]/[`span`] are empty `#[inline(always)]`
+//!   functions: no clock reads, no ring writes, nothing in the hot paths.
+//! - **Runtime gate + sampling.** Even with `trace` compiled in, nothing
+//!   is recorded until [`set_recording`]`(true)` (the repro binaries'
+//!   `--trace` flag), and probes are sampled by a per-thread
+//!   1-in-[`sample_rate`] countdown that runs *before* the gate check —
+//!   the common probe is a single thread-local decrement whether
+//!   recording is on or off. Chained windows ([`span_chain`],
+//!   [`stamp_closing`]/[`span_closed`]) inherit the opener's ticket so a
+//!   lock's wait and hold spans are sampled together.
+//! - **Fixed-size binary records.** Each span is two `u64` words in a
+//!   per-thread ring: word 0 is the start timestamp (ns since the process
+//!   trace epoch), word 1 packs `phase:8 | duration:56`. The ring keeps
+//!   the newest [`flight::RING_CAPACITY`] records per thread — a flight
+//!   recorder, not an unbounded log.
+//! - **Cheap monotonic clock.** On x86_64, the invariant TSC (`rdtsc`)
+//!   converted to nanoseconds via a fixed-point multiplier calibrated
+//!   against [`std::time::Instant`] when recording is first armed;
+//!   elsewhere (or uncalibrated), one `clock_gettime(CLOCK_MONOTONIC)`
+//!   read from the process `Instant` anchor. Monotonic, immune to
+//!   wall-clock steps.
+//! - **Single-writer rings.** Only the owning thread stores into its ring
+//!   (relaxed stores, release head bump) and bumps its histograms — no
+//!   contended read-modify-writes anywhere on the record path; readers
+//!   (exporters, the post-mortem dump) may observe a torn in-flight
+//!   record mid-run and skip it, and see an exact log at quiescence —
+//!   which is when dumps happen.
+//!
+//! The histograms aggregate every sampled span (not just the ring's tail)
+//! into 32 log₂ nanosecond buckets per [`Phase`], so lock-wait/lock-hold
+//! distributions survive ring wrap-around; [`TraceSnapshot::take`] sums
+//! them across threads.
+
+#![warn(missing_docs)]
+// The only unsafe in this crate is the `rdtsc` read in `active::clock`
+// (x86_64, `trace` builds); everything else is forbidden from using it.
+#![cfg_attr(not(all(feature = "trace", target_arch = "x86_64")), forbid(unsafe_code))]
+#![deny(unsafe_code)]
+
+/// `true` when this build carries live tracing probes (`trace` feature).
+pub const ENABLED: bool = cfg!(feature = "trace");
+
+/// Defines [`Phase`] with stable indices and display names.
+macro_rules! phases {
+    ($($(#[$meta:meta])* $variant:ident => $name:literal,)+) => {
+        /// A hot-path phase whose duration the flight recorder captures.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Phase {
+            $($(#[$meta])* $variant,)+
+        }
+
+        impl Phase {
+            /// Number of phases.
+            pub const COUNT: usize = [$(Phase::$variant),+].len();
+            /// Every phase, in index order.
+            pub const ALL: [Phase; Self::COUNT] = [$(Phase::$variant),+];
+
+            /// Stable display name (used by both exporters).
+            pub fn name(self) -> &'static str {
+                match self { $(Phase::$variant => $name),+ }
+            }
+
+            /// Index of this phase (dense, `0..COUNT`).
+            #[inline]
+            pub fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Phase for a packed record's index byte, if valid.
+            pub fn from_index(i: usize) -> Option<Phase> {
+                Self::ALL.get(i).copied()
+            }
+        }
+    };
+}
+
+phases! {
+    /// Tree-layout descent of a search (root to parent-of-target).
+    Descent => "descent",
+    /// Waiting to acquire a successor-chain lock (`succLock`).
+    SuccLockWait => "succ-lock-wait",
+    /// Holding a successor-chain lock (acquire to release).
+    SuccLockHold => "succ-lock-hold",
+    /// Waiting to acquire a tree-layout lock (`treeLock`).
+    TreeLockWait => "tree-lock-wait",
+    /// Holding a tree-layout lock (acquire to release).
+    TreeLockHold => "tree-lock-hold",
+    /// One writer restart loop iteration (validation failure or lost
+    /// try-lock race, per the paper's restart discipline).
+    Restart => "restart",
+    /// A single or double rotation (child rewiring + height stores).
+    Rotation => "rotation",
+    /// An ordered-scan epoch repin (guard refresh between chunks).
+    ScanRepin => "scan-repin",
+}
+
+/// Log₂ buckets per phase histogram (1 ns .. ~4 s).
+pub const BUCKETS: usize = 32;
+
+/// An opaque start-of-span timestamp returned by [`stamp`].
+///
+/// Zero-sized when the `trace` feature is off, so carrying one in a hot
+/// struct (a held-lock registry entry, a restart budget) costs nothing.
+#[cfg(feature = "trace")]
+#[derive(Clone, Copy, Debug)]
+pub struct Stamp(u64);
+
+/// An opaque start-of-span timestamp returned by [`stamp`].
+///
+/// Zero-sized when the `trace` feature is off, so carrying one in a hot
+/// struct (a held-lock registry entry, a restart budget) costs nothing.
+#[cfg(not(feature = "trace"))]
+#[derive(Clone, Copy, Debug)]
+pub struct Stamp;
+
+#[cfg(not(feature = "trace"))]
+const _: () = assert!(std::mem::size_of::<Stamp>() == 0, "no-op Stamp must be zero-sized");
+
+impl Stamp {
+    /// A stamp that records nothing when closed with [`span`].
+    #[inline(always)]
+    pub const fn disarmed() -> Self {
+        #[cfg(feature = "trace")]
+        {
+            Stamp(0)
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Stamp
+        }
+    }
+}
+
+/// Opens a span: reads the monotonic clock if (and only if) tracing is
+/// compiled in, recording is enabled, *and* this probe wins the sampling
+/// lottery (a per-thread 1-in-[`sample_rate`] counter). Close it with
+/// [`span`]. Sampling keeps recording within the < 10% overhead budget
+/// on paths hot enough to fire every operation; the histograms remain
+/// unbiased and the flight recorder still fills in milliseconds.
+///
+/// The countdown is the *first* check, before the recording gate: the
+/// fast path is one thread-local decrement whether recording is on or
+/// off, and only the 1-in-N slow path consults the gate and the clock.
+/// This is what keeps the recording-on *disarmed* probe as cheap as the
+/// recording-off probe — the overhead budget then buys armed spans, not
+/// lottery bookkeeping.
+#[inline(always)]
+pub fn stamp() -> Stamp {
+    #[cfg(feature = "trace")]
+    {
+        active::lottery()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        Stamp
+    }
+}
+
+/// Closes a span opened by [`stamp`]: records its duration into the
+/// per-phase histogram and the calling thread's flight-recorder ring.
+/// A disarmed stamp (recording was off at open) records nothing.
+#[inline(always)]
+pub fn span(phase: Phase, start: Stamp) {
+    #[cfg(feature = "trace")]
+    {
+        if start.0 != 0 {
+            active::record(phase, start.0);
+        }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (phase, start);
+    }
+}
+
+/// Closes a span opened by [`stamp`] *and* opens the next one with a
+/// single clock read: the recorded span ends exactly where the returned
+/// stamp begins. Built for back-to-back windows on a hot path — e.g. a
+/// lock's wait span chaining into its hold span at the acquire instant.
+///
+/// A disarmed `start` (recording off, or the opener lost the sampling
+/// lottery) records nothing and returns a disarmed stamp: a chained
+/// window inherits its opener's sampling decision, so window pairs are
+/// sampled together and stay adjacent in the flight recorder.
+#[inline(always)]
+pub fn span_chain(phase: Phase, start: Stamp) -> Stamp {
+    #[cfg(feature = "trace")]
+    {
+        if start.0 == 0 {
+            return Stamp(0);
+        }
+        let now = active::now_ns();
+        active::record_at(phase, start.0, now.saturating_sub(start.0));
+        Stamp(now)
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (phase, start);
+        Stamp
+    }
+}
+
+/// Takes the end-of-span stamp for a window opened by `start`, inheriting
+/// its sampling decision: reads the clock only when `start` is armed (no
+/// fresh lottery ticket), so a sampled window always gets its end stamp
+/// and an unsampled one stays free. Pair with [`span_closed`].
+#[inline(always)]
+pub fn stamp_closing(start: Stamp) -> Stamp {
+    #[cfg(feature = "trace")]
+    {
+        if start.0 != 0 {
+            return Stamp(active::now_ns());
+        }
+        Stamp(0)
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = start;
+        Stamp
+    }
+}
+
+/// Records the span `start..end` from two already-taken stamps — no clock
+/// read. Built for spans that must *close* inside a critical section but
+/// whose recording cost should land outside it: take `end` with
+/// [`stamp_closing`] before the release store, then call this after it.
+/// Records nothing if either stamp is disarmed.
+#[inline(always)]
+pub fn span_closed(phase: Phase, start: Stamp, end: Stamp) {
+    #[cfg(feature = "trace")]
+    {
+        if start.0 != 0 && end.0 != 0 {
+            active::record_at(phase, start.0, end.0.saturating_sub(start.0));
+        }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (phase, start, end);
+    }
+}
+
+/// Enables or disables recording at runtime (no-op without `trace`).
+#[inline]
+pub fn set_recording(on: bool) {
+    #[cfg(feature = "trace")]
+    {
+        if on {
+            // Calibrate the fast clock (first arm only) before any probe
+            // can observe `recording() == true`.
+            active::clock::calibrate();
+        }
+        active::RECORDING.store(on, std::sync::atomic::Ordering::SeqCst);
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = on;
+    }
+}
+
+/// Default 1-in-N span sampling rate (see [`set_sample_rate`]).
+///
+/// Chosen so a table1-smoke mix stays inside the < 10% overhead budget
+/// (`tests/trace_overhead.rs`) even on a single-core CI box, where every
+/// traced nanosecond is serialized against the workload. A benchmark
+/// trial still lands tens of thousands of spans per second per phase.
+pub const DEFAULT_SAMPLE_RATE: u32 = 32;
+
+/// Sets the span sampling rate: each thread records one in `rate` spans
+/// (`1` = record everything). Clamped to ≥ 1; no-op without `trace`.
+/// The process default is [`DEFAULT_SAMPLE_RATE`], overridable with the
+/// `LO_TRACE_SAMPLE` environment variable.
+#[inline]
+pub fn set_sample_rate(rate: u32) {
+    #[cfg(feature = "trace")]
+    {
+        active::SAMPLE_RATE.store(rate.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = rate;
+    }
+}
+
+/// The current 1-in-N span sampling rate ([`DEFAULT_SAMPLE_RATE`] without
+/// `trace` or until configured).
+#[inline]
+pub fn sample_rate() -> u32 {
+    #[cfg(feature = "trace")]
+    {
+        active::sample_rate()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        DEFAULT_SAMPLE_RATE
+    }
+}
+
+/// Whether spans are currently being recorded.
+#[inline]
+pub fn recording() -> bool {
+    #[cfg(feature = "trace")]
+    {
+        active::recording()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        false
+    }
+}
+
+/// One decoded flight-recorder record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Recorder-assigned thread id (dense, in registration order).
+    pub tid: u32,
+    /// The phase this span measured.
+    pub phase: Phase,
+    /// Span start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds (saturated at 2⁵⁶ − 1).
+    pub dur_ns: u64,
+}
+
+/// Aggregated durations of one [`Phase`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseHist {
+    /// Bucket `i` counts spans with duration in `[2^i, 2^(i+1))` ns.
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded durations, ns.
+    pub sum: u64,
+}
+
+impl PhaseHist {
+    /// Number of recorded spans.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (ns) of the bucket containing quantile `q`
+    /// (`0.0..=1.0`); `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Mean duration in nanoseconds; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let count = self.count();
+        (count > 0).then(|| self.sum as f64 / count as f64)
+    }
+
+    /// Per-bucket difference vs. an earlier snapshot of the same phase.
+    fn since(&self, before: &PhaseHist) -> PhaseHist {
+        let mut out = PhaseHist::default();
+        for (i, o) in out.buckets.iter_mut().enumerate() {
+            *o = self.buckets[i].saturating_sub(before.buckets[i]);
+        }
+        out.sum = self.sum.saturating_sub(before.sum);
+        out
+    }
+}
+
+/// A point-in-time copy of every phase histogram.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    phases: Vec<PhaseHist>,
+}
+
+impl TraceSnapshot {
+    /// An all-zero snapshot.
+    pub fn zero() -> Self {
+        Self { phases: vec![PhaseHist::default(); Phase::COUNT] }
+    }
+
+    /// Copies the live histograms (all-zero without `trace`).
+    pub fn take() -> Self {
+        #[cfg(feature = "trace")]
+        {
+            active::snapshot()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Self::zero()
+        }
+    }
+
+    /// Histogram of one phase.
+    pub fn phase(&self, p: Phase) -> &PhaseHist {
+        &self.phases[p.index()]
+    }
+
+    /// Spans recorded between `before` and this snapshot.
+    pub fn since(&self, before: &TraceSnapshot) -> TraceSnapshot {
+        let phases = Phase::ALL
+            .iter()
+            .map(|&p| self.phase(p).since(before.phase(p)))
+            .collect();
+        TraceSnapshot { phases }
+    }
+
+    /// Total spans across all phases.
+    pub fn total_spans(&self) -> u64 {
+        self.phases.iter().map(PhaseHist::count).sum()
+    }
+
+    /// `true` when no phase has any recorded span.
+    pub fn is_zero(&self) -> bool {
+        self.total_spans() == 0 && self.phases.iter().all(|h| h.sum == 0)
+    }
+}
+
+/// The per-thread flight recorder: ring access, merged dumps, and the
+/// post-mortem latch armed by the chaos/poison path.
+pub mod flight {
+    use super::FlightRecord;
+
+    /// Records kept per thread; older records are overwritten in place.
+    pub const RING_CAPACITY: usize = 4096;
+
+    /// Every registered thread's records, merged and sorted by start
+    /// timestamp (empty without `trace`). Exact at quiescence; may omit
+    /// a record being overwritten concurrently.
+    pub fn merged_records() -> Vec<FlightRecord> {
+        #[cfg(feature = "trace")]
+        {
+            super::active::merged_records()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// The calling thread's own records, oldest first (empty without
+    /// `trace`). Test/diagnostic aid.
+    pub fn current_thread_records() -> Vec<FlightRecord> {
+        #[cfg(feature = "trace")]
+        {
+            super::active::current_thread_records()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Re-arms the post-mortem latch: the next poisoning after this call
+    /// makes one dump available via [`take_post_mortem`].
+    pub fn arm_post_mortem() {
+        #[cfg(feature = "trace")]
+        {
+            use std::sync::atomic::Ordering;
+            super::active::DUMP_TAKEN.store(false, Ordering::SeqCst);
+            super::active::POISON_SEEN.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Called by lo-core when a tree is poisoned (a writer died or the
+    /// restart-storm tripwire fired): latches that a post-mortem dump
+    /// should be offered. Cheap and idempotent; no-op without `trace`.
+    pub fn note_poisoned() {
+        #[cfg(feature = "trace")]
+        {
+            super::active::POISON_SEEN.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    /// Takes the post-mortem dump: a Chrome Trace Event JSON document of
+    /// every thread's ring. Returns `Some` exactly once per armed
+    /// poisoning ([`arm_post_mortem`] re-arms); `None` if no poisoning
+    /// was noted, on repeat calls, or without `trace`.
+    pub fn take_post_mortem() -> Option<String> {
+        #[cfg(feature = "trace")]
+        {
+            use std::sync::atomic::Ordering;
+            if super::active::POISON_SEEN.load(Ordering::SeqCst)
+                && !super::active::DUMP_TAKEN.swap(true, Ordering::SeqCst)
+            {
+                return Some(super::export::chrome_trace_json(&merged_records()));
+            }
+            None
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            None
+        }
+    }
+
+    /// Pushes a pre-timed record into the calling thread's ring and the
+    /// histograms, bypassing the clock. Test support for wrap-around and
+    /// merge-order coverage; requires recording to be enabled.
+    #[doc(hidden)]
+    #[cfg(feature = "trace")]
+    pub fn record_raw(phase: super::Phase, start_ns: u64, dur_ns: u64) {
+        if super::active::recording() {
+            super::active::record_at(phase, start_ns, dur_ns);
+        }
+    }
+}
+
+/// Exporters: Prometheus text exposition and Chrome Trace Event JSON.
+pub mod export {
+    use super::{FlightRecord, Phase, TraceSnapshot, BUCKETS};
+    use std::fmt::Write as _;
+
+    /// Renders records as Chrome Trace Event Format JSON — an object with
+    /// a `traceEvents` array of complete (`"ph":"X"`) events, loadable in
+    /// `chrome://tracing` and Perfetto. Timestamps/durations are emitted
+    /// in microseconds with nanosecond precision, as the format expects.
+    pub fn chrome_trace_json(records: &[FlightRecord]) -> String {
+        let mut out = String::with_capacity(64 + records.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"lo\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03}}}",
+                r.phase.name(),
+                r.tid,
+                r.start_ns / 1_000,
+                r.start_ns % 1_000,
+                r.dur_ns / 1_000,
+                r.dur_ns % 1_000,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders counters plus the snapshot's duration histograms in the
+    /// Prometheus text exposition format: `lo_events_total{event=…}`
+    /// counters and a `lo_phase_duration_ns` histogram per phase with
+    /// cumulative `le` buckets, `_sum` and `_count` series.
+    pub fn prometheus_text<'a>(
+        counters: impl IntoIterator<Item = (&'a str, u64)>,
+        snap: &TraceSnapshot,
+    ) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE lo_events_total counter\n");
+        for (name, value) in counters {
+            let _ = writeln!(out, "lo_events_total{{event=\"{name}\"}} {value}");
+        }
+        out.push_str("# TYPE lo_phase_duration_ns histogram\n");
+        for &p in &Phase::ALL {
+            let h = snap.phase(p);
+            let phase = p.name();
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                cum += c;
+                // Bucket i holds durations < 2^(i+1) ns.
+                let le = 1u128 << (i + 1);
+                let _ = writeln!(
+                    out,
+                    "lo_phase_duration_ns_bucket{{phase=\"{phase}\",le=\"{le}\"}} {cum}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "lo_phase_duration_ns_bucket{{phase=\"{phase}\",le=\"+Inf\"}} {cum}"
+            );
+            let _ = writeln!(out, "lo_phase_duration_ns_sum{{phase=\"{phase}\"}} {}", h.sum);
+            let _ =
+                writeln!(out, "lo_phase_duration_ns_count{{phase=\"{phase}\"}} {}", h.count());
+        }
+        debug_assert_eq!(BUCKETS, 32);
+        out
+    }
+}
+
+#[cfg(feature = "trace")]
+mod active {
+    use super::{FlightRecord, Phase, PhaseHist, TraceSnapshot, BUCKETS};
+    use crate::flight::RING_CAPACITY;
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    pub(crate) static RECORDING: AtomicBool = AtomicBool::new(false);
+    pub(crate) static POISON_SEEN: AtomicBool = AtomicBool::new(false);
+    pub(crate) static DUMP_TAKEN: AtomicBool = AtomicBool::new(false);
+
+    #[inline(always)]
+    pub(crate) fn recording() -> bool {
+        RECORDING.load(Ordering::Relaxed)
+    }
+
+    /// Span sampling rate; 0 = not yet initialized from the environment.
+    pub(crate) static SAMPLE_RATE: AtomicU32 = AtomicU32::new(0);
+
+    #[inline]
+    pub(crate) fn sample_rate() -> u32 {
+        let r = SAMPLE_RATE.load(Ordering::Relaxed);
+        if r != 0 {
+            return r;
+        }
+        let r = std::env::var("LO_TRACE_SAMPLE")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(super::DEFAULT_SAMPLE_RATE)
+            .max(1);
+        SAMPLE_RATE.store(r, Ordering::Relaxed);
+        r
+    }
+
+    thread_local! {
+        /// Countdown until this thread's next sampled span; one decrement
+        /// per [`super::stamp`] probe, reload on the slow path.
+        static SAMPLE_LEFT: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
+
+    /// One ticket of the per-thread 1-in-N sampling lottery, countdown
+    /// first: the common case is a single `Cell` decrement with no atomic
+    /// load and no clock read, identical whether recording is on or off.
+    /// Every Nth probe (and the first ever on a thread, so short-lived
+    /// writers still leave flight-recorder evidence) falls into the cold
+    /// slow path, which reloads the countdown and — only if recording is
+    /// armed — reads the clock.
+    #[inline(always)]
+    pub(crate) fn lottery() -> super::Stamp {
+        SAMPLE_LEFT.with(|c| {
+            let left = c.get();
+            if left > 1 {
+                c.set(left - 1);
+                super::Stamp(0)
+            } else {
+                lottery_slow(c)
+            }
+        })
+    }
+
+    #[cold]
+    fn lottery_slow(c: &std::cell::Cell<u32>) -> super::Stamp {
+        c.set(sample_rate());
+        if recording() {
+            super::Stamp(now_ns())
+        } else {
+            super::Stamp(0)
+        }
+    }
+
+    /// Nanoseconds since the process trace epoch, always ≥ 1 so a zero
+    /// `Stamp` can mean "disarmed". Delegates to the calibrated fast
+    /// clock on x86_64, `Instant` elsewhere.
+    #[inline(always)]
+    pub(crate) fn now_ns() -> u64 {
+        clock::now_ns()
+    }
+
+    /// The span clock. Every probe reads it twice, so its cost bounds the
+    /// whole tracing overhead budget (DESIGN.md §15.3).
+    ///
+    /// On x86_64 it reads the invariant TSC (`rdtsc`, a few ns) and
+    /// converts ticks to nanoseconds with a fixed-point multiplier
+    /// calibrated against `Instant` on the first [`calibrate`] (a ~2 ms
+    /// one-time spin when recording is first armed). The TSC on every
+    /// CPU of the last decade is invariant (constant rate, synchronized
+    /// across cores); worst case on exotic hardware is skewed durations
+    /// in a diagnostic tool, never unsoundness. Other architectures use
+    /// `clock_gettime` via `Instant`.
+    pub(crate) mod clock {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+
+        fn epoch() -> Instant {
+            static EPOCH: OnceLock<Instant> = OnceLock::new();
+            *EPOCH.get_or_init(Instant::now)
+        }
+
+        #[inline]
+        fn instant_now_ns() -> u64 {
+            (epoch().elapsed().as_nanos() as u64).max(1)
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        mod tsc {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            use std::time::Instant;
+
+            /// `ns_per_tick << MULT_SHIFT`; 0 until calibrated.
+            static MULT: AtomicU64 = AtomicU64::new(0);
+            /// TSC value at the calibration anchor.
+            static TSC0: AtomicU64 = AtomicU64::new(0);
+            /// `Instant`-clock ns already elapsed at the anchor (keeps the
+            /// TSC path on the same epoch as the fallback path).
+            static ANCHOR_NS: AtomicU64 = AtomicU64::new(0);
+
+            const MULT_SHIFT: u32 = 24;
+
+            #[inline(always)]
+            #[allow(unsafe_code)]
+            fn rdtsc() -> u64 {
+                // SAFETY: `rdtsc` is unconditionally available on x86_64;
+                // it reads a counter and has no memory effects.
+                unsafe { core::arch::x86_64::_rdtsc() }
+            }
+
+            /// One-time fixed-point calibration of ticks → ns.
+            pub(super) fn calibrate() {
+                if MULT.load(Ordering::Acquire) != 0 {
+                    return;
+                }
+                let anchor_ns = super::instant_now_ns();
+                let (i0, c0) = (Instant::now(), rdtsc());
+                // ~2 ms window: TSC rates are in the GHz range, so this
+                // already gives < 0.1% conversion error.
+                while i0.elapsed().as_micros() < 2_000 {
+                    std::hint::spin_loop();
+                }
+                let (dt, dc) = (i0.elapsed().as_nanos() as u64, rdtsc().wrapping_sub(c0));
+                if dc == 0 {
+                    return; // TSC unusable; stay on the Instant path.
+                }
+                let mult = ((dt as u128) << MULT_SHIFT) / dc as u128;
+                TSC0.store(c0, Ordering::Relaxed);
+                ANCHOR_NS.store(anchor_ns, Ordering::Relaxed);
+                // Release-publish the anchor stores above.
+                MULT.store(mult as u64, Ordering::Release);
+            }
+
+            #[inline(always)]
+            pub(super) fn now_ns() -> Option<u64> {
+                let mult = MULT.load(Ordering::Acquire);
+                if mult == 0 {
+                    return None;
+                }
+                let ticks = rdtsc().wrapping_sub(TSC0.load(Ordering::Relaxed));
+                let ns = ((ticks as u128 * mult as u128) >> MULT_SHIFT) as u64;
+                Some((ANCHOR_NS.load(Ordering::Relaxed) + ns).max(1))
+            }
+        }
+
+        /// Calibrates the fast clock if this target has one (idempotent).
+        pub(crate) fn calibrate() {
+            #[cfg(target_arch = "x86_64")]
+            tsc::calibrate();
+            // Pin the epoch either way so timestamps are comparable.
+            let _ = epoch();
+        }
+
+        /// Nanoseconds since the process trace epoch, ≥ 1.
+        #[inline(always)]
+        pub(crate) fn now_ns() -> u64 {
+            #[cfg(target_arch = "x86_64")]
+            if let Some(ns) = tsc::now_ns() {
+                return ns;
+            }
+            instant_now_ns()
+        }
+    }
+
+    const DUR_BITS: u32 = 56;
+    const DUR_MASK: u64 = (1 << DUR_BITS) - 1;
+
+    /// One thread's flight recorder: a single-writer ring of packed
+    /// two-word records plus this thread's share of the per-phase
+    /// histograms. `head` counts records ever pushed; the slot for record
+    /// `n` is `n % RING_CAPACITY`.
+    ///
+    /// The histograms live here — not in contended globals — because the
+    /// recording fast path runs on every traced span: a single writer can
+    /// bump its own counters with plain load + store (no `lock` prefix,
+    /// no cross-core cache-line ping-pong), and [`snapshot`] sums across
+    /// rings instead. Each ring is its own leaked allocation, so threads
+    /// never false-share.
+    struct Ring {
+        tid: u32,
+        head: AtomicU64,
+        slots: Box<[AtomicU64]>,
+        hist: [[AtomicU64; BUCKETS]; Phase::COUNT],
+        sums: [AtomicU64; Phase::COUNT],
+    }
+
+    impl Ring {
+        fn new(tid: u32) -> Self {
+            let slots = (0..RING_CAPACITY * 2).map(|_| AtomicU64::new(0)).collect();
+            Self {
+                tid,
+                head: AtomicU64::new(0),
+                slots,
+                hist: [const { [const { AtomicU64::new(0) }; BUCKETS] }; Phase::COUNT],
+                sums: [const { AtomicU64::new(0) }; Phase::COUNT],
+            }
+        }
+
+        /// Single-writer histogram bump: plain load + store is enough
+        /// because only the owning thread writes, and snapshot readers
+        /// tolerate slightly-stale relaxed loads (exact at quiescence).
+        #[inline]
+        fn bump(&self, phase: Phase, dur_ns: u64) {
+            let b = &self.hist[phase.index()][bucket_of(dur_ns)];
+            b.store(b.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+            let s = &self.sums[phase.index()];
+            s.store(s.load(Ordering::Relaxed).saturating_add(dur_ns), Ordering::Relaxed);
+        }
+
+        #[inline]
+        fn push(&self, start_ns: u64, phase: Phase, dur_ns: u64) {
+            let h = self.head.load(Ordering::Relaxed);
+            let i = (h as usize % RING_CAPACITY) * 2;
+            self.slots[i].store(start_ns, Ordering::Relaxed);
+            let packed = ((phase.index() as u64) << DUR_BITS) | dur_ns.min(DUR_MASK);
+            self.slots[i + 1].store(packed, Ordering::Relaxed);
+            // Publish the record before readers may index past it.
+            self.head.store(h + 1, Ordering::Release);
+        }
+
+        /// Decoded records, oldest first. A record the owner is
+        /// concurrently overwriting may decode to an invalid phase byte
+        /// and is skipped (the dump paths run at quiescence).
+        fn records(&self) -> Vec<FlightRecord> {
+            let head = self.head.load(Ordering::Acquire);
+            let len = head.min(RING_CAPACITY as u64);
+            let mut out = Vec::with_capacity(len as usize);
+            for n in (head - len)..head {
+                let i = (n as usize % RING_CAPACITY) * 2;
+                let start_ns = self.slots[i].load(Ordering::Relaxed);
+                let packed = self.slots[i + 1].load(Ordering::Relaxed);
+                let Some(phase) = Phase::from_index((packed >> DUR_BITS) as usize) else {
+                    continue;
+                };
+                if start_ns == 0 {
+                    continue;
+                }
+                out.push(FlightRecord { tid: self.tid, phase, start_ns, dur_ns: packed & DUR_MASK });
+            }
+            out
+        }
+    }
+
+    /// Every thread's ring, registered on first span. Rings are leaked
+    /// (64 KiB each) so a dead thread's history — exactly what a
+    /// post-mortem wants — survives the thread.
+    static REGISTRY: Mutex<Vec<&'static Ring>> = Mutex::new(Vec::new());
+    static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+    thread_local! {
+        static MY_RING: &'static Ring = {
+            let ring: &'static Ring =
+                Box::leak(Box::new(Ring::new(NEXT_TID.fetch_add(1, Ordering::Relaxed))));
+            REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).push(ring);
+            ring
+        };
+    }
+
+    #[inline]
+    fn bucket_of(dur_ns: u64) -> usize {
+        (64 - dur_ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1)
+    }
+
+    #[inline]
+    pub(crate) fn record(phase: Phase, start_ns: u64) {
+        let dur_ns = now_ns().saturating_sub(start_ns);
+        record_at(phase, start_ns, dur_ns);
+    }
+
+    #[inline]
+    pub(crate) fn record_at(phase: Phase, start_ns: u64, dur_ns: u64) {
+        MY_RING.with(|r| {
+            r.bump(phase, dur_ns);
+            r.push(start_ns.max(1), phase, dur_ns);
+        });
+    }
+
+    /// Sums every registered thread's histograms. Histories of dead
+    /// threads are included (rings are leaked), matching the global-
+    /// counter semantics the exporters expect.
+    pub(crate) fn snapshot() -> TraceSnapshot {
+        let rings: Vec<&'static Ring> =
+            REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let phases = Phase::ALL
+            .iter()
+            .map(|&p| {
+                let mut h = PhaseHist::default();
+                for ring in &rings {
+                    for (i, b) in h.buckets.iter_mut().enumerate() {
+                        *b += ring.hist[p.index()][i].load(Ordering::Relaxed);
+                    }
+                    h.sum = h
+                        .sum
+                        .saturating_add(ring.sums[p.index()].load(Ordering::Relaxed));
+                }
+                h
+            })
+            .collect();
+        TraceSnapshot { phases }
+    }
+
+    pub(crate) fn merged_records() -> Vec<FlightRecord> {
+        let rings: Vec<&'static Ring> =
+            REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let mut out: Vec<FlightRecord> = rings.iter().flat_map(|r| r.records()).collect();
+        out.sort_by_key(|r| (r.start_ns, r.tid));
+        out
+    }
+
+    pub(crate) fn current_thread_records() -> Vec<FlightRecord> {
+        MY_RING.with(|r| r.records())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_and_indices_are_stable() {
+        assert_eq!(Phase::COUNT, 8);
+        for (i, &p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Phase::from_index(i), Some(p));
+        }
+        assert_eq!(Phase::from_index(Phase::COUNT), None);
+        assert_eq!(Phase::SuccLockWait.name(), "succ-lock-wait");
+        assert_eq!(Phase::TreeLockHold.name(), "tree-lock-hold");
+    }
+
+    #[test]
+    fn phase_hist_quantiles() {
+        let mut h = PhaseHist::default();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        assert_eq!(h.mean(), None);
+        h.buckets[6] = 900; // [64, 128) ns
+        h.buckets[13] = 100; // [8192, 16384) ns
+        h.sum = 900 * 100 + 100 * 10_000;
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.quantile(0.5), Some(128));
+        assert_eq!(h.quantile(0.999), Some(16_384));
+        let m = h.mean().unwrap();
+        assert!((m - 1090.0).abs() < 1e-9, "mean {m}");
+    }
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let mut before = TraceSnapshot::zero();
+        let mut after = TraceSnapshot::zero();
+        before.phases[Phase::Descent.index()].buckets[3] = 5;
+        before.phases[Phase::Descent.index()].sum = 50;
+        after.phases[Phase::Descent.index()].buckets[3] = 8;
+        after.phases[Phase::Descent.index()].sum = 90;
+        let d = after.since(&before);
+        assert_eq!(d.phase(Phase::Descent).buckets[3], 3);
+        assert_eq!(d.phase(Phase::Descent).sum, 40);
+        assert_eq!(d.total_spans(), 3);
+        assert!(!d.is_zero());
+        assert!(TraceSnapshot::zero().is_zero());
+    }
+
+    #[test]
+    fn chrome_trace_json_shape() {
+        let records = [
+            FlightRecord { tid: 0, phase: Phase::Descent, start_ns: 1_500, dur_ns: 250 },
+            FlightRecord { tid: 3, phase: Phase::TreeLockHold, start_ns: 2_000, dur_ns: 1_000_000 },
+        ];
+        let json = export::chrome_trace_json(&records);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"descent\""));
+        assert!(json.contains("\"ts\":1.500"), "µs with ns precision: {json}");
+        assert!(json.contains("\"dur\":1000.000"));
+        assert!(json.contains("\"tid\":3"));
+        let empty = export::chrome_trace_json(&[]);
+        assert!(empty.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let mut snap = TraceSnapshot::zero();
+        snap.phases[Phase::SuccLockWait.index()].buckets[0] = 2;
+        snap.phases[Phase::SuccLockWait.index()].buckets[2] = 1;
+        snap.phases[Phase::SuccLockWait.index()].sum = 12;
+        let text = export::prometheus_text([("search_descent", 42u64)], &snap);
+        assert!(text.contains("# TYPE lo_events_total counter"));
+        assert!(text.contains("lo_events_total{event=\"search_descent\"} 42"));
+        assert!(text.contains("lo_phase_duration_ns_bucket{phase=\"succ-lock-wait\",le=\"2\"} 2"));
+        // Cumulative: the le="8" bucket includes the two 1-2ns samples.
+        assert!(text.contains("lo_phase_duration_ns_bucket{phase=\"succ-lock-wait\",le=\"8\"} 3"));
+        assert!(text.contains("lo_phase_duration_ns_bucket{phase=\"succ-lock-wait\",le=\"+Inf\"} 3"));
+        assert!(text.contains("lo_phase_duration_ns_sum{phase=\"succ-lock-wait\"} 12"));
+        assert!(text.contains("lo_phase_duration_ns_count{phase=\"succ-lock-wait\"} 3"));
+        // Phases with no samples still expose complete (empty) series.
+        assert!(text.contains("lo_phase_duration_ns_count{phase=\"rotation\"} 0"));
+    }
+
+    #[cfg(not(feature = "trace"))]
+    mod noop {
+        use super::super::*;
+
+        #[test]
+        fn everything_is_inert() {
+            assert!(!ENABLED);
+            assert_eq!(std::mem::size_of::<Stamp>(), 0);
+            set_recording(true);
+            assert!(!recording(), "recording cannot be enabled in a no-op build");
+            let s = stamp();
+            span(Phase::Descent, s);
+            assert!(TraceSnapshot::take().is_zero());
+            assert!(flight::merged_records().is_empty());
+            assert!(flight::current_thread_records().is_empty());
+            flight::note_poisoned();
+            assert_eq!(flight::take_post_mortem(), None);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    mod live {
+        use super::super::*;
+
+        /// Serializes tests that toggle the global recording flag.
+        fn with_recording<R>(f: impl FnOnce() -> R) -> R {
+            use std::sync::{Mutex, MutexGuard, OnceLock};
+            static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+            let _g: MutexGuard<'_, ()> = GATE
+                .get_or_init(|| Mutex::new(()))
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            // Every probe must hit: these tests assert on exact spans.
+            set_sample_rate(1);
+            set_recording(true);
+            let r = f();
+            set_recording(false);
+            r
+        }
+
+        #[test]
+        fn spans_reach_histogram_and_ring() {
+            with_recording(|| {
+                let before = TraceSnapshot::take();
+                let s = stamp();
+                std::hint::black_box(fib(12));
+                span(Phase::Rotation, s);
+                let d = TraceSnapshot::take().since(&before);
+                assert_eq!(d.phase(Phase::Rotation).count(), 1);
+                assert!(d.phase(Phase::Rotation).sum > 0, "a real clock read elapsed");
+                let mine = flight::current_thread_records();
+                assert!(mine.iter().any(|r| r.phase == Phase::Rotation));
+            });
+        }
+
+        #[test]
+        fn disabled_recording_records_nothing() {
+            set_recording(false);
+            let before = TraceSnapshot::take();
+            let s = stamp();
+            span(Phase::ScanRepin, s);
+            let d = TraceSnapshot::take().since(&before);
+            // ScanRepin is quiet in this crate's other tests, so the
+            // disarmed span above is the only possible contributor.
+            assert_eq!(d.phase(Phase::ScanRepin).count(), 0);
+        }
+
+        #[test]
+        fn ring_wraparound_keeps_newest() {
+            // A fresh thread gets its own ring, isolating the capacity math.
+            std::thread::spawn(|| {
+                with_recording(|| {
+                    let n = flight::RING_CAPACITY as u64 + 100;
+                    for i in 0..n {
+                        flight::record_raw(Phase::Restart, i + 1, 7);
+                    }
+                    let mine = flight::current_thread_records();
+                    assert_eq!(mine.len(), flight::RING_CAPACITY);
+                    // Oldest surviving record is exactly `n - capacity`
+                    // pushes in; newest is the last push.
+                    assert_eq!(mine.first().unwrap().start_ns, n - flight::RING_CAPACITY as u64 + 1);
+                    assert_eq!(mine.last().unwrap().start_ns, n);
+                    assert!(mine.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+                })
+            })
+            .join()
+            .unwrap();
+        }
+
+        #[test]
+        fn merged_records_sorted_across_threads() {
+            with_recording(|| {
+                // Interleaved timestamps from two fresh threads.
+                let t1 = std::thread::spawn(|| {
+                    for i in [10u64, 30, 50] {
+                        flight::record_raw(Phase::Descent, i, 1);
+                    }
+                });
+                let t2 = std::thread::spawn(|| {
+                    for i in [20u64, 40, 60] {
+                        flight::record_raw(Phase::Rotation, i, 1);
+                    }
+                });
+                t1.join().unwrap();
+                t2.join().unwrap();
+                let merged = flight::merged_records();
+                assert!(merged.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+                let small: Vec<u64> = merged
+                    .iter()
+                    .map(|r| r.start_ns)
+                    .filter(|&s| (10..=60).contains(&s) && s % 10 == 0)
+                    .collect();
+                let mut expect = small.clone();
+                expect.sort_unstable();
+                assert_eq!(small, expect);
+                assert!(small.len() >= 6, "both threads' records present: {small:?}");
+            });
+        }
+
+        #[test]
+        fn post_mortem_fires_exactly_once() {
+            with_recording(|| {
+                flight::arm_post_mortem();
+                assert_eq!(flight::take_post_mortem(), None, "no poisoning noted yet");
+                flight::record_raw(Phase::TreeLockHold, 5, 9);
+                flight::note_poisoned();
+                flight::note_poisoned(); // idempotent
+                let dump = flight::take_post_mortem().expect("first take yields the dump");
+                assert!(dump.contains("\"traceEvents\":["));
+                assert!(dump.contains("tree-lock-hold"));
+                assert_eq!(flight::take_post_mortem(), None, "second take must be empty");
+                // Re-arming allows the next poisoning to dump again.
+                flight::arm_post_mortem();
+                assert_eq!(flight::take_post_mortem(), None);
+                flight::note_poisoned();
+                assert!(flight::take_post_mortem().is_some());
+            });
+        }
+
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                n
+            } else {
+                fib(n - 1) + fib(n - 2)
+            }
+        }
+    }
+}

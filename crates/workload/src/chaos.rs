@@ -121,6 +121,11 @@ pub struct ChaosReport {
     /// Recorded history length (0 unless
     /// [`ChaosSpec::check_linearizability`]).
     pub history_len: usize,
+    /// Flight-recorder post-mortem dump (Chrome Trace Event JSON of every
+    /// thread's ring), captured when the run left the map poisoned. `None`
+    /// when the map survived, when a dump for this poisoning was already
+    /// taken, or in builds without the `trace` feature.
+    pub post_mortem: Option<String>,
 }
 
 impl ChaosReport {
@@ -157,6 +162,10 @@ where
 
     let quiet = spec.quiet.then(silence_injected_panics);
     let session = activate(plan);
+    // Re-arm the flight-recorder post-mortem latch: if this round's storm
+    // poisons the map, exactly one dump becomes available below. Chaos
+    // runs are serialized by the plan session, so the global latch is ours.
+    lo_trace::flight::arm_post_mortem();
 
     let recorder = spec.check_linearizability.then(Recorder::new);
     let history: Mutex<Vec<CompletedOp>> = Mutex::new(Vec::new());
@@ -358,6 +367,11 @@ where
         }
     }
 
+    // 5. Flight-recorder post-mortem: when the storm poisoned the map (and
+    //    tracing is live), take the one-shot Chrome-trace dump of every
+    //    thread's ring for the report.
+    let post_mortem = lo_trace::flight::take_post_mortem();
+
     ChaosReport {
         ops_completed: ops_completed.into_inner(),
         injected_panics: injected_panics.into_inner(),
@@ -369,6 +383,7 @@ where
         fired,
         poisoned,
         history_len: history.len(),
+        post_mortem,
     }
 }
 

@@ -12,6 +12,11 @@ pub struct LatencyHistogram {
     /// bucket i counts samples with latency in [2^i, 2^(i+1)) ns.
     buckets: Vec<u64>,
     count: u64,
+    /// Smallest / largest recorded sample; tighten the quantile bounds so
+    /// e.g. a single-sample histogram reports that exact sample instead of
+    /// its bucket's upper bound.
+    min: u64,
+    max: u64,
 }
 
 const BUCKETS: usize = 32;
@@ -19,15 +24,18 @@ const BUCKETS: usize = 32;
 impl LatencyHistogram {
     /// Empty histogram.
     pub fn new() -> Self {
-        Self { buckets: vec![0; BUCKETS], count: 0 }
+        Self { buckets: vec![0; BUCKETS], count: 0, min: u64::MAX, max: 0 }
     }
 
     /// Records one latency sample.
     #[inline]
     pub fn record(&mut self, nanos: u64) {
-        let idx = (64 - nanos.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        let nanos = nanos.max(1);
+        let idx = (64 - nanos.leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[idx] += 1;
         self.count += 1;
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
     }
 
     /// Times `f` and records its duration.
@@ -45,20 +53,23 @@ impl LatencyHistogram {
     }
 
     /// Upper bound (ns) of the bucket containing the given quantile
-    /// (0.0..=1.0). Returns 0 for an empty histogram.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// (0.0..=1.0), tightened to the observed `[min, max]` sample range —
+    /// so a single-sample histogram reports exactly that sample at every
+    /// quantile. Returns `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut acc = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             acc += c;
-            if acc >= target.max(1) {
-                return 1u64 << (i + 1);
+            if acc >= target {
+                let bound = 1u64 << (i + 1).min(63);
+                return Some(bound.clamp(self.min, self.max));
             }
         }
-        1u64 << BUCKETS
+        Some(self.max)
     }
 
     /// Merges another histogram into this one.
@@ -67,31 +78,46 @@ impl LatencyHistogram {
             *a += b;
         }
         self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
-    /// `p50/p99/p999` summary line, e.g. `p50<2.0µs p99<16.4µs p999<131µs`.
+    /// `p50/p99/p999` summary line, e.g. `p50<2.0µs p99<16.4µs p999<131µs`;
+    /// `"no samples"` when empty.
     pub fn summary(&self) -> String {
-        fn fmt(ns: u64) -> String {
-            if ns >= 1_000_000 {
-                format!("{:.1}ms", ns as f64 / 1e6)
-            } else if ns >= 1_000 {
-                format!("{:.1}µs", ns as f64 / 1e3)
-            } else {
-                format!("{ns}ns")
-            }
-        }
-        format!(
-            "p50<{} p99<{} p999<{}",
-            fmt(self.quantile(0.50)),
-            fmt(self.quantile(0.99)),
-            fmt(self.quantile(0.999))
-        )
+        let (Some(p50), Some(p99), Some(p999)) =
+            (self.quantile(0.50), self.quantile(0.99), self.quantile(0.999))
+        else {
+            return "no samples".into();
+        };
+        format!("p50<{} p99<{} p999<{}", fmt_ns(p50), fmt_ns(p99), fmt_ns(p999))
+    }
+}
+
+/// Human-scaled nanosecond formatting shared by the summary line and the
+/// latency reproduction binary.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
     }
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("summary", &self.summary())
+            .finish()
     }
 }
 
@@ -103,7 +129,26 @@ mod tests {
     fn empty_histogram() {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.5), 0);
+        // Regression (PR 6): an empty histogram used to report 0ns
+        // quantiles, indistinguishable from "instant". Now: no samples,
+        // no quantiles.
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+        assert_eq!(h.summary(), "no samples");
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // Regression (PR 6): one 100ns sample used to report p999 = 128
+        // (its bucket's upper bound). Every quantile of a single-sample
+        // histogram IS that sample.
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(100), "q={q}");
+        }
+        assert_eq!(h.summary(), "p50<100ns p99<100ns p999<100ns");
     }
 
     #[test]
@@ -116,10 +161,13 @@ mod tests {
             h.record(10_000); // bucket [8192, 16384)
         }
         assert_eq!(h.count(), 1000);
-        let p50 = h.quantile(0.50);
-        assert!(p50 >= 128 && p50 <= 256, "p50 bucket bound: {p50}");
-        let p999 = h.quantile(0.999);
-        assert!(p999 >= 16_384, "p999 must cover the slow tail: {p999}");
+        let p50 = h.quantile(0.50).unwrap();
+        assert!((128..=256).contains(&p50), "p50 bucket bound: {p50}");
+        // The tail quantile lands in the slow bucket; its bound is
+        // tightened to the largest observed sample.
+        let p999 = h.quantile(0.999).unwrap();
+        assert!(p999 >= 10_000, "p999 must cover the slow tail: {p999}");
+        assert!(p999 <= 10_000, "p999 must not exceed the largest sample: {p999}");
     }
 
     #[test]
@@ -169,7 +217,8 @@ mod tests {
         h.record(0); // clamps to 1ns bucket
         h.record(u64::MAX); // clamps to top bucket
         assert_eq!(h.count(), 2);
-        assert!(h.quantile(1.0) > 0);
+        assert!(h.quantile(1.0).unwrap() > 0);
+        assert!(h.quantile(0.0).unwrap() <= 2, "the 0ns sample clamps to the 1ns bucket");
     }
 
     #[test]

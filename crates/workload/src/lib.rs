@@ -28,12 +28,12 @@ pub mod stats;
 
 pub use chaos::{run_chaos, ChaosReport, ChaosSpec};
 pub use history::HistoryRecorder;
-pub use latency::LatencyHistogram;
+pub use latency::{fmt_ns, LatencyHistogram};
 pub use report::{MetricsEntry, MetricsPanel, Panel};
 pub use rng::{SplitMix64, XorShift64Star, Zipf};
 pub use runner::{
     prefill, run_experiment, run_experiment_full, run_experiment_full_ordered,
-    run_experiment_ordered, run_trial, run_trial_ordered, TrialResult,
+    run_experiment_ordered, run_trial, run_trial_ordered, OpLatency, TrialResult,
 };
 pub use spec::{KeyDist, Mix, OpKind, TrialSpec};
 pub use stats::Summary;

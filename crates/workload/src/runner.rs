@@ -8,16 +8,58 @@ use std::time::{Duration, Instant};
 use lo_api::{ConcurrentMap, OrderedRead};
 use lo_metrics::{Event, Snapshot};
 
+use crate::latency::LatencyHistogram;
 use crate::rng::{SplitMix64, XorShift64Star, Zipf};
 use crate::spec::{KeyDist, OpKind, TrialSpec};
+
+/// Per-operation-kind latency histograms of one trial (contains, insert,
+/// remove, range-scan — every kind the mix can roll, scans included).
+#[derive(Clone, Debug, Default)]
+pub struct OpLatency {
+    hists: [LatencyHistogram; OpKind::COUNT],
+}
+
+impl OpLatency {
+    /// Empty histograms for every kind.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample for `kind`.
+    #[inline]
+    pub fn record(&mut self, kind: OpKind, nanos: u64) {
+        self.hists[kind.index()].record(nanos);
+    }
+
+    /// Histogram of one kind.
+    pub fn kind(&self, kind: OpKind) -> &LatencyHistogram {
+        &self.hists[kind.index()]
+    }
+
+    /// Merges another trial's (or thread's) histograms into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.hists.iter_mut().zip(&other.hists) {
+            a.merge(b);
+        }
+    }
+
+    /// `(label, histogram)` pairs in [`OpKind::index`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &LatencyHistogram)> {
+        OpKind::LABELS.iter().copied().zip(self.hists.iter())
+    }
+}
 
 /// Outcome of one timed trial.
 #[derive(Clone, Debug)]
 pub struct TrialResult {
     /// Total operations completed across all threads.
     pub total_ops: u64,
-    /// Operations per thread (diagnostic; reveals imbalance).
+    /// Operations per thread (diagnostic; reveals imbalance). Every drawn
+    /// operation counts — range scans included, not just point ops.
     pub per_thread: Vec<u64>,
+    /// Operations by kind ([`OpKind::index`] order: contains, insert,
+    /// remove, range-scan), summed over threads. Always populated.
+    pub ops_by_kind: [u64; OpKind::COUNT],
     /// Actual measured wall time.
     pub elapsed: Duration,
     /// Event counters recorded during this trial (difference of global
@@ -26,6 +68,9 @@ pub struct TrialResult {
     /// concurrency from outside the trial; exact when the trial's threads
     /// are the only activity, as in the reproduction binaries.
     pub events: Snapshot,
+    /// Per-op-kind latency histograms, merged across threads. `Some` only
+    /// when the spec set [`TrialSpec::sample_latency`].
+    pub latency: Option<OpLatency>,
 }
 
 impl TrialResult {
@@ -54,6 +99,12 @@ impl TrialResult {
     /// Occurrences of `event` per completed operation in this trial.
     pub fn events_per_op(&self, event: Event) -> f64 {
         self.events.per_op(event, self.total_ops)
+    }
+
+    /// Operations of one kind completed in this trial (range scans collapse
+    /// over their window length).
+    pub fn ops_of(&self, kind: OpKind) -> u64 {
+        self.ops_by_kind[kind.index()]
     }
 }
 
@@ -138,7 +189,7 @@ where
     let events_before = Snapshot::take();
     let started = Instant::now();
 
-    let (per_thread, elapsed) = std::thread::scope(|scope| {
+    let (results, elapsed) = std::thread::scope(|scope| {
         let stop = &stop;
         let scan = &scan;
         let handles: Vec<_> = seeds
@@ -153,12 +204,17 @@ where
                         KeyDist::Uniform => None,
                     };
                     let mut ops = 0u64;
+                    let mut by_kind = [0u64; OpKind::COUNT];
+                    let mut latency = spec.sample_latency.then(OpLatency::new);
                     while !stop.load(Ordering::Relaxed) {
                         // Small batch between stop checks keeps the flag out
                         // of the measured inner loop.
                         for _ in 0..64 {
                             let key = draw_key(&mut rng, spec, zipf.as_ref());
-                            match spec.mix.pick(rng.next_below(100) as u32) {
+                            let op = spec.mix.pick(rng.next_below(100) as u32);
+                            // The clock reads exist only in sampled trials.
+                            let t0 = latency.as_ref().map(|_| Instant::now());
+                            match op {
                                 OpKind::Contains => {
                                     std::hint::black_box(map.contains(&key));
                                 }
@@ -170,10 +226,15 @@ where
                                 }
                                 OpKind::RangeScan { len } => scan(map, key, len),
                             }
+                            if let (Some(lat), Some(t0)) = (latency.as_mut(), t0) {
+                                lat.record(op, t0.elapsed().as_nanos() as u64);
+                            }
+                            // Every kind counts — range scans included.
+                            by_kind[op.index()] += 1;
                             ops += 1;
                         }
                     }
-                    ops
+                    (ops, by_kind, latency)
                 })
             })
             .collect();
@@ -181,13 +242,25 @@ where
         std::thread::sleep(spec.duration);
         stop.store(true, Ordering::Relaxed);
         let elapsed = started.elapsed();
-        let per_thread: Vec<u64> =
+        let results: Vec<(u64, [u64; OpKind::COUNT], Option<OpLatency>)> =
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
-        (per_thread, elapsed)
+        (results, elapsed)
     });
 
     let events = Snapshot::take().since(&events_before);
-    TrialResult { total_ops: per_thread.iter().sum(), per_thread, elapsed, events }
+    let mut ops_by_kind = [0u64; OpKind::COUNT];
+    let mut latency = spec.sample_latency.then(OpLatency::new);
+    let mut per_thread = Vec::with_capacity(results.len());
+    for (ops, by_kind, thread_latency) in results {
+        per_thread.push(ops);
+        for (total, n) in ops_by_kind.iter_mut().zip(by_kind) {
+            *total += n;
+        }
+        if let (Some(merged), Some(part)) = (latency.as_mut(), thread_latency.as_ref()) {
+            merged.merge(part);
+        }
+    }
+    TrialResult { total_ops: per_thread.iter().sum(), per_thread, ops_by_kind, elapsed, events, latency }
 }
 
 /// Prefill + warm-up + `reps` measured trials; returns the full
@@ -371,6 +444,57 @@ mod tests {
         assert_eq!(res.per_thread.len(), 2);
     }
 
+    /// Satellite (PR 6): range scans are first-class in the per-op-kind
+    /// accounting and in the per-thread totals the imbalance ratio reads —
+    /// not just point ops.
+    #[test]
+    fn scans_counted_in_per_kind_and_imbalance_accounting() {
+        let mix = Mix::with_range(40, 20, 10, 30, 8);
+        let spec = TrialSpec::new(mix, 200, 2, Duration::from_millis(40));
+        let map = RefMap(Mutex::new(BTreeMap::new()));
+        prefill(&map, &spec);
+        let res = run_trial_ordered(&map, &spec);
+        assert!(res.ops_of(OpKind::RangeScan { len: 8 }) > 0, "30% scan share must roll scans");
+        assert!(res.ops_of(OpKind::Contains) > 0);
+        assert_eq!(
+            res.ops_by_kind.iter().sum::<u64>(),
+            res.total_ops,
+            "every drawn op (scans included) lands in exactly one kind bucket"
+        );
+        assert_eq!(res.per_thread.iter().sum::<u64>(), res.total_ops);
+        assert!(res.imbalance().is_finite(), "both threads ran ops, scans included");
+
+        // A scan-only mix: the imbalance ratio is computed entirely from
+        // range-scan operations.
+        let mix = Mix::with_range(0, 0, 0, 100, 4);
+        let spec = TrialSpec::new(mix, 100, 2, Duration::from_millis(20));
+        let res = run_trial_ordered(&map, &spec);
+        assert_eq!(res.ops_of(OpKind::RangeScan { len: 4 }), res.total_ops);
+        assert!(res.imbalance() >= 1.0 && res.imbalance().is_finite());
+    }
+
+    /// Tentpole wiring (PR 6): sampled trials deliver per-op-kind latency
+    /// histograms; unsampled trials carry none.
+    #[test]
+    fn latency_sampling_per_kind() {
+        let spec = TrialSpec::new(Mix::C50_I25_R25, 200, 2, Duration::from_millis(30))
+            .with_latency();
+        let map = RefMap(Mutex::new(BTreeMap::new()));
+        prefill(&map, &spec);
+        let res = run_trial(&map, &spec);
+        let lat = res.latency.as_ref().expect("sampled trial must carry latency");
+        let sampled: u64 = lat.iter().map(|(_, h)| h.count()).sum();
+        assert_eq!(sampled, res.total_ops, "every op contributes one latency sample");
+        for kind in [OpKind::Contains, OpKind::Insert, OpKind::Remove] {
+            assert_eq!(lat.kind(kind).count(), res.ops_of(kind), "kind {kind:?}");
+            assert!(lat.kind(kind).quantile(0.999).is_some());
+        }
+        assert_eq!(lat.kind(OpKind::RangeScan { len: 1 }).count(), 0, "no scans in this mix");
+
+        let unsampled = run_trial(&map, &TrialSpec { sample_latency: false, ..spec });
+        assert!(unsampled.latency.is_none());
+    }
+
     #[test]
     #[should_panic(expected = "run_trial_ordered")]
     fn classic_runner_rejects_scan_mix() {
@@ -385,8 +509,10 @@ mod tests {
         let t = |per_thread: Vec<u64>| TrialResult {
             total_ops: per_thread.iter().sum(),
             per_thread,
+            ops_by_kind: [0; OpKind::COUNT],
             elapsed: Duration::from_secs(1),
             events: Snapshot::zero(),
+            latency: None,
         };
         assert_eq!(t(vec![100, 100]).imbalance(), 1.0);
         assert_eq!(t(vec![300, 100]).imbalance(), 3.0);

@@ -104,6 +104,31 @@ pub enum OpKind {
     },
 }
 
+impl OpKind {
+    /// Number of operation kinds (range scans collapse over `len`).
+    pub const COUNT: usize = 4;
+
+    /// Stable report labels, indexed by [`OpKind::index`].
+    pub const LABELS: [&'static str; Self::COUNT] = ["contains", "insert", "remove", "range-scan"];
+
+    /// Dense index for per-kind accounting (range scans collapse over
+    /// `len`): contains=0, insert=1, remove=2, range-scan=3.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Contains => 0,
+            OpKind::Insert => 1,
+            OpKind::Remove => 2,
+            OpKind::RangeScan { .. } => 3,
+        }
+    }
+
+    /// Stable report label of this kind.
+    pub fn label(self) -> &'static str {
+        Self::LABELS[self.index()]
+    }
+}
+
 /// Key distribution for a trial.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum KeyDist {
@@ -128,6 +153,11 @@ pub struct TrialSpec {
     pub dist: KeyDist,
     /// Base seed; thread `i` of repetition `r` derives an independent stream.
     pub seed: u64,
+    /// Sample per-operation latencies into per-kind histograms
+    /// ([`crate::runner::TrialResult::latency`]). Off by default: sampling
+    /// adds two clock reads per operation, which perturbs pure-throughput
+    /// trials.
+    pub sample_latency: bool,
 }
 
 impl TrialSpec {
@@ -135,7 +165,21 @@ impl TrialSpec {
     pub fn new(mix: Mix, key_range: u64, threads: usize, duration: Duration) -> Self {
         assert!(key_range >= 2);
         assert!(threads >= 1);
-        Self { mix, key_range, threads, duration, dist: KeyDist::Uniform, seed: 0x00C0_FFEE }
+        Self {
+            mix,
+            key_range,
+            threads,
+            duration,
+            dist: KeyDist::Uniform,
+            seed: 0x00C0_FFEE,
+            sample_latency: false,
+        }
+    }
+
+    /// Enables per-op-kind latency sampling for this spec.
+    pub fn with_latency(mut self) -> Self {
+        self.sample_latency = true;
+        self
     }
 
     /// Target prefill size (paper §6: ½ of the range for 100c and 50-25-25,

@@ -141,6 +141,37 @@ fn alloc_exhaustion_is_survivable() {
     assert_eq!(report.poisoned, None, "alloc failures must not poison");
 }
 
+/// A killed-writer round with the flight recorder on must capture exactly
+/// one post-mortem dump: parseable Chrome Trace Event JSON with at least
+/// one complete span from the storm, and a drained one-shot latch after.
+#[cfg(feature = "trace")]
+#[test]
+fn killed_writer_round_produces_post_mortem_dump() {
+    require_injection!();
+    lo_trace::set_recording(true);
+    let map = LoAvlMap::new();
+    let plan = FaultPlan::new(9).panic_at(FailPoint::RemoveAfterMark);
+    let spec =
+        ChaosSpec { threads: 4, ops_per_thread: 400, initial: 0xFFFF, ..ChaosSpec::new(9) };
+    let report = run_chaos(&map, &spec, plan);
+    lo_trace::set_recording(false);
+    assert_eq!(report.injected_panics, 1, "the armed one-shot panic must land");
+    assert!(report.poisoned.is_some());
+    let dump = report
+        .post_mortem
+        .as_deref()
+        .expect("a poisoned traced run must capture a post-mortem");
+    assert!(dump.starts_with("{\"displayTimeUnit\":\"ns\""), "chrome-trace shape: {dump:.40}");
+    assert!(dump.contains("\"traceEvents\":["));
+    assert!(dump.ends_with("]}"));
+    assert!(
+        dump.contains("\"ph\":\"X\""),
+        "the dump must contain the storm's spans, not an empty ring set"
+    );
+    // The latch is one-shot per poisoning: a second take yields nothing.
+    assert_eq!(lo_trace::flight::take_post_mortem(), None);
+}
+
 /// Range scans keep completing — and stay coherent — on a tree that gets
 /// poisoned mid-run: a one-shot panic kills a writer after its mark store,
 /// later writers are rejected, but the scan share of every surviving

@@ -209,6 +209,20 @@ fn chaos_rounds(injecting: bool) {
         assert_eq!(report.injected_panics, 1, "the armed one-shot panic must land");
         assert!(report.poisoned.is_some());
     }
+    // With the flight recorder live (`--features trace`), the killed-writer
+    // round leaves a post-mortem: every thread's ring as Chrome Trace Event
+    // JSON, loadable in Perfetto / chrome://tracing.
+    // A dump can only exist when the probes were compiled in
+    // (`lo_trees::trace::ENABLED`).
+    if let Some(dump) = &report.post_mortem {
+        let path = "chaos_postmortem_trace.json";
+        match std::fs::write(path, dump) {
+            Ok(()) => println!("  post-mortem flight recording: {path} ({} bytes)", dump.len()),
+            Err(e) => println!("  post-mortem flight recording: write failed: {e}"),
+        }
+    } else if lo_trees::trace::ENABLED && injecting {
+        panic!("traced killed-writer round must capture a post-mortem dump");
+    }
 
     // Round 2: delays and budgeted try-lock failures only — survivable
     // chaos; the tree must come out healthy. A fifth of the read share is
@@ -260,6 +274,9 @@ fn chaos_rounds(injecting: bool) {
 }
 
 fn main() {
+    // Record the hot-path flight recorder for the whole demo (a no-op
+    // without `--features trace`), so a poisoning round dumps real spans.
+    lo_trees::trace::set_recording(true);
     let injecting = injection_compiled_in();
     println!(
         "fault injection: {}",

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Bench-regression guard over lo-bench throughput summaries.
+
+Compares two labelled runs from ``BENCH_throughput.json``-style documents
+(schema ``lo-bench-throughput-v1``) row by row, keyed on ``(config,
+threads)``, and fails (exit 1) when any throughput row regresses by more
+than the threshold (default 25%).
+
+Rows whose config starts with ``latency/`` carry nanosecond latencies in
+the throughput field (see ``repro-latency``): for those, *higher* is a
+regression. They are noisy at smoke scale, so they are only checked with
+``--include-latency``.
+
+Typical uses::
+
+    # Same-machine A/B: two labelled runs appended to one file.
+    scripts/bench_guard.py --file ci_smoke.json \
+        --baseline-label ci-base --candidate-label ci-cand
+
+    # Candidate file vs the committed baseline (only meaningful on
+    # hardware comparable to what produced the baseline).
+    scripts/bench_guard.py --file BENCH_throughput.json \
+        --baseline-label baseline-pre-layout-pr \
+        --candidate ci_smoke.json --candidate-label ci-smoke
+
+Label matching is by substring; when several runs match, the latest wins
+(a re-run supersedes earlier appends). Exit codes: 0 ok, 1 regression,
+2 bad invocation or no comparable rows.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(msg, code=2):
+    print(f"bench_guard: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def load_runs(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read {path}: {e}")
+    if doc.get("schema") != "lo-bench-throughput-v1":
+        die(f"{path} is not a lo-bench-throughput-v1 document")
+    return doc.get("runs", [])
+
+
+def pick_run(runs, label, path, role):
+    """Latest run whose label contains `label` (or the last run outright)."""
+    if label is None:
+        if not runs:
+            die(f"{path} has no runs to use as {role}")
+        return runs[-1]
+    matches = [r for r in runs if label in r.get("label", "")]
+    if not matches:
+        known = sorted({r.get("label", "?") for r in runs})
+        die(f"no run label containing {label!r} in {path} (labels: {known})")
+    return matches[-1]
+
+
+def rows_by_key(run):
+    return {(r["config"], r["threads"]): r["ops_per_us_mean"] for r in run["rows"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--file", default="BENCH_throughput.json",
+                    help="summary document holding the baseline run")
+    ap.add_argument("--candidate", default=None,
+                    help="summary document holding the candidate run "
+                         "(default: same as --file)")
+    ap.add_argument("--baseline-label", default=None,
+                    help="substring selecting the baseline run "
+                         "(default: the file's last run)")
+    ap.add_argument("--candidate-label", default=None,
+                    help="substring selecting the candidate run "
+                         "(default: the candidate file's last run)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed relative regression (default 0.25 = 25%%)")
+    ap.add_argument("--include-latency", action="store_true",
+                    help="also guard latency/ rows (inverted: higher is worse)")
+    args = ap.parse_args()
+
+    base_runs = load_runs(args.file)
+    base_run = pick_run(base_runs, args.baseline_label, args.file, "baseline")
+    cand_path = args.candidate or args.file
+    cand_runs = base_runs if cand_path == args.file else load_runs(cand_path)
+    cand_run = pick_run(cand_runs, args.candidate_label, cand_path, "candidate")
+    if base_run is cand_run:
+        die("baseline and candidate resolve to the same run; "
+            "pass distinguishing labels")
+
+    base = rows_by_key(base_run)
+    compared = 0
+    regressions = []
+    for (config, threads), cand_mean in sorted(rows_by_key(cand_run).items()):
+        base_mean = base.get((config, threads))
+        if base_mean is None or base_mean <= 0:
+            continue
+        is_latency = config.startswith("latency/")
+        if is_latency and not args.include_latency:
+            continue
+        compared += 1
+        if is_latency:
+            ratio = cand_mean / base_mean
+            bad = ratio > 1.0 + args.threshold
+            direction = "slower"
+        else:
+            ratio = cand_mean / base_mean
+            bad = ratio < 1.0 - args.threshold
+            direction = "lower"
+        mark = "REGRESSION" if bad else "ok"
+        print(f"  {mark:<10} {config} t={threads}: "
+              f"{base_mean:.4f} -> {cand_mean:.4f} ({(ratio - 1) * 100:+.1f}%)")
+        if bad:
+            regressions.append((config, threads, ratio, direction))
+
+    print(f"bench_guard: compared {compared} rows "
+          f"({base_run['label']!r} -> {cand_run['label']!r}, "
+          f"threshold {args.threshold:.0%})")
+    if compared == 0:
+        die("no comparable (config, threads) rows between the selected runs")
+    if regressions:
+        for config, threads, ratio, direction in regressions:
+            print(f"bench_guard: {config} t={threads} is "
+                  f"{abs(ratio - 1) * 100:.1f}% {direction} than baseline",
+                  file=sys.stderr)
+        sys.exit(1)
+    print("bench_guard: no regressions beyond threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,3 +25,6 @@ pub use lo_reclaim as reclaim;
 pub use lo_validate as validate;
 /// The paper's evaluation workload protocol.
 pub use lo_workload as workload;
+/// Timing-grade tracing: flight recorder, phase histograms, exporters
+/// (live under `--features trace`; zero-cost no-ops otherwise).
+pub use lo_trace as trace;
