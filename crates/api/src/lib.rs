@@ -237,6 +237,7 @@ impl<K: Key, M: ConcurrentMap<K, ()>> ConcurrentSet<K, M> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // reference map, not tree-protocol state
 mod tests {
     use super::*;
     use std::collections::BTreeMap;

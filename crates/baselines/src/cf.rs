@@ -34,6 +34,10 @@ struct CfNode<K, V> {
     key: Option<K>,
     value: Atomic<V>,
     /// Logically deleted (guarded by `lock`).
+    ///
+    /// `del`/`rem` are written under the node lock and validated after
+    /// re-locking, so Release stores / Acquire loads carry all the ordering
+    /// the algorithm uses (no cross-flag SC total order is relied on).
     del: AtomicBool,
     /// Physically removed / superseded by a rotation clone (terminal).
     rem: AtomicBool,
@@ -182,15 +186,15 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
                         Cmp::Equal => {
                             // Present (maybe deleted): lock and decide.
                             n.lock.lock();
-                            if n.rem.load(Ordering::SeqCst) {
+                            if n.rem.load(Ordering::Acquire) {
                                 n.lock.unlock();
                                 continue 'restart;
                             }
-                            if n.del.load(Ordering::SeqCst) {
+                            if n.del.load(Ordering::Acquire) {
                                 let v = value.take().expect("value unconsumed");
                                 let old =
                                     n.value.swap(Owned::new(v), Ordering::AcqRel, g);
-                                n.del.store(false, Ordering::SeqCst);
+                                n.del.store(false, Ordering::Release);
                                 n.lock.unlock();
                                 if !old.is_null() {
                                     // SAFETY: `old` was swapped out under the
@@ -209,7 +213,7 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
                 if next.is_null() {
                     // Candidate parent: lock, validate, link.
                     n.lock.lock();
-                    if n.rem.load(Ordering::SeqCst) {
+                    if n.rem.load(Ordering::Acquire) {
                         n.lock.unlock();
                         continue 'restart;
                     }
@@ -239,15 +243,15 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
             }
             let n = cref(node);
             n.lock.lock();
-            if n.rem.load(Ordering::SeqCst) {
+            if n.rem.load(Ordering::Acquire) {
                 n.lock.unlock();
                 continue; // superseded; retry on the live copy
             }
-            if n.del.load(Ordering::SeqCst) {
+            if n.del.load(Ordering::Acquire) {
                 n.lock.unlock();
                 return false;
             }
-            n.del.store(true, Ordering::SeqCst);
+            n.del.store(true, Ordering::Release);
             n.lock.unlock();
             return true;
         }
@@ -256,7 +260,7 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
     fn contains_impl(&self, key: &K) -> bool {
         let g = &epoch::pin();
         let node = self.find(key, g);
-        !node.is_null() && !cref(node).del.load(Ordering::SeqCst)
+        !node.is_null() && !cref(node).del.load(Ordering::Acquire)
     }
 
     fn get_value(&self, key: &K) -> Option<V> {
@@ -266,7 +270,7 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
             return None;
         }
         let n = cref(node);
-        if n.del.load(Ordering::SeqCst) {
+        if n.del.load(Ordering::Acquire) {
             return None;
         }
         let v = n.value.load(Ordering::Acquire, g);
@@ -298,7 +302,7 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
                 return did_work;
             }
             let n = cref(node);
-            if n.rem.load(Ordering::SeqCst) {
+            if n.rem.load(Ordering::Acquire) {
                 continue; // superseded during this pass
             }
             if !expanded {
@@ -313,7 +317,7 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
                 continue;
             }
             // Post-visit: children processed. Try unlink, then height/rotate.
-            if n.del.load(Ordering::SeqCst) {
+            if n.del.load(Ordering::Acquire) {
                 let l = n.left.load(Ordering::Acquire, g);
                 let r = n.right.load(Ordering::Acquire, g);
                 if l.is_null() || r.is_null() {
@@ -348,9 +352,9 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
         let n = cref(node);
         p.lock.lock();
         n.lock.lock();
-        let ok = !p.rem.load(Ordering::SeqCst)
-            && !n.rem.load(Ordering::SeqCst)
-            && n.del.load(Ordering::SeqCst)
+        let ok = !p.rem.load(Ordering::Acquire)
+            && !n.rem.load(Ordering::Acquire)
+            && n.del.load(Ordering::Acquire)
             && (p.left.load(Ordering::Acquire, g) == node
                 || p.right.load(Ordering::Acquire, g) == node);
         if !ok {
@@ -373,7 +377,7 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
             debug_assert_eq!(p.right.load(Ordering::Acquire, g), node);
             p.right.store(splice, Ordering::Release);
         }
-        n.rem.store(true, Ordering::SeqCst);
+        n.rem.store(true, Ordering::Release);
         n.lock.unlock();
         p.lock.unlock();
         // SAFETY: this thread unlinked the node under the parent + node
@@ -423,8 +427,8 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
         } else {
             n.right.load(Ordering::Acquire, g)
         };
-        let valid = !p.rem.load(Ordering::SeqCst)
-            && !n.rem.load(Ordering::SeqCst)
+        let valid = !p.rem.load(Ordering::Acquire)
+            && !n.rem.load(Ordering::Acquire)
             && !child.is_null()
             && (p.left.load(Ordering::Acquire, g) == node
                 || p.right.load(Ordering::Acquire, g) == node);
@@ -445,7 +449,7 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
             Atomic::new(unsafe { val.deref() }.clone())
         };
         let clone = CfNode::new(n.key, val_clone);
-        clone.del.store(n.del.load(Ordering::SeqCst), Ordering::SeqCst);
+        clone.del.store(n.del.load(Ordering::Acquire), Ordering::Release);
         if right_rotation {
             // clone gets (c.right, n.right); c.right becomes clone.
             clone.left.store(c.right.load(Ordering::Acquire, g), Ordering::Relaxed);
@@ -482,7 +486,7 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
         } else {
             p.right.store(child, Ordering::Release);
         }
-        n.rem.store(true, Ordering::SeqCst);
+        n.rem.store(true, Ordering::Release);
 
         c.lock.unlock();
         n.lock.unlock();
@@ -510,7 +514,7 @@ impl<K: Key, V: Value + Clone> CfTreeMap<K, V> {
             }
             physical += 1;
             let r = cref(n);
-            if r.del.load(Ordering::SeqCst) {
+            if r.del.load(Ordering::Acquire) {
                 deleted += 1;
             }
             stack.push(r.left.load(Ordering::Acquire, &g));
@@ -528,7 +532,7 @@ impl<K: Key, V: Value + Clone> Default for CfTreeMap<K, V> {
 
 impl<K: Key, V: Value + Clone> Drop for CfTreeMap<K, V> {
     fn drop(&mut self) {
-        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.stop.store(true, Ordering::Release);
         if let Some(h) = self.maintenance.take() {
             let _ = h.join();
         }
@@ -571,7 +575,7 @@ impl<K: Key, V: Value + Clone> QuiescentOrdered<K> for CfTreeMap<K, V> {
             }
             let n = stack.pop().expect("non-empty");
             let r = cref(n);
-            if !r.del.load(Ordering::SeqCst) {
+            if !r.del.load(Ordering::Acquire) {
                 out.push(*r.key.as_ref().expect("only holder lacks a key"));
             }
             node = r.right.load(Ordering::Acquire, &g);
@@ -592,7 +596,7 @@ impl<K: Key, V: Value + Clone> CheckInvariants for CfTreeMap<K, V> {
                 continue;
             }
             let r = cref(n);
-            assert!(!r.rem.load(Ordering::SeqCst), "rem node reachable");
+            assert!(!r.rem.load(Ordering::Acquire), "rem node reachable");
             let k = r.key.expect("only holder lacks a key");
             if let Some(lo) = lo {
                 assert!(lo < k, "BST order violated");

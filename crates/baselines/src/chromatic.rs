@@ -52,6 +52,8 @@ struct CNode<K, V> {
     left: Atomic<CNode<K, V>>,
     right: Atomic<CNode<K, V>>,
     parent: Atomic<CNode<K, V>>,
+    /// Written under the node lock, re-validated after locking: Release
+    /// stores / Acquire loads suffice (no cross-flag SC order is used).
     removed: AtomicBool,
     lock: RawLock,
 }
@@ -160,7 +162,7 @@ impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
             }
             let pr = xref(p);
             pr.lock.lock();
-            let slot_ok = !pr.removed.load(Ordering::SeqCst)
+            let slot_ok = !pr.removed.load(Ordering::Acquire)
                 && (pr.left.load(Ordering::Acquire, g) == l
                     || pr.right.load(Ordering::Acquire, g) == l);
             if !slot_ok {
@@ -210,7 +212,7 @@ impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
             let gpr = xref(gp);
             let pr = xref(p);
             gpr.lock.lock();
-            if gpr.removed.load(Ordering::SeqCst)
+            if gpr.removed.load(Ordering::Acquire)
                 || (gpr.left.load(Ordering::Acquire, g) != p
                     && gpr.right.load(Ordering::Acquire, g) != p)
             {
@@ -220,7 +222,7 @@ impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
             pr.lock.lock();
             let l_side_ok = pr.left.load(Ordering::Acquire, g) == l
                 || pr.right.load(Ordering::Acquire, g) == l;
-            if pr.removed.load(Ordering::SeqCst) || !l_side_ok {
+            if pr.removed.load(Ordering::Acquire) || !l_side_ok {
                 pr.lock.unlock();
                 gpr.lock.unlock();
                 continue;
@@ -241,8 +243,8 @@ impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
             } else {
                 gpr.right.store(sibling, Ordering::Release);
             }
-            pr.removed.store(true, Ordering::SeqCst);
-            xref(l).removed.store(true, Ordering::SeqCst);
+            pr.removed.store(true, Ordering::Release);
+            xref(l).removed.store(true, Ordering::Release);
             sr.lock.unlock();
             pr.lock.unlock();
             gpr.lock.unlock();
@@ -273,7 +275,7 @@ impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
                 return;
             }
             let n = xref(node);
-            if n.removed.load(Ordering::SeqCst) {
+            if n.removed.load(Ordering::Acquire) {
                 return;
             }
             let w = n.w();
@@ -311,7 +313,7 @@ impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
         if !pr.lock.try_lock() {
             return None;
         }
-        let valid = !pr.removed.load(Ordering::SeqCst)
+        let valid = !pr.removed.load(Ordering::Acquire)
             && (pr.left.load(Ordering::Acquire, g) == node
                 || pr.right.load(Ordering::Acquire, g) == node);
         if !valid {
@@ -524,7 +526,7 @@ impl<K: Key, V: Value + Clone> ChromaticTreeMap<K, V> {
         } else {
             gpr.right.store(child, Ordering::Release);
         }
-        pr.removed.store(true, Ordering::SeqCst);
+        pr.removed.store(true, Ordering::Release);
         if locked_here {
             gpr.lock.unlock();
         }
@@ -628,7 +630,7 @@ impl<K: Key, V: Value + Clone> CheckInvariants for ChromaticTreeMap<K, V> {
                 continue;
             }
             let r = xref(n);
-            assert!(!r.removed.load(Ordering::SeqCst), "removed node reachable");
+            assert!(!r.removed.load(Ordering::Acquire), "removed node reachable");
             assert!(r.w() >= 0, "negative weight");
             if let Some(lo) = lo {
                 assert!(r.key >= lo, "external BST order violated (lower)");

@@ -40,6 +40,8 @@ struct NNode<K, V> {
     is_leaf: bool,
     left: Atomic<NNode<K, V>>,
     right: Atomic<NNode<K, V>>,
+    /// Claimed with an AcqRel swap (unique retirer); asserted with Acquire
+    /// loads in the invariant checker.
     retired: AtomicBool,
 }
 
@@ -206,7 +208,7 @@ impl<K: Key, V: Value> NmTreeMap<K, V> {
                 continue;
             }
             let r = mref(n);
-            if r.retired.swap(true, Ordering::SeqCst) {
+            if r.retired.swap(true, Ordering::AcqRel) {
                 continue; // belt-and-suspenders: someone else owns it
             }
             if !r.is_leaf {
@@ -416,7 +418,7 @@ impl<K: Key, V: Value> CheckInvariants for NmTreeMap<K, V> {
                 continue;
             }
             let r = mref(n);
-            assert!(!r.retired.load(Ordering::SeqCst), "retired node reachable");
+            assert!(!r.retired.load(Ordering::Acquire), "retired node reachable");
             if let Some(lo) = lo {
                 assert!(r.key >= lo, "external BST order violated (lower)");
             }

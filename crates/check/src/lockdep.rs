@@ -251,6 +251,9 @@ pub fn take_violations() -> Vec<Violation> {
 }
 
 #[cfg(feature = "lockdep")]
+// The ledger's graph/violation stores are the instrumentation itself, guarded
+// by plain std mutexes outside the tree protocol (see clippy.toml).
+#[allow(clippy::disallowed_types)]
 mod imp {
     use super::*;
     use crate::sched;
@@ -435,6 +438,7 @@ mod imp {
 }
 
 #[cfg(all(test, feature = "lockdep"))]
+#[allow(clippy::disallowed_types)] // test gate, not tree-protocol state
 mod tests {
     use super::*;
 

@@ -4,6 +4,9 @@
 //! must not be.
 
 #![cfg(feature = "lockdep")]
+// The serialization gate for the process-global ledger is a plain std mutex,
+// not a tree-protocol lock (see clippy.toml).
+#![allow(clippy::disallowed_types)]
 
 use lo_check::lockdep::{
     fresh_lock_id, on_acquire_attempt, on_acquired, on_release, set_thread_collect,

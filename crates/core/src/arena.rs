@@ -155,8 +155,8 @@ impl<T> Arena<T> {
     /// stays fully usable; a later call may succeed.
     pub fn try_alloc(&self, value: T) -> Option<NonNull<T>> {
         let slot = self.try_take_slot()?;
-        // SAFETY: `try_take_slot` returns an exclusive, properly aligned,
-        // uninitialized slot of size ≥ size_of::<T>().
+        // SAFETY: [inv:arena-slot] `try_take_slot` returns an exclusive, properly
+        // aligned, uninitialized slot of size ≥ size_of::<T>().
         unsafe { slot.as_ptr().write(value) };
         Some(slot)
     }
@@ -169,8 +169,8 @@ impl<T> Arena<T> {
     /// concurrently or afterwards (in the tree this is guaranteed by epoch
     /// deferral: retire runs only after the grace period).
     pub unsafe fn retire(&self, ptr: NonNull<T>) {
-        // SAFETY: per this function's contract the slot holds a live value
-        // with no remaining aliases.
+        // SAFETY: [inv:arena-slot] per this function's contract the slot holds a
+        // live value with no remaining aliases.
         unsafe { std::ptr::drop_in_place(ptr.as_ptr()) };
         self.recycle(ptr);
     }
@@ -200,8 +200,8 @@ impl<T> Arena<T> {
             if became_full {
                 chunk.pos_in_nonfull = usize::MAX;
             }
-            // SAFETY: `slot < SLOTS`, so the offset stays inside the chunk
-            // allocation; the resulting pointer inherits `mem`'s provenance.
+            // SAFETY: [inv:arena-slot] `slot < SLOTS`, so the offset stays inside the
+            // chunk allocation; the resulting pointer inherits `mem`'s provenance.
             let p = unsafe { chunk.mem.as_ptr().add(slot * Self::SLOT_SIZE) };
             (p.cast::<T>(), became_full, was_empty)
         };
@@ -219,7 +219,7 @@ impl<T> Arena<T> {
     /// Allocates one chunk from the OS; `false` if the allocator refused.
     fn try_grow(st: &mut State<T>) -> bool {
         let layout = Self::chunk_layout();
-        // SAFETY: `layout` has non-zero size (SLOT_SIZE ≥ 64, SLOTS = 64).
+        // SAFETY: [inv:arena-slot] `layout` has non-zero size (SLOT_SIZE ≥ 64).
         let mem = unsafe { raw_alloc(layout) };
         let Some(mem) = NonNull::new(mem) else { return false };
         let ci = match st.vacant.pop() {
@@ -290,8 +290,8 @@ impl<T> Arena<T> {
             st.chunks[moved].as_mut().expect("moved chunk is live").pos_in_nonfull = pos;
         }
         st.vacant.push(ci);
-        // SAFETY: `mem` was allocated with exactly this layout and no slot
-        // is live (free list is full), so no pointer into it remains usable.
+        // SAFETY: [inv:arena-slot] `mem` was allocated with exactly this layout and
+        // no slot is live (free list is full), so no pointer into it remains usable.
         unsafe { dealloc(chunk.mem.as_ptr(), Self::chunk_layout()) };
         record(Event::ArenaChunkFree);
     }
@@ -313,8 +313,8 @@ impl<T> Drop for Arena<T> {
             }
             for (slot, free) in is_free.iter().enumerate() {
                 if !free {
-                    // SAFETY: `&mut self` — no concurrent users; the slot is
-                    // live (not on the free list) so it holds a valid value.
+                    // SAFETY: [inv:unprotected-quiescent] `&mut self` — no concurrent users;
+                    // the slot is live (not on the free list) so it holds a valid value.
                     unsafe {
                         std::ptr::drop_in_place(
                             chunk.mem.as_ptr().add(slot * Self::SLOT_SIZE).cast::<T>(),
@@ -322,7 +322,7 @@ impl<T> Drop for Arena<T> {
                     }
                 }
             }
-            // SAFETY: allocated with this exact layout; all values dropped.
+            // SAFETY: [inv:arena-slot] allocated with this exact layout; all values dropped.
             unsafe { dealloc(chunk.mem.as_ptr(), Self::chunk_layout()) };
         }
     }

@@ -352,13 +352,13 @@ impl<K: std::any::Any + Copy, V> Node<K, V> {
 
 impl<K, V> Drop for Node<K, V> {
     fn drop(&mut self) {
-        // SAFETY: we have exclusive access (epoch reclamation or tree
-        // teardown), so an unprotected guard is sound here.
+        // SAFETY: [inv:unprotected-quiescent] we have exclusive access (epoch
+        // reclamation or tree teardown), so an unprotected guard is sound here.
         let g = unsafe { crossbeam_epoch::unprotected() };
         let v = self.value.swap(Shared::null(), Ordering::Relaxed, g);
         if !v.is_null() {
-            // SAFETY: the value pointer was created by `Atomic::new`/`Owned`
-            // and is uniquely owned by this node at drop time.
+            // SAFETY: [inv:unique-owner] the value pointer was created by
+            // `Atomic::new`/`Owned` and is uniquely owned by this node at drop time.
             drop(unsafe { v.into_owned() });
         }
     }
@@ -373,8 +373,8 @@ impl<K, V> Drop for Node<K, V> {
 #[inline]
 pub(crate) fn nref<'g, K, V>(s: Shared<'g, Node<K, V>>) -> &'g Node<K, V> {
     debug_assert!(!s.is_null(), "nref on null node pointer");
-    // SAFETY: see the contract above — `s` was obtained under a live guard,
-    // and unlinked nodes are only freed after all guards retire.
+    // SAFETY: [inv:epoch-liveness] see the contract above — `s` was obtained under
+    // a live guard, and unlinked nodes are only freed after all guards retire.
     unsafe { s.deref() }
 }
 

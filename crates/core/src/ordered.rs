@@ -172,9 +172,9 @@ impl<'t, K: Key, V: Value> OrderedCursor<'t, K, V> {
             if self.node.is_null() {
                 self.anchor();
             }
-            // SAFETY: `node` is non-null and was loaded from the tree under
-            // the currently-held `self.guard` (every re-pin nulls it first,
-            // and `anchor` reloads it under the fresh pin). Nodes are only
+            // SAFETY: [inv:epoch-liveness] `node` is non-null and was loaded from the
+            // tree under the currently-held `self.guard` (every re-pin nulls it
+            // first, and `anchor` reloads it under the fresh pin). Nodes are only
             // freed through epoch-deferred reclamation, so the referent
             // stays valid while the guard is live.
             let n = unsafe { &*self.node };

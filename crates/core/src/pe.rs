@@ -110,9 +110,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 nref(parent).unlock_tree();
             }
             record(Event::ReclaimRetire);
-            // SAFETY: `s` is unlinked from both the tree and the ordering
-            // layout by this thread (marked under its succ lock); readers
-            // hold epoch guards.
+            // SAFETY: [inv:unique-owner] `s` is unlinked from both the tree and the
+            // ordering layout by this thread (marked under its succ lock);
+            // readers hold epoch guards.
             unsafe { self.retire_node(s, g) };
 
             // The unlink may have dropped the old parent to ≤1 children; if
@@ -222,8 +222,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
         }
         record(Event::ZombieUnlinked);
         record(Event::ReclaimRetire);
-        // SAFETY: the zombie was marked and unlinked from both layouts under
-        // its locks by this thread; readers hold epoch guards.
+        // SAFETY: [inv:unique-owner] the zombie was marked and unlinked from both
+        // layouts under its locks by this thread; readers hold epoch guards.
         unsafe { self.retire_node(z, g) };
     }
 }

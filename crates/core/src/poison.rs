@@ -246,8 +246,8 @@ impl Drop for WriteScope<'_> {
             // unwind instant) — lock windows cut short by a panic are
             // exactly what a post-mortem wants to see.
             e.record_spans(lo_trace::stamp_closing(e.since));
-            // SAFETY: each pointer was registered by `note_acquired` while
-            // this thread held the lock and was never unregistered, so the
+            // SAFETY: [inv:tls-registry] each pointer was registered by `note_acquired`
+            // while this thread held the lock and was never unregistered, so the
             // lock is still held by this thread and its node is still live
             // (held nodes are never retired).
             unsafe { (*e.lock).unlock_traced() };

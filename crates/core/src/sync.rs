@@ -166,8 +166,8 @@ impl NodeLock {
     /// than an assertion here, so there is exactly one enforcement point.
     #[inline]
     pub fn unlock(&self) {
-        // SAFETY: the tree algorithms guarantee the current thread holds the
-        // lock whenever they call `unlock` (see module docs).
+        // SAFETY: [inv:raw-lock-contract] the tree algorithms guarantee the current
+        // thread holds the lock whenever they call `unlock` (see module docs).
         unsafe { self.raw.unlock() }
     }
 

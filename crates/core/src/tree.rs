@@ -57,7 +57,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
             partially_external,
             poisoned: AtomicU32::new(crate::poison::CODE_HEALTHY),
         };
-        // SAFETY: the tree is not yet shared; no other thread can free nodes.
+        // SAFETY: [inv:unprotected-quiescent] the tree is not yet shared; no other
+        // thread can free nodes.
         let g = unsafe { epoch::unprotected() };
         let root = t.alloc_node(Node::sentinel(Bound::PosInf), g);
         let head = t.alloc_node(Node::sentinel(Bound::NegInf), g);
@@ -139,19 +140,20 @@ impl<K: Key, V: Value> LoTree<K, V> {
             let arena = std::sync::Arc::clone(&self.arena);
             let ptr = crate::arena::SendPtr::new(node.as_raw().cast_mut());
             let recycle = move || {
-                // SAFETY: the slot is live until this deferred retirement
-                // runs, and the epoch guarantees no reader still holds it.
+                // SAFETY: [inv:epoch-liveness] the slot is live until this deferred
+                // retirement runs, and the epoch guarantees no reader still holds it.
                 unsafe { arena.retire(ptr.get()) }
             };
-            // SAFETY: (defer_unchecked) the closure captures only the Arc'd
-            // arena (Send + Sync) and the retired pointer; by this function's
+            // SAFETY: [inv:send-sync] (defer_unchecked) the closure captures only the
+            // Arc'd arena (Send + Sync) and the retired pointer; by this function's
             // contract the node is unreachable, so running the retirement on
             // any thread after the grace period is sound, and the Arc keeps
             // the arena alive even past the tree's drop.
             unsafe { g.defer_unchecked(recycle) };
         }
         #[cfg(not(feature = "arena"))]
-        // SAFETY: forwarded contract (unlinked; freed after grace period).
+        // SAFETY: [inv:epoch-liveness] forwarded contract (unlinked; freed after
+        // grace period).
         unsafe {
             g.defer_destroy(node)
         };
@@ -267,8 +269,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
         if v.is_null() {
             return None; // unreachable for key nodes; defensive
         }
-        // SAFETY: value pointers are retired via the epoch, never freed
-        // in-place, so they are valid for the lifetime of `g`.
+        // SAFETY: [inv:epoch-liveness] value pointers are retired via the epoch,
+        // never freed in-place, so they are valid for the lifetime of `g`.
         Some(f(unsafe { v.deref() }))
     }
 
@@ -451,8 +453,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
 
 impl<K: Key, V: Value> Drop for LoTree<K, V> {
     fn drop(&mut self) {
-        // SAFETY: &mut self (drop) — no concurrent readers or writers
-        // remain, so an unprotected guard is sound. The ordering chain
+        // SAFETY: [inv:unprotected-quiescent] &mut self (drop) — no concurrent
+        // readers or writers remain, so an unprotected guard is sound. The chain
         // contains every live node plus both sentinels; nodes removed
         // earlier were retired through the epoch and are not in the chain.
         let g = unsafe { epoch::unprotected() };
@@ -462,8 +464,8 @@ impl<K: Key, V: Value> Drop for LoTree<K, V> {
             let next = nref(n).succ.load(Ordering::Relaxed, g);
             let at_end = n == root;
             #[cfg(feature = "arena")]
-            // SAFETY: quiescent teardown; every chain node was allocated from
-            // this tree's arena and is visited (and retired) exactly once.
+            // SAFETY: [inv:unprotected-quiescent] quiescent teardown; every chain node
+            // was allocated from this tree's arena and is visited exactly once.
             // Nodes retired earlier through the epoch are no longer in the
             // chain; their deferred retirements hold their own Arc.
             unsafe {
@@ -472,7 +474,8 @@ impl<K: Key, V: Value> Drop for LoTree<K, V> {
                 self.arena.retire(p);
             }
             #[cfg(not(feature = "arena"))]
-            // SAFETY: quiescent teardown; the chain visits each node once.
+            // SAFETY: [inv:unprotected-quiescent] quiescent teardown; the chain visits
+            // each node once.
             drop(unsafe { n.into_owned() });
             if at_end {
                 break;

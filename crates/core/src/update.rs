@@ -110,8 +110,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     record(Event::ZombieRevived);
                     if !old.is_null() {
                         record(Event::ReclaimRetire);
-                        // SAFETY: `old` was swapped out under the succ lock;
-                        // readers hold epoch guards.
+                        // SAFETY: [inv:lock-exclusion] `old` was swapped out under the succ
+                        // lock; readers hold epoch guards.
                         unsafe { g.defer_destroy(old) };
                     }
                     nref(p).unlock_succ();
@@ -203,11 +203,11 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 if old.is_null() {
                     return Ok(None); // defensive: key nodes always hold a value
                 }
-                // SAFETY: `old` stays valid for this guard's lifetime.
+                // SAFETY: [inv:epoch-liveness] `old` stays valid for this guard's lifetime.
                 let out = (!was_zombie).then(|| unsafe { old.deref() }.clone());
                 record(Event::ReclaimRetire);
-                // SAFETY: `old` was swapped out under the succ lock by this
-                // thread; readers hold epoch guards.
+                // SAFETY: [inv:lock-exclusion] `old` was swapped out under the succ lock
+                // by this thread; readers hold epoch guards.
                 unsafe { g.defer_destroy(old) };
                 return Ok(out);
             }
@@ -381,9 +381,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
             fp::pause(FailPoint::RemoveAfterMark);
             self.remove_from_tree(s, locks, g);
             record(Event::ReclaimRetire);
-            // SAFETY: the node is now unlinked from both layouts by this
-            // thread (marked under its succ lock); it is freed only once all
-            // pinned readers move on.
+            // SAFETY: [inv:unique-owner] the node is now unlinked from both layouts by
+            // this thread (marked under its succ lock); it is freed only once
+            // all pinned readers move on.
             unsafe { self.retire_node(s, g) };
             return Ok(true);
         }

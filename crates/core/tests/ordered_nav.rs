@@ -99,7 +99,10 @@ macro_rules! nav_suite {
                     assert_eq!(m.range_keys(lo..=hi), expected, "range {lo}..={hi}");
                 }
                 // Inverted range: BTreeMap panics; we define it as empty.
-                assert_eq!(m.range_keys(150..=40), Vec::<i64>::new());
+                #[allow(clippy::reversed_empty_ranges)]
+                {
+                    assert_eq!(m.range_keys(150..=40), Vec::<i64>::new());
+                }
             }
 
             #[test]
@@ -244,7 +247,7 @@ fn navigation_under_churn() {
                 if k % 100 == 0 {
                     continue;
                 }
-                if x % 2 == 0 {
+                if x.is_multiple_of(2) {
                     m.insert(k, 1);
                 } else {
                     m.remove(&k);

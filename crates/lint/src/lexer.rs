@@ -1,0 +1,422 @@
+//! A small Rust *token* scanner — not a full parser.
+//!
+//! lo-lint's rules operate on token patterns (`.mark.load(Ordering::…)`,
+//! `unsafe {`, `FailPoint::X`), so all it needs from the front end is a
+//! stream of identifiers and punctuation with line numbers, with comments
+//! and string literals correctly skipped (but comments *kept aside* for the
+//! SAFETY-hygiene rule). The scanner handles the lexical constructs that
+//! would otherwise produce false tokens: line and (nested) block comments,
+//! string/char/byte literals, raw strings, and lifetimes vs char literals.
+//!
+//! It deliberately does **not** build an AST: the protocol rules this crate
+//! enforces are local token patterns plus brace-matched spans (function
+//! bodies, `#[cfg(test)]` items), which the [`SourceFile`] helpers recover.
+
+/// Token kind. Punctuation is one token per character (`::` is two `:`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `fn`, `unsafe`, `impl`, …).
+    Ident,
+    /// Numeric literal (opaque to every rule).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// String literal (text is the *content*, quotes stripped, escapes raw).
+    Str,
+}
+
+/// One lexical token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+    /// The content of a string-literal token, if this is one.
+    pub fn as_str_lit(&self) -> Option<&str> {
+        (self.kind == TokKind::Str).then_some(self.text.as_str())
+    }
+}
+
+/// A lexed source file plus the side tables the rules need.
+pub struct SourceFile {
+    /// Workspace-relative path (as given to [`lex_file`]).
+    pub path: String,
+    pub tokens: Vec<Token>,
+    /// `(line, text)` of every `//`-style comment (doc comments included;
+    /// the leading slashes are stripped, block comments contribute one entry
+    /// per comment with embedded newlines).
+    pub comments: Vec<(u32, String)>,
+    /// Raw source lines (1-based access via [`SourceFile::line`]).
+    pub lines: Vec<String>,
+    /// Line spans (inclusive) of `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// The raw text of 1-based `line` (empty for out-of-range).
+    pub fn line(&self, line: u32) -> &str {
+        self.lines.get(line as usize - 1).map_or("", String::as_str)
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// All comment text attached to the lines `[from, to]` joined together.
+    pub fn comments_in(&self, from: u32, to: u32) -> String {
+        let mut out = String::new();
+        for (l, t) in &self.comments {
+            if *l >= from && *l <= to {
+                out.push_str(t);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Lexes `src`, recording `path` for diagnostics.
+pub fn lex(path: &str, src: &str) -> SourceFile {
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let text = text.trim_start_matches('/').trim_start_matches('!').to_string();
+                comments.push((line, text));
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1u32;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i.min(n)].iter().collect();
+                comments.push((start_line, text));
+            }
+            '"' => {
+                let start_line = line;
+                let start = i + 1;
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => break,
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: chars[start..i.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = (i + 1).min(n);
+            }
+            // Raw (and raw byte) strings: r"…", r#"…"#, br##"…"##, …
+            'r' | 'b' if is_raw_string_start(&chars, i) => {
+                let mut j = i;
+                if chars[j] == 'b' {
+                    j += 1;
+                }
+                j += 1; // past 'r'
+                let mut hashes = 0usize;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                j += 1; // past the opening quote
+                let content_start = j;
+                let start_line = line;
+                let mut content_end = j;
+                // Scan for `"` followed by `hashes` hash marks.
+                loop {
+                    if j >= n {
+                        break;
+                    }
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                        continue;
+                    }
+                    if chars[j] == '"' {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while k < n && seen < hashes && chars[k] == '#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            content_end = j;
+                            j = k;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: chars[content_start..content_end.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '\'' => {
+                // Lifetime (`'g`) vs char literal (`'a'`, `'\n'`).
+                if i + 2 < n
+                    && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                    && chars[i + 2] != '\''
+                {
+                    // Lifetime: consume the ident, emit nothing.
+                    i += 2;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    // Char literal.
+                    i += 1;
+                    while i < n {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // A `b"…"`/`r"…"` prefix never reaches here (handled above).
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part — but never swallow a `..` range operator.
+                if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c => {
+                tokens.push(Token { kind: TokKind::Punct, text: c.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+
+    let lines = src.lines().map(str::to_string).collect();
+    let test_spans = find_test_spans(&tokens);
+    SourceFile { path: path.to_string(), tokens, comments, lines, test_spans }
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j >= n || chars[j] != 'r' {
+            // Plain b"…" byte string: lex `b` as an ident, then the '"' arm
+            // picks up the literal on the next round.
+            return false;
+        }
+    }
+    if j >= n || chars[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < n && chars[j] == '#' {
+        j += 1;
+    }
+    j < n && chars[j] == '"'
+}
+
+/// Finds line spans of items annotated `#[cfg(test)]` (and `#[test]`,
+/// `#[cfg(all(test, …))]`): the attribute plus the next brace-balanced block.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#')
+            && i + 1 < tokens.len()
+            && tokens[i + 1].is_punct('[')
+        {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut is_test_attr = false;
+            let mut saw_cfg_or_bare_test = false;
+            if j < tokens.len() && tokens[j].is_ident("test") {
+                saw_cfg_or_bare_test = true; // #[test]
+            }
+            if j < tokens.len() && tokens[j].is_ident("cfg") {
+                saw_cfg_or_bare_test = true; // #[cfg(…)] — check for `test` inside
+            }
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                } else if saw_cfg_or_bare_test && tokens[j].is_ident("test") {
+                    is_test_attr = true;
+                }
+                j += 1;
+            }
+            if saw_cfg_or_bare_test && i + 2 < tokens.len() && tokens[i + 2].is_ident("test") {
+                is_test_attr = true; // #[test] with nothing else
+            }
+            if is_test_attr {
+                let start_line = tokens[i].line;
+                // Find the item's body: the next `{` at depth 0 of parens
+                // (a `fn` signature may contain parenthesized types), then
+                // its matching `}`. Items without a body (e.g. `use`) end at
+                // the first `;` before any `{`.
+                let mut k = j;
+                let mut end_line = start_line;
+                while k < tokens.len() {
+                    if tokens[k].is_punct(';') {
+                        end_line = tokens[k].line;
+                        break;
+                    }
+                    if tokens[k].is_punct('{') {
+                        let mut bd = 1i32;
+                        k += 1;
+                        while k < tokens.len() && bd > 0 {
+                            if tokens[k].is_punct('{') {
+                                bd += 1;
+                            } else if tokens[k].is_punct('}') {
+                                bd -= 1;
+                            }
+                            k += 1;
+                        }
+                        end_line = tokens[k.saturating_sub(1).min(tokens.len() - 1)].line;
+                        break;
+                    }
+                    k += 1;
+                }
+                spans.push((start_line, end_line));
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Lexes a file from disk. Returns `None` if unreadable.
+pub fn lex_file(path: &std::path::Path, rel: &str) -> Option<SourceFile> {
+    let src = std::fs::read_to_string(path).ok()?;
+    Some(lex(rel, &src))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_lifetimes() {
+        let f = lex(
+            "t.rs",
+            "// SAFETY: top\nfn a<'g>(x: &'g str) { let c = 'x'; let s = \"no // here\"; }\n",
+        );
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.comments[0].1.contains("SAFETY"));
+        assert!(f.tokens.iter().any(|t| t.is_ident("fn")));
+        // Neither the char literal, the lifetime, nor the string content
+        // produced identifier tokens.
+        assert!(!f.tokens.iter().any(|t| t.is_ident("here")));
+        assert!(!f.tokens.iter().any(|t| t.is_ident("g")));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let f = lex(
+            "t.rs",
+            "let a = r#\"SeqCst \"inner\" \"#; /* outer /* SeqCst */ still */ let b = 1;\n",
+        );
+        assert!(!f.tokens.iter().any(|t| t.is_ident("SeqCst")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let src = "fn live() { x.load(SeqCst); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.load(SeqCst); }\n}\nfn tail() {}\n";
+        let f = lex("t.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(3));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let f = lex("t.rs", "let s = \"a\nb\nc\";\nfn after() {}\n");
+        let after = f.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! Rule family 1: the per-field atomic-ordering policy and the
+//! workspace-wide `SeqCst` ban.
+
+use crate::findings::{fingerprint, Finding, Rule};
+use crate::lexer::{SourceFile, TokKind};
+use crate::policy::Policy;
+use std::collections::BTreeSet;
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic-access ops the policy classifies.
+fn op_kind(name: &str) -> Option<&'static str> {
+    match name {
+        "load" => Some("load"),
+        "store" => Some("store"),
+        "swap" | "compare_exchange" | "compare_exchange_weak" => Some("rmw"),
+        n if n.starts_with("fetch_") => Some("rmw"),
+        _ => None,
+    }
+}
+
+pub fn check(files: &[SourceFile], policy: &Policy, out: &mut Vec<Finding>) {
+    field_policy(files, policy, out);
+    seqcst_ban(files, policy, out);
+}
+
+/// Every `.{field}.{op}(… Ordering …)` in the core tree must use exactly
+/// the orderings the manifest's field table allows.
+fn field_policy(files: &[SourceFile], policy: &Policy, out: &mut Vec<Finding>) {
+    let core_prefix = format!("{}/", policy.scope.core_src);
+    let mut allow_used = vec![false; policy.atomic_allows.len()];
+
+    for f in files {
+        if !f.path.starts_with(&core_prefix) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            // Pattern: `.` field `.` op `(`
+            if !toks[i].is_punct('.') || i + 4 >= toks.len() {
+                continue;
+            }
+            let (field_t, dot2, op_t, paren) = (&toks[i + 1], &toks[i + 2], &toks[i + 3], &toks[i + 4]);
+            if field_t.kind != TokKind::Ident || !dot2.is_punct('.') || op_t.kind != TokKind::Ident
+            {
+                continue;
+            }
+            let Some(fp) = policy.fields.get(&field_t.text) else { continue };
+            let Some(kind) = op_kind(&op_t.text) else { continue };
+            if !paren.is_punct('(') {
+                continue;
+            }
+            let line = op_t.line;
+            if f.in_test_code(line) {
+                continue;
+            }
+            // Collect the orderings named inside the call's parens.
+            let mut depth = 1i32;
+            let mut j = i + 5;
+            let mut found = Vec::new();
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('(') {
+                    depth += 1;
+                } else if toks[j].is_punct(')') {
+                    depth -= 1;
+                } else if toks[j].kind == TokKind::Ident
+                    && ORDERINGS.contains(&toks[j].text.as_str())
+                {
+                    found.push(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            let allowed: Vec<String> = match kind {
+                "load" => fp.load_union(),
+                "store" => fp.store.clone(),
+                _ => fp.rmw.clone(),
+            };
+            if found.is_empty() {
+                out.push(Finding::new(
+                    Rule::AtomicPolicy,
+                    &f.path,
+                    line,
+                    fingerprint(&[&field_t.text, &op_t.text, "implicit"]),
+                    format!(
+                        "`.{}.{}()` has no explicit `Ordering` argument; the policy for `{}` requires one of [{}]",
+                        field_t.text,
+                        op_t.text,
+                        field_t.text,
+                        allowed.join(", ")
+                    ),
+                ));
+                continue;
+            }
+            for ord in found {
+                if allowed.contains(&ord) {
+                    continue;
+                }
+                // Site-level manifest exemption?
+                let hit = policy.atomic_allows.iter().position(|a| {
+                    a.file == f.path
+                        && a.field == field_t.text
+                        && a.op == op_t.text
+                        && a.ordering == ord
+                });
+                if let Some(k) = hit {
+                    allow_used[k] = true;
+                    continue;
+                }
+                out.push(Finding::new(
+                    Rule::AtomicPolicy,
+                    &f.path,
+                    line,
+                    fingerprint(&[&field_t.text, &op_t.text, &ord]),
+                    format!(
+                        "`.{}.{}(Ordering::{})` violates the field policy: `{}` {} must be one of [{}] (see ordering_policy.toml / node.rs table)",
+                        field_t.text,
+                        op_t.text,
+                        ord,
+                        field_t.text,
+                        kind,
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (k, used) in allow_used.iter().enumerate() {
+        if !used {
+            let a = &policy.atomic_allows[k];
+            out.push(Finding::new(
+                Rule::Manifest,
+                "ordering_policy.toml",
+                0,
+                fingerprint(&["stale-atomic-allow", &a.file, &a.field, &a.op, &a.ordering]),
+                format!(
+                    "stale [[atomics.allow]]: no `.{}.{}(Ordering::{})` site remains in {}",
+                    a.field, a.op, a.ordering, a.file
+                ),
+            ));
+        }
+    }
+}
+
+/// `SeqCst` is banned workspace-wide outside the explicit file allowlist.
+fn seqcst_ban(files: &[SourceFile], policy: &Policy, out: &mut Vec<Finding>) {
+    let allowed: BTreeSet<&str> =
+        policy.seqcst_allows.iter().map(|a| a.file.as_str()).collect();
+    let mut file_has: BTreeSet<&str> = BTreeSet::new();
+
+    for f in files {
+        let is_allowed = allowed.contains(f.path.as_str());
+        for t in &f.tokens {
+            if t.kind == TokKind::Ident && t.text == "SeqCst" && !f.in_test_code(t.line) {
+                if is_allowed {
+                    file_has.insert(f.path.as_str());
+                } else {
+                    out.push(Finding::new(
+                        Rule::SeqCstBan,
+                        &f.path,
+                        t.line,
+                        fingerprint(&["seqcst", f.line(t.line).trim()]),
+                        "`SeqCst` is banned workspace-wide (node.rs: the tree uses no SeqCst \
+                         anywhere); use the per-field ordering from the policy table or add a \
+                         justified [[seqcst.allow]] entry"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    for a in &policy.seqcst_allows {
+        if !file_has.contains(a.file.as_str()) {
+            out.push(Finding::new(
+                Rule::Manifest,
+                "ordering_policy.toml",
+                0,
+                fingerprint(&["stale-seqcst-allow", &a.file]),
+                format!("stale [[seqcst.allow]]: {} no longer contains SeqCst", a.file),
+            ));
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Rule family 4: failpoint / trace-probe coverage.
+//!
+//! The chaos harness and the flight recorder are only as good as their
+//! instrumentation: a write window that loses its failpoint or its lo-trace
+//! probe silently drops out of fault-injection and latency evidence. This
+//! rule pins the wiring:
+//!
+//! * the manifest's `[coverage.windows]` table must name exactly the
+//!   catalog (`FailPoint::ALL` in fail.rs) — no orphan windows, no
+//!   uncataloged failpoints;
+//! * each window's declared file must actually reference its
+//!   `FailPoint::<Variant>`;
+//! * each window's `trace_phase` must be a real `Phase` (the `phases!`
+//!   list in the trace crate) that the core tree references;
+//! * every `*Wait` phase must have a `*Hold` counterpart, and the
+//!   `wait_phase` (sync.rs) and `hold_phase` (poison.rs) LockClass maps
+//!   must cover the same classes with matching Wait/Hold pairs — a
+//!   `lock_traced` wait with no matching hold probe would make every
+//!   lock-window histogram lie.
+
+use crate::findings::{fingerprint, Finding, Rule};
+use crate::lexer::{SourceFile, TokKind};
+use crate::policy::Policy;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn check(files: &[SourceFile], policy: &Policy, out: &mut Vec<Finding>) {
+    let Some(fail) = files.iter().find(|f| f.path == policy.scope.fail_catalog) else {
+        out.push(Finding::new(
+            Rule::Coverage,
+            &policy.scope.fail_catalog,
+            0,
+            "missing-fail-catalog",
+            "failpoint catalog file not found in the scanned workspace".to_string(),
+        ));
+        return;
+    };
+    let Some(trace) = files.iter().find(|f| f.path == policy.scope.trace_lib) else {
+        out.push(Finding::new(
+            Rule::Coverage,
+            &policy.scope.trace_lib,
+            0,
+            "missing-trace-lib",
+            "trace library file not found in the scanned workspace".to_string(),
+        ));
+        return;
+    };
+
+    // --- parse the catalogs -------------------------------------------------
+    let variants = failpoint_variants(fail);
+    let names = failpoint_names(fail); // variant -> kebab name
+    let phases = phase_list(trace); // variant names from phases! { … }
+
+    if variants.is_empty() || names.is_empty() {
+        out.push(Finding::new(
+            Rule::Coverage,
+            &fail.path,
+            0,
+            "unparsable-fail-catalog",
+            "could not extract the FailPoint enum/name map from the catalog".to_string(),
+        ));
+        return;
+    }
+    for v in &variants {
+        if !names.contains_key(v) {
+            out.push(Finding::new(
+                Rule::Coverage,
+                &fail.path,
+                0,
+                fingerprint(&["unnamed-failpoint", v]),
+                format!("FailPoint::{v} has no arm in `name()`"),
+            ));
+        }
+    }
+
+    // --- windows ↔ catalog --------------------------------------------------
+    let window_names: BTreeSet<&str> =
+        policy.windows.iter().map(|w| w.name.as_str()).collect();
+    let catalog_names: BTreeSet<&str> =
+        names.values().map(String::as_str).collect();
+    for missing in catalog_names.difference(&window_names) {
+        out.push(Finding::new(
+            Rule::Coverage,
+            "ordering_policy.toml",
+            0,
+            fingerprint(&["uncovered-failpoint", missing]),
+            format!(
+                "failpoint `{missing}` has no [coverage.windows.{missing}] entry — every \
+                 cataloged write window must declare its site and trace phase"
+            ),
+        ));
+    }
+    for orphan in window_names.difference(&catalog_names) {
+        out.push(Finding::new(
+            Rule::Coverage,
+            "ordering_policy.toml",
+            0,
+            fingerprint(&["orphan-window", orphan]),
+            format!("[coverage.windows.{orphan}] names no cataloged failpoint"),
+        ));
+    }
+
+    // --- per-window checks --------------------------------------------------
+    let kebab_to_variant: BTreeMap<&str, &str> =
+        names.iter().map(|(v, k)| (k.as_str(), v.as_str())).collect();
+    let core_prefix = format!("{}/", policy.scope.core_src);
+    for w in &policy.windows {
+        let Some(variant) = kebab_to_variant.get(w.name.as_str()) else { continue };
+        let Some(file) = files.iter().find(|f| f.path == w.file) else {
+            out.push(Finding::new(
+                Rule::Coverage,
+                &w.file,
+                0,
+                fingerprint(&["window-file-missing", &w.name]),
+                format!("[coverage.windows.{}] declares a file that was not scanned", w.name),
+            ));
+            continue;
+        };
+        if !references(file, "FailPoint", variant) {
+            out.push(Finding::new(
+                Rule::Coverage,
+                &w.file,
+                0,
+                fingerprint(&["window-fp-missing", &w.name]),
+                format!(
+                    "write window `{}` lost its failpoint: {} no longer references \
+                     FailPoint::{variant}",
+                    w.name, w.file
+                ),
+            ));
+        }
+        if !phases.contains(&w.trace_phase) {
+            out.push(Finding::new(
+                Rule::Coverage,
+                "ordering_policy.toml",
+                0,
+                fingerprint(&["bad-phase", &w.name, &w.trace_phase]),
+                format!(
+                    "[coverage.windows.{}] names trace phase `{}`, which is not in the \
+                     trace crate's phases! list",
+                    w.name, w.trace_phase
+                ),
+            ));
+            continue;
+        }
+        let probed = files.iter().any(|f| {
+            f.path.starts_with(&core_prefix) && references(f, "Phase", &w.trace_phase)
+        });
+        if !probed {
+            out.push(Finding::new(
+                Rule::Coverage,
+                &w.file,
+                0,
+                fingerprint(&["window-probe-missing", &w.name, &w.trace_phase]),
+                format!(
+                    "write window `{}` has no lo-trace probe: Phase::{} is never referenced \
+                     in {}",
+                    w.name, w.trace_phase, policy.scope.core_src
+                ),
+            ));
+        }
+    }
+
+    // --- every failpoint variant fires somewhere in core --------------------
+    for v in &variants {
+        let used = files.iter().any(|f| {
+            f.path.starts_with(&core_prefix)
+                && f.path != policy.scope.fail_catalog
+                && references(f, "FailPoint", v)
+        });
+        if !used {
+            out.push(Finding::new(
+                Rule::Coverage,
+                &fail.path,
+                0,
+                fingerprint(&["dead-failpoint", v]),
+                format!(
+                    "FailPoint::{v} is cataloged but never fired from {}",
+                    policy.scope.core_src
+                ),
+            ));
+        }
+    }
+
+    // --- wait/hold pairing --------------------------------------------------
+    for p in &phases {
+        if let Some(prefix) = p.strip_suffix("Wait") {
+            let hold = format!("{prefix}Hold");
+            if !phases.contains(&hold) {
+                out.push(Finding::new(
+                    Rule::Coverage,
+                    &trace.path,
+                    0,
+                    fingerprint(&["unpaired-wait", p]),
+                    format!("phase `{p}` has no `{hold}` counterpart — every traced lock \
+                             wait needs a matching hold span"),
+                ));
+            }
+        }
+    }
+    let wait_map = class_phase_map(files, &policy.scope.wait_map_file);
+    let hold_map = class_phase_map(files, &policy.scope.hold_map_file);
+    if wait_map.is_empty() {
+        out.push(Finding::new(
+            Rule::Coverage,
+            &policy.scope.wait_map_file,
+            0,
+            "no-wait-map",
+            "could not extract a LockClass -> Phase wait map".to_string(),
+        ));
+    }
+    if hold_map.is_empty() {
+        out.push(Finding::new(
+            Rule::Coverage,
+            &policy.scope.hold_map_file,
+            0,
+            "no-hold-map",
+            "could not extract a LockClass -> Phase hold map".to_string(),
+        ));
+    }
+    for (class, wait) in &wait_map {
+        match hold_map.get(class) {
+            None => out.push(Finding::new(
+                Rule::Coverage,
+                &policy.scope.hold_map_file,
+                0,
+                fingerprint(&["no-hold-for-class", class]),
+                format!(
+                    "LockClass::{class} has a wait phase (`{wait}`) but no hold phase — \
+                     its lock_traced waits would never close into hold spans"
+                ),
+            )),
+            Some(hold) => {
+                let ok = wait.strip_suffix("Wait").is_some_and(|p| hold == &format!("{p}Hold"));
+                if !ok {
+                    out.push(Finding::new(
+                        Rule::Coverage,
+                        &policy.scope.hold_map_file,
+                        0,
+                        fingerprint(&["mismatched-pair", class]),
+                        format!(
+                            "LockClass::{class} maps to wait `{wait}` but hold `{hold}` — \
+                             not a Wait/Hold pair of the same lock class"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for class in hold_map.keys() {
+        if !wait_map.contains_key(class) {
+            out.push(Finding::new(
+                Rule::Coverage,
+                &policy.scope.wait_map_file,
+                0,
+                fingerprint(&["no-wait-for-class", class]),
+                format!("LockClass::{class} has a hold phase but no wait phase"),
+            ));
+        }
+    }
+}
+
+/// Variants of `enum FailPoint { … }`.
+fn failpoint_variants(f: &SourceFile) -> Vec<String> {
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("enum")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("FailPoint"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            let mut depth = 1i32;
+            let mut j = i + 3;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                } else if depth == 1
+                    && toks[j].kind == TokKind::Ident
+                    && toks[j].text.starts_with(char::is_uppercase)
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct(',') || t.is_punct('}'))
+                {
+                    out.push(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            break;
+        }
+    }
+    out
+}
+
+/// `FailPoint::Variant => "kebab-name"` arms (the `name()` match).
+fn failpoint_names(f: &SourceFile) -> BTreeMap<String, String> {
+    let toks = &f.tokens;
+    let mut out = BTreeMap::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("FailPoint")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('='))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct('>'))
+        {
+            if let Some(s) = toks.get(i + 6).and_then(|t| t.as_str_lit()) {
+                out.insert(toks[i + 3].text.clone(), s.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Variant names from the `phases! { Variant => "name", … }` invocation.
+fn phase_list(f: &SourceFile) -> Vec<String> {
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("phases")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            let mut depth = 1i32;
+            let mut j = i + 3;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                } else if depth == 1
+                    && toks[j].kind == TokKind::Ident
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+                    && toks.get(j + 2).is_some_and(|t| t.is_punct('>'))
+                {
+                    out.push(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            break;
+        }
+    }
+    out
+}
+
+/// `LockClass::C => Some(…Phase::P)` arms anywhere in `path`.
+fn class_phase_map(files: &[SourceFile], path: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Some(f) = files.iter().find(|f| f.path == path) else {
+        return out;
+    };
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if toks[i].is_ident("LockClass")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('='))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct('>'))
+        {
+            // Scan a few tokens ahead for `Phase :: P`.
+            let limit = (i + 16).min(toks.len());
+            let mut j = i + 6;
+            while j + 2 < limit {
+                if toks[j].is_ident("Phase")
+                    && toks[j + 1].is_punct(':')
+                    && toks[j + 2].is_punct(':')
+                {
+                    if let Some(p) = toks.get(j + 3) {
+                        if p.kind == TokKind::Ident {
+                            out.insert(toks[i + 3].text.clone(), p.text.clone());
+                        }
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether `f` contains the token sequence `base :: member`.
+fn references(f: &SourceFile, base: &str, member: &str) -> bool {
+    let toks = &f.tokens;
+    (0..toks.len()).any(|i| {
+        toks[i].is_ident(base)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident(member))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_catalog_shapes() {
+        let f = lex(
+            "fail.rs",
+            "pub enum FailPoint { A, B }\nimpl FailPoint { pub const fn name(self) -> &'static str { match self { FailPoint::A => \"a-a\", FailPoint::B => \"b-b\" } } }\n",
+        );
+        assert_eq!(failpoint_variants(&f), vec!["A", "B"]);
+        let names = failpoint_names(&f);
+        assert_eq!(names["A"], "a-a");
+        assert_eq!(names["B"], "b-b");
+    }
+
+    #[test]
+    fn parses_phases_and_class_maps() {
+        let f = lex(
+            "lib.rs",
+            "phases! {\n /// doc\n AWait => \"a-wait\",\n AHold => \"a-hold\",\n}\n",
+        );
+        assert_eq!(phase_list(&f), vec!["AWait", "AHold"]);
+        let m = lex(
+            "sync.rs",
+            "fn wait_phase(c: LockClass) -> Option<Phase> { match c { LockClass::Succ => Some(lo_trace::Phase::SuccLockWait), LockClass::Tree => Some(lo_trace::Phase::TreeLockWait) } }",
+        );
+        let map = class_phase_map(&[m], "sync.rs");
+        assert_eq!(map["Succ"], "SuccLockWait");
+        assert_eq!(map["Tree"], "TreeLockWait");
+    }
+}

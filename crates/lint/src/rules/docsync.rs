@@ -1,0 +1,191 @@
+//! Doc-sync: the manifest's `[atomics.fields]` tables and the per-field
+//! memory-ordering table in the node.rs module docs must agree.
+//!
+//! The markdown table is the human-reviewed protocol statement (ISSUE 3);
+//! `ordering_policy.toml` is its machine-readable twin that the atomics
+//! rule enforces. If they drift, whichever one a reviewer reads is lying
+//! about what the other allows — so drift is itself a lint error (and a
+//! dedicated unit test, runnable without a full lint pass).
+
+use crate::findings::{fingerprint, Finding, Rule};
+use crate::lexer::SourceFile;
+use crate::policy::{FieldPolicy, Policy};
+use std::collections::BTreeMap;
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One parsed table row, expanded to one entry per field the row names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocRow {
+    pub store: Vec<String>,
+    pub rmw: Vec<String>,
+    pub load_lockfree: Vec<String>,
+    pub load_locked: Vec<String>,
+}
+
+/// Parses the markdown ordering table out of a file's comments.
+pub fn parse_doc_table(f: &SourceFile) -> BTreeMap<String, DocRow> {
+    let mut out = BTreeMap::new();
+    for (_, text) in &f.comments {
+        let line = text.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // `| field | writes | lock-free reads | reads under lock |` splits
+        // into ["", field, writes, lf, locked, ""].
+        if cells.len() < 6 {
+            continue;
+        }
+        let field_cell = cells[1];
+        if field_cell.contains("field") || field_cell.contains("---") {
+            continue; // header / separator
+        }
+        let fields = backticked(field_cell);
+        if fields.is_empty() {
+            continue;
+        }
+        let writes = orderings_in(cells[2]);
+        let is_rmw = cells[2].contains("swap")
+            || cells[2].contains("compare_exchange")
+            || cells[2].contains("fetch");
+        let row = DocRow {
+            store: if is_rmw { Vec::new() } else { writes.clone() },
+            rmw: if is_rmw { writes } else { Vec::new() },
+            load_lockfree: orderings_in(cells[3]),
+            load_locked: orderings_in(cells[4]),
+        };
+        for field in fields {
+            out.insert(field, row.clone());
+        }
+    }
+    out
+}
+
+/// Compares a parsed doc table against the manifest's field policies,
+/// returning human-readable mismatch descriptions (empty = in sync).
+pub fn diff(doc: &BTreeMap<String, DocRow>, fields: &BTreeMap<String, FieldPolicy>) -> Vec<String> {
+    let mut errs = Vec::new();
+    for (name, row) in doc {
+        let Some(fp) = fields.get(name) else {
+            errs.push(format!(
+                "field `{name}` is in the node.rs table but has no [atomics.fields.{name}] \
+                 manifest entry"
+            ));
+            continue;
+        };
+        let pairs = [
+            ("store", &row.store, &fp.store),
+            ("rmw", &row.rmw, &fp.rmw),
+            ("load_lockfree", &row.load_lockfree, &fp.load_lockfree),
+            ("load_locked", &row.load_locked, &fp.load_locked),
+        ];
+        for (what, doc_v, man_v) in pairs {
+            let mut a = doc_v.clone();
+            let mut b = man_v.clone();
+            a.sort();
+            b.sort();
+            if a != b {
+                errs.push(format!(
+                    "field `{name}` {what}: node.rs table says [{}], manifest says [{}]",
+                    a.join(", "),
+                    b.join(", ")
+                ));
+            }
+        }
+    }
+    for name in fields.keys() {
+        if !doc.contains_key(name) {
+            errs.push(format!(
+                "field `{name}` is in the manifest but missing from the node.rs table"
+            ));
+        }
+    }
+    errs
+}
+
+pub fn check(files: &[SourceFile], policy: &Policy, out: &mut Vec<Finding>) {
+    let Some(node) = files.iter().find(|f| f.path == policy.scope.node_doc) else {
+        out.push(Finding::new(
+            Rule::Manifest,
+            &policy.scope.node_doc,
+            0,
+            "missing-node-doc",
+            "doc-sync target file not found in the scanned workspace".to_string(),
+        ));
+        return;
+    };
+    let doc = parse_doc_table(node);
+    if doc.is_empty() {
+        out.push(Finding::new(
+            Rule::Manifest,
+            &policy.scope.node_doc,
+            0,
+            "no-doc-table",
+            "no per-field ordering table found in the module docs".to_string(),
+        ));
+        return;
+    }
+    for err in diff(&doc, &policy.fields) {
+        out.push(Finding::new(
+            Rule::Manifest,
+            &policy.scope.node_doc,
+            0,
+            fingerprint(&["doc-drift", &err]),
+            format!("doc-sync: {err}"),
+        ));
+    }
+}
+
+fn backticked(cell: &str) -> Vec<String> {
+    cell.split('`')
+        .enumerate()
+        .filter(|(i, s)| i % 2 == 1 && !s.is_empty() && !ORDERINGS.contains(s))
+        .map(|(_, s)| s.to_string())
+        .collect()
+}
+
+fn orderings_in(cell: &str) -> Vec<String> {
+    ORDERINGS
+        .iter()
+        .filter(|o| cell.contains(**o))
+        .map(|o| (*o).to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_rows_and_diffs() {
+        let f = lex(
+            "node.rs",
+            "//! | field | writes | lock-free reads | reads under the guarding lock |\n\
+             //! |---|---|---|---|\n\
+             //! | `mark`/`zombie` | `Release` | `Acquire` | `Relaxed` |\n\
+             //! | `value` | `AcqRel` swap | `Acquire` | — |\n",
+        );
+        let doc = parse_doc_table(&f);
+        assert_eq!(doc.len(), 3);
+        assert_eq!(doc["mark"].store, ["Release"]);
+        assert_eq!(doc["value"].rmw, ["AcqRel"]);
+        assert!(doc["value"].store.is_empty());
+        assert!(doc["value"].load_locked.is_empty());
+
+        let mut fields = BTreeMap::new();
+        fields.insert(
+            "mark".to_string(),
+            FieldPolicy {
+                store: vec!["Release".into()],
+                load_lockfree: vec!["Acquire".into()],
+                load_locked: vec!["Relaxed".into()],
+                rmw: vec![],
+            },
+        );
+        // zombie + value missing from manifest, mark matches.
+        let errs = diff(&doc, &fields);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Rule family 3: unsafe hygiene.
+//!
+//! The workspace lints already deny `clippy::undocumented_unsafe_blocks`,
+//! so every `unsafe` block carries *a* `// SAFETY:` comment. This rule adds
+//! the protocol link: inside the manifest's `tag_roots` (the core tree and
+//! the reclamation crate — the code whose soundness rests on the paper's
+//! invariants), the SAFETY comment must also carry an `[inv:<tag>]` marker
+//! naming a registered invariant, and every registered tag must be defined
+//! in DESIGN.md's invariant registry. A SAFETY comment that names its
+//! invariant can be checked against the design argument in review; one that
+//! just says "this is fine" cannot.
+
+use crate::findings::{fingerprint, Finding, Rule};
+use crate::lexer::SourceFile;
+use crate::policy::Policy;
+
+/// Lines scanned upward from an `unsafe` keyword for its SAFETY comment
+/// (comments may sit above attributes and blank lines).
+const WINDOW: u32 = 10;
+
+pub fn check(
+    files: &[SourceFile],
+    policy: &Policy,
+    design_doc: Option<&str>,
+    out: &mut Vec<Finding>,
+) {
+    // Every registered tag must be defined in DESIGN.md's registry.
+    if let Some(doc) = design_doc {
+        for tag in &policy.unsafe_tags {
+            if !doc.contains(&format!("inv:{tag}")) {
+                out.push(Finding::new(
+                    Rule::Manifest,
+                    &policy.scope.design_doc,
+                    0,
+                    fingerprint(&["unregistered-tag", tag]),
+                    format!(
+                        "[unsafe] tag `{tag}` is not defined in {} (expected an `inv:{tag}` \
+                         registry entry)",
+                        policy.scope.design_doc
+                    ),
+                ));
+            }
+        }
+    }
+
+    for f in files {
+        let needs_tag = policy
+            .scope
+            .tag_roots
+            .iter()
+            .any(|r| f.path.starts_with(&format!("{r}/")) || f.path == *r);
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("unsafe") {
+                continue;
+            }
+            let line = toks[i].line;
+            let next = toks.get(i + 1);
+            let comments =
+                f.comments_in(line.saturating_sub(WINDOW).max(1), line);
+            match next {
+                // `unsafe {` — the block form.
+                Some(n) if n.is_punct('{') => {
+                    let has_safety = comments.contains("SAFETY");
+                    if !has_safety {
+                        out.push(Finding::new(
+                            Rule::UnsafeHygiene,
+                            &f.path,
+                            line,
+                            fingerprint(&["no-safety", f.line(line).trim()]),
+                            "`unsafe` block without an adjacent `// SAFETY:` comment".to_string(),
+                        ));
+                        continue;
+                    }
+                    if !needs_tag || f.in_test_code(line) {
+                        continue;
+                    }
+                    let tags = extract_tags(&comments);
+                    if tags.is_empty() {
+                        out.push(Finding::new(
+                            Rule::UnsafeHygiene,
+                            &f.path,
+                            line,
+                            fingerprint(&["no-inv-tag", f.line(line).trim()]),
+                            format!(
+                                "SAFETY comment names no invariant: inside {} every unsafe \
+                                 block's SAFETY comment must carry an `[inv:<tag>]` marker \
+                                 from the DESIGN.md registry ({})",
+                                policy
+                                    .scope
+                                    .tag_roots
+                                    .join(", "),
+                                policy.unsafe_tags.join(", ")
+                            ),
+                        ));
+                    } else {
+                        for tag in tags {
+                            if !policy.unsafe_tags.contains(&tag) {
+                                out.push(Finding::new(
+                                    Rule::UnsafeHygiene,
+                                    &f.path,
+                                    line,
+                                    fingerprint(&["unknown-inv-tag", &tag]),
+                                    format!(
+                                        "SAFETY comment names unregistered invariant \
+                                         `[inv:{tag}]`; registered tags: {}",
+                                        policy.unsafe_tags.join(", ")
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                // `unsafe fn name(` — needs a `# Safety` doc section (or an
+                // explicit SAFETY comment). `unsafe fn(` is a fn-pointer
+                // type, not a declaration.
+                Some(n) if n.is_ident("fn") => {
+                    let is_decl = toks
+                        .get(i + 2)
+                        .is_some_and(|t| !t.is_punct('('));
+                    if !is_decl {
+                        continue;
+                    }
+                    let doc = f.comments_in(line.saturating_sub(30).max(1), line);
+                    if !doc.contains("Safety") && !doc.contains("SAFETY") {
+                        out.push(Finding::new(
+                            Rule::UnsafeHygiene,
+                            &f.path,
+                            line,
+                            fingerprint(&["unsafe-fn-no-doc", f.line(line).trim()]),
+                            "`unsafe fn` without a `# Safety` doc section describing its \
+                             contract"
+                                .to_string(),
+                        ));
+                    }
+                }
+                // `unsafe impl Send/Sync` — needs a SAFETY comment too.
+                Some(n) if n.is_ident("impl") && !comments.contains("SAFETY") => {
+                    out.push(Finding::new(
+                        Rule::UnsafeHygiene,
+                        &f.path,
+                        line,
+                        fingerprint(&["unsafe-impl-no-safety", f.line(line).trim()]),
+                        "`unsafe impl` without an adjacent `// SAFETY:` comment justifying \
+                         the auto-trait claim"
+                            .to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Extracts `tag` from every `[inv:tag]` occurrence in `text`.
+fn extract_tags(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("[inv:") {
+        rest = &rest[pos + 5..];
+        if let Some(end) = rest.find(']') {
+            out.push(rest[..end].trim().to_string());
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_extraction() {
+        assert_eq!(
+            extract_tags("SAFETY: holds because [inv:lock-exclusion] and [inv:arena-slot]."),
+            vec!["lock-exclusion".to_string(), "arena-slot".to_string()]
+        );
+        assert!(extract_tags("SAFETY: trust me").is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Raw locks are allowlisted for this file via [[locks.raw_allow]].
+
+pub struct A {
+    m: Mutex<()>,
+}
+
+impl A {
+    pub fn with(&self) {
+        let _g = self.m.lock();
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture failpoint catalog. WinB is never fired (seeds dead-failpoint and
+//! win-b's window-fp-missing); WinC has no window entry in the manifest.
+
+pub enum FailPoint {
+    WinA,
+    WinB,
+    WinC,
+}
+
+impl FailPoint {
+    pub const fn name(self) -> &'static str {
+        match self {
+            FailPoint::WinA => "win-a",
+            FailPoint::WinB => "win-b",
+            FailPoint::WinC => "win-c",
+        }
+    }
+}

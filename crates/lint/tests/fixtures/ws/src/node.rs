@@ -1,0 +1,8 @@
+//! Fixture doc-sync target. The locked-reads column deliberately disagrees
+//! with the manifest (`Acquire` here, `Relaxed` there).
+//!
+//! | field  | writes          | lock-free reads | reads under the guarding lock |
+//! |--------|-----------------|-----------------|-------------------------------|
+//! | `mark` | `Release` store | `Acquire`       | `Acquire`                     |
+
+pub struct N;

@@ -1,0 +1,9 @@
+//! Fixture hold-side map: LockClass::Tree is deliberately missing, seeding
+//! the no-hold-for-class finding.
+
+fn hold_phase(class: LockClass) -> Option<Phase> {
+    match class {
+        LockClass::Succ => Some(Phase::SuccLockHold),
+        _ => None,
+    }
+}

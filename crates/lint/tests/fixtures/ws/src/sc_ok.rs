@@ -1,0 +1,5 @@
+//! SeqCst is allowlisted for this file in the fixture manifest.
+
+pub fn fence() {
+    std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+}

@@ -1,0 +1,11 @@
+//! Fixture trace library. PeLockWait has no PeLockHold twin, seeding the
+//! unpaired-wait finding.
+
+phases! {
+    Descent => "descent",
+    SuccLockWait => "succ-lock-wait",
+    SuccLockHold => "succ-lock-hold",
+    TreeLockWait => "tree-lock-wait",
+    TreeLockHold => "tree-lock-hold",
+    PeLockWait => "pe-lock-wait",
+}

@@ -1,0 +1,106 @@
+//! Seeded unsafe-hygiene violations, spaced so the 10-line comment windows
+//! of adjacent sites never overlap.
+
+pub struct W(u32);
+
+impl W {
+    // seed: an unjustified unsafe block (no adjacent comment at all)
+    fn a(&self, p: *const u32) -> u32 {
+        unsafe { *p }
+    }
+
+    fn pad_a1(&self) -> u32 {
+        self.0
+    }
+
+    fn pad_a2(&self) -> u32 {
+        self.0 + 1
+    }
+
+    // seed: justified but names no invariant
+    fn b(&self, p: *const u32) -> u32 {
+        // SAFETY: p is valid for reads.
+        unsafe { *p }
+    }
+
+    fn pad_b1(&self) -> u32 {
+        self.0
+    }
+
+    fn pad_b2(&self) -> u32 {
+        self.0 + 2
+    }
+
+    // seed: names an invariant the registry does not contain
+    fn c(&self, p: *const u32) -> u32 {
+        // SAFETY: [inv:bogus] not a registered tag.
+        unsafe { *p }
+    }
+
+    fn pad_c1(&self) -> u32 {
+        self.0
+    }
+
+    fn pad_c2(&self) -> u32 {
+        self.0 + 3
+    }
+
+    // ok: registered tag
+    fn d(&self, p: *const u32) -> u32 {
+        // SAFETY: [inv:epoch-liveness] the caller holds a live guard.
+        unsafe { *p }
+    }
+}
+
+pub fn pad_d01() -> u32 {
+    1
+}
+
+pub fn pad_d02() -> u32 {
+    2
+}
+
+pub fn pad_d03() -> u32 {
+    3
+}
+
+pub fn pad_d04() -> u32 {
+    4
+}
+
+pub fn pad_d05() -> u32 {
+    5
+}
+
+pub fn pad_d06() -> u32 {
+    6
+}
+
+pub fn pad_d07() -> u32 {
+    7
+}
+
+pub fn pad_d08() -> u32 {
+    8
+}
+
+// seed: an `unsafe fn` with no contract section in its docs
+pub unsafe fn no_contract(p: *const u32) -> u32 {
+    // SAFETY: [inv:epoch-liveness] the caller upholds the fn contract.
+    unsafe { *p }
+}
+
+pub fn pad_e01() -> u32 {
+    1
+}
+
+pub fn pad_e02() -> u32 {
+    2
+}
+
+pub fn pad_e03() -> u32 {
+    3
+}
+
+// seed: an `unsafe impl` with no justification comment
+unsafe impl Send for W {}

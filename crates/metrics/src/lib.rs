@@ -484,7 +484,7 @@ mod tests {
     #[cfg(not(feature = "metrics"))]
     #[test]
     fn disabled_is_noop() {
-        assert!(!ENABLED);
+        const _: () = assert!(!ENABLED);
         for e in Event::ALL {
             record(e);
             add(e, 1_000);

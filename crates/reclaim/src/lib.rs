@@ -33,6 +33,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// The collector's participant/orphan registries are cold-path bookkeeping
+// behind plain std mutexes, not tree-protocol locks (see clippy.toml).
+#![allow(clippy::disallowed_types)]
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
@@ -57,14 +60,16 @@ unsafe impl Send for Deferred {}
 impl Deferred {
     fn destroy_box<T>(ptr: *mut T) -> Self {
         unsafe fn call<T>(p: *mut ()) {
-            // SAFETY: constructed from Box::into_raw::<T> by `destroy_box`.
+            // SAFETY: [inv:unique-owner] constructed from Box::into_raw::<T> by
+            // `destroy_box`; the raw pointer is the sole handle.
             drop(unsafe { Box::from_raw(p.cast::<T>()) });
         }
         Self { call: call::<T>, data: ptr.cast() }
     }
 
     fn run(self) {
-        // SAFETY: by construction `call` matches `data`'s real type.
+        // SAFETY: [inv:unique-owner] by construction `call` matches `data`'s real
+        // type, and `self` owns the sole handle to the allocation.
         unsafe { (self.call)(self.data) }
     }
 }
@@ -242,6 +247,7 @@ impl Handle {
             let mut e = self.global.epoch.load(Ordering::SeqCst);
             loop {
                 self.participant.state.store(Participant::encode(e), Ordering::SeqCst);
+                #[allow(clippy::disallowed_methods)] // the one sanctioned fence
                 fence(Ordering::SeqCst);
                 let g = self.global.epoch.load(Ordering::SeqCst);
                 if g == e {

@@ -259,10 +259,12 @@ pub fn set_recording(on: bool) {
     {
         if on {
             // Calibrate the fast clock (first arm only) before any probe
-            // can observe `recording() == true`.
+            // can observe `recording() == true`. The calibration state has
+            // its own Release/Acquire pair (clock::MULT), so the flag
+            // itself is advisory and Relaxed on both sides.
             active::clock::calibrate();
         }
-        active::RECORDING.store(on, std::sync::atomic::Ordering::SeqCst);
+        active::RECORDING.store(on, std::sync::atomic::Ordering::Relaxed);
     }
     #[cfg(not(feature = "trace"))]
     {
@@ -473,9 +475,11 @@ pub mod flight {
     pub fn arm_post_mortem() {
         #[cfg(feature = "trace")]
         {
+            // Re-arming races with nothing that publishes data: plain flag
+            // resets, so Relaxed suffices.
             use std::sync::atomic::Ordering;
-            super::active::DUMP_TAKEN.store(false, Ordering::SeqCst);
-            super::active::POISON_SEEN.store(false, Ordering::SeqCst);
+            super::active::DUMP_TAKEN.store(false, Ordering::Relaxed);
+            super::active::POISON_SEEN.store(false, Ordering::Relaxed);
         }
     }
 
@@ -485,7 +489,10 @@ pub mod flight {
     pub fn note_poisoned() {
         #[cfg(feature = "trace")]
         {
-            super::active::POISON_SEEN.store(true, std::sync::atomic::Ordering::SeqCst);
+            // Release pairs with the Acquire load in `take_post_mortem`:
+            // ring entries written before the poisoning are visible to the
+            // thread that takes the dump.
+            super::active::POISON_SEEN.store(true, std::sync::atomic::Ordering::Release);
         }
     }
 
@@ -497,8 +504,11 @@ pub mod flight {
         #[cfg(feature = "trace")]
         {
             use std::sync::atomic::Ordering;
-            if super::active::POISON_SEEN.load(Ordering::SeqCst)
-                && !super::active::DUMP_TAKEN.swap(true, Ordering::SeqCst)
+            // Acquire pairs with `note_poisoned`'s Release; the AcqRel swap
+            // makes "exactly one dump per arming" a total order among
+            // concurrent takers.
+            if super::active::POISON_SEEN.load(Ordering::Acquire)
+                && !super::active::DUMP_TAKEN.swap(true, Ordering::AcqRel)
             {
                 return Some(super::export::chrome_trace_json(&merged_records()));
             }
@@ -595,6 +605,9 @@ pub mod export {
 }
 
 #[cfg(feature = "trace")]
+// Registry of leaked per-thread rings — harness-internal, never taken on a
+// tree code path (see clippy.toml).
+#[allow(clippy::disallowed_types)]
 mod active {
     use super::{FlightRecord, Phase, PhaseHist, TraceSnapshot, BUCKETS};
     use crate::flight::RING_CAPACITY;
@@ -1013,7 +1026,7 @@ mod tests {
 
         #[test]
         fn everything_is_inert() {
-            assert!(!ENABLED);
+            const _: () = assert!(!ENABLED);
             assert_eq!(std::mem::size_of::<Stamp>(), 0);
             set_recording(true);
             assert!(!recording(), "recording cannot be enabled in a no-op build");
@@ -1028,6 +1041,7 @@ mod tests {
     }
 
     #[cfg(feature = "trace")]
+    #[allow(clippy::disallowed_types)] // test gate, not tree-protocol state
     mod live {
         use super::super::*;
 

@@ -286,6 +286,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // reference map, not tree-protocol state
 mod tests {
     use super::*;
     use std::collections::BTreeMap;

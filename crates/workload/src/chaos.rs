@@ -28,6 +28,10 @@
 //! scheduling, which picks *which thread* hits an occurrence, never whether
 //! that occurrence fires).
 
+// The harness's history/scan logs are guarded by plain std mutexes, not
+// tree-protocol locks (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

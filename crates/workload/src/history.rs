@@ -24,6 +24,10 @@
 //! assert!(is_linearizable(&history, 0));
 //! ```
 
+// The recorder's op log is harness state guarded by a plain std mutex, not a
+// tree-protocol lock (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use std::sync::Mutex;
 
 use lo_api::{ConcurrentMap, OrderedRead};
@@ -151,11 +155,11 @@ mod tests {
     impl ConcurrentMap<i64, u64> for RefMap {
         fn insert(&self, key: i64, value: u64) -> bool {
             let mut m = self.0.lock().unwrap();
-            if m.contains_key(&key) {
-                false
-            } else {
-                m.insert(key, value);
+            if let std::collections::btree_map::Entry::Vacant(e) = m.entry(key) {
+                e.insert(value);
                 true
+            } else {
+                false
             }
         }
         fn remove(&self, key: &i64) -> bool {

@@ -329,6 +329,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // reference map, not tree-protocol state
 mod tests {
     use super::*;
     use crate::spec::Mix;
