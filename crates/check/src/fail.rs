@@ -62,11 +62,15 @@ pub enum FailPoint {
     TreeTryLock,
     /// Node allocation: simulate allocator exhaustion.
     ArenaAlloc,
+    /// Optimistic write path (ISSUE 8): inside the short succ-lock window,
+    /// after the under-lock version confirm succeeded and before the link
+    /// flips — the only lock-held window the optimistic protocol retains.
+    OptimisticWindowLocked,
 }
 
 impl FailPoint {
     /// Number of cataloged failpoints.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every failpoint, in `repr` order.
     pub const ALL: [FailPoint; Self::COUNT] = [
@@ -78,6 +82,7 @@ impl FailPoint {
         FailPoint::PeAfterMark,
         FailPoint::TreeTryLock,
         FailPoint::ArenaAlloc,
+        FailPoint::OptimisticWindowLocked,
     ];
 
     /// Stable kebab-case name (used in error messages and reports).
@@ -91,6 +96,7 @@ impl FailPoint {
             FailPoint::PeAfterMark => "pe-after-mark",
             FailPoint::TreeTryLock => "tree-try-lock",
             FailPoint::ArenaAlloc => "arena-alloc",
+            FailPoint::OptimisticWindowLocked => "optimistic-window-locked",
         }
     }
 

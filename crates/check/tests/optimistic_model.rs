@@ -1,0 +1,272 @@
+//! Seeded-interleaving regression models for the optimistic write path
+//! (ISSUE 8, DESIGN.md §17), exhaustively explored by the [`lo_check::mc`]
+//! explorer.
+//!
+//! Two races are modeled, each in two variants: with the protocol's defense
+//! ON every schedule must pass, and with it OFF the explorer must *exhibit*
+//! the bug — proving the model has teeth and the defense is load-bearing.
+//!
+//! 1. **insert-vs-remove version validation**: an optimistic inserter
+//!    snapshots the pred's succ window at version `v1`, a remover then
+//!    marks the pred under its succ lock (odd/even seqlock bumps via the
+//!    versioned wrappers). The inserter's in-lock confirmation
+//!    (`version == v1 + 1`) must force a restart; without it the new node
+//!    links behind a logically removed pred and is lost.
+//! 2. **rotation during validation**: a rotation relinks the snapshot's
+//!    candidate attach point under *tree* locks only — invisible to succ
+//!    locks — and issues the conservative parity-preserving `+2` bump
+//!    (`Node::bump_version`, pinned in `[[version.bump_sites]]`). The bump
+//!    must fail the inserter's in-lock confirmation; without it the insert
+//!    commits against a stale physical snapshot.
+//!
+//! The models mirror `update.rs` exactly at the protocol level: reads at
+//! even versions, `try_lock` + bump to odd, confirm `v1 + 1` inside the
+//! window, unlock + bump to even, restart on mismatch. The rotation is a
+//! single atomic action (relink + bump): the sub-window between the two is
+//! defended by the tree-lock revalidation in `insert_to_tree`, which is
+//! out of scope for the succ-window model.
+
+use lo_check::mc::{explore, Step, ThreadFn};
+
+// --- Model 1: insert vs remove ---------------------------------------------
+
+/// Succ window of one pred node `p`: its seqlock word, succ lock, logical
+/// mark, and what the inserter ended up doing.
+#[derive(Default)]
+struct WindowState {
+    version: u32,
+    succ_locked: bool,
+    marked: bool,
+    /// New node linked behind `p`.
+    linked: bool,
+    /// Inserter observed the mark and routed to the blocking fallback.
+    gave_up: bool,
+}
+
+/// The remover: lock `p.succLock` (odd bump), mark + splice, unlock (even
+/// bump) — the blocking side of the protocol, which always uses the
+/// versioned wrappers.
+fn remover() -> ThreadFn<WindowState> {
+    let mut pc = 0;
+    Box::new(move |s: &mut WindowState| match pc {
+        0 => {
+            if s.succ_locked {
+                return Step::Blocked;
+            }
+            s.succ_locked = true;
+            s.version += 1;
+            pc = 1;
+            Step::Ready
+        }
+        1 => {
+            s.marked = true;
+            pc = 2;
+            Step::Ready
+        }
+        2 => {
+            s.succ_locked = false;
+            s.version += 1;
+            pc = 3;
+            Step::Done
+        }
+        _ => Step::Done,
+    })
+}
+
+/// The optimistic inserter. `confirm` gates the in-lock version check —
+/// the defense under test.
+fn inserter(confirm: bool) -> ThreadFn<WindowState> {
+    let mut pc = 0;
+    let mut v1 = 0u32;
+    Box::new(move |s: &mut WindowState| match pc {
+        // read_succ_window: snapshot at an even version.
+        0 => {
+            if !s.version.is_multiple_of(2) {
+                return Step::Blocked; // writer active: wait for the bump
+            }
+            v1 = s.version;
+            pc = 1;
+            Step::Ready
+        }
+        // Window reads + the v2 == v1 re-check.
+        1 => {
+            let saw_marked = s.marked;
+            if s.version != v1 {
+                pc = 0; // torn read: validation restart
+            } else if saw_marked {
+                s.gave_up = true; // valid window, pred dead: fallback
+                pc = 4;
+                return Step::Done;
+            } else {
+                pc = 2;
+            }
+            Step::Ready
+        }
+        // lock_window: try_lock + odd bump.
+        2 => {
+            if s.succ_locked {
+                return Step::Blocked;
+            }
+            s.succ_locked = true;
+            s.version += 1;
+            pc = 3;
+            Step::Ready
+        }
+        // In-lock confirmation, then the link flip.
+        3 => {
+            if confirm && s.version != v1 + 1 {
+                s.succ_locked = false;
+                s.version += 1;
+                pc = 0; // snapshot went stale under us: restart
+                return Step::Ready;
+            }
+            if s.marked {
+                return Step::Fail("insert linked behind a removed pred".into());
+            }
+            s.linked = true;
+            s.succ_locked = false;
+            s.version += 1;
+            pc = 4;
+            Step::Done
+        }
+        _ => Step::Done,
+    })
+}
+
+#[test]
+fn insert_vs_remove_validation_all_interleavings() {
+    let report = explore(
+        &mut || (WindowState::default(), vec![remover(), inserter(true)]),
+        &|s: &WindowState| {
+            if !s.linked && !s.gave_up {
+                return Err("inserter finished without linking or falling back".into());
+            }
+            if !s.version.is_multiple_of(2) {
+                return Err(format!("version left odd at quiescence: {}", s.version));
+            }
+            Ok(())
+        },
+        1_000_000,
+    )
+    .expect("the confirmed protocol must survive every interleaving");
+    assert!(report.complete, "schedule space must be fully explored");
+    assert!(report.schedules > 1, "the race window must produce real branching");
+}
+
+#[test]
+fn insert_vs_remove_without_confirmation_is_caught() {
+    let err = explore(
+        &mut || (WindowState::default(), vec![remover(), inserter(false)]),
+        &|_| Ok(()),
+        1_000_000,
+    )
+    .expect_err("dropping the in-lock version check must admit the lost insert");
+    assert!(err.contains("removed pred"), "unexpected failure: {err}");
+}
+
+// --- Model 2: rotation during validation ------------------------------------
+
+/// The snapshot's candidate attach point `n`: its seqlock word, succ lock,
+/// and which physical slot it currently occupies (rotations move it).
+#[derive(Default)]
+struct RotState {
+    version: u32,
+    succ_locked: bool,
+    /// 0 before the rotation, 1 after.
+    slot: u32,
+    committed: bool,
+}
+
+/// The rotator: relinks `n` under tree locks only (no succ-lock interplay)
+/// and — when `bump` is on — issues the conservative parity-preserving +2.
+fn rotator(bump: bool) -> ThreadFn<RotState> {
+    let mut pc = 0;
+    Box::new(move |s: &mut RotState| match pc {
+        0 => {
+            s.slot = 1;
+            if bump {
+                s.version += 2;
+            }
+            pc = 1;
+            Step::Done
+        }
+        _ => Step::Done,
+    })
+}
+
+/// An optimistic writer whose snapshot includes `n`'s physical slot. The
+/// in-lock confirmation is always on here; the defense under test is the
+/// rotator's bump.
+fn slot_writer() -> ThreadFn<RotState> {
+    let mut pc = 0;
+    let mut v1 = 0u32;
+    let mut slot_seen = 0u32;
+    Box::new(move |s: &mut RotState| match pc {
+        0 => {
+            if !s.version.is_multiple_of(2) {
+                return Step::Blocked;
+            }
+            v1 = s.version;
+            slot_seen = s.slot;
+            pc = 1;
+            Step::Ready
+        }
+        1 => {
+            if s.succ_locked {
+                return Step::Blocked;
+            }
+            s.succ_locked = true;
+            s.version += 1;
+            pc = 2;
+            Step::Ready
+        }
+        2 => {
+            if s.version != v1 + 1 {
+                s.succ_locked = false;
+                s.version += 1;
+                pc = 0; // the rotation's bump landed: re-snapshot
+                return Step::Ready;
+            }
+            if slot_seen != s.slot {
+                return Step::Fail("commit against a stale physical snapshot".into());
+            }
+            s.committed = true;
+            s.succ_locked = false;
+            s.version += 1;
+            pc = 3;
+            Step::Done
+        }
+        _ => Step::Done,
+    })
+}
+
+#[test]
+fn rotation_bump_fails_validation_all_interleavings() {
+    let report = explore(
+        &mut || (RotState::default(), vec![rotator(true), slot_writer()]),
+        &|s: &RotState| {
+            if !s.committed {
+                return Err("writer never committed".into());
+            }
+            if s.slot != 1 {
+                return Err("rotation lost".into());
+            }
+            Ok(())
+        },
+        1_000_000,
+    )
+    .expect("the +2 relink bump must force a restart in every interleaving");
+    assert!(report.complete, "schedule space must be fully explored");
+    assert!(report.schedules > 1, "the race window must produce real branching");
+}
+
+#[test]
+fn rotation_without_bump_is_caught() {
+    let err = explore(
+        &mut || (RotState::default(), vec![rotator(false), slot_writer()]),
+        &|_| Ok(()),
+        1_000_000,
+    )
+    .expect_err("an unbumped relink must let a stale snapshot commit");
+    assert!(err.contains("stale physical snapshot"), "unexpected failure: {err}");
+}

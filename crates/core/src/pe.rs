@@ -28,14 +28,18 @@ use std::sync::atomic::Ordering;
 use crate::fp::{self, FailPoint};
 use crate::node::{nref, Node};
 use crate::poison::{self, RestartBudget};
+use crate::sync::ContentionBackoff;
 use crate::tree::LoTree;
+use crate::update::RestartKind;
 use lo_api::{Key, Value};
 use lo_metrics::{record, Event};
 
 impl<K: Key, V: Value> LoTree<K, V> {
-    /// Remove path for partially-external mode. On entry: `p.succLock` is
-    /// held, `s` is `p.succ` and holds the key, validation passed. Consumes
-    /// `p.succLock`. Returns whether the removal succeeded.
+    /// Blocking remove path for partially-external mode (the paper's shape;
+    /// the optimistic path enters at [`Self::remove_pe_locked`] instead).
+    /// On entry: `p.succLock` is held, `s` is `p.succ` and holds the key,
+    /// validation passed. Consumes `p.succLock`. Returns whether the
+    /// removal succeeded.
     pub(crate) fn remove_pe<'g>(
         &self,
         p: Shared<'g, Node<K, V>>,
@@ -54,7 +58,23 @@ impl<K: Key, V: Value> LoTree<K, V> {
         nref(s).lock_succ();
         // Same succ-lock/tree-lock boundary as the base remove path.
         fp::pause(FailPoint::RemoveSuccTreeWindow);
+        self.remove_pe_locked(p, s, g)
+    }
+
+    /// Core of the partially-external removal. On entry: `p.succLock` and
+    /// `s.succLock` are both held and `s` is validated as the key's live
+    /// (non-zombie) holder — the blocking wrapper above checked the flag
+    /// under the lock; the optimistic caller in update.rs proved it with
+    /// the version confirm. Consumes both succ locks. Always succeeds:
+    /// either a logical (zombie) or a physical removal.
+    pub(crate) fn remove_pe_locked<'g>(
+        &self,
+        p: Shared<'g, Node<K, V>>,
+        s: Shared<'g, Node<K, V>>,
+        g: &'g Guard,
+    ) -> bool {
         let mut budget = RestartBudget::new();
+        let mut backoff = ContentionBackoff::new();
         loop {
             nref(s).lock_tree();
             let l = nref(s).left.load(Ordering::Acquire, g);
@@ -81,7 +101,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 record(Event::TreeLockRestart);
                 nref(parent).unlock_tree();
                 nref(s).unlock_tree();
-                self.writer_restart(&mut budget);
+                self.writer_restart(&mut budget, RestartKind::LockContention);
+                backoff.pause();
                 continue; // retry the tree-lock phase
             }
 

@@ -133,6 +133,56 @@ impl NodeLock {
         lo_check::lockdep::on_release(self.ldep_id());
     }
 
+    // ------------------------------------------------------------------
+    // Versioned wrappers (ISSUE 8): the succ-lock entry points that couple
+    // the lock to the owning node's seqlock word. Acquire bumps the version
+    // to odd *after* the lock is won (mutual exclusion makes the two bumps
+    // of one lock cycle non-racing with each other; concurrent +2 relink
+    // bumps compose because every bump is an atomic RMW); release bumps
+    // back to even *before* the lock is dropped, with `Release` ordering so
+    // a validating reader that accepts the even value also sees every
+    // window store. lo-lint's version-bump rule pins these three functions
+    // as the only lock-coupled bump sites.
+    // ------------------------------------------------------------------
+
+    /// [`Self::lock_traced`] plus the odd (writer-entry) version bump.
+    #[inline]
+    pub fn lock_traced_versioned(
+        &self,
+        version: &std::sync::atomic::AtomicU32,
+        class: LockClass,
+        rank: Rank,
+        how: AcquireHow,
+    ) {
+        self.lock_traced(class, rank, how);
+        // No parity assert: a poisoned-tree unwind releases locks without
+        // the even bump (benign — the tree rejects all further writes), so
+        // post-poison parity is legitimately off.
+        version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// [`Self::try_lock_traced`] plus the odd version bump on success.
+    #[inline]
+    pub fn try_lock_traced_versioned(
+        &self,
+        version: &std::sync::atomic::AtomicU32,
+        class: LockClass,
+        rank: Rank,
+    ) -> bool {
+        if !self.try_lock_traced(class, rank) {
+            return false;
+        }
+        version.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// [`Self::unlock_traced`] preceded by the even (writer-exit) bump.
+    #[inline]
+    pub fn unlock_traced_versioned(&self, version: &std::sync::atomic::AtomicU32) {
+        version.fetch_add(1, Ordering::Release);
+        self.unlock_traced();
+    }
+
     /// Blocking acquire.
     ///
     /// With the `metrics` feature, a `try_lock` probe classifies the
@@ -217,6 +267,37 @@ fn backoff_jitter(bound: u32) -> u32 {
         s.set(x);
         ((x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) as u32) % bound.max(1)
     })
+}
+
+/// Bounded exponential backoff for `try_lock` restart loops (the paper's
+/// Algorithm 8 descending tree-lock acquisitions and the partially-external
+/// variant). A failed `try` means the owner is mid-write; the restart edge
+/// is only a few unlock/relock operations, so retrying hot spins a full
+/// timeslice whenever the owner is descheduled — on oversubscribed hosts
+/// that CPU is exactly what the owner needs to finish. Doubling spins with
+/// jitter keeps the multicore fast path (the first retries are a handful
+/// of pause instructions); yielding once saturated lets a single-core host
+/// reschedule the owner.
+pub(crate) struct ContentionBackoff {
+    spins: u32,
+}
+
+impl ContentionBackoff {
+    pub(crate) const fn new() -> Self {
+        Self { spins: 1 }
+    }
+
+    /// One pause; escalates geometrically across calls.
+    pub(crate) fn pause(&mut self) {
+        if self.spins < 1 << 10 {
+            for _ in 0..self.spins + backoff_jitter(self.spins) {
+                std::hint::spin_loop();
+            }
+            self.spins <<= 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
 }
 
 /// A from-scratch test-and-test-and-set spin lock with exponential backoff.

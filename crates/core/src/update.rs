@@ -7,6 +7,35 @@
 //!    acquisitions are `try_lock` + restart),
 //! 3. update the ordering layout and release the ordering locks,
 //! 4. update the physical layout and release the tree locks.
+//!
+//! # Optimistic write path (default build)
+//!
+//! Step 1 is where writers serialize: the paper's blocking `succLock`
+//! acquisition pessimistically covers the whole validate-decide-mutate
+//! sequence. The default build instead runs the write path optimistically
+//! against the per-node succ-window seqlock (`Node::version`, see the
+//! node.rs module docs for the memory-model argument):
+//!
+//! 1. traverse lock-free and snapshot the succ window `(p, s)` under
+//!    even-version validation ([`LoTree::read_succ_window`]);
+//! 2. decide the operation's outcome from the snapshot. Outcomes that
+//!    mutate nothing — duplicate insert, absent remove, remove of an
+//!    already-zombie key — return **without ever locking**: the validated
+//!    window proves the outcome held at the snapshot instant, which is the
+//!    linearization point;
+//! 3. otherwise enter the short lock window: `try_lock` the predecessor's
+//!    `succLock` and confirm `version == v1 + 1` ([`LoTree::lock_window`]).
+//!    On confirmation the snapshot is still current and is reused without
+//!    re-reading; on any mismatch the writer restarts instead of waiting;
+//! 4. perform exactly the link flips (plus, for a removal, the tree-lock
+//!    phase) under the lock, as in the blocking path.
+//!
+//! The ordering lock is thereby held only for the flips themselves, not
+//! for the search or the decision, shrinking the lock-hold window toward
+//! the concurrency-optimal minimum. After [`OPTIMISTIC_ATTEMPTS`]
+//! consecutive failed rounds an operation falls back to the blocking path
+//! for guaranteed progress; the `blocking-writes` feature makes that path
+//! the only one (the bench guard's A/B ablation subject).
 
 use crossbeam_epoch::{self as epoch, Guard, Shared};
 use std::cmp::Ordering as Cmp;
@@ -15,9 +44,16 @@ use std::sync::atomic::Ordering;
 use crate::fp::{self, FailPoint};
 use crate::node::{nref, Node};
 use crate::poison::{self, RestartBudget, WriteScope};
+use crate::sync::ContentionBackoff;
 use crate::tree::LoTree;
 use lo_api::{Key, TreeError, Value};
 use lo_metrics::{record, Event};
+
+/// Consecutive failed optimistic rounds before an operation falls back to
+/// the blocking path — a liveness guard: optimistic restarts must not
+/// starve a writer under sustained contention on one window.
+#[cfg(not(feature = "blocking-writes"))]
+const OPTIMISTIC_ATTEMPTS: u32 = 8;
 
 /// The set of tree locks held for a physical removal, produced by
 /// [`LoTree::acquire_tree_locks`] (paper Algorithm 8). All listed nodes'
@@ -39,15 +75,112 @@ pub(crate) struct RemovalLocks<'g, K: Key, V: Value> {
     pub(crate) succ_child: Shared<'g, Node<K, V>>,
 }
 
+/// Why a writer is restarting — the two halves of the formerly conflated
+/// restart accounting: stale optimistic snapshots vs lost non-blocking
+/// lock races. Recorded centrally by [`LoTree::writer_restart`] as
+/// distinct lo-metrics events so the A/B bench rows can tell protocol
+/// friction from plain contention apart.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RestartKind {
+    /// A snapshot or under-lock validation observed a concurrent writer.
+    Validation,
+    /// A non-blocking (`try_lock`) acquisition lost its race.
+    LockContention,
+}
+
+/// A validated optimistic snapshot of the succ window around a key (see
+/// the module docs): `p.version` was even (`v1`) before the field reads
+/// and unchanged after, so every field below was simultaneously true at
+/// the second version read.
+#[cfg(not(feature = "blocking-writes"))]
+struct SuccWindow<'g, K: Key, V: Value> {
+    /// Predecessor; owner of the window (its `succ_lock` / `version` word
+    /// guard every other field here).
+    p: Shared<'g, Node<K, V>>,
+    /// `p.succ` at snapshot time.
+    s: Shared<'g, Node<K, V>>,
+    /// Raw search landing node (parent candidate for `choose_parent`).
+    node: Shared<'g, Node<K, V>>,
+    /// `s.zombie` at snapshot time (`false` outside partially-external
+    /// mode and whenever the window failed validation).
+    s_zombie: bool,
+    /// The even pre-read of `p.version`.
+    v1: u32,
+}
+
 impl<K: Key, V: Value> LoTree<K, V> {
-    /// Restart edge shared by every update loop: a writer about to retry
-    /// first aborts (through the poisoning path) if a dead thread already
-    /// poisoned the tree — retrying against stranded structure can
-    /// livelock — then ticks the `LO_MAX_RESTARTS` storm budget.
+    /// Restart edge shared by every update loop: record which half of the
+    /// restart accounting this retry belongs to, then abort (through the
+    /// poisoning path) if a dead thread already poisoned the tree —
+    /// retrying against stranded structure can livelock — and tick the
+    /// `LO_MAX_RESTARTS` storm budget.
     #[inline]
-    pub(crate) fn writer_restart(&self, budget: &mut RestartBudget) {
+    pub(crate) fn writer_restart(&self, budget: &mut RestartBudget, kind: RestartKind) {
+        record(match kind {
+            RestartKind::Validation => Event::ValidationRestart,
+            RestartKind::LockContention => Event::LockContentionRestart,
+        });
         poison::abort_if_poisoned(&self.poisoned);
         budget.tick();
+    }
+
+    /// Optimistically read the succ window around `key`: traverse
+    /// lock-free, step back to the presumed predecessor `p`, and snapshot
+    /// `(p, s)` plus the decision flags under `p`'s seqlock word — even
+    /// `v1` before the field reads, unchanged `v2` after (the node.rs
+    /// module docs give the memory-model argument). Returns `None` when a
+    /// writer is mid-window or the window moved; the caller restarts.
+    #[cfg(not(feature = "blocking-writes"))]
+    fn read_succ_window<'g>(&self, key: &K, g: &'g Guard) -> Option<SuccWindow<'g, K, V>> {
+        let node = self.search(key, g);
+        // Step back when the search landed on a node with key ≥ k (the
+        // validation below requires p.key < k strictly).
+        let p = if nref(node).key.cmp_key(key) != Cmp::Less {
+            nref(node).pred.load(Ordering::Acquire, g)
+        } else {
+            node
+        };
+        let span = lo_trace::stamp();
+        let v1 = nref(p).read_version();
+        let win = (v1 % 2 == 0)
+            .then(|| {
+                let s = nref(p).succ.load(Ordering::Acquire, g);
+                // Window fields are Acquire loads so the v2 re-read below is
+                // ordered after all of them: a torn window implies v2 ≠ v1.
+                let valid = nref(p).key.cmp_key(key) == Cmp::Less
+                    && nref(s).key.cmp_key(key) != Cmp::Less
+                    && !nref(p).mark.load(Ordering::Acquire);
+                let s_zombie = valid
+                    && self.partially_external
+                    && nref(s).zombie.load(Ordering::Acquire);
+                (valid && nref(p).read_version() == v1)
+                    .then_some(SuccWindow { p, s, node, s_zombie, v1 })
+            })
+            .flatten();
+        lo_trace::span(lo_trace::Phase::Validate, span);
+        win
+    }
+
+    /// Convert a validated snapshot into a held `p.succ_lock` whose window
+    /// provably equals the snapshot. The `try_lock` bumps `p.version` to
+    /// odd; observing exactly `v1 + 1` under the lock proves no other
+    /// writer cycle and no relink bump intervened since the snapshot, so
+    /// every snapshot field is still current and is reused without
+    /// re-reading. On `Err` nothing is held and the caller restarts with
+    /// the returned kind instead of waiting.
+    #[cfg(not(feature = "blocking-writes"))]
+    fn lock_window(&self, w: &SuccWindow<'_, K, V>) -> Result<(), RestartKind> {
+        if !nref(w.p).try_lock_succ() {
+            return Err(RestartKind::LockContention);
+        }
+        if nref(w.p).read_version() != w.v1.wrapping_add(1) {
+            nref(w.p).unlock_succ();
+            return Err(RestartKind::Validation);
+        }
+        // Window: inside the confirmed short lock window, before any link
+        // flip.
+        fp::pause(FailPoint::OptimisticWindowLocked);
+        Ok(())
     }
 
     /// Paper Algorithm 3. Returns `true` on a successful (key-was-absent)
@@ -67,6 +200,54 @@ impl<K: Key, V: Value> LoTree<K, V> {
         let g = &epoch::pin();
         let _scope = WriteScope::enter(&self.poisoned)?;
         let mut budget = RestartBudget::new();
+        #[cfg(not(feature = "blocking-writes"))]
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            let Some(w) = self.read_succ_window(&key, g) else {
+                self.writer_restart(&mut budget, RestartKind::Validation);
+                continue;
+            };
+            if nref(w.s).key.is_key(&key) {
+                if !(self.partially_external && w.s_zombie) {
+                    // Lock-free unsuccessful insert: the validated window
+                    // proves the key was present (and live) at the snapshot
+                    // instant — that instant is the linearization point.
+                    return Ok(false);
+                }
+                // A revival mutates the window, so the short lock window is
+                // required. The version confirm proves `s` is still
+                // `p.succ` and still a zombie (both change only under
+                // `p.succ_lock`).
+                if let Err(kind) = self.lock_window(&w) {
+                    self.writer_restart(&mut budget, kind);
+                    continue;
+                }
+                self.revive_zombie(w.p, w.s, value, g);
+                return Ok(true);
+            }
+            if let Err(kind) = self.lock_window(&w) {
+                self.writer_restart(&mut budget, kind);
+                continue;
+            }
+            self.insert_into_window(w.p, w.s, w.node, key, value, g)?;
+            return Ok(true);
+        }
+        // Bounded optimistic rounds exhausted (sustained contention on this
+        // window): fall back to blocking acquisition for guaranteed
+        // progress. In `blocking-writes` builds this is the only path.
+        self.insert_blocking(key, value, g, &mut budget)
+    }
+
+    /// The paper's Algorithm 3 as written: blocking succ-lock acquisition
+    /// with key-range validation under the lock. Default build: liveness
+    /// fallback once the optimistic rounds are exhausted; `blocking-writes`
+    /// build: the only insert path (the bench guard's ablation subject).
+    fn insert_blocking(
+        &self,
+        key: K,
+        value: V,
+        g: &Guard,
+        budget: &mut RestartBudget,
+    ) -> Result<bool, TreeError> {
         loop {
             let node = self.search(&key, g);
             // `p` is believed to be the key's predecessor: step back when the
@@ -89,7 +270,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             if !valid {
                 record(Event::SuccLockRestart);
                 nref(p).unlock_succ();
-                self.writer_restart(&mut budget);
+                self.writer_restart(budget, RestartKind::Validation);
                 continue; // validation failed; restart
             }
             if nref(s).key.is_key(&key) {
@@ -97,54 +278,80 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 // Relaxed: `s.zombie` is only written under `p.succ_lock`
                 // (`p` is `s`'s predecessor), which we hold.
                 if self.partially_external && nref(s).zombie.load(Ordering::Relaxed) {
-                    // Revive the zombie: install the new value, clear the flag.
-                    let old = nref(s).value.swap(
-                        epoch::Owned::new(value),
-                        Ordering::AcqRel,
-                        g,
-                    );
-                    // Release: a lock-free reader that Acquire-loads
-                    // zombie == false must also see the value swap above.
-                    nref(s).zombie.store(false, Ordering::Release);
-                    poison::note_linearized();
-                    record(Event::ZombieRevived);
-                    if !old.is_null() {
-                        record(Event::ReclaimRetire);
-                        // SAFETY: [inv:lock-exclusion] `old` was swapped out under the succ
-                        // lock; readers hold epoch guards.
-                        unsafe { g.defer_destroy(old) };
-                    }
-                    nref(p).unlock_succ();
+                    self.revive_zombie(p, s, value, g);
                     return Ok(true);
                 }
                 nref(p).unlock_succ();
                 return Ok(false); // unsuccessful insert
             }
             // Successful insert: split interval (p, s) into (p, k), (k, s).
-            // Allocate before taking any tree lock, so a failure exits
-            // holding only `p.succ_lock` and the map is untouched.
-            let new = match self.try_alloc_node(Node::new_key(key, value), g) {
-                Ok(n) => n,
-                Err(e) => {
-                    nref(p).unlock_succ();
-                    return Err(e);
-                }
-            };
-            let parent = self.choose_parent(p, s, node, g);
-            nref(new).pred.store(p, Ordering::Release);
-            nref(new).succ.store(s, Ordering::Release);
-            nref(new).parent.store(parent, Ordering::Release);
-            nref(s).pred.store(new, Ordering::Release);
-            // Linearization point of a successful insert (paper §5.2).
-            nref(p).succ.store(new, Ordering::Release);
-            poison::note_linearized();
-            nref(p).unlock_succ();
-            // Window: the new key is in the set (ordering layout) but not
-            // yet in the tree layout; lookups find it via the chain.
-            fp::pause(FailPoint::InsertOrderingLinked);
-            self.insert_to_tree(parent, new, g);
+            self.insert_into_window(p, s, node, key, value, g)?;
             return Ok(true);
         }
+    }
+
+    /// Zombie revival (shared by the insert flavors): with `p.succ_lock`
+    /// held and `s` validated as a zombie holding the key, install the new
+    /// value and clear the flag. Consumes `p.succ_lock`.
+    fn revive_zombie<'g>(
+        &self,
+        p: Shared<'g, Node<K, V>>,
+        s: Shared<'g, Node<K, V>>,
+        value: V,
+        g: &'g Guard,
+    ) {
+        let old = nref(s).value.swap(epoch::Owned::new(value), Ordering::AcqRel, g);
+        // Release: a lock-free reader that Acquire-loads zombie == false
+        // must also see the value swap above.
+        nref(s).zombie.store(false, Ordering::Release);
+        poison::note_linearized();
+        record(Event::ZombieRevived);
+        if !old.is_null() {
+            record(Event::ReclaimRetire);
+            // SAFETY: [inv:lock-exclusion] `old` was swapped out under the succ
+            // lock; readers hold epoch guards.
+            unsafe { g.defer_destroy(old) };
+        }
+        nref(p).unlock_succ();
+    }
+
+    /// Interval split (shared by the insert and put flavors): with
+    /// `p.succ_lock` held and the window `(p, s)` validated with `key`
+    /// absent, allocate the node, link it into the ordering layout (the
+    /// linearization point) and then into the tree layout. Consumes
+    /// `p.succ_lock`. On allocation failure the map is untouched.
+    fn insert_into_window<'g>(
+        &self,
+        p: Shared<'g, Node<K, V>>,
+        s: Shared<'g, Node<K, V>>,
+        first_cand: Shared<'g, Node<K, V>>,
+        key: K,
+        value: V,
+        g: &'g Guard,
+    ) -> Result<(), TreeError> {
+        // Allocate before taking any tree lock, so a failure exits holding
+        // only `p.succ_lock` and the map is untouched.
+        let new = match self.try_alloc_node(Node::new_key(key, value), g) {
+            Ok(n) => n,
+            Err(e) => {
+                nref(p).unlock_succ();
+                return Err(e);
+            }
+        };
+        let parent = self.choose_parent(p, s, first_cand, g);
+        nref(new).pred.store(p, Ordering::Release);
+        nref(new).succ.store(s, Ordering::Release);
+        nref(new).parent.store(parent, Ordering::Release);
+        nref(s).pred.store(new, Ordering::Release);
+        // Linearization point of a successful insert (paper §5.2).
+        nref(p).succ.store(new, Ordering::Release);
+        poison::note_linearized();
+        nref(p).unlock_succ();
+        // Window: the new key is in the set (ordering layout) but not
+        // yet in the tree layout; lookups find it via the chain.
+        fp::pause(FailPoint::InsertOrderingLinked);
+        self.insert_to_tree(parent, new, g);
+        Ok(())
     }
 
     /// Insert-or-replace (map `put`): like [`Self::insert`], but when the
@@ -167,6 +374,40 @@ impl<K: Key, V: Value> LoTree<K, V> {
         let g = &epoch::pin();
         let _scope = WriteScope::enter(&self.poisoned)?;
         let mut budget = RestartBudget::new();
+        #[cfg(not(feature = "blocking-writes"))]
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            let Some(w) = self.read_succ_window(&key, g) else {
+                self.writer_restart(&mut budget, RestartKind::Validation);
+                continue;
+            };
+            // Every put outcome mutates the window, so the short lock
+            // window is always taken; the snapshot still replaces both the
+            // blocking wait and the under-lock re-validation.
+            if let Err(kind) = self.lock_window(&w) {
+                self.writer_restart(&mut budget, kind);
+                continue;
+            }
+            if nref(w.s).key.is_key(&key) {
+                return Ok(self.put_present(w.p, w.s, w.s_zombie, value, g));
+            }
+            self.insert_into_window(w.p, w.s, w.node, key, value, g)?;
+            return Ok(None);
+        }
+        self.put_blocking(key, value, g, &mut budget)
+    }
+
+    /// The blocking put loop (see [`Self::insert_blocking`] for its role
+    /// in each build).
+    fn put_blocking(
+        &self,
+        key: K,
+        value: V,
+        g: &Guard,
+        budget: &mut RestartBudget,
+    ) -> Result<Option<V>, TreeError>
+    where
+        V: Clone,
+    {
         loop {
             let node = self.search(&key, g);
             let p = if nref(node).key.cmp_key(&key) != Cmp::Less {
@@ -176,61 +417,62 @@ impl<K: Key, V: Value> LoTree<K, V> {
             };
             nref(p).lock_succ();
             let s = nref(p).succ.load(Ordering::Acquire, g);
-            // Relaxed mark load: see the justification in `insert`.
+            // Relaxed mark load: see the justification in `insert_blocking`.
             let valid = nref(p).key.cmp_key(&key) == Cmp::Less
                 && nref(s).key.cmp_key(&key) != Cmp::Less
                 && !nref(p).mark.load(Ordering::Relaxed);
             if !valid {
                 record(Event::SuccLockRestart);
                 nref(p).unlock_succ();
-                self.writer_restart(&mut budget);
+                self.writer_restart(budget, RestartKind::Validation);
                 continue;
             }
             if nref(s).key.is_key(&key) {
                 // Relaxed: `s.zombie` only changes under `p.succ_lock`, held.
                 let was_zombie =
                     self.partially_external && nref(s).zombie.load(Ordering::Relaxed);
-                let old =
-                    nref(s).value.swap(epoch::Owned::new(value), Ordering::AcqRel, g);
-                poison::note_linearized();
-                if was_zombie {
-                    // Release: readers observing zombie == false must see the
-                    // value swap above (same as the revive in `insert`).
-                    nref(s).zombie.store(false, Ordering::Release);
-                    record(Event::ZombieRevived);
-                }
-                nref(p).unlock_succ();
-                if old.is_null() {
-                    return Ok(None); // defensive: key nodes always hold a value
-                }
-                // SAFETY: [inv:epoch-liveness] `old` stays valid for this guard's lifetime.
-                let out = (!was_zombie).then(|| unsafe { old.deref() }.clone());
-                record(Event::ReclaimRetire);
-                // SAFETY: [inv:lock-exclusion] `old` was swapped out under the succ lock
-                // by this thread; readers hold epoch guards.
-                unsafe { g.defer_destroy(old) };
-                return Ok(out);
+                return Ok(self.put_present(p, s, was_zombie, value, g));
             }
             // Absent: plain insertion (same as Algorithm 3's success path).
-            let new = match self.try_alloc_node(Node::new_key(key, value), g) {
-                Ok(n) => n,
-                Err(e) => {
-                    nref(p).unlock_succ();
-                    return Err(e);
-                }
-            };
-            let parent = self.choose_parent(p, s, node, g);
-            nref(new).pred.store(p, Ordering::Release);
-            nref(new).succ.store(s, Ordering::Release);
-            nref(new).parent.store(parent, Ordering::Release);
-            nref(s).pred.store(new, Ordering::Release);
-            nref(p).succ.store(new, Ordering::Release);
-            poison::note_linearized();
-            nref(p).unlock_succ();
-            fp::pause(FailPoint::InsertOrderingLinked);
-            self.insert_to_tree(parent, new, g);
+            self.insert_into_window(p, s, node, key, value, g)?;
             return Ok(None);
         }
+    }
+
+    /// Present-key path shared by the put flavors: with `p.succ_lock` held
+    /// and `s` validated as the key's holder, swap the value (reviving a
+    /// zombie if needed) and return the previous live value. Consumes
+    /// `p.succ_lock`.
+    fn put_present<'g>(
+        &self,
+        p: Shared<'g, Node<K, V>>,
+        s: Shared<'g, Node<K, V>>,
+        was_zombie: bool,
+        value: V,
+        g: &'g Guard,
+    ) -> Option<V>
+    where
+        V: Clone,
+    {
+        let old = nref(s).value.swap(epoch::Owned::new(value), Ordering::AcqRel, g);
+        poison::note_linearized();
+        if was_zombie {
+            // Release: readers observing zombie == false must see the
+            // value swap above (same as the revive in `insert`).
+            nref(s).zombie.store(false, Ordering::Release);
+            record(Event::ZombieRevived);
+        }
+        nref(p).unlock_succ();
+        if old.is_null() {
+            return None; // defensive: key nodes always hold a value
+        }
+        // SAFETY: [inv:epoch-liveness] `old` stays valid for this guard's lifetime.
+        let out = (!was_zombie).then(|| unsafe { old.deref() }.clone());
+        record(Event::ReclaimRetire);
+        // SAFETY: [inv:lock-exclusion] `old` was swapped out under the succ lock
+        // by this thread; readers hold epoch guards.
+        unsafe { g.defer_destroy(old) };
+        out
     }
 
     /// Paper Algorithm 4: pick the physical parent for a new node — its
@@ -333,6 +575,58 @@ impl<K: Key, V: Value> LoTree<K, V> {
         let g = &epoch::pin();
         let _scope = WriteScope::enter(&self.poisoned)?;
         let mut budget = RestartBudget::new();
+        #[cfg(not(feature = "blocking-writes"))]
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            let Some(w) = self.read_succ_window(key, g) else {
+                self.writer_restart(&mut budget, RestartKind::Validation);
+                continue;
+            };
+            if !nref(w.s).key.is_key(key) {
+                // Lock-free unsuccessful remove: the validated window proves
+                // the key was absent at the snapshot instant.
+                return Ok(false);
+            }
+            if self.partially_external && w.s_zombie {
+                // Lock-free unsuccessful remove: the key was already
+                // logically deleted at the snapshot instant.
+                return Ok(false);
+            }
+            if let Err(kind) = self.lock_window(&w) {
+                self.writer_restart(&mut budget, kind);
+                continue;
+            }
+            // The version confirm proves `s` is still `p.succ`, unmarked
+            // and not a zombie. The second ordering lock is a `try`
+            // acquisition (ascending key order p → s, the same edge the
+            // blocking path takes, minus the wait): contention restarts
+            // instead of blocking.
+            if !nref(w.s).try_lock_succ() {
+                nref(w.p).unlock_succ();
+                self.writer_restart(&mut budget, RestartKind::LockContention);
+                continue;
+            }
+            // Window: both succ locks held, no tree lock yet (the §5.1
+            // ordering boundary).
+            fp::pause(FailPoint::RemoveSuccTreeWindow);
+            if self.partially_external {
+                // Consumes both succ locks; see pe.rs.
+                return Ok(self.remove_pe_locked(w.p, w.s, g));
+            }
+            self.remove_linked(w.p, w.s, g);
+            return Ok(true);
+        }
+        self.remove_blocking(key, g, &mut budget)
+    }
+
+    /// The paper's Algorithm 7 as written: blocking succ-lock acquisitions
+    /// with key-range validation under the lock (see
+    /// [`Self::insert_blocking`] for its role in each build).
+    fn remove_blocking(
+        &self,
+        key: &K,
+        g: &Guard,
+        budget: &mut RestartBudget,
+    ) -> Result<bool, TreeError> {
         loop {
             let node = self.search(key, g);
             let p = if nref(node).key.cmp_key(key) != Cmp::Less {
@@ -342,14 +636,14 @@ impl<K: Key, V: Value> LoTree<K, V> {
             };
             nref(p).lock_succ();
             let s = nref(p).succ.load(Ordering::Acquire, g);
-            // Relaxed mark load: see the justification in `insert`.
+            // Relaxed mark load: see the justification in `insert_blocking`.
             let valid = nref(p).key.cmp_key(key) == Cmp::Less
                 && nref(s).key.cmp_key(key) != Cmp::Less
                 && !nref(p).mark.load(Ordering::Relaxed);
             if !valid {
                 record(Event::SuccLockRestart);
                 nref(p).unlock_succ();
-                self.writer_restart(&mut budget);
+                self.writer_restart(budget, RestartKind::Validation);
                 continue; // validation failed; restart
             }
             if !nref(s).key.is_key(key) {
@@ -365,28 +659,42 @@ impl<K: Key, V: Value> LoTree<K, V> {
             // Window: both succ locks held, no tree lock yet (the §5.1
             // ordering boundary).
             fp::pause(FailPoint::RemoveSuccTreeWindow);
-            let locks = self.acquire_tree_locks(s, g);
-            // Linearization point of a successful remove (paper §5.2).
-            // Release pairs with the lock-free Acquire flag loads; nothing
-            // needs a stronger order — see the node.rs ordering table.
-            nref(s).mark.store(true, Ordering::Release);
-            poison::note_linearized();
-            let s_succ = nref(s).succ.load(Ordering::Acquire, g);
-            nref(s_succ).pred.store(p, Ordering::Release);
-            nref(p).succ.store(s_succ, Ordering::Release);
-            nref(s).unlock_succ();
-            nref(p).unlock_succ();
-            // Window: marked and spliced out of the ordering layout, still
-            // physically present in the tree layout.
-            fp::pause(FailPoint::RemoveAfterMark);
-            self.remove_from_tree(s, locks, g);
-            record(Event::ReclaimRetire);
-            // SAFETY: [inv:unique-owner] the node is now unlinked from both layouts by
-            // this thread (marked under its succ lock); it is freed only once
-            // all pinned readers move on.
-            unsafe { self.retire_node(s, g) };
+            self.remove_linked(p, s, g);
             return Ok(true);
         }
+    }
+
+    /// On-time physical removal (shared by the remove flavors): with both
+    /// `p.succ_lock` and `s.succ_lock` held and `s` validated as the key's
+    /// live holder, run the tree-lock phase, mark + splice (the
+    /// linearization point), and physically unlink. Consumes both succ
+    /// locks.
+    fn remove_linked<'g>(
+        &self,
+        p: Shared<'g, Node<K, V>>,
+        s: Shared<'g, Node<K, V>>,
+        g: &'g Guard,
+    ) {
+        let locks = self.acquire_tree_locks(s, g);
+        // Linearization point of a successful remove (paper §5.2).
+        // Release pairs with the lock-free Acquire flag loads; nothing
+        // needs a stronger order — see the node.rs ordering table.
+        nref(s).mark.store(true, Ordering::Release);
+        poison::note_linearized();
+        let s_succ = nref(s).succ.load(Ordering::Acquire, g);
+        nref(s_succ).pred.store(p, Ordering::Release);
+        nref(p).succ.store(s_succ, Ordering::Release);
+        nref(s).unlock_succ();
+        nref(p).unlock_succ();
+        // Window: marked and spliced out of the ordering layout, still
+        // physically present in the tree layout.
+        fp::pause(FailPoint::RemoveAfterMark);
+        self.remove_from_tree(s, locks, g);
+        record(Event::ReclaimRetire);
+        // SAFETY: [inv:unique-owner] the node is now unlinked from both layouts by
+        // this thread (marked under its succ lock); it is freed only once
+        // all pinned readers move on.
+        unsafe { self.retire_node(s, g) };
     }
 
     /// Paper Algorithm 8: acquire every tree lock the physical removal of `n`
@@ -400,6 +708,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         g: &'g Guard,
     ) -> RemovalLocks<'g, K, V> {
         let mut budget = RestartBudget::new();
+        let mut backoff = ContentionBackoff::new();
         loop {
             nref(n).lock_tree();
             let parent = self.lock_parent(n, g);
@@ -413,7 +722,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     record(Event::TreeLockRestart);
                     nref(parent).unlock_tree();
                     nref(n).unlock_tree();
-                    self.writer_restart(&mut budget);
+                    self.writer_restart(&mut budget, RestartKind::LockContention);
+                    backoff.pause();
                     continue;
                 }
                 return RemovalLocks {
@@ -435,7 +745,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     record(Event::TreeLockRestart);
                     nref(parent).unlock_tree();
                     nref(n).unlock_tree();
-                    self.writer_restart(&mut budget);
+                    self.writer_restart(&mut budget, RestartKind::LockContention);
+                    backoff.pause();
                     continue;
                 }
                 // Relaxed: a node is only marked while its tree lock is
@@ -447,7 +758,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     nref(sp).unlock_tree();
                     nref(parent).unlock_tree();
                     nref(n).unlock_tree();
-                    self.writer_restart(&mut budget);
+                    self.writer_restart(&mut budget, RestartKind::LockContention);
+                    backoff.pause();
                     continue;
                 }
                 sp
@@ -464,7 +776,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
             if !nref(s).try_lock_tree() {
                 record(Event::TreeLockRestart);
                 release_partial(succ_parent);
-                self.writer_restart(&mut budget);
+                self.writer_restart(&mut budget, RestartKind::LockContention);
+                backoff.pause();
                 continue;
             }
             let sr = nref(s).right.load(Ordering::Acquire, g);
@@ -476,7 +789,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 record(Event::TreeLockRestart);
                 nref(s).unlock_tree();
                 release_partial(succ_parent);
-                self.writer_restart(&mut budget);
+                self.writer_restart(&mut budget, RestartKind::LockContention);
+                backoff.pause();
                 continue;
             }
             return RemovalLocks {
@@ -544,6 +858,11 @@ impl<K: Key, V: Value> LoTree<K, V> {
             nref(nr).parent.store(s, Ordering::Release);
         }
         self.update_child(locks.parent, n, s, g);
+        // Conservative seqlock bump (registered in ordering_policy.toml
+        // [[version.bump_sites]]): s changed physical slot while its succ
+        // lock may be unheld; any in-flight optimistic snapshot that read
+        // through s re-validates rather than reasoning about relocation.
+        sn.bump_version();
 
         // (iii) Decide where rebalancing starts and release the rest.
         let reb_node = if s_parent_is_n {

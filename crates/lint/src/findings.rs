@@ -21,6 +21,10 @@ pub enum Rule {
     UnsafeHygiene,
     /// Failpoint / lo-trace probe coverage of the write windows.
     Coverage,
+    /// Succ-window seqlock discipline (manifest `[version]`): the version
+    /// word is written only by the lock-coupled wrappers and the registered
+    /// relink-bump helper, and every pinned relink site still bumps.
+    VersionBump,
     /// Manifest/baseline self-consistency (stale entries, bad schema).
     Manifest,
 }
@@ -34,6 +38,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::UnsafeHygiene => "unsafe-hygiene",
             Rule::Coverage => "coverage",
+            Rule::VersionBump => "version-bump",
             Rule::Manifest => "manifest",
         }
     }

@@ -11,7 +11,7 @@
 //! for the rule families and how lockdep/TSan/lo-lint divide the labor.
 //!
 //! The analyzer is deliberately dependency-free: a purpose-built token
-//! scanner (`lexer`), a TOML-subset reader (`minitoml`), and five rule
+//! scanner (`lexer`), a TOML-subset reader (`minitoml`), and six rule
 //! families over token patterns. It is not a general Rust front-end — the
 //! protocol it checks is local and syntactic by design (that is what makes
 //! the discipline reviewable in the first place).
@@ -97,6 +97,7 @@ pub fn run_lint(cfg: &Config) -> Result<Report, String> {
     rules::unsafety::check(&files, &policy, design_doc.as_deref(), &mut found);
     rules::coverage::check(&files, &policy, &mut found);
     rules::docsync::check(&files, &policy, &mut found);
+    rules::version::check(&files, &policy, &mut found);
 
     let baseline_path = cfg
         .baseline
@@ -156,6 +157,7 @@ pub fn rule_by_name(name: &str) -> Option<Rule> {
         Rule::LockOrder,
         Rule::UnsafeHygiene,
         Rule::Coverage,
+        Rule::VersionBump,
         Rule::Manifest,
     ]
     .into_iter()

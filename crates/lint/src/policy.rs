@@ -68,6 +68,32 @@ pub struct NestedSuccPin {
     pub reason: String,
 }
 
+/// A `[[version.bump_sites]]` pin: one relink site that rewires node links
+/// without the node's succ lock and must therefore bump its seqlock word.
+#[derive(Debug, Clone)]
+pub struct VersionBumpSite {
+    pub file: String,
+    pub function: String,
+    pub reason: String,
+}
+
+/// The `[version]` table: the succ-window seqlock discipline (optimistic
+/// write path). Absent from manifests that predate the versioned protocol —
+/// the rule is inert then.
+#[derive(Debug, Clone)]
+pub struct VersionPolicy {
+    /// The per-node seqlock field name (`version`).
+    pub field: String,
+    /// The parity-preserving relink-bump helper (`bump_version`); the only
+    /// sanctioned version RMW outside the enforcement files.
+    pub helper: String,
+    /// The versioned lock wrappers that must exist in the enforcement files
+    /// and couple the lock to the field (the odd/even bumps).
+    pub wrappers: Vec<String>,
+    /// Reviewed relink sites that must call the helper.
+    pub bump_sites: Vec<VersionBumpSite>,
+}
+
 /// A `[coverage.windows.<name>]` entry: one named write window.
 #[derive(Debug, Clone)]
 pub struct Window {
@@ -119,6 +145,9 @@ pub struct Policy {
     pub windows: Vec<Window>,
     /// Registered invariant tags (`[unsafe] tags = […]`).
     pub unsafe_tags: Vec<String>,
+    /// Succ-window seqlock discipline (`[version]`), when the manifest
+    /// declares one.
+    pub version: Option<VersionPolicy>,
 }
 
 fn strs(t: &Table, key: &str) -> Vec<String> {
@@ -229,6 +258,37 @@ impl Policy {
             return Err("[unsafe] tags must not be empty".into());
         }
 
+        // [[version.bump_sites]] alone creates a `version` child table, so
+        // the discipline is declared iff `field` is present.
+        let version = match t.table("version").filter(|vt| vt.get_str("field").is_some()) {
+            Some(vt) => {
+                let mut bump_sites = Vec::new();
+                for (i, a) in t.array("version.bump_sites").iter().enumerate() {
+                    let ctx = format!("[[version.bump_sites]] #{}", i + 1);
+                    bump_sites.push(VersionBumpSite {
+                        file: req_str(a, "file", &ctx)?,
+                        function: req_str(a, "function", &ctx)?,
+                        reason: req_str(a, "reason", &ctx)?,
+                    });
+                }
+                Some(VersionPolicy {
+                    field: req_str(vt, "field", "[version]")?,
+                    helper: req_str(vt, "helper", "[version]")?,
+                    wrappers: strs(vt, "wrappers"),
+                    bump_sites,
+                })
+            }
+            None => {
+                if !t.array("version.bump_sites").is_empty() {
+                    return Err(
+                        "[[version.bump_sites]] requires a [version] table with `field`/`helper`"
+                            .into(),
+                    );
+                }
+                None
+            }
+        };
+
         Ok(Policy {
             scope,
             fields,
@@ -238,6 +298,7 @@ impl Policy {
             nested_succ,
             windows,
             unsafe_tags,
+            version,
         })
     }
 }
@@ -282,6 +343,33 @@ trace_phase = "Rotation"
         assert_eq!(p.fields["mark"].load_union(), ["Acquire", "Relaxed"]);
         assert_eq!(p.windows.len(), 1);
         assert_eq!(p.windows[0].name, "rotate-mid-heights");
+    }
+
+    #[test]
+    fn version_table_is_optional_and_parses() {
+        let t = minitoml::parse(MINIMAL).unwrap();
+        assert!(Policy::from_table(&t).unwrap().version.is_none());
+
+        let with = format!(
+            "{MINIMAL}\n[version]\nfield = \"version\"\nhelper = \"bump_version\"\n\
+             wrappers = [\"lock_traced_versioned\"]\n\n[[version.bump_sites]]\n\
+             file = \"crates/core/src/balance.rs\"\nfunction = \"rotate\"\nreason = \"r\"\n"
+        );
+        let p = Policy::from_table(&minitoml::parse(&with).unwrap()).unwrap();
+        let v = p.version.expect("declared [version] must parse");
+        assert_eq!(v.field, "version");
+        assert_eq!(v.helper, "bump_version");
+        assert_eq!(v.wrappers, ["lock_traced_versioned"]);
+        assert_eq!(v.bump_sites.len(), 1);
+        assert_eq!(v.bump_sites[0].function, "rotate");
+    }
+
+    #[test]
+    fn bump_sites_without_version_table_is_an_error() {
+        let orphan = format!(
+            "{MINIMAL}\n[[version.bump_sites]]\nfile = \"f.rs\"\nfunction = \"g\"\nreason = \"r\"\n"
+        );
+        assert!(Policy::from_table(&minitoml::parse(&orphan).unwrap()).is_err());
     }
 
     #[test]

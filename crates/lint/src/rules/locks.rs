@@ -178,7 +178,8 @@ fn classify(name: &str) -> Option<Acq> {
 }
 
 /// `(name, body_start_token, body_end_token)` for every `fn` in the file.
-fn fn_spans(toks: &[Token]) -> Vec<(String, usize, usize)> {
+/// Shared with the version-bump rule, which pins bump sites by function.
+pub(crate) fn fn_spans(toks: &[Token]) -> Vec<(String, usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {

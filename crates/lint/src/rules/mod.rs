@@ -1,4 +1,4 @@
-//! The five rule families. Each takes the lexed workspace + policy and
+//! The six rule families. Each takes the lexed workspace + policy and
 //! appends findings; see the module docs of each for the rule statement.
 
 pub mod atomics;
@@ -6,3 +6,4 @@ pub mod coverage;
 pub mod docsync;
 pub mod locks;
 pub mod unsafety;
+pub mod version;

@@ -1,0 +1,383 @@
+//! Rule family 6: the succ-window seqlock discipline (manifest `[version]`).
+//!
+//! The optimistic write path (DESIGN.md §17) validates pred/succ windows
+//! against a per-node version word. Its soundness rests on two source-level
+//! facts this rule proves:
+//!
+//! 1. **The version word is written only through sanctioned sites.** The
+//!    lock-coupled odd/even bumps live in the enforcement files (the
+//!    versioned wrappers named in `[version].wrappers`), and the only other
+//!    write is the relink helper (`[version].helper`). Any other
+//!    store/RMW on the field would desynchronize the seqlock from the
+//!    succ lock and silently admit torn snapshots.
+//! 2. **Every reviewed relink site still bumps.** Rotations and 2-children
+//!    relocations rewire a node's physical links *without* its succ lock;
+//!    each such site is pinned in `[[version.bump_sites]]` and must call
+//!    the helper. A pin whose function no longer calls the helper is a
+//!    protocol hole (an optimistic reader could validate across a relink);
+//!    a helper call outside any pin is an unreviewed relink site.
+//!
+//! Manifests without a `[version]` table (pre-optimistic trees, fixture
+//! workspaces for other rules) leave the rule inert.
+
+use super::locks::fn_spans;
+use crate::findings::{fingerprint, Finding, Rule};
+use crate::lexer::{SourceFile, TokKind};
+use crate::policy::{Policy, VersionPolicy};
+
+pub fn check(files: &[SourceFile], policy: &Policy, out: &mut Vec<Finding>) {
+    let Some(vp) = &policy.version else { return };
+    check_inner(files, vp, &policy.scope.core_src, &policy.scope.enforcement_files, out);
+}
+
+fn check_inner(
+    files: &[SourceFile],
+    vp: &VersionPolicy,
+    core_src: &str,
+    enforcement_files: &[String],
+    out: &mut Vec<Finding>,
+) {
+    writes_confined(files, vp, core_src, enforcement_files, out);
+    wrappers_exist(files, vp, enforcement_files, out);
+    bump_sites(files, vp, core_src, out);
+}
+
+/// Atomic ops that mutate the field (loads are free: that is the point of
+/// the seqlock — readers validate instead of locking).
+fn is_write_op(name: &str) -> bool {
+    matches!(name, "store" | "swap" | "compare_exchange" | "compare_exchange_weak")
+        || name.starts_with("fetch_")
+}
+
+/// Fact 1: `.{field}.{write-op}(` in the core tree only inside the
+/// enforcement files or the helper's own body.
+fn writes_confined(
+    files: &[SourceFile],
+    vp: &VersionPolicy,
+    core_src: &str,
+    enforcement_files: &[String],
+    out: &mut Vec<Finding>,
+) {
+    let core_prefix = format!("{core_src}/");
+    for f in files {
+        if !f.path.starts_with(&core_prefix) || enforcement_files.contains(&f.path) {
+            continue;
+        }
+        let toks = &f.tokens;
+        let spans = fn_spans(toks);
+        for i in 0..toks.len() {
+            // Pattern: `.` field `.` op `(`
+            if !toks[i].is_punct('.') || i + 4 >= toks.len() {
+                continue;
+            }
+            let (field_t, dot2, op_t, paren) =
+                (&toks[i + 1], &toks[i + 2], &toks[i + 3], &toks[i + 4]);
+            if !field_t.is_ident(&vp.field)
+                || !dot2.is_punct('.')
+                || op_t.kind != TokKind::Ident
+                || !is_write_op(&op_t.text)
+                || !paren.is_punct('(')
+            {
+                continue;
+            }
+            let line = op_t.line;
+            if f.in_test_code(line) {
+                continue;
+            }
+            // Inside the helper's own definition? That is the one
+            // sanctioned RMW outside the enforcement files.
+            let in_helper = spans
+                .iter()
+                .any(|(name, start, end)| name == &vp.helper && *start <= i && i < *end);
+            if in_helper {
+                continue;
+            }
+            out.push(Finding::new(
+                Rule::VersionBump,
+                &f.path,
+                line,
+                fingerprint(&["unregistered-version-rmw", &vp.field, &op_t.text]),
+                format!(
+                    "`.{}.{}()` writes the seqlock word outside the versioned lock wrappers \
+                     and `{}()`; every write must keep the odd/even protocol coupled to the \
+                     succ lock (DESIGN.md §17)",
+                    vp.field, op_t.text, vp.helper
+                ),
+            ));
+        }
+    }
+}
+
+/// The declared wrappers must exist in an enforcement file and actually
+/// reference the field — a wrapper that stopped bumping would let lock
+/// windows pass undetected under an in-flight snapshot.
+fn wrappers_exist(
+    files: &[SourceFile],
+    vp: &VersionPolicy,
+    enforcement_files: &[String],
+    out: &mut Vec<Finding>,
+) {
+    for wrapper in &vp.wrappers {
+        let found = files.iter().any(|f| {
+            enforcement_files.contains(&f.path)
+                && fn_spans(&f.tokens).iter().any(|(name, start, end)| {
+                    name == wrapper
+                        && f.tokens[*start..*end].iter().any(|t| t.is_ident(&vp.field))
+                })
+        });
+        if !found {
+            out.push(Finding::new(
+                Rule::Manifest,
+                "ordering_policy.toml",
+                0,
+                fingerprint(&["missing-version-wrapper", wrapper]),
+                format!(
+                    "[version] wrapper `{wrapper}` does not exist in an enforcement file \
+                     (or no longer touches `{}`); the lock/version coupling is broken or \
+                     the manifest is stale",
+                    vp.field
+                ),
+            ));
+        }
+    }
+}
+
+/// Fact 2: every pinned relink site calls the helper, and every helper call
+/// in the core tree sits inside a pinned site.
+fn bump_sites(files: &[SourceFile], vp: &VersionPolicy, core_src: &str, out: &mut Vec<Finding>) {
+    // Pin side: each `[[version.bump_sites]]` entry must resolve to a
+    // function that calls `.{helper}(`.
+    for site in &vp.bump_sites {
+        let Some(f) = files.iter().find(|f| f.path == site.file) else {
+            out.push(Finding::new(
+                Rule::Manifest,
+                "ordering_policy.toml",
+                0,
+                fingerprint(&["stale-version-pin", &site.file, &site.function]),
+                format!(
+                    "stale [[version.bump_sites]]: file {} not found in the scanned set",
+                    site.file
+                ),
+            ));
+            continue;
+        };
+        let spans = fn_spans(&f.tokens);
+        let Some((_, start, end)) = spans.iter().find(|(name, _, _)| name == &site.function)
+        else {
+            out.push(Finding::new(
+                Rule::Manifest,
+                "ordering_policy.toml",
+                0,
+                fingerprint(&["stale-version-pin", &site.file, &site.function]),
+                format!(
+                    "stale [[version.bump_sites]]: no `fn {}` in {}",
+                    site.function, site.file
+                ),
+            ));
+            continue;
+        };
+        if !has_helper_call(&f.tokens[*start..*end], &vp.helper) {
+            out.push(Finding::new(
+                Rule::VersionBump,
+                &f.path,
+                f.tokens[*start].line,
+                fingerprint(&["missing-version-bump", &site.function]),
+                format!(
+                    "`{}` is a pinned relink site ([[version.bump_sites]]: {}) but no longer \
+                     calls `{}()`; optimistic snapshots could validate across the relink",
+                    site.function, site.reason, vp.helper
+                ),
+            ));
+        }
+    }
+
+    // Call side: `.{helper}(` outside every pinned function is an
+    // unreviewed relink site (or a bump that should not exist).
+    let core_prefix = format!("{core_src}/");
+    for f in files {
+        if !f.path.starts_with(&core_prefix) {
+            continue;
+        }
+        let toks = &f.tokens;
+        let spans = fn_spans(toks);
+        let pinned: Vec<&(String, usize, usize)> = spans
+            .iter()
+            .filter(|(name, _, _)| {
+                vp.bump_sites
+                    .iter()
+                    .any(|s| s.file == f.path && &s.function == name)
+            })
+            .collect();
+        for i in 0..toks.len() {
+            if !toks[i].is_punct('.')
+                || i + 2 >= toks.len()
+                || !toks[i + 1].is_ident(&vp.helper)
+                || !toks[i + 2].is_punct('(')
+            {
+                continue;
+            }
+            let line = toks[i + 1].line;
+            if f.in_test_code(line) {
+                continue;
+            }
+            if pinned.iter().any(|(_, start, end)| *start <= i && i < *end) {
+                continue;
+            }
+            out.push(Finding::new(
+                Rule::VersionBump,
+                &f.path,
+                line,
+                fingerprint(&["unregistered-version-bump", f.line(line).trim()]),
+                format!(
+                    "`.{}()` call outside every pinned [[version.bump_sites]] function; \
+                     register the relink site (with its reason) or remove the bump",
+                    vp.helper
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the token slice contains a `.{helper}(` method call.
+fn has_helper_call(toks: &[crate::lexer::Token], helper: &str) -> bool {
+    toks.windows(3).any(|w| {
+        w[0].is_punct('.') && w[1].is_ident(helper) && w[2].is_punct('(')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn vp() -> VersionPolicy {
+        VersionPolicy {
+            field: "version".into(),
+            helper: "bump_version".into(),
+            wrappers: vec!["lock_traced_versioned".into()],
+            bump_sites: vec![crate::policy::VersionBumpSite {
+                file: "core/src/balance.rs".into(),
+                function: "rotate".into(),
+                reason: "relink without succ lock".into(),
+            }],
+        }
+    }
+
+    fn run(files: &[SourceFile]) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check_inner(files, &vp(), "core/src", &["core/src/sync.rs".to_string()], &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_workspace_has_no_findings() {
+        let files = [
+            lex(
+                "core/src/sync.rs",
+                "pub fn lock_traced_versioned(l: &RawLock, version: &AtomicU32) { \
+                 l.lock(); version.fetch_add(1, Ordering::AcqRel); }",
+            ),
+            lex(
+                "core/src/balance.rs",
+                "fn rotate(&self) { self.relink(); nn.bump_version(); }",
+            ),
+        ];
+        let out = run(&files);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn raw_write_outside_enforcement_is_flagged() {
+        let files = [
+            lex("core/src/sync.rs", "pub fn lock_traced_versioned(version: &AtomicU32) { version.fetch_add(1, Ordering::AcqRel); }"),
+            lex(
+                "core/src/balance.rs",
+                "fn rotate(&self) { nn.bump_version(); }\n\
+                 fn sneaky(&self) { self.version.store(0, Ordering::Release); }",
+            ),
+        ];
+        let out = run(&files);
+        assert!(
+            out.iter().any(|f| f.rule == Rule::VersionBump
+                && f.fingerprint.starts_with("unregistered-version-rmw")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn helper_body_may_write_the_field() {
+        let files = [
+            lex("core/src/sync.rs", "pub fn lock_traced_versioned(version: &AtomicU32) { version.fetch_add(1, Ordering::AcqRel); }"),
+            lex(
+                "core/src/balance.rs",
+                "fn bump_version(&self) { self.version.fetch_add(2, Ordering::Release); }\n\
+                 fn rotate(&self) { nn.bump_version(); }",
+            ),
+        ];
+        let out = run(&files);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn pinned_site_without_bump_is_flagged() {
+        let files = [
+            lex("core/src/sync.rs", "pub fn lock_traced_versioned(version: &AtomicU32) { version.fetch_add(1, Ordering::AcqRel); }"),
+            lex("core/src/balance.rs", "fn rotate(&self) { self.relink(); }"),
+        ];
+        let out = run(&files);
+        assert!(
+            out.iter().any(|f| f.rule == Rule::VersionBump
+                && f.fingerprint.starts_with("missing-version-bump")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn unpinned_bump_call_is_flagged() {
+        let files = [
+            lex("core/src/sync.rs", "pub fn lock_traced_versioned(version: &AtomicU32) { version.fetch_add(1, Ordering::AcqRel); }"),
+            lex(
+                "core/src/balance.rs",
+                "fn rotate(&self) { nn.bump_version(); }\n\
+                 fn other(&self) { nn.bump_version(); }",
+            ),
+        ];
+        let out = run(&files);
+        assert!(
+            out.iter().any(|f| f.rule == Rule::VersionBump
+                && f.fingerprint.starts_with("unregistered-version-bump")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn missing_wrapper_is_a_manifest_finding() {
+        let files = [
+            lex("core/src/sync.rs", "pub fn unrelated() {}"),
+            lex("core/src/balance.rs", "fn rotate(&self) { nn.bump_version(); }"),
+        ];
+        let out = run(&files);
+        assert!(
+            out.iter().any(|f| f.rule == Rule::Manifest
+                && f.fingerprint.starts_with("missing-version-wrapper")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn stale_pin_is_a_manifest_finding() {
+        let files = [
+            lex(
+                "core/src/sync.rs",
+                "pub fn lock_traced_versioned(version: &AtomicU32) { version.fetch_add(1, Ordering::AcqRel); }",
+            ),
+            lex("core/src/balance.rs", "fn unrelated(&self) {}"),
+        ];
+        let out = run(&files);
+        assert!(
+            out.iter().any(|f| f.rule == Rule::Manifest
+                && f.fingerprint.starts_with("stale-version-pin")),
+            "{out:?}"
+        );
+    }
+}

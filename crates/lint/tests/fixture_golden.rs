@@ -43,6 +43,7 @@ fn every_rule_family_fires_on_the_fixture() {
         "lock-order",
         "unsafe-hygiene",
         "coverage",
+        "version-bump",
         "manifest",
     ] {
         assert!(rules.contains(&family), "family `{family}` produced no finding: {rules:?}");
@@ -57,7 +58,9 @@ fn negative_sites_stay_clean() {
     let report = lint_fixture(None);
     for f in &report.findings {
         assert!(
-            !f.message.contains("remove_ok") && !f.message.contains("restart_ok"),
+            !f.message.contains("remove_ok")
+                && !f.message.contains("restart_ok")
+                && !f.message.contains("rotate_ok"),
             "sanctioned site flagged: {}",
             f.message
         );

@@ -139,6 +139,16 @@ events! {
     /// A long scan dropped its epoch guard at a chunk boundary and
     /// re-pinned + re-anchored (the cursor's chunked re-pinning rule).
     ScanRepin => "scan-repin",
+    /// A writer restarted because its optimistic succ-window snapshot
+    /// failed validation (odd version, key-range mismatch, marked
+    /// predecessor, or a version change between read and lock — ISSUE 8).
+    /// Split from [`Event::LockContentionRestart`] so the optimistic
+    /// path's two failure modes are separately attributable.
+    ValidationRestart => "validation-restart",
+    /// A writer restarted because a non-blocking lock acquisition lost the
+    /// race (`try_lock` on a succ or tree lock returned false). The other
+    /// half of the former conflated `writer_restart` accounting.
+    LockContentionRestart => "lock-contention-restart",
 }
 
 /// Number of counter shards. Threads are striped across shards round-robin;

@@ -105,6 +105,10 @@ phases! {
     Rotation => "rotation",
     /// An ordered-scan epoch repin (guard refresh between chunks).
     ScanRepin => "scan-repin",
+    /// One optimistic succ-window validation (ISSUE 8): the even-version
+    /// read, the window-field reads, and the version re-check — the
+    /// lock-free work that replaced blocking succ-lock acquisition.
+    Validate => "validate",
 }
 
 /// Log₂ buckets per phase histogram (1 ns .. ~4 s).
@@ -943,7 +947,7 @@ mod tests {
 
     #[test]
     fn phase_names_and_indices_are_stable() {
-        assert_eq!(Phase::COUNT, 8);
+        assert_eq!(Phase::COUNT, 9);
         for (i, &p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
             assert_eq!(Phase::from_index(i), Some(p));

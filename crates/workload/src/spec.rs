@@ -40,6 +40,10 @@ impl Mix {
     pub const C70_I20_R10: Mix = Mix { contains: 70, insert: 20, remove: 10, range: 0, scan_len: 0 };
     /// 50% contains, 25% insert, 25% remove — the paper's write-heavy workload.
     pub const C50_I25_R25: Mix = Mix { contains: 50, insert: 25, remove: 25, range: 0, scan_len: 0 };
+    /// 10% contains, 60% insert, 30% remove — update-dominated extension
+    /// (ISSUE 8) stressing the writers' lock windows; converges to ⅔ of the
+    /// key range like the paper's 70-20-10 mix.
+    pub const C10_I60_R30: Mix = Mix { contains: 10, insert: 60, remove: 30, range: 0, scan_len: 0 };
 
     /// Short identifier used in table headers (e.g. `70c-20i-10r`; mixes
     /// with scans append the weight and window, e.g. `60c-20i-10r-10s64`).
@@ -219,6 +223,8 @@ mod tests {
         assert!((Mix::C100.steady_state_fraction() - 0.5).abs() < 1e-9);
         assert!((Mix::C50_I25_R25.steady_state_fraction() - 0.5).abs() < 1e-9);
         assert!((Mix::C70_I20_R10.steady_state_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((Mix::C10_I60_R30.steady_state_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(Mix::C10_I60_R30.label(), "10c-60i-30r");
     }
 
     #[test]
