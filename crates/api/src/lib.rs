@@ -147,6 +147,11 @@ pub enum PoisonCause {
     /// A writer panicked for a reason the tree did not inject (a genuine
     /// bug, or a panic from user code such as a key comparator).
     Panic,
+    /// An injected fault at a failpoint index this binary does not know —
+    /// the poison word was written by a newer binary with more failpoints
+    /// (e.g. a post-mortem decoded across a version skew). The raw index is
+    /// carried so the post-mortem stays unambiguous.
+    UnknownFailpoint(u32),
 }
 
 impl std::fmt::Display for PoisonCause {
@@ -155,6 +160,9 @@ impl std::fmt::Display for PoisonCause {
             PoisonCause::Failpoint(name) => write!(f, "injected fault at failpoint `{name}`"),
             PoisonCause::RestartStorm => write!(f, "restart budget exceeded (LO_MAX_RESTARTS)"),
             PoisonCause::Panic => write!(f, "writer panicked"),
+            PoisonCause::UnknownFailpoint(idx) => {
+                write!(f, "injected fault at unknown failpoint #{idx} (newer binary?)")
+            }
         }
     }
 }
@@ -170,6 +178,10 @@ pub enum TreeError {
     /// Node allocation failed (allocator exhaustion). The operation had no
     /// effect; the tree remains healthy and the call may be retried.
     AllocFailed,
+    /// A recoverer is repairing the tree right now. The operation had no
+    /// effect; retry (with backoff) — the tree will shortly be either
+    /// writable again or re-poisoned with the original cause.
+    Recovering,
 }
 
 impl std::fmt::Display for TreeError {
@@ -177,11 +189,140 @@ impl std::fmt::Display for TreeError {
         match self {
             TreeError::Poisoned(cause) => write!(f, "tree poisoned: {cause}"),
             TreeError::AllocFailed => write!(f, "node allocation failed"),
+            TreeError::Recovering => write!(f, "tree is recovering; retry shortly"),
         }
     }
 }
 
 impl std::error::Error for TreeError {}
+
+/// Writability state of a map, as reported by [`FallibleMap::health`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Healthy: writes are accepted.
+    Writable,
+    /// A writer death poisoned the structure; reads work, writes are
+    /// rejected until a successful [`FallibleMap::try_recover`].
+    Poisoned(PoisonCause),
+    /// A recoverer is quarantining/repairing the structure right now.
+    Recovering,
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Health::Writable => write!(f, "writable"),
+            Health::Poisoned(cause) => write!(f, "poisoned: {cause}"),
+            Health::Recovering => write!(f, "recovering"),
+        }
+    }
+}
+
+/// How [`FallibleMap::try_recover`] repaired the damaged layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairStrategy {
+    /// The audit found the physical layout consistent with the surviving
+    /// succ chain after window-local fixes; no structural rebuild was
+    /// needed.
+    AuditOnly,
+    /// The layout was rebuilt in place over the surviving chain nodes (the
+    /// common case: the chain is the durable truth, the layout is derived).
+    InPlace,
+    /// The chain itself was not trusted (genuine panic, unknown damage):
+    /// every reachable key/value pair was streamed into fresh nodes and the
+    /// old structure was retired wholesale.
+    StreamingRebuild,
+}
+
+impl std::fmt::Display for RepairStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RepairStrategy::AuditOnly => "audit-only",
+            RepairStrategy::InPlace => "in-place",
+            RepairStrategy::StreamingRebuild => "streaming-rebuild",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Why [`FallibleMap::try_recover`] declined or failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The structure is healthy — nothing to recover.
+    NotPoisoned,
+    /// Another thread is already recovering this structure; retry or poll
+    /// [`FallibleMap::health`].
+    Busy,
+    /// Post-repair verification failed: the structure was re-poisoned with
+    /// its original cause and stays read-only.
+    VerifyFailed,
+    /// This map type does not support online recovery (default for
+    /// implementations that never poison).
+    Unsupported,
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::NotPoisoned => write!(f, "tree is not poisoned"),
+            RecoverError::Busy => write!(f, "recovery already in progress"),
+            RecoverError::VerifyFailed => {
+                write!(f, "post-repair verification failed; tree re-poisoned")
+            }
+            RecoverError::Unsupported => write!(f, "this map does not support recovery"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Post-mortem of one successful online recovery, returned by
+/// [`FallibleMap::try_recover`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryReport {
+    /// Why the structure was poisoned.
+    pub cause: PoisonCause,
+    /// How the layout was repaired.
+    pub strategy: RepairStrategy,
+    /// In-flight writers the quarantine gate drained before the audit.
+    pub writers_drained: u32,
+    /// Live nodes carried over into the repaired structure.
+    pub nodes_salvaged: usize,
+    /// Nodes found unreachable from the surviving chain (or replaced by the
+    /// streaming rebuild) and retired through epoch reclamation.
+    pub nodes_orphaned: usize,
+    /// Stranded removal marks force-completed during the audit (the marked
+    /// node's half-done splice was finished and the node orphaned).
+    pub marks_completed: usize,
+    /// Version words whose seqlock parity was left odd by the unwinding
+    /// writer and repaired to the stable (even) phase.
+    pub parity_repairs: usize,
+    /// Recovery generation after the un-poison CAS (strictly increasing per
+    /// tree; generation 0 is the tree as constructed).
+    pub generation: u32,
+    /// Wall-clock time from quarantine entry to writable.
+    pub elapsed: std::time::Duration,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovered ({}) from `{}` in {:?}: drained {} writer(s), salvaged {} node(s), \
+             orphaned {}, completed {} stranded mark(s), repaired {} version word(s), \
+             generation {}",
+            self.strategy,
+            self.cause,
+            self.elapsed,
+            self.writers_drained,
+            self.nodes_salvaged,
+            self.nodes_orphaned,
+            self.marks_completed,
+            self.parity_repairs,
+            self.generation
+        )
+    }
+}
 
 /// Fallible write extension: maps that can reject writes instead of
 /// panicking or aborting — on allocation failure ([`TreeError::AllocFailed`])
@@ -199,8 +340,36 @@ pub trait FallibleMap<K: Key, V: Value>: ConcurrentMap<K, V> {
     fn try_remove(&self, key: &K) -> Result<bool, TreeError>;
 
     /// Current poison state: `None` while healthy, `Some(error)` once a
-    /// writer death has poisoned the tree.
+    /// writer death has poisoned the tree (or, transiently,
+    /// `Some(TreeError::Recovering)` while a recoverer holds the structure).
     fn poisoned(&self) -> Option<TreeError>;
+
+    /// Current writability state, derived from [`Self::poisoned`] by
+    /// default.
+    fn health(&self) -> Health {
+        match self.poisoned() {
+            None => Health::Writable,
+            Some(TreeError::Recovering) => Health::Recovering,
+            Some(TreeError::Poisoned(cause)) => Health::Poisoned(cause),
+            // `poisoned()` never reports a per-operation error, but the
+            // conservative reading of a nonstandard implementation is
+            // "not writable right now".
+            Some(TreeError::AllocFailed) => Health::Recovering,
+        }
+    }
+
+    /// Attempts to take a poisoned structure back to writable, online:
+    /// quarantine in-flight writers, audit the damage, repair the layout
+    /// from the surviving ordering chain, verify, and un-poison. Readers
+    /// are never blocked. Exactly one caller wins; concurrent callers get
+    /// [`RecoverError::Busy`].
+    ///
+    /// The default declines ([`RecoverError::Unsupported`]) so map types
+    /// that never poison (baselines) keep compiling; the `lo-core` maps
+    /// override it with the real protocol.
+    fn try_recover(&self) -> Result<RecoveryReport, RecoverError> {
+        Err(RecoverError::Unsupported)
+    }
 }
 
 /// A concurrent set view over any `ConcurrentMap<K, ()>`.
@@ -297,8 +466,72 @@ mod tests {
             "tree poisoned: restart budget exceeded (LO_MAX_RESTARTS)"
         );
         assert_eq!(TreeError::AllocFailed.to_string(), "node allocation failed");
+        assert_eq!(TreeError::Recovering.to_string(), "tree is recovering; retry shortly");
+        assert_eq!(
+            TreeError::Poisoned(PoisonCause::UnknownFailpoint(42)).to_string(),
+            "tree poisoned: injected fault at unknown failpoint #42 (newer binary?)"
+        );
         let boxed: Box<dyn std::error::Error> = Box::new(e);
         assert!(boxed.to_string().contains("remove-after-mark"));
+    }
+
+    #[test]
+    fn recovery_surface_defaults() {
+        // A plain FallibleMap gets `health()` and a declining `try_recover()`
+        // for free.
+        struct NeverPoisons(MutexMap<i64, u64>);
+        impl ConcurrentMap<i64, u64> for NeverPoisons {
+            fn insert(&self, key: i64, value: u64) -> bool {
+                self.0.insert(key, value)
+            }
+            fn remove(&self, key: &i64) -> bool {
+                self.0.remove(key)
+            }
+            fn contains(&self, key: &i64) -> bool {
+                self.0.contains(key)
+            }
+            fn get(&self, key: &i64) -> Option<u64> {
+                self.0.get(key)
+            }
+            fn name(&self) -> &'static str {
+                "never-poisons"
+            }
+        }
+        impl FallibleMap<i64, u64> for NeverPoisons {
+            fn try_insert(&self, key: i64, value: u64) -> Result<bool, TreeError> {
+                Ok(self.insert(key, value))
+            }
+            fn try_remove(&self, key: &i64) -> Result<bool, TreeError> {
+                Ok(self.remove(key))
+            }
+            fn poisoned(&self) -> Option<TreeError> {
+                None
+            }
+        }
+        let m = NeverPoisons(MutexMap(Mutex::new(BTreeMap::new())));
+        assert_eq!(m.health(), Health::Writable);
+        assert_eq!(m.try_recover(), Err(RecoverError::Unsupported));
+        assert_eq!(Health::Writable.to_string(), "writable");
+        assert_eq!(
+            Health::Poisoned(PoisonCause::Panic).to_string(),
+            "poisoned: writer panicked"
+        );
+        assert_eq!(RepairStrategy::InPlace.to_string(), "in-place");
+        let report = RecoveryReport {
+            cause: PoisonCause::Panic,
+            strategy: RepairStrategy::StreamingRebuild,
+            writers_drained: 2,
+            nodes_salvaged: 10,
+            nodes_orphaned: 3,
+            marks_completed: 1,
+            parity_repairs: 4,
+            generation: 1,
+            elapsed: std::time::Duration::from_micros(50),
+        };
+        let text = report.to_string();
+        assert!(text.contains("streaming-rebuild"));
+        assert!(text.contains("salvaged 10"));
+        assert!(text.contains("generation 1"));
     }
 
     #[test]

@@ -118,7 +118,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         let mut budget = RestartBudget::new();
         loop {
             n.unlock_tree();
-            poison::abort_if_poisoned(&self.poisoned);
+            poison::abort_if_poisoned(&self.gate);
             budget.tick();
             n.lock_tree();
             // Relaxed: marking requires the node's tree lock, which we hold.

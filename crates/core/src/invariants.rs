@@ -48,15 +48,23 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// Panics with a diagnostic on the first violated invariant. Must only be
     /// called at quiescence. Returns a census of the validated structure.
     pub(crate) fn check_invariants_quiescent(&self) -> InvariantReport {
-        let g = epoch::pin();
-        let root = self.root_sh(&g);
-        let head = self.head_sh(&g);
         // Poisoned tree ⇒ degraded mode: the chain invariants (1 and 5)
         // still hold at every cataloged failpoint window — they are what a
         // dead writer is *guaranteed* to have kept consistent (ordering
         // repairs strictly precede layout repairs) — but the layout may be
         // mid-transition, so invariants 2–4 are skipped.
-        let degraded = self.poison_error().is_some();
+        self.check_invariants_with(self.poison_error().is_some())
+    }
+
+    /// [`Self::check_invariants_quiescent`] with the degraded decision forced
+    /// by the caller. Recovery uses `degraded = false` to assert the *full*
+    /// invariant set on a tree whose gate still reads `RECOVERING` — the
+    /// post-repair verification step must not get the poisoned-tree leniency
+    /// it is supposed to be certifying away.
+    pub(crate) fn check_invariants_with(&self, degraded: bool) -> InvariantReport {
+        let g = epoch::pin();
+        let root = self.root_sh(&g);
+        let head = self.head_sh(&g);
 
         // --- 1. ordering chain ---
         let mut chain: Vec<Shared<'_, Node<K, V>>> = Vec::new();

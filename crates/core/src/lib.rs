@@ -54,6 +54,7 @@ mod node;
 mod ordered;
 mod pe;
 mod poison;
+mod recover;
 mod tree;
 mod update;
 
@@ -65,6 +66,15 @@ pub use maps::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
 /// Fallible-write error surface (re-exported from `lo-api`): poisoning
 /// causes and the `try_*` error type, plus the trait the maps implement.
 pub use lo_api::{FallibleMap, PoisonCause, TreeError};
+
+/// Online-recovery surface (re-exported from `lo-api`): health probes and
+/// the quarantine→audit→repair→resume entry point's report/error types.
+pub use lo_api::{Health, RecoverError, RecoveryReport, RepairStrategy};
+
+/// Forces the streaming-rebuild recovery strategy for recoveries run on the
+/// calling thread. Test/bench hook; not part of the stable API.
+#[doc(hidden)]
+pub use recover::force_streaming_rebuild;
 
 /// Core map traits (re-exported from `lo-api`) so downstream users get the
 /// point-op and ordered-access surfaces without a separate dependency:

@@ -3,8 +3,8 @@
 use crate::invariants::InvariantReport;
 use crate::tree::LoTree;
 use lo_api::{
-    CheckInvariants, ConcurrentMap, FallibleMap, Key, OrderedRead, QuiescentOrdered, TreeError,
-    Value,
+    CheckInvariants, ConcurrentMap, FallibleMap, Health, Key, OrderedRead, QuiescentOrdered,
+    RecoverError, RecoveryReport, TreeError, Value,
 };
 
 macro_rules! define_map {
@@ -206,6 +206,30 @@ macro_rules! define_map {
             pub fn poisoned(&self) -> Option<TreeError> {
                 self.tree.poison_error()
             }
+
+            /// Writability state: healthy, poisoned (with its cause), or
+            /// currently being recovered. Reads work in every state.
+            pub fn health(&self) -> Health {
+                self.tree.health()
+            }
+
+            /// Takes a poisoned map back to fully writable, **online**:
+            /// quarantines writers behind the gate (lock-free reads keep
+            /// running), audits the damage against the surviving ordering
+            /// chain, rebuilds the physical layout if needed, verifies the
+            /// full invariant set, and only then re-opens the gate with a
+            /// bumped recovery generation. Returns a [`RecoveryReport`]
+            /// post-mortem, or declines with [`RecoverError::NotPoisoned`] /
+            /// [`RecoverError::Busy`] / [`RecoverError::VerifyFailed`].
+            pub fn try_recover(&self) -> Result<RecoveryReport, RecoverError> {
+                self.tree.try_recover()
+            }
+
+            /// Monotone recovery generation: 0 as constructed, +1 per
+            /// successful [`Self::try_recover`].
+            pub fn recovery_generation(&self) -> u32 {
+                self.tree.recovery_generation()
+            }
         }
 
         impl<K: Key, V: Value> Default for $name<K, V> {
@@ -244,6 +268,12 @@ macro_rules! define_map {
             }
             fn poisoned(&self) -> Option<TreeError> {
                 $name::poisoned(self)
+            }
+            fn health(&self) -> Health {
+                $name::health(self)
+            }
+            fn try_recover(&self) -> Result<RecoveryReport, RecoverError> {
+                $name::try_recover(self)
             }
         }
 
@@ -478,6 +508,36 @@ mod tests {
         assert_eq!(m.try_remove(&1), Ok(false));
         assert_eq!(m.poisoned(), None);
         m.check_invariants();
+    }
+
+    #[test]
+    fn recovery_surface_round_trip_all_variants() {
+        fn round_trip<M, F>(m: &M, poison: F)
+        where
+            M: FallibleMap<i64, u64> + CheckInvariants,
+            F: FnOnce(),
+        {
+            assert_eq!(m.health(), Health::Writable);
+            assert!(m.try_insert(1, 10).unwrap());
+            assert!(m.try_insert(2, 20).unwrap());
+            poison();
+            assert!(matches!(m.health(), Health::Poisoned(_)));
+            assert!(m.try_insert(3, 30).is_err());
+            let report = m.try_recover().expect("undamaged poison must recover");
+            assert_eq!(report.generation, 1);
+            assert_eq!(m.health(), Health::Writable);
+            assert!(m.try_insert(3, 30).unwrap());
+            m.check_invariants();
+            assert_eq!(m.try_recover().err(), Some(RecoverError::NotPoisoned));
+        }
+        let a = LoAvlMap::new();
+        round_trip(&a, || a.tree.gate.poison(crate::poison::CODE_RESTART_STORM));
+        let b = LoBstMap::new();
+        round_trip(&b, || b.tree.gate.poison(crate::poison::CODE_RESTART_STORM));
+        let c = LoPeAvlMap::new();
+        round_trip(&c, || c.tree.gate.poison(crate::poison::CODE_RESTART_STORM));
+        let d = LoPeBstMap::new();
+        round_trip(&d, || d.tree.gate.poison(crate::poison::CODE_RESTART_STORM));
     }
 
     #[test]

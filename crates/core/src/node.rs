@@ -335,6 +335,16 @@ impl<K, V> Node<K, V> {
     pub(crate) fn bump_version(&self) {
         self.version.fetch_add(2, Ordering::Release);
     }
+
+    /// Recovery-audit hook: re-evens a version word left odd by a writer
+    /// that died inside its lock window (see
+    /// [`sync::repair_version_parity`](crate::sync::repair_version_parity)
+    /// for the protocol argument). Returns `true` if a repair was needed.
+    /// Keeps `recover.rs` off the raw `version` field.
+    #[inline]
+    pub(crate) fn repair_version_parity(&self) -> bool {
+        crate::sync::repair_version_parity(&self.version)
+    }
 }
 
 /// Instrumented lock acquire/release wrappers — the **single enforcement

@@ -29,10 +29,10 @@
 //! no extra shared-memory traffic.
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crate::sync::NodeLock;
-use lo_api::{PoisonCause, TreeError};
+use lo_api::{PoisonCause, RecoverError, TreeError};
 use lo_check::fail::FailPoint;
 use lo_check::lockdep::LockClass;
 
@@ -74,7 +74,8 @@ impl HeldLock {
     }
 }
 
-/// Poison-word values. `0` = healthy; anything else encodes a
+/// Gate-state values (the high half of [`WriterGate`]'s word). `0` =
+/// healthy; `u32::MAX` = recovery in progress; anything else encodes a
 /// [`TreeError::Poisoned`] cause.
 pub(crate) const CODE_HEALTHY: u32 = 0;
 /// An uninjected (genuine) writer panic.
@@ -83,18 +84,171 @@ pub(crate) const CODE_PANIC: u32 = 1;
 pub(crate) const CODE_RESTART_STORM: u32 = 2;
 /// Base for failpoint causes: `CODE_FAILPOINT_BASE + FailPoint::index()`.
 pub(crate) const CODE_FAILPOINT_BASE: u32 = 3;
+/// A recoverer holds the tree: writes bounce with [`TreeError::Recovering`]
+/// until `finish_recovery` restores `CODE_HEALTHY` (or the prior cause).
+/// Deliberately the top of the range so it can never collide with a
+/// failpoint code from a newer binary.
+pub(crate) const CODE_RECOVERING: u32 = u32::MAX;
 
-/// Decodes a nonzero poison word into the public error.
+/// Decodes a nonzero, non-recovering poison code into the public error.
 pub(crate) fn decode(code: u32) -> TreeError {
     debug_assert_ne!(code, CODE_HEALTHY);
+    debug_assert_ne!(code, CODE_RECOVERING);
     match code {
         CODE_PANIC => TreeError::Poisoned(PoisonCause::Panic),
         CODE_RESTART_STORM => TreeError::Poisoned(PoisonCause::RestartStorm),
         n => {
-            let idx = (n - CODE_FAILPOINT_BASE) as usize;
-            let name = FailPoint::ALL.get(idx).map_or("unknown", |p| p.name());
-            TreeError::Poisoned(PoisonCause::Failpoint(name))
+            let idx = n - CODE_FAILPOINT_BASE;
+            match FailPoint::ALL.get(idx as usize) {
+                Some(p) => TreeError::Poisoned(PoisonCause::Failpoint(p.name())),
+                // A code this binary has no name for (version skew): keep
+                // the raw index so the post-mortem stays unambiguous.
+                None => TreeError::Poisoned(PoisonCause::UnknownFailpoint(idx)),
+            }
         }
+    }
+}
+
+/// The cause a successful recovery reports for a given poison code.
+pub(crate) fn decode_cause(code: u32) -> PoisonCause {
+    match decode(code) {
+        TreeError::Poisoned(cause) => cause,
+        // decode() only ever returns Poisoned.
+        _ => PoisonCause::Panic,
+    }
+}
+
+// ----------------------------------------------------------------------
+// The active-writer gate.
+// ----------------------------------------------------------------------
+
+/// Per-tree quarantine gate: one `AtomicU64` whose low half counts
+/// in-flight writers (threads inside a [`WriteScope`]) and whose high half
+/// is the tree state (healthy / poisoned cause / recovering).
+///
+/// Packing both into one word makes every transition a single RMW, so the
+/// invariants hold without `SeqCst` (banned workspace-wide):
+///
+/// * a writer only registers while the state is `CODE_HEALTHY`, so once a
+///   recoverer has flipped the state, the count can only go down;
+/// * [`WriteScope`]'s drop deregisters *last* — after the unwind path has
+///   released every held lock — so a recoverer that observes the count at
+///   zero (Acquire, pairing with the `exit` Release) knows every node lock
+///   is free and every dead writer's stores are visible.
+///
+/// The gate is the only writable/poisoned/recovering authority for a tree;
+/// its state-changing surface is confined to this file and `recover.rs`
+/// (enforced by lo-lint's recovery rule).
+pub(crate) struct WriterGate {
+    word: AtomicU64,
+}
+
+const GATE_COUNT_MASK: u64 = 0xFFFF_FFFF;
+
+impl WriterGate {
+    pub(crate) const fn new() -> Self {
+        WriterGate { word: AtomicU64::new(0) }
+    }
+
+    #[inline(always)]
+    fn state_of(word: u64) -> u32 {
+        (word >> 32) as u32
+    }
+
+    #[inline(always)]
+    fn count_of(word: u64) -> u32 {
+        (word & GATE_COUNT_MASK) as u32
+    }
+
+    /// Current state code (`CODE_*`).
+    #[inline]
+    pub(crate) fn state(&self) -> u32 {
+        Self::state_of(self.word.load(Ordering::Acquire))
+    }
+
+    /// Current error for the public surface: `None` while healthy.
+    pub(crate) fn error(&self) -> Option<TreeError> {
+        match self.state() {
+            CODE_HEALTHY => None,
+            CODE_RECOVERING => Some(TreeError::Recovering),
+            code => Some(decode(code)),
+        }
+    }
+
+    /// Registers an in-flight writer; fails once poisoned or recovering.
+    /// Acquire on success pairs with `finish_recovery`'s Release so a
+    /// writer admitted after a recovery sees the repaired layout.
+    #[inline]
+    pub(crate) fn enter(&self) -> Result<(), TreeError> {
+        match self.word.fetch_update(Ordering::Acquire, Ordering::Acquire, |w| {
+            (Self::state_of(w) == CODE_HEALTHY).then_some(w + 1)
+        }) {
+            Ok(_) => Ok(()),
+            Err(w) => Err(match Self::state_of(w) {
+                CODE_RECOVERING => TreeError::Recovering,
+                code => decode(code),
+            }),
+        }
+    }
+
+    /// Deregisters an in-flight writer. Must be the *last* thing a
+    /// [`WriteScope`] does (normal return or unwind): the Release makes
+    /// everything the writer did — including its lock releases — visible
+    /// to a recoverer that observes the drained count.
+    #[inline]
+    pub(crate) fn exit(&self) {
+        let prev = self.word.fetch_sub(1, Ordering::Release);
+        debug_assert_ne!(Self::count_of(prev), 0, "gate exit without a matching enter");
+    }
+
+    /// In-flight writer count (Acquire: pairs with `exit`).
+    #[inline]
+    pub(crate) fn writers(&self) -> u32 {
+        Self::count_of(self.word.load(Ordering::Acquire))
+    }
+
+    /// Installs a poison cause, first-cause-wins: a no-op when the state is
+    /// already a cause *or* `CODE_RECOVERING` (a writer dying while
+    /// quarantined must not clobber the recoverer's claim — the recoverer
+    /// itself decides what state to leave behind). Preserves the count.
+    pub(crate) fn poison(&self, code: u32) {
+        debug_assert_ne!(code, CODE_HEALTHY);
+        debug_assert_ne!(code, CODE_RECOVERING);
+        let _ = self.word.fetch_update(Ordering::Release, Ordering::Relaxed, |w| {
+            (Self::state_of(w) == CODE_HEALTHY)
+                .then_some((w & GATE_COUNT_MASK) | (u64::from(code) << 32))
+        });
+    }
+
+    /// Claims the gate for recovery: flips a poisoned state to
+    /// `CODE_RECOVERING` and returns the prior cause code. Exactly one
+    /// caller wins; a healthy tree declines with
+    /// [`RecoverError::NotPoisoned`], a concurrent recoverer with
+    /// [`RecoverError::Busy`].
+    pub(crate) fn begin_recovery(&self) -> Result<u32, RecoverError> {
+        match self.word.fetch_update(Ordering::Acquire, Ordering::Acquire, |w| {
+            let s = Self::state_of(w);
+            (s != CODE_HEALTHY && s != CODE_RECOVERING)
+                .then_some((w & GATE_COUNT_MASK) | (u64::from(CODE_RECOVERING) << 32))
+        }) {
+            Ok(prev) => Ok(Self::state_of(prev)),
+            Err(w) if Self::state_of(w) == CODE_HEALTHY => Err(RecoverError::NotPoisoned),
+            Err(_) => Err(RecoverError::Busy),
+        }
+    }
+
+    /// Ends recovery, storing `code` (`CODE_HEALTHY` on success, the prior
+    /// cause when verification failed) and preserving the count. Release:
+    /// pairs with `enter`'s Acquire so admitted writers see the repair.
+    pub(crate) fn finish_recovery(&self, code: u32) {
+        let prev = self.word.fetch_update(Ordering::Release, Ordering::Relaxed, |w| {
+            Some((w & GATE_COUNT_MASK) | (u64::from(code) << 32))
+        });
+        debug_assert_eq!(
+            prev.map(Self::state_of),
+            Ok(CODE_RECOVERING),
+            "finish_recovery without begin_recovery"
+        );
     }
 }
 
@@ -181,37 +335,36 @@ pub(crate) fn panic_with_effect(msg: &str) -> ! {
     std::panic::panic_any(format!("{msg} {marker}"))
 }
 
-/// Panic (through the poisoning path) if `poisoned` is set: a writer that
-/// would otherwise wait on — or retry against — structure stranded by a
-/// dead thread aborts instead of livelocking. Called at the restart/wait
-/// edges of every update loop.
+/// Panic (through the poisoning path) if the gate is not healthy: a writer
+/// that would otherwise wait on — or retry against — structure stranded by
+/// a dead thread (or currently being repaired by a recoverer) aborts
+/// instead of livelocking. Called at the restart/wait edges of every
+/// update loop; during a quarantine this is what drains in-flight writers
+/// quickly.
 #[inline]
-pub(crate) fn abort_if_poisoned(poisoned: &AtomicU32) {
-    let code = poisoned.load(Ordering::Acquire);
-    if code != CODE_HEALTHY {
+pub(crate) fn abort_if_poisoned(gate: &WriterGate) {
+    if let Some(e) = gate.error() {
         // Keep the already-installed cause; this thread's unwind should
-        // not overwrite it (compare_exchange in `WriteScope::drop` won't).
-        panic_with_effect(&format!("aborting writer: {}", decode(code)));
+        // not overwrite it (`WriterGate::poison` is first-cause-wins).
+        panic_with_effect(&format!("aborting writer: {e}"));
     }
 }
 
 /// Operation-granularity unwind guard. Constructed at the top of every
-/// write operation; on a panicking drop it releases the thread's held
-/// locks and poisons the tree.
+/// write operation; registers the writer with the tree's [`WriterGate`],
+/// and on a panicking drop releases the thread's held locks and poisons
+/// the tree.
 pub(crate) struct WriteScope<'t> {
-    poisoned: &'t AtomicU32,
+    gate: &'t WriterGate,
 }
 
 impl<'t> WriteScope<'t> {
     /// Enters a write scope, first rejecting the write if the tree is
-    /// already poisoned.
-    pub(crate) fn enter(poisoned: &'t AtomicU32) -> Result<Self, TreeError> {
-        let code = poisoned.load(Ordering::Acquire);
-        if code != CODE_HEALTHY {
-            return Err(decode(code));
-        }
+    /// already poisoned or quarantined by a recoverer.
+    pub(crate) fn enter(gate: &'t WriterGate) -> Result<Self, TreeError> {
+        gate.enter()?;
         LINEARIZED.with(|c| c.set(false));
-        Ok(WriteScope { poisoned })
+        Ok(WriteScope { gate })
     }
 }
 
@@ -222,6 +375,7 @@ impl Drop for WriteScope<'_> {
                 HELD.with(|h| h.borrow().is_empty()),
                 "write operation returned with locks still registered"
             );
+            self.gate.exit();
             return;
         }
         // Poison FIRST (Release pairs with the Acquire loads in
@@ -230,12 +384,7 @@ impl Drop for WriteScope<'_> {
         // instead of trusting the half-updated structure.
         let code = PENDING.with(Cell::take);
         let code = if code == CODE_HEALTHY { CODE_PANIC } else { code };
-        let _ = self.poisoned.compare_exchange(
-            CODE_HEALTHY,
-            code,
-            Ordering::Release,
-            Ordering::Relaxed,
-        );
+        self.gate.poison(code);
         // Latch a flight-recorder post-mortem: the chaos harness (or any
         // caller that armed the latch) can now take one Chrome-trace dump
         // of every thread's ring. No-op without the `trace` feature.
@@ -252,6 +401,10 @@ impl Drop for WriteScope<'_> {
             // (held nodes are never retired).
             unsafe { (*e.lock).unlock_traced() };
         }
+        // Deregister LAST: once a recoverer observes the drained gate,
+        // every lock this writer held has been released and every store it
+        // made is visible (`exit` is a Release the drain loop Acquires).
+        self.gate.exit();
     }
 }
 
@@ -263,6 +416,25 @@ pub(crate) fn expect_writable<T>(r: Result<T, TreeError>) -> T {
     match r {
         Ok(v) => v,
         Err(e) => panic!("{e}"),
+    }
+}
+
+/// Bridges the infallible surface across an online recovery: retries `op`
+/// with [`ContentionBackoff`] while it reports
+/// [`TreeError::Recovering`] — the repair window is bounded (one audit +
+/// rebuild), so spinning with backoff is the right shape for callers with
+/// no error channel. Fallible callers instead see `Recovering` directly
+/// and choose their own policy.
+#[inline]
+pub(crate) fn block_during_recovery<T>(
+    mut op: impl FnMut() -> Result<T, TreeError>,
+) -> Result<T, TreeError> {
+    let mut backoff = crate::sync::ContentionBackoff::new();
+    loop {
+        match op() {
+            Err(TreeError::Recovering) => backoff.pause(),
+            r => return r,
+        }
     }
 }
 
@@ -295,7 +467,10 @@ pub fn set_max_restarts(limit: u32) {
 /// Per-operation consecutive-restart counter. Each restart edge calls
 /// [`tick`](Self::tick); exceeding the configured bound panics through the
 /// poisoning path (a storm tripwire, not a recovery mechanism), and the
-/// high-water count feeds the `restarts-consecutive-max` gauge.
+/// high-water count feeds the `restarts-consecutive-max` gauge. Real
+/// forward progress — a successful optimistic-window confirm — resets the
+/// counter via [`note_progress`](Self::note_progress), so a long mixed
+/// operation cannot trip the bound on restarts it already absorbed.
 pub(crate) struct RestartBudget {
     count: u32,
     limit: u32,
@@ -325,6 +500,14 @@ impl RestartBudget {
             ));
         }
     }
+
+    /// Resets the consecutive-restart counter: the operation just made
+    /// verifiable progress (its optimistic window confirmed), so the storm
+    /// bound should measure *consecutive* fruitless restarts from here.
+    #[inline]
+    pub(crate) fn note_progress(&mut self) {
+        self.count = 0;
+    }
 }
 
 #[cfg(test)]
@@ -341,25 +524,86 @@ mod tests {
                 TreeError::Poisoned(PoisonCause::Failpoint(p.name()))
             );
         }
+        // Out-of-range codes (a poison word from a newer binary with more
+        // failpoints) keep their raw index instead of collapsing to a
+        // single ambiguous "unknown".
+        let beyond = CODE_FAILPOINT_BASE + FailPoint::COUNT as u32 + 5;
+        assert_eq!(
+            decode(beyond),
+            TreeError::Poisoned(PoisonCause::UnknownFailpoint(FailPoint::COUNT as u32 + 5))
+        );
     }
 
     #[test]
     fn scope_enter_rejects_poisoned() {
-        let word = AtomicU32::new(CODE_RESTART_STORM);
+        let gate = WriterGate::new();
+        gate.poison(CODE_RESTART_STORM);
         assert_eq!(
-            WriteScope::enter(&word).err(),
+            WriteScope::enter(&gate).err(),
             Some(TreeError::Poisoned(PoisonCause::RestartStorm))
         );
-        let healthy = AtomicU32::new(CODE_HEALTHY);
+        let healthy = WriterGate::new();
         assert!(WriteScope::enter(&healthy).is_ok());
     }
 
     #[test]
+    fn gate_counts_writers_and_orders_recovery() {
+        let gate = WriterGate::new();
+        assert_eq!(gate.writers(), 0);
+        assert_eq!(gate.error(), None);
+        let s1 = WriteScope::enter(&gate).unwrap();
+        let s2 = WriteScope::enter(&gate).unwrap();
+        assert_eq!(gate.writers(), 2);
+        // Recovery cannot start on a healthy tree.
+        assert_eq!(gate.begin_recovery(), Err(RecoverError::NotPoisoned));
+        // Poisoning preserves the in-flight count; first cause wins.
+        gate.poison(CODE_PANIC);
+        gate.poison(CODE_RESTART_STORM);
+        assert_eq!(gate.writers(), 2);
+        assert_eq!(gate.error(), Some(TreeError::Poisoned(PoisonCause::Panic)));
+        // New writers bounce, in-flight writers drain through scope drops.
+        assert!(WriteScope::enter(&gate).is_err());
+        drop(s1);
+        assert_eq!(gate.writers(), 1);
+        // Exactly one recoverer wins the claim.
+        assert_eq!(gate.begin_recovery(), Ok(CODE_PANIC));
+        assert_eq!(gate.begin_recovery(), Err(RecoverError::Busy));
+        assert_eq!(gate.error(), Some(TreeError::Recovering));
+        assert_eq!(WriteScope::enter(&gate).err(), Some(TreeError::Recovering));
+        // A writer dying while quarantined cannot clobber the claim.
+        gate.poison(CODE_PANIC);
+        assert_eq!(gate.error(), Some(TreeError::Recovering));
+        drop(s2);
+        assert_eq!(gate.writers(), 0);
+        gate.finish_recovery(CODE_HEALTHY);
+        assert_eq!(gate.error(), None);
+        assert!(WriteScope::enter(&gate).is_ok());
+    }
+
+    #[test]
+    fn block_during_recovery_retries_until_resolved() {
+        let mut bounces = 0;
+        let r: Result<u32, TreeError> = block_during_recovery(|| {
+            if bounces < 3 {
+                bounces += 1;
+                Err(TreeError::Recovering)
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(r, Ok(7));
+        assert_eq!(bounces, 3);
+        // Non-recovering errors pass straight through.
+        let r: Result<u32, TreeError> = block_during_recovery(|| Err(TreeError::AllocFailed));
+        assert_eq!(r, Err(TreeError::AllocFailed));
+    }
+
+    #[test]
     fn panicking_scope_releases_locks_and_poisons() {
-        let word = AtomicU32::new(CODE_HEALTHY);
+        let gate = WriterGate::new();
         let lock = NodeLock::new();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _scope = WriteScope::enter(&word).unwrap();
+            let _scope = WriteScope::enter(&gate).unwrap();
             lock.lock_traced(
                 lo_check::lockdep::LockClass::Tree,
                 lo_check::lockdep::Rank::Opaque,
@@ -372,24 +616,25 @@ mod tests {
         let msg = lo_check::fail::panic_message(err.as_ref()).unwrap();
         assert_eq!(lo_check::fail::effect_in_message(msg), Some(false));
         assert!(!lock.is_locked(), "unwind must release registered locks");
-        assert_eq!(word.load(Ordering::Acquire), CODE_PANIC);
+        assert_eq!(gate.state(), CODE_PANIC);
+        assert_eq!(gate.writers(), 0, "the dying scope must still deregister");
         // First cause wins: a second death cannot re-poison.
         let again = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             set_pending(CODE_RESTART_STORM);
-            let _scope = match WriteScope::enter(&word) {
+            let _scope = match WriteScope::enter(&gate) {
                 Ok(s) => s,
                 Err(e) => panic!("{e}"),
             };
         }));
         assert!(again.is_err());
-        assert_eq!(word.load(Ordering::Acquire), CODE_PANIC);
+        assert_eq!(gate.state(), CODE_PANIC);
     }
 
     #[test]
     fn linearized_marker_tracks_scope() {
-        let word = AtomicU32::new(CODE_HEALTHY);
+        let gate = WriterGate::new();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _scope = WriteScope::enter(&word).unwrap();
+            let _scope = WriteScope::enter(&gate).unwrap();
             note_linearized();
             panic_with_effect("death after linearization");
         }));
@@ -397,9 +642,9 @@ mod tests {
         let msg = lo_check::fail::panic_message(err.as_ref()).unwrap();
         assert_eq!(lo_check::fail::effect_in_message(msg), Some(true));
         // The next scope resets the flag.
-        let word2 = AtomicU32::new(CODE_HEALTHY);
+        let gate2 = WriterGate::new();
         let result2 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _scope = WriteScope::enter(&word2).unwrap();
+            let _scope = WriteScope::enter(&gate2).unwrap();
             panic_with_effect("death before linearization");
         }));
         let msg2_err = result2.unwrap_err();
@@ -410,9 +655,9 @@ mod tests {
     #[test]
     fn restart_budget_trips_at_limit() {
         set_max_restarts(4);
-        let word = AtomicU32::new(CODE_HEALTHY);
+        let gate = WriterGate::new();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _scope = WriteScope::enter(&word).unwrap();
+            let _scope = WriteScope::enter(&gate).unwrap();
             let mut budget = RestartBudget::new();
             for _ in 0..10 {
                 budget.tick();
@@ -420,8 +665,8 @@ mod tests {
         }));
         set_max_restarts(0);
         assert!(result.is_err());
-        assert_eq!(word.load(Ordering::Acquire), CODE_RESTART_STORM);
-        assert_eq!(decode(word.load(Ordering::Acquire)), TreeError::Poisoned(PoisonCause::RestartStorm));
+        assert_eq!(gate.state(), CODE_RESTART_STORM);
+        assert_eq!(decode(gate.state()), TreeError::Poisoned(PoisonCause::RestartStorm));
         // Unlimited (0) never trips.
         let mut budget = RestartBudget::new();
         for _ in 0..100_000 {
@@ -430,14 +675,36 @@ mod tests {
     }
 
     #[test]
+    fn restart_budget_resets_on_progress() {
+        set_max_restarts(4);
+        let gate = WriterGate::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = WriteScope::enter(&gate).unwrap();
+            let mut budget = RestartBudget::new();
+            // A long mixed operation: three restarts, then a confirmed
+            // window, repeatedly — must never trip a bound of four.
+            for _ in 0..8 {
+                for _ in 0..3 {
+                    budget.tick();
+                }
+                budget.note_progress();
+            }
+        }));
+        set_max_restarts(0);
+        assert!(result.is_ok(), "progress resets must keep the budget below the bound");
+        assert_eq!(gate.state(), CODE_HEALTHY);
+    }
+
+    #[test]
     fn abort_if_poisoned_fires_only_when_poisoned() {
-        let healthy = AtomicU32::new(CODE_HEALTHY);
+        let healthy = WriterGate::new();
         abort_if_poisoned(&healthy); // must not panic
-        let word = AtomicU32::new(CODE_FAILPOINT_BASE + FailPoint::RemoveAfterMark.index() as u32);
-        let healthy_scope = AtomicU32::new(CODE_HEALTHY);
+        let gate = WriterGate::new();
+        gate.poison(CODE_FAILPOINT_BASE + FailPoint::RemoveAfterMark.index() as u32);
+        let healthy_scope = WriterGate::new();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _scope = WriteScope::enter(&healthy_scope).unwrap();
-            abort_if_poisoned(&word);
+            abort_if_poisoned(&gate);
         }));
         let err = result.unwrap_err();
         let msg = lo_check::fail::panic_message(err.as_ref()).unwrap();

@@ -156,8 +156,10 @@ impl NodeLock {
     ) {
         self.lock_traced(class, rank, how);
         // No parity assert: a poisoned-tree unwind releases locks without
-        // the even bump (benign — the tree rejects all further writes), so
-        // post-poison parity is legitimately off.
+        // the even bump, so post-poison parity is legitimately odd until a
+        // recovery audit re-evens it with `repair_version_parity` (writes
+        // are rejected in between, so no optimistic reader can validate
+        // against the stale phase).
         version.fetch_add(1, Ordering::AcqRel);
     }
 
@@ -182,6 +184,25 @@ impl NodeLock {
         version.fetch_add(1, Ordering::Release);
         self.unlock_traced();
     }
+}
+
+/// Re-evens a version word left odd by a dead writer's unwind (the unwind
+/// releases locks without the writer-exit bump). Recovery-audit use only,
+/// with the tree quarantined: the writer gate is drained, so no lock cycle
+/// is in flight and the odd phase can only be the stale one. Returns
+/// whether a repair was needed. Release pairs with validating readers'
+/// Acquire re-reads, like the writer-exit bump it stands in for.
+#[inline]
+pub(crate) fn repair_version_parity(version: &std::sync::atomic::AtomicU32) -> bool {
+    if version.load(Ordering::Acquire) & 1 == 1 {
+        version.fetch_add(1, Ordering::Release);
+        true
+    } else {
+        false
+    }
+}
+
+impl NodeLock {
 
     /// Blocking acquire.
     ///
@@ -465,5 +486,17 @@ mod tests {
     fn spin_lock_mutual_exclusion() {
         let total = hammer(Arc::new(SpinLock::new()), SpinLock::lock, SpinLock::unlock);
         assert_eq!(total, 4 * 20_000);
+    }
+
+    #[test]
+    fn version_parity_repair() {
+        use std::sync::atomic::AtomicU32;
+        let even = AtomicU32::new(4);
+        assert!(!repair_version_parity(&even), "even words are left alone");
+        assert_eq!(even.load(Ordering::Relaxed), 4);
+        let odd = AtomicU32::new(5);
+        assert!(repair_version_parity(&odd), "odd words are re-evened");
+        assert_eq!(odd.load(Ordering::Relaxed), 6);
+        assert!(!repair_version_parity(&odd), "repair is idempotent");
     }
 }

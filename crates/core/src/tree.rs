@@ -39,10 +39,14 @@ pub(crate) struct LoTree<K: Key, V: Value> {
     /// Partially-external mode: 2-children removals only set the `zombie`
     /// flag; inserts revive zombies; physical removal is deferred.
     pub(crate) partially_external: bool,
-    /// Poison word: `0` = healthy; otherwise a `poison::decode`-able cause
-    /// installed by a dying writer's `WriteScope`. Never read on the
-    /// lock-free lookup paths — a poisoned tree stays readable.
-    pub(crate) poisoned: AtomicU32,
+    /// Quarantine gate: in-flight writer count + tree state (healthy /
+    /// poisoned cause / recovering) in one word. Never read on the
+    /// lock-free lookup paths — a poisoned tree stays readable. Its
+    /// state-changing surface lives in `poison.rs`/`recover.rs` only.
+    pub(crate) gate: crate::poison::WriterGate,
+    /// Monotone recovery generation: bumped by every successful
+    /// `try_recover`; generation 0 is the tree as constructed.
+    pub(crate) recovery_gen: AtomicU32,
 }
 
 impl<K: Key, V: Value> LoTree<K, V> {
@@ -55,7 +59,8 @@ impl<K: Key, V: Value> LoTree<K, V> {
             arena: std::sync::Arc::new(crate::arena::Arena::new()),
             balanced,
             partially_external,
-            poisoned: AtomicU32::new(crate::poison::CODE_HEALTHY),
+            gate: crate::poison::WriterGate::new(),
+            recovery_gen: AtomicU32::new(0),
         };
         // SAFETY: [inv:unprotected-quiescent] the tree is not yet shared; no other
         // thread can free nodes.
@@ -119,12 +124,15 @@ impl<K: Key, V: Value> LoTree<K, V> {
         }
     }
 
-    /// The current poison state (`None` while healthy).
+    /// The current poison/recovery state (`None` while healthy).
     pub(crate) fn poison_error(&self) -> Option<TreeError> {
-        match self.poisoned.load(Ordering::Acquire) {
-            crate::poison::CODE_HEALTHY => None,
-            code => Some(crate::poison::decode(code)),
-        }
+        self.gate.error()
+    }
+
+    /// The current recovery generation (0 until the first successful
+    /// recovery).
+    pub(crate) fn recovery_generation(&self) -> u32 {
+        self.recovery_gen.load(Ordering::Acquire)
     }
 
     /// Retires a node after the grace period: the arena recycles its slot
@@ -157,6 +165,63 @@ impl<K: Key, V: Value> LoTree<K, V> {
         unsafe {
             g.defer_destroy(node)
         };
+    }
+
+    /// Like [`Self::retire_node`], but the node's value pointer was *stolen*
+    /// by a replacement node (streaming rebuild): after the grace period the
+    /// old node's value word is nulled *before* the node is destroyed, so
+    /// the value — now owned by its replacement — survives the old node's
+    /// drop. The null store must run inside the deferred closure, not
+    /// eagerly: readers pinned before the root swap may still dereference
+    /// the value through this node until the grace period ends.
+    ///
+    /// # Safety
+    /// Same contract as [`Self::retire_node`], plus: exactly one live node
+    /// must have taken over ownership of this node's value pointer.
+    pub(crate) unsafe fn retire_node_without_value(
+        &self,
+        node: Shared<'_, Node<K, V>>,
+        g: &Guard,
+    ) {
+        let addr = node.as_raw() as usize;
+        #[cfg(feature = "arena")]
+        {
+            let arena = std::sync::Arc::clone(&self.arena);
+            let ptr = crate::arena::SendPtr::new(node.as_raw().cast_mut());
+            let recycle = move || {
+                // SAFETY: [inv:epoch-liveness] the slot is live until this deferred
+                // retirement runs; nulling the value word first disarms the
+                // node's value drop (ownership moved at the rebuild publish).
+                unsafe {
+                    (*(addr as *mut Node<K, V>))
+                        .value
+                        .store(Shared::null(), Ordering::Relaxed);
+                    arena.retire(ptr.get())
+                }
+            };
+            // SAFETY: [inv:send-sync] (defer_unchecked) the closure captures only the
+            // Arc'd arena (Send + Sync) and the retired pointer; by this function's
+            // contract the node is unreachable, so running the retirement on
+            // any thread after the grace period is sound.
+            unsafe { g.defer_unchecked(recycle) };
+        }
+        #[cfg(not(feature = "arena"))]
+        {
+            let free = move || {
+                // SAFETY: [inv:epoch-liveness] the Box is live until this deferred
+                // free runs; nulling the value word first disarms the node's
+                // value drop (ownership moved at the rebuild publish).
+                unsafe {
+                    let p = addr as *mut Node<K, V>;
+                    (*p).value.store(Shared::null(), Ordering::Relaxed);
+                    drop(Box::from_raw(p));
+                }
+            };
+            // SAFETY: [inv:send-sync] (defer_unchecked) the closure captures only a
+            // raw address; the node is unreachable per this function's contract,
+            // so freeing it on any thread after the grace period is sound.
+            unsafe { g.defer_unchecked(free) };
+        }
     }
 
     /// The `+∞` root sentinel (stable for the tree's lifetime).
@@ -414,7 +479,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             nref(p).unlock_tree();
             // A dead writer can strand a parent marked-under-lock forever;
             // abort instead of retrying against it (and count the storm).
-            crate::poison::abort_if_poisoned(&self.poisoned);
+            crate::poison::abort_if_poisoned(&self.gate);
             budget.get_or_insert_with(crate::poison::RestartBudget::new).tick();
         }
     }

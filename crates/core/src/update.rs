@@ -120,7 +120,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             RestartKind::Validation => Event::ValidationRestart,
             RestartKind::LockContention => Event::LockContentionRestart,
         });
-        poison::abort_if_poisoned(&self.poisoned);
+        poison::abort_if_poisoned(&self.gate);
         budget.tick();
     }
 
@@ -187,18 +187,31 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// insertion; in partially-external mode a zombie revival also counts as
     /// a successful insertion.
     ///
-    /// Infallible surface: panics if the tree is poisoned or allocation
+    /// Infallible surface: waits out a transient [`TreeError::Recovering`]
+    /// with backoff, then panics if the tree is poisoned or allocation
     /// fails (see [`Self::try_insert`]).
     pub(crate) fn insert(&self, key: K, value: V) -> bool {
-        poison::expect_writable(self.try_insert(key, value))
+        let mut slot = Some(value);
+        poison::expect_writable(poison::block_during_recovery(|| {
+            self.try_insert_slot(key, &mut slot)
+        }))
     }
 
-    /// Fallible [`Self::insert`]: rejects writes on a poisoned tree and
-    /// surfaces allocation failure instead of aborting. An `Err` means the
-    /// map was not modified.
+    /// Fallible [`Self::insert`]: rejects writes on a poisoned (or
+    /// mid-recovery) tree and surfaces allocation failure instead of
+    /// aborting. An `Err` means the map was not modified.
     pub(crate) fn try_insert(&self, key: K, value: V) -> Result<bool, TreeError> {
+        self.try_insert_slot(key, &mut Some(value))
+    }
+
+    /// [`Self::try_insert`] with the value passed by slot: on
+    /// [`TreeError::Recovering`] the gate rejects the write *before* the
+    /// value is taken, so a retrying caller still owns it (values are not
+    /// `Clone` in general).
+    fn try_insert_slot(&self, key: K, slot: &mut Option<V>) -> Result<bool, TreeError> {
         let g = &epoch::pin();
-        let _scope = WriteScope::enter(&self.poisoned)?;
+        let _scope = WriteScope::enter(&self.gate)?;
+        let value = slot.take().expect("insert attempt retried after its value was committed");
         let mut budget = RestartBudget::new();
         #[cfg(not(feature = "blocking-writes"))]
         for _ in 0..OPTIMISTIC_ATTEMPTS {
@@ -221,6 +234,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     self.writer_restart(&mut budget, kind);
                     continue;
                 }
+                budget.note_progress();
                 self.revive_zombie(w.p, w.s, value, g);
                 return Ok(true);
             }
@@ -228,6 +242,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 self.writer_restart(&mut budget, kind);
                 continue;
             }
+            budget.note_progress();
             self.insert_into_window(w.p, w.s, w.node, key, value, g)?;
             return Ok(true);
         }
@@ -363,7 +378,10 @@ impl<K: Key, V: Value> LoTree<K, V> {
     where
         V: Clone,
     {
-        poison::expect_writable(self.try_put(key, value))
+        let mut slot = Some(value);
+        poison::expect_writable(poison::block_during_recovery(|| {
+            self.try_put_slot(key, &mut slot)
+        }))
     }
 
     /// Fallible [`Self::put`] (see [`Self::try_insert`] for the contract).
@@ -371,8 +389,18 @@ impl<K: Key, V: Value> LoTree<K, V> {
     where
         V: Clone,
     {
+        self.try_put_slot(key, &mut Some(value))
+    }
+
+    /// [`Self::try_put`] with the value passed by slot (see
+    /// [`Self::try_insert_slot`]).
+    fn try_put_slot(&self, key: K, slot: &mut Option<V>) -> Result<Option<V>, TreeError>
+    where
+        V: Clone,
+    {
         let g = &epoch::pin();
-        let _scope = WriteScope::enter(&self.poisoned)?;
+        let _scope = WriteScope::enter(&self.gate)?;
+        let value = slot.take().expect("put attempt retried after its value was committed");
         let mut budget = RestartBudget::new();
         #[cfg(not(feature = "blocking-writes"))]
         for _ in 0..OPTIMISTIC_ATTEMPTS {
@@ -387,6 +415,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 self.writer_restart(&mut budget, kind);
                 continue;
             }
+            budget.note_progress();
             if nref(w.s).key.is_key(&key) {
                 return Ok(self.put_present(w.p, w.s, w.s_zombie, value, g));
             }
@@ -519,7 +548,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
                     // left slot frees up once the pending unlink completes —
                     // unless the unlinking writer died, so check for poison
                     // before waiting on it.
-                    poison::abort_if_poisoned(&self.poisoned);
+                    poison::abort_if_poisoned(&self.gate);
                     budget.get_or_insert_with(RestartBudget::new).tick();
                     std::thread::yield_now();
                 } else {
@@ -564,16 +593,16 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// partially-external mode, delegates to the logical-removal path.
     ///
     /// Infallible surface: panics if the tree is poisoned (see
-    /// [`Self::try_remove`]).
+    /// [`Self::try_remove`]); waits out an in-flight recovery.
     pub(crate) fn remove(&self, key: &K) -> bool {
-        poison::expect_writable(self.try_remove(key))
+        poison::expect_writable(poison::block_during_recovery(|| self.try_remove(key)))
     }
 
     /// Fallible [`Self::remove`]: rejects writes on a poisoned tree. An
     /// `Err` means the map was not modified.
     pub(crate) fn try_remove(&self, key: &K) -> Result<bool, TreeError> {
         let g = &epoch::pin();
-        let _scope = WriteScope::enter(&self.poisoned)?;
+        let _scope = WriteScope::enter(&self.gate)?;
         let mut budget = RestartBudget::new();
         #[cfg(not(feature = "blocking-writes"))]
         for _ in 0..OPTIMISTIC_ATTEMPTS {
@@ -595,6 +624,9 @@ impl<K: Key, V: Value> LoTree<K, V> {
                 self.writer_restart(&mut budget, kind);
                 continue;
             }
+            // A confirmed window is forward progress even if the second
+            // lock below bounces: the restart is contention, not livelock.
+            budget.note_progress();
             // The version confirm proves `s` is still `p.succ`, unmarked
             // and not a zombie. The second ordering lock is a `try`
             // acquisition (ascending key order p → s, the same edge the

@@ -25,6 +25,11 @@ pub enum Rule {
     /// word is written only by the lock-coupled wrappers and the registered
     /// relink-bump helper, and every pinned relink site still bumps.
     VersionBump,
+    /// Online-recovery gate discipline (manifest `[recovery]`): the
+    /// active-writer gate's state-changing methods stay confined to the
+    /// poison/recover modules, and the recovery entry points cite the
+    /// recovery invariants they uphold.
+    Recovery,
     /// Manifest/baseline self-consistency (stale entries, bad schema).
     Manifest,
 }
@@ -39,6 +44,7 @@ impl Rule {
             Rule::UnsafeHygiene => "unsafe-hygiene",
             Rule::Coverage => "coverage",
             Rule::VersionBump => "version-bump",
+            Rule::Recovery => "recovery",
             Rule::Manifest => "manifest",
         }
     }

@@ -98,6 +98,7 @@ pub fn run_lint(cfg: &Config) -> Result<Report, String> {
     rules::coverage::check(&files, &policy, &mut found);
     rules::docsync::check(&files, &policy, &mut found);
     rules::version::check(&files, &policy, &mut found);
+    rules::recovery::check(&files, &policy, &mut found);
 
     let baseline_path = cfg
         .baseline
@@ -158,6 +159,7 @@ pub fn rule_by_name(name: &str) -> Option<Rule> {
         Rule::UnsafeHygiene,
         Rule::Coverage,
         Rule::VersionBump,
+        Rule::Recovery,
         Rule::Manifest,
     ]
     .into_iter()

@@ -94,6 +94,29 @@ pub struct VersionPolicy {
     pub bump_sites: Vec<VersionBumpSite>,
 }
 
+/// The `[recovery]` table: the online-recovery gate discipline. The
+/// active-writer gate is the single word recovery's quarantine correctness
+/// hangs on, so its state-changing methods must stay confined to the
+/// poison/recover modules, and the recovery entry points must cite the
+/// recovery invariants they uphold. Absent from manifests that predate
+/// online recovery — the rule is inert then.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// The gate field name (`gate`).
+    pub gate: String,
+    /// State-changing gate methods (enter/exit/poison/begin_recovery/
+    /// finish_recovery) callable only from `files`.
+    pub methods: Vec<String>,
+    /// Files allowed to change gate state.
+    pub files: Vec<String>,
+    /// Files holding the recovery entry points; each must cite every tag
+    /// in `entry_tags` in a comment.
+    pub entry_points: Vec<String>,
+    /// Registered invariant tags (sans the `inv:` prefix) the entry points
+    /// must cite.
+    pub entry_tags: Vec<String>,
+}
+
 /// A `[coverage.windows.<name>]` entry: one named write window.
 #[derive(Debug, Clone)]
 pub struct Window {
@@ -148,6 +171,9 @@ pub struct Policy {
     /// Succ-window seqlock discipline (`[version]`), when the manifest
     /// declares one.
     pub version: Option<VersionPolicy>,
+    /// Online-recovery gate discipline (`[recovery]`), when the manifest
+    /// declares one.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 fn strs(t: &Table, key: &str) -> Vec<String> {
@@ -289,6 +315,23 @@ impl Policy {
             }
         };
 
+        let recovery = match t.table("recovery") {
+            Some(rt) => {
+                let rp = RecoveryPolicy {
+                    gate: req_str(rt, "gate", "[recovery]")?,
+                    methods: strs(rt, "methods"),
+                    files: strs(rt, "files"),
+                    entry_points: strs(rt, "entry_points"),
+                    entry_tags: strs(rt, "entry_tags"),
+                };
+                if rp.methods.is_empty() || rp.files.is_empty() {
+                    return Err("[recovery] methods and files must not be empty".into());
+                }
+                Some(rp)
+            }
+            None => None,
+        };
+
         Ok(Policy {
             scope,
             fields,
@@ -299,6 +342,7 @@ impl Policy {
             windows,
             unsafe_tags,
             version,
+            recovery,
         })
     }
 }
@@ -362,6 +406,32 @@ trace_phase = "Rotation"
         assert_eq!(v.wrappers, ["lock_traced_versioned"]);
         assert_eq!(v.bump_sites.len(), 1);
         assert_eq!(v.bump_sites[0].function, "rotate");
+    }
+
+    #[test]
+    fn recovery_table_is_optional_and_parses() {
+        let t = minitoml::parse(MINIMAL).unwrap();
+        assert!(Policy::from_table(&t).unwrap().recovery.is_none());
+
+        let with = format!(
+            "{MINIMAL}\n[recovery]\ngate = \"gate\"\n\
+             methods = [\"enter\", \"poison\"]\nfiles = [\"crates/core/src/poison.rs\"]\n\
+             entry_points = [\"crates/core/src/recover.rs\"]\n\
+             entry_tags = [\"recovery-quarantine\"]\n"
+        );
+        let p = Policy::from_table(&minitoml::parse(&with).unwrap()).unwrap();
+        let r = p.recovery.expect("declared [recovery] must parse");
+        assert_eq!(r.gate, "gate");
+        assert_eq!(r.methods, ["enter", "poison"]);
+        assert_eq!(r.files, ["crates/core/src/poison.rs"]);
+        assert_eq!(r.entry_points, ["crates/core/src/recover.rs"]);
+        assert_eq!(r.entry_tags, ["recovery-quarantine"]);
+    }
+
+    #[test]
+    fn recovery_without_methods_is_an_error() {
+        let bad = format!("{MINIMAL}\n[recovery]\ngate = \"gate\"\n");
+        assert!(Policy::from_table(&minitoml::parse(&bad).unwrap()).is_err());
     }
 
     #[test]

@@ -149,6 +149,21 @@ events! {
     /// race (`try_lock` on a succ or tree lock returned false). The other
     /// half of the former conflated `writer_restart` accounting.
     LockContentionRestart => "lock-contention-restart",
+    /// An online recovery claimed a poisoned tree's gate (quarantine
+    /// began); one per `try_recover` call that won the claim.
+    RecoveryStarted => "recovery-started",
+    /// A recovery passed full post-repair verification and re-opened the
+    /// gate: the tree is writable again.
+    RecoverySucceeded => "recovery-succeeded",
+    /// A recovery failed verification and restored the prior poison cause
+    /// (the tree stays read-only).
+    RecoveryFailed => "recovery-failed",
+    /// Nodes carried from the damaged tree into the repaired one (chain
+    /// survivors), summed across recoveries.
+    RecoveryNodesSalvaged => "recovery-nodes-salvaged",
+    /// Nodes found unreachable from the surviving chain and retired
+    /// through the epoch during recovery, summed across recoveries.
+    RecoveryNodesOrphaned => "recovery-nodes-orphaned",
 }
 
 /// Number of counter shards. Threads are striped across shards round-robin;

@@ -109,6 +109,10 @@ phases! {
     /// read, the window-field reads, and the version re-check — the
     /// lock-free work that replaced blocking succ-lock acquisition.
     Validate => "validate",
+    /// One whole online recovery (ISSUE 9): gate claim, writer drain,
+    /// audit, repair, and verification — the quarantine window during
+    /// which writers bounce with `Recovering`.
+    Recovery => "recovery",
 }
 
 /// Log₂ buckets per phase histogram (1 ns .. ~4 s).
@@ -947,7 +951,7 @@ mod tests {
 
     #[test]
     fn phase_names_and_indices_are_stable() {
-        assert_eq!(Phase::COUNT, 9);
+        assert_eq!(Phase::COUNT, 10);
         for (i, &p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
             assert_eq!(Phase::from_index(i), Some(p));

@@ -33,10 +33,13 @@
 #![allow(clippy::disallowed_types)]
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use lo_api::{CheckInvariants, FallibleMap, OrderedRead, QuiescentOrdered, TreeError};
+use lo_api::{
+    CheckInvariants, FallibleMap, Health, OrderedRead, QuiescentOrdered, RecoverError,
+    RecoveryReport, TreeError,
+};
 use lo_check::fail::{
     activate, effect_in_message, panic_message, take_injected_panic, FailPoint, FaultPlan,
 };
@@ -112,6 +115,9 @@ pub struct ChaosReport {
     pub aborted_ops: u64,
     /// Writes rejected up front with [`TreeError::Poisoned`].
     pub rejected_writes: u64,
+    /// Writes turned away with [`TreeError::Recovering`] (a recoverer held
+    /// the gate; only possible when a chaos round overlaps a recovery).
+    pub recovering_writes: u64,
     /// Writes that observed [`TreeError::AllocFailed`].
     pub alloc_failures: u64,
     /// Range scans that ran to completion (a subset of `ops_completed`).
@@ -178,6 +184,7 @@ where
     let injected_panics = AtomicU64::new(0);
     let aborted_ops = AtomicU64::new(0);
     let rejected_writes = AtomicU64::new(0);
+    let recovering_writes = AtomicU64::new(0);
     let alloc_failures = AtomicU64::new(0);
     let scans_completed = AtomicU64::new(0);
     let scan_keys_yielded = AtomicU64::new(0);
@@ -190,7 +197,7 @@ where
             let (recorder, history) = (&recorder, &history);
             let (ops_completed, injected_panics) = (&ops_completed, &injected_panics);
             let (aborted_ops, rejected_writes) = (&aborted_ops, &rejected_writes);
-            let alloc_failures = &alloc_failures;
+            let (recovering_writes, alloc_failures) = (&recovering_writes, &alloc_failures);
             let (scan_obs, scans_completed) = (&scan_obs, &scans_completed);
             let scan_keys_yielded = &scan_keys_yielded;
             s.spawn(move || {
@@ -272,6 +279,10 @@ where
                         Ok(Err(TreeError::Poisoned(_))) => {
                             rejected_writes.fetch_add(1, Ordering::Relaxed);
                             None // rejected up front: no effect
+                        }
+                        Ok(Err(TreeError::Recovering)) => {
+                            recovering_writes.fetch_add(1, Ordering::Relaxed);
+                            None // turned away at the recovery gate: no effect
                         }
                         Ok(Err(TreeError::AllocFailed)) => {
                             alloc_failures.fetch_add(1, Ordering::Relaxed);
@@ -381,6 +392,7 @@ where
         injected_panics: injected_panics.into_inner(),
         aborted_ops: aborted_ops.into_inner(),
         rejected_writes: rejected_writes.into_inner(),
+        recovering_writes: recovering_writes.into_inner(),
         alloc_failures: alloc_failures.into_inner(),
         scans_completed: scans_completed.into_inner(),
         scan_keys_yielded: scan_keys_yielded.into_inner(),
@@ -388,6 +400,377 @@ where
         poisoned,
         history_len: history.len(),
         post_mortem,
+    }
+}
+
+/// Shape of a kill→recover→resume round (see [`run_chaos_recovery`]).
+///
+/// Recovery rounds *always* record and WGL-check the combined history of
+/// both phases, so the total operation count —
+/// `threads * (storm_ops + resume_ops)` plus the one mid-recovery writer —
+/// must stay `<= 28`.
+#[derive(Clone, Debug)]
+pub struct RecoverySpec {
+    /// Worker threads per phase.
+    pub threads: usize,
+    /// Key universe `0..keys` (at most 64, as in [`ChaosSpec`]).
+    pub keys: u64,
+    /// Operations per thread in the storm phase (under the armed plan).
+    pub storm_ops: usize,
+    /// Operations per thread in the resume phase (after recovery; every
+    /// one of them must complete — the gate is open again).
+    pub resume_ops: usize,
+    /// Seed for the per-thread operation streams.
+    pub seed: u64,
+    /// Bitmask of keys to prefill (plan-inactive; the bits must not
+    /// already be present). The WGL initial state is taken from the map
+    /// *after* prefill, so repeated rounds against one map — e.g. to kill
+    /// and recover the same tree twice — stay checkable with `initial: 0`.
+    pub initial: u64,
+    /// Suppress the panic-hook backtrace for injected panics.
+    pub quiet: bool,
+}
+
+impl RecoverySpec {
+    /// Defaults: 3 threads, 8 keys, 5 storm + 3 resume ops per thread
+    /// (25 recorded ops including the mid-recovery writer), quiet.
+    pub fn new(seed: u64) -> Self {
+        RecoverySpec {
+            threads: 3,
+            keys: 8,
+            storm_ops: 5,
+            resume_ops: 3,
+            seed,
+            initial: 0b0110_1101,
+            quiet: true,
+        }
+    }
+}
+
+/// What a kill→recover→resume round did and observed.
+#[derive(Clone, Debug)]
+pub struct RecoveryRoundReport {
+    /// Poison state after the storm (`None` if the armed kill never
+    /// landed, in which case recovery was asserted to decline).
+    pub cause: Option<TreeError>,
+    /// The recoverer's post-mortem, when a recovery ran.
+    pub recovery: Option<RecoveryReport>,
+    /// Writer deaths injected by the armed failpoint during the storm.
+    pub injected_panics: u64,
+    /// Writers that died on a consequence of the fault (poisoned-tree
+    /// aborts at restart edges).
+    pub aborted_ops: u64,
+    /// Writes rejected with [`TreeError::Poisoned`] (storm phase and the
+    /// mid-recovery writer's pre-quarantine attempts).
+    pub rejected_writes: u64,
+    /// Writes turned away with [`TreeError::Recovering`] while the
+    /// recoverer held the gate.
+    pub recovering_writes: u64,
+    /// Length of the combined (storm + recovery-writer + resume) history
+    /// that passed the WGL check.
+    pub history_len: usize,
+}
+
+impl RecoveryRoundReport {
+    /// Whether the armed kill actually landed (and a recovery ran).
+    pub fn killed(&self) -> bool {
+        self.cause.is_some()
+    }
+}
+
+/// Per-phase outcome counters for the recovery harness.
+#[derive(Default)]
+struct RoundCounters {
+    injected_panics: AtomicU64,
+    aborted_ops: AtomicU64,
+    rejected_writes: AtomicU64,
+    recovering_writes: AtomicU64,
+}
+
+/// Drives `ops_per_thread` recorded point operations per seed against
+/// `map`, classifying every outcome exactly like [`run_chaos`] does
+/// (interrupted operations enter the history iff they passed their
+/// linearization point).
+fn drive_phase<M>(
+    map: &M,
+    keys: u64,
+    ops_per_thread: usize,
+    seeds: &[u64],
+    recorder: &Recorder,
+    history: &Mutex<Vec<CompletedOp>>,
+    counters: &RoundCounters,
+) where
+    M: FallibleMap<i64, u64> + Sync,
+{
+    std::thread::scope(|s| {
+        for &tseed in seeds {
+            s.spawn(move || {
+                let mut rng = XorShift64Star::new(tseed);
+                for _ in 0..ops_per_thread {
+                    let key = rng.next_below(keys) as i64;
+                    let roll = rng.next_below(100);
+                    let (op, val) = if roll < 45 {
+                        (LinOp::Insert, rng.next_u64())
+                    } else if roll < 80 {
+                        (LinOp::Remove, 0)
+                    } else {
+                        (LinOp::Contains, 0)
+                    };
+                    let invoke = recorder.stamp();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| match op {
+                        LinOp::Insert => map.try_insert(key, val),
+                        LinOp::Remove => map.try_remove(&key),
+                        LinOp::Contains => Ok(map.contains(&key)),
+                    }));
+                    let response = recorder.stamp();
+                    let recorded = match outcome {
+                        Ok(Ok(result)) => Some(result),
+                        Ok(Err(TreeError::Poisoned(_))) => {
+                            counters.rejected_writes.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                        Ok(Err(TreeError::Recovering)) => {
+                            counters.recovering_writes.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                        Ok(Err(TreeError::AllocFailed)) => None,
+                        Err(payload) => {
+                            let injected = take_injected_panic().is_some();
+                            let effect =
+                                panic_message(payload.as_ref()).and_then(effect_in_message);
+                            if !injected && effect.is_none() {
+                                resume_unwind(payload);
+                            }
+                            let ctr = if injected {
+                                &counters.injected_panics
+                            } else {
+                                &counters.aborted_ops
+                            };
+                            ctr.fetch_add(1, Ordering::Relaxed);
+                            (effect == Some(true)).then_some(true)
+                        }
+                    };
+                    if let Some(result) = recorded {
+                        history.lock().expect("history mutex").push(CompletedOp {
+                            op,
+                            key: key as u8,
+                            result,
+                            invoke,
+                            response,
+                        });
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Runs one kill→recover→resume round against `map`:
+///
+/// 1. **storm** — a recorded workload under the armed `plan`; an injected
+///    writer death poisons the map and is classified through the effect
+///    markers;
+/// 2. **recover** — [`FallibleMap::try_recover`] runs on its own thread
+///    while a reader thread keeps sweeping `contains` (lock-free reads
+///    never block) and a writer thread retries an insert until the gate
+///    reopens, counting its [`TreeError::Recovering`] rejections;
+/// 3. **resume** — a second recorded workload on the recovered map, every
+///    operation of which must complete (no rejections, no deaths);
+/// 4. **verify** — the committed key set read off the poisoned chain
+///    survives recovery exactly (every linearized op's effect is intact;
+///    no unlinearized effect appears), the map ends
+///    [`Health::Writable`] with the *full* invariant set, and the combined
+///    history of all three phases passes the WGL linearizability check.
+///
+/// If the armed kill never lands (shape-dependent windows may not be
+/// crossed by a tiny storm), the round instead asserts that recovery on
+/// the healthy map declines with [`RecoverError::NotPoisoned`] and still
+/// runs the resume phase and the combined checks.
+///
+/// Panics on any violated check; returns the round's accounting otherwise.
+pub fn run_chaos_recovery<M>(map: &M, spec: &RecoverySpec, plan: FaultPlan) -> RecoveryRoundReport
+where
+    M: FallibleMap<i64, u64> + OrderedRead<i64> + QuiescentOrdered<i64> + CheckInvariants + Sync,
+{
+    assert!(spec.threads > 0 && spec.storm_ops > 0, "empty recovery round");
+    assert!(spec.keys > 0 && spec.keys <= 64, "key universe must be 1..=64");
+    let total = spec.threads * (spec.storm_ops + spec.resume_ops) + 1;
+    assert!(
+        total <= 28,
+        "recovery rounds always WGL-check: {total} ops exceed the checker bound of 28"
+    );
+
+    for k in 0..spec.keys {
+        if spec.initial & (1 << k) != 0 {
+            assert_eq!(map.try_insert(k as i64, k), Ok(true), "prefill of fresh key");
+        }
+    }
+    // The WGL initial state is whatever the map actually holds now (prior
+    // rounds against the same map included), not just the prefill bits.
+    let mut initial_mask = 0u64;
+    for k in map.keys_in_order() {
+        if (0..spec.keys as i64).contains(&k) {
+            initial_mask |= 1 << k as u64;
+        }
+    }
+
+    let quiet = spec.quiet.then(silence_injected_panics);
+    let recorder = Recorder::new();
+    let history: Mutex<Vec<CompletedOp>> = Mutex::new(Vec::new());
+    let storm = RoundCounters::default();
+    let resumed = RoundCounters::default();
+
+    let mut seeder = SplitMix64::new(spec.seed);
+    let storm_seeds: Vec<u64> = (0..spec.threads).map(|_| seeder.next_u64()).collect();
+    let resume_seeds: Vec<u64> = (0..spec.threads).map(|_| seeder.next_u64()).collect();
+
+    // ---- phase 1: storm under the armed plan ----
+    {
+        let session = activate(plan);
+        drive_phase(map, spec.keys, spec.storm_ops, &storm_seeds, &recorder, &history, &storm);
+        drop(session); // recovery and resume run fault-free
+    }
+
+    // ---- phase 2: recover (with live readers and a queued writer) ----
+    let cause = map.poisoned();
+    let recovery = if cause.is_some() {
+        // Committed state, read off the ordering chain of the poisoned
+        // tree. Recovery must preserve it exactly: every operation that
+        // linearized before the death keeps its effect, every one that
+        // did not leaves no trace. (The mid-recovery writer below only
+        // ever *inserts* `probe_key`, the one delta tolerated.)
+        let before = map.keys_in_order();
+        let probe_key = (spec.seed % spec.keys) as i64;
+        let done = AtomicBool::new(false);
+        let mut outcome = None;
+        let mut writer_op = None;
+        std::thread::scope(|s| {
+            let recoverer = s.spawn(|| {
+                let r = map.try_recover();
+                done.store(true, Ordering::Release);
+                r
+            });
+            // Lock-free reads keep completing while the recoverer works.
+            let reader = s.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    for k in 0..spec.keys as i64 {
+                        let _ = map.contains(&k);
+                    }
+                }
+            });
+            // A writer arriving mid-recovery is turned away (Recovering
+            // once quarantine begins, Poisoned if it races ahead of the
+            // hand-off CAS) and retries until the gate reopens.
+            let writer = s.spawn(|| {
+                let invoke = recorder.stamp();
+                loop {
+                    match map.try_insert(probe_key, u64::MAX) {
+                        Ok(result) => {
+                            let response = recorder.stamp();
+                            return Some(CompletedOp {
+                                op: LinOp::Insert,
+                                key: probe_key as u8,
+                                result,
+                                invoke,
+                                response,
+                            });
+                        }
+                        Err(TreeError::Recovering) => {
+                            storm.recovering_writes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TreeError::Poisoned(_)) => {
+                            storm.rejected_writes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TreeError::AllocFailed) => {}
+                    }
+                    if done.load(Ordering::Acquire) && map.poisoned().is_some() {
+                        return None; // recovery failed; asserted below
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+            outcome = Some(recoverer.join().expect("recoverer must not panic"));
+            reader.join().expect("mid-recovery reader must not panic");
+            writer_op = writer.join().expect("mid-recovery writer must not panic");
+        });
+        let report = outcome
+            .expect("recoverer joined")
+            .unwrap_or_else(|e| panic!("recovery of a killed tree failed: {e:?}"));
+        assert!(report.generation >= 1, "recovery must bump the generation");
+        assert!(
+            report.nodes_salvaged >= before.len(),
+            "salvage count {} below the {} committed keys",
+            report.nodes_salvaged,
+            before.len()
+        );
+        let after = map.keys_in_order();
+        for &k in &before {
+            assert!(after.contains(&k), "key {k} linearized before the kill was lost by recovery");
+        }
+        for &k in &after {
+            assert!(
+                before.contains(&k) || k == probe_key,
+                "recovery fabricated key {k} out of thin air"
+            );
+        }
+        let op = writer_op.expect("recovery succeeded, so the queued writer must have landed");
+        history.lock().expect("history mutex").push(op);
+        Some(report)
+    } else {
+        // The one-shot never landed: recovery on a healthy map declines.
+        assert!(
+            matches!(map.try_recover(), Err(RecoverError::NotPoisoned)),
+            "recovery of a healthy map must decline"
+        );
+        None
+    };
+
+    // ---- phase 3: resume on the reopened gate ----
+    if spec.resume_ops > 0 {
+        drive_phase(map, spec.keys, spec.resume_ops, &resume_seeds, &recorder, &history, &resumed);
+        assert_eq!(resumed.injected_panics.load(Ordering::Relaxed), 0);
+        assert_eq!(resumed.aborted_ops.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            resumed.rejected_writes.load(Ordering::Relaxed),
+            0,
+            "a recovered map must accept every writer again"
+        );
+        assert_eq!(resumed.recovering_writes.load(Ordering::Relaxed), 0);
+    }
+
+    if let Some(restore) = quiet {
+        restore();
+    }
+
+    // ---- verify: writable, fully invariant, linearizable across the
+    //      recovery boundary ----
+    assert_eq!(map.health(), Health::Writable, "round must end writable");
+    map.check_invariants();
+    let snapshot = map.keys_in_order();
+    for k in 0..spec.keys as i64 {
+        assert_eq!(
+            map.contains(&k),
+            snapshot.contains(&k),
+            "contains({k}) disagrees with the ordered snapshot after recovery"
+        );
+    }
+    let mut history = history.into_inner().expect("history mutex");
+    history.sort_by_key(|c| c.invoke);
+    assert!(
+        is_linearizable(&history, initial_mask),
+        "kill→recover→resume history (len {}) is not linearizable under seed {}",
+        history.len(),
+        spec.seed
+    );
+
+    RecoveryRoundReport {
+        cause,
+        recovery,
+        injected_panics: storm.injected_panics.into_inner(),
+        aborted_ops: storm.aborted_ops.into_inner(),
+        rejected_writes: storm.rejected_writes.into_inner(),
+        recovering_writes: storm.recovering_writes.into_inner(),
+        history_len: history.len(),
     }
 }
 

@@ -26,7 +26,9 @@ pub mod runner;
 pub mod spec;
 pub mod stats;
 
-pub use chaos::{run_chaos, ChaosReport, ChaosSpec};
+pub use chaos::{
+    run_chaos, run_chaos_recovery, ChaosReport, ChaosSpec, RecoveryRoundReport, RecoverySpec,
+};
 pub use history::HistoryRecorder;
 pub use latency::{fmt_ns, LatencyHistogram};
 pub use report::{MetricsEntry, MetricsPanel, Panel};
