@@ -206,6 +206,14 @@ pub enum Health {
     Poisoned(PoisonCause),
     /// A recoverer is quarantining/repairing the structure right now.
     Recovering,
+    /// A *composed* map (the sharded store) with some shards unwritable:
+    /// `shards` is a bitmask of degraded shard indices (bit *i* set ⇔ shard
+    /// *i* is poisoned or recovering; at most 64 shards). Reads still work
+    /// everywhere; writes succeed on every shard whose bit is clear.
+    Degraded {
+        /// Bitmask of unwritable shard indices.
+        shards: u64,
+    },
 }
 
 impl std::fmt::Display for Health {
@@ -214,6 +222,20 @@ impl std::fmt::Display for Health {
             Health::Writable => write!(f, "writable"),
             Health::Poisoned(cause) => write!(f, "poisoned: {cause}"),
             Health::Recovering => write!(f, "recovering"),
+            Health::Degraded { shards } => {
+                write!(f, "degraded: shards [")?;
+                let mut first = true;
+                for i in 0..64 {
+                    if shards & (1 << i) != 0 {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{i}")?;
+                        first = false;
+                    }
+                }
+                write!(f, "] unwritable")
+            }
         }
     }
 }
@@ -517,6 +539,10 @@ mod tests {
             "poisoned: writer panicked"
         );
         assert_eq!(RepairStrategy::InPlace.to_string(), "in-place");
+        assert_eq!(
+            Health::Degraded { shards: 0b101 }.to_string(),
+            "degraded: shards [0, 2] unwritable"
+        );
         let report = RecoveryReport {
             cause: PoisonCause::Panic,
             strategy: RepairStrategy::StreamingRebuild,

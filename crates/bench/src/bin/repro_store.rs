@@ -1,0 +1,164 @@
+//! Service-tier throughput rows (ISSUE 10): the keyspace-sharded store
+//! (`lo-store`) under the paper's trial protocol, as two ablations —
+//!
+//! * **1 vs N shards** — does splitting the keyspace into independent
+//!   trees (each with its own lock windows *and* its own epoch domain) buy
+//!   throughput under an update-heavy mix?
+//! * **direct vs batched** — what does the flat-combining frontend cost or
+//!   save relative to routing every op straight to its shard?
+//!
+//! Rows are keyed `store/<shards>/<frontend>/<mix>` in
+//! `BENCH_throughput.json` (via `--summary-json`), so the 10c-60i-30r
+//! N-shard vs single-shard comparison is one grep away.
+//!
+//! Usage: `cargo run -p lo-bench --release --bin repro-store -- --summary-json`
+//! (`LO_STORE_SHARDS` sets N, default 4; the usual `LO_TRIAL_MS`,
+//! `LO_REPS`, `LO_MAX_THREADS` knobs apply. `--metrics` — with
+//! `--features metrics` — adds the store's event telemetry including the
+//! combiner batch-size log₂ histogram.)
+
+use lo_bench::{
+    emit, emit_metrics, emit_summary_rows, metrics_flag, summary_json_flag, Scale, SummaryRow,
+};
+use lo_store::{BatchedStore, ShardedStore};
+use lo_workload::{
+    run_experiment_full, MetricsEntry, MetricsPanel, Mix, Panel, Summary, TrialResult, TrialSpec,
+};
+
+/// The two frontends under measurement.
+#[derive(Clone, Copy, PartialEq)]
+enum Frontend {
+    /// Every operation routed straight to its shard's tree.
+    Direct,
+    /// Writes funneled through the per-shard flat-combining lanes.
+    Batched,
+}
+
+impl Frontend {
+    fn label(self) -> &'static str {
+        match self {
+            Frontend::Direct => "direct",
+            Frontend::Batched => "batched",
+        }
+    }
+}
+
+fn run(shards: usize, frontend: Frontend, spec: &TrialSpec, reps: usize) -> Vec<TrialResult> {
+    match frontend {
+        Frontend::Direct => {
+            run_experiment_full(|| ShardedStore::<i64, u64>::hash_sharded(shards), spec, reps)
+        }
+        Frontend::Batched => {
+            run_experiment_full(|| BatchedStore::<i64, u64>::hash_sharded(shards), spec, reps)
+        }
+    }
+}
+
+fn main() {
+    let want_metrics = metrics_flag();
+    let want_summary = summary_json_flag();
+    let scale = Scale::from_env();
+    let n_shards: usize = std::env::var("LO_STORE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| (2..=lo_store::MAX_SHARDS).contains(&n))
+        .unwrap_or(4);
+    // One key range is enough for the tier ablation; sharding shifts
+    // *contention*, not tree depth.
+    let range = scale.ranges.first().copied().unwrap_or(20_000);
+    eprintln!(
+        "store tiers: {:?} trials x{} reps, threads {:?}, range {range}, N={n_shards}",
+        scale.trial, scale.reps, scale.threads
+    );
+
+    // The update-heavy mix is the headline (shards shrink writer-lock and
+    // grace-period domains); the read-heavy mix bounds the routing overhead.
+    let mixes = [Mix::C10_I60_R30, Mix::C70_I20_R10];
+    let variants: Vec<(usize, Frontend)> = vec![
+        (1, Frontend::Direct),
+        (n_shards, Frontend::Direct),
+        (1, Frontend::Batched),
+        (n_shards, Frontend::Batched),
+    ];
+
+    let mut panels = Vec::new();
+    let mut metrics = Vec::new();
+    let mut rows = Vec::new();
+    for mix in mixes {
+        let title = format!("store tiers, {}, key range {range}", mix.label());
+        let mut panel = Panel::new(
+            title.clone(),
+            variants.iter().map(|&(s, f)| format!("{s}sh/{}", f.label())).collect(),
+            scale.threads.clone(),
+        );
+        let mut mpanel = MetricsPanel::new(title);
+        for (row, &threads) in scale.threads.iter().enumerate() {
+            for (col, &(shards, frontend)) in variants.iter().enumerate() {
+                let spec = TrialSpec::new(mix, range, threads, scale.trial);
+                lo_metrics::reset_log2(lo_metrics::Event::StoreBatchLen);
+                let trials = run(shards, frontend, &spec, scale.reps);
+                let batch_hist = lo_metrics::log2_hist(lo_metrics::Event::StoreBatchLen);
+                let mops: Vec<f64> = trials.iter().map(TrialResult::mops).collect();
+                let summary = Summary::of(&mops);
+                panel.set(row, col, summary);
+                rows.push(SummaryRow {
+                    config: format!("store/{shards}/{}/{}", frontend.label(), mix.label()),
+                    threads,
+                    mean: summary.mean,
+                    stddev: summary.stddev,
+                    reps: summary.n,
+                });
+                let mut events = lo_metrics::Snapshot::zero();
+                let mut total_ops = 0u64;
+                for t in &trials {
+                    events.merge(&t.events);
+                    total_ops += t.total_ops;
+                }
+                mpanel.push(MetricsEntry {
+                    algorithm: format!("{shards}sh/{}", frontend.label()),
+                    threads,
+                    total_ops,
+                    events,
+                    hists: vec![(lo_metrics::Event::StoreBatchLen, batch_hist)],
+                });
+                eprintln!(
+                    "  [{}] threads={threads} {shards}sh/{} -> {summary}",
+                    mix.label(),
+                    frontend.label()
+                );
+            }
+        }
+        panels.push(panel);
+        metrics.push(mpanel);
+    }
+
+    emit(&panels, "store_tiers");
+
+    // The headline comparison, spelled out: N shards vs one shard on the
+    // update-heavy mix at every multi-threaded point.
+    println!("### sharding ablation, {} (direct frontend)", Mix::C10_I60_R30.label());
+    let lookup = |shards: usize, threads: usize| {
+        rows.iter()
+            .find(|r| {
+                r.threads == threads
+                    && r.config
+                        == format!("store/{shards}/direct/{}", Mix::C10_I60_R30.label())
+            })
+            .map(|r| r.mean)
+    };
+    for &threads in scale.threads.iter().filter(|&&t| t >= 2) {
+        if let (Some(one), Some(n)) = (lookup(1, threads), lookup(n_shards, threads)) {
+            println!(
+                "  threads={threads}: 1 shard {one:.3} Mops/s vs {n_shards} shards {n:.3} Mops/s ({:+.1}%)",
+                (n / one - 1.0) * 100.0
+            );
+        }
+    }
+
+    if want_summary {
+        emit_summary_rows(&rows, "store_tiers");
+    }
+    if want_metrics {
+        emit_metrics(&metrics, "store_tiers_metrics");
+    }
+}

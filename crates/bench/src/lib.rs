@@ -276,6 +276,7 @@ fn run_panel_inner(
                 threads,
                 total_ops,
                 events,
+                hists: Vec::new(),
             });
             eprintln!(
                 "  [{}] threads={threads} {} -> {summary} imb={imbalance:.2}",

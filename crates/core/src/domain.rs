@@ -1,0 +1,233 @@
+//! Epoch domains: which collector a tree's guards pin.
+//!
+//! The paper's trees lean on *one* grace-period authority — the process-wide
+//! `crossbeam_epoch` collector — which is exactly right for a single
+//! instance but becomes the scale ceiling when N trees are composed into a
+//! sharded store (ISSUE 10): every reader of every shard participates in
+//! one global epoch, so one slow scan anywhere delays reclamation
+//! everywhere. An [`EpochDomain`] makes the authority a constructor
+//! parameter: a tree born via [`LoTree::new_in`](crate::tree::LoTree) pins
+//! its own collector, and its grace periods are decided only by guards of
+//! the *same* domain.
+//!
+//! Two flavours:
+//!
+//! * [`EpochDomain::global`] — the process-wide collector (`epoch::pin()`),
+//!   the default and the fast path: `crossbeam`'s thread-local pinning with
+//!   no indirection. `LoTree::new` uses this, so nothing changes for
+//!   existing callers.
+//! * [`EpochDomain::new`] — a private collector. Pinning goes through a
+//!   per-thread handle cache ([`LocalHandle`] is `!Send`, so handles can
+//!   never be shared; each thread registers with the collector once and
+//!   reuses its handle).
+//!
+//! Domain identity is the `Arc` allocation, not the collector value:
+//! [`EpochDomain::clone`] yields a handle onto the *same* domain (shared
+//! grace periods), never a new one — mirroring (and tested against) the
+//! `lo_reclaim::Collector` clone semantics this design is modelled on. The
+//! sharded store uses [`EpochDomain::is_same_domain`] to assert, in debug
+//! builds, that an operation batched for shard *i* executes under shard
+//! *i*'s epoch and not a neighbour's.
+
+use crossbeam_epoch::{self as epoch, Collector, Guard, LocalHandle};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// One private epoch domain: a collector plus a process-unique id used to
+/// key the per-thread handle cache.
+pub(crate) struct DomainInner {
+    collector: Collector,
+    id: u64,
+}
+
+/// The grace-period authority a tree's guards pin (see the module docs).
+///
+/// Cheap to clone (an `Arc` bump); clones share the domain. The default is
+/// the process-global collector.
+#[derive(Clone)]
+pub struct EpochDomain {
+    /// `None` = the process-global collector (the zero-indirection default);
+    /// `Some` = a private collector with per-thread cached handles.
+    inner: Option<Arc<DomainInner>>,
+}
+
+impl EpochDomain {
+    /// The process-wide collector every `LoTree::new` tree uses — guards
+    /// come from `crossbeam_epoch::pin()` directly.
+    pub fn global() -> Self {
+        EpochDomain { inner: None }
+    }
+
+    /// A fresh private collector. Trees born into it (via `new_in`) share
+    /// grace periods with each other but with nobody outside the domain.
+    pub fn new() -> Self {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        EpochDomain {
+            inner: Some(Arc::new(DomainInner {
+                collector: Collector::new(),
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            })),
+        }
+    }
+
+    /// Whether this is the process-global domain.
+    pub fn is_global(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Whether `self` and `other` are handles onto the *same* grace-period
+    /// authority. Identity is the shared allocation: two results of
+    /// [`EpochDomain::new`] are always distinct domains, while any clone
+    /// chain compares equal. The sharded store leans on this to catch
+    /// cross-shard guard pinning at debug time.
+    pub fn is_same_domain(&self, other: &EpochDomain) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Pins the calling thread in this domain and returns the guard.
+    ///
+    /// Global domain: exactly `crossbeam_epoch::pin()`. Private domain: the
+    /// thread's cached [`LocalHandle`] for this collector (registered on
+    /// first use). Nested pins on the same thread are cheap in either case —
+    /// `crossbeam` keeps a pin counter per handle — which is what makes the
+    /// batched frontend's one-guard-per-batch amortization work.
+    #[inline]
+    pub fn pin(&self) -> Guard {
+        match &self.inner {
+            None => epoch::pin(),
+            Some(inner) => pin_local(inner),
+        }
+    }
+}
+
+impl Default for EpochDomain {
+    fn default() -> Self {
+        EpochDomain::global()
+    }
+}
+
+impl std::fmt::Debug for EpochDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("EpochDomain::global"),
+            Some(inner) => write!(f, "EpochDomain::local({})", inner.id),
+        }
+    }
+}
+
+thread_local! {
+    /// This thread's registered handles, one per private domain it has
+    /// pinned. A linear scan: a store has a handful of shards, not
+    /// thousands. Entries whose domain died are evicted on the next miss,
+    /// so the cache is bounded by the number of *live* domains the thread
+    /// touches.
+    static HANDLES: RefCell<Vec<(u64, Weak<DomainInner>, LocalHandle)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+fn pin_local(inner: &Arc<DomainInner>) -> Guard {
+    HANDLES.with(|cell| {
+        let mut handles = cell.borrow_mut();
+        if let Some((_, _, h)) = handles.iter().find(|(id, _, _)| *id == inner.id) {
+            return h.pin();
+        }
+        handles.retain(|(_, weak, _)| weak.strong_count() > 0);
+        let handle = inner.collector.register();
+        let guard = handle.pin();
+        handles.push((inner.id, Arc::downgrade(inner), handle));
+        guard
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_identity() {
+        let a = EpochDomain::global();
+        let b = EpochDomain::default();
+        assert!(a.is_global());
+        assert!(a.is_same_domain(&b));
+        assert!(a.is_same_domain(&a.clone()));
+    }
+
+    #[test]
+    fn fresh_domains_are_distinct_but_clones_share() {
+        let a = EpochDomain::new();
+        let b = EpochDomain::new();
+        assert!(!a.is_global());
+        assert!(!a.is_same_domain(&b), "two news must be distinct domains");
+        assert!(!a.is_same_domain(&EpochDomain::global()));
+        let a2 = a.clone();
+        assert!(a.is_same_domain(&a2), "a clone is the same domain");
+        assert!(format!("{a:?}").starts_with("EpochDomain::local("));
+    }
+
+    #[test]
+    fn local_pin_defers_and_reclaims() {
+        use std::sync::atomic::AtomicBool;
+        let d = EpochDomain::new();
+        let freed = Arc::new(AtomicBool::new(false));
+        {
+            let g = d.pin();
+            let f = Arc::clone(&freed);
+            g.defer(move || f.store(true, Ordering::Release));
+            g.flush();
+        }
+        // Keep pinning until the deferred closure runs; a private domain
+        // with no other participants must make progress promptly.
+        for _ in 0..1024 {
+            if freed.load(Ordering::Acquire) {
+                return;
+            }
+            d.pin().flush();
+        }
+        panic!("deferred closure never ran in a quiescent private domain");
+    }
+
+    #[test]
+    fn nested_pins_on_one_thread_are_reentrant() {
+        let d = EpochDomain::new();
+        let outer = d.pin();
+        let inner = d.pin(); // same thread, same handle: pin-count bump
+        drop(inner);
+        drop(outer);
+    }
+
+    #[test]
+    fn handle_cache_survives_many_domains() {
+        // Churn domains on one thread: dead domains must be evicted so the
+        // cache stays proportional to live domains.
+        for _ in 0..64 {
+            let d = EpochDomain::new();
+            d.pin();
+        }
+        HANDLES.with(|cell| {
+            // All 64 are dead by now except possibly the last (eviction
+            // happens on miss, so a few stragglers are fine — the point is
+            // it does not hold all 64).
+            assert!(cell.borrow().len() < 64, "dead-domain handles never evicted");
+        });
+    }
+
+    #[test]
+    fn threads_get_independent_handles() {
+        let d = EpochDomain::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let g = d.pin();
+                        g.flush();
+                    }
+                });
+            }
+        });
+    }
+}

@@ -62,7 +62,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// post-repair verification step must not get the poisoned-tree leniency
     /// it is supposed to be certifying away.
     pub(crate) fn check_invariants_with(&self, degraded: bool) -> InvariantReport {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         let root = self.root_sh(&g);
         let head = self.head_sh(&g);
 

@@ -47,6 +47,7 @@
 pub mod arena;
 mod balance;
 mod bound;
+mod domain;
 mod fp;
 mod invariants;
 mod maps;
@@ -60,6 +61,7 @@ mod update;
 
 pub mod sync;
 
+pub use domain::EpochDomain;
 pub use invariants::InvariantReport;
 pub use maps::{LoAvlMap, LoBstMap, LoPeAvlMap, LoPeBstMap};
 

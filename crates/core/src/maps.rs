@@ -24,6 +24,25 @@ macro_rules! define_map {
                 Self { tree: LoTree::new($balanced, $pe) }
             }
 
+            /// Creates an empty map born into `domain`: every epoch guard
+            /// the map pins comes from that domain's collector, so its
+            /// grace periods are independent of the process-global epoch
+            /// (and of every other domain). [`Self::new`] is
+            /// `new_in(EpochDomain::global())`. The node arena is per-map
+            /// either way; this parameterizes the reclamation authority
+            /// too, which is what lets a sharded store give each shard its
+            /// own collector (ISSUE 10).
+            pub fn new_in(domain: crate::domain::EpochDomain) -> Self {
+                Self { tree: LoTree::new_in($balanced, $pe, domain) }
+            }
+
+            /// The epoch domain this map's guards pin (a cheap clone;
+            /// clones share the domain — see
+            /// [`EpochDomain::is_same_domain`](crate::EpochDomain)).
+            pub fn epoch_domain(&self) -> crate::domain::EpochDomain {
+                self.tree.domain.clone()
+            }
+
             /// Inserts `key -> value` if absent; `true` on success.
             /// Lock-free traversal, then interval-lock synchronization
             /// (paper Algorithm 3).
@@ -538,6 +557,31 @@ mod tests {
         round_trip(&c, || c.tree.gate.poison(crate::poison::CODE_RESTART_STORM));
         let d = LoPeBstMap::new();
         round_trip(&d, || d.tree.gate.poison(crate::poison::CODE_RESTART_STORM));
+    }
+
+    #[test]
+    fn maps_born_into_private_domains() {
+        use crate::domain::EpochDomain;
+        let d = EpochDomain::new();
+        let m = LoAvlMap::new_in(d.clone());
+        assert!(m.epoch_domain().is_same_domain(&d));
+        assert!(!m.epoch_domain().is_same_domain(&EpochDomain::global()));
+        // The default constructor stays on the global domain.
+        let g = LoBstMap::<i64, u64>::new();
+        assert!(g.epoch_domain().is_global());
+        // Full lifecycle in a private domain: insert, scan, remove, drop.
+        for k in 0..256i64 {
+            assert!(m.insert(k, k as u64));
+        }
+        assert_eq!(m.range_count(0..=255), 256);
+        for k in 0..256i64 {
+            assert!(m.remove(&k));
+        }
+        assert_eq!(m.physical_node_count(), 0, "on-time deletion holds per-domain");
+        m.check_invariants();
+        drop(m);
+        // The domain handle outlives the map without incident.
+        let _late_guard = d.pin();
     }
 
     #[test]

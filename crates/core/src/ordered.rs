@@ -29,7 +29,7 @@
 //! locks and never consults the poison word, so scans stay live in
 //! degraded mode (the PR 4 contract).
 
-use crossbeam_epoch::{self as epoch, Guard};
+use crossbeam_epoch::Guard;
 use std::cmp::Ordering as Cmp;
 use std::ops::RangeInclusive;
 use std::sync::atomic::Ordering;
@@ -89,7 +89,7 @@ impl<'t, K: Key, V: Value> OrderedCursor<'t, K, V> {
         record(Event::ScanStarted);
         Self {
             tree,
-            guard: epoch::pin(),
+            guard: tree.domain.pin(),
             node: std::ptr::null(),
             examine_current: false,
             dir: Dir::Fwd,
@@ -105,7 +105,7 @@ impl<'t, K: Key, V: Value> OrderedCursor<'t, K, V> {
         record(Event::ScanStarted);
         Self {
             tree,
-            guard: epoch::pin(),
+            guard: tree.domain.pin(),
             node: std::ptr::null(),
             examine_current: false,
             dir: Dir::Rev,

@@ -102,19 +102,19 @@ fn shp<'a, K, V>(p: usize) -> Shared<'a, Node<K, V>> {
 /// defers a flag store and spins (with backoff) repinning until it runs.
 /// The caller must not hold a guard of its own, or the epoch can never
 /// advance past it. Readers are never blocked — the *recoverer* waits.
-fn wait_for_grace_period() {
+fn wait_for_grace_period(domain: &crate::domain::EpochDomain) {
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
     let flag = Arc::new(AtomicBool::new(false));
     {
-        let g = epoch::pin();
+        let g = domain.pin();
         let f = Arc::clone(&flag);
         g.defer(move || f.store(true, Ordering::Release));
         g.flush();
     }
     let mut backoff = ContentionBackoff::new();
     while !flag.load(Ordering::Acquire) {
-        epoch::pin().flush();
+        domain.pin().flush();
         backoff.pause();
     }
 }
@@ -204,7 +204,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         // Retire the orphans: unreachable once the chain is clean and the
         // (possibly rebuilt) layout contains chain nodes only.
         {
-            let g = epoch::pin();
+            let g = self.domain.pin();
             for &p in &audit.orphans {
                 // SAFETY: [inv:recovery-chain-truth] orphans are, by audit,
                 // absent from the ordering chain, and the repaired layout is
@@ -245,7 +245,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// parity re-evening) as it goes. Errors only if the *chain itself* is
     /// corrupt — damage outside the protocol's reach.
     fn audit(&self) -> Result<Audit, RecoverError> {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         let head = self.head_sh(&g).as_raw() as usize;
         let root = self.root_sh(&g).as_raw() as usize;
         let mut chain: Vec<usize> = Vec::new();
@@ -402,7 +402,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     fn rebuild_in_place(&self, chain: &[usize]) {
         let root;
         {
-            let g = epoch::pin();
+            let g = self.domain.pin();
             root = self.root_sh(&g).as_raw() as usize;
             // Detach: new lookups land on the root sentinel and fall back to
             // its pred chain — the ordering layout serves every read.
@@ -411,7 +411,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
         // No guard held: let the epoch advance past every reader that might
         // still be descending the detached subtree, whose parent/child
         // pointers are about to be rewritten under it.
-        wait_for_grace_period();
+        wait_for_grace_period(&self.domain);
         let (top, _) = self.build_layout(chain, root);
         // SAFETY note (not an unsafe block): a single Release store
         // publishes the fully wired subtree ([inv:recovery-publish] in the
@@ -423,7 +423,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// by pointer hand-off; the old generation keeps serving pinned readers
     /// until the epoch retires it ([`LoTree::retire_node_without_value`]).
     fn rebuild_streaming(&self, chain: &[usize]) -> Result<(), RecoverError> {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         let head = self.head_sh(&g).as_raw() as usize;
         let root = self.root_sh(&g).as_raw() as usize;
         let mut fresh: Vec<usize> = Vec::with_capacity(chain.len());

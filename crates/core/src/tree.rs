@@ -47,11 +47,29 @@ pub(crate) struct LoTree<K: Key, V: Value> {
     /// Monotone recovery generation: bumped by every successful
     /// `try_recover`; generation 0 is the tree as constructed.
     pub(crate) recovery_gen: AtomicU32,
+    /// The epoch domain this tree's guards pin: the process-global
+    /// collector by default, or a caller-supplied per-shard collector
+    /// (ISSUE 10) so N trees composed into a store stop sharing one
+    /// grace-period authority. Every pin in the engine goes through it.
+    pub(crate) domain: crate::domain::EpochDomain,
 }
 
 impl<K: Key, V: Value> LoTree<K, V> {
-    /// Creates the initial two-sentinel tree (paper §4.1 "The Initial Tree").
+    /// Creates the initial two-sentinel tree (paper §4.1 "The Initial Tree")
+    /// in the process-global epoch domain.
     pub(crate) fn new(balanced: bool, partially_external: bool) -> Self {
+        Self::new_in(balanced, partially_external, crate::domain::EpochDomain::global())
+    }
+
+    /// [`Self::new`] born into a caller-supplied epoch domain: the tree's
+    /// guards pin `domain`'s collector, so its grace periods are decided
+    /// only by participants of the same domain. The arena was already
+    /// per-tree; this makes the reclamation authority per-tree too.
+    pub(crate) fn new_in(
+        balanced: bool,
+        partially_external: bool,
+        domain: crate::domain::EpochDomain,
+    ) -> Self {
         let t = Self {
             root: epoch::Atomic::null(),
             head: epoch::Atomic::null(),
@@ -61,6 +79,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
             partially_external,
             gate: crate::poison::WriterGate::new(),
             recovery_gen: AtomicU32::new(0),
+            domain,
         };
         // SAFETY: [inv:unprotected-quiescent] the tree is not yet shared; no other
         // thread can free nodes.
@@ -305,7 +324,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
 
     /// Lock-free membership test (paper Algorithm 2).
     pub(crate) fn contains(&self, key: &K) -> bool {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         match self.lookup(key, &g) {
             Some(n) => !n.is_removed(),
             None => false,
@@ -318,14 +337,14 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// miss a present key. Kept for the `figure1_demo` example and the
     /// motivation ablation; never used by the real operations.
     pub(crate) fn contains_layout_only(&self, key: &K) -> bool {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         let n = nref(self.search(key, &g));
         n.key.is_key(key) && !n.is_removed()
     }
 
     /// Lock-free value read; applies `f` to the value under the epoch guard.
     pub(crate) fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         let n = self.lookup(key, &g)?;
         if n.is_removed() {
             return None;
@@ -354,7 +373,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// O(1)-expected minimum via `succ(N−∞)`; restarts if it observes a
     /// marked node (paper §4.7), skips zombies via `succ`.
     pub(crate) fn min_key(&self) -> Option<K> {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         'restart: loop {
             let mut n = nref(self.head_sh(&g)).succ.load(Ordering::Acquire, &g);
             loop {
@@ -375,7 +394,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
 
     /// O(1)-expected maximum via `pred(N∞)` (mirror of [`Self::min_key`]).
     pub(crate) fn max_key(&self) -> Option<K> {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         'restart: loop {
             let mut n = nref(self.root_sh(&g)).pred.load(Ordering::Acquire, &g);
             loop {
@@ -395,7 +414,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
 
     /// Number of live keys (walks the ordering chain; quiescent use only).
     pub(crate) fn len_quiescent(&self) -> usize {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         let mut count = 0usize;
         let mut n = nref(self.head_sh(&g)).succ.load(Ordering::Acquire, &g);
         loop {
@@ -413,7 +432,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// root sentinel (quiescent use only). In partially-external mode this
     /// includes zombies.
     pub(crate) fn physical_node_count(&self) -> usize {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         let mut stack = Vec::new();
         let top = nref(self.root_sh(&g)).left.load(Ordering::Acquire, &g);
         if !top.is_null() {
@@ -435,7 +454,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// Number of zombie (logically-deleted, physically-present) nodes
     /// (quiescent use only; always 0 outside partially-external mode).
     pub(crate) fn zombie_count(&self) -> usize {
-        let g = epoch::pin();
+        let g = self.domain.pin();
         let mut count = 0usize;
         let mut n = nref(self.head_sh(&g)).succ.load(Ordering::Acquire, &g);
         loop {

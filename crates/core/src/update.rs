@@ -209,7 +209,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// value is taken, so a retrying caller still owns it (values are not
     /// `Clone` in general).
     fn try_insert_slot(&self, key: K, slot: &mut Option<V>) -> Result<bool, TreeError> {
-        let g = &epoch::pin();
+        let g = &self.domain.pin();
         let _scope = WriteScope::enter(&self.gate)?;
         let value = slot.take().expect("insert attempt retried after its value was committed");
         let mut budget = RestartBudget::new();
@@ -398,7 +398,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     where
         V: Clone,
     {
-        let g = &epoch::pin();
+        let g = &self.domain.pin();
         let _scope = WriteScope::enter(&self.gate)?;
         let value = slot.take().expect("put attempt retried after its value was committed");
         let mut budget = RestartBudget::new();
@@ -601,7 +601,7 @@ impl<K: Key, V: Value> LoTree<K, V> {
     /// Fallible [`Self::remove`]: rejects writes on a poisoned tree. An
     /// `Err` means the map was not modified.
     pub(crate) fn try_remove(&self, key: &K) -> Result<bool, TreeError> {
-        let g = &epoch::pin();
+        let g = &self.domain.pin();
         let _scope = WriteScope::enter(&self.gate)?;
         let mut budget = RestartBudget::new();
         #[cfg(not(feature = "blocking-writes"))]

@@ -133,6 +133,11 @@ pub struct Window {
 pub struct Scope {
     /// Directory whose sources the atomics + lock rules cover.
     pub core_src: String,
+    /// Directories covered by the raw-lock ban. Defaults to `[core_src]`
+    /// when the manifest omits the key, so pre-existing manifests keep
+    /// their exact meaning; the grown workspace extends it to crates that
+    /// host their own lock-bearing protocol code (the lo-store combiner).
+    pub lock_scopes: Vec<String>,
     /// Roots scanned by workspace-wide rules (SeqCst ban, unsafe hygiene).
     pub workspace_roots: Vec<String>,
     /// Files allowed to use raw lock primitives (the enforcement point).
@@ -190,8 +195,14 @@ impl Policy {
     /// Loads and validates a parsed manifest.
     pub fn from_table(t: &Table) -> Result<Policy, String> {
         let scope_t = t.table("scope").ok_or("missing [scope] table")?;
+        let core_src = req_str(scope_t, "core_src", "[scope]")?;
+        let mut lock_scopes = strs(scope_t, "lock_scopes");
+        if lock_scopes.is_empty() {
+            lock_scopes = vec![core_src.clone()];
+        }
         let scope = Scope {
-            core_src: req_str(scope_t, "core_src", "[scope]")?,
+            core_src,
+            lock_scopes,
             workspace_roots: strs(scope_t, "workspace_roots"),
             enforcement_files: strs(scope_t, "enforcement_files"),
             graph_files: strs(scope_t, "graph_files"),
@@ -348,7 +359,7 @@ impl Policy {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::minitoml;
 
@@ -387,6 +398,25 @@ trace_phase = "Rotation"
         assert_eq!(p.fields["mark"].load_union(), ["Acquire", "Relaxed"]);
         assert_eq!(p.windows.len(), 1);
         assert_eq!(p.windows[0].name, "rotate-mid-heights");
+    }
+
+    #[test]
+    fn lock_scopes_default_to_core_src() {
+        let t = minitoml::parse(MINIMAL).unwrap();
+        let p = Policy::from_table(&t).unwrap();
+        assert_eq!(
+            p.scope.lock_scopes,
+            ["crates/core/src"],
+            "absent lock_scopes must fall back to [core_src]"
+        );
+
+        let with = MINIMAL.replace(
+            "core_src = \"crates/core/src\"",
+            "core_src = \"crates/core/src\"\nlock_scopes = [\"crates/core/src\", \"crates/store/src\"]",
+        );
+        let p = Policy::from_table(&minitoml::parse(&with).unwrap()).unwrap();
+        assert_eq!(p.scope.lock_scopes, ["crates/core/src", "crates/store/src"]);
+        assert_eq!(p.scope.core_src, "crates/core/src", "core_src is unchanged");
     }
 
     #[test]

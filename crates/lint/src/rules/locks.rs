@@ -86,11 +86,14 @@ pub fn check(
 // ---------------------------------------------------------------------------
 
 fn raw_lock_ban(files: &[SourceFile], policy: &Policy, out: &mut Vec<Finding>) {
-    let core_prefix = format!("{}/", policy.scope.core_src);
+    // `lock_scopes` defaults to `[core_src]` (policy.rs), so manifests that
+    // predate multi-scope coverage keep their exact file set.
+    let prefixes: Vec<String> =
+        policy.scope.lock_scopes.iter().map(|p| format!("{p}/")).collect();
     let mut allow_used = vec![false; policy.raw_lock_allows.len()];
 
     for f in files {
-        if !f.path.starts_with(&core_prefix) {
+        if !prefixes.iter().any(|p| f.path.starts_with(p.as_str())) {
             continue;
         }
         if policy.scope.enforcement_files.contains(&f.path) {
@@ -625,6 +628,32 @@ mod tests {
         assert_eq!(spans[1].0, "b");
         let dot = f.tokens.iter().position(|t| t.is_punct('.')).unwrap();
         assert_eq!(receiver(&f.tokens, dot), "p");
+    }
+
+    #[test]
+    fn raw_lock_ban_covers_extended_scopes() {
+        use crate::minitoml;
+        use crate::policy::Policy;
+        let manifest = crate::policy::tests::MINIMAL.replace(
+            "core_src = \"crates/core/src\"",
+            "core_src = \"crates/core/src\"\n\
+             lock_scopes = [\"crates/core/src\", \"crates/store/src\"]",
+        );
+        let manifest = format!(
+            "{manifest}\n[[locks.raw_allow]]\nfile = \"crates/store/src/fc.rs\"\n\
+             reason = \"combiner queues\"\n"
+        );
+        let policy = Policy::from_table(&minitoml::parse(&manifest).unwrap()).unwrap();
+        let body = "fn f(m: &Mutex<u32>) { m.lock(); }";
+        let in_scope = lex("crates/store/src/store.rs", body);
+        let allowed = lex("crates/store/src/fc.rs", body);
+        let outside = lex("crates/workload/src/runner.rs", body);
+        let mut out = Vec::new();
+        let mut graph = Vec::new();
+        check(&[in_scope, allowed, outside], &policy, &mut out, &mut graph);
+        let raw: Vec<_> = out.iter().filter(|f| f.rule == crate::findings::Rule::RawLock).collect();
+        assert_eq!(raw.len(), 2, "Mutex type + .lock() call in the one in-scope file: {out:?}");
+        assert!(raw.iter().all(|f| f.file == "crates/store/src/store.rs"));
     }
 
     #[test]

@@ -164,6 +164,19 @@ events! {
     /// Nodes found unreachable from the surviving chain and retired
     /// through the epoch during recovery, summed across recoveries.
     RecoveryNodesOrphaned => "recovery-nodes-orphaned",
+    /// A sharded-store combiner drained one batch from a shard's op queue
+    /// (one per drain, regardless of batch size — ISSUE 10).
+    StoreBatchDrained => "store-batch-drained",
+    /// Operations executed inside combiner batches, summed; also recorded
+    /// into the log₂ histogram family ([`record_log2`]) so the batch-size
+    /// distribution — not just the mean — is visible in reports.
+    StoreBatchLen => "store-batch-len",
+    /// A thread finished its own batch and handed the combiner role to a
+    /// waiter that enqueued while it was draining.
+    StoreCombinerHandoff => "store-combiner-handoff",
+    /// A cross-shard ordered scan advanced from one shard's cursor to the
+    /// next (one per shard boundary crossed mid-scan).
+    StoreCrossShardScanStitch => "store-cross-shard-scan-stitch",
 }
 
 /// Number of counter shards. Threads are striped across shards round-robin;
@@ -279,6 +292,96 @@ pub fn max_gauge(event: Event) -> u64 {
 pub fn reset_max_gauge(event: Event) {
     #[cfg(feature = "metrics")]
     gauges::MAX[event as usize].store(0, Ordering::Relaxed);
+    #[cfg(not(feature = "metrics"))]
+    let _ = event;
+}
+
+/// Number of buckets in the log₂ histogram family: bucket *i* counts
+/// samples with `floor(log2(value)) == i` (value 0 shares bucket 0 with
+/// value 1), so bucket 63 covers the whole `u64` range.
+pub const LOG2_BUCKETS: usize = 64;
+
+/// Bucket index a sample lands in: `floor(log2(value))`, with 0 → 0.
+#[inline]
+pub const fn log2_bucket(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+#[cfg(feature = "metrics")]
+mod histograms {
+    use super::*;
+
+    /// One log₂ histogram per event (only a few events use theirs). Like
+    /// the gauges these are global, not sharded: histogram recording sits
+    /// on amortized paths (once per combiner batch, not once per op), so
+    /// contention is not a concern.
+    pub(crate) struct Hist {
+        pub(crate) buckets: [AtomicU64; LOG2_BUCKETS],
+    }
+
+    impl Hist {
+        const fn new() -> Self {
+            #[allow(clippy::declare_interior_mutable_const)]
+            const ZERO: AtomicU64 = AtomicU64::new(0);
+            Self { buckets: [ZERO; LOG2_BUCKETS] }
+        }
+    }
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY: Hist = Hist::new();
+    pub(crate) static HIST: [Hist; Event::COUNT] = [EMPTY; Event::COUNT];
+}
+
+/// Records `value` into `event`'s log₂ histogram (no-op unless the
+/// `metrics` feature is enabled).
+///
+/// Histograms are a third family next to the sharded counters and the
+/// high-water gauges: they keep a *distribution* — e.g. how large combiner
+/// batches actually get ([`Event::StoreBatchLen`]) — where a sum would hide
+/// the shape and a max would hide the common case.
+#[cfg(feature = "metrics")]
+#[inline]
+pub fn record_log2(event: Event, value: u64) {
+    histograms::HIST[event as usize].buckets[log2_bucket(value)]
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+/// No-op (the `metrics` feature is disabled).
+#[cfg(not(feature = "metrics"))]
+#[inline(always)]
+pub fn record_log2(_event: Event, _value: u64) {}
+
+/// Point-in-time copy of `event`'s log₂ histogram: `out[i]` is the number
+/// of samples whose bucket ([`log2_bucket`]) is `i`. All zeros with
+/// `metrics` off.
+#[inline]
+pub fn log2_hist(event: Event) -> [u64; LOG2_BUCKETS] {
+    #[cfg(feature = "metrics")]
+    {
+        let mut out = [0u64; LOG2_BUCKETS];
+        for (o, b) in out.iter_mut().zip(histograms::HIST[event as usize].buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+    #[cfg(not(feature = "metrics"))]
+    {
+        let _ = event;
+        [0; LOG2_BUCKETS]
+    }
+}
+
+/// Resets `event`'s log₂ histogram to all-zero (test/trial isolation).
+#[inline]
+pub fn reset_log2(event: Event) {
+    #[cfg(feature = "metrics")]
+    for b in histograms::HIST[event as usize].buckets.iter() {
+        b.store(0, Ordering::Relaxed);
+    }
     #[cfg(not(feature = "metrics"))]
     let _ = event;
 }
@@ -502,6 +605,37 @@ mod tests {
         assert_eq!(max_gauge(e), 0);
     }
 
+    #[test]
+    fn log2_bucket_boundaries() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 0);
+        assert_eq!(log2_bucket(2), 1);
+        assert_eq!(log2_bucket(3), 1);
+        assert_eq!(log2_bucket(4), 2);
+        assert_eq!(log2_bucket(255), 7);
+        assert_eq!(log2_bucket(256), 8);
+        assert_eq!(log2_bucket(u64::MAX), 63);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn log2_histogram_records_distribution() {
+        let e = Event::StoreBatchLen;
+        reset_log2(e);
+        record_log2(e, 1); // bucket 0
+        record_log2(e, 1); // bucket 0
+        record_log2(e, 5); // bucket 2
+        record_log2(e, 64); // bucket 6
+        let h = log2_hist(e);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 0);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[6], 1);
+        assert_eq!(h.iter().sum::<u64>(), 4);
+        reset_log2(e);
+        assert!(log2_hist(e).iter().all(|&c| c == 0));
+    }
+
     // ------------------------------------------------------------------
     // Feature-OFF behaviour: provably inert.
     // ------------------------------------------------------------------
@@ -515,6 +649,8 @@ mod tests {
             add(e, 1_000);
             note_max(e, 7);
             assert_eq!(max_gauge(e), 0);
+            record_log2(e, 42);
+            assert!(log2_hist(e).iter().all(|&c| c == 0));
         }
         let s = Snapshot::take();
         assert!(s.is_zero(), "disabled build must never observe a count");

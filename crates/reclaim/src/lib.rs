@@ -200,6 +200,21 @@ impl Collector {
     pub fn epoch(&self) -> usize {
         self.global.epoch.load(Ordering::SeqCst)
     }
+
+    /// Whether `self` and `other` are handles onto the **same epoch
+    /// domain** — the same global epoch, participant registry, and orphan
+    /// queue. Domain identity is the shared `Global` allocation: every
+    /// [`Collector::clone`] compares equal to its original, while two
+    /// results of [`Collector::new`] never do.
+    ///
+    /// The sharded store (ISSUE 10) gives each shard its own domain and
+    /// uses this check to assert, in debug builds, that a guard pinned for
+    /// shard *i* never protects an operation executing against shard *j*:
+    /// a cross-domain guard is a use-after-free waiting to happen, because
+    /// shard *j*'s grace periods advance without ever consulting it.
+    pub fn is_same_domain(&self, other: &Collector) -> bool {
+        Arc::ptr_eq(&self.global, &other.global)
+    }
 }
 
 impl Default for Collector {
@@ -208,6 +223,13 @@ impl Default for Collector {
     }
 }
 
+/// Cloning a collector yields another handle onto the **same** epoch
+/// domain, not a new one: the clone shares the global epoch, the
+/// participant registry, and the orphan queue, so guards registered
+/// through either copy block each other's grace periods. To get an
+/// *independent* domain (separate grace periods, as the sharded store
+/// wants per shard), call [`Collector::new`] again instead. Verified by
+/// [`Collector::is_same_domain`] and the clone-semantics tests.
 impl Clone for Collector {
     fn clone(&self) -> Self {
         Self { global: Arc::clone(&self.global) }
@@ -529,6 +551,73 @@ mod tests {
         assert!(diff.get(Event::ReclaimRetire) >= 1, "retire not recorded");
         assert!(diff.get(Event::ReclaimAdvance) >= 2, "epoch advances not recorded");
         assert!(diff.get(Event::ReclaimFree) >= 1, "free not recorded");
+    }
+
+    #[test]
+    fn cloned_collectors_share_the_epoch_domain() {
+        // Satellite check (ISSUE 10): `Collector::clone` is another handle
+        // onto the SAME domain, so a guard registered through the clone
+        // blocks grace periods observed through the original.
+        let a = Collector::new();
+        let b = a.clone();
+        assert!(a.is_same_domain(&b), "a clone must compare same-domain");
+        assert!(b.is_same_domain(&a));
+        assert!(a.is_same_domain(&a));
+
+        let reader = b.register(); // handle via the clone
+        let writer = a.register(); // handle via the original
+        let dropped = Arc::new(AtomicBool::new(false));
+
+        let read_guard = reader.pin();
+        {
+            let g = writer.pin();
+            let p = Box::into_raw(Box::new(Tracked(Arc::clone(&dropped))));
+            // SAFETY: `p` came from Box::into_raw just above and is never
+            // freed elsewhere.
+            unsafe { g.defer_destroy_box(p) };
+        }
+        for _ in 0..10 {
+            writer.flush();
+        }
+        assert!(
+            !dropped.load(Ordering::SeqCst),
+            "a pin through the CLONE must block the original's grace period"
+        );
+        drop(read_guard);
+        for _ in 0..3 {
+            writer.flush();
+        }
+        assert!(dropped.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn fresh_collectors_are_independent_domains() {
+        // The per-shard story: two `Collector::new` results are distinct
+        // domains — a pinned reader in domain A must NOT stall domain B's
+        // reclamation, and `is_same_domain` tells them apart.
+        let a = Collector::new();
+        let b = Collector::new();
+        assert!(!a.is_same_domain(&b), "two news must be distinct domains");
+
+        let a_reader = a.register();
+        let _a_pin = a_reader.pin(); // held across B's whole lifecycle
+
+        let h = b.register();
+        let dropped = Arc::new(AtomicBool::new(false));
+        {
+            let g = h.pin();
+            let p = Box::into_raw(Box::new(Tracked(Arc::clone(&dropped))));
+            // SAFETY: `p` came from Box::into_raw just above and is never
+            // freed elsewhere.
+            unsafe { g.defer_destroy_box(p) };
+        }
+        h.flush();
+        h.flush();
+        h.flush();
+        assert!(
+            dropped.load(Ordering::SeqCst),
+            "domain B must reclaim while domain A holds a pin"
+        );
     }
 
     #[test]

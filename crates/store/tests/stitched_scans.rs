@@ -1,0 +1,208 @@
+//! Scan-coherence evidence for **stitched** cross-shard scans (ISSUE 10).
+//!
+//! The single tree's concurrent scans already pass `lo_check::scan`'s
+//! coherence checker; these tests hold the sharded store's stitched scans
+//! to the identical contract — strictly ascending, in-window, no yield of a
+//! certainly-dead key, no miss of a continuously-live one — while updaters
+//! race the scanner. Both stitching strategies are driven: sequential
+//! per-shard cursors (range routing) and gather-then-merge (hash routing),
+//! with windows spanning zero, one, and every shard boundary, plus empty
+//! shards and boundary-key regressions.
+
+use lo_check::lin::{CompletedOp, LinOp, Recorder};
+use lo_check::scan::{check_scan_coherence, ScanObservation};
+use lo_core::LoAvlMap;
+use lo_store::{RangePartitioner, ShardedStore};
+
+type RangeStore = ShardedStore<i64, u64, LoAvlMap<i64, u64>, RangePartitioner<i64>>;
+type HashStore = ShardedStore<i64, u64>;
+
+/// The two store flavours under one hat for the generic storm driver.
+trait StoreOps: Sync {
+    fn ins(&self, k: i64) -> bool;
+    fn rem(&self, k: i64) -> bool;
+    fn scan_u8(&self, lo: u8, hi: u8, out: &mut Vec<u8>);
+}
+
+macro_rules! impl_store_ops {
+    ($ty:ty) => {
+        impl StoreOps for $ty {
+            fn ins(&self, k: i64) -> bool {
+                self.insert(k, 0)
+            }
+            fn rem(&self, k: i64) -> bool {
+                self.remove(&k)
+            }
+            fn scan_u8(&self, lo: u8, hi: u8, out: &mut Vec<u8>) {
+                self.scan_range(i64::from(lo)..=i64::from(hi), |k| out.push(k as u8));
+            }
+        }
+    };
+}
+
+impl_store_ops!(RangeStore);
+impl_store_ops!(HashStore);
+
+/// Windows exercised against splits `[16, 32, 48]`: inside one shard (zero
+/// boundaries), across exactly one boundary, across every boundary, and
+/// degenerate single-key windows sitting exactly on a split.
+const WINDOWS: &[(u8, u8)] = &[
+    (17, 30), // strictly inside shard 1
+    (10, 20), // crosses the 16 split only
+    (0, 63),  // crosses all three splits
+    (16, 16), // exactly the boundary key
+    (47, 49), // straddles the 48 split
+];
+
+/// Drives two updaters over keys `0..64` against one scanner walking
+/// `WINDOWS`, all stamped on one logical clock, then runs the coherence
+/// checker over the combined history.
+fn storm_and_check<M: StoreOps>(store: &M, initial: u64) {
+    let recorder = Recorder::new();
+    let (history, scans) = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..2u64 {
+            let recorder = &recorder;
+            handles.push(s.spawn(move || {
+                let mut ops = Vec::new();
+                let mut x = 0x9e37_79b9_u64.wrapping_add(t.wrapping_mul(0x85eb_ca6b));
+                for _ in 0..150 {
+                    // xorshift: cheap deterministic-per-thread key/op mix.
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = (x % 64) as u8;
+                    if x & 1 == 0 {
+                        ops.push(recorder.record(LinOp::Insert, key, || store.ins(i64::from(key))));
+                    } else {
+                        ops.push(recorder.record(LinOp::Remove, key, || store.rem(i64::from(key))));
+                    }
+                }
+                ops
+            }));
+        }
+        let scans: Vec<ScanObservation> = {
+            let recorder = &recorder;
+            s.spawn(move || {
+                let mut scans = Vec::new();
+                for _ in 0..10 {
+                    for &(lo, hi) in WINDOWS {
+                        let invoke = recorder.stamp();
+                        let mut keys = Vec::new();
+                        store.scan_u8(lo, hi, &mut keys);
+                        let response = recorder.stamp();
+                        scans.push(ScanObservation { lo, hi, keys, invoke, response });
+                    }
+                }
+                scans
+            })
+            .join()
+            .expect("scanner must not die")
+        };
+        let mut history: Vec<CompletedOp> = Vec::new();
+        for h in handles {
+            history.extend(h.join().expect("updater must not die"));
+        }
+        (history, scans)
+    });
+    if let Err(v) = check_scan_coherence(&history, &scans, initial) {
+        panic!("stitched scan broke coherence: {v}");
+    }
+}
+
+fn prefill(store: &impl StoreOps) -> u64 {
+    let mut initial = 0u64;
+    for k in (0..64u8).step_by(2) {
+        assert!(store.ins(i64::from(k)));
+        initial |= 1 << k;
+    }
+    initial
+}
+
+#[test]
+fn sequentially_stitched_scans_cohere_under_storm() {
+    let store = RangeStore::range_sharded(vec![16, 32, 48]);
+    let initial = prefill(&store);
+    storm_and_check(&store, initial);
+    store.check_invariants();
+}
+
+#[test]
+fn merged_scans_cohere_under_storm() {
+    let store = HashStore::hash_sharded(4);
+    let initial = prefill(&store);
+    storm_and_check(&store, initial);
+    store.check_invariants();
+}
+
+#[test]
+fn empty_shards_stitch_cleanly() {
+    // Middle shards hold nothing: the stitched stream must skip them
+    // without a glitch.
+    let store = RangeStore::range_sharded(vec![16, 32, 48]);
+    for k in (0i64..16).chain(48..64) {
+        assert!(store.insert(k, 0));
+    }
+    assert_eq!(
+        store.range_keys(0..=63),
+        (0i64..16).chain(48..64).collect::<Vec<_>>()
+    );
+    assert_eq!(store.range_count(16..=47), 0, "the empty middle spans two shards");
+    assert_eq!(store.range_keys(20..=40), Vec::<i64>::new());
+    store.check_invariants();
+}
+
+#[test]
+fn boundary_key_regressions() {
+    let store = RangeStore::range_sharded(vec![16, 32, 48]);
+    // A key exactly at a split lives on the right-hand shard.
+    assert!(store.insert(16, 1));
+    assert_eq!(store.shard_of(&16), 1);
+    assert!(store.shard(1).contains(&16), "split key must live right of the split");
+    assert!(!store.shard(0).contains(&16));
+    // Single-key window on the boundary.
+    assert_eq!(store.range_keys(16..=16), vec![16]);
+    // Window ending just left / starting just right of the split.
+    assert!(store.insert(15, 1));
+    assert!(store.insert(17, 1));
+    assert_eq!(store.range_keys(0..=15), vec![15]);
+    assert_eq!(store.range_keys(17..=31), vec![17]);
+    // Reverse and empty windows yield nothing.
+    #[allow(clippy::reversed_empty_ranges)]
+    {
+        assert_eq!(store.range_count(40..=20), 0, "inverted window is empty");
+    }
+    assert_eq!(store.range_keys(18..=18), Vec::<i64>::new());
+    // min/max/ceiling/floor agree across the boundary.
+    assert_eq!(store.min_key(), Some(15));
+    assert_eq!(store.max_key(), Some(17));
+    assert_eq!(store.ceiling_key(&16), Some(16));
+    assert_eq!(store.floor_key(&16), Some(16));
+    assert_eq!(store.ceiling_key(&18), None);
+    assert_eq!(store.floor_key(&14), None);
+    store.check_invariants();
+}
+
+#[test]
+fn stitched_scan_matches_single_tree_reference() {
+    // Same key set into a 4-shard store and one reference tree: every
+    // window must produce byte-identical streams.
+    let store = RangeStore::range_sharded(vec![100, 200, 300]);
+    let reference = LoAvlMap::new();
+    let mut x = 7u64;
+    for _ in 0..300 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = (x % 400) as i64;
+        assert_eq!(store.insert(k, 0), reference.insert(k, 0));
+    }
+    for (lo, hi) in [(0i64, 399), (90, 110), (150, 150), (0, 99), (300, 399), (250, 260)] {
+        assert_eq!(
+            store.range_keys(lo..=hi),
+            reference.range_keys(lo..=hi),
+            "window {lo}..={hi} diverged from the single-tree reference"
+        );
+    }
+    assert_eq!(store.keys_in_order(), reference.keys_in_order());
+}

@@ -779,7 +779,7 @@ where
 /// Returns a closure that restores forwarding-to-the-previous-hook
 /// behavior. Chaos runs are serialized by the plan session, so the global
 /// hook swap does not race with other runs.
-fn silence_injected_panics() -> impl FnOnce() {
+pub(crate) fn silence_injected_panics() -> impl FnOnce() {
     let prev = Arc::new(std::panic::take_hook());
     let filter_prev = Arc::clone(&prev);
     std::panic::set_hook(Box::new(move |info| {

@@ -1,0 +1,218 @@
+//! Closed-loop "N clients × M connections" service workload (ISSUE 10).
+//!
+//! The throughput trials in [`runner`](crate::runner) model the paper's
+//! open benchmark loop: every thread fires operations back-to-back as fast
+//! as the map allows. A *service tier* sees a different shape — a fleet of
+//! clients, each multiplexing several logical connections, where a
+//! connection issues its next request only after the previous one
+//! completed (a **closed loop**). The distinction matters for the
+//! flat-combining frontend: closed-loop connections are exactly the
+//! arrival process whose bursts a combiner batches.
+//!
+//! Each client is one OS thread that round-robins its `M` connection
+//! states; every connection owns an independent RNG stream and op budget,
+//! so the interleaving is deterministic per client given the spec's seed.
+//! Operation mix is `read_pct` membership probes with the remainder split
+//! evenly between inserts and removes over a uniform key draw.
+
+use std::time::{Duration, Instant};
+
+use lo_api::{ConcurrentMap, Key};
+
+use crate::rng::{SplitMix64, XorShift64Star};
+
+/// Shape of a closed-loop client fleet.
+#[derive(Clone, Debug)]
+pub struct ClientsSpec {
+    /// Client threads.
+    pub clients: usize,
+    /// Logical connections multiplexed per client.
+    pub connections_per_client: usize,
+    /// Requests issued per connection (the closed-loop budget).
+    pub ops_per_connection: usize,
+    /// Key universe `0..keys`.
+    pub keys: u64,
+    /// Percentage of operations that are reads (0..=100); the rest split
+    /// evenly between inserts and removes.
+    pub read_pct: u8,
+    /// Seed for the per-connection RNG streams.
+    pub seed: u64,
+}
+
+impl ClientsSpec {
+    /// A service-shaped default: 4 clients × 8 connections × 500 ops over
+    /// 1024 keys at 90% reads.
+    pub fn new(seed: u64) -> Self {
+        ClientsSpec {
+            clients: 4,
+            connections_per_client: 8,
+            ops_per_connection: 500,
+            keys: 1024,
+            read_pct: 90,
+            seed,
+        }
+    }
+
+    /// Total requests the fleet will issue.
+    pub fn total_ops(&self) -> u64 {
+        (self.clients * self.connections_per_client * self.ops_per_connection) as u64
+    }
+}
+
+/// What the fleet did.
+#[derive(Clone, Debug)]
+pub struct ClientsReport {
+    /// Requests completed (always [`ClientsSpec::total_ops`] — the loop is
+    /// closed, every budgeted request runs to completion).
+    pub total_ops: u64,
+    /// Reads among them.
+    pub reads: u64,
+    /// Successful (key-state-changing) writes among the rest.
+    pub effective_writes: u64,
+    /// Wall-clock time for the whole fleet.
+    pub elapsed: Duration,
+}
+
+impl ClientsReport {
+    /// Aggregate throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// One connection's private issue state.
+struct Connection {
+    rng: XorShift64Star,
+    remaining: usize,
+}
+
+/// Runs the fleet to completion against `map` and returns the accounting.
+///
+/// Works against any [`ConcurrentMap`] keyed by `u64`-convertible keys —
+/// a bare tree, a [`ShardedStore`](lo_store::ShardedStore), or the
+/// [`BatchedStore`](lo_store::BatchedStore) frontend — so direct-vs-batched
+/// ablations drive byte-identical request streams.
+pub fn run_clients<K, M>(map: &M, spec: &ClientsSpec) -> ClientsReport
+where
+    K: Key + From<u32>,
+    M: ConcurrentMap<K, u64>,
+{
+    assert!(spec.clients > 0 && spec.connections_per_client > 0, "empty fleet");
+    assert!(spec.read_pct <= 100, "read_pct is a percentage");
+    assert!(spec.keys > 0 && spec.keys <= u64::from(u32::MAX), "key universe fits u32");
+
+    let mut seeder = SplitMix64::new(spec.seed);
+    let client_seeds: Vec<u64> = (0..spec.clients).map(|_| seeder.next_u64()).collect();
+
+    let started = Instant::now();
+    let (reads, effective_writes) = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(spec.clients);
+        for &cseed in &client_seeds {
+            handles.push(s.spawn(move || {
+                let mut conn_seeder = SplitMix64::new(cseed);
+                let mut conns: Vec<Connection> = (0..spec.connections_per_client)
+                    .map(|_| Connection {
+                        rng: XorShift64Star::new(conn_seeder.next_u64()),
+                        remaining: spec.ops_per_connection,
+                    })
+                    .collect();
+                let (mut reads, mut effective) = (0u64, 0u64);
+                // Round-robin until every connection's budget is spent:
+                // each visit issues exactly one request and waits for it
+                // (the function call returning IS the completion).
+                let mut live = conns.len();
+                while live > 0 {
+                    for conn in &mut conns {
+                        if conn.remaining == 0 {
+                            continue;
+                        }
+                        conn.remaining -= 1;
+                        if conn.remaining == 0 {
+                            live -= 1;
+                        }
+                        let key = K::from(conn.rng.next_below(spec.keys) as u32);
+                        let roll = conn.rng.next_below(100) as u8;
+                        if roll < spec.read_pct {
+                            let _ = map.contains(&key);
+                            reads += 1;
+                        } else if (u64::from(roll) - u64::from(spec.read_pct)) % 2 == 0 {
+                            effective += u64::from(map.insert(key, u64::from(roll)));
+                        } else {
+                            effective += u64::from(map.remove(&key));
+                        }
+                    }
+                }
+                (reads, effective)
+            }));
+        }
+        let mut totals = (0u64, 0u64);
+        for h in handles {
+            let (r, w) = h.join().expect("client thread must not die");
+            totals.0 += r;
+            totals.1 += w;
+        }
+        totals
+    });
+
+    ClientsReport {
+        total_ops: spec.total_ops(),
+        reads,
+        effective_writes,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lo_api::CheckInvariants;
+    use lo_core::LoAvlMap;
+    use lo_store::{BatchedStore, ShardedStore};
+
+    #[test]
+    fn fleet_runs_its_full_budget() {
+        let map: LoAvlMap<i64, u64> = LoAvlMap::new();
+        let spec = ClientsSpec { clients: 2, connections_per_client: 3, ..ClientsSpec::new(9) };
+        let report = run_clients(&map, &spec);
+        assert_eq!(report.total_ops, spec.total_ops());
+        assert_eq!(report.total_ops, 2 * 3 * 500);
+        assert!(report.reads > 0 && report.effective_writes > 0);
+        assert!(report.ops_per_sec() > 0.0);
+        map.check_invariants();
+    }
+
+    #[test]
+    fn read_heavy_mix_respects_the_knob() {
+        let map: LoAvlMap<i64, u64> = LoAvlMap::new();
+        let spec = ClientsSpec { read_pct: 100, ..ClientsSpec::new(11) };
+        let report = run_clients(&map, &spec);
+        assert_eq!(report.reads, report.total_ops, "100% reads means only reads");
+        assert_eq!(report.effective_writes, 0);
+        assert!(map.is_empty(), "an all-read fleet writes nothing");
+    }
+
+    #[test]
+    fn direct_and_batched_stores_serve_the_same_fleet() {
+        // The point of the generic signature: identical spec, three tiers.
+        // One client keeps the request stream sequential, so the final key
+        // sets must match exactly (with racing clients the last write to a
+        // contended key is interleaving-dependent).
+        let spec = ClientsSpec { clients: 1, ops_per_connection: 200, ..ClientsSpec::new(23) };
+        let direct: ShardedStore<i64, u64> = ShardedStore::hash_sharded(4);
+        let batched: BatchedStore<i64, u64> = BatchedStore::hash_sharded(4);
+        let a = run_clients(&direct, &spec);
+        let b = run_clients(&batched, &spec);
+        assert_eq!(a.total_ops, b.total_ops);
+        // Same seed ⇒ same request stream ⇒ same final key set.
+        assert_eq!(direct.keys_in_order(), batched.inner().keys_in_order());
+        direct.check_invariants();
+        batched.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "read_pct is a percentage")]
+    fn overflowing_read_pct_rejected() {
+        let map: LoAvlMap<i64, u64> = LoAvlMap::new();
+        run_clients(&map, &ClientsSpec { read_pct: 101, ..ClientsSpec::new(1) });
+    }
+}

@@ -18,6 +18,8 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod chaos_store;
+pub mod clients;
 pub mod history;
 pub mod latency;
 pub mod report;
@@ -29,6 +31,8 @@ pub mod stats;
 pub use chaos::{
     run_chaos, run_chaos_recovery, ChaosReport, ChaosSpec, RecoveryRoundReport, RecoverySpec,
 };
+pub use chaos_store::{run_chaos_store, ChaosStore, StoreChaosReport, StoreChaosSpec};
+pub use clients::{run_clients, ClientsReport, ClientsSpec};
 pub use history::HistoryRecorder;
 pub use latency::{fmt_ns, LatencyHistogram};
 pub use report::{MetricsEntry, MetricsPanel, Panel};

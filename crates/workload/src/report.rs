@@ -103,6 +103,11 @@ pub struct MetricsEntry {
     pub total_ops: u64,
     /// Event counters summed across the aggregated repetitions.
     pub events: Snapshot,
+    /// Log₂ histograms captured for this cell (e.g. the combiner
+    /// batch-size distribution, [`lo_metrics::Event::StoreBatchLen`]):
+    /// `(event, buckets)` pairs from [`lo_metrics::log2_hist`]. Usually
+    /// empty; all-zero histograms are skipped by the renderers.
+    pub hists: Vec<(lo_metrics::Event, [u64; lo_metrics::LOG2_BUCKETS])>,
 }
 
 /// Companion to [`Panel`]: per-cell event telemetry for one workload panel.
@@ -130,7 +135,10 @@ impl MetricsPanel {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("### {} — event telemetry\n", self.title));
-        if self.entries.iter().all(|e| e.events.is_zero()) {
+        let dead = |e: &MetricsEntry| {
+            e.events.is_zero() && e.hists.iter().all(|(_, h)| h.iter().all(|&c| c == 0))
+        };
+        if self.entries.iter().all(dead) {
             out.push_str(
                 "(all counters zero — build with `--features metrics` to record events)\n",
             );
@@ -147,6 +155,25 @@ impl MetricsPanel {
                     ev.name(),
                     e.events.per_op(ev, e.total_ops)
                 ));
+            }
+            for (ev, hist) in &e.hists {
+                let total: u64 = hist.iter().sum();
+                if total == 0 {
+                    continue;
+                }
+                out.push_str(&format!("  log2({}) — {total} samples:\n", ev.name()));
+                let peak = *hist.iter().max().expect("histogram has buckets");
+                for (b, &count) in hist.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    // 24-char bar scaled to the modal bucket.
+                    let bar = "#".repeat(((count * 24).div_ceil(peak)) as usize);
+                    out.push_str(&format!(
+                        "    [2^{b:<2}..2^{:<2}) {count:>10}  {bar}\n",
+                        b + 1
+                    ));
+                }
             }
         }
         out
@@ -196,7 +223,26 @@ impl MetricsPanel {
                 }
                 out.push_str(&format!("\"{}\":{n}", ev.name()));
             }
-            out.push_str("}}");
+            out.push('}');
+            let live: Vec<_> =
+                e.hists.iter().filter(|(_, h)| h.iter().any(|&c| c > 0)).collect();
+            if !live.is_empty() {
+                out.push_str(",\"hists\":{");
+                for (j, (ev, hist)) in live.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let buckets: Vec<String> =
+                        hist.iter().map(u64::to_string).collect();
+                    out.push_str(&format!(
+                        "\"{}\":[{}]",
+                        ev.name(),
+                        buckets.join(",")
+                    ));
+                }
+                out.push('}');
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -286,8 +332,39 @@ mod tests {
             threads: 4,
             total_ops: 1_000,
             events,
+            hists: Vec::new(),
         });
         mp
+    }
+
+    #[test]
+    fn metrics_panel_renders_log2_histograms() {
+        let mut hist = [0u64; lo_metrics::LOG2_BUCKETS];
+        hist[0] = 2;
+        hist[3] = 7;
+        let mut mp = MetricsPanel::new("store smoke");
+        mp.push(MetricsEntry {
+            algorithm: "lo-store-batched".into(),
+            threads: 4,
+            total_ops: 100,
+            events: Snapshot::zero(),
+            hists: vec![
+                (lo_metrics::Event::StoreBatchLen, hist),
+                (lo_metrics::Event::Rotation, [0; lo_metrics::LOG2_BUCKETS]),
+            ],
+        });
+        let text = mp.render();
+        let json = mp.to_json();
+        // JSON carries the live histogram and skips the dead one.
+        assert!(json.contains("\"hists\":{\"store-batch-len\":[2,0,0,7,0"));
+        assert!(!json.contains("rotation"));
+        // A live histogram counts as data: no all-zero hint, full section.
+        assert!(!text.contains("--features metrics"));
+        assert!(text.contains("log2(store-batch-len) — 9 samples"));
+        assert!(text.contains("[2^0 ..2^1 )"));
+        assert!(text.contains("[2^3 ..2^4 )"));
+        // The modal bucket gets the full-width bar.
+        assert!(text.contains(&"#".repeat(24)));
     }
 
     #[test]

@@ -1,25 +1,31 @@
-//! A concurrent limit-order-book price index — the kind of workload the
-//! paper's introduction motivates: a hot ordered dictionary with a
-//! read-dominated mix and strict latency requirements on lookups.
+//! A concurrent limit-order-book price index on the **range-sharded
+//! store**: price bands are split over LO-tree shards, each in its own
+//! epoch domain, so order entry in one band never contends — not even on
+//! grace periods — with another band's.
 //!
-//! Price levels for one side of the book live in an `LoAvlMap<Price, Qty>`:
-//! * market-data threads hammer `contains`/`get` (lock-free here — they can
-//!   never be blocked by a rebalance),
-//! * order-entry threads insert and cancel price levels,
-//! * the matching engine repeatedly takes the **best price** via the O(1)
-//!   `min_key`/`max_key` of the ordering layer.
+//! Price levels for one side of the book live in a
+//! `ShardedStore<Price, Qty, _, RangePartitioner<Price>>`:
+//! * market-data threads hammer `contains`/`get` (lock-free — routed to
+//!   one shard, never blocked by a rebalance),
+//! * order-entry threads insert and cancel price levels in their band,
+//! * the matching engine repeatedly takes the **best price** via the
+//!   store-wide `min_key`/`max_key` (min/max over per-shard O(1) minima),
+//! * depth snapshots are stitched cross-shard `range_keys` scans that
+//!   stay strictly ascending across the band boundaries.
 //!
 //! Run with: `cargo run --release --example order_book`
 
-use lo_trees::LoAvlMap;
+use lo_trees::{LoAvlMap, ShardedStore};
+use lo_trees::store::RangePartitioner;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 type Price = i64; // ticks
 type Qty = u64;
+type PriceIndex = ShardedStore<Price, Qty, LoAvlMap<Price, Qty>, RangePartitioner<Price>>;
 
 struct Side {
-    levels: LoAvlMap<Price, Qty>,
+    levels: PriceIndex,
     is_bid: bool,
 }
 
@@ -34,7 +40,13 @@ impl Side {
 }
 
 fn main() {
-    let asks = Arc::new(Side { levels: LoAvlMap::new(), is_bid: false });
+    // Four price bands: [..10_500), [10_500..11_000), [11_000..11_500),
+    // [11_500..). A band boundary key (say 11_000) lives on the right-hand
+    // shard — the router's half-open contract.
+    let asks = Arc::new(Side {
+        levels: PriceIndex::range_sharded(vec![10_500, 11_000, 11_500]),
+        is_bid: false,
+    });
     let stop = Arc::new(AtomicBool::new(false));
     let trades = Arc::new(AtomicU64::new(0));
     let quotes = Arc::new(AtomicU64::new(0));
@@ -66,7 +78,8 @@ fn main() {
         }));
     }
 
-    // Market data: quote lookups (the lock-free hot path).
+    // Market data: quote lookups (the lock-free hot path) plus a periodic
+    // depth-of-book snapshot stitched across the band shards.
     for t in 0..2u64 {
         let asks = Arc::clone(&asks);
         let stop = Arc::clone(&stop);
@@ -74,6 +87,7 @@ fn main() {
         handles.push(std::thread::spawn(move || {
             let mut x = 0xFEED ^ (t + 1);
             let mut local = 0u64;
+            let mut rounds = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 x ^= x << 13;
                 x ^= x >> 7;
@@ -82,12 +96,19 @@ fn main() {
                 if asks.levels.get(&price).is_some() {
                     local += 1;
                 }
+                rounds += 1;
+                if rounds % 1024 == 0 {
+                    // Top-of-book depth across all four bands: one stitched
+                    // scan, strictly ascending through shard boundaries.
+                    let ladder = asks.levels.range_keys(10_000..=11_999);
+                    debug_assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+                }
             }
             quotes.fetch_add(local, Ordering::Relaxed);
         }));
     }
 
-    // Matching engine: lift the best ask (min of the ordered set).
+    // Matching engine: lift the best ask (min over the shard minima).
     {
         let asks = Arc::clone(&asks);
         let stop = Arc::clone(&stop);
@@ -112,14 +133,18 @@ fn main() {
 
     let depth = asks.levels.len();
     println!(
-        "order_book OK: {} trades matched, {} quote hits, {} resting levels, best ask {:?}",
+        "order_book OK: {} trades matched, {} quote hits, {} resting levels across {} bands, best ask {:?}",
         trades.load(Ordering::Relaxed),
         quotes.load(Ordering::Relaxed),
         depth,
+        asks.levels.n_shards(),
         asks.best(),
     );
-    // Sanity: the book is a consistent ordered set at quiescence.
+    // Sanity: the stitched book is a consistent ordered set at quiescence,
+    // every level routes to the shard that actually holds it, and the
+    // boundary keys sit right of their splits.
     let ladder = asks.levels.keys_in_order();
     assert!(ladder.windows(2).all(|w| w[0] < w[1]));
     assert_eq!(ladder.first().copied(), asks.best());
+    asks.levels.check_invariants();
 }

@@ -1,20 +1,23 @@
-//! A concurrent session store with TTL expiry — a long-running-service
-//! workload where the paper's **on-time deletion** matters: expired
-//! sessions must actually leave memory, not linger as zombie nodes
-//! extending every search path.
+//! A concurrent session store with TTL expiry, served by the **service
+//! tier**: a keyspace-sharded store ([`lo_store`]) behind the
+//! flat-combining [`BatchedStore`] frontend. Each shard is one LO tree in
+//! its own epoch domain, so the paper's **on-time deletion** holds per
+//! shard — expired sessions actually leave memory — while frontend bursts
+//! are batched through one combiner per shard.
 //!
 //! Sessions are keyed by `(expiry_bucket << 20) | id`, so the ordering
-//! layer doubles as an expiry index: the sweeper repeatedly reads
-//! `min_key` and removes sessions whose bucket has passed — no separate
-//! timer wheel needed.
+//! layer doubles as an expiry index: the sweeper repeatedly reads the
+//! store-wide `min_key` (the min over the per-shard O(1) minima) and
+//! removes sessions whose bucket has passed — no separate timer wheel.
 //!
 //! Run with: `cargo run --release --example session_store`
 
-use lo_trees::LoAvlMap;
+use lo_trees::BatchedStore;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 const ID_BITS: u32 = 20;
+const SHARDS: usize = 4;
 
 fn session_key(expiry_bucket: i64, id: i64) -> i64 {
     (expiry_bucket << ID_BITS) | id
@@ -25,7 +28,9 @@ fn bucket_of(key: i64) -> i64 {
 }
 
 fn main() {
-    let store: Arc<LoAvlMap<i64, u64>> = Arc::new(LoAvlMap::new());
+    // Hash routing spreads each expiry bucket's sessions over every shard,
+    // so frontends and the sweeper contend on different combiner lanes.
+    let store: Arc<BatchedStore<i64, u64>> = Arc::new(BatchedStore::hash_sharded(SHARDS));
     let clock = Arc::new(AtomicU64::new(0)); // logical time, in buckets
     let stop = Arc::new(AtomicBool::new(false));
     let expired = Arc::new(AtomicU64::new(0));
@@ -34,7 +39,9 @@ fn main() {
     let mut handles = Vec::new();
 
     // Frontend threads: create sessions with a TTL of 4..12 buckets and
-    // probe for existing ones (lock-free).
+    // probe for existing ones. Writes funnel through the shard's combiner
+    // (bursts from several frontends drain as one batch under one epoch
+    // guard); lookups stay on the lock-free read path.
     for t in 0..3u64 {
         let store = Arc::clone(&store);
         let clock = Arc::clone(&clock);
@@ -61,8 +68,8 @@ fn main() {
         }));
     }
 
-    // Sweeper: expire everything whose bucket is in the past. Thanks to the
-    // ordering layer, the oldest session is always `min_key` — O(1).
+    // Sweeper: expire everything whose bucket is in the past. The oldest
+    // session store-wide is `min_key` — the min over per-shard O(1) minima.
     {
         let store = Arc::clone(&store);
         let clock = Arc::clone(&clock);
@@ -71,7 +78,7 @@ fn main() {
         handles.push(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 let now = clock.load(Ordering::Relaxed) as i64;
-                while let Some(oldest) = store.min_key() {
+                while let Some(oldest) = store.inner().min_key() {
                     if bucket_of(oldest) >= now {
                         break; // nothing expired
                     }
@@ -94,11 +101,11 @@ fn main() {
         h.join().expect("worker");
     }
 
-    // Final sweep to a known point, then verify the on-time property: the
-    // physical node count equals the live session count exactly — no
-    // zombies (contrast with partially-external designs).
+    // Final sweep to a known point, then verify the on-time property shard
+    // by shard: the physical node count across all shards equals the live
+    // session count exactly — no zombies on any shard.
     let now = clock.load(Ordering::Relaxed) as i64;
-    while let Some(oldest) = store.min_key() {
+    while let Some(oldest) = store.inner().min_key() {
         if bucket_of(oldest) >= now {
             break;
         }
@@ -106,18 +113,21 @@ fn main() {
             expired.fetch_add(1, Ordering::Relaxed);
         }
     }
-    let live = store.len();
-    let physical = store.physical_node_count();
+    let inner = store.inner();
+    let live = inner.len();
+    let physical = inner.physical_node_count();
     println!(
-        "session_store OK: created {}, expired {}, live {}, physical nodes {} (zombies: {})",
+        "session_store OK: {} shards, created {}, expired {}, live {}, physical nodes {} (zombies: {})",
+        inner.n_shards(),
         created.load(Ordering::Relaxed),
         expired.load(Ordering::Relaxed),
         live,
         physical,
-        store.zombie_count(),
+        inner.zombie_count(),
     );
     assert_eq!(live, physical, "on-time deletion: every dead session is really gone");
-    for k in store.keys_in_order() {
+    for k in inner.keys_in_order() {
         assert!(bucket_of(k) >= now, "expired session survived the sweep");
     }
+    inner.check_invariants();
 }

@@ -21,6 +21,11 @@ pub use lo_baselines as baselines;
 pub use lo_api as api;
 /// Epoch-based reclamation built from scratch (substrate study).
 pub use lo_reclaim as reclaim;
+/// The service tier: keyspace-sharded store with per-shard epoch domains
+/// and the flat-combining batched frontend.
+pub use lo_store as store;
+/// The sharded-store front door, at the crate root beside the tree maps.
+pub use lo_store::{BatchedStore, ShardedStore};
 /// Correctness substrate: stress harness + linearizability checker.
 pub use lo_validate as validate;
 /// The paper's evaluation workload protocol.
